@@ -1,0 +1,1 @@
+"""Benchmarks regenerating every table and figure of the paper's §5.2."""

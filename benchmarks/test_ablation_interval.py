@@ -1,0 +1,68 @@
+"""Ablation A4: overhead vs checkpoint frequency (§3.1.1).
+
+"Checkpoints are performed periodically during the execution of an
+application ... The overhead imposed by checkpoints should therefore be
+minimal, otherwise it would not be worth using this mechanism."
+
+This ablation quantifies the trade-off the paper motivates: the shorter
+the CHKPT_INTERVAL, the more checkpoints a run takes and the higher the
+total overhead — while the work lost to a failure shrinks.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import VirtualMachine, VMConfig, compile_source, get_platform
+from repro.workloads import matmul_expected, matmul_source
+
+N = 24
+INTERVALS = [None, 0.4, 0.1, 0.03]
+
+
+@pytest.mark.parametrize("interval", INTERVALS, ids=lambda v: f"interval={v}")
+def test_overhead_vs_interval(interval, tmp_path, benchmark, get_report):
+    rep = get_report(
+        "Ablation A4",
+        "runtime overhead vs periodic checkpoint interval (matmul n=24)",
+        ["interval s", "checkpoints", "runtime s", "overhead %"],
+    )
+    path = str(tmp_path / "iv.hckp")
+    code = compile_source(matmul_source(N, checkpoint=False))
+
+    def run():
+        vm = VirtualMachine(
+            get_platform("rodrigo"), code,
+            VMConfig(
+                chkpt_filename=path,
+                chkpt_interval=interval,
+                chkpt_mode="blocking",
+            ),
+        )
+        t0 = time.perf_counter()
+        result = vm.run()
+        dt = time.perf_counter() - t0
+        assert result.status == "stopped"
+        assert result.stdout == matmul_expected(N)
+        return dt, vm.checkpoints_taken
+
+    (dt, taken) = benchmark.pedantic(run, rounds=1, iterations=1)
+    if interval is None:
+        _BASELINE["t"] = dt
+        rep.row("never", taken, f"{dt:.3f}", "baseline")
+    else:
+        baseline = _BASELINE.get("t")
+        overhead = (dt - baseline) / baseline if baseline else float("nan")
+        rep.row(f"{interval}", taken, f"{dt:.3f}", f"{100 * overhead:+.1f}")
+        assert taken >= 1
+    if interval == INTERVALS[-1]:
+        rep.note(
+            "shorter intervals take more checkpoints and cost more total "
+            "overhead, buying a smaller recovery window — the trade-off "
+            "the paper's §3.1.1 motivates"
+        )
+
+
+_BASELINE: dict = {}

@@ -1,0 +1,70 @@
+"""Ablation A3: lazy (restart-time) conversion.
+
+The paper's design choice (§3.2.1): "we prefer to save data in its
+native representation.  During restart, data is restored according to
+the machine it is being restarted on" — conversion cost is paid only
+when a mismatched restart actually happens, never at checkpoint time.
+
+This benchmark verifies the laziness empirically: the checkpoint cost
+is identical regardless of the eventual restart target, a same-arch
+restart performs *zero* conversion work (the payload-conversion phase
+never runs), and the conversion phases appear only on mismatched
+restarts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import make_checkpoint
+from repro import get_platform, restart_vm
+from repro.workloads import string_heavy_source
+
+SIZE_WORDS = 256 * 1024
+
+CASES = [
+    ("rodrigo", "none"),
+    ("csd", "endianness"),
+    ("sp2148", "word size"),
+]
+
+
+@pytest.mark.parametrize("target,conversion", CASES)
+def test_conversion_cost_paid_only_on_mismatch(
+    target, conversion, tmp_path, benchmark, get_report
+):
+    rep = get_report(
+        "Ablation A3",
+        "lazy conversion: work appears only on mismatched restarts",
+        ["target", "conversion", "restart s", "convert phases present"],
+    )
+    path = str(tmp_path / "lazy.hckp")
+    code, vm = make_checkpoint(string_heavy_source(SIZE_WORDS), path)
+
+    def restart():
+        return restart_vm(get_platform(target), code, path)
+
+    vm2, stats = benchmark.pedantic(restart, rounds=1, iterations=1)
+    phases = set(stats.phases.seconds)
+    convert_phases = sorted(
+        phases & {"convert_payloads", "heap_rebuild"}
+    )
+    rep.row(
+        target, conversion, f"{stats.total_seconds:.3f}",
+        ", ".join(convert_phases) if convert_phases else "none",
+    )
+    if conversion == "none":
+        assert not convert_phases
+        assert not stats.converted_endianness
+        assert not stats.converted_word_size
+    elif conversion == "endianness":
+        assert "convert_payloads" in phases
+        assert stats.converted_endianness
+    else:
+        assert "heap_rebuild" in phases
+        assert stats.converted_word_size
+    if conversion == "word size":
+        rep.note(
+            "an eager design would pay conversion at every checkpoint; "
+            "the lazy design pays once, and only when heterogeneity is real"
+        )

@@ -1,0 +1,45 @@
+"""Supporting measurement: interpreter dispatch rate.
+
+Not a paper artefact, but context for its §5.1 discussion ("byte-code
+usually executes much slower than native code"): the absolute numbers
+everywhere else in this reproduction are scaled by this dispatch rate,
+which is what separates our Python substrate from the authors' C
+interpreter on 1999 hardware.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import VirtualMachine, VMConfig, compile_source, get_platform
+
+LOOP = """
+let r = ref 0;;
+while !r < 60000 do r := !r + 1 done;;
+print_int !r
+"""
+
+
+@pytest.mark.parametrize("platform_name", ["rodrigo", "sp2148"])
+def test_instruction_dispatch_rate(platform_name, benchmark, get_report):
+    rep = get_report(
+        "Dispatch rate",
+        "interpreter speed (context for the paper's byte-code remarks)",
+        ["platform", "instructions", "seconds", "Minstr/s"],
+    )
+    code = compile_source(LOOP)
+
+    def run():
+        vm = VirtualMachine(
+            get_platform(platform_name), code, VMConfig(chkpt_state="disable")
+        )
+        result = vm.run()
+        assert result.stdout == b"60000"
+        return result.instructions
+
+    instructions = benchmark.pedantic(run, rounds=1, iterations=1)
+    seconds = benchmark.stats.stats.mean
+    rep.row(
+        platform_name, instructions, f"{seconds:.3f}",
+        f"{instructions / seconds / 1e6:.2f}",
+    )

@@ -1,0 +1,53 @@
+"""Figure 11: insertion sort — runtime with vs without one checkpoint.
+
+The paper's stack-bound counterpart to Figure 10: "since the insertion
+sort application is implemented recursively, the stack grows during
+runtime due to many recursive calls."  The checkpoint fires at the
+deepest recursion point, so the saved state includes the whole frame
+tower; overhead must nevertheless stay small.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_plain, run_with_checkpoint
+from repro.workloads import insertion_sort_expected, insertion_sort_source
+
+SIZES = [60, 120, 200, 280]
+
+MAX_OVERHEAD_FRACTION = 0.40
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_sort_checkpoint_overhead(n, tmp_path, benchmark, get_report):
+    rep = get_report(
+        "Figure 11",
+        "insertion-sort runtime with and without one checkpoint (rodrigo)",
+        ["n", "ckpt KB", "stack words", "plain s", "with ckpt s", "overhead %"],
+    )
+    path = str(tmp_path / "is.hckp")
+    plain_s, _ = run_plain(insertion_sort_source(n, checkpoint=False))
+
+    def checkpointed():
+        return run_with_checkpoint(insertion_sort_source(n), path)
+
+    ckpt_s, vm = benchmark.pedantic(checkpointed, rounds=1, iterations=1)
+    assert vm.channels.stdout_bytes() == insertion_sort_expected(n)
+
+    from repro.checkpoint.format import read_checkpoint
+
+    vm.join_background_checkpoint()
+    snap = read_checkpoint(path)
+    stack_words = len(next(t for t in snap.threads if t.tid == 0).stack_words)
+    size_kb = vm.last_checkpoint_stats.file_bytes / 1024
+    overhead = (ckpt_s - plain_s) / plain_s
+    rep.row(n, f"{size_kb:.0f}", stack_words, f"{plain_s:.3f}",
+            f"{ckpt_s:.3f}", f"{100 * overhead:+.1f}")
+    if n == SIZES[-1]:
+        rep.note(
+            "stack words grow ~linearly with n (the checkpoint captures "
+            "the recursion tower); paper shape: overhead stays negligible"
+        )
+    assert overhead < MAX_OVERHEAD_FRACTION
+    assert stack_words > 3 * n

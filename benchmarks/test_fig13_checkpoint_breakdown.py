@@ -1,0 +1,60 @@
+"""Figure 13: timing the substantial parts of checkpointing.
+
+The paper: "more than 80 percent of the checkpoint time is spent in
+saving the heap ... the bigger the checkpoint file becomes, so does the
+time for committing it ... other parts take less than 5 percent"
+(minor GC, registers, stack).
+
+Our heap-saving cost is split across three instrumented phases —
+``heap_dump`` (copying the chunks at the safe point), ``serialize``
+(native encoding) and ``write`` (disk I/O) — which together play the
+role of the paper's "saving the heap" bar.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import make_checkpoint
+from repro.workloads import alloc_source
+
+SIZES_WORDS = [64 * 1024, 256 * 1024, 640 * 1024]
+
+HEAP_PHASES = ("heap_dump", "serialize", "write")
+SMALL_PHASES = ("minor_gc", "registers", "boundaries", "stack", "channels")
+
+
+@pytest.mark.parametrize("size", SIZES_WORDS)
+def test_checkpoint_phase_breakdown(size, tmp_path, benchmark, get_report):
+    rep = get_report(
+        "Figure 13",
+        "checkpoint time breakdown vs checkpointed data size (rodrigo)",
+        ["ckpt MB", "total ms", "heap-save %", "commit %", "other %"],
+    )
+    path = str(tmp_path / "bd.hckp")
+
+    def checkpointed_run():
+        return make_checkpoint(alloc_source(size), path)
+
+    code, vm = benchmark.pedantic(checkpointed_run, rounds=1, iterations=1)
+    stats = vm.last_checkpoint_stats
+    fractions = stats.phases.fractions()
+    heap_save = sum(fractions.get(p, 0.0) for p in HEAP_PHASES)
+    commit = fractions.get("commit", 0.0)
+    other = 1.0 - heap_save - commit
+    rep.row(
+        f"{stats.file_bytes / 1e6:.2f}",
+        f"{stats.phases.total * 1e3:.1f}",
+        f"{100 * heap_save:.1f}",
+        f"{100 * commit:.1f}",
+        f"{100 * other:.1f}",
+    )
+    if size == SIZES_WORDS[-1]:
+        rep.note(
+            "paper shape: saving the heap > 80%, commit grows with file "
+            "size, minor GC + registers + stack < 5%"
+        )
+    # The paper's dominant-phase claim.
+    assert heap_save > 0.5
+    small = sum(fractions.get(p, 0.0) for p in SMALL_PHASES)
+    assert small < 0.3

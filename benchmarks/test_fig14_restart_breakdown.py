@@ -1,0 +1,52 @@
+"""Figure 14: timing the substantial parts of restart.
+
+The paper: "During restart, the substantial parts are restoring the
+heap and fixing pointer values inside it ... these substantial parts
+take more than 90 percent of restart."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import make_checkpoint
+from repro import get_platform, restart_vm
+from repro.workloads import alloc_source
+
+SIZES_WORDS = [64 * 1024, 256 * 1024, 640 * 1024]
+
+HEAP_PHASES = ("heap_restore", "heap_rebuild", "pointer_fix", "read_file")
+
+
+@pytest.mark.parametrize("size", SIZES_WORDS)
+def test_restart_phase_breakdown(size, tmp_path, benchmark, get_report):
+    rep = get_report(
+        "Figure 14",
+        "restart time breakdown vs checkpointed data size (rodrigo->rodrigo)",
+        ["ckpt MB", "total ms", "heap restore+fix %", "stack %", "other %"],
+    )
+    path = str(tmp_path / "bd.hckp")
+    code, vm = make_checkpoint(alloc_source(size), path)
+    file_mb = vm.last_checkpoint_stats.file_bytes / 1e6
+
+    def restart():
+        return restart_vm(get_platform("rodrigo"), code, path)
+
+    vm2, stats = benchmark.pedantic(restart, rounds=1, iterations=1)
+    fractions = stats.phases.fractions()
+    heap = sum(fractions.get(p, 0.0) for p in HEAP_PHASES)
+    stack = fractions.get("stack_restore", 0.0) + fractions.get("threads", 0.0)
+    other = 1.0 - heap - stack
+    rep.row(
+        f"{file_mb:.2f}",
+        f"{stats.phases.total * 1e3:.1f}",
+        f"{100 * heap:.1f}",
+        f"{100 * stack:.1f}",
+        f"{100 * other:.1f}",
+    )
+    if size == SIZES_WORDS[-1]:
+        rep.note(
+            "paper shape: restoring the heap and fixing its pointers take "
+            "more than 90% of restart"
+        )
+    assert heap > 0.7

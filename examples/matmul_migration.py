@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""The paper's matrix-multiplication workload (Figure 8), checkpointed
+mid-computation and migrated across *every* simulated platform in turn:
+
+    rodrigo (32 LE, Linux) -> csd (32 BE, Solaris)
+                           -> sp2148 (64 LE, Linux)
+                           -> ultra64 (64 BE, Solaris)
+                           -> pc8 (32 LE, Windows NT)
+
+Each hop restarts the previous hop's checkpoint, multiplies a few more
+rows, checkpoints again, and hands the file over.  Endianness and word
+size change at almost every hop.
+
+Run:  python examples/matmul_migration.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import VirtualMachine, VMConfig, compile_source, get_platform, restart_vm
+
+N = 16
+HOPS = ["rodrigo", "csd", "sp2148", "ultra64", "pc8"]
+
+# One checkpoint after each quarter of the rows; the multiply therefore
+# spans several machines.
+SOURCE = f"""
+let n = {N};;
+let make_matrix rows cols init =
+  let m = Array.make rows [||] in
+  begin
+    for i = 0 to rows - 1 do m.(i) <- Array.make cols init done;
+    m
+  end;;
+let mat1 = make_matrix n n 1;;
+let mat2 = make_matrix n n 2;;
+let mat3 = make_matrix n n 0;;
+let multiply_rows lo hi =
+  for i = lo to hi do
+    for j = 0 to n - 1 do
+      for k = 0 to n - 1 do
+        mat3.(i).(j) <- mat3.(i).(j) + (mat1.(i).(k) * mat2.(k).(j))
+      done
+    done
+  done;;
+let q = n / 4;;
+multiply_rows 0 (q - 1);;         checkpoint ();;
+multiply_rows q (2 * q - 1);;     checkpoint ();;
+multiply_rows (2 * q) (3 * q - 1);; checkpoint ();;
+multiply_rows (3 * q) (n - 1);;   checkpoint ();;
+print_string "mat3[0][0] = ";;
+print_int mat3.(0).(0);;
+print_string ", mat3[n-1][n-1] = ";;
+print_int mat3.(n - 1).(n - 1)
+"""
+
+
+def main() -> None:
+    code = compile_source(SOURCE)
+    ckpt = tempfile.mktemp(suffix=".hckp")
+
+    # Calibrate: how many instructions does the whole job take?  Each
+    # simulated machine then gets a budget of roughly a third of the
+    # work before it "fails".
+    calib = VirtualMachine(
+        get_platform(HOPS[0]), code, VMConfig(chkpt_state="disable")
+    )
+    total = calib.run().instructions
+    budget = total // 3 + 1000
+
+    first = get_platform(HOPS[0])
+    vm = VirtualMachine(
+        first, code, VMConfig(chkpt_filename=ckpt, chkpt_mode="blocking")
+    )
+    # Run only until shortly after the first checkpoint, then "fail".
+    vm.run(max_instructions=budget)
+    print(f"[{first.name}] computed the first rows, checkpointed "
+          f"({vm.checkpoints_taken} checkpoint), machine 'fails' now")
+
+    final_output = b""
+    for hop in HOPS[1:]:
+        platform = get_platform(hop)
+        vm, stats = restart_vm(
+            platform, code, ckpt,
+            VMConfig(chkpt_filename=ckpt, chkpt_mode="blocking"),
+        )
+        conv = []
+        if stats.converted_endianness:
+            conv.append("endian swap")
+        if stats.converted_word_size:
+            conv.append("word-size change")
+        result = vm.run(max_instructions=budget)
+        done = result.status == "stopped"
+        print(f"[{platform.name}] restarted "
+              f"({', '.join(conv) if conv else 'no conversion'}); "
+              f"{'finished: ' + result.stdout.decode() if done else 'worked, checkpointed, failing over...'}")
+        final_output = result.stdout
+        if done:
+            break
+
+    expected = f"mat3[0][0] = {2 * N}, mat3[n-1][n-1] = {2 * N}".encode()
+    assert final_output == expected, (final_output, expected)
+    print(f"result verified: every entry equals 2n = {2 * N}.")
+
+
+if __name__ == "__main__":
+    main()

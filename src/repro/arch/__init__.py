@@ -1,0 +1,49 @@
+"""Simulated hardware architecture and operating-system personalities.
+
+The paper's heterogeneity axes are word size (32/64 bit), byte order
+(little/big endian), and operating system (POSIX-like with ``fork`` vs
+Windows NT without it).  This package models those axes so that a VM
+instance can be created "on" any of the paper's Table 1 machines.
+"""
+
+from repro.arch.architecture import (
+    Architecture,
+    Endianness,
+    ARCH_32_LE,
+    ARCH_32_BE,
+    ARCH_64_LE,
+    ARCH_64_BE,
+)
+from repro.arch.codec import WordCodec
+from repro.arch.platforms import (
+    OSFamily,
+    Platform,
+    PLATFORMS,
+    get_platform,
+    RODRIGO,
+    PC8,
+    CSD,
+    SP2148,
+    RS6000,
+    ULTRA64,
+)
+
+__all__ = [
+    "Architecture",
+    "Endianness",
+    "ARCH_32_LE",
+    "ARCH_32_BE",
+    "ARCH_64_LE",
+    "ARCH_64_BE",
+    "WordCodec",
+    "OSFamily",
+    "Platform",
+    "PLATFORMS",
+    "get_platform",
+    "RODRIGO",
+    "PC8",
+    "CSD",
+    "SP2148",
+    "RS6000",
+    "ULTRA64",
+]

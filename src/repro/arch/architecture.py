@@ -1,0 +1,166 @@
+"""Architecture model: word size and byte order.
+
+All VM values are machine words of the simulated architecture.  Words are
+held in Python as non-negative ints in ``[0, 2**bits)``; the architecture
+provides signed/unsigned reinterpretation and the byte-level encoding used
+by the checkpoint writer (native representation on disk, as in the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Endianness(enum.Enum):
+    """Byte order of the simulated machine."""
+
+    LITTLE = "little"
+    BIG = "big"
+
+    @property
+    def numpy_prefix(self) -> str:
+        """The numpy dtype byte-order character (``<`` or ``>``)."""
+        return "<" if self is Endianness.LITTLE else ">"
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A simulated hardware architecture.
+
+    Attributes
+    ----------
+    bits:
+        Machine word size in bits (32 or 64).
+    endianness:
+        Byte order used when words are laid out in memory / on disk.
+    name:
+        Human-readable family name (e.g. ``"pentium-ii"``); purely
+        informational, two architectures with equal ``bits`` and
+        ``endianness`` are data-compatible regardless of name.
+    """
+
+    bits: int
+    endianness: Endianness
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bits not in (32, 64):
+            raise ValueError(f"unsupported word size: {self.bits} bits")
+
+    # -- word geometry ----------------------------------------------------
+
+    @property
+    def word_bytes(self) -> int:
+        """Word size in bytes (4 or 8)."""
+        return self.bits // 8
+
+    @property
+    def word_mask(self) -> int:
+        """Mask selecting the low ``bits`` bits of an int."""
+        return (1 << self.bits) - 1
+
+    @property
+    def sign_bit(self) -> int:
+        """The word's sign bit as an int."""
+        return 1 << (self.bits - 1)
+
+    @property
+    def max_signed(self) -> int:
+        """Largest representable signed word value."""
+        return self.sign_bit - 1
+
+    @property
+    def min_signed(self) -> int:
+        """Smallest (most negative) representable signed word value."""
+        return -self.sign_bit
+
+    # -- value reinterpretation -------------------------------------------
+
+    def to_unsigned(self, value: int) -> int:
+        """Wrap an arbitrary Python int to this architecture's word range."""
+        return value & self.word_mask
+
+    def to_signed(self, word: int) -> int:
+        """Reinterpret an unsigned word as a signed two's-complement int."""
+        word &= self.word_mask
+        if word & self.sign_bit:
+            return word - (1 << self.bits)
+        return word
+
+    def asr(self, word: int, shift: int) -> int:
+        """Arithmetic shift right of a word, as the hardware would do it."""
+        return self.to_unsigned(self.to_signed(word) >> shift)
+
+    # -- byte-level encoding ----------------------------------------------
+
+    @property
+    def numpy_dtype(self) -> str:
+        """Numpy dtype string for words in this architecture's layout."""
+        return f"{self.endianness.numpy_prefix}u{self.word_bytes}"
+
+    def word_to_bytes(self, word: int) -> bytes:
+        """Encode one word in this architecture's native byte order."""
+        return (word & self.word_mask).to_bytes(
+            self.word_bytes, self.endianness.value
+        )
+
+    def word_from_bytes(self, data: bytes) -> int:
+        """Decode one native word from ``word_bytes`` bytes."""
+        if len(data) != self.word_bytes:
+            raise ValueError(
+                f"expected {self.word_bytes} bytes, got {len(data)}"
+            )
+        return int.from_bytes(data, self.endianness.value)
+
+    # -- in-word byte addressing ------------------------------------------
+
+    def byte_of_word(self, word: int, index: int) -> int:
+        """Return the byte at in-memory offset ``index`` of a stored word.
+
+        On a little-endian machine byte 0 is the least significant byte; on
+        a big-endian machine byte 0 is the most significant byte.  String
+        data in the VM heap is addressed through this, exactly like
+        ``((char *) p)[i]`` in the real OCVM.
+        """
+        if not 0 <= index < self.word_bytes:
+            raise IndexError(f"byte index {index} out of word range")
+        if self.endianness is Endianness.LITTLE:
+            shift = 8 * index
+        else:
+            shift = 8 * (self.word_bytes - 1 - index)
+        return (word >> shift) & 0xFF
+
+    def set_byte_of_word(self, word: int, index: int, byte: int) -> int:
+        """Return ``word`` with its in-memory byte ``index`` set to ``byte``."""
+        if not 0 <= index < self.word_bytes:
+            raise IndexError(f"byte index {index} out of word range")
+        if not 0 <= byte <= 0xFF:
+            raise ValueError(f"byte value {byte} out of range")
+        if self.endianness is Endianness.LITTLE:
+            shift = 8 * index
+        else:
+            shift = 8 * (self.word_bytes - 1 - index)
+        return (word & ~(0xFF << shift) & self.word_mask) | (byte << shift)
+
+    def word_to_memory_bytes(self, word: int) -> bytes:
+        """Bytes of a word in memory order (same as native encoding)."""
+        return self.word_to_bytes(word)
+
+    # -- compatibility predicates -----------------------------------------
+
+    def data_compatible(self, other: "Architecture") -> bool:
+        """True if raw words from ``other`` can be used without conversion."""
+        return self.bits == other.bits and self.endianness == other.endianness
+
+    def describe(self) -> str:
+        """Short human-readable description, e.g. ``"32-bit little-endian"``."""
+        label = f"{self.bits}-bit {self.endianness.value}-endian"
+        return f"{self.name} ({label})" if self.name else label
+
+
+#: Canonical architecture instances covering the paper's axes.
+ARCH_32_LE = Architecture(32, Endianness.LITTLE, "ia32")
+ARCH_32_BE = Architecture(32, Endianness.BIG, "sparc32")
+ARCH_64_LE = Architecture(64, Endianness.LITTLE, "alpha")
+ARCH_64_BE = Architecture(64, Endianness.BIG, "sparc64")

@@ -1,0 +1,26 @@
+"""Byte-code: instruction set, assembler, disassembler, code image.
+
+The instruction set is a ZINC-machine subset modelled on the OCaml 2.02
+byte-code interpreter the paper instruments: an accumulator machine with
+environment-based closures, GRAB/RESTART partial application, and an
+explicit CHECK_SIGNALS safe point (paper §3.1.2).
+
+Code is a sequence of 32-bit units on *every* architecture — exactly like
+OCaml byte-code files, which is what makes the program image portable
+across the heterogeneous platforms.
+"""
+
+from repro.bytecode.opcodes import Op, OPERAND_COUNTS
+from repro.bytecode.assembler import Assembler, Label
+from repro.bytecode.image import CodeImage, CODE_UNIT_BYTES
+from repro.bytecode.disassembler import disassemble
+
+__all__ = [
+    "Op",
+    "OPERAND_COUNTS",
+    "Assembler",
+    "Label",
+    "CodeImage",
+    "CODE_UNIT_BYTES",
+    "disassemble",
+]

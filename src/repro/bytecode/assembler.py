@@ -1,0 +1,132 @@
+"""A two-pass assembler with labels.
+
+The MiniML compiler (and the hand-written test programs) emit symbolic
+instructions; the assembler resolves labels into the relative offsets the
+interpreter expects (relative to the operand's own position, OCaml
+style) and produces a :class:`~repro.bytecode.image.CodeImage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bytecode.image import CodeImage
+from repro.bytecode.opcodes import BRANCH_OPERANDS, OPERAND_COUNTS, Op
+from repro.errors import BytecodeError
+
+
+@dataclass(frozen=True)
+class Label:
+    """A symbolic code position."""
+
+    name: str
+
+
+@dataclass
+class _Insn:
+    op: Op
+    operands: tuple
+    #: Unit index of the opcode after layout.
+    position: int = 0
+
+
+class Assembler:
+    """Accumulates instructions and assembles them into a code image."""
+
+    def __init__(self, name: str = "<asm>") -> None:
+        self.name = name
+        self._insns: list[_Insn] = []
+        self._labels: dict[str, int] = {}  # label -> instruction index
+        self._fresh = 0
+        self.n_globals = 0
+        self._string_literals: list[bytes] = []
+        self._float_literals: list[float] = []
+
+    def string_literal(self, data: bytes) -> int:
+        """Intern a string literal; returns its pool index."""
+        try:
+            return self._string_literals.index(data)
+        except ValueError:
+            self._string_literals.append(data)
+            return len(self._string_literals) - 1
+
+    def float_literal(self, x: float) -> int:
+        """Intern a float literal; returns its pool index."""
+        for i, y in enumerate(self._float_literals):
+            if y == x or (x != x and y != y):  # NaN-safe identity
+                return i
+        self._float_literals.append(x)
+        return len(self._float_literals) - 1
+
+    # -- building -----------------------------------------------------------
+
+    def label(self, prefix: str = "L") -> Label:
+        """Create a fresh, unplaced label."""
+        self._fresh += 1
+        return Label(f"{prefix}{self._fresh}")
+
+    def place(self, label: Label) -> None:
+        """Bind a label to the current position."""
+        if label.name in self._labels:
+            raise BytecodeError(f"label {label.name} placed twice")
+        self._labels[label.name] = len(self._insns)
+
+    def emit(self, op: Op, *operands) -> None:
+        """Append one instruction; operands are ints or Labels."""
+        expected = OPERAND_COUNTS[op]
+        if len(operands) != expected:
+            raise BytecodeError(
+                f"{op.name} takes {expected} operand(s), got {len(operands)}"
+            )
+        branch_slots = BRANCH_OPERANDS.get(op, ())
+        for i, v in enumerate(operands):
+            if isinstance(v, Label):
+                if i not in branch_slots:
+                    raise BytecodeError(
+                        f"operand {i} of {op.name} cannot be a label"
+                    )
+            elif not isinstance(v, int):
+                raise BytecodeError(f"bad operand {v!r} for {op.name}")
+        self._insns.append(_Insn(op, tuple(operands)))
+
+    def __len__(self) -> int:
+        return len(self._insns)
+
+    # -- assembling -----------------------------------------------------------
+
+    def assemble(self) -> CodeImage:
+        """Resolve labels and produce the code image."""
+        # Pass 1: layout.
+        pos = 0
+        for insn in self._insns:
+            insn.position = pos
+            pos += 1 + OPERAND_COUNTS[insn.op]
+        label_units: dict[str, int] = {}
+        for name, insn_index in self._labels.items():
+            if insn_index < len(self._insns):
+                label_units[name] = self._insns[insn_index].position
+            else:
+                label_units[name] = pos  # label at end of code
+        # Pass 2: encode.
+        units: list[int] = []
+        for insn in self._insns:
+            units.append(int(insn.op))
+            for i, v in enumerate(insn.operands):
+                operand_pos = insn.position + 1 + i
+                if isinstance(v, Label):
+                    try:
+                        target = label_units[v.name]
+                    except KeyError:
+                        raise BytecodeError(
+                            f"undefined label {v.name}"
+                        ) from None
+                    units.append((target - operand_pos) & 0xFFFFFFFF)
+                else:
+                    units.append(v & 0xFFFFFFFF)
+        return CodeImage(
+            units,
+            self.name,
+            n_globals=self.n_globals,
+            string_literals=self._string_literals,
+            float_literals=self._float_literals,
+        )

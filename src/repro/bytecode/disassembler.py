@@ -1,0 +1,42 @@
+"""Disassembler: render a code image back into readable text.
+
+Used by the examples, by error messages, and heavily by tests to assert
+on compiler output.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.image import CodeImage
+from repro.bytecode.opcodes import BRANCH_OPERANDS, OPERAND_COUNTS, Op
+from repro.errors import BytecodeError
+
+
+def disassemble(image: CodeImage) -> str:
+    """Pretty-print a whole code image, one instruction per line."""
+    return "\n".join(text for _, text in iter_instructions(image))
+
+
+def iter_instructions(image: CodeImage):
+    """Yield ``(unit_index, text)`` for every instruction."""
+    i = 0
+    n = len(image.units)
+    while i < n:
+        raw = image.units[i]
+        try:
+            op = Op(raw)
+        except ValueError:
+            raise BytecodeError(f"unknown opcode {raw} at unit {i}") from None
+        argc = OPERAND_COUNTS[op]
+        if i + argc >= n:
+            raise BytecodeError(f"truncated {op.name} at unit {i}")
+        parts = [f"{i:6d}  {op.name}"]
+        branch_slots = BRANCH_OPERANDS.get(op, ())
+        for k in range(argc):
+            operand_pos = i + 1 + k
+            v = image.signed_unit(operand_pos)
+            if k in branch_slots:
+                parts.append(f"-> {operand_pos + v}")
+            else:
+                parts.append(str(v))
+        yield i, " ".join(parts)
+        i += 1 + argc

@@ -1,0 +1,131 @@
+"""The code image: a portable program file plus its in-memory mapping.
+
+Code units are always 32 bits and serialized little-endian, so the same
+program file loads on every platform (like OCaml ``.byc`` files).  In a
+running VM the image is mapped at the platform's ``code_base``; code
+addresses are ``code_base + 4 * unit_index`` and appear inside closures
+and return frames — the restart logic re-bases them without scaling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.errors import BytecodeError
+
+#: Code addressing granularity in bytes, on every architecture.
+CODE_UNIT_BYTES = 4
+
+_MAGIC = b"RBYC\x01"
+_UNIT_MASK = 0xFFFFFFFF
+
+
+class CodeImage:
+    """An immutable byte-code program."""
+
+    def __init__(
+        self,
+        units: list[int],
+        name: str = "<anonymous>",
+        n_globals: int = 0,
+        string_literals: list[bytes] | None = None,
+        float_literals: list[float] | None = None,
+    ) -> None:
+        for u in units:
+            if not -(2**31) <= u < 2**32:
+                raise BytecodeError(f"code unit {u} out of 32-bit range")
+        #: Code units, stored unsigned.
+        self.units: list[int] = [u & _UNIT_MASK for u in units]
+        self.name = name
+        #: Size of the global-data block the program expects.
+        self.n_globals = n_globals
+        #: Literal pools referenced by STRLIT / FLOATLIT.
+        self.string_literals: list[bytes] = list(string_literals or [])
+        self.float_literals: list[float] = list(float_literals or [])
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+    @property
+    def size_bytes(self) -> int:
+        """Image size in bytes when mapped."""
+        return len(self.units) * CODE_UNIT_BYTES
+
+    def digest(self) -> bytes:
+        """SHA-256 of the serialized units.
+
+        Stored in checkpoint files so a restart can verify it is resuming
+        the *same program* the checkpoint was taken from.
+        """
+        h = hashlib.sha256()
+        h.update(struct.pack("<I", self.n_globals))
+        h.update(struct.pack(f"<{len(self.units)}I", *self.units))
+        for s in self.string_literals:
+            h.update(struct.pack("<I", len(s)))
+            h.update(s)
+        for x in self.float_literals:
+            h.update(struct.pack("<d", x))
+        return h.digest()
+
+    def signed_unit(self, index: int) -> int:
+        """Read a unit as a signed 32-bit value (for immediate operands)."""
+        u = self.units[index]
+        return u - (1 << 32) if u & (1 << 31) else u
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the portable program format."""
+        name_raw = self.name.encode()
+        parts = [
+            _MAGIC,
+            struct.pack("<I", len(name_raw)),
+            name_raw,
+            struct.pack("<II", self.n_globals, len(self.units)),
+            struct.pack(f"<{len(self.units)}I", *self.units),
+            struct.pack("<I", len(self.string_literals)),
+        ]
+        for s in self.string_literals:
+            parts.append(struct.pack("<I", len(s)))
+            parts.append(s)
+        parts.append(struct.pack("<I", len(self.float_literals)))
+        parts.append(struct.pack(f"<{len(self.float_literals)}d", *self.float_literals))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CodeImage":
+        """Load a serialized program."""
+        try:
+            return cls._from_bytes(data)
+        except struct.error as exc:
+            raise BytecodeError(f"truncated byte-code image: {exc}") from None
+
+    @classmethod
+    def _from_bytes(cls, data: bytes) -> "CodeImage":
+        if data[: len(_MAGIC)] != _MAGIC:
+            raise BytecodeError("not a byte-code image (bad magic)")
+        off = len(_MAGIC)
+        (name_len,) = struct.unpack_from("<I", data, off)
+        off += 4
+        name = data[off : off + name_len].decode()
+        off += name_len
+        n_globals, n_units = struct.unpack_from("<II", data, off)
+        off += 8
+        expected = off + n_units * CODE_UNIT_BYTES
+        if len(data) < expected:
+            raise BytecodeError("truncated byte-code image")
+        units = list(struct.unpack_from(f"<{n_units}I", data, off))
+        off = expected
+        (n_strs,) = struct.unpack_from("<I", data, off)
+        off += 4
+        strs: list[bytes] = []
+        for _ in range(n_strs):
+            (slen,) = struct.unpack_from("<I", data, off)
+            off += 4
+            strs.append(data[off : off + slen])
+            off += slen
+        (n_floats,) = struct.unpack_from("<I", data, off)
+        off += 4
+        floats = list(struct.unpack_from(f"<{n_floats}d", data, off))
+        return cls(units, name, n_globals, strs, floats)

@@ -1,0 +1,178 @@
+"""The instruction set of the virtual machine.
+
+Each instruction is one opcode unit followed by a fixed number of operand
+units.  Branch-style operands are *relative to the operand's own
+position* in the code, following OCaml's ``pc += *pc`` convention.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.IntEnum):
+    """Byte-code opcodes."""
+
+    # Control
+    STOP = 0
+    BRANCH = 1          # ofs
+    BRANCHIF = 2        # ofs
+    BRANCHIFNOT = 3     # ofs
+    CHECK_SIGNALS = 4
+
+    # Stack / accumulator shuffling
+    ACC = 10            # n: accu = stack[n]
+    PUSH = 11
+    PUSHACC = 12        # n: push accu; accu = stack[n]
+    POP = 13            # n
+    ASSIGN = 14         # n: stack[n] = accu; accu = unit
+
+    # Environment access
+    ENVACC = 20         # n: accu = Field(env, n)
+    PUSHENVACC = 21     # n
+    OFFSETCLOSURE0 = 22  # accu = env (recursive self-reference)
+
+    # Constants and globals
+    CONSTINT = 30       # n (signed): accu = Val_int(n)
+    PUSHCONSTINT = 31   # n
+    ATOM = 32           # t: accu = Atom(t)
+    PUSHATOM = 33       # t
+    GETGLOBAL = 34      # n
+    PUSHGETGLOBAL = 35  # n
+    SETGLOBAL = 36      # n
+
+    # Exceptions
+    PUSHTRAP = 25       # ofs: push a 4-slot trap frame, set trapsp
+    POPTRAP = 26        # discard the current trap frame
+    RAISE = 27          # unwind to the current trap frame
+
+    # Function application
+    PUSH_RETADDR = 40   # ofs
+    APPLY = 41          # n
+    APPTERM = 42        # nargs, slotsize
+    RETURN = 43         # n
+    GRAB = 44           # n
+    RESTART = 45
+    CLOSURE = 46        # nvars, ofs
+
+    # Blocks
+    MAKEBLOCK = 50      # size, tag
+    GETFIELD = 51       # n
+    SETFIELD = 52       # n: Field(accu, n) = pop; accu = unit
+    VECTLENGTH = 53
+    GETVECTITEM = 54    # accu = Field(accu, Int_val(pop))
+    SETVECTITEM = 55    # Field(accu, Int_val(sp[0])) = sp[1]; pop 2
+    GETSTRINGCHAR = 56
+    SETSTRINGCHAR = 57
+    ISINT = 58
+
+    # Integer arithmetic (tagged)
+    NEGINT = 60
+    ADDINT = 61
+    SUBINT = 62
+    MULINT = 63
+    DIVINT = 64
+    MODINT = 65
+    ANDINT = 66
+    ORINT = 67
+    XORINT = 68
+    LSLINT = 69
+    LSRINT = 70
+    ASRINT = 71
+    OFFSETINT = 72      # n: accu = Val_int(Int_val(accu) + n)
+    BOOLNOT = 73
+
+    # Comparison
+    EQ = 80
+    NEQ = 81
+    LTINT = 82
+    LEINT = 83
+    GTINT = 84
+    GEINT = 85
+
+    # Foreign calls
+    C_CALL = 90         # nargs, prim_id
+
+    # Literal pools (program-image constants; each use allocates a fresh
+    # heap block, so checkpointed state never aliases the code image)
+    STRLIT = 95         # k: accu = fresh string from literal pool k
+    FLOATLIT = 96       # k: accu = fresh double from float pool k
+
+
+#: Number of operand units each opcode carries.
+OPERAND_COUNTS: dict[Op, int] = {
+    Op.STOP: 0,
+    Op.BRANCH: 1,
+    Op.BRANCHIF: 1,
+    Op.BRANCHIFNOT: 1,
+    Op.CHECK_SIGNALS: 0,
+    Op.ACC: 1,
+    Op.PUSH: 0,
+    Op.PUSHACC: 1,
+    Op.POP: 1,
+    Op.ASSIGN: 1,
+    Op.ENVACC: 1,
+    Op.PUSHENVACC: 1,
+    Op.OFFSETCLOSURE0: 0,
+    Op.PUSHTRAP: 1,
+    Op.POPTRAP: 0,
+    Op.RAISE: 0,
+    Op.CONSTINT: 1,
+    Op.PUSHCONSTINT: 1,
+    Op.ATOM: 1,
+    Op.PUSHATOM: 1,
+    Op.GETGLOBAL: 1,
+    Op.PUSHGETGLOBAL: 1,
+    Op.SETGLOBAL: 1,
+    Op.PUSH_RETADDR: 1,
+    Op.APPLY: 1,
+    Op.APPTERM: 2,
+    Op.RETURN: 1,
+    Op.GRAB: 1,
+    Op.RESTART: 0,
+    Op.CLOSURE: 2,
+    Op.MAKEBLOCK: 2,
+    Op.GETFIELD: 1,
+    Op.SETFIELD: 1,
+    Op.VECTLENGTH: 0,
+    Op.GETVECTITEM: 0,
+    Op.SETVECTITEM: 0,
+    Op.GETSTRINGCHAR: 0,
+    Op.SETSTRINGCHAR: 0,
+    Op.ISINT: 0,
+    Op.NEGINT: 0,
+    Op.ADDINT: 0,
+    Op.SUBINT: 0,
+    Op.MULINT: 0,
+    Op.DIVINT: 0,
+    Op.MODINT: 0,
+    Op.ANDINT: 0,
+    Op.ORINT: 0,
+    Op.XORINT: 0,
+    Op.LSLINT: 0,
+    Op.LSRINT: 0,
+    Op.ASRINT: 0,
+    Op.OFFSETINT: 1,
+    Op.BOOLNOT: 0,
+    Op.EQ: 0,
+    Op.NEQ: 0,
+    Op.LTINT: 0,
+    Op.LEINT: 0,
+    Op.GTINT: 0,
+    Op.GEINT: 0,
+    Op.C_CALL: 2,
+    Op.STRLIT: 1,
+    Op.FLOATLIT: 1,
+}
+
+#: Opcodes whose single operand is a code offset (relative to the operand
+#: position) — used by the assembler's label resolution and the
+#: disassembler.
+BRANCH_OPERANDS: dict[Op, tuple[int, ...]] = {
+    Op.PUSHTRAP: (0,),
+    Op.BRANCH: (0,),
+    Op.BRANCHIF: (0,),
+    Op.BRANCHIFNOT: (0,),
+    Op.PUSH_RETADDR: (0,),
+    Op.CLOSURE: (1,),
+}

@@ -1,0 +1,12 @@
+"""Channels: the VM's file-descriptor abstraction (paper §3.2.4).
+
+"OCVM allocates a particular structure called channel for each opened
+file descriptor ... in order to support file descriptors checkpointing,
+we save all the channels as part of the checkpointed data and then use
+their information for reopening the files in the restarted application."
+"""
+
+from repro.channels.channel import Channel, ChannelMode
+from repro.channels.manager import ChannelManager, ChannelRecord
+
+__all__ = ["Channel", "ChannelMode", "ChannelManager", "ChannelRecord"]

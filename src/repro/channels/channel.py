@@ -1,0 +1,158 @@
+"""One buffered channel over a host file.
+
+Channels intercept every I/O operation the byte-code performs (paper
+§3.2.4), tracking the logical position so a restarted application can
+reopen the file and seek back to where it was.  Only sequential access
+is exposed — the paper's stated restriction; random-access writes would
+need a log, which the authors (and we) did not implement.
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+import os
+from typing import BinaryIO, Optional
+
+from repro.errors import ChannelError
+
+#: Buffer size after which output is flushed to the host file.
+BUFFER_LIMIT = 4096
+
+
+class ChannelMode(enum.Enum):
+    """Direction of a channel."""
+
+    READ = "r"
+    WRITE = "w"
+    APPEND = "a"
+
+
+class Channel:
+    """A buffered, position-tracking channel."""
+
+    def __init__(
+        self,
+        cid: int,
+        path: Optional[str],
+        mode: ChannelMode,
+        handle: Optional[BinaryIO] = None,
+        std_name: Optional[str] = None,
+    ) -> None:
+        self.cid = cid
+        self.path = path
+        self.mode = mode
+        #: For std channels ("stdin"/"stdout"/"stderr") the handle is
+        #: supplied by the VM and survives restart by re-binding, not
+        #: reopening.
+        self.std_name = std_name
+        self._handle = handle
+        #: Logical position: bytes consumed (READ) or durably written
+        #: (WRITE/APPEND) — the paper's "seek the file to the position it
+        #: had" restart datum.
+        self.position = 0
+        #: Pending output not yet flushed (WRITE side) — saved in the
+        #: checkpoint so buffered bytes are not lost.
+        self.out_buffer = bytearray()
+        self.closed = False
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def is_std(self) -> bool:
+        """True for stdin/stdout/stderr channels."""
+        return self.std_name is not None
+
+    def _require_open(self) -> BinaryIO:
+        if self.closed:
+            raise ChannelError(f"channel {self.cid} is closed")
+        if self._handle is None:
+            raise ChannelError(f"channel {self.cid} has no backing file")
+        return self._handle
+
+    # -- output ------------------------------------------------------------
+
+    def write(self, data: bytes) -> None:
+        """Append bytes to the channel (sequential only)."""
+        if self.mode is ChannelMode.READ:
+            raise ChannelError("cannot write to an input channel")
+        self._require_open()
+        self.out_buffer.extend(data)
+        if len(self.out_buffer) >= BUFFER_LIMIT:
+            self.flush()
+
+    def flush(self) -> None:
+        """Flush buffered output to the host file."""
+        if self.mode is ChannelMode.READ or not self.out_buffer:
+            return
+        handle = self._require_open()
+        handle.write(bytes(self.out_buffer))
+        handle.flush()
+        self.position += len(self.out_buffer)
+        self.out_buffer.clear()
+
+    # -- input ---------------------------------------------------------------
+
+    def read_byte(self) -> int:
+        """Read one byte; -1 at end of file."""
+        if self.mode is not ChannelMode.READ:
+            raise ChannelError("cannot read from an output channel")
+        handle = self._require_open()
+        b = handle.read(1)
+        if not b:
+            return -1
+        self.position += 1
+        return b[0]
+
+    def read_line(self) -> bytes:
+        """Read up to and excluding a newline; raises at end of file."""
+        out = bytearray()
+        while True:
+            b = self.read_byte()
+            if b == -1:
+                if not out:
+                    raise ChannelError("end of file")
+                break
+            if b == ord("\n"):
+                break
+            out.append(b)
+        return bytes(out)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the backing file (std channels stay open)."""
+        if self.closed:
+            return
+        self.flush()
+        if not self.is_std and self._handle is not None:
+            self._handle.close()
+        self.closed = True
+
+    # -- restart support ---------------------------------------------------------
+
+    def reopen(self, std_handles: dict[str, BinaryIO]) -> None:
+        """Re-establish the backing file after a restart.
+
+        Regular files are reopened by path and sought to the saved
+        position; std channels are re-bound to the new VM's handles
+        (paper §4.2 step 10).
+        """
+        if self.is_std:
+            self._handle = std_handles[self.std_name]
+            return
+        if self.path is None:
+            raise ChannelError(f"channel {self.cid} has no path to reopen")
+        if self.mode is ChannelMode.READ:
+            handle = open(self.path, "rb")
+            handle.seek(self.position)
+        else:
+            if not os.path.exists(self.path):
+                raise ChannelError(
+                    f"file {self.path!r} is not accessible from the "
+                    f"restarting machine"
+                )
+            handle = open(self.path, "r+b")
+            handle.truncate(self.position)
+            handle.seek(self.position)
+        self._handle = handle

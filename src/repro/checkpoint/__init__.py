@@ -1,0 +1,47 @@
+"""Heterogeneous checkpoint/restart — the paper's primary contribution.
+
+* :mod:`repro.checkpoint.format` — the checkpoint file format: VM data
+  words in the *saving* machine's native representation (endianness and
+  word size), framing metadata in fixed little-endian, an architecture
+  marker word for endianness detection, and an end signature + CRC for
+  the atomic-commit check.
+* :mod:`repro.checkpoint.writer` — the 14-step checkpoint mechanism of
+  §4.1, with fork-style background writing on POSIX personalities and
+  blocking writes on the NT personality.
+* :mod:`repro.checkpoint.reader` — the restart mechanism of §4.2:
+  endianness/word-size detection, lazy conversion, boundary-based
+  pointer adjustment, GC-guided heap fixing with the collector disabled.
+* :mod:`repro.checkpoint.convert` / :mod:`relocate` — value conversion
+  and address mapping machinery.
+* :mod:`repro.checkpoint.homogeneous` — the core-dump-style baseline
+  the paper compares against.
+"""
+
+from repro.checkpoint.format import (
+    CheckpointHeader,
+    AreaRecord,
+    ThreadRecord,
+    RegisterRecord,
+    VMSnapshot,
+    read_checkpoint,
+    CHECKPOINT_MAGIC,
+)
+from repro.checkpoint.writer import CheckpointWriter, CheckpointStats, build_snapshot
+from repro.checkpoint.reader import restart_vm, RestartStats
+from repro.checkpoint.homogeneous import HomogeneousCheckpointer
+
+__all__ = [
+    "CheckpointHeader",
+    "AreaRecord",
+    "ThreadRecord",
+    "RegisterRecord",
+    "VMSnapshot",
+    "read_checkpoint",
+    "CHECKPOINT_MAGIC",
+    "CheckpointWriter",
+    "CheckpointStats",
+    "build_snapshot",
+    "restart_vm",
+    "RestartStats",
+    "HomogeneousCheckpointer",
+]

@@ -1,0 +1,96 @@
+"""Data-representation conversion (paper §3.2.1).
+
+Checkpoints are written in the saving machine's native representation;
+conversion happens on restart and only when the architectures differ:
+
+* endianness: decoding the file with the source byte order already
+  yields correct *word values*, but string and double payloads are
+  byte-oriented, so their words must be repacked for the target's
+  in-memory byte order (tag-directed, exactly what the block tags make
+  possible);
+* word size: every word is re-encoded — immediates preserve their
+  numeric value (wrapping with the sign maintained on 64->32, as the
+  paper concedes), strings and doubles are re-packed into a different
+  number of words, pointers go through the relocation map.
+"""
+
+from __future__ import annotations
+
+from repro.arch.architecture import Architecture
+from repro.memory.floats import FloatCodec
+from repro.memory.strings import StringCodec
+from repro.memory.values import ValueCodec
+
+
+class ValueConverter:
+    """Converts words between a source and a target architecture."""
+
+    def __init__(self, src: Architecture, dst: Architecture) -> None:
+        self.src = src
+        self.dst = dst
+        self.src_values = ValueCodec(src)
+        self.dst_values = ValueCodec(dst)
+        self._src_strings = StringCodec(src)
+        self._dst_strings = StringCodec(dst)
+        self._src_floats = FloatCodec(src)
+        self._dst_floats = FloatCodec(dst)
+
+    @property
+    def endian_differs(self) -> bool:
+        """True when string/double payloads need repacking."""
+        return self.src.endianness is not self.dst.endianness
+
+    @property
+    def word_size_differs(self) -> bool:
+        """True when the heap must be rebuilt block by block."""
+        return self.src.bits != self.dst.bits
+
+    @property
+    def identity(self) -> bool:
+        """True when no conversion at all is needed."""
+        return not self.endian_differs and not self.word_size_differs
+
+    # -- scalar conversions ---------------------------------------------------
+
+    def convert_immediate(self, word: int) -> int:
+        """Convert a tagged immediate, preserving its numeric value.
+
+        On 64->32 bit the value wraps into the 31-bit range with its
+        sign maintained (paper: "in the transition from 64-bit to 32-bit
+        some data might be lost ... our conversion mechanism takes care
+        to maintain the sign of values").
+        """
+        if self.src.bits == self.dst.bits:
+            return word
+        return self.dst_values.val_int(self.src_values.int_val(word))
+
+    def convert_raw(self, word: int) -> int:
+        """Convert an opaque word (no-scan payload), sign-extended."""
+        if self.src.bits == self.dst.bits:
+            return word
+        return self.dst.to_unsigned(self.src.to_signed(word))
+
+    # -- payload conversions -------------------------------------------------------
+
+    def repack_string(self, words: list[int]) -> list[int]:
+        """Re-pack a string payload for the target architecture.
+
+        The byte *sequence* is the invariant; the word values change
+        whenever endianness or word size differ.
+        """
+        return self._dst_strings.encode(self._src_strings.decode(words))
+
+    def repack_double(self, words: list[int]) -> list[int]:
+        """Re-encode an IEEE double payload for the target architecture."""
+        return self._dst_floats.encode(self._src_floats.decode(words))
+
+    def string_target_words(self, words: list[int]) -> int:
+        """Target payload size in words of a repacked string."""
+        return self._dst_strings.words_needed(
+            self._src_strings.byte_length(words)
+        )
+
+    @property
+    def double_target_words(self) -> int:
+        """Target payload size in words of a double block."""
+        return self._dst_floats.words_per_double

@@ -1,0 +1,424 @@
+"""The checkpoint file format.
+
+Layout (sections in the order of the paper's §4.1 steps 5-13):
+
+1.  magic + format version
+2.  architecture marker: one byte giving the word size in bytes, then
+    the *word value 1 in the saving machine's native representation* —
+    the restarting machine compares it against its own encoding of 1 to
+    detect an endianness mismatch (paper step 5)
+3.  platform/OS names, application type (single/multi-threaded)
+4.  code identity: digest + length (restart must resume the same program)
+5.  boundary addresses of every memory area (paper step 6)
+6.  VM globals: freelist head, global_data pointer, allocated words
+    (paper step 9)
+7.  heap chunks, dumped raw in native representation (paper step 8)
+8.  atom table dump (paper step 9)
+9.  C-global area dump + registered root indices
+10. per-thread records: registers (paper step 7), scheduling state and
+    the used stack region (paper steps 10-11)
+11. channel records (paper step 12)
+12. end signature + CRC32 of everything before it (paper step 13)
+
+Framing integers (counts, lengths) are fixed little-endian; *VM data
+words* (heap, stacks, registers, boundaries) are in the native
+representation of the checkpointing machine, exactly as the paper
+prescribes — conversion happens only at restart, and only if needed.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import BinaryIO, Optional
+
+import numpy as np
+
+from repro.arch.architecture import Architecture, Endianness
+from repro.channels.manager import ChannelRecord
+from repro.errors import CheckpointFormatError
+
+CHECKPOINT_MAGIC = b"HCKP\x01\x00"
+CHECKPOINT_END = b"HCKPEND!"
+
+
+# ---------------------------------------------------------------------------
+# Records
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AreaRecord:
+    """Boundary addresses of one memory area on the saving machine."""
+
+    kind: str       # AreaKind value string
+    label: str
+    base: int       # byte address (native word in the file)
+    n_words: int
+
+
+@dataclass(frozen=True)
+class RegisterRecord:
+    """One thread's abstract registers (paper §3.1.5)."""
+
+    pc: int          # code address value
+    sp: int          # stack pointer byte address
+    accu: int
+    env: int
+    extra_args: int
+    trapsp: int = 0  # innermost trap-frame stack address, 0 = none
+
+
+@dataclass(frozen=True)
+class ThreadRecord:
+    """Scheduling state + registers + stack of one VM thread."""
+
+    tid: int
+    state: str        # ThreadState value
+    block_kind: str   # BlockKind value
+    blocked_on: int   # value or tid (see block_kind)
+    pending_mutex: int
+    result: int
+    regs: RegisterRecord
+    stack_base: int
+    stack_high: int
+    capacity_words: int
+    stack_words: list[int]  # used region, top of stack first
+
+
+@dataclass(frozen=True)
+class CheckpointHeader:
+    """Everything the restart logic needs before touching VM data."""
+
+    word_bytes: int
+    endianness: Endianness
+    platform_name: str
+    os_name: str
+    multithreaded: bool
+    current_tid: int
+    code_digest: bytes
+    code_len: int
+
+    @property
+    def arch(self) -> Architecture:
+        """The saving machine's architecture."""
+        return Architecture(self.word_bytes * 8, self.endianness, "saved")
+
+
+@dataclass
+class VMSnapshot:
+    """A complete, self-contained copy of checkpointable VM state.
+
+    Built at the safe point; the writer serializes it (possibly on a
+    background thread, playing the role of the forked child process).
+    """
+
+    header: CheckpointHeader
+    boundaries: list[AreaRecord]
+    freelist_head: int
+    global_data: int
+    allocated_words: int
+    heap_chunks: list[tuple[int, list[int]]]  # (base, words)
+    atom_words: list[int]
+    cglobal_words: list[int]
+    cglobal_roots: list[int]
+    threads: list[ThreadRecord]
+    channels: list[ChannelRecord]
+
+    @property
+    def arch(self) -> Architecture:
+        return self.header.arch
+
+
+# ---------------------------------------------------------------------------
+# Low-level framing
+# ---------------------------------------------------------------------------
+
+
+class SectionWriter:
+    """Little-endian framing plus native-representation word dumps."""
+
+    def __init__(self, arch: Architecture) -> None:
+        self.arch = arch
+        self._dtype = np.dtype(arch.numpy_dtype)
+        self.buf = io.BytesIO()
+
+    def u8(self, v: int) -> None:
+        self.buf.write(struct.pack("<B", v))
+
+    def u32(self, v: int) -> None:
+        self.buf.write(struct.pack("<I", v))
+
+    def u64(self, v: int) -> None:
+        self.buf.write(struct.pack("<Q", v))
+
+    def i64(self, v: int) -> None:
+        self.buf.write(struct.pack("<q", v))
+
+    def raw(self, data: bytes) -> None:
+        self.buf.write(data)
+
+    def bytes_lp(self, data: bytes) -> None:
+        self.u32(len(data))
+        self.buf.write(data)
+
+    def str_lp(self, s: str) -> None:
+        self.bytes_lp(s.encode())
+
+    def word(self, w: int) -> None:
+        """One VM word in native representation."""
+        self.buf.write(self.arch.word_to_bytes(w))
+
+    def words(self, ws: list[int]) -> None:
+        """A word array in native representation (vectorized)."""
+        self.u64(len(ws))
+        arr = np.asarray(ws, dtype=np.uint64) & np.uint64(self.arch.word_mask)
+        self.buf.write(arr.astype(self._dtype).tobytes())
+
+    def getvalue(self) -> bytes:
+        return self.buf.getvalue()
+
+
+class SectionReader:
+    """Mirror of :class:`SectionWriter`."""
+
+    def __init__(self, data: bytes, arch: Optional[Architecture] = None) -> None:
+        self.data = data
+        self.off = 0
+        self.arch = arch
+        self._dtype = np.dtype(arch.numpy_dtype) if arch else None
+
+    def set_arch(self, arch: Architecture) -> None:
+        self.arch = arch
+        self._dtype = np.dtype(arch.numpy_dtype)
+
+    def _take(self, n: int) -> bytes:
+        if self.off + n > len(self.data):
+            raise CheckpointFormatError("truncated checkpoint file")
+        out = self.data[self.off : self.off + n]
+        self.off += n
+        return out
+
+    def u8(self) -> int:
+        return struct.unpack("<B", self._take(1))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("<q", self._take(8))[0]
+
+    def bytes_lp(self) -> bytes:
+        return self._take(self.u32())
+
+    def str_lp(self) -> str:
+        return self.bytes_lp().decode()
+
+    def word(self) -> int:
+        return self.arch.word_from_bytes(self._take(self.arch.word_bytes))
+
+    def words(self) -> list[int]:
+        n = self.u64()
+        raw = self._take(n * self.arch.word_bytes)
+        arr = np.frombuffer(raw, dtype=self._dtype)
+        return [int(w) for w in arr.astype(np.uint64)]
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def serialize_snapshot(snap: VMSnapshot) -> bytes:
+    """Serialize a snapshot into the on-disk checkpoint format."""
+    arch = snap.arch
+    w = SectionWriter(arch)
+    h = snap.header
+    w.raw(CHECKPOINT_MAGIC)
+    # Architecture marker (paper step 5): word size then native "one".
+    w.u8(arch.word_bytes)
+    w.word(1)
+    w.str_lp(h.platform_name)
+    w.str_lp(h.os_name)
+    w.u8(1 if h.multithreaded else 0)
+    w.u32(h.current_tid)
+    w.bytes_lp(h.code_digest)
+    w.u32(h.code_len)
+    # Boundaries (paper step 6).
+    w.u32(len(snap.boundaries))
+    for area in snap.boundaries:
+        w.str_lp(area.kind)
+        w.str_lp(area.label)
+        w.word(area.base)
+        w.u64(area.n_words)
+    # VM globals (paper step 9).
+    w.word(snap.freelist_head)
+    w.word(snap.global_data)
+    w.u64(snap.allocated_words)
+    # Heap (paper step 8).
+    w.u32(len(snap.heap_chunks))
+    for base, words in snap.heap_chunks:
+        w.word(base)
+        w.words(words)
+    # Atom table (paper step 9).
+    w.words(snap.atom_words)
+    # C globals.
+    w.words(snap.cglobal_words)
+    w.u32(len(snap.cglobal_roots))
+    for idx in snap.cglobal_roots:
+        w.u32(idx)
+    # Threads (paper steps 7, 10, 11).
+    w.u32(len(snap.threads))
+    for t in snap.threads:
+        w.u32(t.tid)
+        w.str_lp(t.state)
+        w.str_lp(t.block_kind)
+        w.word(t.blocked_on)
+        w.word(t.pending_mutex)
+        w.word(t.result)
+        w.word(t.regs.pc)
+        w.word(t.regs.sp)
+        w.word(t.regs.accu)
+        w.word(t.regs.env)
+        w.i64(t.regs.extra_args)
+        w.word(t.regs.trapsp)
+        w.word(t.stack_base)
+        w.word(t.stack_high)
+        w.u64(t.capacity_words)
+        w.words(t.stack_words)
+    # Channels (paper step 12).
+    w.u32(len(snap.channels))
+    for ch in snap.channels:
+        w.u32(ch.cid)
+        w.u8(1 if ch.path is not None else 0)
+        if ch.path is not None:
+            w.str_lp(ch.path)
+        w.str_lp(ch.mode)
+        w.u8(1 if ch.std_name is not None else 0)
+        if ch.std_name is not None:
+            w.str_lp(ch.std_name)
+        w.u64(ch.position)
+        w.bytes_lp(ch.out_buffer)
+        w.u8(1 if ch.closed else 0)
+    # Signature (paper step 13).
+    body = w.getvalue()
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return body + CHECKPOINT_END + struct.pack("<I", crc)
+
+
+def read_checkpoint(path: str) -> VMSnapshot:
+    """Read and validate a checkpoint file; detect its architecture."""
+    with open(path, "rb") as f:
+        data = f.read()
+    if len(data) < len(CHECKPOINT_MAGIC) + len(CHECKPOINT_END) + 4:
+        raise CheckpointFormatError("checkpoint file too small")
+    body, trailer = data[:-12], data[-12:]
+    if trailer[:8] != CHECKPOINT_END:
+        raise CheckpointFormatError(
+            "missing end signature: the checkpoint was not committed"
+        )
+    (crc,) = struct.unpack("<I", trailer[8:])
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise CheckpointFormatError("checkpoint CRC mismatch (corrupt file)")
+    r = SectionReader(body)
+    if r._take(len(CHECKPOINT_MAGIC)) != CHECKPOINT_MAGIC:
+        raise CheckpointFormatError("not a checkpoint file (bad magic)")
+    # Architecture marker (paper §4.2 step 2): detect word size and
+    # endianness from the saved constant one.
+    word_bytes = r.u8()
+    if word_bytes not in (4, 8):
+        raise CheckpointFormatError(f"impossible word size {word_bytes}")
+    marker = r._take(word_bytes)
+    if int.from_bytes(marker, "little") == 1:
+        endianness = Endianness.LITTLE
+    elif int.from_bytes(marker, "big") == 1:
+        endianness = Endianness.BIG
+    else:
+        raise CheckpointFormatError("unreadable architecture marker")
+    arch = Architecture(word_bytes * 8, endianness, "saved")
+    r.set_arch(arch)
+    platform_name = r.str_lp()
+    os_name = r.str_lp()
+    multithreaded = bool(r.u8())
+    current_tid = r.u32()
+    code_digest = r.bytes_lp()
+    code_len = r.u32()
+    header = CheckpointHeader(
+        word_bytes=word_bytes,
+        endianness=endianness,
+        platform_name=platform_name,
+        os_name=os_name,
+        multithreaded=multithreaded,
+        current_tid=current_tid,
+        code_digest=code_digest,
+        code_len=code_len,
+    )
+    boundaries = []
+    for _ in range(r.u32()):
+        kind = r.str_lp()
+        label = r.str_lp()
+        base = r.word()
+        n_words = r.u64()
+        boundaries.append(AreaRecord(kind, label, base, n_words))
+    freelist_head = r.word()
+    global_data = r.word()
+    allocated_words = r.u64()
+    heap_chunks = []
+    for _ in range(r.u32()):
+        base = r.word()
+        heap_chunks.append((base, r.words()))
+    atom_words = r.words()
+    cglobal_words = r.words()
+    cglobal_roots = [r.u32() for _ in range(r.u32())]
+    threads = []
+    for _ in range(r.u32()):
+        tid = r.u32()
+        state = r.str_lp()
+        block_kind = r.str_lp()
+        blocked_on = r.word()
+        pending_mutex = r.word()
+        result = r.word()
+        regs = RegisterRecord(
+            pc=r.word(), sp=r.word(), accu=r.word(), env=r.word(),
+            extra_args=r.i64(), trapsp=r.word(),
+        )
+        stack_base = r.word()
+        stack_high = r.word()
+        capacity_words = r.u64()
+        stack_words = r.words()
+        threads.append(
+            ThreadRecord(
+                tid, state, block_kind, blocked_on, pending_mutex, result,
+                regs, stack_base, stack_high, capacity_words, stack_words,
+            )
+        )
+    channels = []
+    for _ in range(r.u32()):
+        cid = r.u32()
+        path = r.str_lp() if r.u8() else None
+        mode = r.str_lp()
+        std_name = r.str_lp() if r.u8() else None
+        position = r.u64()
+        out_buffer = r.bytes_lp()
+        closed = bool(r.u8())
+        channels.append(
+            ChannelRecord(cid, path, mode, std_name, position, out_buffer, closed)
+        )
+    return VMSnapshot(
+        header=header,
+        boundaries=boundaries,
+        freelist_head=freelist_head,
+        global_data=global_data,
+        allocated_words=allocated_words,
+        heap_chunks=heap_chunks,
+        atom_words=atom_words,
+        cglobal_words=cglobal_words,
+        cglobal_roots=cglobal_roots,
+        threads=threads,
+        channels=channels,
+    )

@@ -1,0 +1,443 @@
+"""The restart mechanism (paper §4.2, Figure 7).
+
+Steps, mapped onto this implementation:
+
+1.  Open the checkpoint file, check the signature and CRC.
+2.  Read the architecture marker: detect endianness (the saved constant
+    one) and word size; set the conversion flags.  Read the application
+    type and thread table.
+3.  Read the original boundary addresses.
+4.  Read the abstract registers (fixed up later, once the mapper
+    exists).
+5.  Restore the heap: same word size -> re-instantiate each chunk and
+    keep the block layout (freelist included); different word size ->
+    re-encode the heap block by block into a fresh heap, building a
+    relocation table.
+6.  Restore the atom table and VM globals, adjusting pointers.
+7.  Restore the application stack, reallocating if the checkpointed
+    stack is larger than the fresh one, and adjust its pointers.
+8.  Restore the other threads' state and stacks.
+9.  Adjust pointers in the heap, walking live blocks via the GC's block
+    layout knowledge (tag-directed; strings and doubles are repacked
+    rather than value-fixed).  The collector is disabled throughout
+    (§3.2.2).
+10. Restore channels (reopen files, seek to saved positions).
+11. Close and hand the VM back, ready to continue from the safe point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import BinaryIO, Optional
+
+from repro.arch.platforms import Platform
+from repro.bytecode.image import CodeImage
+from repro.checkpoint.convert import ValueConverter
+from repro.checkpoint.format import VMSnapshot, read_checkpoint
+from repro.checkpoint.relocate import AddressMapper
+from repro.errors import RestartError
+from repro.memory.blocks import (
+    Color,
+    DOUBLE_TAG,
+    HeaderCodec,
+    STRING_TAG,
+)
+from repro.memory.heap import Heap
+from repro.memory.layout import AreaKind, MemoryArea
+from repro.metrics import PhaseTimer
+from repro.threads.thread import BlockKind, ThreadState, VMThread
+from repro.vm import VMConfig, VirtualMachine
+
+
+@dataclass
+class RestartStats:
+    """Timings for one restart (drives Figures 12/14)."""
+
+    phases: PhaseTimer = field(default_factory=PhaseTimer)
+    converted_endianness: bool = False
+    converted_word_size: bool = False
+    heap_words: int = 0
+    dangling_pointers: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.phases.total
+
+
+def restart_vm(
+    platform: Platform,
+    code: CodeImage,
+    path: str,
+    config: Optional[VMConfig] = None,
+    stdout: Optional[BinaryIO] = None,
+    stdin: Optional[BinaryIO] = None,
+) -> tuple[VirtualMachine, RestartStats]:
+    """Restore a VM on ``platform`` from the checkpoint at ``path``.
+
+    ``code`` must be the same program image the checkpoint was taken
+    from (verified by digest).  Returns the VM, ready for ``run()`` to
+    continue from the checkpointed safe point.
+    """
+    stats = RestartStats()
+    timer = stats.phases
+    # Steps 1-4: read and validate.
+    with timer.phase("read_file"):
+        snap = read_checkpoint(path)
+    if snap.header.code_digest != code.digest():
+        raise RestartError(
+            "checkpoint was taken from a different program (digest mismatch)"
+        )
+    converter = ValueConverter(snap.arch, platform.arch)
+    stats.converted_endianness = converter.endian_differs
+    stats.converted_word_size = converter.word_size_differs
+    stats.heap_words = sum(len(ws) for _, ws in snap.heap_chunks)
+
+    vm = VirtualMachine(platform, code, config=config, stdout=stdout, stdin=stdin)
+    # The collector must not run while memory is inconsistent (§3.2.2).
+    vm.gc.disabled = True
+    try:
+        _fresh_heap(vm)
+        relocation: Optional[dict[int, int]] = None
+        if converter.word_size_differs:
+            with timer.phase("heap_rebuild"):
+                relocation = _rebuild_heap(vm, snap, converter)
+        else:
+            with timer.phase("heap_restore"):
+                _restore_heap_chunks(vm, snap)
+        # Threads and their stacks must exist before the mapper so stack
+        # addresses resolve (step 8 before 9, safely: no thread runs yet).
+        with timer.phase("threads"):
+            _restore_threads_raw(vm, snap)
+        mapper = AddressMapper(snap, vm, relocation)
+        fix = _value_fixer(vm, mapper, converter)
+        if converter.word_size_differs:
+            with timer.phase("pointer_fix"):
+                _fix_rebuilt_heap(vm, snap, relocation, fix, converter)
+                vm.mem.heap.rebuild_freelist()
+        else:
+            with timer.phase("pointer_fix"):
+                _fix_heap_pointers(vm, mapper)
+            if converter.endian_differs:
+                with timer.phase("convert_payloads"):
+                    _repack_heap_payloads(vm, converter)
+            with timer.phase("freelist"):
+                head = snap.freelist_head
+                vm.mem.heap.freelist_head = (
+                    mapper.map(head) or 0 if head else 0
+                )
+        with timer.phase("globals"):
+            gd = mapper.map(snap.global_data)
+            if gd is None:
+                raise RestartError("global_data pointer does not map")
+            vm.global_data = gd
+            _restore_cglobals(vm, snap, fix, converter)
+        with timer.phase("stack_restore"):
+            _fix_threads(vm, snap, mapper, fix, converter)
+        with timer.phase("registers"):
+            _restore_current(vm, snap, mapper)
+        with timer.phase("channels"):
+            vm.channels.restore(snap.channels)
+        stats.dangling_pointers = mapper.dangling_pointers
+    finally:
+        vm.gc.disabled = False
+    vm.restarted = True
+    vm.mem.heap.allocated_words = 0
+    if snap.header.multithreaded:
+        vm.sched.ever_multithreaded = True
+    return vm, stats
+
+
+# ---------------------------------------------------------------------------
+# Heap restoration
+# ---------------------------------------------------------------------------
+
+
+def _fresh_heap(vm: VirtualMachine) -> None:
+    """Discard the fresh VM's bootstrap heap entirely."""
+    for chunk in list(vm.mem.heap.chunks):
+        vm.mem.space.unmap(chunk.area)
+    layout = vm.platform.layout
+    vm.mem.heap = Heap(
+        vm.mem.space,
+        vm.platform.arch,
+        layout.heap_base,
+        layout.chunk_stride,
+        chunk_words=vm.mem.heap.chunk_words,
+    )
+
+
+def _restore_heap_chunks(vm: VirtualMachine, snap: VMSnapshot) -> None:
+    """Same-word-size path: re-instantiate chunks with the saved image.
+
+    The block layout — including BLUE free blocks and the freelist links
+    threaded through them — is preserved verbatim, which is why the
+    paper can dump chunks raw (step 8) and still find the freelist after
+    restart.
+    """
+    layout = vm.platform.layout
+    arch = vm.platform.arch
+    for slot, (src_base, words) in enumerate(snap.heap_chunks):
+        base = layout.heap_base + slot * layout.chunk_stride
+        if len(words) * arch.word_bytes > layout.chunk_stride:
+            raise RestartError("checkpointed chunk exceeds platform stride")
+        area = MemoryArea(
+            AreaKind.HEAP_CHUNK, base, len(words), arch,
+            label=f"heap-chunk-{slot}",
+        )
+        area.words = list(words)
+        vm.mem.heap.adopt_chunk(area)
+
+
+def _fix_heap_pointers(vm: VirtualMachine, mapper: AddressMapper) -> None:
+    """Paper Figure 7: walk every chunk, fix pointers in scannable
+    blocks, and fix freelist links in BLUE blocks.
+
+    Also normalizes mid-cycle GC colors (GRAY/BLACK -> WHITE): the
+    interrupted incremental major cycle is abandoned and will simply
+    restart from its beginning — safe, because marking starts from roots.
+    """
+    mem = vm.mem
+    headers = mem.headers
+    values = mem.values
+    wb = mem.arch.word_bytes
+    for chunk in mem.heap.chunks:
+        words = chunk.area.words
+        i = 0
+        n = len(words)
+        while i < n:
+            hd = words[i]
+            size = headers.size(hd)
+            color = headers.color(hd)
+            tag = headers.tag(hd)
+            if color is Color.BLUE:
+                if size >= 1:
+                    link = words[i + 1]
+                    if link:
+                        words[i + 1] = mapper.map(link) or 0
+            else:
+                if color in (Color.GRAY, Color.BLACK):
+                    words[i] = headers.with_color(hd, Color.WHITE)
+                if tag < 251:  # No_scan_tag
+                    for j in range(i + 1, i + 1 + size):
+                        w = words[j]
+                        if values.is_block(w):
+                            mapped = mapper.map(w)
+                            if mapped is not None:
+                                words[j] = mapped
+            i += 1 + size
+
+
+def _repack_heap_payloads(vm: VirtualMachine, converter: ValueConverter) -> None:
+    """Endianness-only conversion of byte-oriented payloads.
+
+    The tag field of each header is what makes this possible: strings
+    keep their byte order (word values swap), doubles are re-encoded as
+    8-byte IEEE units.
+    """
+    mem = vm.mem
+    headers = mem.headers
+    for chunk in mem.heap.chunks:
+        words = chunk.area.words
+        i = 0
+        n = len(words)
+        while i < n:
+            hd = words[i]
+            size = headers.size(hd)
+            if headers.color(hd) is not Color.BLUE:
+                tag = headers.tag(hd)
+                if tag == STRING_TAG:
+                    words[i + 1 : i + 1 + size] = converter.repack_string(
+                        words[i + 1 : i + 1 + size]
+                    )
+                elif tag == DOUBLE_TAG:
+                    words[i + 1 : i + 1 + size] = converter.repack_double(
+                        words[i + 1 : i + 1 + size]
+                    )
+            i += 1 + size
+
+
+def _rebuild_heap(
+    vm: VirtualMachine, snap: VMSnapshot, converter: ValueConverter
+) -> dict[int, int]:
+    """Cross-word-size path: re-encode every non-free block.
+
+    Strings and doubles change their word counts, so block addresses
+    shift — a full relocation table (old block pointer -> new block
+    pointer) is built for the pointer-fixing pass.  Free (BLUE) blocks
+    are dropped; the target allocator lays the heap out afresh.
+    """
+    src_arch = snap.arch
+    src_headers = HeaderCodec(src_arch)
+    src_wb = src_arch.word_bytes
+    relocation: dict[int, int] = {}
+    heap = vm.mem.heap
+    for src_base, words in snap.heap_chunks:
+        i = 0
+        n = len(words)
+        while i < n:
+            hd = words[i]
+            size = src_headers.size(hd)
+            color = src_headers.color(hd)
+            tag = src_headers.tag(hd)
+            src_block = src_base + (i + 1) * src_wb
+            if color is not Color.BLUE and size > 0:
+                payload = words[i + 1 : i + 1 + size]
+                if tag == STRING_TAG:
+                    new_payload = converter.repack_string(payload)
+                elif tag == DOUBLE_TAG:
+                    new_payload = converter.repack_double(payload)
+                elif tag >= 251:  # opaque no-scan data
+                    new_payload = [converter.convert_raw(w) for w in payload]
+                else:
+                    # Scannable: copy raw now, fix in the second pass.
+                    new_payload = list(payload)
+                block = heap.alloc(len(new_payload), tag, Color.WHITE)
+                for j, w in enumerate(new_payload):
+                    heap.set_field(block, j, w)
+                relocation[src_block] = block
+            i += 1 + size
+    return relocation
+
+
+def _fix_rebuilt_heap(
+    vm: VirtualMachine,
+    snap: VMSnapshot,
+    relocation: dict[int, int],
+    fix,
+    converter: ValueConverter,
+) -> None:
+    """Second pass over rebuilt scannable blocks: convert every field."""
+    mem = vm.mem
+    headers = mem.headers
+    for block in relocation.values():
+        hd = mem.header_of(block)
+        if headers.tag(hd) < 251:
+            size = headers.size(hd)
+            for j in range(size):
+                mem.heap.set_field(block, j, fix(mem.heap.field(block, j)))
+
+
+# ---------------------------------------------------------------------------
+# Value fixing
+# ---------------------------------------------------------------------------
+
+
+def _value_fixer(vm: VirtualMachine, mapper: AddressMapper, converter: ValueConverter):
+    """Classify-and-fix for one word: pointer -> adjust, immediate ->
+    convert (identity when architectures match)."""
+    values = vm.mem.values
+
+    def fix(w: int) -> int:
+        if w & 1:
+            return converter.convert_immediate(w)
+        mapped = mapper.map(w)
+        if mapped is not None:
+            return mapped
+        if w == 0:
+            return 0
+        # A dangling pointer (into dropped free space) or opaque even
+        # word: neutralize to unit so later scans cannot fault.
+        return values.val_unit if converter.word_size_differs else w
+
+    return fix
+
+
+# ---------------------------------------------------------------------------
+# Threads / stacks / registers
+# ---------------------------------------------------------------------------
+
+
+def _restore_threads_raw(vm: VirtualMachine, snap: VMSnapshot) -> None:
+    """Create every thread with its stack contents copied raw.
+
+    No thread may run until all are restored (paper §3.2.3); nothing
+    runs here at all — the interpreter resumes only after restart
+    completes.
+    """
+    unit = vm.mem.values.val_unit
+    for rec in snap.threads:
+        if rec.tid == 0:
+            thread = vm.sched.threads[0]
+        else:
+            stack = vm.sched.new_stack(f"thread-stack-{rec.tid}")
+            thread = VMThread(rec.tid, stack, unit)
+            vm.sched.adopt(thread)
+        stack = thread.stack
+        used = len(rec.stack_words)
+        if used > stack.n_words:
+            capacity = stack.n_words
+            while capacity < used:
+                capacity *= 2
+            stack.replace_capacity(capacity)
+        # Copy the used region under stack_high (top of stack first).
+        base_index = stack.n_words - used
+        for k, w in enumerate(rec.stack_words):
+            stack.area.words[base_index + k] = w
+        stack.sp = stack.stack_high - used * vm.mem.arch.word_bytes
+
+
+def _fix_threads(
+    vm: VirtualMachine,
+    snap: VMSnapshot,
+    mapper: AddressMapper,
+    fix,
+    converter: ValueConverter,
+) -> None:
+    """Fix every thread's stack words, registers and scheduling state."""
+    values = vm.mem.values
+    for rec in snap.threads:
+        thread = vm.sched.threads[rec.tid]
+        stack = thread.stack
+        first = (stack.sp - stack.area.base) // vm.mem.arch.word_bytes
+        words = stack.area.words
+        for k in range(first, len(words)):
+            words[k] = fix(words[k])
+        thread.state = ThreadState(rec.state)
+        thread.block_kind = BlockKind(rec.block_kind)
+        if thread.block_kind is BlockKind.JOIN:
+            thread.blocked_on = rec.blocked_on  # a thread id, not a value
+        else:
+            thread.blocked_on = fix(rec.blocked_on)
+        thread.pending_mutex = fix(rec.pending_mutex)
+        thread.result = fix(rec.result)
+        thread.accu = fix(rec.regs.accu)
+        thread.env = fix(rec.regs.env)
+        thread.extra_args = rec.regs.extra_args
+        if rec.regs.trapsp:
+            mapped_trap = mapper.map(rec.regs.trapsp)
+            if mapped_trap is None:
+                raise RestartError(f"thread {rec.tid} trap pointer does not map")
+            thread.trapsp = mapped_trap
+        else:
+            thread.trapsp = 0
+        pc_addr = mapper.map(rec.regs.pc)
+        if pc_addr is None:
+            raise RestartError(f"thread {rec.tid} PC does not map")
+        thread.pc = (pc_addr - vm.code_base) // 4
+
+
+def _restore_current(vm: VirtualMachine, snap: VMSnapshot, mapper: AddressMapper) -> None:
+    """Install the checkpointed current thread into the interpreter."""
+    current = vm.sched.threads.get(snap.header.current_tid)
+    if current is None:
+        raise RestartError("checkpoint names an unknown current thread")
+    vm.sched.current = current
+    vm.interp.load_from_thread(current)
+
+
+# ---------------------------------------------------------------------------
+# C globals
+# ---------------------------------------------------------------------------
+
+
+def _restore_cglobals(vm: VirtualMachine, snap: VMSnapshot, fix, converter) -> None:
+    """Restore the registered C-global area (paper's "global data")."""
+    cg = vm.mem.cglobals
+    roots = set(snap.cglobal_roots)
+    for idx, w in enumerate(snap.cglobal_words):
+        if idx in roots:
+            cg.area.words[idx] = fix(w)
+        else:
+            cg.area.words[idx] = converter.convert_raw(w)
+    cg.root_indices = sorted(roots)
+    cg._next = len(snap.cglobal_words)

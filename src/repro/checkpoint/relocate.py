@@ -1,0 +1,137 @@
+"""Pointer adjustment: saved boundary addresses -> new addresses (§3.2.2).
+
+"During checkpointing, we save the memory boundaries of all these
+areas.  Then, during restart, for each value, we first examine if it is
+a pointer and into which memory area it was pointing.  We verify this
+by comparing the pointer value with all the saved boundaries.  Lastly,
+we adjust the pointer to the new address by adding the offset to the
+beginning of the specified memory area."
+
+The :class:`AddressMapper` implements exactly that, with the index-based
+refinements cross-word-size restarts require: atom and C-global slots
+are mapped by *index* (their byte offsets scale with the word size),
+code addresses by 32-bit unit index, and heap pointers either by chunk
+offset (same word size) or through the block relocation table built
+while the heap was re-encoded.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional, TYPE_CHECKING
+
+from repro.checkpoint.format import AreaRecord, VMSnapshot
+from repro.errors import RestartError
+from repro.memory.layout import AreaKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm import VirtualMachine
+
+
+class AddressMapper:
+    """Maps source-machine addresses to target-machine addresses."""
+
+    def __init__(
+        self,
+        snap: VMSnapshot,
+        vm: "VirtualMachine",
+        heap_relocation: Optional[dict[int, int]] = None,
+    ) -> None:
+        self.vm = vm
+        self.src_wb = snap.arch.word_bytes
+        self.dst_wb = vm.platform.arch.word_bytes
+        #: Block-exact relocation table (word-size-changing restarts).
+        self.heap_relocation = heap_relocation
+        #: Source areas sorted by base for binary search.
+        self._areas: list[AreaRecord] = sorted(
+            snap.boundaries, key=lambda a: a.base
+        )
+        self._bases = [a.base for a in self._areas]
+        # Target resolution tables.
+        self._heap_chunk_targets: dict[int, int] = {}
+        src_chunk_bases = [base for base, _ in snap.heap_chunks]
+        dst_chunks = vm.mem.heap.chunks
+        if heap_relocation is None:
+            if len(src_chunk_bases) != len(dst_chunks):
+                raise RestartError(
+                    "heap chunk count mismatch between checkpoint and VM"
+                )
+            for src_base, chunk in zip(src_chunk_bases, dst_chunks):
+                self._heap_chunk_targets[src_base] = chunk.base
+        # Thread stacks: label -> (source high, target high).
+        self._stack_highs: dict[str, tuple[int, int]] = {}
+        by_label = {a.label: a for a in snap.boundaries}
+        for tid, t in vm.sched.threads.items():
+            label = t.stack.label
+            src = by_label.get(label)
+            if src is not None:
+                src_high = src.base + src.n_words * self.src_wb
+                self._stack_highs[label] = (src_high, t.stack.stack_high)
+        self._misses = 0
+        code_rec = next((a for a in snap.boundaries if a.kind == "code"), None)
+        #: One-past-the-end code address: a thread that ran off the end
+        #: of the program (a finished thread's saved PC) parks here.
+        self._code_end = (
+            code_rec.base + 4 * code_rec.n_words if code_rec else None
+        )
+
+    # -- queries ----------------------------------------------------------------
+
+    def source_area(self, addr: int) -> Optional[AreaRecord]:
+        """Boundary-compare: which saved area contained this address?"""
+        i = bisect.bisect_right(self._bases, addr) - 1
+        if i >= 0:
+            area = self._areas[i]
+            if addr < area.base + area.n_words * self.src_wb:
+                return area
+        return None
+
+    def map(self, addr: int) -> Optional[int]:
+        """Adjust one pointer; ``None`` if it lies in no saved area."""
+        if addr == self._code_end:
+            return self.vm.code_base + 4 * len(self.vm.code.units)
+        area = self.source_area(addr)
+        if area is None:
+            return None
+        kind = area.kind
+        if kind == AreaKind.HEAP_CHUNK.value:
+            return self._map_heap(addr, area)
+        if kind == "code":
+            unit = (addr - area.base) // 4
+            return self.vm.code_base + 4 * unit
+        if kind == AreaKind.ATOMS.value:
+            tag = (addr - area.base) // self.src_wb - 1
+            return self.vm.mem.atoms.atom(tag)
+        if kind == AreaKind.C_GLOBALS.value:
+            slot = (addr - area.base) // self.src_wb
+            return self.vm.mem.cglobals.area.base + slot * self.dst_wb
+        if kind in (AreaKind.STACK.value, AreaKind.THREAD_STACK.value):
+            highs = self._stack_highs.get(area.label)
+            if highs is None:
+                raise RestartError(f"no target stack for {area.label!r}")
+            src_high, dst_high = highs
+            slots_below_high = (src_high - addr) // self.src_wb
+            return dst_high - slots_below_high * self.dst_wb
+        if kind == AreaKind.MINOR_HEAP.value:
+            # The writer ran a minor collection: nothing may point here.
+            raise RestartError(
+                "checkpoint contains a pointer into the (empty) young "
+                "generation — corrupt file?"
+            )
+        raise RestartError(f"cannot map pointer into area kind {kind!r}")
+
+    def _map_heap(self, addr: int, area: AreaRecord) -> Optional[int]:
+        if self.heap_relocation is not None:
+            target = self.heap_relocation.get(addr)
+            if target is None:
+                # A pointer held by a dead (unreachable) block whose
+                # referent was on the freelist and therefore not rebuilt.
+                self._misses += 1
+                return None
+            return target
+        return self._heap_chunk_targets[area.base] + (addr - area.base)
+
+    @property
+    def dangling_pointers(self) -> int:
+        """Pointers into dropped free blocks (dead data only)."""
+        return self._misses

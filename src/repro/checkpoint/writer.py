@@ -1,0 +1,264 @@
+"""The checkpoint mechanism (paper §4.1, Figure 4).
+
+The fourteen steps, mapped onto this implementation:
+
+1.  *Fork.*  POSIX personalities snapshot the VM state in memory (the
+    moral equivalent of the child's copy-on-write image) and serialize +
+    write it on a background thread while the application continues.
+    The NT personality has no fork, so the whole write happens inline,
+    blocking the application — reproducing the paper's "overhead on NT
+    is higher".
+2.  Minor collection, so the young generation is empty and not saved.
+3.  Disable the thread-scheduling timer while state is captured.
+4.  Open a temporary checkpoint file.
+5.  Save the architecture marker (the value one) and application type.
+6.  Save boundary addresses of all memory areas.
+7.  Save the abstract registers (per thread).
+8.  Dump the major heap chunk by chunk.
+9.  Save VM globals (freelist head, global_data) and the atom table.
+10. Save the application stack (the used region).
+11. Save all other thread stacks and thread state.
+12. Save channel information.
+13. Write the end signature and atomically commit
+    (temp file + ``os.replace``).
+14. "Terminate the checkpointer process" — join the writer thread.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.checkpoint.format import (
+    AreaRecord,
+    CheckpointHeader,
+    RegisterRecord,
+    ThreadRecord,
+    VMSnapshot,
+    serialize_snapshot,
+)
+from repro.errors import CheckpointError
+from repro.metrics import PhaseTimer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm import VirtualMachine
+
+
+@dataclass
+class CheckpointStats:
+    """Timings and sizes for one checkpoint (drives Figures 10/11/13)."""
+
+    path: str = ""
+    file_bytes: int = 0
+    heap_words: int = 0
+    #: Wall time the *application* was blocked (snapshot build, or the
+    #: whole write in blocking mode).
+    blocking_seconds: float = 0.0
+    #: Phase breakdown of the checkpointer's work (Figure 13).
+    phases: PhaseTimer = field(default_factory=PhaseTimer)
+    mode: str = "background"
+
+    @property
+    def writer_seconds(self) -> float:
+        """Total checkpointer time across phases."""
+        return self.phases.total
+
+
+def build_snapshot(vm: "VirtualMachine", timer: Optional[PhaseTimer] = None) -> VMSnapshot:
+    """Capture checkpointable state at the current safe point.
+
+    Performs the minor collection (step 2) so the young generation need
+    not be saved, then copies every area the restart will need.
+    """
+    timer = timer or PhaseTimer()
+    # Step 2: empty the young generation.  A *pure* minor collection, as
+    # in the paper — the incremental major slice the mutator owes stays
+    # owed and is paid at the next ordinary allocation-triggered GC.
+    with timer.phase("minor_gc"):
+        vm.gc.minor.collect()
+    assert vm.mem.minor.is_empty()
+
+    # Step 3: capture with the scheduler timer off.
+    timer_was = vm.sched.timer_enabled
+    vm.sched.timer_enabled = False
+    try:
+        # Make thread records uniform: park live registers.
+        current = vm.sched.current
+        vm.interp.save_to_thread(current)
+
+        with timer.phase("registers"):
+            threads = []
+            for tid in sorted(vm.sched.threads):
+                t = vm.sched.threads[tid]
+                stack = t.stack
+                regs = RegisterRecord(
+                    pc=vm.code_base + 4 * t.pc,
+                    sp=stack.sp,
+                    accu=t.accu,
+                    env=t.env,
+                    extra_args=t.extra_args,
+                    trapsp=t.trapsp,
+                )
+                threads.append(
+                    ThreadRecord(
+                        tid=t.tid,
+                        state=t.state.value,
+                        block_kind=t.block_kind.value,
+                        blocked_on=t.blocked_on,
+                        pending_mutex=t.pending_mutex,
+                        result=t.result,
+                        regs=regs,
+                        stack_base=stack.area.base,
+                        stack_high=stack.stack_high,
+                        capacity_words=stack.n_words,
+                        stack_words=[],  # filled below, timed as "stack"
+                    )
+                )
+
+        # Step 6: boundaries of every mapped area plus the code segment.
+        with timer.phase("boundaries"):
+            boundaries = [
+                AreaRecord(a.kind.value, a.label, a.base, a.n_words)
+                for a in vm.mem.space.areas()
+            ]
+            boundaries.append(
+                AreaRecord("code", "code", vm.code_base, len(vm.code.units))
+            )
+
+        # Step 8: dump the major heap (copy now; encode later).
+        with timer.phase("heap_dump"):
+            heap_chunks = [
+                (c.base, list(c.area.words)) for c in vm.mem.heap.chunks
+            ]
+            heap_words = sum(c.n_words for c in vm.mem.heap.chunks)
+
+        # Step 9: globals + atoms.
+        with timer.phase("globals_atoms"):
+            atom_words = list(vm.mem.atoms.area.words)
+            cglobal_words = list(vm.mem.cglobals.area.words[: vm.mem.cglobals.used_words])
+            cglobal_roots = list(vm.mem.cglobals.root_indices)
+
+        # Steps 10-11: stacks (used regions, top first).
+        with timer.phase("stack"):
+            threads = [
+                ThreadRecord(
+                    tid=t.tid,
+                    state=t.state,
+                    block_kind=t.block_kind,
+                    blocked_on=t.blocked_on,
+                    pending_mutex=t.pending_mutex,
+                    result=t.result,
+                    regs=t.regs,
+                    stack_base=t.stack_base,
+                    stack_high=t.stack_high,
+                    capacity_words=t.capacity_words,
+                    stack_words=vm.sched.threads[t.tid].stack.used_slice(),
+                )
+                for t in threads
+            ]
+
+        # Step 12: channels.
+        with timer.phase("channels"):
+            channels = vm.channels.snapshot()
+
+        header = CheckpointHeader(
+            word_bytes=vm.platform.arch.word_bytes,
+            endianness=vm.platform.arch.endianness,
+            platform_name=vm.platform.name,
+            os_name=vm.platform.os.value,
+            multithreaded=vm.is_multithreaded,
+            current_tid=current.tid,
+            code_digest=vm.code.digest(),
+            code_len=len(vm.code.units),
+        )
+        snap = VMSnapshot(
+            header=header,
+            boundaries=boundaries,
+            freelist_head=vm.mem.heap.freelist_head,
+            global_data=vm.global_data,
+            allocated_words=vm.mem.heap.allocated_words,
+            heap_chunks=heap_chunks,
+            atom_words=atom_words,
+            cglobal_words=cglobal_words,
+            cglobal_roots=cglobal_roots,
+            threads=threads,
+            channels=channels,
+        )
+        snap._heap_words = heap_words  # type: ignore[attr-defined]
+        return snap
+    finally:
+        vm.sched.timer_enabled = timer_was
+
+
+def write_snapshot(snap: VMSnapshot, path: str, timer: PhaseTimer) -> int:
+    """Serialize and atomically commit a snapshot; returns file size.
+
+    The temporary-file-then-rename protocol guarantees a failure during
+    checkpointing leaves the previous checkpoint intact (paper §4.1).
+    """
+    with timer.phase("serialize"):
+        payload = serialize_snapshot(snap)
+    tmp_path = path + ".tmp"
+    with timer.phase("write"):
+        with open(tmp_path, "wb") as f:
+            f.write(payload)
+            f.flush()
+            os.fsync(f.fileno())
+    with timer.phase("commit"):
+        os.replace(tmp_path, path)
+    return len(payload)
+
+
+class CheckpointWriter:
+    """Coordinates checkpoint capture and the write-out strategy."""
+
+    def __init__(self, vm: "VirtualMachine") -> None:
+        self.vm = vm
+
+    def _mode(self) -> str:
+        cfg = self.vm.config.chkpt_mode
+        if cfg in ("blocking", "background"):
+            return cfg
+        return "background" if self.vm.platform.supports_fork else "blocking"
+
+    def checkpoint(self, path: str) -> CheckpointStats:
+        """Take one checkpoint; returns its stats.
+
+        In background mode the application is only blocked for the
+        snapshot build; the serialization and disk I/O happen on the
+        writer thread (the "child process").
+        """
+        vm = self.vm
+        mode = self._mode()
+        stats = CheckpointStats(path=path, mode=mode)
+        timer = stats.phases
+        # Wait out any previous in-flight writer (one checkpoint at a time,
+        # like the paper's single checkpoint file).
+        vm.join_background_checkpoint()
+
+        t0 = time.perf_counter()
+        snap = build_snapshot(vm, timer)
+        stats.heap_words = getattr(snap, "_heap_words", 0)
+
+        if mode == "blocking":
+            stats.file_bytes = write_snapshot(snap, path, timer)
+            stats.blocking_seconds = time.perf_counter() - t0
+        else:
+            stats.blocking_seconds = time.perf_counter() - t0
+
+            def _writer() -> None:
+                try:
+                    stats.file_bytes = write_snapshot(snap, path, timer)
+                except Exception as exc:  # pragma: no cover - I/O failure
+                    stats.file_bytes = -1
+                    stats.error = exc  # type: ignore[attr-defined]
+
+            thread = threading.Thread(
+                target=_writer, name="checkpoint-writer", daemon=True
+            )
+            vm._background_writer = thread
+            thread.start()
+        return stats

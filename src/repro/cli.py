@@ -1,0 +1,191 @@
+"""Command-line interface.
+
+Mirrors how the paper's modified ``ocamlrun`` is driven: a program image
+plus the CHKPT_* environment variables (also exposed as flags).
+
+Commands::
+
+    python -m repro compile prog.ml -o prog.byc
+    python -m repro disasm prog.byc
+    python -m repro run prog.ml  --platform rodrigo --checkpoint app.hckp
+    python -m repro restart prog.ml app.hckp --platform sp2148
+    python -m repro platforms
+    python -m repro info app.hckp
+
+``run`` and ``restart`` accept either MiniML source (``.ml``) or a
+compiled image (``.byc``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.arch.platforms import PLATFORMS, get_platform
+from repro.bytecode.disassembler import disassemble
+from repro.bytecode.image import CodeImage
+from repro.checkpoint.format import read_checkpoint
+from repro.checkpoint.reader import restart_vm
+from repro.minilang import compile_source
+from repro.vm import VirtualMachine, VMConfig
+
+
+def _load_code(path: str) -> CodeImage:
+    """Load a program: compile .ml sources, deserialize .byc images."""
+    with open(path, "rb") as f:
+        data = f.read()
+    if path.endswith(".byc"):
+        return CodeImage.from_bytes(data)
+    return compile_source(data.decode(), name=os.path.basename(path))
+
+
+def _config_from(args: argparse.Namespace) -> VMConfig:
+    cfg = VMConfig.from_env(os.environ)
+    if getattr(args, "checkpoint", None):
+        cfg.chkpt_filename = args.checkpoint
+    if getattr(args, "interval", None) is not None:
+        cfg.chkpt_interval = args.interval
+    if getattr(args, "mode", None):
+        cfg.chkpt_mode = args.mode
+    return cfg
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    code = _load_code(args.source)
+    out = args.output or os.path.splitext(args.source)[0] + ".byc"
+    with open(out, "wb") as f:
+        f.write(code.to_bytes())
+    print(f"wrote {out}: {len(code.units)} units, "
+          f"{code.n_globals} globals, digest {code.digest().hex()[:16]}")
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    print(disassemble(_load_code(args.source)))
+    return 0
+
+
+def cmd_platforms(_args: argparse.Namespace) -> int:
+    for name in sorted(PLATFORMS):
+        print(PLATFORMS[name].describe())
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    snap = read_checkpoint(args.checkpoint_file)
+    h = snap.header
+    print(f"checkpoint: {args.checkpoint_file}")
+    print(f"  taken on : {h.platform_name} ({h.word_bytes * 8}-bit "
+          f"{h.endianness.value}-endian, {h.os_name})")
+    print(f"  program  : {h.code_len} units, digest {h.code_digest.hex()[:16]}")
+    print(f"  app type : {'multi' if h.multithreaded else 'single'}-threaded, "
+          f"{len(snap.threads)} thread(s), current tid {h.current_tid}")
+    heap_words = sum(len(w) for _, w in snap.heap_chunks)
+    print(f"  heap     : {len(snap.heap_chunks)} chunk(s), {heap_words} words")
+    for t in snap.threads:
+        print(f"  thread {t.tid}: {t.state}, {len(t.stack_words)} stack words")
+    print(f"  channels : {len(snap.channels)}")
+    if args.deep:
+        from repro.checkpoint.inspect import inspect_snapshot
+
+        print("deep validation:")
+        report = inspect_snapshot(snap)
+        for line in report.render().splitlines():
+            print(f"  {line}")
+        return 0 if report.ok else 1
+    return 0
+
+
+def _finish(result) -> int:
+    sys.stdout.buffer.write(result.vm.channels.stdout_bytes())
+    sys.stdout.buffer.flush()
+    if result.status == "budget":
+        print("\n[budget exhausted]", file=sys.stderr)
+        return 75
+    return result.exit_code
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    code = _load_code(args.source)
+    vm = VirtualMachine(get_platform(args.platform), code, _config_from(args))
+    result = vm.run(max_instructions=args.max_instructions)
+    if vm.checkpoints_taken:
+        print(f"[{vm.checkpoints_taken} checkpoint(s) written to "
+              f"{vm.config.chkpt_filename}]", file=sys.stderr)
+    return _finish(result)
+
+
+def cmd_restart(args: argparse.Namespace) -> int:
+    code = _load_code(args.source)
+    vm, stats = restart_vm(
+        get_platform(args.platform), code, args.checkpoint_file,
+        _config_from(args),
+    )
+    conv = []
+    if stats.converted_endianness:
+        conv.append("endianness")
+    if stats.converted_word_size:
+        conv.append("word size")
+    print(f"[restarted on {args.platform}; converted: "
+          f"{', '.join(conv) if conv else 'nothing'}; "
+          f"{stats.total_seconds * 1e3:.1f} ms]", file=sys.stderr)
+    result = vm.run(max_instructions=args.max_instructions)
+    return _finish(result)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Virtual-machine based heterogeneous checkpointing",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("compile", help="compile MiniML to a portable image")
+    c.add_argument("source")
+    c.add_argument("-o", "--output")
+    c.set_defaults(fn=cmd_compile)
+
+    d = sub.add_parser("disasm", help="disassemble a program")
+    d.add_argument("source")
+    d.set_defaults(fn=cmd_disasm)
+
+    pl = sub.add_parser("platforms", help="list the simulated platforms")
+    pl.set_defaults(fn=cmd_platforms)
+
+    i = sub.add_parser("info", help="describe a checkpoint file")
+    i.add_argument("checkpoint_file")
+    i.add_argument("--deep", action="store_true",
+                   help="walk and validate every heap block and stack word")
+    i.set_defaults(fn=cmd_info)
+
+    def common(sp):
+        sp.add_argument("--platform", default="rodrigo",
+                        choices=sorted(PLATFORMS))
+        sp.add_argument("--checkpoint", help="checkpoint file (CHKPT_FILENAME)")
+        sp.add_argument("--interval", type=float,
+                        help="periodic checkpoint interval in seconds")
+        sp.add_argument("--mode", choices=["auto", "background", "blocking"])
+        sp.add_argument("--max-instructions", type=int, default=None)
+
+    r = sub.add_parser("run", help="run a program on a simulated platform")
+    r.add_argument("source")
+    common(r)
+    r.set_defaults(fn=cmd_run)
+
+    rs = sub.add_parser("restart", help="restart a checkpoint")
+    rs.add_argument("source")
+    rs.add_argument("checkpoint_file")
+    common(rs)
+    rs.set_defaults(fn=cmd_restart)
+
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Coordinated heterogeneous C/R for message-passing programs.
+
+The paper's stated future work (§5.1, §7): "we intend to provide
+heterogeneous C/R for parallel message-passing applications, by
+integrating this work with our Starfish system."  This package is that
+integration in miniature: N virtual machines — possibly on *different*
+simulated architectures — exchange marshaled values through mailboxes,
+and a coordinator implements *coordinated checkpointing* (the first of
+the two classical approaches the paper's §6 surveys): it stops every
+node at a safe point, saves one per-node checkpoint plus the in-flight
+messages, and can restart the whole application with every node placed
+on a fresh (and possibly different) platform.
+"""
+
+from repro.cluster.coordinator import (
+    Cluster,
+    ClusterDeadlock,
+    ClusterNode,
+    restart_cluster,
+)
+
+__all__ = ["Cluster", "ClusterDeadlock", "ClusterNode", "restart_cluster"]

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro VM and checkpoint subsystem."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class MemoryError_(ReproError):
+    """Bad access to a VM memory area (out of bounds, misaligned, ...)."""
+
+
+class SegmentationFault(MemoryError_):
+    """An address does not fall inside any mapped memory area."""
+
+
+class AlignmentError(MemoryError_):
+    """An address is not aligned to the platform word size."""
+
+
+class HeapExhausted(MemoryError_):
+    """The heap could not be grown to satisfy an allocation."""
+
+
+class BytecodeError(ReproError):
+    """Malformed byte-code (unknown opcode, bad operand count, ...)."""
+
+
+class VMRuntimeError(ReproError):
+    """A byte-code program performed an illegal operation at run time."""
+
+
+class PrimitiveError(VMRuntimeError):
+    """A C-call primitive was invoked with invalid arguments."""
+
+
+class ThreadError(ReproError):
+    """Illegal green-thread operation (double unlock, deadlock, ...)."""
+
+
+class DeadlockError(ThreadError):
+    """All live threads are blocked; the scheduler cannot make progress."""
+
+
+class ChannelError(ReproError):
+    """Illegal channel operation (closed channel, random write, ...)."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint could not be taken."""
+
+
+class RestartError(ReproError):
+    """A checkpoint file could not be restored."""
+
+
+class CheckpointFormatError(RestartError):
+    """The checkpoint file is corrupt or has an unknown format."""
+
+
+class IncompatibleCheckpointError(RestartError):
+    """The checkpoint cannot be restored on this platform (baseline only)."""
+
+
+class CompileError(ReproError):
+    """MiniML source could not be compiled."""
+
+
+class MiniMLSyntaxError(CompileError):
+    """MiniML source failed to lex or parse."""

@@ -1,0 +1,24 @@
+"""Garbage collection: generational copying + incremental mark-sweep.
+
+Reproduces the collector the paper describes in §2.4: a minor (copying)
+collection empties the young generation into the major heap; a major
+collection reclaims the old generation with Dijkstra-style incremental
+mark-sweep, one slice after every minor collection, paced by the volume
+of promoted data.
+"""
+
+from repro.gc.roots import Slot, AttrSlot, AreaSlot, RootProvider
+from repro.gc.minor import MinorCollector
+from repro.gc.major import MajorCollector, Phase
+from repro.gc.controller import GCController
+
+__all__ = [
+    "Slot",
+    "AttrSlot",
+    "AreaSlot",
+    "RootProvider",
+    "MinorCollector",
+    "MajorCollector",
+    "Phase",
+    "GCController",
+]

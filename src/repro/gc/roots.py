@@ -1,0 +1,94 @@
+"""Root enumeration (paper §2.4.1: "roots — all the mutator's pointers").
+
+The collectors see roots as *slots*: locations holding a value that can
+be read and overwritten (a minor collection moves objects, so every root
+must be updatable).  Root sources are the interpreter registers, all
+thread stacks, the global-data pointer and registered C-global slots; the
+VM assembles them through the :class:`RootProvider` protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Protocol
+
+from repro.memory.layout import MemoryArea
+
+
+class Slot(Protocol):
+    """A mutable location holding one VM value."""
+
+    def load(self) -> int:
+        """Read the value."""
+        ...
+
+    def store(self, value: int) -> None:
+        """Overwrite the value."""
+        ...
+
+
+class AttrSlot:
+    """A root held in a Python attribute (e.g. the ACCU register)."""
+
+    __slots__ = ("obj", "name")
+
+    def __init__(self, obj: object, name: str) -> None:
+        self.obj = obj
+        self.name = name
+
+    def load(self) -> int:
+        return getattr(self.obj, self.name)
+
+    def store(self, value: int) -> None:
+        setattr(self.obj, self.name, value)
+
+
+class AreaSlot:
+    """A root held in a word of a memory area (e.g. a stack slot)."""
+
+    __slots__ = ("area", "index")
+
+    def __init__(self, area: MemoryArea, index: int) -> None:
+        self.area = area
+        self.index = index
+
+    def load(self) -> int:
+        return self.area.words[self.index]
+
+    def store(self, value: int) -> None:
+        self.area.words[self.index] = value
+
+
+class ListSlot:
+    """A root held in a Python list cell (used by the channel manager)."""
+
+    __slots__ = ("lst", "index")
+
+    def __init__(self, lst: list[int], index: int) -> None:
+        self.lst = lst
+        self.index = index
+
+    def load(self) -> int:
+        return self.lst[self.index]
+
+    def store(self, value: int) -> None:
+        self.lst[self.index] = value
+
+
+class RootProvider(Protocol):
+    """Anything that can enumerate GC root slots (the VM implements this)."""
+
+    def iter_roots(self) -> Iterator[Slot]:
+        """Yield every root slot of the mutator."""
+        ...
+
+
+def stack_slots(area: MemoryArea, sp: int) -> Iterable[AreaSlot]:
+    """Slots for the used region of a downward-growing stack.
+
+    Return addresses and saved environments live among the values; the
+    collectors filter by pointer classification, exactly as OCVM's stack
+    scan does.
+    """
+    first = (sp - area.base) // (area.word_bytes)
+    for i in range(first, len(area.words)):
+        yield AreaSlot(area, i)

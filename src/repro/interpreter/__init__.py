@@ -1,0 +1,28 @@
+"""The byte-code interpreter (paper §2.5).
+
+A ZINC-style accumulator machine with four abstract registers — PC, SP,
+ACCU and ENV (plus ``extra_args``) — executing one byte-code instruction
+per dispatch.  Pending events (checkpoint requests, thread preemption)
+are checked before every instruction fetch, making every instruction
+boundary a safe point (paper §3.1.2).
+"""
+
+from repro.interpreter.signals import PendingSet
+from repro.interpreter.registers import Registers
+from repro.interpreter.primitives import (
+    PrimitiveTable,
+    BlockThread,
+    ExitProgram,
+    build_standard_table,
+)
+from repro.interpreter.interpreter import Interpreter
+
+__all__ = [
+    "PendingSet",
+    "Registers",
+    "PrimitiveTable",
+    "BlockThread",
+    "ExitProgram",
+    "build_standard_table",
+    "Interpreter",
+]

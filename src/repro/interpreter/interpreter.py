@@ -1,0 +1,667 @@
+"""The ZINC interpreter loop.
+
+Fetch/decode/execute over the code image, with the paper's safe-point
+discipline: pending events (checkpoint flag, reschedule, stop) are
+examined *between* byte-code instructions only, so a checkpoint can
+never capture a half-executed instruction (paper §3.1.2, Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.bytecode.opcodes import Op
+from repro.errors import BytecodeError, VMRuntimeError
+from repro.interpreter.primitives import (
+    ArgsView,
+    BlockThread,
+    VMExceptionRaise,
+    YieldNode,
+)
+from repro.interpreter.registers import Registers
+from repro.memory.blocks import CLOSURE_TAG
+from repro.threads.thread import EXIT_SENTINEL, VMThread
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm import VirtualMachine
+
+
+class _ProgramStop(Exception):
+    """Internal: the STOP instruction was executed."""
+
+
+class Interpreter:
+    """Executes byte-code on behalf of the current VM thread."""
+
+    def __init__(self, vm: "VirtualMachine") -> None:
+        self.vm = vm
+        mem = vm.mem
+        self._values = mem.values
+        self._mem = mem
+        self._wb = mem.arch.word_bytes
+        self._word_mask = mem.arch.word_mask
+        self._shift_mask = mem.arch.bits - 1
+        # Live registers of the current thread.
+        self.accu: int = self._values.val_unit
+        self.env: int = mem.atoms.atom(0)
+        self.pc: int = 0  # code unit index
+        self.extra_args: int = 0
+        #: Innermost trap-frame address (0 = no handler installed).
+        self.trapsp: int = 0
+        self.stack = vm.sched.current.stack if vm.sched.current else None
+        #: Total instructions dispatched (drives the preemption timer and
+        #: the benchmark instruction counts).
+        self.instructions = 0
+        self._countdown = vm.sched.quantum
+        self._handlers = self._build_handlers()
+        #: Optional per-instruction hook ``fn(interp, pc, op)`` — install
+        #: before run(); see :mod:`repro.tracing`.
+        self.trace_hook = None
+
+    # -- code addressing -------------------------------------------------------
+
+    def code_addr(self, index: int) -> int:
+        """Code unit index -> code address value."""
+        return self.vm.code_base + 4 * index
+
+    def code_index(self, addr: int) -> int:
+        """Code address value -> code unit index."""
+        idx, rem = divmod(addr - self.vm.code_base, 4)
+        if rem or not 0 <= idx < len(self.vm.code.units):
+            raise VMRuntimeError(f"bad code address {addr:#x}")
+        return idx
+
+    # -- register save/restore (thread switching, checkpointing) ----------------
+
+    def snapshot_registers(self) -> Registers:
+        """Current registers in checkpoint form (pc as code address)."""
+        return Registers(
+            pc=self.code_addr(self.pc),
+            sp=self.stack.sp,
+            accu=self.accu,
+            env=self.env,
+            extra_args=self.extra_args,
+        )
+
+    def save_to_thread(self, t: VMThread) -> None:
+        """Park the live registers into a thread record."""
+        t.accu = self.accu
+        t.env = self.env
+        t.pc = self.pc
+        t.extra_args = self.extra_args
+        t.trapsp = self.trapsp
+
+    def load_from_thread(self, t: VMThread) -> None:
+        """Restore the live registers from a thread record."""
+        self.accu = t.accu
+        self.env = t.env
+        self.pc = t.pc
+        self.extra_args = t.extra_args
+        self.trapsp = t.trapsp
+        self.stack = t.stack
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self, max_instructions: Optional[int] = None) -> str:
+        """Run until STOP, exit(), or instruction budget exhaustion.
+
+        Returns ``"stopped"`` for STOP, ``"budget"`` when
+        ``max_instructions`` ran out, ``"yielded"`` when a primitive
+        suspended the whole VM (cluster recv on an empty mailbox).
+        ``exit`` raises
+        :class:`~repro.interpreter.primitives.ExitProgram` to the caller
+        (the VM façade turns it into a status).
+        """
+        vm = self.vm
+        units = vm.code.units
+        pending = vm.pending
+        handlers = self._handlers
+        budget = max_instructions if max_instructions is not None else -1
+        try:
+            while True:
+                if pending.any:
+                    if self._handle_pending():
+                        return "stopped"
+                self._countdown -= 1
+                if self._countdown <= 0:
+                    self._on_tick()
+                if budget >= 0:
+                    if budget == 0:
+                        return "budget"
+                    budget -= 1
+                self.instructions += 1
+                op = units[self.pc]
+                if self.trace_hook is not None:
+                    self.trace_hook(self, self.pc, op)
+                self.pc += 1
+                handler = handlers[op] if op < len(handlers) else None
+                if handler is None:
+                    raise BytecodeError(f"illegal opcode {op} at {self.pc - 1}")
+                handler()
+        except _ProgramStop:
+            return "stopped"
+        except YieldNode:
+            return "yielded"
+
+    def _on_tick(self) -> None:
+        """Virtual timer tick: preemption and periodic checkpoint policy."""
+        vm = self.vm
+        self._countdown = vm.sched.quantum
+        if vm.sched.timer_enabled and vm.sched.ever_multithreaded:
+            runnable = sum(1 for t in vm.sched.threads.values() if t.is_runnable)
+            if runnable > 1:
+                vm.pending.request_reschedule()
+        vm.poll_checkpoint_policy()
+
+    def _handle_pending(self) -> bool:
+        """Deal with pending events at this safe point.
+
+        Returns True when the interpreter should stop.
+        """
+        vm = self.vm
+        pending = vm.pending
+        if pending.stop:
+            pending.clear_stop()
+            return True
+        if pending.checkpoint:
+            pending.clear_checkpoint()
+            vm.perform_checkpoint()
+        if pending.reschedule:
+            pending.clear_reschedule()
+            self._switch_thread()
+        return False
+
+    def _switch_thread(self) -> None:
+        """Round-robin context switch at a safe point."""
+        vm = self.vm
+        sched = vm.sched
+        current = sched.current
+        if current is not None:
+            self.save_to_thread(current)
+        while True:
+            t = sched.pick_next()
+            if t is None:
+                raise VMRuntimeError(
+                    "no runnable thread left (main thread vanished?)"
+                )
+            if self._values.is_block(t.pending_mutex):
+                # Schedule-time mutex acquisition (see threads.sync).
+                if not vm.mutexes.acquire_for_resume(t):
+                    sched.current = t  # advance round-robin fairness
+                    continue
+            sched.current = t
+            sched.switches += 1
+            self.load_from_thread(t)
+            return
+
+    def _finish_thread(self, result: int) -> None:
+        """The current thread's body returned: finish it and switch."""
+        sched = self.vm.sched
+        t = sched.current
+        sched.finish(t, result)
+        self._switch_thread()
+
+    # -- dispatch table -----------------------------------------------------------------
+
+    def _build_handlers(self):
+        table: list = [None] * 128
+        for op in Op:
+            table[int(op)] = getattr(self, f"_op_{op.name.lower()}")
+        return table
+
+    # -- fetch helpers ---------------------------------------------------------------
+
+    def _fetch(self) -> int:
+        u = self.vm.code.units[self.pc]
+        self.pc += 1
+        return u
+
+    def _fetch_signed(self) -> int:
+        u = self.vm.code.signed_unit(self.pc)
+        self.pc += 1
+        return u
+
+    # -- control ---------------------------------------------------------------------
+
+    def _op_stop(self) -> None:
+        raise _ProgramStop()
+
+    def _op_branch(self) -> None:
+        ofs = self.vm.code.signed_unit(self.pc)
+        self.pc += ofs
+
+    def _op_branchif(self) -> None:
+        if self.accu != self._values.val_false:
+            self.pc += self.vm.code.signed_unit(self.pc)
+        else:
+            self.pc += 1
+
+    def _op_branchifnot(self) -> None:
+        if self.accu == self._values.val_false:
+            self.pc += self.vm.code.signed_unit(self.pc)
+        else:
+            self.pc += 1
+
+    def _op_check_signals(self) -> None:
+        # Pending events are polled before every instruction; this opcode
+        # exists as the explicit safe point the compiler plants in loops,
+        # mirroring OCVM's CHECK_SIGNALS (paper Figure 3).
+        return None
+
+    # -- stack / accumulator -----------------------------------------------------------
+
+    def _op_acc(self) -> None:
+        self.accu = self.stack.peek(self._fetch())
+
+    def _op_push(self) -> None:
+        self.stack.push(self.accu)
+
+    def _op_pushacc(self) -> None:
+        self.stack.push(self.accu)
+        self.accu = self.stack.peek(self._fetch())
+
+    def _op_pop(self) -> None:
+        self.stack.popn(self._fetch())
+
+    def _op_assign(self) -> None:
+        self.stack.poke(self._fetch(), self.accu)
+        self.accu = self._values.val_unit
+
+    # -- environment ---------------------------------------------------------------------
+
+    def _op_envacc(self) -> None:
+        self.accu = self._mem.field(self.env, self._fetch())
+
+    def _op_pushenvacc(self) -> None:
+        self.stack.push(self.accu)
+        self.accu = self._mem.field(self.env, self._fetch())
+
+    def _op_offsetclosure0(self) -> None:
+        self.accu = self.env
+
+    # -- constants and globals ---------------------------------------------------------------
+
+    def _op_constint(self) -> None:
+        self.accu = self._values.val_int(self._fetch_signed())
+
+    def _op_pushconstint(self) -> None:
+        self.stack.push(self.accu)
+        self.accu = self._values.val_int(self._fetch_signed())
+
+    def _op_atom(self) -> None:
+        self.accu = self._mem.atoms.atom(self._fetch())
+
+    def _op_pushatom(self) -> None:
+        self.stack.push(self.accu)
+        self.accu = self._mem.atoms.atom(self._fetch())
+
+    def _op_getglobal(self) -> None:
+        self.accu = self._mem.field(self.vm.global_data, self._fetch())
+
+    def _op_pushgetglobal(self) -> None:
+        self.stack.push(self.accu)
+        self.accu = self._mem.field(self.vm.global_data, self._fetch())
+
+    def _op_setglobal(self) -> None:
+        self._mem.set_field(self.vm.global_data, self._fetch(), self.accu)
+        self.accu = self._values.val_unit
+
+    # -- exceptions ----------------------------------------------------------------------------
+
+    def _op_pushtrap(self) -> None:
+        """Install a trap frame: handler pc, previous trapsp, env, extra."""
+        ofs = self.vm.code.signed_unit(self.pc)
+        handler = self.pc + ofs
+        self.pc += 1
+        stack = self.stack
+        stack.push(self._values.val_int(self.extra_args))
+        stack.push(self.env)
+        stack.push(self.trapsp)  # a raw stack address (or 0)
+        stack.push(self.code_addr(handler))
+        self.trapsp = stack.sp
+
+    def _op_poptrap(self) -> None:
+        """Remove the innermost trap frame (the protected body finished)."""
+        stack = self.stack
+        self.trapsp = stack.peek(1)
+        stack.popn(4)
+
+    def _op_raise(self) -> None:
+        """Raise the exception in ACCU to the innermost handler."""
+        self.do_raise(self.accu)
+
+    def do_raise(self, exception: int) -> None:
+        """Unwind to the current trap frame, as OCaml's RAISE does.
+
+        With no handler installed the exception is fatal, like an
+        uncaught OCaml exception aborting the program.
+        """
+        if self.trapsp == 0:
+            raise VMRuntimeError(
+                "uncaught exception: " + self._describe_exception(exception)
+            )
+        stack = self.stack
+        if not (stack.stack_low <= self.trapsp < stack.stack_high):
+            raise VMRuntimeError("corrupt trap pointer")  # pragma: no cover
+        stack.sp = self.trapsp
+        self.pc = self.code_index(stack.pop())
+        self.trapsp = stack.pop()
+        self.env = stack.pop()
+        self.extra_args = self._values.int_val(stack.pop())
+        self.accu = exception
+
+    def _describe_exception(self, exception: int) -> str:
+        mem = self._mem
+        if self._values.is_int(exception):
+            return str(self._values.int_val(exception))
+        try:
+            from repro.memory.blocks import STRING_TAG
+
+            if mem.tag_of(exception) == STRING_TAG:
+                return mem.read_string(exception).decode(errors="replace")
+        except Exception:  # pragma: no cover - defensive
+            pass
+        return f"<block at {exception:#x}>"
+
+    def raise_runtime(self, message: str) -> None:
+        """Raise a runtime exception carrying ``message`` as a string.
+
+        Used by failing instructions (division by zero, bounds checks)
+        so byte-code programs can catch them with ``try``/``with``.
+        """
+        self.do_raise(self._mem.make_string(message.encode()))
+
+    # -- application ---------------------------------------------------------------------------
+
+    def _op_push_retaddr(self) -> None:
+        ofs = self.vm.code.signed_unit(self.pc)
+        target = self.pc + ofs
+        self.pc += 1
+        self.stack.push(self._values.val_int(self.extra_args))
+        self.stack.push(self.env)
+        self.stack.push(self.code_addr(target))
+
+    def _op_apply(self) -> None:
+        self.extra_args = self._fetch() - 1
+        closure = self.accu
+        self.pc = self.code_index(self._mem.field(closure, 0))
+        self.env = closure
+
+    def _op_appterm(self) -> None:
+        nargs = self._fetch()
+        slotsize = self._fetch()
+        stack = self.stack
+        gap = slotsize - nargs
+        for i in range(nargs - 1, -1, -1):
+            stack.poke(gap + i, stack.peek(i))
+        stack.popn(gap)
+        closure = self.accu
+        self.pc = self.code_index(self._mem.field(closure, 0))
+        self.env = closure
+        self.extra_args += nargs - 1
+
+    def _op_return(self) -> None:
+        self.stack.popn(self._fetch())
+        if self.extra_args > 0:
+            self.extra_args -= 1
+            closure = self.accu
+            self.pc = self.code_index(self._mem.field(closure, 0))
+            self.env = closure
+        else:
+            self._pop_frame()
+
+    def _pop_frame(self) -> None:
+        ret = self.stack.pop()
+        if ret == EXIT_SENTINEL:
+            # Bottom of a spawned thread: retire it.
+            self.stack.popn(2)  # saved env, saved extra_args
+            self._finish_thread(self.accu)
+            return
+        self.pc = self.code_index(ret)
+        self.env = self.stack.pop()
+        self.extra_args = self._values.int_val(self.stack.pop())
+
+    def _op_grab(self) -> None:
+        n = self._fetch()
+        if self.extra_args >= n:
+            self.extra_args -= n
+            return
+        # Partial application: build a closure that restarts here.
+        num_args = 1 + self.extra_args
+        restart_index = self.pc - 3  # the RESTART preceding this GRAB
+        block = self._mem.alloc(num_args + 2, CLOSURE_TAG)
+        self._mem.init_field(block, 0, self.code_addr(restart_index))
+        self._mem.init_field(block, 1, self.env)
+        for i in range(num_args):
+            self._mem.init_field(block, i + 2, self.stack.pop())
+        self.accu = block
+        self._pop_frame()
+
+    def _op_restart(self) -> None:
+        env = self.env
+        num_args = self._mem.size_of(env) - 2
+        self.stack.reserve(num_args)
+        for i in range(num_args - 1, -1, -1):
+            self.stack.push(self._mem.field(env, i + 2))
+        self.env = self._mem.field(env, 1)
+        self.extra_args += num_args
+
+    def _op_closure(self) -> None:
+        nvars = self._fetch()
+        ofs = self.vm.code.signed_unit(self.pc)
+        target = self.pc + ofs
+        self.pc += 1
+        if nvars > 0:
+            self.stack.push(self.accu)
+        block = self._mem.alloc(1 + nvars, CLOSURE_TAG)
+        self._mem.init_field(block, 0, self.code_addr(target))
+        for i in range(nvars):
+            self._mem.init_field(block, i + 1, self.stack.pop())
+        self.accu = block
+
+    # -- blocks -------------------------------------------------------------------------------
+
+    def _op_makeblock(self) -> None:
+        size = self._fetch()
+        tag = self._fetch()
+        if size == 0:
+            self.accu = self._mem.atoms.atom(tag)
+            return
+        block = self._mem.alloc(size, tag)
+        # Read accu only after the allocation: a GC may have moved it.
+        self._mem.init_field(block, 0, self.accu)
+        for i in range(1, size):
+            self._mem.init_field(block, i, self.stack.pop())
+        self.accu = block
+
+    def _op_getfield(self) -> None:
+        self.accu = self._mem.field(self.accu, self._fetch())
+
+    def _op_setfield(self) -> None:
+        n = self._fetch()
+        self._mem.set_field(self.accu, n, self.stack.pop())
+        self.accu = self._values.val_unit
+
+    def _op_vectlength(self) -> None:
+        self.accu = self._values.val_int(self._mem.size_of(self.accu))
+
+    def _in_bounds(self, block: int, index: int) -> bool:
+        return 0 <= index < self._mem.size_of(block)
+
+    def _op_getvectitem(self) -> None:
+        index = self._values.int_val(self.stack.pop())
+        if not self._in_bounds(self.accu, index):
+            return self.raise_runtime("Invalid_argument: index out of bounds")
+        self.accu = self._mem.field(self.accu, index)
+
+    def _op_setvectitem(self) -> None:
+        index = self._values.int_val(self.stack.pop())
+        value = self.stack.pop()
+        if not self._in_bounds(self.accu, index):
+            return self.raise_runtime("Invalid_argument: index out of bounds")
+        self._mem.set_field(self.accu, index, value)
+        self.accu = self._values.val_unit
+
+    def _op_getstringchar(self) -> None:
+        index = self._values.int_val(self.stack.pop())
+        try:
+            byte = self._mem.string_get(self.accu, index)
+        except VMRuntimeError:
+            return self.raise_runtime("Invalid_argument: index out of bounds")
+        self.accu = self._values.val_int(byte)
+
+    def _op_setstringchar(self) -> None:
+        index = self._values.int_val(self.stack.pop())
+        value = self._values.int_val(self.stack.pop())
+        try:
+            self._mem.string_set(self.accu, index, value & 0xFF)
+        except VMRuntimeError:
+            return self.raise_runtime("Invalid_argument: index out of bounds")
+        self.accu = self._values.val_unit
+
+    def _op_isint(self) -> None:
+        self.accu = self._values.val_bool(bool(self.accu & 1))
+
+    # -- integer arithmetic -------------------------------------------------------------------
+
+    def _op_negint(self) -> None:
+        self.accu = self._values.val_int(-self._values.int_val(self.accu))
+
+    def _op_addint(self) -> None:
+        v = self._values
+        self.accu = v.val_int(v.int_val(self.accu) + v.int_val(self.stack.pop()))
+
+    def _op_subint(self) -> None:
+        v = self._values
+        self.accu = v.val_int(v.int_val(self.accu) - v.int_val(self.stack.pop()))
+
+    def _op_mulint(self) -> None:
+        v = self._values
+        self.accu = v.val_int(v.int_val(self.accu) * v.int_val(self.stack.pop()))
+
+    def _op_divint(self) -> None:
+        v = self._values
+        a = v.int_val(self.accu)
+        b = v.int_val(self.stack.pop())
+        if b == 0:
+            return self.raise_runtime("Division_by_zero")
+        q = abs(a) // abs(b)
+        self.accu = v.val_int(q if (a >= 0) == (b >= 0) else -q)
+
+    def _op_modint(self) -> None:
+        v = self._values
+        a = v.int_val(self.accu)
+        b = v.int_val(self.stack.pop())
+        if b == 0:
+            return self.raise_runtime("Division_by_zero")
+        q = abs(a) // abs(b)
+        q = q if (a >= 0) == (b >= 0) else -q
+        self.accu = v.val_int(a - b * q)  # C-style: sign follows dividend
+
+    def _op_andint(self) -> None:
+        self.accu &= self.stack.pop()
+
+    def _op_orint(self) -> None:
+        self.accu |= self.stack.pop()
+
+    def _op_xorint(self) -> None:
+        self.accu = (self.accu ^ self.stack.pop()) | 1
+
+    def _op_lslint(self) -> None:
+        v = self._values
+        k = v.int_val(self.stack.pop()) & self._shift_mask
+        self.accu = v.val_int(v.int_val(self.accu) << k)
+
+    def _op_lsrint(self) -> None:
+        k = self._values.int_val(self.stack.pop()) & self._shift_mask
+        # Logical shift of the tagged representation, as OCaml does.
+        self.accu = ((self.accu & self._word_mask) >> k) | 1
+
+    def _op_asrint(self) -> None:
+        k = self._values.int_val(self.stack.pop()) & self._shift_mask
+        self.accu = self._mem.arch.asr(self.accu, k) | 1
+
+    def _op_offsetint(self) -> None:
+        v = self._values
+        self.accu = v.val_int(v.int_val(self.accu) + self._fetch_signed())
+
+    def _op_boolnot(self) -> None:
+        v = self._values
+        self.accu = v.val_true if self.accu == v.val_false else v.val_false
+
+    # -- comparison ------------------------------------------------------------------------------
+
+    def _op_eq(self) -> None:
+        self.accu = self._values.val_bool(self.accu == self.stack.pop())
+
+    def _op_neq(self) -> None:
+        self.accu = self._values.val_bool(self.accu != self.stack.pop())
+
+    def _cmp(self, op) -> None:
+        v = self._values
+        a = v.int_val(self.accu)
+        b = v.int_val(self.stack.pop())
+        self.accu = v.val_bool(op(a, b))
+
+    def _op_ltint(self) -> None:
+        self._cmp(lambda a, b: a < b)
+
+    def _op_leint(self) -> None:
+        self._cmp(lambda a, b: a <= b)
+
+    def _op_gtint(self) -> None:
+        self._cmp(lambda a, b: a > b)
+
+    def _op_geint(self) -> None:
+        self._cmp(lambda a, b: a >= b)
+
+    # -- literal pools -----------------------------------------------------------------------------
+
+    def _op_strlit(self) -> None:
+        data = self.vm.code.string_literals[self._fetch()]
+        self.accu = self._mem.make_string(data)
+
+    def _op_floatlit(self) -> None:
+        x = self.vm.code.float_literals[self._fetch()]
+        self.accu = self._mem.make_float(x)
+
+    # -- foreign calls -----------------------------------------------------------------------------
+
+    def _op_c_call(self) -> None:
+        nargs = self._fetch()
+        pid = self._fetch()
+        vm = self.vm
+        prim = vm.primitives.by_id(pid)
+        if prim.nargs != nargs:
+            raise BytecodeError(
+                f"{prim.name} expects {prim.nargs} args, C_CALL passed {nargs}"
+            )
+        roots = vm.temp_roots
+        base = len(roots)
+        roots.append(self.accu)
+        for i in range(nargs - 1):
+            roots.append(self.stack.peek(i))
+        view = ArgsView(roots, base, nargs)
+        blocked = False
+        thrown: int | None = None
+        try:
+            result = prim.fn(vm, view)
+        except BlockThread as b:
+            result = b.result
+            blocked = True
+        except VMExceptionRaise as e:
+            result = self._values.val_unit
+            thrown = e.value
+        except YieldNode:
+            # Suspend the whole VM: rewind to the C_CALL so the primitive
+            # re-executes on resume; arguments stay on the stack.
+            self.pc -= 3
+            raise
+        finally:
+            del roots[base:]
+        self.stack.popn(nargs - 1)
+        self.accu = result
+        if thrown is not None:
+            return self.do_raise(thrown)
+        if blocked:
+            vm.pending.request_reschedule()

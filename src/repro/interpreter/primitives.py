@@ -1,0 +1,646 @@
+"""C-call primitives: the VM's foreign function layer.
+
+Byte-code invokes primitives through ``C_CALL nargs prim_id``; the table
+of primitives is fixed, so a program image referencing primitive ids is
+portable (the checkpoint stores the code digest, guaranteeing both sides
+agree).
+
+GC safety: a primitive's arguments live in the VM's *temporary root*
+array for the duration of the call.  Any allocation inside a primitive
+may move young blocks, so primitives must re-read their arguments
+through the :class:`ArgsView` after allocating — exactly the discipline
+``CAMLparam``/``CAMLlocal`` imposes on real OCaml C stubs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, TYPE_CHECKING
+
+from repro.errors import BytecodeError, PrimitiveError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm import VirtualMachine
+
+
+class BlockThread(Exception):
+    """Raised by a primitive that blocked the current thread.
+
+    ``result`` is the value the C call produces once the thread resumes;
+    the interpreter completes the call with it and then switches away.
+    """
+
+    def __init__(self, result: int) -> None:
+        super().__init__("thread blocked")
+        self.result = result
+
+
+class ExitProgram(Exception):
+    """Raised by the ``exit`` primitive to terminate the whole program."""
+
+    def __init__(self, status: int) -> None:
+        super().__init__(f"exit {status}")
+        self.status = status
+
+
+class VMExceptionRaise(Exception):
+    """Raised by a primitive to throw a *VM-level* exception.
+
+    The interpreter completes the C call's stack bookkeeping, then
+    unwinds to the innermost trap frame (or aborts if none is
+    installed), exactly as the RAISE instruction would.
+    """
+
+    def __init__(self, value: int) -> None:
+        super().__init__("VM exception")
+        self.value = value
+
+
+class YieldNode(Exception):
+    """Raised by a primitive that must suspend the *whole VM* and retry.
+
+    The C call is unwound without consuming its arguments and the PC is
+    rewound to the ``C_CALL`` instruction, so re-running the VM simply
+    re-executes the primitive — which must therefore be idempotent until
+    it succeeds (the cluster ``recv`` on an empty mailbox is the
+    canonical case).  The interpreter returns the status ``"yielded"``.
+    """
+
+    def __init__(self, reason: str = "") -> None:
+        super().__init__(reason or "node yielded")
+        self.reason = reason
+
+
+class ArgsView:
+    """GC-safe window onto a primitive's arguments (temporary roots)."""
+
+    __slots__ = ("_roots", "_base", "_n")
+
+    def __init__(self, roots: list[int], base: int, n: int) -> None:
+        self._roots = roots
+        self._base = base
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, i: int) -> int:
+        if not 0 <= i < self._n:
+            raise IndexError(i)
+        return self._roots[self._base + i]
+
+    def __setitem__(self, i: int, value: int) -> None:
+        if not 0 <= i < self._n:
+            raise IndexError(i)
+        self._roots[self._base + i] = value
+
+
+PrimFn = Callable[["VirtualMachine", ArgsView], int]
+
+
+class Primitive:
+    """One registered primitive."""
+
+    __slots__ = ("pid", "name", "nargs", "fn")
+
+    def __init__(self, pid: int, name: str, nargs: int, fn: PrimFn) -> None:
+        self.pid = pid
+        self.name = name
+        self.nargs = nargs
+        self.fn = fn
+
+
+class PrimitiveTable:
+    """Registry mapping primitive ids and names to implementations."""
+
+    def __init__(self) -> None:
+        self._by_id: list[Primitive] = []
+        self._by_name: dict[str, Primitive] = {}
+
+    def register(self, name: str, nargs: int, fn: PrimFn) -> Primitive:
+        """Add a primitive; ids are assigned in registration order."""
+        if name in self._by_name:
+            raise BytecodeError(f"duplicate primitive {name!r}")
+        if not 1 <= nargs <= 5:
+            raise BytecodeError("primitives take between 1 and 5 arguments")
+        prim = Primitive(len(self._by_id), name, nargs, fn)
+        self._by_id.append(prim)
+        self._by_name[name] = prim
+        return prim
+
+    def by_id(self, pid: int) -> Primitive:
+        """Look up by numeric id (interpreter hot path)."""
+        try:
+            return self._by_id[pid]
+        except IndexError:
+            raise BytecodeError(f"unknown primitive id {pid}") from None
+
+    def by_name(self, name: str) -> Primitive:
+        """Look up by name (compiler)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise BytecodeError(f"unknown primitive {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> list[str]:
+        """All registered primitive names."""
+        return list(self._by_name)
+
+
+# ---------------------------------------------------------------------------
+# Standard primitives
+# ---------------------------------------------------------------------------
+
+
+def _chan(vm: "VirtualMachine", value: int):
+    """Decode a channel value (a one-field block holding the id)."""
+    cid = vm.mem.values.int_val(vm.mem.field(value, 0))
+    return vm.channels.get(cid)
+
+
+def _make_chan(vm: "VirtualMachine", cid: int) -> int:
+    return vm.mem.make_block(0, [vm.mem.values.val_int(cid)])
+
+
+# -- console I/O --------------------------------------------------------------
+
+
+def _print_string(vm, args):
+    vm.channels.stdout.write(vm.mem.read_string(args[0]))
+    return vm.mem.values.val_unit
+
+
+def _print_int(vm, args):
+    vm.channels.stdout.write(str(vm.mem.values.int_val(args[0])).encode())
+    return vm.mem.values.val_unit
+
+
+def _print_char(vm, args):
+    vm.channels.stdout.write(bytes([vm.mem.values.int_val(args[0]) & 0xFF]))
+    return vm.mem.values.val_unit
+
+
+def _print_newline(vm, args):
+    vm.channels.stdout.write(b"\n")
+    return vm.mem.values.val_unit
+
+
+def _print_float(vm, args):
+    x = vm.mem.read_float(args[0])
+    vm.channels.stdout.write(repr(x).encode())
+    return vm.mem.values.val_unit
+
+
+# -- strings ---------------------------------------------------------------------
+
+
+def _string_length(vm, args):
+    return vm.mem.values.val_int(vm.mem.string_length(args[0]))
+
+
+def _string_make(vm, args):
+    n = vm.mem.values.int_val(args[0])
+    c = vm.mem.values.int_val(args[1]) & 0xFF
+    if n < 0:
+        raise PrimitiveError("string_make: negative length")
+    return vm.mem.make_string(bytes([c]) * n)
+
+
+def _string_concat(vm, args):
+    a = vm.mem.read_string(args[0])
+    b = vm.mem.read_string(args[1])
+    return vm.mem.make_string(a + b)
+
+
+def _string_equal(vm, args):
+    """Structural string equality; total (non-strings compare unequal),
+    so it can back string patterns in ``match``/``try`` arms."""
+    from repro.errors import ReproError
+    from repro.memory.blocks import STRING_TAG
+
+    def as_string(v):
+        if vm.mem.values.is_int(v) or vm.mem.atoms.contains(v):
+            return None
+        try:
+            if vm.mem.tag_of(v) != STRING_TAG:
+                return None
+            return vm.mem.read_string(v)
+        except (ReproError, ValueError):
+            return None
+
+    a = as_string(args[0])
+    b = as_string(args[1])
+    eq = a is not None and b is not None and a == b
+    return vm.mem.values.val_bool(eq)
+
+def _string_compare(vm, args):
+    a = vm.mem.read_string(args[0])
+    b = vm.mem.read_string(args[1])
+    return vm.mem.values.val_int((a > b) - (a < b))
+
+
+def _string_of_int(vm, args):
+    return vm.mem.make_string(str(vm.mem.values.int_val(args[0])).encode())
+
+
+def _string_sub(vm, args):
+    s = vm.mem.read_string(args[0])
+    start = vm.mem.values.int_val(args[1])
+    length = vm.mem.values.int_val(args[2])
+    if start < 0 or length < 0 or start + length > len(s):
+        raise PrimitiveError("string_sub: out of bounds")
+    return vm.mem.make_string(s[start : start + length])
+
+
+# -- arrays -----------------------------------------------------------------------
+
+
+def _array_make(vm, args):
+    n = vm.mem.values.int_val(args[0])
+    if n < 0:
+        raise PrimitiveError("array_make: negative length")
+    if n == 0:
+        return vm.mem.atoms.atom(0)
+    block = vm.mem.alloc(n, 0)
+    init = args[1]  # re-read after the allocation (GC may have run)
+    for i in range(n):
+        vm.mem.init_field(block, i, init)
+    return block
+
+
+# -- floats -----------------------------------------------------------------------
+
+
+def _float_of_int(vm, args):
+    return vm.mem.make_float(float(vm.mem.values.int_val(args[0])))
+
+
+def _int_of_float(vm, args):
+    return vm.mem.values.val_int(int(vm.mem.read_float(args[0])))
+
+
+def _float_binop(op):
+    def fn(vm, args):
+        a = vm.mem.read_float(args[0])
+        b = vm.mem.read_float(args[1])
+        try:
+            return vm.mem.make_float(op(a, b))
+        except ZeroDivisionError:
+            return vm.mem.make_float(math.inf if a > 0 else (-math.inf if a < 0 else math.nan))
+    return fn
+
+
+def _float_cmp(op):
+    def fn(vm, args):
+        a = vm.mem.read_float(args[0])
+        b = vm.mem.read_float(args[1])
+        return vm.mem.values.val_bool(op(a, b))
+    return fn
+
+
+def _neg_float(vm, args):
+    return vm.mem.make_float(-vm.mem.read_float(args[0]))
+
+
+def _sqrt_float(vm, args):
+    return vm.mem.make_float(math.sqrt(vm.mem.read_float(args[0])))
+
+
+# -- threads -----------------------------------------------------------------------
+
+
+def _thread_create(vm, args):
+    t = vm.sched.spawn(args[0], vm.code_addr_to_index)
+    return vm.mem.values.val_int(t.tid)
+
+
+def _thread_yield(vm, args):
+    vm.pending.request_reschedule()
+    return vm.mem.values.val_unit
+
+
+def _thread_self(vm, args):
+    return vm.mem.values.val_int(vm.sched.current.tid)
+
+
+def _thread_join(vm, args):
+    from repro.threads.thread import BlockKind, ThreadState
+
+    tid = vm.mem.values.int_val(args[0])
+    target = vm.sched.threads.get(tid)
+    if target is None:
+        raise PrimitiveError(f"thread_join: no thread {tid}")
+    if target is vm.sched.current:
+        raise PrimitiveError("thread_join: joining self")
+    if target.state is ThreadState.FINISHED:
+        return vm.mem.values.val_unit
+    vm.sched.block_current(BlockKind.JOIN, tid)
+    raise BlockThread(vm.mem.values.val_unit)
+
+
+def _mutex_create(vm, args):
+    return vm.mutexes.create()
+
+
+def _mutex_lock(vm, args):
+    if vm.mutexes.lock(args[0]):
+        return vm.mem.values.val_unit
+    raise BlockThread(vm.mem.values.val_unit)
+
+
+def _mutex_unlock(vm, args):
+    vm.mutexes.unlock(args[0])
+    return vm.mem.values.val_unit
+
+
+def _condition_create(vm, args):
+    return vm.condvars.create()
+
+
+def _condition_wait(vm, args):
+    vm.condvars.wait(args[0], args[1])
+    raise BlockThread(vm.mem.values.val_unit)
+
+
+def _condition_signal(vm, args):
+    vm.condvars.signal(args[0])
+    return vm.mem.values.val_unit
+
+
+def _condition_broadcast(vm, args):
+    vm.condvars.broadcast(args[0])
+    return vm.mem.values.val_unit
+
+
+# -- channels ----------------------------------------------------------------------
+#
+# Channel failures surface as *catchable* VM exceptions, mirroring
+# OCaml's End_of_file / Sys_error: reading past EOF or opening a missing
+# file can be handled by the byte-code program with try/with.
+
+
+def _vm_io_error(vm, message: str):
+    return VMExceptionRaise(vm.mem.make_string(message.encode()))
+
+
+def _open_out(vm, args):
+    path = vm.mem.read_string(args[0]).decode()
+    try:
+        return _make_chan(vm, vm.channels.open_out(path))
+    except OSError as exc:
+        raise _vm_io_error(vm, f"Sys_error: {exc.strerror}") from None
+
+
+def _open_in(vm, args):
+    path = vm.mem.read_string(args[0]).decode()
+    try:
+        return _make_chan(vm, vm.channels.open_in(path))
+    except OSError as exc:
+        raise _vm_io_error(vm, f"Sys_error: {exc.strerror}") from None
+
+
+def _output_string(vm, args):
+    from repro.errors import ChannelError
+
+    try:
+        _chan(vm, args[0]).write(vm.mem.read_string(args[1]))
+    except ChannelError as exc:
+        raise _vm_io_error(vm, f"Sys_error: {exc}") from None
+    return vm.mem.values.val_unit
+
+
+def _output_char(vm, args):
+    from repro.errors import ChannelError
+
+    try:
+        _chan(vm, args[0]).write(bytes([vm.mem.values.int_val(args[1]) & 0xFF]))
+    except ChannelError as exc:
+        raise _vm_io_error(vm, f"Sys_error: {exc}") from None
+    return vm.mem.values.val_unit
+
+
+def _input_char(vm, args):
+    from repro.errors import ChannelError
+
+    try:
+        return vm.mem.values.val_int(_chan(vm, args[0]).read_byte())
+    except ChannelError as exc:
+        raise _vm_io_error(vm, f"Sys_error: {exc}") from None
+
+
+def _input_line(vm, args):
+    from repro.errors import ChannelError
+
+    ch = _chan(vm, args[0])
+    try:
+        return vm.mem.make_string(ch.read_line())
+    except ChannelError as exc:
+        if "end of file" in str(exc):
+            raise _vm_io_error(vm, "End_of_file") from None
+        raise _vm_io_error(vm, f"Sys_error: {exc}") from None
+
+
+def _close_channel(vm, args):
+    _chan(vm, args[0]).close()
+    return vm.mem.values.val_unit
+
+
+def _flush(vm, args):
+    from repro.errors import ChannelError
+
+    try:
+        _chan(vm, args[0]).flush()
+    except ChannelError as exc:
+        raise _vm_io_error(vm, f"Sys_error: {exc}") from None
+    return vm.mem.values.val_unit
+
+
+def _stdout_chan(vm, args):
+    return _make_chan(vm, 1)
+
+
+def _stderr_chan(vm, args):
+    return _make_chan(vm, 2)
+
+
+# -- control -----------------------------------------------------------------------
+
+
+def _checkpoint(vm, args):
+    """User-initiated checkpoint: set the flag; the interpreter performs
+    the checkpoint at the next instruction boundary (a safe point by
+    construction — paper §3.1.2)."""
+    vm.pending.request_checkpoint()
+    return vm.mem.values.val_unit
+
+
+def _exit(vm, args):
+    raise ExitProgram(vm.mem.values.int_val(args[0]))
+
+
+# -- cluster (message passing between VMs) -----------------------------------------
+
+
+def _cluster(vm):
+    if vm.cluster is None:
+        raise PrimitiveError("this VM is not part of a cluster")
+    return vm.cluster
+
+
+def _cluster_rank(vm, args):
+    return vm.mem.values.val_int(_cluster(vm).rank)
+
+
+def _cluster_size(vm, args):
+    return vm.mem.values.val_int(_cluster(vm).size)
+
+
+def _cluster_send(vm, args):
+    from repro.serialize import extern_value
+
+    binding = _cluster(vm)
+    dest = vm.mem.values.int_val(args[0])
+    binding.send(dest, extern_value(vm.mem, args[1]))
+    return vm.mem.values.val_unit
+
+
+def _cluster_recv(vm, args):
+    from repro.serialize import intern_value
+
+    binding = _cluster(vm)
+    data = binding.recv()
+    if data is None:
+        # Nothing to receive: suspend the whole node; the coordinator
+        # resumes it when a message arrives (idempotent retry).
+        raise YieldNode("recv on empty mailbox")
+    return intern_value(vm.mem, data)
+
+
+def _raise(vm, args):
+    raise VMExceptionRaise(args[0])
+
+
+def _failwith(vm, args):
+    raise VMExceptionRaise(args[0])
+
+
+def _invalid_arg(vm, args):
+    raise VMExceptionRaise(args[0])
+
+
+def _match_failure(vm, args):
+    raise VMExceptionRaise(vm.mem.make_string(b"Match_failure"))
+
+
+def _gc_minor(vm, args):
+    vm.gc.minor_collection()
+    return vm.mem.values.val_unit
+
+
+def _gc_full_major(vm, args):
+    vm.gc.full_major()
+    return vm.mem.values.val_unit
+
+
+#: Field order of the block ``gc_stat`` returns.
+GC_STAT_FIELDS = (
+    "minor_collections",
+    "major_cycles",
+    "promoted_words",
+    "heap_words",
+    "live_words",
+    "free_words",
+    "heap_chunks",
+)
+
+
+def _gc_compact(vm, args):
+    vm.gc.compact()
+    return vm.mem.values.val_unit
+
+
+def _gc_stat(vm, args):
+    """``Gc.stat``-style counters as a 7-field block (see GC_STAT_FIELDS)."""
+    stat = vm.gc.stat()
+    v = vm.mem.values
+    return vm.mem.make_block(
+        0, [v.val_int(stat[name]) for name in GC_STAT_FIELDS]
+    )
+
+
+def build_standard_table() -> PrimitiveTable:
+    """The VM's standard primitive table.
+
+    Registration order is part of the program ABI — append only.
+    """
+    t = PrimitiveTable()
+    t.register("print_string", 1, _print_string)
+    t.register("print_int", 1, _print_int)
+    t.register("print_char", 1, _print_char)
+    t.register("print_newline", 1, _print_newline)
+    t.register("print_float", 1, _print_float)
+    t.register("string_length", 1, _string_length)
+    t.register("string_make", 2, _string_make)
+    t.register("string_concat", 2, _string_concat)
+    t.register("string_equal", 2, _string_equal)
+    t.register("string_compare", 2, _string_compare)
+    t.register("string_of_int", 1, _string_of_int)
+    t.register("string_sub", 3, _string_sub)
+    t.register("array_make", 2, _array_make)
+    t.register("float_of_int", 1, _float_of_int)
+    t.register("int_of_float", 1, _int_of_float)
+    t.register("add_float", 2, _float_binop(lambda a, b: a + b))
+    t.register("sub_float", 2, _float_binop(lambda a, b: a - b))
+    t.register("mul_float", 2, _float_binop(lambda a, b: a * b))
+    t.register("div_float", 2, _float_binop(lambda a, b: a / b))
+    t.register("neg_float", 1, _neg_float)
+    t.register("sqrt_float", 1, _sqrt_float)
+    t.register("lt_float", 2, _float_cmp(lambda a, b: a < b))
+    t.register("le_float", 2, _float_cmp(lambda a, b: a <= b))
+    t.register("gt_float", 2, _float_cmp(lambda a, b: a > b))
+    t.register("ge_float", 2, _float_cmp(lambda a, b: a >= b))
+    t.register("eq_float", 2, _float_cmp(lambda a, b: a == b))
+    t.register("thread_create", 1, _thread_create)
+    t.register("thread_yield", 1, _thread_yield)
+    t.register("thread_self", 1, _thread_self)
+    t.register("thread_join", 1, _thread_join)
+    t.register("mutex_create", 1, _mutex_create)
+    t.register("mutex_lock", 1, _mutex_lock)
+    t.register("mutex_unlock", 1, _mutex_unlock)
+    t.register("condition_create", 1, _condition_create)
+    t.register("condition_wait", 2, _condition_wait)
+    t.register("condition_signal", 1, _condition_signal)
+    t.register("condition_broadcast", 1, _condition_broadcast)
+    t.register("open_out", 1, _open_out)
+    t.register("open_in", 1, _open_in)
+    t.register("output_string", 2, _output_string)
+    t.register("output_char", 2, _output_char)
+    t.register("input_char", 1, _input_char)
+    t.register("input_line", 1, _input_line)
+    t.register("close_out", 1, _close_channel)
+    t.register("close_in", 1, _close_channel)
+    t.register("flush", 1, _flush)
+    t.register("stdout_channel", 1, _stdout_chan)
+    t.register("stderr_channel", 1, _stderr_chan)
+    t.register("checkpoint", 1, _checkpoint)
+    t.register("exit", 1, _exit)
+    t.register("gc_minor", 1, _gc_minor)
+    t.register("gc_full_major", 1, _gc_full_major)
+    t.register("match_failure", 1, _match_failure)
+    t.register("cluster_rank", 1, _cluster_rank)
+    t.register("cluster_size", 1, _cluster_size)
+    t.register("cluster_send", 2, _cluster_send)
+    t.register("cluster_recv", 1, _cluster_recv)
+    t.register("raise", 1, _raise)
+    t.register("failwith", 1, _failwith)
+    t.register("invalid_arg", 1, _invalid_arg)
+    t.register("gc_stat", 1, _gc_stat)
+    t.register("gc_compact", 1, _gc_compact)
+    return t
+
+
+#: Shared immutable instance used by compiler and VM.
+STANDARD_PRIMITIVES = build_standard_table()

@@ -1,0 +1,28 @@
+"""The abstract register file (paper §2.5, §3.1.5).
+
+PC, SP, ACCU and ENV plus ``extra_args``.  The paper passes these as
+actual parameters into the checkpoint routine (Figure 4); here they are
+a small dataclass the checkpoint writer snapshots per thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Registers:
+    """A snapshot of one thread's abstract registers.
+
+    ``pc`` is stored as a *code address* value (``code_base + 4*index``)
+    — the form it takes inside checkpoint files, where it is re-based on
+    restart like any other code pointer.  ``sp`` is the stack pointer
+    byte address; ``accu`` and ``env`` are tagged values; ``extra_args``
+    is a plain count.
+    """
+
+    pc: int
+    sp: int
+    accu: int
+    env: int
+    extra_args: int

@@ -1,0 +1,54 @@
+"""Pending-event flags checked at safe points.
+
+The paper's checkpoint mechanism hinges on this: "When a checkpoint is
+invoked, the OCVM sets a specific flag indicating a checkpoint request
+and continues normal execution ... the OCVM interpreter checks the
+signal and status flags before fetching a new instruction" (§3.1.2,
+§4.1).  ``PendingSet`` is that set of flags; ``any`` is the single cheap
+test the dispatch loop performs per instruction.
+"""
+
+from __future__ import annotations
+
+
+class PendingSet:
+    """Events to be handled at the next safe point."""
+
+    __slots__ = ("checkpoint", "reschedule", "stop", "any")
+
+    def __init__(self) -> None:
+        self.checkpoint = False
+        self.reschedule = False
+        self.stop = False
+        #: Fast-path flag: true iff any event is pending.
+        self.any = False
+
+    def request_checkpoint(self) -> None:
+        """Set the checkpoint flag (the paper's ``chkpt_flag``)."""
+        self.checkpoint = True
+        self.any = True
+
+    def request_reschedule(self) -> None:
+        """Ask for a thread switch at the next safe point."""
+        self.reschedule = True
+        self.any = True
+
+    def request_stop(self) -> None:
+        """Ask the interpreter to halt at the next safe point."""
+        self.stop = True
+        self.any = True
+
+    def clear_checkpoint(self) -> None:
+        self.checkpoint = False
+        self._recompute()
+
+    def clear_reschedule(self) -> None:
+        self.reschedule = False
+        self._recompute()
+
+    def clear_stop(self) -> None:
+        self.stop = False
+        self._recompute()
+
+    def _recompute(self) -> None:
+        self.any = self.checkpoint or self.reschedule or self.stop

@@ -1,0 +1,60 @@
+"""VM memory subsystem: tagged values, blocks, heap, stacks, atoms.
+
+Faithful to the paper's Section 2 description of the OCaml VM: words with
+the least-significant bit distinguishing immediate integers from pointers;
+heap blocks with a tag/color/size header; a chunked major heap with a
+freelist and page table; a bump-allocated young generation; and a growable
+VM stack.
+"""
+
+from repro.memory.values import ValueCodec
+from repro.memory.blocks import (
+    HeaderCodec,
+    Color,
+    Tag,
+    NO_SCAN_TAG,
+    CLOSURE_TAG,
+    INFIX_TAG,
+    OBJECT_TAG,
+    ABSTRACT_TAG,
+    STRING_TAG,
+    DOUBLE_TAG,
+    CUSTOM_TAG,
+)
+from repro.memory.layout import MemoryArea, AddressSpace, AreaKind
+from repro.memory.heap import Heap, HeapChunk, PAGE_SIZE
+from repro.memory.minor_heap import MinorHeap
+from repro.memory.stack import VMStack
+from repro.memory.atoms import AtomTable
+from repro.memory.cglobals import CGlobalArea
+from repro.memory.strings import StringCodec
+from repro.memory.floats import FloatCodec
+from repro.memory.manager import MemoryManager
+
+__all__ = [
+    "ValueCodec",
+    "HeaderCodec",
+    "Color",
+    "Tag",
+    "NO_SCAN_TAG",
+    "CLOSURE_TAG",
+    "INFIX_TAG",
+    "OBJECT_TAG",
+    "ABSTRACT_TAG",
+    "STRING_TAG",
+    "DOUBLE_TAG",
+    "CUSTOM_TAG",
+    "MemoryArea",
+    "AddressSpace",
+    "AreaKind",
+    "Heap",
+    "HeapChunk",
+    "PAGE_SIZE",
+    "MinorHeap",
+    "VMStack",
+    "AtomTable",
+    "CGlobalArea",
+    "StringCodec",
+    "FloatCodec",
+    "MemoryManager",
+]

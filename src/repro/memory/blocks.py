@@ -1,0 +1,130 @@
+"""Block headers: tag, color, size (paper §2.2.2, Figure 1).
+
+Every heap block is preceded by a one-word header laid out exactly like
+OCaml's: the low 8 bits hold the *tag* (block type), bits 8-9 hold the GC
+*color*, and the remaining bits (22 on 32-bit, 54 on 64-bit) hold the
+*size* in words, excluding the header itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.arch.architecture import Architecture
+
+
+class Color(enum.IntEnum):
+    """GC color stored in header bits 8-9 (paper §2.4.1)."""
+
+    WHITE = 0  #: not yet visited by the mark phase
+    GRAY = 1   #: visited, children pending
+    BLUE = 2   #: on the free list
+    BLACK = 3  #: visited, children visited
+
+
+class Tag(enum.IntEnum):
+    """Well-known block tags.
+
+    Tags below :data:`NO_SCAN_TAG` mark blocks whose fields are values and
+    are traversed by the garbage collector; tags at or above it mark opaque
+    data (strings, doubles, abstract blocks) that the GC — and the restart
+    pointer-fixing pass — must not interpret as values.
+    """
+
+    FIRST_NON_CONSTANT = 0  #: ordinary structured blocks use tags 0..244
+    FORWARD = 245           #: minor-GC forwarding marker (internal)
+    LAZY = 246
+    CLOSURE = 250
+    OBJECT = 248
+    INFIX = 249
+    ABSTRACT = 251
+    STRING = 252
+    DOUBLE = 253
+    DOUBLE_ARRAY = 254
+    CUSTOM = 255
+
+
+#: Blocks with tag >= NO_SCAN_TAG contain no values and are never scanned.
+NO_SCAN_TAG = 251
+CLOSURE_TAG = int(Tag.CLOSURE)
+INFIX_TAG = int(Tag.INFIX)
+OBJECT_TAG = int(Tag.OBJECT)
+FORWARD_TAG = int(Tag.FORWARD)
+ABSTRACT_TAG = int(Tag.ABSTRACT)
+STRING_TAG = int(Tag.STRING)
+DOUBLE_TAG = int(Tag.DOUBLE)
+DOUBLE_ARRAY_TAG = int(Tag.DOUBLE_ARRAY)
+CUSTOM_TAG = int(Tag.CUSTOM)
+
+_TAG_BITS = 8
+_COLOR_BITS = 2
+_COLOR_SHIFT = _TAG_BITS
+_SIZE_SHIFT = _TAG_BITS + _COLOR_BITS
+_TAG_MASK = (1 << _TAG_BITS) - 1
+_COLOR_MASK = ((1 << _COLOR_BITS) - 1) << _COLOR_SHIFT
+
+
+@dataclass(frozen=True)
+class Header:
+    """A decoded block header."""
+
+    tag: int
+    color: Color
+    size: int
+
+    @property
+    def scannable(self) -> bool:
+        """True if the GC traverses this block's fields as values."""
+        return self.tag < NO_SCAN_TAG
+
+
+class HeaderCodec:
+    """Encode/decode block headers for one architecture."""
+
+    def __init__(self, arch: Architecture) -> None:
+        self.arch = arch
+        #: Maximum block size in words (22-bit field on 32-bit machines —
+        #: the paper's "last 22-bit field contains the block size").
+        self.max_size = (1 << (arch.bits - _SIZE_SHIFT)) - 1
+
+    def make(self, tag: int, color: Color | int, size: int) -> int:
+        """``Make_header``: pack (tag, color, size) into a header word."""
+        if not 0 <= tag <= _TAG_MASK:
+            raise ValueError(f"tag {tag} out of range")
+        if not 0 <= size <= self.max_size:
+            raise ValueError(
+                f"block size {size} exceeds the {self.arch.bits}-bit header "
+                f"size field (max {self.max_size})"
+            )
+        return (size << _SIZE_SHIFT) | (int(color) << _COLOR_SHIFT) | tag
+
+    def tag(self, header: int) -> int:
+        """``Tag_hd``: extract the tag field."""
+        return header & _TAG_MASK
+
+    def color(self, header: int) -> Color:
+        """``Color_hd``: extract the color field."""
+        return Color((header & _COLOR_MASK) >> _COLOR_SHIFT)
+
+    def size(self, header: int) -> int:
+        """``Wosize_hd``: extract the size-in-words field."""
+        return header >> _SIZE_SHIFT
+
+    def decode(self, header: int) -> Header:
+        """Decode a full :class:`Header`."""
+        return Header(self.tag(header), self.color(header), self.size(header))
+
+    def with_color(self, header: int, color: Color | int) -> int:
+        """Return the header with its color field replaced."""
+        return (header & ~_COLOR_MASK & self.arch.word_mask) | (
+            int(color) << _COLOR_SHIFT
+        )
+
+    def is_blue(self, header: int) -> bool:
+        """True if the block is on the free list."""
+        return self.color(header) is Color.BLUE
+
+    def scannable(self, header: int) -> bool:
+        """True if the GC traverses this block's fields."""
+        return self.tag(header) < NO_SCAN_TAG

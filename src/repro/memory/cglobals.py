@@ -1,0 +1,71 @@
+"""The "C global data" area (paper §3.1.3, "Global Data").
+
+Models data a C extension of the application would allocate with
+``malloc`` and register with the runtime: a small word-addressed area plus
+a registry of *global roots* — slots in the area that hold OCaml values
+and must be scanned by the GC and fixed up on restart.  The paper requires
+such data to be saved during checkpoint; the registry is what makes that
+possible.
+"""
+
+from __future__ import annotations
+
+from repro.arch.architecture import Architecture
+from repro.errors import MemoryError_
+from repro.memory.layout import AddressSpace, AreaKind, MemoryArea
+
+#: Default C-global area size in words.
+DEFAULT_CGLOBAL_WORDS = 1024
+
+
+class CGlobalArea:
+    """A registered out-of-heap data area holding VM values."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        arch: Architecture,
+        base: int,
+        n_words: int = DEFAULT_CGLOBAL_WORDS,
+    ) -> None:
+        self.arch = arch
+        self._wb = arch.word_bytes
+        self.area = MemoryArea(
+            AreaKind.C_GLOBALS, base, n_words, arch, label="c-globals"
+        )
+        space.map(self.area)
+        self._next = 0
+        #: Word indices registered as GC roots (they hold values).
+        self.root_indices: list[int] = []
+
+    def alloc_slot(self, register_root: bool = True, init: int = 1) -> int:
+        """Allocate one word; returns its address.
+
+        ``init`` defaults to ``Val_int(0)`` so a fresh root is always a
+        valid value.
+        """
+        if self._next >= self.area.n_words:
+            raise MemoryError_("C-global area exhausted")
+        idx = self._next
+        self._next += 1
+        self.area.words[idx] = init
+        if register_root:
+            self.root_indices.append(idx)
+        return self.area.base + idx * self._wb
+
+    @property
+    def used_words(self) -> int:
+        """Number of allocated slots."""
+        return self._next
+
+    def root_addresses(self) -> list[int]:
+        """Addresses of all registered root slots."""
+        return [self.area.base + i * self._wb for i in self.root_indices]
+
+    def load(self, addr: int) -> int:
+        """Read a slot by address."""
+        return self.area.load(addr)
+
+    def store(self, addr: int, value: int) -> None:
+        """Write a slot by address."""
+        self.area.store(addr, value)

@@ -1,0 +1,44 @@
+"""Floating-point block payload encoding (paper §2.2.2).
+
+Doubles are stored in IEEE 754 double-precision format in the block's
+payload: two words on a 32-bit architecture, one word on a 64-bit
+architecture, laid out in memory order.  A cross-endian restart therefore
+re-encodes the *8-byte unit*, not each word independently.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.arch.architecture import Architecture, Endianness
+
+
+class FloatCodec:
+    """Pack/unpack IEEE doubles into word sequences for one architecture."""
+
+    def __init__(self, arch: Architecture) -> None:
+        self.arch = arch
+        self._wb = arch.word_bytes
+        self._fmt = ("<" if arch.endianness is Endianness.LITTLE else ">") + "d"
+
+    @property
+    def words_per_double(self) -> int:
+        """Payload size of a double block in words (2 on 32-bit, 1 on 64)."""
+        return 8 // self._wb
+
+    def encode(self, x: float) -> list[int]:
+        """Pack one double into its in-memory word sequence."""
+        raw = struct.pack(self._fmt, x)
+        return [
+            self.arch.word_from_bytes(raw[i : i + self._wb])
+            for i in range(0, 8, self._wb)
+        ]
+
+    def decode(self, words: list[int]) -> float:
+        """Unpack an in-memory word sequence back into a double."""
+        if len(words) != self.words_per_double:
+            raise ValueError(
+                f"double block payload must be {self.words_per_double} words"
+            )
+        raw = b"".join(self.arch.word_to_memory_bytes(w) for w in words)
+        return struct.unpack(self._fmt, raw)[0]

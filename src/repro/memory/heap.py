@@ -1,0 +1,333 @@
+"""The major heap: chunks, freelist, page table (paper §2.1, §2.4).
+
+The heap is an ordered list of *chunks*, each an integral number of 4 KiB
+pages, obtained from the (simulated) OS as needed.  Free space is a linked
+list of BLUE blocks threaded *through the heap itself*: the first field of
+every free block holds a pointer to the next free block.  Because the
+freelist lives inside the heap, dumping the chunks raw preserves it — the
+paper's step 8 relies on exactly this, saving only the freelist head
+pointer among the VM globals (step 9).
+
+A page table records which 4 KiB pages belong to the heap so that
+``is_in_heap`` can classify arbitrary words, which both the GC and the
+restart pointer-fixing pass depend on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.arch.architecture import Architecture
+from repro.errors import HeapExhausted
+from repro.memory.blocks import Color, HeaderCodec
+from repro.memory.layout import AddressSpace, AreaKind, MemoryArea
+
+#: Size of one heap page in bytes (paper §2.4: "memory pages of 4 KB each").
+PAGE_SIZE = 4096
+
+#: Null link terminating the freelist.
+NULL = 0
+
+#: Default chunk size in words; like OCaml's ``Heap_chunk_def``, chosen so
+#: a chunk is an integral number of pages on both word sizes.
+DEFAULT_CHUNK_WORDS = 31 * 1024
+
+
+class HeapChunk:
+    """One heap chunk: a memory area plus its position in the chunk chain."""
+
+    __slots__ = ("area", "next")
+
+    def __init__(self, area: MemoryArea) -> None:
+        self.area = area
+        self.next: "HeapChunk | None" = None
+
+    @property
+    def base(self) -> int:
+        """First byte address of the chunk."""
+        return self.area.base
+
+    @property
+    def end(self) -> int:
+        """One-past-the-end byte address."""
+        return self.area.end
+
+    @property
+    def n_words(self) -> int:
+        """Chunk size in words."""
+        return self.area.n_words
+
+
+class Heap:
+    """The major (old-generation) heap."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        arch: Architecture,
+        heap_base: int,
+        chunk_stride: int,
+        chunk_words: int = DEFAULT_CHUNK_WORDS,
+    ) -> None:
+        self.space = space
+        self.arch = arch
+        self.headers = HeaderCodec(arch)
+        self._wb = arch.word_bytes
+        self._heap_base = heap_base
+        self._chunk_stride = chunk_stride
+        self.chunk_words = chunk_words
+        self.chunks: list[HeapChunk] = []
+        #: Pointer (block address) of the first free block, or NULL.
+        self.freelist_head: int = NULL
+        #: Pages (addr >> 12) belonging to heap chunks.
+        self.page_table: set[int] = set()
+        #: Words allocated in the major heap since the last major slice —
+        #: feeds the GC pacing controller.
+        self.allocated_words: int = 0
+        self._next_chunk_slot = 0
+        if chunk_words * self._wb > chunk_stride:
+            raise ValueError("chunk size exceeds the platform chunk stride")
+
+    # -- chunk management -----------------------------------------------------
+
+    def add_chunk(self, min_words: int = 0) -> HeapChunk:
+        """Grow the heap by one chunk (>= ``min_words`` words of payload).
+
+        The whole chunk becomes a single BLUE block pushed onto the
+        freelist, mirroring OCaml's ``caml_add_to_heap``.
+        """
+        n_words = max(self.chunk_words, min_words + 1)
+        # Round up to an integral number of pages.
+        page_words = PAGE_SIZE // self._wb
+        n_words = -(-n_words // page_words) * page_words
+        base = self._heap_base + self._next_chunk_slot * self._chunk_stride
+        if n_words * self._wb > self._chunk_stride:
+            raise HeapExhausted(
+                f"allocation of {min_words} words exceeds the maximum chunk "
+                f"size of this platform layout"
+            )
+        self._next_chunk_slot += 1
+        area = MemoryArea(
+            AreaKind.HEAP_CHUNK,
+            base,
+            n_words,
+            self.arch,
+            label=f"heap-chunk-{len(self.chunks)}",
+        )
+        self.space.map(area)
+        chunk = HeapChunk(area)
+        if self.chunks:
+            self.chunks[-1].next = chunk
+        self.chunks.append(chunk)
+        for page in range(base // PAGE_SIZE, area.end // PAGE_SIZE):
+            self.page_table.add(page)
+        # One big free block covering the chunk.
+        area.words[0] = self.headers.make(0, Color.BLUE, n_words - 1)
+        block = base + self._wb
+        self.free_block(block)
+        return chunk
+
+    def adopt_chunk(self, area: MemoryArea) -> HeapChunk:
+        """Adopt an externally built chunk area (used by restart)."""
+        self.space.map(area)
+        chunk = HeapChunk(area)
+        if self.chunks:
+            self.chunks[-1].next = chunk
+        self.chunks.append(chunk)
+        for page in range(area.base // PAGE_SIZE, area.end // PAGE_SIZE):
+            self.page_table.add(page)
+        slot = (area.base - self._heap_base) // self._chunk_stride + 1
+        self._next_chunk_slot = max(self._next_chunk_slot, slot)
+        return chunk
+
+    # -- classification ---------------------------------------------------------
+
+    def is_in_heap(self, addr: int) -> bool:
+        """True if ``addr`` lies in a major-heap page.
+
+        Chunks are page-aligned and an integral number of pages, so the
+        page table alone answers membership — this is exactly the role of
+        OCaml's page table (paper §2.4).
+        """
+        return (addr >> 12) in self.page_table
+
+    # -- block primitives ---------------------------------------------------------
+
+    def header_addr(self, block: int) -> int:
+        """Address of the header word of a block pointer."""
+        return block - self._wb
+
+    def load_header(self, block: int) -> int:
+        """Read the header of a block."""
+        return self.space.load(block - self._wb)
+
+    def store_header(self, block: int, header: int) -> None:
+        """Write the header of a block."""
+        self.space.store(block - self._wb, header)
+
+    def field(self, block: int, i: int) -> int:
+        """``Field(block, i)``."""
+        return self.space.load(block + i * self._wb)
+
+    def set_field(self, block: int, i: int, value: int) -> None:
+        """``Field(block, i) = value`` (no write barrier at this level)."""
+        self.space.store(block + i * self._wb, value)
+
+    # -- freelist -------------------------------------------------------------------
+
+    def free_block(self, block: int) -> None:
+        """Color a block BLUE and push it on the freelist."""
+        hd = self.load_header(block)
+        self.store_header(block, self.headers.with_color(hd, Color.BLUE))
+        self.set_field(block, 0, self.freelist_head)
+        self.freelist_head = block
+
+    def iter_freelist(self) -> Iterator[int]:
+        """Iterate block pointers on the freelist."""
+        cur = self.freelist_head
+        seen = 0
+        while cur != NULL:
+            yield cur
+            cur = self.field(cur, 0)
+            seen += 1
+            if seen > 1 << 30:  # pragma: no cover - corruption guard
+                raise RuntimeError("freelist cycle detected")
+
+    def free_words(self) -> int:
+        """Total words (payload + headers) on the freelist."""
+        hs = self.headers
+        return sum(hs.size(self.load_header(b)) + 1 for b in self.iter_freelist())
+
+    def alloc(self, wosize: int, tag: int, color: Color = Color.WHITE) -> int:
+        """First-fit allocation of a block in the major heap.
+
+        Grows the heap with a fresh chunk when no free block fits
+        (paper §2.4: "if there is no more space ... OCaml extends the heap
+        by calling malloc").
+        """
+        if wosize < 1:
+            raise ValueError("major-heap blocks have at least one field")
+        block = self._try_alloc(wosize, tag, color)
+        if block is None:
+            self.add_chunk(min_words=wosize + 1)
+            block = self._try_alloc(wosize, tag, color)
+            if block is None:  # pragma: no cover - add_chunk guarantees fit
+                raise HeapExhausted(f"cannot allocate {wosize} words")
+        self.allocated_words += wosize + 1
+        return block
+
+    def _try_alloc(self, wosize: int, tag: int, color: Color) -> int | None:
+        hs = self.headers
+        prev = NULL
+        cur = self.freelist_head
+        while cur != NULL:
+            nxt = self.field(cur, 0)
+            size = hs.size(self.load_header(cur))
+            if size == wosize:
+                # Exact fit: unlink and recolor.
+                self._unlink(prev, nxt)
+                self.store_header(cur, hs.make(tag, color, wosize))
+                return cur
+            if size == wosize + 1:
+                # Splitting would leave a bare header: make it a white
+                # zero-size fragment (as OCaml's freelist does) and carve
+                # the allocation from the tail.
+                self._unlink(prev, nxt)
+                self.store_header(cur, hs.make(0, Color.WHITE, 0))
+                block = cur + self._wb
+                self.store_header(block, hs.make(tag, color, wosize))
+                return block
+            if size >= wosize + 2:
+                # Shrink the free block in place and carve from its tail;
+                # no relinking needed.
+                remaining = size - wosize - 1
+                hd = self.load_header(cur)
+                self.store_header(
+                    cur, hs.make(hs.tag(hd), Color.BLUE, remaining)
+                )
+                block = cur + (remaining + 1) * self._wb
+                self.store_header(block, hs.make(tag, color, wosize))
+                return block
+            prev = cur
+            cur = nxt
+        return None
+
+    def _unlink(self, prev: int, nxt: int) -> None:
+        if prev == NULL:
+            self.freelist_head = nxt
+        else:
+            self.set_field(prev, 0, nxt)
+
+    def rebuild_freelist(self) -> None:
+        """Re-thread the freelist from the BLUE blocks found in the heap.
+
+        Used by restart paths that rebuild the heap block-by-block (the
+        32<->64-bit conversion) where saved freelist links are no longer
+        meaningful.
+        """
+        self.freelist_head = NULL
+        blues: list[int] = []
+        for _, block, hd in self.iter_blocks():
+            # A blue block needs at least one field to hold the freelist
+            # link; zero-sized free space stays as a white fragment.
+            if self.headers.is_blue(hd) and self.headers.size(hd) >= 1:
+                blues.append(block)
+        for block in reversed(blues):
+            self.set_field(block, 0, self.freelist_head)
+            self.freelist_head = block
+
+    # -- whole-heap walks --------------------------------------------------------------
+
+    def iter_blocks(self) -> Iterator[tuple[HeapChunk, int, int]]:
+        """Yield ``(chunk, block_pointer, header)`` for every block.
+
+        This is the linear chunk walk the sweep phase and the restart
+        pointer-fixing pass use (paper Figure 7).
+        """
+        hs = self.headers
+        wb = self._wb
+        for chunk in self.chunks:
+            words = chunk.area.words
+            base = chunk.base
+            i = 0
+            n = len(words)
+            while i < n:
+                hd = words[i]
+                yield chunk, base + (i + 1) * wb, hd
+                i += 1 + hs.size(hd)
+
+    def live_words(self) -> int:
+        """Words in non-BLUE blocks (headers included)."""
+        hs = self.headers
+        return sum(
+            hs.size(hd) + 1
+            for _, _, hd in self.iter_blocks()
+            if not hs.is_blue(hd)
+        )
+
+    def total_words(self) -> int:
+        """Total heap size in words across all chunks."""
+        return sum(c.n_words for c in self.chunks)
+
+    def check_integrity(self) -> None:
+        """Validate chunk coverage and freelist/color consistency.
+
+        Raises ``AssertionError`` on corruption; used heavily by tests.
+        """
+        hs = self.headers
+        blues_in_heap = set()
+        for chunk in self.chunks:
+            covered = 0
+            for c, block, hd in self.iter_blocks():
+                if c is not chunk:
+                    continue
+                covered += 1 + hs.size(hd)
+                if hs.is_blue(hd):
+                    blues_in_heap.add(block)
+            assert covered == chunk.n_words, (
+                f"chunk {chunk.area.label} coverage {covered} != {chunk.n_words}"
+            )
+        on_list = set(self.iter_freelist())
+        assert on_list <= blues_in_heap, "freelist entry is not a BLUE block"
+        for block in blues_in_heap:
+            assert hs.size(self.load_header(block)) >= 1 or block not in on_list

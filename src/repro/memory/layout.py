@@ -1,0 +1,182 @@
+"""Virtual address space: word-addressed memory areas.
+
+The VM sees a flat virtual address space containing a handful of disjoint
+*areas* (heap chunks, minor heap, stack(s), byte-code, atom table, C
+globals).  A pointer value is a byte address; dereferencing goes through
+the :class:`AddressSpace`, which locates the owning area by binary search
+— the same role the saved *boundary addresses* play during restart
+(paper §3.2.2).
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from typing import Iterator
+
+from repro.arch.architecture import Architecture
+from repro.errors import AlignmentError, SegmentationFault
+
+
+class AreaKind(enum.Enum):
+    """What an area holds; drives checkpoint/restart handling."""
+
+    HEAP_CHUNK = "heap-chunk"
+    MINOR_HEAP = "minor-heap"
+    STACK = "stack"
+    THREAD_STACK = "thread-stack"
+    CODE = "code"
+    ATOMS = "atoms"
+    C_GLOBALS = "c-globals"
+
+
+class MemoryArea:
+    """A contiguous, word-addressed region of the virtual address space."""
+
+    __slots__ = ("kind", "base", "words", "word_bytes", "label")
+
+    def __init__(
+        self,
+        kind: AreaKind,
+        base: int,
+        n_words: int,
+        arch: Architecture,
+        label: str = "",
+        fill: int = 0,
+    ) -> None:
+        if base % arch.word_bytes:
+            raise AlignmentError(
+                f"area base {base:#x} not aligned to {arch.word_bytes} bytes"
+            )
+        self.kind = kind
+        self.base = base
+        self.words: list[int] = [fill] * n_words
+        self.word_bytes = arch.word_bytes
+        self.label = label or kind.value
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def n_words(self) -> int:
+        """Number of words in the area."""
+        return len(self.words)
+
+    @property
+    def size_bytes(self) -> int:
+        """Area size in bytes."""
+        return len(self.words) * self.word_bytes
+
+    @property
+    def end(self) -> int:
+        """One-past-the-end byte address."""
+        return self.base + self.size_bytes
+
+    def contains(self, addr: int) -> bool:
+        """True if ``addr`` falls inside this area."""
+        return self.base <= addr < self.end
+
+    def index_of(self, addr: int) -> int:
+        """Word index of a byte address (must be aligned and in range)."""
+        off = addr - self.base
+        if not 0 <= off < self.size_bytes:
+            raise SegmentationFault(
+                f"address {addr:#x} outside area {self.label} "
+                f"[{self.base:#x}, {self.end:#x})"
+            )
+        if off % self.word_bytes:
+            raise AlignmentError(f"misaligned access at {addr:#x}")
+        return off // self.word_bytes
+
+    def addr_of(self, index: int) -> int:
+        """Byte address of a word index."""
+        if not 0 <= index < len(self.words):
+            raise SegmentationFault(
+                f"word index {index} outside area {self.label}"
+            )
+        return self.base + index * self.word_bytes
+
+    # -- access ---------------------------------------------------------------
+
+    def load(self, addr: int) -> int:
+        """Read the word at a byte address."""
+        return self.words[self.index_of(addr)]
+
+    def store(self, addr: int, value: int) -> None:
+        """Write the word at a byte address."""
+        self.words[self.index_of(addr)] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MemoryArea {self.label} [{self.base:#x},{self.end:#x}) "
+            f"{self.n_words} words>"
+        )
+
+
+class AddressSpace:
+    """The VM's flat virtual address space: a set of disjoint areas."""
+
+    def __init__(self, arch: Architecture) -> None:
+        self.arch = arch
+        self._bases: list[int] = []
+        self._areas: list[MemoryArea] = []
+
+    # -- mapping ---------------------------------------------------------------
+
+    def map(self, area: MemoryArea) -> MemoryArea:
+        """Register an area; it must not overlap an existing one."""
+        i = bisect.bisect_right(self._bases, area.base)
+        if i > 0 and self._areas[i - 1].end > area.base:
+            raise SegmentationFault(
+                f"area {area.label} overlaps {self._areas[i - 1].label}"
+            )
+        if i < len(self._areas) and area.end > self._areas[i].base:
+            raise SegmentationFault(
+                f"area {area.label} overlaps {self._areas[i].label}"
+            )
+        self._bases.insert(i, area.base)
+        self._areas.insert(i, area)
+        return area
+
+    def unmap(self, area: MemoryArea) -> None:
+        """Remove an area (e.g. a freed thread stack)."""
+        i = bisect.bisect_left(self._bases, area.base)
+        if i >= len(self._areas) or self._areas[i] is not area:
+            raise SegmentationFault(f"area {area.label} is not mapped")
+        del self._bases[i]
+        del self._areas[i]
+
+    def find(self, addr: int) -> MemoryArea:
+        """Locate the area containing a byte address."""
+        i = bisect.bisect_right(self._bases, addr) - 1
+        if i >= 0:
+            area = self._areas[i]
+            if addr < area.end:
+                return area
+        raise SegmentationFault(f"unmapped address {addr:#x}")
+
+    def find_or_none(self, addr: int) -> MemoryArea | None:
+        """Like :meth:`find` but returns ``None`` for unmapped addresses."""
+        i = bisect.bisect_right(self._bases, addr) - 1
+        if i >= 0:
+            area = self._areas[i]
+            if addr < area.end:
+                return area
+        return None
+
+    # -- access ---------------------------------------------------------------
+
+    def load(self, addr: int) -> int:
+        """Read the word at a byte address anywhere in the space."""
+        return self.find(addr).load(addr)
+
+    def store(self, addr: int, value: int) -> None:
+        """Write the word at a byte address anywhere in the space."""
+        self.find(addr).store(addr, value)
+
+    def areas(self) -> Iterator[MemoryArea]:
+        """All mapped areas in ascending base order."""
+        return iter(self._areas)
+
+    def areas_of_kind(self, kind: AreaKind) -> list[MemoryArea]:
+        """All mapped areas of one kind, ascending base order."""
+        return [a for a in self._areas if a.kind is kind]

@@ -1,0 +1,87 @@
+"""The young generation (paper §2.4).
+
+A fixed-size area between ``young_start`` and ``young_end``; allocation is
+a linear bump.  When full, a minor collection copies the live data into
+the major heap and resets the bump pointer, leaving the area empty — which
+is why the checkpoint writer runs a minor collection first and never saves
+the minor heap (paper §4.1 step 2).
+"""
+
+from __future__ import annotations
+
+from repro.arch.architecture import Architecture
+from repro.memory.blocks import Color, HeaderCodec
+from repro.memory.layout import AddressSpace, AreaKind, MemoryArea
+
+#: Default young-generation size in words (OCaml's ``Minor_heap_def``-ish).
+DEFAULT_MINOR_WORDS = 32 * 1024
+
+#: Blocks larger than this are allocated directly in the major heap, like
+#: OCaml's ``Max_young_wosize``.
+MAX_YOUNG_WOSIZE = 256
+
+
+class MinorHeap:
+    """Bump-allocated young generation."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        arch: Architecture,
+        base: int,
+        n_words: int = DEFAULT_MINOR_WORDS,
+    ) -> None:
+        self.space = space
+        self.arch = arch
+        self.headers = HeaderCodec(arch)
+        self._wb = arch.word_bytes
+        self.area = MemoryArea(
+            AreaKind.MINOR_HEAP, base, n_words, arch, label="minor-heap"
+        )
+        space.map(self.area)
+        #: Next free word index (bump pointer).
+        self._next = 0
+
+    @property
+    def young_start(self) -> int:
+        """First byte address of the young generation."""
+        return self.area.base
+
+    @property
+    def young_end(self) -> int:
+        """One-past-the-end byte address of the young generation."""
+        return self.area.end
+
+    @property
+    def used_words(self) -> int:
+        """Words currently allocated in the young generation."""
+        return self._next
+
+    @property
+    def free_words(self) -> int:
+        """Words still available before a minor collection is needed."""
+        return self.area.n_words - self._next
+
+    def contains(self, addr: int) -> bool:
+        """True if ``addr`` points into the young generation."""
+        return self.young_start <= addr < self.young_end
+
+    def try_alloc(self, wosize: int, tag: int) -> int | None:
+        """Bump-allocate a block; ``None`` when a minor GC is needed."""
+        if wosize < 1:
+            raise ValueError("young blocks have at least one field")
+        need = wosize + 1
+        if self._next + need > self.area.n_words:
+            return None
+        hd_index = self._next
+        self._next += need
+        self.area.words[hd_index] = self.headers.make(tag, Color.WHITE, wosize)
+        return self.area.base + (hd_index + 1) * self._wb
+
+    def reset(self) -> None:
+        """Empty the young generation (after a minor collection)."""
+        self._next = 0
+
+    def is_empty(self) -> bool:
+        """True when no block is allocated in the young generation."""
+        return self._next == 0

@@ -1,0 +1,71 @@
+"""String block payload encoding (paper §2.2.2, "A String Type").
+
+Strings are stored as opaque byte data inside a ``STRING``-tagged block,
+using OCaml's padding scheme: the block occupies ``wosize`` whole words;
+the final byte of the final word holds the number of padding bytes, so
+
+    byte_length = wosize * word_bytes - 1 - last_byte
+
+Bytes are laid out in *memory order*, which is why a little<->big endian
+restart must repack string words rather than value-swap them: the byte
+sequence, not the word value, is what must survive (§3.2.1).
+"""
+
+from __future__ import annotations
+
+from repro.arch.architecture import Architecture
+
+
+class StringCodec:
+    """Pack/unpack byte strings into word sequences for one architecture."""
+
+    def __init__(self, arch: Architecture) -> None:
+        self.arch = arch
+        self._wb = arch.word_bytes
+
+    def words_needed(self, byte_length: int) -> int:
+        """Block size in words for a string of ``byte_length`` bytes.
+
+        Always leaves at least one spare byte for the padding marker.
+        """
+        return byte_length // self._wb + 1
+
+    def encode(self, data: bytes) -> list[int]:
+        """Pack ``data`` into words, zero-padded, with the OCaml pad byte."""
+        wosize = self.words_needed(len(data))
+        total = wosize * self._wb
+        pad = total - 1 - len(data)
+        raw = data + b"\x00" * pad + bytes([pad])
+        arch = self.arch
+        return [
+            arch.word_from_bytes(raw[i : i + self._wb])
+            for i in range(0, total, self._wb)
+        ]
+
+    def byte_length(self, words: list[int]) -> int:
+        """Recover the string length from a packed word sequence."""
+        if not words:
+            raise ValueError("a string block has at least one word")
+        last = self.arch.byte_of_word(words[-1], self._wb - 1)
+        length = len(words) * self._wb - 1 - last
+        if length < 0:
+            raise ValueError("corrupt string padding byte")
+        return length
+
+    def decode(self, words: list[int]) -> bytes:
+        """Unpack a packed word sequence back into the byte string."""
+        raw = b"".join(self.arch.word_to_memory_bytes(w) for w in words)
+        return raw[: self.byte_length(words)]
+
+    def memory_bytes(self, words: list[int]) -> bytes:
+        """The raw byte image of the block payload (including padding)."""
+        return b"".join(self.arch.word_to_memory_bytes(w) for w in words)
+
+    def get_byte(self, words: list[int], index: int) -> int:
+        """``Byte(s, i)``: read one character of a packed string."""
+        return self.arch.byte_of_word(words[index // self._wb], index % self._wb)
+
+    def set_byte(self, words: list[int], index: int, byte: int) -> None:
+        """``Byte(s, i) = b``: write one character of a packed string."""
+        wi = index // self._wb
+        words[wi] = self.arch.set_byte_of_word(words[wi], index % self._wb, byte)

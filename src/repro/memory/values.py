@@ -1,0 +1,77 @@
+"""Tagged word values, as in OCaml (paper §2.2).
+
+A machine word is either an immediate integer — least-significant bit 1,
+value in the remaining ``bits - 1`` bits — or a word-aligned pointer with
+least-significant bit 0.  This single-bit discrimination is what lets the
+restart code classify every saved word at recovery time.
+"""
+
+from __future__ import annotations
+
+from repro.arch.architecture import Architecture
+
+
+class ValueCodec:
+    """Encode/decode tagged values for one architecture."""
+
+    def __init__(self, arch: Architecture) -> None:
+        self.arch = arch
+        self._bits = arch.bits
+        self._mask = arch.word_mask
+        #: Largest immediate integer: 2**(bits-2) - 1.
+        self.max_int = (1 << (arch.bits - 2)) - 1
+        #: Smallest immediate integer: -(2**(bits-2)).
+        self.min_int = -(1 << (arch.bits - 2))
+
+    # -- immediates ---------------------------------------------------------
+
+    def val_int(self, n: int) -> int:
+        """``Val_int``: box a Python int as an immediate (wraps silently).
+
+        Wrapping mirrors the hardware: OCaml ints are ``bits - 1`` wide and
+        overflow by discarding high bits, preserving two's-complement sign.
+        """
+        return ((n << 1) | 1) & self._mask
+
+    def int_val(self, v: int) -> int:
+        """``Int_val``: unbox an immediate into a signed Python int."""
+        return self.arch.to_signed(v) >> 1
+
+    def is_int(self, v: int) -> bool:
+        """``Is_long``: true if the word is an immediate integer."""
+        return bool(v & 1)
+
+    def is_block(self, v: int) -> bool:
+        """``Is_block``: true if the word is a (potential) pointer."""
+        return not (v & 1)
+
+    # -- common constants ---------------------------------------------------
+
+    @property
+    def val_unit(self) -> int:
+        """The ``unit`` value, ``Val_int(0)``."""
+        return 1
+
+    @property
+    def val_false(self) -> int:
+        """``false``, represented as ``Val_int(0)``."""
+        return 1
+
+    @property
+    def val_true(self) -> int:
+        """``true``, represented as ``Val_int(1)``."""
+        return 3
+
+    def val_bool(self, b: bool) -> int:
+        """Box a Python bool."""
+        return 3 if b else 1
+
+    def bool_val(self, v: int) -> bool:
+        """Unbox a boolean value (any non-zero immediate is true)."""
+        return self.int_val(v) != 0
+
+    # -- arithmetic helpers used by the interpreter ---------------------------
+
+    def fits(self, n: int) -> bool:
+        """True if ``n`` is representable without wrapping."""
+        return self.min_int <= n <= self.max_int

@@ -1,0 +1,64 @@
+"""Phase timing instrumentation.
+
+The paper's Figures 13 and 14 break checkpoint and restart down into
+their substantial parts (minor GC, heap dump, stack, commit, ... /
+heap restore, pointer fixing, conversion, ...).  ``PhaseTimer`` is the
+shared instrument both the writer and the reader use to produce those
+breakdowns.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase."""
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time one phase (additive across repeated entries)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.seconds[name] = self.seconds.get(name, 0.0) + dt
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    @property
+    def total(self) -> float:
+        """Sum over all phases."""
+        return sum(self.seconds.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Per-phase share of the total (empty timer -> empty dict)."""
+        total = self.total
+        if total <= 0:
+            return {}
+        return {k: v / total for k, v in self.seconds.items()}
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Fold another timer's phases into this one."""
+        for k, v in other.seconds.items():
+            self.add(k, v)
+
+    def report(self, title: str = "phases") -> str:
+        """Human-readable table of the breakdown."""
+        lines = [f"{title}: total {self.total * 1e3:.3f} ms"]
+        for name, sec in sorted(
+            self.seconds.items(), key=lambda kv: -kv[1]
+        ):
+            share = 100.0 * sec / self.total if self.total else 0.0
+            lines.append(f"  {name:<24s} {sec * 1e3:10.3f} ms  {share:5.1f}%")
+        return "\n".join(lines)

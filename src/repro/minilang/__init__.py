@@ -1,0 +1,29 @@
+"""MiniML: a small ML dialect compiled to the VM's byte-code.
+
+Plays the role of the OCaml compiler in the paper's toolchain: the test
+programs (matrix multiplication, the user-guide insertion sort) are
+written in MiniML, compiled once, and the resulting portable code image
+runs on every simulated platform.
+
+Supported constructs: integer/float/string/bool/unit literals, ``let``
+and ``let rec`` (local and top-level), curried functions with partial
+application, ``if``/``then``/``else``, ``match`` over lists and integer
+constants, lists (``[]``, ``::``, literals), arrays
+(``Array.make``/``.(i)``/``<-``/``Array.length``), strings
+(``.[i]``, ``^``), refs (``ref``/``!``/``:=``), ``while``/``for`` loops,
+sequencing, and the VM primitive library (I/O, threads, channels,
+``checkpoint``).
+"""
+
+from repro.minilang.lexer import tokenize, Token, TokenKind
+from repro.minilang.parser import parse_program
+from repro.minilang.compiler import compile_source, compile_program
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenKind",
+    "parse_program",
+    "compile_source",
+    "compile_program",
+]

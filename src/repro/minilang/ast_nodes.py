@@ -1,0 +1,320 @@
+"""MiniML abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+
+
+@dataclass(frozen=True)
+class FloatLit:
+    value: float
+
+
+@dataclass(frozen=True)
+class StringLit:
+    value: bytes
+
+
+@dataclass(frozen=True)
+class BoolLit:
+    value: bool
+
+
+@dataclass(frozen=True)
+class UnitLit:
+    pass
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class If:
+    cond: "Expr"
+    then: "Expr"
+    orelse: "Expr"  # UnitLit() when omitted
+
+
+@dataclass(frozen=True)
+class Let:
+    """``let [rec] name params = bound in body``; params empty for values."""
+
+    name: str
+    params: tuple[str, ...]
+    bound: "Expr"
+    body: "Expr"
+    rec: bool = False
+
+
+@dataclass(frozen=True)
+class Fun:
+    params: tuple[str, ...]
+    body: "Expr"
+
+
+@dataclass(frozen=True)
+class Apply:
+    fn: "Expr"
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Integer/bool/string operator application, e.g. ``+``, ``<=``, ``^``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # "-", "-.", "not", "!"
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Seq:
+    first: "Expr"
+    second: "Expr"
+
+
+@dataclass(frozen=True)
+class While:
+    cond: "Expr"
+    body: "Expr"
+
+
+@dataclass(frozen=True)
+class For:
+    var: str
+    start: "Expr"
+    stop: "Expr"
+    down: bool
+    body: "Expr"
+
+
+@dataclass(frozen=True)
+class ArrayLit:
+    items: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class ListLit:
+    items: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Cons:
+    head: "Expr"
+    tail: "Expr"
+
+
+@dataclass(frozen=True)
+class ArrayGet:
+    array: "Expr"
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class ArraySet:
+    array: "Expr"
+    index: "Expr"
+    value: "Expr"
+
+
+@dataclass(frozen=True)
+class StringGet:
+    string: "Expr"
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class StringSet:
+    string: "Expr"
+    index: "Expr"
+    value: "Expr"
+
+
+@dataclass(frozen=True)
+class MakeRef:
+    init: "Expr"
+
+
+@dataclass(frozen=True)
+class RefSet:
+    ref: "Expr"
+    value: "Expr"
+
+
+# -- match patterns ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PWildcard:
+    pass
+
+
+@dataclass(frozen=True)
+class PVar:
+    name: str
+
+
+@dataclass(frozen=True)
+class PInt:
+    value: int
+
+
+@dataclass(frozen=True)
+class PBool:
+    value: bool
+
+
+@dataclass(frozen=True)
+class PString:
+    value: bytes
+
+
+@dataclass(frozen=True)
+class PEmptyList:
+    pass
+
+
+@dataclass(frozen=True)
+class PCons:
+    head: Union[PVar, PWildcard]
+    tail: Union[PVar, PWildcard]
+
+
+Pattern = Union[PWildcard, PVar, PInt, PBool, PString, PEmptyList, PCons]
+
+
+@dataclass(frozen=True)
+class Match:
+    scrutinee: "Expr"
+    arms: tuple[tuple[Pattern, "Expr"], ...]
+
+
+@dataclass(frozen=True)
+class TryWith:
+    """``try body with pat -> e | ...``; unmatched exceptions re-raise."""
+
+    body: "Expr"
+    arms: tuple[tuple[Pattern, "Expr"], ...]
+
+
+Expr = Union[
+    IntLit, FloatLit, StringLit, BoolLit, UnitLit, Var, If, Let, Fun,
+    Apply, BinOp, UnaryOp, Seq, While, For, ArrayLit, ListLit, Cons,
+    ArrayGet, ArraySet, StringGet, StringSet, MakeRef, RefSet, Match,
+    TryWith,
+]
+
+
+# -- top-level ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopLet:
+    """A top-level ``let [rec] name params = expr``."""
+
+    name: str
+    params: tuple[str, ...]
+    bound: Expr
+    rec: bool = False
+
+
+@dataclass(frozen=True)
+class TopExpr:
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Program:
+    items: tuple[Union[TopLet, TopExpr], ...]
+
+
+# -- free variables -----------------------------------------------------------------
+
+
+def free_vars(e: Expr) -> frozenset[str]:
+    """Free identifiers of an expression (for closure conversion)."""
+    if isinstance(e, (IntLit, FloatLit, StringLit, BoolLit, UnitLit)):
+        return frozenset()
+    if isinstance(e, Var):
+        return frozenset([e.name])
+    if isinstance(e, If):
+        return free_vars(e.cond) | free_vars(e.then) | free_vars(e.orelse)
+    if isinstance(e, Let):
+        bound_fv = free_vars(e.bound) - frozenset(e.params)
+        if e.rec:
+            bound_fv -= {e.name}
+        return bound_fv | (free_vars(e.body) - {e.name})
+    if isinstance(e, Fun):
+        return free_vars(e.body) - frozenset(e.params)
+    if isinstance(e, Apply):
+        out = free_vars(e.fn)
+        for a in e.args:
+            out |= free_vars(a)
+        return out
+    if isinstance(e, BinOp):
+        return free_vars(e.left) | free_vars(e.right)
+    if isinstance(e, UnaryOp):
+        return free_vars(e.operand)
+    if isinstance(e, Seq):
+        return free_vars(e.first) | free_vars(e.second)
+    if isinstance(e, While):
+        return free_vars(e.cond) | free_vars(e.body)
+    if isinstance(e, For):
+        return (
+            free_vars(e.start)
+            | free_vars(e.stop)
+            | (free_vars(e.body) - {e.var})
+        )
+    if isinstance(e, (ArrayLit, ListLit)):
+        out: frozenset[str] = frozenset()
+        for item in e.items:
+            out |= free_vars(item)
+        return out
+    if isinstance(e, Cons):
+        return free_vars(e.head) | free_vars(e.tail)
+    if isinstance(e, ArrayGet):
+        return free_vars(e.array) | free_vars(e.index)
+    if isinstance(e, ArraySet):
+        return free_vars(e.array) | free_vars(e.index) | free_vars(e.value)
+    if isinstance(e, StringGet):
+        return free_vars(e.string) | free_vars(e.index)
+    if isinstance(e, StringSet):
+        return free_vars(e.string) | free_vars(e.index) | free_vars(e.value)
+    if isinstance(e, MakeRef):
+        return free_vars(e.init)
+    if isinstance(e, RefSet):
+        return free_vars(e.ref) | free_vars(e.value)
+    if isinstance(e, Match):
+        return free_vars(e.scrutinee) | _arms_free_vars(e.arms)
+    if isinstance(e, TryWith):
+        return free_vars(e.body) | _arms_free_vars(e.arms)
+    raise TypeError(f"unknown AST node {e!r}")
+
+
+def _arms_free_vars(arms) -> frozenset[str]:
+    out: frozenset[str] = frozenset()
+    for pat, body in arms:
+        bound: set[str] = set()
+        if isinstance(pat, PVar):
+            bound.add(pat.name)
+        elif isinstance(pat, PCons):
+            if isinstance(pat.head, PVar):
+                bound.add(pat.head.name)
+            if isinstance(pat.tail, PVar):
+                bound.add(pat.tail.name)
+        out |= free_vars(body) - frozenset(bound)
+    return out

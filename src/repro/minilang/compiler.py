@@ -1,0 +1,740 @@
+"""MiniML to byte-code compiler.
+
+A ZINC-style compilation scheme (the shape of OCaml's ``bytegen``):
+
+* a compile-time virtual stack depth ``sz`` tracks how many words the
+  current function has pushed; a stack-bound variable recorded at depth
+  ``d`` is read with ``ACC (sz - d)``;
+* functions are closure-converted — free variables are captured into
+  closure fields accessed with ``ENVACC``, recursion reaches the closure
+  itself through ``OFFSETCLOSURE0``;
+* multi-parameter functions compile to ``RESTART``/``GRAB`` prologues,
+  giving OCaml-compatible partial application;
+* tail calls become ``APPTERM`` so loops written as recursion run in
+  constant stack space (the paper's insertion sort deliberately is
+  *not* tail-recursive, so its stack grows — see Figure 11).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.bytecode.assembler import Assembler, Label
+from repro.bytecode.image import CodeImage
+from repro.bytecode.opcodes import Op
+from repro.errors import CompileError
+from repro.interpreter.primitives import STANDARD_PRIMITIVES, Primitive
+from repro.minilang import ast_nodes as A
+from repro.minilang.parser import parse_program
+
+# -- locations ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LocStack:
+    """Bound on the stack; ``depth`` is the virtual depth at binding."""
+
+    depth: int
+
+
+@dataclass(frozen=True)
+class LocEnv:
+    """Captured in the current closure's environment field ``index``."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class LocRecSelf:
+    """The enclosing recursive closure itself (OFFSETCLOSURE0)."""
+
+
+@dataclass(frozen=True)
+class LocGlobal:
+    """A top-level binding stored in the global-data block."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class LocPrim:
+    """A VM primitive (C call)."""
+
+    prim: Primitive
+
+
+@dataclass(frozen=True)
+class LocInline:
+    """An instruction-inlined builtin (e.g. Array.length)."""
+
+    op: Op
+    nargs: int
+
+
+Location = Union[LocStack, LocEnv, LocRecSelf, LocGlobal, LocPrim, LocInline]
+
+#: MiniML surface names for primitives (aliases included).
+_PRIM_ALIASES = {
+    "Array.make": "array_make",
+    "String.length": "string_length",
+    "String.make": "string_make",
+    "String.sub": "string_sub",
+    "Thread.create": "thread_create",
+    "Thread.join": "thread_join",
+    "Thread.yield": "thread_yield",
+    "Thread.self": "thread_self",
+    "Mutex.create": "mutex_create",
+    "Mutex.lock": "mutex_lock",
+    "Mutex.unlock": "mutex_unlock",
+    "Condition.create": "condition_create",
+    "Condition.wait": "condition_wait",
+    "Condition.signal": "condition_signal",
+    "Condition.broadcast": "condition_broadcast",
+    "sqrt": "sqrt_float",
+    "Gc.minor": "gc_minor",
+    "Gc.full_major": "gc_full_major",
+    "Gc.stat": "gc_stat",
+    "Gc.compact": "gc_compact",
+}
+
+_INLINE_BUILTINS = {
+    "Array.length": (Op.VECTLENGTH, 1),
+    "vect_length": (Op.VECTLENGTH, 1),
+}
+
+_INT_BINOPS = {
+    "+": Op.ADDINT,
+    "-": Op.SUBINT,
+    "*": Op.MULINT,
+    "/": Op.DIVINT,
+    "mod": Op.MODINT,
+    "=": Op.EQ,
+    "<>": Op.NEQ,
+    "<": Op.LTINT,
+    "<=": Op.LEINT,
+    ">": Op.GTINT,
+    ">=": Op.GEINT,
+    "land": Op.ANDINT,
+    "lor": Op.ORINT,
+    "lxor": Op.XORINT,
+    "lsl": Op.LSLINT,
+    "lsr": Op.LSRINT,
+    "asr": Op.ASRINT,
+}
+
+_FLOAT_BINOPS = {
+    "+.": "add_float",
+    "-.": "sub_float",
+    "*.": "mul_float",
+    "/.": "div_float",
+}
+
+
+@dataclass
+class _PendingFunction:
+    label: Label
+    params: tuple[str, ...]
+    body: A.Expr
+    scope: dict[str, Location]
+
+
+class Compiler:
+    """Compiles one MiniML program into a code image."""
+
+    def __init__(self, name: str = "<miniml>") -> None:
+        self.asm = Assembler(name)
+        self.globals: dict[str, int] = {}
+        self._pending: list[_PendingFunction] = []
+        self._gensym = itertools.count()
+
+    # -- entry point -------------------------------------------------------------
+
+    def compile(self, program: A.Program) -> CodeImage:
+        """Compile a whole program; returns the portable code image."""
+        for item in program.items:
+            if isinstance(item, A.TopLet) and item.name != "_":
+                if item.name not in self.globals:
+                    self.globals[item.name] = len(self.globals)
+        for item in program.items:
+            if isinstance(item, A.TopLet):
+                bound = item.bound
+                if item.params:
+                    bound = A.Fun(item.params, bound)
+                elif item.rec:
+                    raise CompileError("'let rec' requires parameters")
+                scope: dict[str, Location] = {}
+                if item.rec:
+                    self._compile_closure(
+                        bound, scope, 0, rec_name=item.name
+                    )
+                else:
+                    self._expr(bound, scope, 0, tail=False)
+                if item.name != "_":
+                    self.asm.emit(Op.SETGLOBAL, self.globals[item.name])
+            else:
+                self._expr(item.expr, {}, 0, tail=False)
+        self.asm.emit(Op.STOP)
+        # Drain function bodies (the list grows as nested closures appear).
+        i = 0
+        while i < len(self._pending):
+            fn = self._pending[i]
+            i += 1
+            arity = len(fn.params)
+            if arity > 1:
+                self.asm.emit(Op.RESTART)
+            self.asm.place(fn.label)
+            if arity > 1:
+                self.asm.emit(Op.GRAB, arity - 1)
+            scope = dict(fn.scope)
+            for j, p in enumerate(fn.params):
+                if p != "_":
+                    scope[p] = LocStack(arity - j)
+            self._expr(fn.body, scope, arity, tail=True)
+        self.asm.n_globals = max(1, len(self.globals))
+        return self.asm.assemble()
+
+    # -- name resolution ---------------------------------------------------------------
+
+    def _lookup(self, name: str, scope: dict[str, Location]) -> Location:
+        if name in scope:
+            return scope[name]
+        if name in self.globals:
+            return LocGlobal(self.globals[name])
+        if name in _INLINE_BUILTINS:
+            op, nargs = _INLINE_BUILTINS[name]
+            return LocInline(op, nargs)
+        prim_name = _PRIM_ALIASES.get(name, name)
+        if prim_name in STANDARD_PRIMITIVES:
+            return LocPrim(STANDARD_PRIMITIVES.by_name(prim_name))
+        raise CompileError(f"unbound identifier {name!r}")
+
+    def _fresh(self, prefix: str) -> str:
+        return f"${prefix}{next(self._gensym)}"
+
+    # -- expression compilation ----------------------------------------------------------
+
+    def _expr(
+        self,
+        e: A.Expr,
+        scope: dict[str, Location],
+        sz: int,
+        tail: bool,
+    ) -> None:
+        """Compile ``e``; leaves its value in ACCU.
+
+        In tail mode every control path ends with RETURN or APPTERM.
+        """
+        emit = self.asm.emit
+
+        if isinstance(e, A.IntLit):
+            if not -(2**31) <= e.value < 2**31:
+                raise CompileError(f"integer literal {e.value} too large")
+            emit(Op.CONSTINT, e.value)
+            self._ret(tail, sz)
+        elif isinstance(e, A.BoolLit):
+            emit(Op.CONSTINT, 1 if e.value else 0)
+            self._ret(tail, sz)
+        elif isinstance(e, A.UnitLit):
+            emit(Op.CONSTINT, 0)
+            self._ret(tail, sz)
+        elif isinstance(e, A.FloatLit):
+            emit(Op.FLOATLIT, self.asm.float_literal(e.value))
+            self._ret(tail, sz)
+        elif isinstance(e, A.StringLit):
+            emit(Op.STRLIT, self.asm.string_literal(e.value))
+            self._ret(tail, sz)
+        elif isinstance(e, A.Var):
+            self._var(e.name, scope, sz)
+            self._ret(tail, sz)
+        elif isinstance(e, A.Fun):
+            self._compile_closure(e, scope, sz)
+            self._ret(tail, sz)
+        elif isinstance(e, A.Let):
+            self._let(e, scope, sz, tail)
+        elif isinstance(e, A.Apply):
+            self._apply(e, scope, sz, tail)
+        elif isinstance(e, A.If):
+            self._if(e, scope, sz, tail)
+        elif isinstance(e, A.Seq):
+            self._expr(e.first, scope, sz, tail=False)
+            self._expr(e.second, scope, sz, tail)
+        elif isinstance(e, A.BinOp):
+            self._binop(e, scope, sz)
+            self._ret(tail, sz)
+        elif isinstance(e, A.UnaryOp):
+            self._unop(e, scope, sz)
+            self._ret(tail, sz)
+        elif isinstance(e, A.Cons):
+            self._expr(e.tail, scope, sz, tail=False)
+            emit(Op.PUSH)
+            self._expr(e.head, scope, sz + 1, tail=False)
+            emit(Op.MAKEBLOCK, 2, 0)
+            self._ret(tail, sz)
+        elif isinstance(e, A.ListLit):
+            desugared: A.Expr = A.IntLit(0)  # [] is Val_int(0)
+            for item in reversed(e.items):
+                desugared = A.Cons(item, desugared)
+            if isinstance(desugared, A.IntLit):
+                emit(Op.CONSTINT, 0)
+                self._ret(tail, sz)
+            else:
+                self._expr(desugared, scope, sz, tail)
+        elif isinstance(e, A.ArrayLit):
+            n = len(e.items)
+            if n == 0:
+                emit(Op.ATOM, 0)
+                self._ret(tail, sz)
+            else:
+                cur = sz
+                for item in reversed(e.items[1:]):
+                    self._expr(item, scope, cur, tail=False)
+                    emit(Op.PUSH)
+                    cur += 1
+                self._expr(e.items[0], scope, cur, tail=False)
+                emit(Op.MAKEBLOCK, n, 0)
+                self._ret(tail, sz)
+        elif isinstance(e, A.ArrayGet):
+            self._expr(e.index, scope, sz, tail=False)
+            emit(Op.PUSH)
+            self._expr(e.array, scope, sz + 1, tail=False)
+            emit(Op.GETVECTITEM)
+            self._ret(tail, sz)
+        elif isinstance(e, A.ArraySet):
+            self._expr(e.value, scope, sz, tail=False)
+            emit(Op.PUSH)
+            self._expr(e.index, scope, sz + 1, tail=False)
+            emit(Op.PUSH)
+            self._expr(e.array, scope, sz + 2, tail=False)
+            emit(Op.SETVECTITEM)
+            self._ret(tail, sz)
+        elif isinstance(e, A.StringGet):
+            self._expr(e.index, scope, sz, tail=False)
+            emit(Op.PUSH)
+            self._expr(e.string, scope, sz + 1, tail=False)
+            emit(Op.GETSTRINGCHAR)
+            self._ret(tail, sz)
+        elif isinstance(e, A.StringSet):
+            self._expr(e.value, scope, sz, tail=False)
+            emit(Op.PUSH)
+            self._expr(e.index, scope, sz + 1, tail=False)
+            emit(Op.PUSH)
+            self._expr(e.string, scope, sz + 2, tail=False)
+            emit(Op.SETSTRINGCHAR)
+            self._ret(tail, sz)
+        elif isinstance(e, A.MakeRef):
+            self._expr(e.init, scope, sz, tail=False)
+            emit(Op.MAKEBLOCK, 1, 0)
+            self._ret(tail, sz)
+        elif isinstance(e, A.RefSet):
+            self._expr(e.value, scope, sz, tail=False)
+            emit(Op.PUSH)
+            self._expr(e.ref, scope, sz + 1, tail=False)
+            emit(Op.SETFIELD, 0)
+            self._ret(tail, sz)
+        elif isinstance(e, A.While):
+            self._while(e, scope, sz)
+            self._ret(tail, sz)
+        elif isinstance(e, A.For):
+            self._for(e, scope, sz)
+            self._ret(tail, sz)
+        elif isinstance(e, A.Match):
+            self._match(e, scope, sz, tail)
+        elif isinstance(e, A.TryWith):
+            self._try(e, scope, sz)
+            self._ret(tail, sz)
+        else:
+            raise CompileError(f"cannot compile {type(e).__name__}")
+
+    def _ret(self, tail: bool, sz: int) -> None:
+        if tail:
+            self.asm.emit(Op.RETURN, sz)
+
+    # -- variables ------------------------------------------------------------------------
+
+    def _var(self, name: str, scope: dict[str, Location], sz: int) -> None:
+        loc = self._lookup(name, scope)
+        emit = self.asm.emit
+        if isinstance(loc, LocStack):
+            emit(Op.ACC, sz - loc.depth)
+        elif isinstance(loc, LocEnv):
+            emit(Op.ENVACC, loc.index)
+        elif isinstance(loc, LocRecSelf):
+            emit(Op.OFFSETCLOSURE0)
+        elif isinstance(loc, LocGlobal):
+            emit(Op.GETGLOBAL, loc.index)
+        elif isinstance(loc, (LocPrim, LocInline)):
+            # A primitive used as a first-class value: eta-expand into a
+            # closure on the fly.
+            nargs = loc.prim.nargs if isinstance(loc, LocPrim) else loc.nargs
+            params = tuple(self._fresh("eta") for _ in range(nargs))
+            fn = A.Fun(params, A.Apply(A.Var(name), tuple(A.Var(p) for p in params)))
+            self._compile_closure(fn, scope, sz)
+        else:  # pragma: no cover
+            raise CompileError(f"bad location for {name}")
+
+    # -- closures ---------------------------------------------------------------------------
+
+    def _compile_closure(
+        self,
+        fn: A.Fun,
+        scope: dict[str, Location],
+        sz: int,
+        rec_name: Optional[str] = None,
+    ) -> None:
+        fv_all = A.free_vars(fn.body) - set(fn.params)
+        if rec_name:
+            fv_all -= {rec_name}
+        captured: list[str] = []
+        for name in sorted(fv_all):
+            loc = scope.get(name)
+            if isinstance(loc, (LocStack, LocEnv, LocRecSelf)):
+                captured.append(name)
+            # Globals, primitives and builtins are reached directly.
+        emit = self.asm.emit
+        cur = sz
+        for name in reversed(captured[1:]):
+            self._var(name, scope, cur)
+            emit(Op.PUSH)
+            cur += 1
+        if captured:
+            self._var(captured[0], scope, cur)
+        label = self.asm.label("fn")
+        emit(Op.CLOSURE, len(captured), label)
+        body_scope: dict[str, Location] = {
+            name: LocEnv(i + 1) for i, name in enumerate(captured)
+        }
+        if rec_name:
+            body_scope[rec_name] = LocRecSelf()
+        self._pending.append(
+            _PendingFunction(label, fn.params, fn.body, body_scope)
+        )
+
+    # -- let ----------------------------------------------------------------------------------
+
+    def _let(self, e: A.Let, scope: dict[str, Location], sz: int, tail: bool) -> None:
+        bound = e.bound
+        if e.params:
+            bound = A.Fun(e.params, bound)
+        elif e.rec:
+            raise CompileError("'let rec' requires parameters")
+        if e.rec:
+            self._compile_closure(bound, scope, sz, rec_name=e.name)
+        else:
+            self._expr(bound, scope, sz, tail=False)
+        self.asm.emit(Op.PUSH)
+        inner = dict(scope)
+        if e.name != "_":
+            inner[e.name] = LocStack(sz + 1)
+        self._expr(e.body, inner, sz + 1, tail)
+        if not tail:
+            self.asm.emit(Op.POP, 1)
+
+    # -- application ----------------------------------------------------------------------------
+
+    def _apply(self, e: A.Apply, scope: dict[str, Location], sz: int, tail: bool) -> None:
+        emit = self.asm.emit
+        # Primitive and inline-builtin fast paths.
+        if isinstance(e.fn, A.Var) and e.fn.name not in scope:
+            try:
+                loc = self._lookup(e.fn.name, scope)
+            except CompileError:
+                loc = None
+            if isinstance(loc, LocPrim):
+                prim = loc.prim
+                if len(e.args) == prim.nargs:
+                    cur = sz
+                    for arg in reversed(e.args[1:]):
+                        self._expr(arg, scope, cur, tail=False)
+                        emit(Op.PUSH)
+                        cur += 1
+                    self._expr(e.args[0], scope, cur, tail=False)
+                    emit(Op.C_CALL, prim.nargs, prim.pid)
+                    self._ret(tail, sz)
+                    return
+                if len(e.args) > prim.nargs:
+                    raise CompileError(
+                        f"primitive {e.fn.name} takes {prim.nargs} argument(s)"
+                    )
+                # Partial application of a primitive: go through the
+                # eta-expanded closure (general path below).
+            elif isinstance(loc, LocInline):
+                if len(e.args) != loc.nargs:
+                    raise CompileError(
+                        f"builtin {e.fn.name} takes {loc.nargs} argument(s)"
+                    )
+                cur = sz
+                for arg in reversed(e.args[1:]):
+                    self._expr(arg, scope, cur, tail=False)
+                    emit(Op.PUSH)
+                    cur += 1
+                self._expr(e.args[0], scope, cur, tail=False)
+                emit(loc.op)
+                self._ret(tail, sz)
+                return
+        n = len(e.args)
+        if tail:
+            cur = sz
+            for arg in reversed(e.args):
+                self._expr(arg, scope, cur, tail=False)
+                emit(Op.PUSH)
+                cur += 1
+            self._expr(e.fn, scope, cur, tail=False)
+            emit(Op.APPTERM, n, cur)
+        else:
+            ret = self.asm.label("ret")
+            emit(Op.PUSH_RETADDR, ret)
+            cur = sz + 3
+            for arg in reversed(e.args):
+                self._expr(arg, scope, cur, tail=False)
+                emit(Op.PUSH)
+                cur += 1
+            self._expr(e.fn, scope, cur, tail=False)
+            emit(Op.APPLY, n)
+            self.asm.place(ret)
+
+    # -- conditionals -----------------------------------------------------------------------------
+
+    def _if(self, e: A.If, scope: dict[str, Location], sz: int, tail: bool) -> None:
+        emit = self.asm.emit
+        els = self.asm.label("else")
+        self._expr(e.cond, scope, sz, tail=False)
+        emit(Op.BRANCHIFNOT, els)
+        self._expr(e.then, scope, sz, tail)
+        if tail:
+            self.asm.place(els)
+            self._expr(e.orelse, scope, sz, tail)
+        else:
+            end = self.asm.label("endif")
+            emit(Op.BRANCH, end)
+            self.asm.place(els)
+            self._expr(e.orelse, scope, sz, tail)
+            self.asm.place(end)
+
+    # -- operators ---------------------------------------------------------------------------------
+
+    def _binop(self, e: A.BinOp, scope: dict[str, Location], sz: int) -> None:
+        emit = self.asm.emit
+        if e.op in _INT_BINOPS:
+            self._expr(e.right, scope, sz, tail=False)
+            emit(Op.PUSH)
+            self._expr(e.left, scope, sz + 1, tail=False)
+            emit(_INT_BINOPS[e.op])
+            return
+        if e.op in _FLOAT_BINOPS:
+            prim = STANDARD_PRIMITIVES.by_name(_FLOAT_BINOPS[e.op])
+            self._expr(e.right, scope, sz, tail=False)
+            emit(Op.PUSH)
+            self._expr(e.left, scope, sz + 1, tail=False)
+            emit(Op.C_CALL, 2, prim.pid)
+            return
+        if e.op == "^":
+            prim = STANDARD_PRIMITIVES.by_name("string_concat")
+            self._expr(e.right, scope, sz, tail=False)
+            emit(Op.PUSH)
+            self._expr(e.left, scope, sz + 1, tail=False)
+            emit(Op.C_CALL, 2, prim.pid)
+            return
+        raise CompileError(f"unknown operator {e.op!r}")
+
+    def _unop(self, e: A.UnaryOp, scope: dict[str, Location], sz: int) -> None:
+        emit = self.asm.emit
+        self._expr(e.operand, scope, sz, tail=False)
+        if e.op == "-":
+            emit(Op.NEGINT)
+        elif e.op == "not":
+            emit(Op.BOOLNOT)
+        elif e.op == "!":
+            emit(Op.GETFIELD, 0)
+        elif e.op == "-.":
+            prim = STANDARD_PRIMITIVES.by_name("neg_float")
+            emit(Op.C_CALL, 1, prim.pid)
+        else:
+            raise CompileError(f"unknown unary operator {e.op!r}")
+
+    # -- loops ----------------------------------------------------------------------------------------
+
+    def _while(self, e: A.While, scope: dict[str, Location], sz: int) -> None:
+        emit = self.asm.emit
+        loop = self.asm.label("while")
+        done = self.asm.label("wdone")
+        self.asm.place(loop)
+        emit(Op.CHECK_SIGNALS)
+        self._expr(e.cond, scope, sz, tail=False)
+        emit(Op.BRANCHIFNOT, done)
+        self._expr(e.body, scope, sz, tail=False)
+        emit(Op.BRANCH, loop)
+        self.asm.place(done)
+        emit(Op.CONSTINT, 0)  # unit result
+
+    def _for(self, e: A.For, scope: dict[str, Location], sz: int) -> None:
+        emit = self.asm.emit
+        loop = self.asm.label("for")
+        done = self.asm.label("fdone")
+        self._expr(e.stop, scope, sz, tail=False)
+        emit(Op.PUSH)  # limit at depth sz+1
+        self._expr(e.start, scope, sz + 1, tail=False)
+        emit(Op.PUSH)  # i at depth sz+2
+        inner = dict(scope)
+        if e.var != "_":
+            inner[e.var] = LocStack(sz + 2)
+        self.asm.place(loop)
+        emit(Op.CHECK_SIGNALS)
+        emit(Op.ACC, 1)  # limit
+        emit(Op.PUSH)
+        emit(Op.ACC, 1)  # i (depth shifts by the push)
+        emit(Op.GEINT if e.down else Op.LEINT)
+        emit(Op.BRANCHIFNOT, done)
+        self._expr(e.body, inner, sz + 2, tail=False)
+        emit(Op.ACC, 0)
+        emit(Op.OFFSETINT, -1 if e.down else 1)
+        emit(Op.ASSIGN, 0)
+        emit(Op.BRANCH, loop)
+        self.asm.place(done)
+        emit(Op.POP, 2)
+        emit(Op.CONSTINT, 0)  # unit result
+
+    # -- match -----------------------------------------------------------------------------------------
+
+    def _match(self, e: A.Match, scope: dict[str, Location], sz: int, tail: bool) -> None:
+        """Compile ``match``; an exhausted match raises Match_failure."""
+        self._expr(e.scrutinee, scope, sz, tail=False)
+        self.asm.emit(Op.PUSH)
+        end = self.asm.label("mend")
+        self._compile_arms(e.arms, scope, sz + 1, tail, end, reraise=False)
+        if not tail:
+            self.asm.place(end)
+            self.asm.emit(Op.POP, 1)
+        # In tail mode every arm returned and the failure path raised;
+        # nothing remains to emit.
+
+    def _try(self, e: A.TryWith, scope: dict[str, Location], sz: int) -> None:
+        """Compile ``try``/``with``: a trap frame around the body, then a
+        match over the exception value with re-raise as the default.
+
+        Always compiled in non-tail form: a tail call cannot jump out
+        through a live trap frame (OCaml's bytegen restricts this the
+        same way).
+        """
+        emit = self.asm.emit
+        handler = self.asm.label("trap")
+        end = self.asm.label("tend")
+        emit(Op.PUSHTRAP, handler)
+        # The trap frame occupies four slots while the body runs.
+        self._expr(e.body, scope, sz + 4, tail=False)
+        emit(Op.POPTRAP)
+        emit(Op.BRANCH, end)
+        self.asm.place(handler)
+        # RAISE unwound the stack back to depth sz; ACCU holds the
+        # exception.  Bind it as the scrutinee of the handler arms.
+        emit(Op.PUSH)
+        inner_end = self.asm.label("hend")
+        self._compile_arms(e.arms, scope, sz + 1, False, inner_end, reraise=True)
+        self.asm.place(inner_end)
+        emit(Op.POP, 1)
+        self.asm.place(end)
+
+    def _compile_arms(
+        self,
+        arms,
+        scope: dict[str, Location],
+        sz1: int,
+        tail: bool,
+        end,
+        reraise: bool,
+    ) -> None:
+        """Shared arm compilation for ``match`` and ``try``/``with``.
+
+        The scrutinee sits on the stack at depth ``sz1``.  Fall-through
+        either raises Match_failure (``match``) or re-raises the
+        scrutinee (``try`` handlers).
+        """
+        emit = self.asm.emit
+        scrut_depth = sz1
+        for pat, body in arms:
+            nxt = self.asm.label("marm")
+            inner = dict(scope)
+            bindings = 0
+            if isinstance(pat, A.PWildcard):
+                pass
+            elif isinstance(pat, A.PVar):
+                inner[pat.name] = LocStack(scrut_depth)
+            elif isinstance(pat, (A.PInt, A.PBool, A.PEmptyList)):
+                if isinstance(pat, A.PInt):
+                    const = pat.value
+                elif isinstance(pat, A.PBool):
+                    const = 1 if pat.value else 0
+                else:
+                    const = 0
+                emit(Op.CONSTINT, const)
+                emit(Op.PUSH)
+                emit(Op.ACC, sz1 + 1 - scrut_depth)
+                emit(Op.EQ)
+                emit(Op.BRANCHIFNOT, nxt)
+            elif isinstance(pat, A.PString):
+                # Non-strings compare unequal (string_equal is total).
+                prim = STANDARD_PRIMITIVES.by_name("string_equal")
+                emit(Op.STRLIT, self.asm.string_literal(pat.value))
+                emit(Op.PUSH)
+                emit(Op.ACC, sz1 + 1 - scrut_depth)
+                emit(Op.C_CALL, 2, prim.pid)
+                emit(Op.BRANCHIFNOT, nxt)
+            elif isinstance(pat, A.PCons):
+                emit(Op.ACC, sz1 - scrut_depth)
+                emit(Op.ISINT)
+                emit(Op.BRANCHIF, nxt)
+                emit(Op.ACC, sz1 - scrut_depth)
+                emit(Op.GETFIELD, 0)
+                emit(Op.PUSH)
+                if isinstance(pat.head, A.PVar):
+                    inner[pat.head.name] = LocStack(sz1 + 1)
+                emit(Op.ACC, sz1 + 1 - scrut_depth)
+                emit(Op.GETFIELD, 1)
+                emit(Op.PUSH)
+                if isinstance(pat.tail, A.PVar):
+                    inner[pat.tail.name] = LocStack(sz1 + 2)
+                bindings = 2
+            else:  # pragma: no cover
+                raise CompileError(f"unsupported pattern {pat!r}")
+            self._expr(body, inner, sz1 + bindings, tail)
+            if not tail:
+                if bindings:
+                    emit(Op.POP, bindings)
+                emit(Op.BRANCH, end)
+            self.asm.place(nxt)
+            if isinstance(pat, (A.PWildcard, A.PVar)):
+                # Irrefutable: anything after is unreachable.
+                return
+        # Fall-through: no arm matched.
+        if reraise:
+            emit(Op.ACC, 0)  # the scrutinee (the exception)
+            emit(Op.RAISE)
+        else:
+            prim = STANDARD_PRIMITIVES.by_name("match_failure")
+            emit(Op.CONSTINT, 0)
+            emit(Op.C_CALL, 1, prim.pid)
+
+
+def compile_program(program: A.Program, name: str = "<miniml>") -> CodeImage:
+    """Compile a parsed program (without the standard prelude)."""
+    return Compiler(name).compile(program)
+
+
+def compile_source(
+    source: str, name: str = "<miniml>", prelude: bool = True
+) -> CodeImage:
+    """Parse and compile MiniML source text.
+
+    With ``prelude`` (the default) the standard library —
+    ``List.map``/``fold_left``/..., ``Array.init``/``copy``/...,
+    ``abs``/``min``/``max`` — is compiled in front of the program.
+    """
+    program = parse_program(source)
+    if prelude:
+        from repro.minilang.stdlib import PRELUDE_SOURCE
+
+        # Parsed separately so user error positions stay unshifted.
+        prelude_program = parse_program(PRELUDE_SOURCE)
+        program = A.Program(prelude_program.items + program.items)
+    return compile_program(program, name)

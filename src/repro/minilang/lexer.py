@@ -1,0 +1,210 @@
+"""MiniML lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import MiniMLSyntaxError
+
+KEYWORDS = {
+    "let", "rec", "in", "if", "then", "else", "fun", "match", "with",
+    "while", "do", "done", "for", "to", "downto", "begin", "end",
+    "true", "false", "not", "ref", "mod", "and", "try",
+}
+
+#: Multi-character operators, longest first.
+_OPERATORS = [
+    "[|", "|]", "<-", ":=", "->", "::", ";;", "<=", ">=", "<>", "&&", "||",
+    "+.", "-.", "*.", "/.", ".(", ".[",
+    "+", "-", "*", "/", "=", "<", ">", "(", ")", "[", "]", ";", "|",
+    "^", "!", ",", "_", ".",
+]
+
+
+class TokenKind(enum.Enum):
+    """Lexical category."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    CHAR = "char"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position."""
+
+    kind: TokenKind
+    text: str
+    value: object
+    line: int
+    col: int
+
+    def is_kw(self, kw: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == kw
+
+    def is_op(self, op: str) -> bool:
+        return self.kind is TokenKind.OP and self.text == op
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex MiniML source into tokens (raises on malformed input)."""
+    tokens: list[Token] = []
+    i = 0
+    line, col = 1, 1
+    n = len(source)
+
+    def err(msg: str):
+        raise MiniMLSyntaxError(f"line {line}, column {col}: {msg}")
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = source[i]
+        # Whitespace
+        if c in " \t\r\n":
+            advance(1)
+            continue
+        # Comments (* ... *), nesting allowed
+        if source.startswith("(*", i):
+            depth = 1
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and depth:
+                if source.startswith("(*", i):
+                    depth += 1
+                    advance(2)
+                elif source.startswith("*)", i):
+                    depth -= 1
+                    advance(2)
+                else:
+                    advance(1)
+            if depth:
+                line, col = start_line, start_col
+                err("unterminated comment")
+            continue
+        tok_line, tok_col = line, col
+        # Numbers
+        if c.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            is_float = False
+            if j < n and source[j] == "." and not source.startswith(".(", j) and not source.startswith(".[", j):
+                k = j + 1
+                if k >= n or not (source[k].isdigit() or source[k] in "eE"):
+                    # "1." is a float literal in ML
+                    is_float = True
+                    j = k
+                else:
+                    while k < n and source[k].isdigit():
+                        k += 1
+                    is_float = True
+                    j = k
+            if j < n and source[j] in "eE":
+                k = j + 1
+                if k < n and source[k] in "+-":
+                    k += 1
+                if k < n and source[k].isdigit():
+                    while k < n and source[k].isdigit():
+                        k += 1
+                    is_float = True
+                    j = k
+            text = source[i:j]
+            advance(j - i)
+            if is_float:
+                tokens.append(Token(TokenKind.FLOAT, text, float(text), tok_line, tok_col))
+            else:
+                tokens.append(Token(TokenKind.INT, text, int(text), tok_line, tok_col))
+            continue
+        # Strings
+        if c == '"':
+            j = i + 1
+            out = bytearray()
+            while j < n and source[j] != '"':
+                ch = source[j]
+                if ch == "\\":
+                    j += 1
+                    if j >= n:
+                        err("unterminated string escape")
+                    esc = source[j]
+                    mapping = {"n": 10, "t": 9, "r": 13, "\\": 92, '"': 34, "'": 39, "0": 0}
+                    if esc in mapping:
+                        out.append(mapping[esc])
+                    else:
+                        err(f"unknown escape \\{esc}")
+                else:
+                    out.append(ord(ch))
+                j += 1
+            if j >= n:
+                err("unterminated string literal")
+            text = source[i : j + 1]
+            advance(j + 1 - i)
+            tokens.append(Token(TokenKind.STRING, text, bytes(out), tok_line, tok_col))
+            continue
+        # Character literals 'a' (also '\n')
+        if c == "'":
+            j = i + 1
+            if j < n and source[j] == "\\" and j + 2 < n and source[j + 2] == "'":
+                esc = source[j + 1]
+                mapping = {"n": 10, "t": 9, "r": 13, "\\": 92, '"': 34, "'": 39, "0": 0}
+                if esc not in mapping:
+                    err(f"unknown escape \\{esc}")
+                advance(4)
+                tokens.append(Token(TokenKind.CHAR, source[i:i + 4], mapping[esc], tok_line, tok_col))
+                continue
+            if j + 1 < n and source[j + 1] == "'":
+                value = ord(source[j])
+                advance(3)
+                tokens.append(Token(TokenKind.CHAR, source[i:i + 3], value, tok_line, tok_col))
+                continue
+            err("malformed character literal")
+        # Identifiers / keywords (allow Module.name as one identifier)
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_'"):
+                j += 1
+            # Dotted access like Array.make (capitalized module prefix only)
+            if (
+                j < n
+                and source[j] == "."
+                and source[i].isupper()
+                and j + 1 < n
+                and source[j + 1].isalpha()
+            ):
+                k = j + 1
+                while k < n and (source[k].isalnum() or source[k] in "_'"):
+                    k += 1
+                j = k
+            text = source[i:j]
+            advance(j - i)
+            if text == "_" :
+                tokens.append(Token(TokenKind.OP, "_", None, tok_line, tok_col))
+            elif text in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, text, None, tok_line, tok_col))
+            else:
+                tokens.append(Token(TokenKind.IDENT, text, None, tok_line, tok_col))
+            continue
+        # Operators
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                advance(len(op))
+                tokens.append(Token(TokenKind.OP, op, None, tok_line, tok_col))
+                break
+        else:
+            err(f"unexpected character {c!r}")
+    tokens.append(Token(TokenKind.EOF, "", None, line, col))
+    return tokens

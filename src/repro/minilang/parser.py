@@ -1,0 +1,496 @@
+"""MiniML recursive-descent parser."""
+
+from __future__ import annotations
+
+from repro.errors import MiniMLSyntaxError
+from repro.minilang import ast_nodes as A
+from repro.minilang.lexer import Token, TokenKind, tokenize
+
+
+class Parser:
+    """Parses a token stream into a :class:`~ast_nodes.Program`."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def err(self, msg: str) -> "MiniMLSyntaxError":
+        tok = self.peek()
+        return MiniMLSyntaxError(
+            f"line {tok.line}, column {tok.col}: {msg} (at {tok.text!r})"
+        )
+
+    def expect_op(self, op: str) -> None:
+        if not self.peek().is_op(op):
+            raise self.err(f"expected {op!r}")
+        self.next()
+
+    def expect_kw(self, kw: str) -> None:
+        if not self.peek().is_kw(kw):
+            raise self.err(f"expected keyword {kw!r}")
+        self.next()
+
+    def accept_op(self, op: str) -> bool:
+        if self.peek().is_op(op):
+            self.next()
+            return True
+        return False
+
+    def accept_kw(self, kw: str) -> bool:
+        if self.peek().is_kw(kw):
+            self.next()
+            return True
+        return False
+
+    # -- program ------------------------------------------------------------------
+
+    def parse_program(self) -> A.Program:
+        items: list = []
+        while self.accept_op(";;"):
+            pass
+        while self.peek().kind is not TokenKind.EOF:
+            items.append(self.parse_item())
+            while self.accept_op(";;"):
+                pass
+        return A.Program(tuple(items))
+
+    def parse_item(self):
+        if self.peek().is_kw("let"):
+            save = self.pos
+            self.next()
+            rec = self.accept_kw("rec")
+            name, params = self.parse_binding_head()
+            self.expect_op("=")
+            bound = self.parse_expr()
+            if self.accept_kw("in"):
+                body = self.parse_expr()
+                return A.TopExpr(A.Let(name, params, bound, body, rec))
+            if self.peek().is_kw("and"):
+                raise self.err("mutually recursive 'and' bindings are not supported")
+            return A.TopLet(name, params, bound, rec)
+        return A.TopExpr(self.parse_expr())
+
+    def parse_binding_head(self) -> tuple[str, tuple[str, ...]]:
+        tok = self.peek()
+        if tok.is_op("("):
+            # `let () = ...`
+            self.next()
+            self.expect_op(")")
+            return "_", ()
+        if tok.is_op("_"):
+            self.next()
+            return "_", ()
+        if tok.kind is not TokenKind.IDENT:
+            raise self.err("expected a binding name")
+        name = self.next().text
+        params: list[str] = []
+        while True:
+            p = self.peek()
+            if p.kind is TokenKind.IDENT:
+                params.append(self.next().text)
+            elif p.is_op("(") and self.peek(1).is_op(")"):
+                self.next()
+                self.next()
+                params.append("_")
+            elif p.is_op("_"):
+                self.next()
+                params.append("_")
+            else:
+                break
+        return name, tuple(params)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def parse_expr(self) -> A.Expr:
+        return self.parse_seq()
+
+    def parse_seq(self) -> A.Expr:
+        e = self.parse_keyword_or_assign()
+        if self.accept_op(";"):
+            return A.Seq(e, self.parse_seq())
+        return e
+
+    def parse_keyword_or_assign(self) -> A.Expr:
+        tok = self.peek()
+        if tok.is_kw("let"):
+            return self.parse_let_expr()
+        if tok.is_kw("fun"):
+            return self.parse_fun()
+        if tok.is_kw("if"):
+            return self.parse_if()
+        if tok.is_kw("match"):
+            return self.parse_match()
+        if tok.is_kw("try"):
+            return self.parse_try()
+        if tok.is_kw("while"):
+            return self.parse_while()
+        if tok.is_kw("for"):
+            return self.parse_for()
+        return self.parse_assign()
+
+    def parse_let_expr(self) -> A.Expr:
+        self.expect_kw("let")
+        rec = self.accept_kw("rec")
+        name, params = self.parse_binding_head()
+        self.expect_op("=")
+        bound = self.parse_expr_nonseq()
+        self.expect_kw("in")
+        body = self.parse_expr()
+        return A.Let(name, params, bound, body, rec)
+
+    def parse_expr_nonseq(self) -> A.Expr:
+        """An expression that stops before ``in`` — sequences allowed."""
+        e = self.parse_keyword_or_assign()
+        if self.accept_op(";"):
+            return A.Seq(e, self.parse_expr_nonseq())
+        return e
+
+    def parse_fun(self) -> A.Expr:
+        self.expect_kw("fun")
+        params: list[str] = []
+        while True:
+            tok = self.peek()
+            if tok.kind is TokenKind.IDENT:
+                params.append(self.next().text)
+            elif tok.is_op("(") and self.peek(1).is_op(")"):
+                self.next()
+                self.next()
+                params.append("_")
+            elif tok.is_op("_"):
+                self.next()
+                params.append("_")
+            else:
+                break
+        if not params:
+            raise self.err("fun needs at least one parameter")
+        self.expect_op("->")
+        return A.Fun(tuple(params), self.parse_expr())
+
+    def parse_if(self) -> A.Expr:
+        self.expect_kw("if")
+        cond = self.parse_expr_nonkw()
+        self.expect_kw("then")
+        then = self.parse_keyword_or_assign()
+        if self.accept_kw("else"):
+            orelse = self.parse_keyword_or_assign()
+        else:
+            orelse = A.UnitLit()
+        return A.If(cond, then, orelse)
+
+    def parse_expr_nonkw(self) -> A.Expr:
+        """Condition position: no bare sequences."""
+        return self.parse_keyword_or_assign()
+
+    def parse_match(self) -> A.Expr:
+        self.expect_kw("match")
+        scrutinee = self.parse_expr_nonkw()
+        self.expect_kw("with")
+        self.accept_op("|")
+        arms: list[tuple[A.Pattern, A.Expr]] = []
+        while True:
+            pat = self.parse_pattern()
+            self.expect_op("->")
+            body = self.parse_keyword_or_assign()
+            arms.append((pat, body))
+            if not self.accept_op("|"):
+                break
+        return A.Match(scrutinee, tuple(arms))
+
+    def parse_try(self) -> A.Expr:
+        self.expect_kw("try")
+        body = self.parse_expr_nonseq()  # sequences allowed before `with`
+        self.expect_kw("with")
+        self.accept_op("|")
+        arms: list[tuple[A.Pattern, A.Expr]] = []
+        while True:
+            pat = self.parse_pattern()
+            self.expect_op("->")
+            handler = self.parse_keyword_or_assign()
+            arms.append((pat, handler))
+            if not self.accept_op("|"):
+                break
+        return A.TryWith(body, tuple(arms))
+
+    def parse_pattern(self) -> A.Pattern:
+        tok = self.peek()
+        if tok.is_op("("):
+            self.next()
+            pat = self.parse_pattern()
+            self.expect_op(")")
+            return pat
+        base = self.parse_simple_pattern()
+        if self.accept_op("::"):
+            tail = self.parse_simple_pattern()
+            if not isinstance(base, (A.PVar, A.PWildcard)):
+                raise self.err("cons pattern head must be a name or _")
+            if not isinstance(tail, (A.PVar, A.PWildcard)):
+                raise self.err("cons pattern tail must be a name or _")
+            return A.PCons(base, tail)
+        return base
+
+    def parse_simple_pattern(self) -> A.Pattern:
+        tok = self.next()
+        if tok.is_op("_"):
+            return A.PWildcard()
+        if tok.kind is TokenKind.IDENT:
+            return A.PVar(tok.text)
+        if tok.kind is TokenKind.INT:
+            return A.PInt(tok.value)
+        if tok.kind is TokenKind.CHAR:
+            return A.PInt(tok.value)
+        if tok.kind is TokenKind.STRING:
+            return A.PString(tok.value)
+        if tok.is_kw("true"):
+            return A.PBool(True)
+        if tok.is_kw("false"):
+            return A.PBool(False)
+        if tok.is_op("["):
+            self.expect_op("]")
+            return A.PEmptyList()
+        if tok.is_op("-") and self.peek().kind is TokenKind.INT:
+            return A.PInt(-self.next().value)
+        raise self.err(f"unsupported pattern starting with {tok.text!r}")
+
+    def parse_while(self) -> A.Expr:
+        self.expect_kw("while")
+        cond = self.parse_expr_nonkw()
+        self.expect_kw("do")
+        body = self.parse_expr()
+        self.expect_kw("done")
+        return A.While(cond, body)
+
+    def parse_for(self) -> A.Expr:
+        self.expect_kw("for")
+        if self.peek().kind is not TokenKind.IDENT:
+            raise self.err("expected loop variable")
+        var = self.next().text
+        self.expect_op("=")
+        start = self.parse_expr_nonkw()
+        if self.accept_kw("to"):
+            down = False
+        elif self.accept_kw("downto"):
+            down = True
+        else:
+            raise self.err("expected 'to' or 'downto'")
+        stop = self.parse_expr_nonkw()
+        self.expect_kw("do")
+        body = self.parse_expr()
+        self.expect_kw("done")
+        return A.For(var, start, stop, down, body)
+
+    # -- operator precedence chain ----------------------------------------------------------
+
+    def parse_assign(self) -> A.Expr:
+        e = self.parse_or()
+        if self.accept_op("<-"):
+            value = self.parse_keyword_or_assign()
+            if isinstance(e, A.ArrayGet):
+                return A.ArraySet(e.array, e.index, value)
+            if isinstance(e, A.StringGet):
+                return A.StringSet(e.string, e.index, value)
+            raise self.err("<- expects an array or string element on the left")
+        if self.accept_op(":="):
+            value = self.parse_keyword_or_assign()
+            return A.RefSet(e, value)
+        return e
+
+    def parse_or(self) -> A.Expr:
+        e = self.parse_and()
+        while self.peek().is_op("||"):
+            self.next()
+            e = A.If(e, A.BoolLit(True), self.parse_and())
+        return e
+
+    def parse_and(self) -> A.Expr:
+        e = self.parse_cmp()
+        while self.peek().is_op("&&"):
+            self.next()
+            e = A.If(e, self.parse_cmp(), A.BoolLit(False))
+        return e
+
+    _CMP_OPS = ("=", "<>", "<=", ">=", "<", ">")
+
+    def parse_cmp(self) -> A.Expr:
+        e = self.parse_cons()
+        tok = self.peek()
+        for op in self._CMP_OPS:
+            if tok.is_op(op):
+                self.next()
+                return A.BinOp(op, e, self.parse_cons())
+        return e
+
+    def parse_cons(self) -> A.Expr:
+        e = self.parse_concat()
+        if self.accept_op("::"):
+            return A.Cons(e, self.parse_cons())  # right associative
+        return e
+
+    def parse_concat(self) -> A.Expr:
+        e = self.parse_additive()
+        if self.accept_op("^"):
+            return A.BinOp("^", e, self.parse_concat())  # right associative
+        return e
+
+    _ADD_OPS = ("+.", "-.", "+", "-")
+    _MUL_OPS = ("*.", "/.", "*", "/")
+
+    def parse_additive(self) -> A.Expr:
+        e = self.parse_multiplicative()
+        while True:
+            tok = self.peek()
+            for op in self._ADD_OPS:
+                if tok.is_op(op):
+                    self.next()
+                    e = A.BinOp(op, e, self.parse_multiplicative())
+                    break
+            else:
+                return e
+
+    def parse_multiplicative(self) -> A.Expr:
+        e = self.parse_unary()
+        while True:
+            tok = self.peek()
+            if tok.is_kw("mod"):
+                self.next()
+                e = A.BinOp("mod", e, self.parse_unary())
+                continue
+            for op in self._MUL_OPS:
+                if tok.is_op(op):
+                    self.next()
+                    e = A.BinOp(op, e, self.parse_unary())
+                    break
+            else:
+                return e
+
+    def parse_unary(self) -> A.Expr:
+        tok = self.peek()
+        if tok.is_op("-"):
+            self.next()
+            operand = self.parse_unary()
+            if isinstance(operand, A.IntLit):
+                return A.IntLit(-operand.value)
+            if isinstance(operand, A.FloatLit):
+                return A.FloatLit(-operand.value)
+            return A.UnaryOp("-", operand)
+        if tok.is_op("-."):
+            self.next()
+            operand = self.parse_unary()
+            if isinstance(operand, A.FloatLit):
+                return A.FloatLit(-operand.value)
+            return A.UnaryOp("-.", operand)
+        if tok.is_kw("not"):
+            self.next()
+            return A.UnaryOp("not", self.parse_unary())
+        if tok.is_op("!"):
+            self.next()
+            return A.UnaryOp("!", self.parse_unary())
+        return self.parse_application()
+
+    def _starts_atom(self, tok: Token) -> bool:
+        return (
+            tok.kind in (TokenKind.INT, TokenKind.FLOAT, TokenKind.STRING,
+                         TokenKind.CHAR, TokenKind.IDENT)
+            or tok.is_kw("true")
+            or tok.is_kw("false")
+            or tok.is_kw("begin")
+            or tok.is_op("(")
+            or tok.is_op("[")
+            or tok.is_op("[|")
+        )
+
+    def parse_application(self) -> A.Expr:
+        tok = self.peek()
+        if tok.is_kw("ref"):
+            self.next()
+            return A.MakeRef(self.parse_postfix())
+        head = self.parse_postfix()
+        args: list[A.Expr] = []
+        while self._starts_atom(self.peek()) or self.peek().is_op("!"):
+            if self.peek().is_op("!"):
+                self.next()
+                args.append(A.UnaryOp("!", self.parse_postfix()))
+            else:
+                args.append(self.parse_postfix())
+        if args:
+            return A.Apply(head, tuple(args))
+        return head
+
+    def parse_postfix(self) -> A.Expr:
+        e = self.parse_atom()
+        while True:
+            if self.peek().is_op(".("):
+                self.next()
+                index = self.parse_expr()
+                self.expect_op(")")
+                e = A.ArrayGet(e, index)
+            elif self.peek().is_op(".["):
+                self.next()
+                index = self.parse_expr()
+                self.expect_op("]")
+                e = A.StringGet(e, index)
+            else:
+                return e
+
+    def parse_atom(self) -> A.Expr:
+        tok = self.next()
+        if tok.kind is TokenKind.INT:
+            return A.IntLit(tok.value)
+        if tok.kind is TokenKind.FLOAT:
+            return A.FloatLit(tok.value)
+        if tok.kind is TokenKind.STRING:
+            return A.StringLit(tok.value)
+        if tok.kind is TokenKind.CHAR:
+            return A.IntLit(tok.value)
+        if tok.kind is TokenKind.IDENT:
+            return A.Var(tok.text)
+        if tok.is_kw("true"):
+            return A.BoolLit(True)
+        if tok.is_kw("false"):
+            return A.BoolLit(False)
+        if tok.is_kw("begin"):
+            e = self.parse_expr()
+            self.expect_kw("end")
+            return e
+        if tok.is_op("("):
+            if self.accept_op(")"):
+                return A.UnitLit()
+            e = self.parse_expr()
+            self.expect_op(")")
+            return e
+        if tok.is_op("["):
+            if self.accept_op("]"):
+                return A.ListLit(())
+            items = [self.parse_keyword_or_assign()]
+            while self.accept_op(";"):
+                if self.peek().is_op("]"):
+                    break
+                items.append(self.parse_keyword_or_assign())
+            self.expect_op("]")
+            return A.ListLit(tuple(items))
+        if tok.is_op("[|"):
+            if self.accept_op("|]"):
+                return A.ArrayLit(())
+            items = [self.parse_keyword_or_assign()]
+            while self.accept_op(";"):
+                if self.peek().is_op("|]"):
+                    break
+                items.append(self.parse_keyword_or_assign())
+            self.expect_op("|]")
+            return A.ArrayLit(tuple(items))
+        raise self.err(f"unexpected token {tok.text!r}")
+
+
+def parse_program(source: str) -> A.Program:
+    """Parse MiniML source into a program AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,98 @@
+"""The MiniML standard prelude.
+
+A small library compiled in front of every program (unless disabled):
+list operations, numeric helpers, and array utilities, written in
+MiniML itself so they exercise the same byte-code paths as user code.
+Top-level dotted names like ``List.map`` are ordinary identifiers to
+the lexer, so the prelude simply defines them as globals.
+"""
+
+from __future__ import annotations
+
+PRELUDE_SOURCE = """
+(* ---- numeric helpers ---- *)
+let abs n = if n < 0 then -n else n;;
+let min a b = if a <= b then a else b;;
+let max a b = if a >= b then a else b;;
+let succ n = n + 1;;
+let pred n = n - 1;;
+
+(* ---- lists ---- *)
+let rec List.length l = match l with [] -> 0 | _ :: t -> 1 + List.length t;;
+
+let List.rev l =
+  let rec go acc l = match l with [] -> acc | h :: t -> go (h :: acc) t in
+  go [] l;;
+
+let rec List.append a b =
+  match a with [] -> b | h :: t -> h :: List.append t b;;
+
+let List.map f l =
+  let rec go acc l = match l with [] -> List.rev acc | h :: t -> go (f h :: acc) t in
+  go [] l;;
+
+let rec List.iter f l =
+  match l with [] -> () | h :: t -> (let _ = f h in List.iter f t);;
+
+let rec List.fold_left f acc l =
+  match l with [] -> acc | h :: t -> List.fold_left f (f acc h) t;;
+
+let rec List.mem x l =
+  match l with [] -> false | h :: t -> if h = x then true else List.mem x t;;
+
+let rec List.nth l n =
+  match l with
+  | [] -> failwith "List.nth"
+  | h :: t -> if n = 0 then h else List.nth t (n - 1);;
+
+let List.filter p l =
+  let rec go acc l =
+    match l with
+    | [] -> List.rev acc
+    | h :: t -> if p h then go (h :: acc) t else go acc t
+  in go [] l;;
+
+let rec List.assoc key l =
+  match l with
+  | [] -> failwith "Not_found"
+  | pair :: t -> if pair.(0) = key then pair.(1) else List.assoc key t;;
+
+(* ---- arrays ---- *)
+let Array.init n f =
+  if n = 0 then [||]
+  else begin
+    let a = Array.make n (f 0) in
+    for i = 1 to n - 1 do a.(i) <- f i done;
+    a
+  end;;
+
+let Array.copy a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let b = Array.make n a.(0) in
+    for i = 1 to n - 1 do b.(i) <- a.(i) done;
+    b
+  end;;
+
+let Array.fill a lo len x =
+  for i = lo to lo + len - 1 do a.(i) <- x done;;
+
+let Array.iter f a =
+  for i = 0 to Array.length a - 1 do let _ = f a.(i) in () done;;
+
+let Array.to_list a =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (a.(i) :: acc) in
+  go (Array.length a - 1) [];;
+
+(* ---- strings ---- *)
+let String.get s i = s.[i];;
+let rec String.repeat s n = if n = 0 then "" else s ^ String.repeat s (n - 1);;
+"""
+
+
+def prelude_globals() -> list[str]:
+    """Names the prelude defines (for documentation and tests)."""
+    import re
+
+    return re.findall(r"^let (?:rec )?([A-Za-z_][\w.]*)", PRELUDE_SOURCE, re.M)

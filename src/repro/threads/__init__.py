@@ -1,0 +1,23 @@
+"""VM-managed green threads (paper §2.3, §3.1.4, §3.2.3).
+
+Threads are created and scheduled entirely by the virtual machine — the
+host OS never sees them.  Each thread owns a private stack and register
+set; a round-robin scheduler preempts at safe points driven by a virtual
+timer.  Because the VM owns all thread state, the checkpointer can reach
+every thread's stack and registers (the paper's key argument for
+VM-level C/R of multi-threaded applications).
+"""
+
+from repro.threads.thread import VMThread, ThreadState, BlockKind, EXIT_SENTINEL
+from repro.threads.scheduler import Scheduler
+from repro.threads.sync import MutexOps, CondvarOps
+
+__all__ = [
+    "VMThread",
+    "ThreadState",
+    "BlockKind",
+    "EXIT_SENTINEL",
+    "Scheduler",
+    "MutexOps",
+    "CondvarOps",
+]

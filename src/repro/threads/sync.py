@@ -1,0 +1,168 @@
+"""Mutexes and condition variables (paper §3.2.3).
+
+Both are ordinary scannable heap blocks, so their state is checkpointed
+with the heap and their pointers are adjusted on restart like any other
+value; the *wait sets* are derived from per-thread blocking state, which
+the checkpointer saves with the thread table.  This is exactly the
+arrangement that lets the paper's restart policy — "no thread can start
+running until all threads are fully restored" — avoid the lost-wakeup
+deadlock described in §3.2.3.
+
+A mutex block has two fields: ``locked`` (bool) and ``owner`` (thread id,
+-1 when free).  A condition variable block has one unused field (block
+identity is what matters).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ThreadError
+from repro.memory.manager import MemoryManager
+from repro.threads.scheduler import Scheduler
+from repro.threads.thread import BlockKind, ThreadState, VMThread
+
+_LOCKED = 0
+_OWNER = 1
+
+
+class MutexOps:
+    """Operations on mutex blocks."""
+
+    def __init__(self, mem: MemoryManager, sched: Scheduler) -> None:
+        self.mem = mem
+        self.sched = sched
+
+    def create(self) -> int:
+        """Allocate a fresh, unlocked mutex block."""
+        v = self.mem.values
+        return self.mem.make_block(0, [v.val_false, v.val_int(-1)])
+
+    def is_locked(self, mutex: int) -> bool:
+        """True if the mutex is currently held."""
+        return self.mem.values.bool_val(self.mem.field(mutex, _LOCKED))
+
+    def owner(self, mutex: int) -> int:
+        """Thread id of the holder, or -1."""
+        return self.mem.values.int_val(self.mem.field(mutex, _OWNER))
+
+    def try_acquire(self, mutex: int, tid: int) -> bool:
+        """Acquire if free; never blocks."""
+        v = self.mem.values
+        if self.is_locked(mutex):
+            return False
+        self.mem.set_field(mutex, _LOCKED, v.val_true)
+        self.mem.set_field(mutex, _OWNER, v.val_int(tid))
+        return True
+
+    def lock(self, mutex: int) -> bool:
+        """Lock on behalf of the current thread.
+
+        Returns True if acquired immediately; False if the thread was
+        blocked (the scheduler acquires on its behalf before resuming it).
+        """
+        t = self.sched.current
+        if t is None:
+            raise ThreadError("no running thread")
+        if self.owner(mutex) == t.tid:
+            raise ThreadError(f"thread {t.tid} relocking a mutex it holds")
+        if self.try_acquire(mutex, t.tid):
+            return True
+        t.pending_mutex = mutex
+        self.sched.block_current(BlockKind.MUTEX, mutex)
+        return False
+
+    def unlock(self, mutex: int) -> None:
+        """Unlock and wake every thread waiting to acquire this mutex.
+
+        Wake-all plus schedule-time re-acquisition resolves contention
+        (the losers re-block), which keeps the primitive idempotent.
+        """
+        t = self.sched.current
+        v = self.mem.values
+        if not self.is_locked(mutex):
+            raise ThreadError("unlocking an unlocked mutex")
+        if t is not None and self.owner(mutex) != t.tid:
+            raise ThreadError(
+                f"thread {t.tid} unlocking a mutex held by {self.owner(mutex)}"
+            )
+        self.mem.set_field(mutex, _LOCKED, v.val_false)
+        self.mem.set_field(mutex, _OWNER, v.val_int(-1))
+        self._wake_waiters(mutex)
+
+    def _wake_waiters(self, mutex: int) -> None:
+        for other in self.sched.threads.values():
+            if (
+                other.state is ThreadState.BLOCKED
+                and other.block_kind is BlockKind.MUTEX
+                and other.blocked_on == mutex
+            ):
+                pending = other.pending_mutex
+                self.sched.make_runnable(other)
+                other.pending_mutex = pending  # survive the reset
+
+    def acquire_for_resume(self, thread: VMThread) -> bool:
+        """Schedule-time acquisition of ``thread.pending_mutex``.
+
+        Called by the interpreter before resuming a thread.  On failure
+        the thread goes back to sleep on the mutex.
+        """
+        mutex = thread.pending_mutex
+        if self.try_acquire(mutex, thread.tid):
+            thread.pending_mutex = self.mem.values.val_unit
+            return True
+        thread.state = ThreadState.BLOCKED
+        thread.block_kind = BlockKind.MUTEX
+        thread.blocked_on = mutex
+        return False
+
+
+class CondvarOps:
+    """Operations on condition-variable blocks."""
+
+    def __init__(self, mem: MemoryManager, sched: Scheduler, mutexes: MutexOps) -> None:
+        self.mem = mem
+        self.sched = sched
+        self.mutexes = mutexes
+
+    def create(self) -> int:
+        """Allocate a fresh condition variable block."""
+        return self.mem.make_block(0, [self.mem.values.val_unit])
+
+    def wait(self, cond: int, mutex: int) -> None:
+        """Atomically release ``mutex`` and sleep on ``cond``.
+
+        On wake-up the thread re-acquires the mutex (at schedule time)
+        before resuming user code.
+        """
+        t = self.sched.current
+        if t is None:
+            raise ThreadError("no running thread")
+        if self.mutexes.owner(mutex) != t.tid:
+            raise ThreadError("condition_wait requires holding the mutex")
+        self.mutexes.unlock(mutex)
+        t.pending_mutex = mutex
+        self.sched.block_current(BlockKind.CONDITION, cond)
+
+    def _waiters(self, cond: int) -> list[VMThread]:
+        return [
+            t
+            for t in self.sched.threads.values()
+            if t.state is ThreadState.BLOCKED
+            and t.block_kind is BlockKind.CONDITION
+            and t.blocked_on == cond
+        ]
+
+    def signal(self, cond: int) -> None:
+        """Wake one waiter (lowest tid, for determinism)."""
+        waiters = sorted(self._waiters(cond), key=lambda t: t.tid)
+        if waiters:
+            self._wake(waiters[0])
+
+    def broadcast(self, cond: int) -> None:
+        """Wake every waiter."""
+        for t in self._waiters(cond):
+            self._wake(t)
+
+    def _wake(self, thread: VMThread) -> None:
+        pending = thread.pending_mutex
+        self.sched.make_runnable(thread)
+        thread.pending_mutex = pending  # must still re-acquire the mutex

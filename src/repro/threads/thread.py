@@ -1,0 +1,72 @@
+"""A single VM thread: registers plus a private stack."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.memory.stack import VMStack
+
+#: Return-address sentinel marking the bottom frame of a thread: an
+#: immediate value (LSB set) so the GC and the restart pointer fixer skip
+#: it, and distinguishable from any real code address.
+EXIT_SENTINEL = (1 << 20) | 1
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle state of a VM thread."""
+
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    FINISHED = "finished"
+
+
+class BlockKind(enum.Enum):
+    """Why a thread is blocked (drives wake-up conditions)."""
+
+    NONE = "none"
+    MUTEX = "mutex"        # waiting to acquire blocked_on (a mutex block)
+    CONDITION = "cond"     # waiting on blocked_on (a condvar block)
+    JOIN = "join"          # waiting for thread id blocked_on to finish
+
+
+class VMThread:
+    """One green thread: registers, stack, and scheduling state."""
+
+    def __init__(self, tid: int, stack: VMStack, initial_value: int) -> None:
+        self.tid = tid
+        self.stack = stack
+        #: Saved registers (live registers sit in the interpreter while the
+        #: thread is running).
+        self.accu: int = initial_value
+        self.env: int = initial_value
+        self.pc: int = 0  # code unit index
+        self.extra_args: int = 0
+        #: Address of the innermost trap frame on this thread's stack,
+        #: or 0 when no exception handler is installed.
+        self.trapsp: int = 0
+        self.state = ThreadState.RUNNABLE
+        self.block_kind = BlockKind.NONE
+        #: What the thread is blocked on: a heap pointer (mutex/condvar
+        #: value) or a thread id for joins.  Heap pointers here are GC
+        #: roots and are fixed up on restart.
+        self.blocked_on: int = initial_value
+        #: Mutex value the thread must acquire before it resumes (set by
+        #: ``mutex_lock`` contention and by ``condition_wait``); the
+        #: scheduler performs the acquisition at schedule time, making the
+        #: blocking primitives idempotent across checkpoints.
+        self.pending_mutex: int = initial_value
+        #: Result value of the thread body once finished.
+        self.result: int = initial_value
+
+    @property
+    def is_runnable(self) -> bool:
+        """True if the scheduler may pick this thread."""
+        return self.state is ThreadState.RUNNABLE
+
+    @property
+    def blocked_on_is_value(self) -> bool:
+        """True when ``blocked_on`` holds a VM value (not a thread id)."""
+        return self.block_kind in (BlockKind.MUTEX, BlockKind.CONDITION)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<VMThread {self.tid} {self.state.value}>"

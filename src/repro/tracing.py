@@ -1,0 +1,64 @@
+"""Execution tracing: observe the interpreter instruction by instruction.
+
+Install a tracer before ``run()``::
+
+    tracer = InstructionTracer(limit=1000)
+    vm.interp.trace_hook = tracer
+    vm.run()
+    print(tracer.format_tail(20))
+
+The hook costs one attribute test per dispatched instruction when
+disabled; tracing itself is for debugging and tests, not benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Optional
+
+from repro.bytecode.opcodes import Op
+
+
+class InstructionTracer:
+    """Records executed instructions into a bounded ring buffer."""
+
+    def __init__(self, limit: int = 10_000) -> None:
+        #: (thread id, unit index, opcode) triples, oldest first.
+        self.ring: deque[tuple[int, int, int]] = deque(maxlen=limit)
+        self.counts: Counter[int] = Counter()
+        self.total = 0
+
+    def __call__(self, interp, pc: int, op: int) -> None:
+        tid = interp.vm.sched.current.tid if interp.vm.sched.current else -1
+        self.ring.append((tid, pc, op))
+        self.counts[op] += 1
+        self.total += 1
+
+    def opcode_histogram(self) -> dict[str, int]:
+        """Executed-instruction counts by mnemonic, most frequent first."""
+        return {
+            Op(op).name: n
+            for op, n in self.counts.most_common()
+        }
+
+    def format_tail(self, n: int = 25) -> str:
+        """The last ``n`` instructions, one per line."""
+        lines = []
+        for tid, pc, op in list(self.ring)[-n:]:
+            lines.append(f"  t{tid} {pc:6d}  {Op(op).name}")
+        return "\n".join(lines)
+
+
+class BreakpointTracer(InstructionTracer):
+    """A tracer that stops the VM when a code position is reached."""
+
+    def __init__(self, break_at: set[int], limit: int = 10_000) -> None:
+        super().__init__(limit)
+        self.break_at = set(break_at)
+        self.hit: Optional[int] = None
+
+    def __call__(self, interp, pc: int, op: int) -> None:
+        super().__call__(interp, pc, op)
+        if pc in self.break_at:
+            self.hit = pc
+            interp.vm.pending.request_stop()

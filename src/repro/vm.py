@@ -1,0 +1,272 @@
+"""The virtual machine façade: the library's main entry point.
+
+Ties together the memory manager, garbage collector, scheduler,
+channels, primitives and interpreter for one simulated platform, and
+exposes the checkpoint/restart controls the paper drives through the
+``CHKPT_STATE`` / ``CHKPT_FILENAME`` / ``CHKPT_INTERVAL`` environment
+variables (§4.1-4.2).
+
+Typical use::
+
+    from repro import VirtualMachine, compile_source, get_platform
+
+    code = compile_source("print_int (6 * 7)")
+    vm = VirtualMachine(get_platform("rodrigo"), code)
+    result = vm.run()
+    assert result.stdout == b"42"
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import BinaryIO, Iterator, Mapping, Optional
+
+from repro.arch.platforms import Platform
+from repro.bytecode.image import CodeImage
+from repro.errors import CheckpointError
+from repro.gc import GCController
+from repro.gc.roots import AreaSlot, AttrSlot, ListSlot, Slot, stack_slots
+from repro.interpreter.interpreter import Interpreter
+from repro.interpreter.primitives import (
+    ExitProgram,
+    PrimitiveTable,
+    STANDARD_PRIMITIVES,
+)
+from repro.interpreter.signals import PendingSet
+from repro.channels.manager import ChannelManager
+from repro.memory.manager import MemoryManager
+from repro.memory.stack import DEFAULT_STACK_WORDS, VMStack
+from repro.threads.scheduler import Scheduler
+from repro.threads.sync import CondvarOps, MutexOps
+from repro.threads.thread import ThreadState
+
+
+@dataclass
+class VMConfig:
+    """Run-time configuration, mirroring the paper's environment variables."""
+
+    #: ``CHKPT_STATE``: "enable" (take checkpoints when asked), "disable",
+    #: or "restart" (start from ``chkpt_filename``).
+    chkpt_state: str = "enable"
+    #: ``CHKPT_FILENAME``: where checkpoints go / come from.
+    chkpt_filename: Optional[str] = None
+    #: ``CHKPT_INTERVAL``: seconds between system-initiated checkpoints
+    #: (None or a negative value disables them, like the paper's -1).
+    chkpt_interval: Optional[float] = None
+    #: Checkpoint concurrency: "auto" picks by OS personality (fork ->
+    #: background snapshot writer, NT -> blocking); may be forced.
+    chkpt_mode: str = "auto"
+    #: Memory sizing knobs (words).
+    minor_words: Optional[int] = None
+    chunk_words: Optional[int] = None
+    stack_words: int = DEFAULT_STACK_WORDS
+    #: Thread preemption quantum in instructions.
+    quantum: int = 1000
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str]) -> "VMConfig":
+        """Build a config from CHKPT_* environment variables (paper Fig. 5)."""
+        cfg = cls()
+        state = environ.get("CHKPT_STATE")
+        if state in ("enable", "disable", "restart"):
+            cfg.chkpt_state = state
+        cfg.chkpt_filename = environ.get("CHKPT_FILENAME", cfg.chkpt_filename)
+        raw = environ.get("CHKPT_INTERVAL")
+        if raw is not None:
+            interval = float(raw)
+            cfg.chkpt_interval = None if interval < 0 else interval
+        return cfg
+
+
+@dataclass
+class RunResult:
+    """Outcome of a :meth:`VirtualMachine.run` call."""
+
+    status: str  #: "stopped", "exited", or "budget"
+    exit_code: int
+    instructions: int
+    vm: "VirtualMachine"
+
+    @property
+    def stdout(self) -> bytes:
+        """Captured standard output (in-memory sink VMs only)."""
+        return self.vm.channels.stdout_bytes()
+
+
+class VirtualMachine:
+    """One OCVM-style virtual machine on a simulated platform."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        code: CodeImage,
+        config: Optional[VMConfig] = None,
+        stdout: Optional[BinaryIO] = None,
+        stdin: Optional[BinaryIO] = None,
+    ) -> None:
+        self.platform = platform
+        self.code = code
+        self.config = config or VMConfig()
+        self.mem = MemoryManager(
+            platform,
+            minor_words=self.config.minor_words,
+            chunk_words=self.config.chunk_words,
+        )
+        self.gc = GCController(self.mem, self)
+        self.pending = PendingSet()
+        self.channels = ChannelManager(stdout=stdout, stdin=stdin)
+        self.primitives: PrimitiveTable = STANDARD_PRIMITIVES
+        #: Temporary GC roots for primitive arguments and intermediates.
+        self.temp_roots: list[int] = []
+
+        layout = platform.layout
+        self.code_base = layout.code_base
+        self.code_end = layout.code_base + 4 * len(code.units)
+
+        # Main stack, sized so growth can never collide with the code area.
+        wb = platform.arch.word_bytes
+        stack_high = layout.stack_base + self.config.stack_words * wb
+        max_main_words = (stack_high - self.code_end - 4096) // wb
+        self.main_stack = VMStack(
+            self.mem.space,
+            platform.arch,
+            layout.stack_base,
+            n_words=self.config.stack_words,
+            label="main-stack",
+            max_words=max_main_words,
+        )
+
+        self.sched = Scheduler(
+            self.mem.space,
+            platform.arch,
+            layout.thread_stack_base,
+            layout.thread_stride,
+            initial_value=self.mem.values.val_unit,
+            quantum=self.config.quantum,
+        )
+        self.sched.create_main(self.main_stack)
+        self.mutexes = MutexOps(self.mem, self.sched)
+        self.condvars = CondvarOps(self.mem, self.sched, self.mutexes)
+
+        #: The program's global-data block (an ordinary major-heap block,
+        #: like OCaml's ``global_data``).
+        self.global_data = self.mem.alloc_shr(max(1, code.n_globals), 0)
+        for i in range(max(1, code.n_globals)):
+            self.mem.init_field(self.global_data, i, self.mem.values.val_unit)
+
+        self.interp = Interpreter(self)
+        #: Statistics from checkpoints taken by this VM.
+        self.checkpoints_taken = 0
+        self.last_checkpoint_stats = None
+        self._policy_last = time.monotonic()
+        self._background_writer = None
+        #: Set by restart so the first run() continues mid-program.
+        self.restarted = False
+        #: Cluster binding (rank/size/send/recv) when this VM is a node
+        #: of a message-passing cluster; None for standalone VMs.
+        self.cluster = None
+
+    # -- GC root enumeration (RootProvider) ---------------------------------
+
+    def iter_roots(self) -> Iterator[Slot]:
+        """Every mutator root: registers, thread state, stacks, globals."""
+        interp = self.interp
+        yield AttrSlot(interp, "accu")
+        yield AttrSlot(interp, "env")
+        yield AttrSlot(self, "global_data")
+        current = self.sched.current
+        for t in self.sched.threads.values():
+            if t is not current:
+                yield AttrSlot(t, "accu")
+                yield AttrSlot(t, "env")
+            if t.blocked_on_is_value:
+                yield AttrSlot(t, "blocked_on")
+            yield AttrSlot(t, "pending_mutex")
+            yield AttrSlot(t, "result")
+            yield from stack_slots(t.stack.area, t.stack.sp)
+        area = self.mem.cglobals.area
+        for idx in self.mem.cglobals.root_indices:
+            yield AreaSlot(area, idx)
+        for i in range(len(self.temp_roots)):
+            yield ListSlot(self.temp_roots, i)
+
+    # -- code helpers -----------------------------------------------------------
+
+    def code_addr_to_index(self, closure: int) -> int:
+        """Entry point (code unit index) of a closure value."""
+        return self.interp.code_index(self.mem.field(closure, 0))
+
+    # -- running -------------------------------------------------------------------
+
+    def run(self, max_instructions: Optional[int] = None) -> RunResult:
+        """Execute the program (or continue it, after a restart)."""
+        try:
+            status = self.interp.run(max_instructions)
+            exit_code = 0
+        except ExitProgram as e:
+            status = "exited"
+            exit_code = e.status
+        self.join_background_checkpoint()
+        self.channels.flush_all()
+        return RunResult(
+            status=status,
+            exit_code=exit_code,
+            instructions=self.interp.instructions,
+            vm=self,
+        )
+
+    # -- checkpoint control ------------------------------------------------------------
+
+    def request_checkpoint(self) -> None:
+        """Ask for a checkpoint at the next safe point (sets the flag)."""
+        if self.config.chkpt_state == "disable":
+            return
+        self.pending.request_checkpoint()
+
+    def poll_checkpoint_policy(self) -> None:
+        """Periodic (CHKPT_INTERVAL) system-initiated checkpoints."""
+        interval = self.config.chkpt_interval
+        if interval is None or self.config.chkpt_state == "disable":
+            return
+        now = time.monotonic()
+        if now - self._policy_last >= interval:
+            self._policy_last = now
+            self.pending.request_checkpoint()
+
+    def perform_checkpoint(self) -> None:
+        """Take a checkpoint right now (caller must be at a safe point)."""
+        if self.config.chkpt_state == "disable":
+            return
+        path = self.config.chkpt_filename
+        if path is None:
+            raise CheckpointError(
+                "no checkpoint filename configured (CHKPT_FILENAME)"
+            )
+        from repro.checkpoint.writer import CheckpointWriter
+
+        writer = CheckpointWriter(self)
+        self.last_checkpoint_stats = writer.checkpoint(path)
+        self.checkpoints_taken += 1
+        self._policy_last = time.monotonic()
+
+    def join_background_checkpoint(self) -> None:
+        """Wait for an in-flight background checkpoint writer, if any."""
+        if self._background_writer is not None:
+            self._background_writer.join()
+            self._background_writer = None
+
+    # -- state summaries (used by checkpoint and tests) -----------------------------------
+
+    @property
+    def is_multithreaded(self) -> bool:
+        """The paper's "application type" header field."""
+        return self.sched.ever_multithreaded
+
+    def live_thread_count(self) -> int:
+        """Threads that have not finished."""
+        return sum(
+            1
+            for t in self.sched.threads.values()
+            if t.state is not ThreadState.FINISHED
+        )

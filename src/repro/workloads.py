@@ -1,0 +1,168 @@
+"""The paper's test applications, as parameterized MiniML sources.
+
+§5.2.2: "We have two test applications for C/R measurements.  The
+applications are matrix multiplication and insertion sort."  Matrix
+multiplication is O(n^3) time / O(n^2) heap with a flat stack; the
+insertion sort from the OCaml user's guide is recursive, so its *stack*
+grows during the run.  A third, allocation-heavy workload is provided
+for sweeping checkpoint sizes without paying cubic compute (used by the
+restart-time figures, where only the image size matters).
+"""
+
+from __future__ import annotations
+
+
+def matmul_source(n: int, checkpoint: bool = True) -> str:
+    """The paper's Figure 8 matrix multiplication.
+
+    With ``checkpoint=True`` a user-initiated checkpoint is taken
+    between the two halves of the outer loop — mid-computation, with
+    all three matrices live on the heap.
+    """
+    half = max(n // 2, 1)
+    ck = "checkpoint ();;" if checkpoint else ""
+    return f"""
+let n = {n};;
+let make_matrix rows cols init =
+  let m = Array.make rows [||] in
+  begin
+    for i = 0 to rows - 1 do m.(i) <- Array.make cols init done;
+    m
+  end;;
+let mat1 = make_matrix n n 1;;
+let mat2 = make_matrix n n 2;;
+let mat3 = make_matrix n n 0;;
+let multiply_rows lo hi =
+  for i = lo to hi do
+    for j = 0 to n - 1 do
+      for k = 0 to n - 1 do
+        mat3.(i).(j) <- mat3.(i).(j) + (mat1.(i).(k) * mat2.(k).(j))
+      done
+    done
+  done;;
+multiply_rows 0 ({half} - 1);;
+{ck}
+multiply_rows {half} (n - 1);;
+print_int mat3.(0).(0);;
+print_string " ";;
+print_int mat3.(n - 1).(n - 1)
+"""
+
+
+def matmul_expected(n: int) -> bytes:
+    """Expected output of :func:`matmul_source` (every entry is 2n)."""
+    return f"{2 * n} {2 * n}".encode()
+
+
+def insertion_sort_source(n: int, checkpoint: bool = True) -> str:
+    """The paper's Figure 9 insertion sort over pseudo-random data.
+
+    The sort is deliberately *not* tail-recursive; when
+    ``checkpoint=True`` the checkpoint fires at the deepest point of the
+    recursion, capturing a stack of ~``n`` frames (the paper's "the
+    stack grows during runtime due to many recursive calls").
+    """
+    ck = "(if d = n then checkpoint ())" if checkpoint else "()"
+    return f"""
+let n = {n};;
+let seed = ref 12345;;
+let next_random () =
+  begin
+    seed := (!seed * 75 + 74) mod 65537;
+    !seed mod 1000
+  end;;
+let rec build k acc = if k = 0 then acc else build (k - 1) (next_random () :: acc);;
+let data = build n [];;
+let rec insert elt lst =
+  match lst with
+  | [] -> [elt]
+  | head :: tail -> if elt <= head then elt :: lst else head :: insert elt tail;;
+let rec sort lst d =
+  match lst with
+  | [] -> begin {ck}; [] end
+  | head :: tail -> insert head (sort tail (d + 1));;
+let sorted = sort data 0;;
+let rec is_sorted l =
+  match l with
+  | [] -> true
+  | h :: t -> (match t with [] -> true | h2 :: _ -> if h <= h2 then is_sorted t else false);;
+let rec len l = match l with [] -> 0 | _ :: t -> 1 + len t;;
+if is_sorted sorted then print_string "sorted " else print_string "UNSORTED ";;
+print_int (len sorted)
+"""
+
+
+def insertion_sort_expected(n: int) -> bytes:
+    """Expected output of :func:`insertion_sort_source`."""
+    return b"sorted " + str(n).encode()
+
+
+def alloc_source(total_words: int, checkpoint: bool = True) -> str:
+    """Allocation-heavy workload: fill the heap to ~``total_words``.
+
+    Builds rows of 4096-word arrays threaded into a list so everything
+    stays live, then checkpoints.  Used by the restart-time and
+    breakdown figures, where the knob is the checkpoint *size*.
+    """
+    row_words = 4096
+    rows = max(total_words // row_words, 1)
+    ck = "checkpoint ();;" if checkpoint else ""
+    return f"""
+let rows = {rows};;
+let keep = ref [];;
+let () =
+  for i = 1 to rows do
+    let a = Array.make {row_words} i in
+    keep := a :: !keep
+  done;;
+{ck}
+let rec count l = match l with [] -> 0 | _ :: t -> 1 + count t;;
+let rec first l = match l with [] -> 0 | h :: _ -> h.(0);;
+print_int (count !keep);;
+print_string " ";;
+print_int (first !keep)
+"""
+
+
+def alloc_expected(total_words: int) -> bytes:
+    rows = max(total_words // 4096, 1)
+    return f"{rows} {rows}".encode()
+
+
+def string_heavy_source(total_words: int, checkpoint: bool = True) -> str:
+    """Heap dominated by strings and boxed floats.
+
+    Byte-oriented payloads are exactly what a cross-endianness restart
+    must repack word by word (paper §3.2.1), so this workload makes the
+    endianness-conversion gap of Figure 12 visible — an integer-only
+    heap converts almost for free, because word values are re-decoded
+    wholesale.
+    """
+    # Each iteration allocates a ~256-byte string (64+1 words on 32-bit)
+    # and a boxed float (3 words); aim for ~total_words overall.
+    iters = max(total_words // 70, 1)
+    ck = "checkpoint ();;" if checkpoint else ""
+    return f"""
+let iters = {iters};;
+let keep = ref [];;
+let fkeep = ref [];;
+let () =
+  for i = 1 to iters do
+    let s = String.make 255 'a' in
+    begin
+      s.[0] <- 'x';
+      keep := s :: !keep;
+      fkeep := (float_of_int i *. 1.5) :: !fkeep
+    end
+  done;;
+{ck}
+let rec count l = match l with [] -> 0 | _ :: t -> 1 + count t;;
+print_int (count !keep);;
+print_string " ";;
+print_int (count !fkeep)
+"""
+
+
+def string_heavy_expected(total_words: int) -> bytes:
+    iters = max(total_words // 70, 1)
+    return f"{iters} {iters}".encode()

@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import ARCH_32_BE, ARCH_32_LE, ARCH_64_BE, ARCH_64_LE
+from repro.arch.platforms import PLATFORMS
+
+ALL_ARCHS = [ARCH_32_LE, ARCH_32_BE, ARCH_64_LE, ARCH_64_BE]
+
+
+@pytest.fixture(params=ALL_ARCHS, ids=lambda a: f"{a.bits}{a.endianness.value[0]}")
+def arch(request):
+    """Parametrized over all four architecture variants."""
+    return request.param
+
+
+@pytest.fixture(params=sorted(PLATFORMS), ids=str)
+def platform(request):
+    """Parametrized over all Table 1 platforms."""
+    return PLATFORMS[request.param]

@@ -1,0 +1,166 @@
+"""Acceptance test: a realistic application using most VM features at
+once, driven through repeated heterogeneous migrations.
+
+The application is a small log-processing job: it generates a log file
+through an output channel, then a worker pool (threads + mutex) parses
+and aggregates it with lists, arrays, strings, floats, exceptions and
+the standard prelude — checkpointing periodically.  We crash it at
+arbitrary points and restart it round-robin across all six Table 1
+platforms until it completes; the final report must match the
+uninterrupted run exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import (
+    PLATFORMS,
+    VirtualMachine,
+    VMConfig,
+    compile_source,
+    get_platform,
+    restart_vm,
+)
+
+APP = """
+(* --- phase 1: produce a "log file" --- *)
+let log_path = "{log_path}";;
+let () =
+  let out = open_out log_path in
+  begin
+    for i = 1 to 60 do
+      let level = (match i mod 3 with 0 -> "ERR" | 1 -> "INFO" | _ -> "WARN") in
+      output_string out (level ^ " " ^ string_of_int (i * 7) ^ "\\n")
+    done;
+    close_out out
+  end;;
+
+(* --- phase 2: parse it back --- *)
+let parse_line line =
+  (* "LEVEL N" -> [| level_code; n |] *)
+  let sp = ref 0 in
+  begin
+    let n = String.length line in
+    let i = ref 0 in
+    while !i < n do
+      (if line.[!i] = ' ' then sp := !i);
+      i := !i + 1
+    done;
+    let level = String.sub line 0 !sp in
+    let num = ref 0 in
+    for j = !sp + 1 to n - 1 do
+      num := !num * 10 + (line.[j] - '0')
+    done;
+    let code = (match level with
+      | "ERR" -> 2 | "WARN" -> 1 | "INFO" -> 0
+      | _ -> failwith "bad level") in
+    [| code; !num |]
+  end;;
+
+let records = ref [];;
+let () =
+  let inc = open_in log_path in
+  begin
+    (try
+      while true do
+        records := parse_line (input_line inc) :: !records
+      done
+    with _ -> ());
+    close_in inc
+  end;;
+
+(* --- phase 3: aggregate with a worker pool --- *)
+let m = mutex_create ();;
+let sums = Array.make 3 0;;
+let counts = Array.make 3 0;;
+let work lst () =
+  List.iter (fun r ->
+    begin
+      mutex_lock m;
+      sums.(r.(0)) <- sums.(r.(0)) + r.(1);
+      counts.(r.(0)) <- counts.(r.(0)) + 1;
+      mutex_unlock m
+    end) lst;;
+let split l =
+  let rec go l a b flip =
+    match l with
+    | [] -> [| a; b |]
+    | h :: t -> if flip then go t (h :: a) b false else go t a (h :: b) true
+  in go l [] [] true;;
+let halves = split !records;;
+let t1 = thread_create (work halves.(0));;
+let t2 = thread_create (work halves.(1));;
+thread_join t1;;
+thread_join t2;;
+
+(* --- phase 4: report --- *)
+let avg k = float_of_int sums.(k) /. float_of_int counts.(k);;
+print_string "ERR=";  print_int sums.(2);;
+print_string " WARN="; print_int sums.(1);;
+print_string " INFO="; print_int sums.(0);;
+print_string " avgERR="; print_float (avg 2);;
+print_string " total="; print_int (sums.(0) + sums.(1) + sums.(2))
+"""
+
+
+def app_source(tmp_path) -> str:
+    return APP.replace("{log_path}", str(tmp_path / "app.log").replace("\\", "/"))
+
+
+def reference_output(tmp_path) -> tuple[bytes, int]:
+    code = compile_source(app_source(tmp_path))
+    vm = VirtualMachine(
+        RODRIGO, code, VMConfig(chkpt_state="disable", quantum=60)
+    )
+    result = vm.run(max_instructions=50_000_000)
+    assert result.status == "stopped"
+    return result.stdout, result.instructions
+
+
+RODRIGO = get_platform("rodrigo")
+
+
+def test_reference_run_is_correct(tmp_path):
+    out, _ = reference_output(tmp_path)
+    # i*7 for i=1..60 split by i mod 3.
+    err = sum(i * 7 for i in range(1, 61) if i % 3 == 0)
+    warn = sum(i * 7 for i in range(1, 61) if i % 3 == 2)
+    info = sum(i * 7 for i in range(1, 61) if i % 3 == 1)
+    assert out.startswith(
+        f"ERR={err} WARN={warn} INFO={info}".encode()
+    )
+    assert out.endswith(f"total={err + warn + info}".encode())
+
+
+def test_migrating_through_all_platforms(tmp_path):
+    expected, total_instructions = reference_output(tmp_path)
+    budget = max(total_instructions // 8, 2_000)
+    path = str(tmp_path / "acc.hckp")
+    code = compile_source(app_source(tmp_path))
+    cfg = VMConfig(
+        chkpt_filename=path,
+        chkpt_interval=0.0,  # checkpoint at every poll: maximal coverage
+        chkpt_mode="blocking",
+        quantum=60,
+    )
+    vm = VirtualMachine(RODRIGO, code, cfg)
+    hop_platforms = itertools.cycle(sorted(PLATFORMS))
+    result = vm.run(max_instructions=budget)
+    hops = 0
+    while result.status == "budget":
+        hops += 1
+        assert hops < 300, "application failed to make progress"
+        if vm.checkpoints_taken == 0 and hops == 1:
+            # Crashed before the first checkpoint ever: cold restart.
+            vm = VirtualMachine(RODRIGO, code, cfg)
+        else:
+            vm, _ = restart_vm(
+                get_platform(next(hop_platforms)), code, path, cfg
+            )
+        result = vm.run(max_instructions=budget)
+    assert result.status == "stopped"
+    assert result.stdout == expected
+    assert hops >= 3  # the run genuinely spanned several machines

@@ -1,0 +1,159 @@
+"""Tests for the architecture model and word codecs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import (
+    ARCH_32_BE,
+    ARCH_32_LE,
+    ARCH_64_LE,
+    Architecture,
+    Endianness,
+    WordCodec,
+    get_platform,
+    PLATFORMS,
+)
+
+
+class TestArchitecture:
+    def test_word_geometry_32(self):
+        a = ARCH_32_LE
+        assert a.word_bytes == 4
+        assert a.word_mask == 0xFFFFFFFF
+        assert a.max_signed == 2**31 - 1
+        assert a.min_signed == -(2**31)
+
+    def test_word_geometry_64(self):
+        a = ARCH_64_LE
+        assert a.word_bytes == 8
+        assert a.word_mask == 2**64 - 1
+
+    def test_rejects_odd_word_size(self):
+        with pytest.raises(ValueError):
+            Architecture(16, Endianness.LITTLE)
+
+    def test_signed_roundtrip(self):
+        a = ARCH_32_LE
+        assert a.to_signed(a.to_unsigned(-1)) == -1
+        assert a.to_signed(0x7FFFFFFF) == 2**31 - 1
+        assert a.to_signed(0x80000000) == -(2**31)
+
+    def test_asr_preserves_sign(self):
+        a = ARCH_32_LE
+        assert a.to_signed(a.asr(a.to_unsigned(-8), 1)) == -4
+        assert a.asr(8, 1) == 4
+
+    @given(st.integers())
+    def test_unsigned_signed_inverse(self, n):
+        a = ARCH_32_LE
+        w = a.to_unsigned(n)
+        assert a.to_unsigned(a.to_signed(w)) == w
+
+    def test_word_bytes_little_vs_big(self):
+        assert ARCH_32_LE.word_to_bytes(1) == b"\x01\x00\x00\x00"
+        assert ARCH_32_BE.word_to_bytes(1) == b"\x00\x00\x00\x01"
+
+    def test_word_from_bytes_roundtrip(self, arch):
+        for w in (0, 1, 0xDEADBEEF & arch.word_mask, arch.word_mask):
+            assert arch.word_from_bytes(arch.word_to_bytes(w)) == w
+
+    def test_word_from_bytes_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            ARCH_32_LE.word_from_bytes(b"\x00" * 3)
+
+    def test_byte_of_word_little(self):
+        a = ARCH_32_LE
+        w = 0x04030201
+        assert [a.byte_of_word(w, i) for i in range(4)] == [1, 2, 3, 4]
+
+    def test_byte_of_word_big(self):
+        a = ARCH_32_BE
+        w = 0x04030201
+        assert [a.byte_of_word(w, i) for i in range(4)] == [4, 3, 2, 1]
+
+    def test_byte_of_word_matches_memory_bytes(self, arch):
+        w = 0x0123456789ABCDEF & arch.word_mask
+        raw = arch.word_to_memory_bytes(w)
+        for i in range(arch.word_bytes):
+            assert arch.byte_of_word(w, i) == raw[i]
+
+    @given(st.data())
+    def test_set_byte_roundtrip(self, data):
+        for arch in (ARCH_32_LE, ARCH_32_BE, ARCH_64_LE):
+            w = data.draw(st.integers(0, arch.word_mask))
+            i = data.draw(st.integers(0, arch.word_bytes - 1))
+            b = data.draw(st.integers(0, 255))
+            w2 = arch.set_byte_of_word(w, i, b)
+            assert arch.byte_of_word(w2, i) == b
+            for j in range(arch.word_bytes):
+                if j != i:
+                    assert arch.byte_of_word(w2, j) == arch.byte_of_word(w, j)
+
+    def test_data_compatible(self):
+        assert ARCH_32_LE.data_compatible(ARCH_32_LE)
+        assert not ARCH_32_LE.data_compatible(ARCH_32_BE)
+        assert not ARCH_32_LE.data_compatible(ARCH_64_LE)
+
+
+class TestWordCodec:
+    def test_encode_decode_roundtrip(self, arch):
+        codec = WordCodec(arch)
+        words = [0, 1, 42, arch.word_mask, 0x12345678]
+        assert codec.decode(codec.encode(words)) == words
+
+    def test_encode_length(self, arch):
+        codec = WordCodec(arch)
+        assert len(codec.encode([0] * 7)) == 7 * arch.word_bytes
+
+    def test_decode_rejects_ragged(self):
+        codec = WordCodec(ARCH_32_LE)
+        with pytest.raises(ValueError):
+            codec.decode(b"\x00" * 5)
+
+    def test_le_be_encodings_are_byteswaps(self):
+        words = [0x11223344, 0xAABBCCDD]
+        le = WordCodec(ARCH_32_LE).encode(words)
+        be = WordCodec(ARCH_32_BE).encode(words)
+        assert le != be
+        assert WordCodec(ARCH_32_LE).byteswapped(le) == be
+
+    @given(st.lists(st.integers(0, 2**32 - 1), max_size=64))
+    def test_byteswap_involution(self, words):
+        codec = WordCodec(ARCH_32_LE)
+        data = codec.encode(words)
+        assert codec.byteswapped(codec.byteswapped(data)) == data
+
+
+class TestPlatforms:
+    def test_table1_platforms_exist(self):
+        for name in ("rodrigo", "pc8", "csd", "sp2148", "rs6000", "ultra64"):
+            assert name in PLATFORMS
+
+    def test_rodrigo_is_32le_linux(self):
+        p = get_platform("rodrigo")
+        assert p.arch.bits == 32
+        assert p.arch.endianness is Endianness.LITTLE
+        assert p.supports_fork
+
+    def test_pc8_has_no_fork(self):
+        assert not get_platform("pc8").supports_fork
+
+    def test_csd_is_big_endian(self):
+        assert get_platform("csd").arch.endianness is Endianness.BIG
+
+    def test_sp2148_is_64bit(self):
+        assert get_platform("sp2148").arch.bits == 64
+
+    def test_unknown_platform_raises(self):
+        with pytest.raises(KeyError):
+            get_platform("cray")
+
+    def test_layouts_are_distinct(self):
+        bases = {p.layout.heap_base for p in PLATFORMS.values()}
+        assert len(bases) == len(PLATFORMS)
+
+    def test_describe_mentions_arch(self):
+        text = get_platform("csd").describe()
+        assert "big-endian" in text or "big" in text

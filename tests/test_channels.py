@@ -1,0 +1,169 @@
+"""Tests for channels (file descriptor abstraction)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.arch.platforms import RODRIGO
+from repro.channels import Channel, ChannelManager, ChannelMode
+from repro.errors import ChannelError
+from repro.minilang import compile_source
+from repro.vm import VirtualMachine
+
+
+def run(src: str, stdin: bytes = b""):
+    code = compile_source(src)
+    vm = VirtualMachine(RODRIGO, code, stdin=io.BytesIO(stdin))
+    result = vm.run(max_instructions=2_000_000)
+    assert result.status == "stopped"
+    return result
+
+
+class TestChannelUnit:
+    def test_write_buffers_then_flushes(self):
+        sink = io.BytesIO()
+        ch = Channel(5, None, ChannelMode.WRITE, sink, std_name="stdout")
+        ch.write(b"abc")
+        assert sink.getvalue() == b""  # buffered
+        ch.flush()
+        assert sink.getvalue() == b"abc"
+        assert ch.position == 3
+
+    def test_large_write_autoflushes(self):
+        sink = io.BytesIO()
+        ch = Channel(5, None, ChannelMode.WRITE, sink, std_name="stdout")
+        ch.write(b"x" * 5000)
+        assert len(sink.getvalue()) == 5000
+
+    def test_read_byte_and_eof(self):
+        ch = Channel(5, None, ChannelMode.READ, io.BytesIO(b"ab"), std_name="stdin")
+        assert ch.read_byte() == ord("a")
+        assert ch.read_byte() == ord("b")
+        assert ch.read_byte() == -1
+        assert ch.position == 2
+
+    def test_read_line(self):
+        ch = Channel(5, None, ChannelMode.READ, io.BytesIO(b"one\ntwo\n"), std_name="stdin")
+        assert ch.read_line() == b"one"
+        assert ch.read_line() == b"two"
+        with pytest.raises(ChannelError):
+            ch.read_line()
+
+    def test_direction_enforced(self):
+        ch = Channel(5, None, ChannelMode.READ, io.BytesIO(), std_name="stdin")
+        with pytest.raises(ChannelError):
+            ch.write(b"x")
+        out = Channel(6, None, ChannelMode.WRITE, io.BytesIO(), std_name="stdout")
+        with pytest.raises(ChannelError):
+            out.read_byte()
+
+    def test_closed_channel_rejects_io(self):
+        ch = Channel(5, None, ChannelMode.WRITE, io.BytesIO(), std_name="stdout")
+        ch.close()
+        with pytest.raises(ChannelError):
+            ch.write(b"x")
+
+    def test_reopen_write_truncates_to_position(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with open(path, "wb") as f:
+            f.write(b"0123456789")
+        ch = Channel(5, path, ChannelMode.WRITE)
+        ch.position = 4  # checkpoint said only 4 bytes were durable
+        ch.reopen({})
+        ch.write(b"AB")
+        ch.flush()
+        ch.close()
+        assert open(path, "rb").read() == b"0123AB"
+
+    def test_reopen_read_seeks(self, tmp_path):
+        path = str(tmp_path / "in.txt")
+        with open(path, "wb") as f:
+            f.write(b"abcdef")
+        ch = Channel(5, path, ChannelMode.READ)
+        ch.position = 3
+        ch.reopen({})
+        assert ch.read_byte() == ord("d")
+
+    def test_reopen_missing_file_fails(self, tmp_path):
+        ch = Channel(5, str(tmp_path / "gone.txt"), ChannelMode.WRITE)
+        ch.position = 1
+        with pytest.raises(ChannelError):
+            ch.reopen({})
+
+
+class TestChannelManager:
+    def test_std_channels_exist(self):
+        mgr = ChannelManager()
+        assert mgr.stdout.is_std and mgr.stdin.is_std and mgr.stderr.is_std
+
+    def test_open_close_roundtrip(self, tmp_path):
+        mgr = ChannelManager()
+        path = str(tmp_path / "f.txt")
+        cid = mgr.open_out(path)
+        mgr.get(cid).write(b"hello")
+        mgr.close(cid)
+        assert open(path, "rb").read() == b"hello"
+        cid2 = mgr.open_in(path)
+        assert mgr.get(cid2).read_line() == b"hello"
+
+    def test_snapshot_restore_roundtrip(self, tmp_path):
+        mgr = ChannelManager()
+        path = str(tmp_path / "f.txt")
+        cid = mgr.open_out(path)
+        ch = mgr.get(cid)
+        ch.write(b"committed")
+        ch.flush()
+        ch.write(b"buffered")  # stays in the buffer
+        records = mgr.snapshot()
+        # A new manager (a "restarted machine") restores the table.
+        mgr2 = ChannelManager()
+        mgr2.restore(records)
+        ch2 = mgr2.get(cid)
+        assert ch2.position == 9
+        assert bytes(ch2.out_buffer) == b"buffered"
+        ch2.flush()
+        ch2.close()
+        assert open(path, "rb").read() == b"committedbuffered"
+
+    def test_unknown_channel(self):
+        with pytest.raises(ChannelError):
+            ChannelManager().get(99)
+
+
+class TestChannelPrims:
+    def test_file_write_read_via_miniml(self, tmp_path):
+        path = str(tmp_path / "data.txt").replace("\\", "/")
+        src = f"""
+        let out = open_out "{path}";;
+        output_string out "line one\\n";;
+        output_string out "line two\\n";;
+        close_out out;;
+        let inc = open_in "{path}";;
+        print_string (input_line inc);;
+        print_string "|";;
+        print_string (input_line inc);;
+        close_in inc
+        """
+        result = run(src)
+        assert result.stdout == b"line one|line two"
+
+    def test_input_char_eof(self, tmp_path):
+        path = str(tmp_path / "c.txt")
+        with open(path, "wb") as f:
+            f.write(b"Z")
+        src = f"""
+        let inc = open_in "{path}" in
+        (print_int (input_char inc); print_string " "; print_int (input_char inc))
+        """
+        result = run(src)
+        assert result.stdout == b"90 -1"
+
+    def test_stdin_prim(self):
+        src = """
+        let c = stdout_channel () in
+        (output_string c "via channel"; flush c)
+        """
+        result = run(src)
+        assert result.stdout == b"via channel"

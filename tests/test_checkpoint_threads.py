@@ -1,0 +1,146 @@
+"""Checkpoint/restart of multi-threaded applications (paper §3.1.4, §3.2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    PLATFORMS,
+    VirtualMachine,
+    VMConfig,
+    compile_source,
+    get_platform,
+    restart_vm,
+)
+from repro.threads.thread import BlockKind, ThreadState
+
+RODRIGO = get_platform("rodrigo")
+
+
+def checkpoint_then_restart(src, target=RODRIGO, tmp_path=None, quantum=25,
+                            max_instructions=10_000_000):
+    path = str(tmp_path / "mt.hckp")
+    code = compile_source(src)
+    cfg = VMConfig(chkpt_filename=path, chkpt_mode="blocking", quantum=quantum)
+    vm = VirtualMachine(RODRIGO, code, cfg)
+    r1 = vm.run(max_instructions=max_instructions)
+    assert r1.status == "stopped"
+    assert vm.checkpoints_taken >= 1
+    vm2, stats = restart_vm(target, code, path, VMConfig(quantum=quantum))
+    r2 = vm2.run(max_instructions=max_instructions)
+    assert r2.status == "stopped"
+    return r1.stdout, r2.stdout, vm2
+
+
+WORKER_PROGRAM = """
+let m = mutex_create ();;
+let total = ref 0;;
+let worker k () =
+  for i = 1 to 50 do
+    mutex_lock m;
+    total := !total + k;
+    mutex_unlock m
+  done;;
+let t1 = thread_create (worker 1);;
+let t2 = thread_create (worker 100);;
+checkpoint ();;
+thread_join t1;
+thread_join t2;
+print_int !total
+"""
+
+
+class TestMultithreadedCheckpoint:
+    def test_threads_resume_on_same_platform(self, tmp_path):
+        out1, out2, vm2 = checkpoint_then_restart(WORKER_PROGRAM, tmp_path=tmp_path)
+        assert out1 == b"5050"
+        assert out2 == b"5050"
+        assert len(vm2.sched.threads) == 3
+
+    @pytest.mark.parametrize("target", ["csd", "sp2148", "ultra64"])
+    def test_threads_resume_cross_platform(self, target, tmp_path):
+        _, out2, _ = checkpoint_then_restart(
+            WORKER_PROGRAM, target=PLATFORMS[target], tmp_path=tmp_path
+        )
+        assert out2 == b"5050"
+
+    def test_blocked_thread_state_restored(self, tmp_path):
+        """A thread asleep on a condition variable survives the restart
+        and is woken by a signal sent *after* the restart."""
+        src = """
+        let m = mutex_create ();;
+        let c = condition_create ();;
+        let flag = ref 0;;
+        let waiter () =
+          begin
+            mutex_lock m;
+            while !flag = 0 do condition_wait c m done;
+            print_string "woken";
+            mutex_unlock m
+          end;;
+        let t = thread_create waiter;;
+        thread_yield ();;
+        checkpoint ();;
+        mutex_lock m; flag := 1; condition_signal c; mutex_unlock m;
+        thread_join t;
+        print_string " end"
+        """
+        out1, out2, _ = checkpoint_then_restart(src, tmp_path=tmp_path, quantum=10)
+        assert out1 == b"woken end"
+        assert out2 == b"woken end"
+
+    def test_blocked_thread_cross_word_size(self, tmp_path):
+        src = """
+        let m = mutex_create ();;
+        let () = mutex_lock m;;
+        let t = thread_create (fun () -> begin mutex_lock m; print_string "got"; mutex_unlock m end);;
+        thread_yield ();;
+        checkpoint ();;
+        mutex_unlock m;
+        thread_join t;
+        print_string "!"
+        """
+        _, out2, _ = checkpoint_then_restart(
+            src, target=PLATFORMS["sp2148"], tmp_path=tmp_path, quantum=10
+        )
+        assert out2 == b"got!"
+
+    def test_finished_thread_recorded(self, tmp_path):
+        src = """
+        let t = thread_create (fun () -> ());;
+        thread_join t;;
+        checkpoint ();;
+        thread_join t;  (* joining a finished thread is immediate *)
+        print_string "ok"
+        """
+        out1, out2, vm2 = checkpoint_then_restart(src, tmp_path=tmp_path)
+        assert out2 == b"ok"
+        assert vm2.sched.threads[1].state is ThreadState.FINISHED
+
+    def test_many_threads_with_own_stacks(self, tmp_path):
+        src = """
+        let results = Array.make 4 0;;
+        let rec deep n = if n = 0 then 1 else 1 + deep (n - 1);;
+        let mk i = thread_create (fun () -> results.(i) <- deep (50 + i));;
+        let t0 = mk 0;;
+        let t1 = mk 1;;
+        let t2 = mk 2;;
+        let t3 = mk 3;;
+        checkpoint ();;
+        thread_join t0; thread_join t1; thread_join t2; thread_join t3;
+        print_int (results.(0) + results.(1) + results.(2) + results.(3))
+        """
+        out1, out2, vm2 = checkpoint_then_restart(src, tmp_path=tmp_path, quantum=7)
+        assert out1 == b"210"  # 51+52+53+54
+        assert out2 == b"210"
+        assert len(vm2.sched.threads) == 5
+
+    def test_scheduler_timer_reenabled_after_checkpoint(self, tmp_path):
+        path = str(tmp_path / "t.hckp")
+        code = compile_source(WORKER_PROGRAM)
+        vm = VirtualMachine(
+            RODRIGO, code,
+            VMConfig(chkpt_filename=path, chkpt_mode="blocking", quantum=25),
+        )
+        vm.run(max_instructions=10_000_000)
+        assert vm.sched.timer_enabled

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+let x = 6 * 7;;
+checkpoint ();;
+print_int x
+"""
+
+
+@pytest.fixture
+def prog_path(tmp_path):
+    p = tmp_path / "prog.ml"
+    p.write_text(PROGRAM)
+    return str(p)
+
+
+class TestCompileDisasm:
+    def test_compile_writes_byc(self, prog_path, tmp_path, capsys):
+        out = str(tmp_path / "prog.byc")
+        assert main(["compile", prog_path, "-o", out]) == 0
+        assert os.path.exists(out)
+        assert "units" in capsys.readouterr().out
+
+    def test_disasm_lists_instructions(self, prog_path, capsys):
+        assert main(["disasm", prog_path]) == 0
+        text = capsys.readouterr().out
+        assert "MULINT" in text and "STOP" in text
+
+    def test_compiled_image_runs(self, prog_path, tmp_path, capsys):
+        out = str(tmp_path / "prog.byc")
+        main(["compile", prog_path, "-o", out])
+        capsys.readouterr()
+        ck = str(tmp_path / "a.hckp")
+        assert main(["run", out, "--checkpoint", ck]) == 0
+        assert "42" in capsys.readouterr().out
+
+
+class TestRunRestart:
+    def test_run_and_restart_roundtrip(self, prog_path, tmp_path, capsys):
+        ck = str(tmp_path / "cli.hckp")
+        assert main(["run", prog_path, "--checkpoint", ck,
+                     "--mode", "blocking"]) == 0
+        captured = capsys.readouterr()
+        assert "42" in captured.out
+        assert os.path.exists(ck)
+        assert main(["restart", prog_path, ck, "--platform", "sp2148"]) == 0
+        captured = capsys.readouterr()
+        assert "42" in captured.out
+        assert "word size" in captured.err
+
+    def test_budget_exit_code(self, prog_path, tmp_path, capsys):
+        rc = main(["run", prog_path, "--max-instructions", "3",
+                   "--checkpoint", str(tmp_path / "x.hckp")])
+        assert rc == 75
+
+    def test_platforms_lists_table1(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("rodrigo", "csd", "sp2148", "pc8"):
+            assert name in out
+
+    def test_info_describes_checkpoint(self, prog_path, tmp_path, capsys):
+        ck = str(tmp_path / "i.hckp")
+        main(["run", prog_path, "--checkpoint", ck, "--mode", "blocking"])
+        capsys.readouterr()
+        assert main(["info", ck]) == 0
+        out = capsys.readouterr().out
+        assert "rodrigo" in out
+        assert "32-bit little-endian" in out
+        assert "single-threaded" in out

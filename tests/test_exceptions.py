@@ -1,0 +1,220 @@
+"""Tests for exception handling: PUSHTRAP/POPTRAP/RAISE, try/with, and
+the interaction of trap frames with checkpointing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    VirtualMachine,
+    VMConfig,
+    compile_source,
+    get_platform,
+    restart_vm,
+)
+from repro.errors import VMRuntimeError
+
+RODRIGO = get_platform("rodrigo")
+
+
+def run(src: str, **kw) -> bytes:
+    code = compile_source(src)
+    vm = VirtualMachine(RODRIGO, code, VMConfig(chkpt_state="disable", **kw))
+    result = vm.run(max_instructions=5_000_000)
+    assert result.status == "stopped"
+    return result.stdout
+
+
+class TestBasicExceptions:
+    def test_raise_caught_by_wildcard(self):
+        assert run('try raise "boom" with _ -> print_int 1') == b"1"
+
+    def test_exception_value_bound(self):
+        assert run('try raise 42 with e -> print_int (e + 1)') == b"43"
+
+    def test_string_exception_pattern(self):
+        src = """
+        try failwith "File_not_found" with
+        | "Out_of_memory" -> print_int 0
+        | "File_not_found" -> print_int 1
+        | _ -> print_int 2
+        """
+        assert run(src) == b"1"
+
+    def test_unmatched_arm_reraises_to_outer(self):
+        src = """
+        try
+          (try raise 7 with 5 -> print_int 50)
+        with e -> print_int e
+        """
+        assert run(src) == b"7"
+
+    def test_no_exception_skips_handler(self):
+        assert run("try print_int 1 with _ -> print_int 2") == b"1"
+        assert run("print_int (try 10 with _ -> 20)") == b"10"
+
+    def test_uncaught_is_fatal(self):
+        with pytest.raises(VMRuntimeError, match="uncaught exception: kaput"):
+            run('raise "kaput"')
+
+    def test_nested_handlers_unwind_in_order(self):
+        src = """
+        try
+          try
+            begin print_string "a"; raise "x"; print_string "never" end
+          with "y" -> print_string "wrong"
+        with "x" -> print_string "b"
+        """
+        assert run(src) == b"ab"
+
+    def test_handler_sees_outer_locals(self):
+        src = """
+        let base = 100 in
+        print_int (try raise 5 with e -> base + e)
+        """
+        assert run(src) == b"105"
+
+    def test_raise_across_function_calls(self):
+        src = """
+        let rec deep n = if n = 0 then raise "bottom" else 1 + deep (n - 1);;
+        try let _ = deep 50 in () with "bottom" -> print_string "caught"
+        """
+        assert run(src) == b"caught"
+
+    def test_try_result_is_a_value(self):
+        src = """
+        let safe_div a b = try a / b with "Division_by_zero" -> 0;;
+        print_int (safe_div 10 2); print_int (safe_div 1 0)
+        """
+        assert run(src) == b"50"
+
+    def test_sequence_inside_try(self):
+        assert run('try (print_string "x"; raise 1; ()) with _ -> print_string "y"') == b"xy"
+
+
+class TestRuntimeErrorsAreCatchable:
+    def test_division_by_zero(self):
+        assert run('try print_int (1 / 0) with "Division_by_zero" -> print_string "div0"') == b"div0"
+
+    def test_mod_by_zero(self):
+        assert run('try print_int (1 mod 0) with _ -> print_string "m"') == b"m"
+
+    def test_array_bounds(self):
+        src = """
+        let a = Array.make 3 0 in
+        try print_int a.(9) with _ -> print_string "oob"
+        """
+        assert run(src) == b"oob"
+
+    def test_array_set_bounds(self):
+        src = """
+        let a = Array.make 3 0 in
+        try a.(9) <- 1 with _ -> print_string "oob"
+        """
+        assert run(src) == b"oob"
+
+    def test_string_bounds(self):
+        assert run('try print_int "ab".[5] with _ -> print_string "s"') == b"s"
+
+    def test_match_failure(self):
+        src = """
+        try (match 3 with 0 -> () | 1 -> ()) with "Match_failure" -> print_string "mf"
+        """
+        assert run(src) == b"mf"
+
+    def test_uncaught_division_still_fatal(self):
+        with pytest.raises(VMRuntimeError, match="Division_by_zero"):
+            run("print_int (1 / 0)")
+
+    def test_uncaught_match_failure_still_fatal(self):
+        with pytest.raises(VMRuntimeError, match="Match_failure"):
+            run("match 5 with 0 -> print_int 0")
+
+
+class TestExceptionsInLoopsAndThreads:
+    def test_try_inside_loop(self):
+        src = """
+        let total = ref 0;;
+        for i = 0 to 5 do
+          total := !total + (try 100 / (i - 3) with _ -> 1000)
+        done;;
+        print_int !total
+        """
+        # i=0..5: 100/-3=-33, 100/-2=-50, 100/-1=-100, 1000, 100/1=100, 100/2=50
+        assert run(src) == str(-33 - 50 - 100 + 1000 + 100 + 50).encode()
+
+    def test_exception_in_thread_body_caught_inside(self):
+        src = """
+        let out = ref 0;;
+        let t = thread_create (fun () ->
+          out := (try raise 9 with e -> e * 2));;
+        thread_join t;;
+        print_int !out
+        """
+        assert run(src, quantum=20) == b"18"
+
+
+class TestExceptionsAcrossCheckpoint:
+    def test_checkpoint_inside_try_restores_handler(self, tmp_path):
+        """A trap frame live at checkpoint time must still catch after
+        restart — the frame's code pointer and stack link are fixed up."""
+        src = """
+        try
+          begin
+            checkpoint ();
+            raise "after-restart"
+          end
+        with e -> (print_string "caught "; print_string e)
+        """
+        path = str(tmp_path / "t.hckp")
+        code = compile_source(src)
+        vm = VirtualMachine(
+            RODRIGO, code, VMConfig(chkpt_filename=path, chkpt_mode="blocking")
+        )
+        assert vm.run(max_instructions=1_000_000).stdout == b"caught after-restart"
+        for target in ("rodrigo", "csd", "sp2148", "ultra64"):
+            vm2, _ = restart_vm(get_platform(target), code, path)
+            out = vm2.run(max_instructions=1_000_000).stdout
+            assert out == b"caught after-restart", target
+
+    def test_nested_trap_chain_survives_restart(self, tmp_path):
+        src = """
+        try
+          try
+            begin checkpoint (); raise "inner" end
+          with "other" -> print_string "wrong"
+        with e -> (print_string "outer got "; print_string e)
+        """
+        path = str(tmp_path / "n.hckp")
+        code = compile_source(src)
+        vm = VirtualMachine(
+            RODRIGO, code, VMConfig(chkpt_filename=path, chkpt_mode="blocking")
+        )
+        expected = vm.run(max_instructions=1_000_000).stdout
+        assert expected == b"outer got inner"
+        vm2, _ = restart_vm(get_platform("sp2148"), code, path)
+        assert vm2.run(max_instructions=1_000_000).stdout == expected
+
+    def test_trapsp_zero_when_no_handler(self, tmp_path):
+        from repro.checkpoint.format import read_checkpoint
+
+        path = str(tmp_path / "z.hckp")
+        code = compile_source("checkpoint ();; print_int 1")
+        vm = VirtualMachine(
+            RODRIGO, code, VMConfig(chkpt_filename=path, chkpt_mode="blocking")
+        )
+        vm.run(max_instructions=100_000)
+        snap = read_checkpoint(path)
+        assert snap.threads[0].regs.trapsp == 0
+
+    def test_trapsp_recorded_when_handler_live(self, tmp_path):
+        from repro.checkpoint.format import read_checkpoint
+
+        path = str(tmp_path / "l.hckp")
+        code = compile_source("try (checkpoint (); ()) with _ -> ();; print_int 1")
+        vm = VirtualMachine(
+            RODRIGO, code, VMConfig(chkpt_filename=path, chkpt_mode="blocking")
+        )
+        vm.run(max_instructions=100_000)
+        snap = read_checkpoint(path)
+        assert snap.threads[0].regs.trapsp != 0

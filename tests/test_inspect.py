@@ -1,0 +1,103 @@
+"""Tests for the checkpoint inspector/validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import VirtualMachine, VMConfig, compile_source, get_platform
+from repro.checkpoint.format import read_checkpoint, serialize_snapshot
+from repro.checkpoint.inspect import inspect_checkpoint, inspect_snapshot
+
+RODRIGO = get_platform("rodrigo")
+
+RICH_PROGRAM = """
+let data = List.map (fun x -> x * x) [1; 2; 3; 4];;
+let s = "a string in the heap";;
+let f = 3.5;;
+let arr = Array.make 20 0;;
+let m = mutex_create ();;
+let t = thread_create (fun () -> ());;
+thread_join t;;
+try (checkpoint (); ()) with _ -> ();;
+print_int (List.length data)
+"""
+
+
+def take(tmp_path, src=RICH_PROGRAM, platform=RODRIGO):
+    path = str(tmp_path / "i.hckp")
+    code = compile_source(src)
+    vm = VirtualMachine(
+        platform, code, VMConfig(chkpt_filename=path, chkpt_mode="blocking")
+    )
+    result = vm.run(max_instructions=2_000_000)
+    assert result.status == "stopped"
+    return path
+
+
+class TestInspector:
+    def test_healthy_checkpoint_validates(self, tmp_path):
+        report = inspect_checkpoint(take(tmp_path))
+        assert report.ok, report.problems
+        assert report.platform_name == "rodrigo"
+        assert report.word_bytes == 4
+        assert report.multithreaded
+        assert report.thread_count == 2
+        assert report.live_blocks > 0
+        assert report.live_words + report.free_words <= report.heap_words + 1
+
+    def test_block_classes_counted(self, tmp_path):
+        report = inspect_checkpoint(take(tmp_path))
+        assert report.blocks_by_class["string"] >= 1
+        assert report.blocks_by_class["double"] >= 1
+        assert report.blocks_by_class["closure"] >= 1
+        assert report.blocks_by_class["structured"] >= 5
+
+    def test_pointer_destinations_classified(self, tmp_path):
+        report = inspect_checkpoint(take(tmp_path))
+        assert report.pointers_by_area["heap-chunk"] > 0
+        assert report.pointers_by_area["code"] > 0  # closure code pointers
+
+    def test_trapsp_validates_as_stack_address(self, tmp_path):
+        report = inspect_checkpoint(take(tmp_path))
+        assert report.ok  # includes the live trap frame check
+
+    def test_validates_on_big_endian_and_64bit(self, tmp_path):
+        for name in ("csd", "sp2148", "ultra64"):
+            report = inspect_checkpoint(
+                take(tmp_path, platform=get_platform(name))
+            )
+            assert report.ok, (name, report.problems)
+            assert report.endianness == get_platform(name).arch.endianness.value
+
+    def test_detects_corrupt_header(self, tmp_path):
+        path = take(tmp_path)
+        snap = read_checkpoint(path)
+        # Smash a header so a block overruns its chunk.
+        base, words = snap.heap_chunks[0]
+        words[0] = (len(words) + 100) << 10  # absurd size, tag 0, white
+        report = inspect_snapshot(snap)
+        assert not report.ok
+        assert any("overruns" in p for p in report.problems)
+
+    def test_detects_wild_pointer(self, tmp_path):
+        path = take(tmp_path)
+        snap = read_checkpoint(path)
+        main = next(t for t in snap.threads if t.tid == 0)
+        main.stack_words[0] = 0x6660_0000  # even, mapped nowhere
+        report = inspect_snapshot(snap)
+        assert not report.ok
+        assert any("points nowhere" in p for p in report.problems)
+
+    def test_render_mentions_everything(self, tmp_path):
+        report = inspect_checkpoint(take(tmp_path))
+        text = report.render()
+        assert "validation : OK" in text
+        assert "heap" in text and "string" in text
+
+    def test_cli_deep_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = take(tmp_path)
+        assert main(["info", path, "--deep"]) == 0
+        out = capsys.readouterr().out
+        assert "validation : OK" in out

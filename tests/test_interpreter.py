@@ -1,0 +1,458 @@
+"""Tests for the interpreter on hand-assembled byte-code."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.platforms import RODRIGO, SP2148
+from repro.bytecode import Assembler, Op, disassemble
+from repro.errors import VMRuntimeError
+from repro.interpreter.primitives import STANDARD_PRIMITIVES
+from repro.vm import VirtualMachine, VMConfig
+
+
+def prim(name: str) -> int:
+    return STANDARD_PRIMITIVES.by_name(name).pid
+
+
+def run_asm(build, platform=RODRIGO, **kw):
+    """Assemble with ``build(asm)`` and run; returns (result, stdout)."""
+    asm = Assembler("test")
+    build(asm)
+    code = asm.assemble()
+    vm = VirtualMachine(platform, code, VMConfig(**kw))
+    result = vm.run(max_instructions=1_000_000)
+    assert result.status == "stopped"
+    return result, result.stdout
+
+
+def emit_print_int(asm):
+    asm.emit(Op.C_CALL, 1, prim("print_int"))
+
+
+class TestArithmetic:
+    def test_constant(self):
+        def build(a):
+            a.emit(Op.CONSTINT, 42)
+            emit_print_int(a)
+            a.emit(Op.STOP)
+
+        _, out = run_asm(build)
+        assert out == b"42"
+
+    def test_mul(self):
+        def build(a):
+            a.emit(Op.CONSTINT, 7)
+            a.emit(Op.PUSH)
+            a.emit(Op.CONSTINT, 6)
+            a.emit(Op.MULINT)
+            emit_print_int(a)
+            a.emit(Op.STOP)
+
+        _, out = run_asm(build)
+        assert out == b"42"
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            (Op.ADDINT, 3, 4, 7),
+            (Op.SUBINT, 3, 4, -1),
+            (Op.DIVINT, 7, 2, 3),
+            (Op.DIVINT, -7, 2, -3),  # C-style truncation toward zero
+            (Op.MODINT, -7, 2, -1),  # sign follows the dividend
+            (Op.ANDINT, 6, 3, 2),
+            (Op.ORINT, 6, 3, 7),
+            (Op.XORINT, 6, 3, 5),
+            (Op.LSLINT, 3, 4, 48),
+            (Op.ASRINT, -8, 1, -4),
+        ],
+    )
+    def test_binops(self, op, a, b, expected):
+        def build(asm):
+            asm.emit(Op.CONSTINT, b)
+            asm.emit(Op.PUSH)
+            asm.emit(Op.CONSTINT, a)
+            asm.emit(op)
+            emit_print_int(asm)
+            asm.emit(Op.STOP)
+
+        _, out = run_asm(build)
+        assert out == str(expected).encode()
+
+    def test_lsrint_is_logical(self):
+        # -2 tagged on 32-bit is 0xFFFFFFFD; logical shift by 1 of the
+        # tagged value gives 0x7FFFFFFE|1 -> Int_val = 2**30 - 1.
+        def build(asm):
+            asm.emit(Op.CONSTINT, 1)
+            asm.emit(Op.PUSH)
+            asm.emit(Op.CONSTINT, -2)
+            asm.emit(Op.LSRINT)
+            emit_print_int(asm)
+            asm.emit(Op.STOP)
+
+        _, out = run_asm(build)
+        assert out == str(2**30 - 1).encode()
+
+    def test_division_by_zero(self):
+        def build(asm):
+            asm.emit(Op.CONSTINT, 0)
+            asm.emit(Op.PUSH)
+            asm.emit(Op.CONSTINT, 1)
+            asm.emit(Op.DIVINT)
+            asm.emit(Op.STOP)
+
+        with pytest.raises(VMRuntimeError):
+            run_asm(build)
+
+    def test_wraparound_32(self):
+        def build(asm):
+            asm.emit(Op.CONSTINT, 2**30 - 1)
+            asm.emit(Op.OFFSETINT, 1)
+            emit_print_int(asm)
+            asm.emit(Op.STOP)
+
+        _, out = run_asm(build)
+        assert out == str(-(2**30)).encode()
+
+    def test_no_wraparound_64(self):
+        def build(asm):
+            asm.emit(Op.CONSTINT, 2**30 - 1)
+            asm.emit(Op.OFFSETINT, 1)
+            emit_print_int(asm)
+            asm.emit(Op.STOP)
+
+        _, out = run_asm(build, platform=SP2148)
+        assert out == str(2**30).encode()
+
+
+class TestBranches:
+    def test_branchifnot(self):
+        def build(a):
+            els = a.label()
+            done = a.label()
+            a.emit(Op.CONSTINT, 0)  # false
+            a.emit(Op.BRANCHIFNOT, els)
+            a.emit(Op.CONSTINT, 111)
+            a.emit(Op.BRANCH, done)
+            a.place(els)
+            a.emit(Op.CONSTINT, 222)
+            a.place(done)
+            emit_print_int(a)
+            a.emit(Op.STOP)
+
+        _, out = run_asm(build)
+        assert out == b"222"
+
+    def test_loop_sums(self):
+        # sum 1..10 with a stack cell as the accumulator
+        def build(a):
+            loop = a.label()
+            done = a.label()
+            a.emit(Op.CONSTINT, 0)
+            a.emit(Op.PUSH)            # stk[0] = total
+            a.emit(Op.CONSTINT, 10)
+            a.emit(Op.PUSH)            # stk[0] = i, stk[1] = total
+            a.place(loop)
+            a.emit(Op.CHECK_SIGNALS)
+            a.emit(Op.CONSTINT, 0)
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 1)          # i
+            a.emit(Op.GTINT)           # i > 0
+            a.emit(Op.BRANCHIFNOT, done)
+            a.emit(Op.ACC, 0)          # i
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 2)          # total
+            a.emit(Op.ADDINT)
+            a.emit(Op.ASSIGN, 1)       # total += i
+            a.emit(Op.ACC, 0)
+            a.emit(Op.OFFSETINT, -1)
+            a.emit(Op.ASSIGN, 0)       # i -= 1
+            a.emit(Op.BRANCH, loop)
+            a.place(done)
+            a.emit(Op.ACC, 1)
+            emit_print_int(a)
+            a.emit(Op.STOP)
+
+        _, out = run_asm(build)
+        assert out == b"55"
+
+
+class TestBlocks:
+    def test_makeblock_getfield(self):
+        def build(a):
+            a.emit(Op.CONSTINT, 20)
+            a.emit(Op.PUSH)
+            a.emit(Op.CONSTINT, 10)
+            a.emit(Op.MAKEBLOCK, 2, 0)  # block [10, 20]
+            a.emit(Op.GETFIELD, 1)
+            emit_print_int(a)
+            a.emit(Op.STOP)
+
+        _, out = run_asm(build)
+        assert out == b"20"
+
+    def test_setfield_and_vectlength(self):
+        def build(a):
+            a.emit(Op.CONSTINT, 2)
+            a.emit(Op.PUSH)
+            a.emit(Op.CONSTINT, 1)
+            a.emit(Op.MAKEBLOCK, 2, 0)
+            a.emit(Op.PUSH)              # save block
+            a.emit(Op.CONSTINT, 99)
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 1)            # block
+            a.emit(Op.SETFIELD, 0)       # block[0] = 99
+            a.emit(Op.ACC, 0)
+            a.emit(Op.GETFIELD, 0)
+            emit_print_int(a)
+            a.emit(Op.STOP)
+
+        _, out = run_asm(build)
+        assert out == b"99"
+
+    def test_vectitem_roundtrip(self):
+        def build(a):
+            # arr = array_make 3 0; arr.(1) <- 7; print arr.(1)
+            a.emit(Op.CONSTINT, 0)
+            a.emit(Op.PUSH)
+            a.emit(Op.CONSTINT, 3)
+            a.emit(Op.C_CALL, 2, prim("array_make"))
+            a.emit(Op.PUSH)             # stk[0] = arr
+            a.emit(Op.CONSTINT, 7)      # value
+            a.emit(Op.PUSH)
+            a.emit(Op.CONSTINT, 1)      # index
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 2)
+            a.emit(Op.SETVECTITEM)
+            a.emit(Op.CONSTINT, 1)
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 1)
+            a.emit(Op.GETVECTITEM)
+            emit_print_int(a)
+            a.emit(Op.STOP)
+
+        _, out = run_asm(build)
+        assert out == b"7"
+
+    def test_vect_bounds_checked(self):
+        def build(a):
+            a.emit(Op.CONSTINT, 0)
+            a.emit(Op.PUSH)
+            a.emit(Op.CONSTINT, 2)
+            a.emit(Op.C_CALL, 2, prim("array_make"))
+            a.emit(Op.PUSH)
+            a.emit(Op.CONSTINT, 5)
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 1)
+            a.emit(Op.GETVECTITEM)
+            a.emit(Op.STOP)
+
+        with pytest.raises(VMRuntimeError):
+            run_asm(build)
+
+
+class TestClosures:
+    def test_simple_call(self):
+        # let f x = x + 1 in print_int (f 41)
+        def build(a):
+            body = a.label()
+            after = a.label()
+            ret = a.label()
+            a.emit(Op.CLOSURE, 0, body)
+            a.emit(Op.PUSH)                  # stk[0] = f
+            a.emit(Op.PUSH_RETADDR, ret)
+            a.emit(Op.CONSTINT, 41)
+            a.emit(Op.PUSH)                  # arg
+            a.emit(Op.ACC, 4)                # f (above arg + 3 frame slots)
+            a.emit(Op.APPLY, 1)
+            a.place(ret)
+            emit_print_int(a)
+            a.emit(Op.POP, 1)
+            a.emit(Op.STOP)
+            a.place(body)
+            a.emit(Op.ACC, 0)
+            a.emit(Op.OFFSETINT, 1)
+            a.emit(Op.RETURN, 1)
+
+        _, out = run_asm(build)
+        assert out == b"42"
+
+    def test_captured_variable(self):
+        # let y = 100 in let f x = x + y in print_int (f 1)
+        def build(a):
+            body = a.label()
+            ret = a.label()
+            a.emit(Op.CONSTINT, 100)
+            a.emit(Op.CLOSURE, 1, body)     # captures accu (y) in env[1]
+            a.emit(Op.PUSH)
+            a.emit(Op.PUSH_RETADDR, ret)
+            a.emit(Op.CONSTINT, 1)
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 4)
+            a.emit(Op.APPLY, 1)
+            a.place(ret)
+            emit_print_int(a)
+            a.emit(Op.POP, 1)
+            a.emit(Op.STOP)
+            a.place(body)
+            a.emit(Op.ENVACC, 1)
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 1)
+            a.emit(Op.ADDINT)
+            a.emit(Op.RETURN, 1)
+
+        _, out = run_asm(build)
+        assert out == b"101"
+
+    def test_recursion_offsetclosure(self):
+        # let rec fact n = if n <= 1 then 1 else n * fact (n - 1)
+        def build(a):
+            body = a.label()
+            ret = a.label()
+            els = a.label()
+            ret2 = a.label()
+            a.emit(Op.CLOSURE, 0, body)
+            a.emit(Op.PUSH)
+            a.emit(Op.PUSH_RETADDR, ret)
+            a.emit(Op.CONSTINT, 10)
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 4)
+            a.emit(Op.APPLY, 1)
+            a.place(ret)
+            emit_print_int(a)
+            a.emit(Op.POP, 1)
+            a.emit(Op.STOP)
+            a.place(body)
+            a.emit(Op.CONSTINT, 1)
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 1)          # n
+            a.emit(Op.LEINT)           # n <= 1
+            a.emit(Op.BRANCHIFNOT, els)
+            a.emit(Op.CONSTINT, 1)
+            a.emit(Op.RETURN, 1)
+            a.place(els)
+            a.emit(Op.PUSH_RETADDR, ret2)
+            a.emit(Op.ACC, 3)          # n (under the 3 frame slots)
+            a.emit(Op.OFFSETINT, -1)
+            a.emit(Op.PUSH)
+            a.emit(Op.OFFSETCLOSURE0)  # the function itself
+            a.emit(Op.APPLY, 1)
+            a.place(ret2)
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 1)          # n
+            a.emit(Op.MULINT)
+            a.emit(Op.RETURN, 1)
+
+        _, out = run_asm(build)
+        assert out == b"3628800"
+
+    def test_partial_application_grab_restart(self):
+        # let add x y = x + y in let inc = add 1 in print_int (inc 41)
+        def build(a):
+            restart = a.label()
+            body = a.label()
+            ret1 = a.label()
+            ret2 = a.label()
+            a.emit(Op.BRANCH, a_main := a.label())
+            a.place(restart)
+            a.emit(Op.RESTART)
+            a.place(body)
+            a.emit(Op.GRAB, 1)
+            a.emit(Op.ACC, 1)       # x? args: x at 0, y at 1 after grab
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 1)
+            a.emit(Op.ADDINT)
+            a.emit(Op.RETURN, 2)
+            a.place(a_main)
+            a.emit(Op.CLOSURE, 0, body)
+            a.emit(Op.PUSH)                  # stk[0] = add
+            a.emit(Op.PUSH_RETADDR, ret1)
+            a.emit(Op.CONSTINT, 1)
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 4)
+            a.emit(Op.APPLY, 1)              # add 1 -> partial closure
+            a.place(ret1)
+            a.emit(Op.PUSH)                  # stk[0] = inc
+            a.emit(Op.PUSH_RETADDR, ret2)
+            a.emit(Op.CONSTINT, 41)
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 4)
+            a.emit(Op.APPLY, 1)
+            a.place(ret2)
+            emit_print_int(a)
+            a.emit(Op.POP, 2)
+            a.emit(Op.STOP)
+
+        _, out = run_asm(build)
+        assert out == b"42"
+
+
+class TestStringsAndPrims:
+    def test_print_string(self):
+        def build(a):
+            # Build "hi" via string_make + setstringchar
+            a.emit(Op.CONSTINT, ord("h"))
+            a.emit(Op.PUSH)
+            a.emit(Op.CONSTINT, 2)
+            a.emit(Op.C_CALL, 2, prim("string_make"))
+            a.emit(Op.PUSH)
+            a.emit(Op.CONSTINT, ord("i"))
+            a.emit(Op.PUSH)
+            a.emit(Op.CONSTINT, 1)
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 2)
+            a.emit(Op.SETSTRINGCHAR)
+            a.emit(Op.ACC, 0)
+            a.emit(Op.C_CALL, 1, prim("print_string"))
+            a.emit(Op.STOP)
+
+        _, out = run_asm(build)
+        assert out == b"hi"
+
+    def test_gc_survives_deep_allocation(self):
+        # Allocate a long chain of blocks; GC pressure plus liveness.
+        def build(a):
+            loop = a.label()
+            done = a.label()
+            a.emit(Op.CONSTINT, 0)
+            a.emit(Op.PUSH)              # chain head (starts as 0)
+            a.emit(Op.CONSTINT, 5000)
+            a.emit(Op.PUSH)              # counter
+            a.place(loop)
+            a.emit(Op.CHECK_SIGNALS)
+            a.emit(Op.CONSTINT, 0)
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 1)
+            a.emit(Op.GTINT)
+            a.emit(Op.BRANCHIFNOT, done)
+            a.emit(Op.ACC, 1)            # old head
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 1)            # counter
+            a.emit(Op.MAKEBLOCK, 2, 0)   # [counter, old head]
+            a.emit(Op.ASSIGN, 1)
+            a.emit(Op.ACC, 0)
+            a.emit(Op.OFFSETINT, -1)
+            a.emit(Op.ASSIGN, 0)
+            a.emit(Op.BRANCH, loop)
+            a.place(done)
+            a.emit(Op.ACC, 1)            # head
+            a.emit(Op.GETFIELD, 0)       # == 1 (last pushed)
+            emit_print_int(a)
+            a.emit(Op.STOP)
+
+        _, out = run_asm(build, minor_words=512)
+        assert out == b"1"
+
+
+class TestDisassembler:
+    def test_roundtrip_readable(self):
+        a = Assembler()
+        lab = a.label()
+        a.emit(Op.CONSTINT, 5)
+        a.emit(Op.BRANCH, lab)
+        a.place(lab)
+        a.emit(Op.STOP)
+        text = disassemble(a.assemble())
+        assert "CONSTINT 5" in text
+        assert "BRANCH -> 4" in text
+        assert "STOP" in text

@@ -1,0 +1,179 @@
+"""Edge-case and error-path tests for the interpreter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.platforms import RODRIGO, SP2148
+from repro.bytecode import Assembler, CodeImage, Op
+from repro.errors import BytecodeError, VMRuntimeError
+from repro.interpreter.primitives import STANDARD_PRIMITIVES
+from repro.vm import VirtualMachine, VMConfig
+
+
+def run_asm(build, platform=RODRIGO, max_instructions=100_000, **kw):
+    asm = Assembler("edge")
+    build(asm)
+    vm = VirtualMachine(platform, asm.assemble(), VMConfig(**kw))
+    return vm, vm.run(max_instructions=max_instructions)
+
+
+class TestDispatchErrors:
+    def test_illegal_opcode(self):
+        vm = VirtualMachine(RODRIGO, CodeImage([119, 0]), VMConfig())
+        with pytest.raises(BytecodeError, match="illegal opcode"):
+            vm.run(max_instructions=10)
+
+    def test_c_call_arity_mismatch(self):
+        def build(a):
+            a.emit(Op.CONSTINT, 0)
+            a.emit(Op.C_CALL, 2, STANDARD_PRIMITIVES.by_name("print_int").pid)
+            a.emit(Op.STOP)
+
+        with pytest.raises(BytecodeError, match="expects 1"):
+            run_asm(build)
+
+    def test_unknown_primitive_id(self):
+        def build(a):
+            a.emit(Op.CONSTINT, 0)
+            a.emit(Op.C_CALL, 1, 9999)
+            a.emit(Op.STOP)
+
+        with pytest.raises(BytecodeError, match="unknown primitive"):
+            run_asm(build)
+
+    def test_bad_code_address_in_apply(self):
+        def build(a):
+            # Apply an "closure" whose code pointer is garbage (a block
+            # holding an immediate).
+            a.emit(Op.CONSTINT, 1)
+            a.emit(Op.MAKEBLOCK, 1, 250)
+            a.emit(Op.APPLY, 1)
+            a.emit(Op.STOP)
+
+        with pytest.raises(VMRuntimeError, match="bad code address"):
+            run_asm(build)
+
+    def test_budget_stops_between_instructions(self):
+        def build(a):
+            a.emit(Op.CONSTINT, 1)
+            a.emit(Op.PUSH)
+            a.emit(Op.CONSTINT, 2)
+            a.emit(Op.STOP)
+
+        vm, result = run_asm(build, max_instructions=2)
+        assert result.status == "budget"
+        assert vm.interp.instructions == 2
+        # Resuming with a fresh budget completes the program.
+        assert vm.run(max_instructions=10).status == "stopped"
+
+
+class TestStackDiscipline:
+    def test_appterm_moves_arguments(self):
+        # f x = g (x+1) as a tail call; g y = y*2.
+        def build(a):
+            g = a.label()
+            f = a.label()
+            ret = a.label()
+            a.emit(Op.CLOSURE, 0, f)
+            a.emit(Op.PUSH)
+            a.emit(Op.PUSH_RETADDR, ret)
+            a.emit(Op.CONSTINT, 20)
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 4)
+            a.emit(Op.APPLY, 1)
+            a.place(ret)
+            a.emit(Op.C_CALL, 1, STANDARD_PRIMITIVES.by_name("print_int").pid)
+            a.emit(Op.POP, 1)
+            a.emit(Op.STOP)
+            a.place(f)
+            a.emit(Op.ACC, 0)
+            a.emit(Op.OFFSETINT, 1)
+            a.emit(Op.PUSH)
+            a.emit(Op.CLOSURE, 0, g)
+            a.emit(Op.APPTERM, 1, 2)   # replaces f's frame
+            a.place(g)
+            a.emit(Op.CONSTINT, 2)
+            a.emit(Op.PUSH)
+            a.emit(Op.ACC, 1)
+            a.emit(Op.MULINT)
+            a.emit(Op.RETURN, 1)
+
+        vm, result = run_asm(build)
+        assert result.stdout == b"42"
+        assert vm.main_stack.used_words == 0
+
+    def test_stack_balanced_after_program(self):
+        from repro import compile_source
+
+        code = compile_source("""
+        let rec f n = if n = 0 then 0 else f (n - 1);;
+        let _ = f 100;;
+        let l = List.map (fun x -> x) [1;2;3];;
+        print_int (List.length l)
+        """)
+        vm = VirtualMachine(RODRIGO, code, VMConfig(chkpt_state="disable"))
+        result = vm.run(max_instructions=1_000_000)
+        assert result.stdout == b"3"
+        assert vm.main_stack.used_words == 0
+
+    def test_restart_op_outside_grab_context(self):
+        # RESTART with env = a closure of size 2 pushes zero args.
+        def build(a):
+            body = a.label()
+            a.emit(Op.CLOSURE, 1, body)  # env with one captured var
+            a.emit(Op.STOP)
+            a.place(body)
+            a.emit(Op.STOP)
+
+        vm, result = run_asm(build)
+        assert result.status == "stopped"
+
+
+class TestRegisterSnapshot:
+    def test_snapshot_registers_roundtrip(self):
+        from repro import compile_source
+
+        code = compile_source("let x = [1; 2] in (checkpoint (); print_int 1)")
+        vm = VirtualMachine(RODRIGO, code, VMConfig(chkpt_state="disable"))
+        vm.run(max_instructions=50)
+        regs = vm.interp.snapshot_registers()
+        assert regs.pc == vm.code_base + 4 * vm.interp.pc
+        assert regs.sp == vm.main_stack.sp
+
+    def test_code_index_validation(self):
+        from repro import compile_source
+
+        code = compile_source("print_int 1")
+        vm = VirtualMachine(RODRIGO, code, VMConfig(chkpt_state="disable"))
+        with pytest.raises(VMRuntimeError):
+            vm.interp.code_index(vm.code_base + 2)  # misaligned
+        with pytest.raises(VMRuntimeError):
+            vm.interp.code_index(vm.code_base - 4)  # out of range
+
+
+class TestArchSensitiveOps:
+    @pytest.mark.parametrize("platform", [RODRIGO, SP2148], ids=["32", "64"])
+    def test_shift_masking(self, platform):
+        # Shifting by >= word size is masked like hardware.
+        def build(a):
+            a.emit(Op.CONSTINT, platform.arch.bits + 1)
+            a.emit(Op.PUSH)
+            a.emit(Op.CONSTINT, 1)
+            a.emit(Op.LSLINT)
+            a.emit(Op.C_CALL, 1, STANDARD_PRIMITIVES.by_name("print_int").pid)
+            a.emit(Op.STOP)
+
+        vm, result = run_asm(build, platform=platform)
+        # 1 << ((bits+1) & (bits-1)) == 1 << 1 on both word sizes.
+        assert result.stdout == b"2"
+
+    def test_boolnot_only_flips_false(self):
+        def build(a):
+            a.emit(Op.CONSTINT, 5)  # truthy non-1 value
+            a.emit(Op.BOOLNOT)
+            a.emit(Op.C_CALL, 1, STANDARD_PRIMITIVES.by_name("print_int").pid)
+            a.emit(Op.STOP)
+
+        _, result = run_asm(build)
+        assert result.stdout == b"0"

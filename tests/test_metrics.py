@@ -1,0 +1,68 @@
+"""Tests for the phase-timing instrumentation."""
+
+from __future__ import annotations
+
+import time
+
+from repro.metrics import PhaseTimer
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate(self):
+        t = PhaseTimer()
+        with t.phase("a"):
+            pass
+        with t.phase("a"):
+            pass
+        assert t.counts["a"] == 2
+        assert t.seconds["a"] >= 0
+
+    def test_add_external(self):
+        t = PhaseTimer()
+        t.add("x", 0.5)
+        t.add("x", 0.25)
+        assert t.seconds["x"] == 0.75
+        assert t.total == 0.75
+
+    def test_fractions_sum_to_one(self):
+        t = PhaseTimer()
+        t.add("a", 3.0)
+        t.add("b", 1.0)
+        f = t.fractions()
+        assert abs(sum(f.values()) - 1.0) < 1e-9
+        assert f["a"] == 0.75
+
+    def test_fractions_empty(self):
+        assert PhaseTimer().fractions() == {}
+
+    def test_merge(self):
+        a = PhaseTimer()
+        a.add("x", 1.0)
+        b = PhaseTimer()
+        b.add("x", 2.0)
+        b.add("y", 1.0)
+        a.merge(b)
+        assert a.seconds == {"x": 3.0, "y": 1.0}
+
+    def test_report_mentions_phases(self):
+        t = PhaseTimer()
+        t.add("heap_dump", 0.08)
+        t.add("commit", 0.02)
+        text = t.report("checkpoint")
+        assert "checkpoint" in text
+        assert "heap_dump" in text and "80.0%" in text
+
+    def test_phase_times_something(self):
+        t = PhaseTimer()
+        with t.phase("sleep"):
+            time.sleep(0.01)
+        assert t.seconds["sleep"] >= 0.005
+
+    def test_exception_still_recorded(self):
+        t = PhaseTimer()
+        try:
+            with t.phase("boom"):
+                raise ValueError()
+        except ValueError:
+            pass
+        assert "boom" in t.seconds

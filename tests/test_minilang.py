@@ -1,0 +1,409 @@
+"""End-to-end tests: MiniML source -> byte-code -> VM execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.platforms import PLATFORMS, RODRIGO
+from repro.errors import CompileError, MiniMLSyntaxError, VMRuntimeError
+from repro.minilang import compile_source, parse_program, tokenize
+from repro.vm import VirtualMachine, VMConfig
+
+
+def run(src: str, platform=RODRIGO, max_instructions=5_000_000, **kw) -> bytes:
+    code = compile_source(src)
+    vm = VirtualMachine(platform, code, VMConfig(**kw))
+    result = vm.run(max_instructions=max_instructions)
+    assert result.status == "stopped", result.status
+    return result.stdout
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("let x = 42 in x +. 3.5 (* c *) \"s\\n\"")
+        kinds = [t.text for t in toks[:-1]]
+        assert "let" in kinds and "42" in kinds and "+." in kinds
+
+    def test_float_vs_array_access(self):
+        toks = tokenize("a.(0) 1. 2.5")
+        texts = [t.text for t in toks]
+        assert ".(" in texts
+        assert "1." in texts and "2.5" in texts
+
+    def test_dotted_module_ident(self):
+        toks = tokenize("Array.make 3 0")
+        assert toks[0].text == "Array.make"
+
+    def test_char_literal(self):
+        toks = tokenize("'a' '\\n'")
+        assert toks[0].value == ord("a")
+        assert toks[1].value == 10
+
+    def test_nested_comment(self):
+        toks = tokenize("1 (* a (* b *) c *) 2")
+        assert [t.value for t in toks[:-1]] == [1, 2]
+
+    def test_unterminated_string(self):
+        with pytest.raises(MiniMLSyntaxError):
+            tokenize('"abc')
+
+    def test_unterminated_comment(self):
+        with pytest.raises(MiniMLSyntaxError):
+            tokenize("(* nope")
+
+
+class TestParser:
+    def test_top_level_items(self):
+        prog = parse_program("let x = 1;; print_int x")
+        assert len(prog.items) == 2
+
+    def test_let_in_is_expression(self):
+        prog = parse_program("let x = 1 in print_int x")
+        assert len(prog.items) == 1
+
+    def test_rejects_and(self):
+        with pytest.raises(MiniMLSyntaxError):
+            parse_program("let rec f x = g x and g x = f x;;")
+
+    def test_match_arms(self):
+        prog = parse_program("match l with [] -> 0 | h :: t -> h")
+        (item,) = prog.items
+        assert len(item.expr.arms) == 2
+
+
+class TestBasics:
+    def test_print_arith(self):
+        assert run("print_int (6 * 7)") == b"42"
+
+    def test_operator_precedence(self):
+        assert run("print_int (2 + 3 * 4)") == b"14"
+        assert run("print_int ((2 + 3) * 4)") == b"20"
+
+    def test_division_and_mod(self):
+        assert run("print_int (17 / 5); print_newline (); print_int (17 mod 5)") == b"3\n2"
+
+    def test_unary_minus(self):
+        assert run("print_int (-5 + 2)") == b"-3"
+
+    def test_bool_ops(self):
+        assert run("if true && not false then print_int 1 else print_int 0") == b"1"
+        assert run("if false || true then print_int 1") == b"1"
+
+    def test_comparisons(self):
+        assert run("if 3 < 5 then print_int 1") == b"1"
+        assert run("if 5 <= 5 then print_int 1") == b"1"
+        assert run("if 3 <> 4 then print_int 1") == b"1"
+
+    def test_string_literal_and_concat(self):
+        assert run('print_string ("hello" ^ ", " ^ "world")') == b"hello, world"
+
+    def test_string_length_and_index(self):
+        assert run('print_int (String.length "abcd")') == b"4"
+        assert run('print_char "xyz".[1]') == b"y"
+
+    def test_float_arithmetic(self):
+        assert run("print_float (1.5 +. 2.25)") == b"3.75"
+        assert run("print_float (2.0 *. 3.5)") == b"7.0"
+        assert run("if 1.5 <. 2.5 then print_int 1" if False else
+                   "if lt_float 1.5 2.5 then print_int 1") == b"1"
+
+    def test_float_int_conversion(self):
+        assert run("print_int (int_of_float (float_of_int 7 *. 2.0))") == b"14"
+
+    def test_sqrt(self):
+        assert run("print_float (sqrt 16.0)") == b"4.0"
+
+    def test_char_literals_are_ints(self):
+        assert run("print_int 'A'") == b"65"
+
+
+class TestBindings:
+    def test_let_in(self):
+        assert run("let x = 40 in print_int (x + 2)") == b"42"
+
+    def test_nested_let(self):
+        assert run("let x = 1 in let y = 2 in let z = 3 in print_int (x + y * z)") == b"7"
+
+    def test_top_level_lets(self):
+        assert run("let a = 10;; let b = a * 2;; print_int (a + b)") == b"30"
+
+    def test_shadowing(self):
+        assert run("let x = 1 in let x = x + 1 in print_int x") == b"2"
+
+    def test_sequence_discards(self):
+        assert run("let _ = 99 in (print_int 1; print_int 2)") == b"12"
+
+    def test_unit_binding(self):
+        assert run("let () = print_int 5;; print_int 6") == b"56"
+
+    def test_unbound_identifier(self):
+        with pytest.raises(CompileError):
+            compile_source("print_int nope")
+
+
+class TestFunctions:
+    def test_simple_function(self):
+        assert run("let double x = x * 2;; print_int (double 21)") == b"42"
+
+    def test_multi_arg(self):
+        assert run("let add3 a b c = a + b + c;; print_int (add3 1 2 3)") == b"6"
+
+    def test_partial_application(self):
+        assert run("let add a b = a + b in let inc = add 1 in print_int (inc 41)") == b"42"
+
+    def test_closure_capture(self):
+        assert run("let make_adder n = fun x -> x + n;; let f = make_adder 10;; print_int (f 5)") == b"15"
+
+    def test_closure_captures_multiple(self):
+        src = """
+        let a = 2;;
+        let f = (let b = 3 in let c = 4 in fun x -> x * b + c);;
+        print_int (f 10)
+        """
+        assert run(src) == b"34"
+
+    def test_recursion_factorial(self):
+        src = "let rec fact n = if n <= 1 then 1 else n * fact (n - 1);; print_int (fact 10)"
+        assert run(src) == b"3628800"
+
+    def test_tail_recursion_constant_stack(self):
+        # 100k iterations would overflow any reasonable stack if APPTERM
+        # were not emitted for tail calls.
+        src = """
+        let rec loop i acc = if i = 0 then acc else loop (i - 1) (acc + i);;
+        print_int (loop 100000 0)
+        """
+        code = compile_source(src)
+        vm = VirtualMachine(RODRIGO, code)
+        result = vm.run(max_instructions=20_000_000)
+        # 100000*100001/2 = 5000050000 wraps into the 31-bit int range.
+        v = vm.mem.values
+        assert result.stdout == str(v.int_val(v.val_int(5000050000))).encode()
+        assert vm.main_stack.realloc_count == 0  # constant stack space
+
+    def test_tail_recursion_value(self):
+        src = """
+        let rec loop i acc = if i = 0 then acc else loop (i - 1) (acc + 1);;
+        print_int (loop 50000 0)
+        """
+        assert run(src, max_instructions=20_000_000) == b"50000"
+
+    def test_mutual_recursion_via_ref(self):
+        src = """
+        let fwd = ref (fun x -> x);;
+        let rec even n = if n = 0 then true else (!fwd) (n - 1);;
+        let odd n = if n = 0 then false else even (n - 1);;
+        let () = fwd := odd;;
+        if even 10 then print_int 1 else print_int 0
+        """
+        assert run(src) == b"1"
+
+    def test_higher_order(self):
+        src = """
+        let twice f x = f (f x);;
+        let inc x = x + 1;;
+        print_int (twice inc 40)
+        """
+        assert run(src) == b"42"
+
+    def test_prim_as_value(self):
+        src = """
+        let apply f x = f x;;
+        apply print_int 7
+        """
+        assert run(src) == b"7"
+
+    def test_fun_expression(self):
+        assert run("print_int ((fun x y -> x - y) 50 8)") == b"42"
+
+    def test_deep_nonTail_recursion_grows_stack(self):
+        src = """
+        let rec sum n = if n = 0 then 0 else n + sum (n - 1);;
+        print_int (sum 5000)
+        """
+        code = compile_source(src)
+        vm = VirtualMachine(RODRIGO, code)
+        result = vm.run(max_instructions=5_000_000)
+        assert result.stdout == b"12502500"
+        assert vm.main_stack.realloc_count >= 1  # the stack actually grew
+
+
+class TestControl:
+    def test_if_without_else_is_unit(self):
+        assert run("if false then print_int 1; print_int 2") == b"2"
+
+    def test_while_loop(self):
+        src = """
+        let i = ref 0;;
+        let total = ref 0;;
+        while !i < 10 do total := !total + !i; i := !i + 1 done;;
+        print_int !total
+        """
+        assert run(src) == b"45"
+
+    def test_for_loop(self):
+        src = """
+        let total = ref 0;;
+        for i = 1 to 10 do total := !total + i done;;
+        print_int !total
+        """
+        assert run(src) == b"55"
+
+    def test_for_downto(self):
+        src = """
+        let () = for i = 3 downto 1 do print_int i done
+        """
+        assert run(src) == b"321"
+
+    def test_for_loop_empty_range(self):
+        assert run("for i = 5 to 4 do print_int i done; print_int 9") == b"9"
+
+    def test_begin_end(self):
+        assert run("begin print_int 1; print_int 2 end") == b"12"
+
+
+class TestData:
+    def test_refs(self):
+        assert run("let r = ref 5 in (r := !r * 2; print_int !r)") == b"10"
+
+    def test_array_literal_and_access(self):
+        assert run("let a = [| 10; 20; 30 |] in print_int (a.(1) + a.(2))") == b"50"
+
+    def test_array_make_set_get(self):
+        src = """
+        let a = Array.make 5 0;;
+        a.(2) <- 42;;
+        print_int a.(2); print_int a.(3)
+        """
+        assert run(src) == b"420"
+
+    def test_array_length(self):
+        assert run("print_int (Array.length (Array.make 7 0))") == b"7"
+
+    def test_empty_array(self):
+        assert run("print_int (Array.length [||])") == b"0"
+
+    def test_array_out_of_bounds(self):
+        with pytest.raises(VMRuntimeError):
+            run("let a = Array.make 2 0 in print_int a.(5)")
+
+    def test_array_of_arrays(self):
+        src = """
+        let m = Array.make 3 [||];;
+        for i = 0 to 2 do m.(i) <- Array.make 3 (i * 10) done;;
+        print_int m.(2).(1)
+        """
+        assert run(src) == b"20"
+
+    def test_string_mutation(self):
+        src = """
+        let s = String.make 3 'a';;
+        s.[1] <- 'b';;
+        print_string s
+        """
+        assert run(src) == b"aba"
+
+    def test_string_of_int(self):
+        assert run('print_string (string_of_int 123 ^ "!")') == b"123!"
+
+    def test_list_literal_and_match(self):
+        src = """
+        let rec sum l = match l with [] -> 0 | h :: t -> h + sum t;;
+        print_int (sum [1; 2; 3; 4])
+        """
+        assert run(src) == b"10"
+
+    def test_cons_and_match(self):
+        src = """
+        let l = 1 :: 2 :: [];;
+        match l with
+        | [] -> print_int 0
+        | h :: t -> print_int h
+        """
+        assert run(src) == b"1"
+
+    def test_match_int_constants(self):
+        src = """
+        let name n = match n with 0 -> "zero" | 1 -> "one" | _ -> "many";;
+        print_string (name 0); print_string (name 1); print_string (name 9)
+        """
+        assert run(src) == b"zeroonemany"
+
+    def test_match_binds_variable(self):
+        assert run("match 41 with 0 -> print_int 0 | n -> print_int (n + 1)") == b"42"
+
+    def test_match_failure(self):
+        with pytest.raises(VMRuntimeError):
+            run("match 5 with 0 -> print_int 0 | 1 -> print_int 1")
+
+    def test_insertion_sort_from_paper(self):
+        """The paper's Figure 9 insertion sort, near-verbatim."""
+        src = """
+        let rec sort lst =
+          match lst with
+          | [] -> []
+          | head :: tail -> insert head (sort tail)
+        and insert elt lst = lst
+        """
+        # `and` is unsupported; write the paper's program in our dialect:
+        src = """
+        let rec insert elt lst =
+          match lst with
+          | [] -> [elt]
+          | head :: tail -> if elt <= head then elt :: lst else head :: insert elt tail;;
+        let rec sort lst =
+          match lst with
+          | [] -> []
+          | head :: tail -> insert head (sort tail);;
+        let rec print_list l =
+          match l with
+          | [] -> ()
+          | h :: t -> begin print_int h; print_string " "; print_list t end;;
+        print_list (sort [3; 1; 4; 1; 5; 9; 2; 6])
+        """
+        assert run(src) == b"1 1 2 3 4 5 6 9 "
+
+
+class TestMultiPlatform:
+    @pytest.mark.parametrize("platform_name", sorted(PLATFORMS))
+    def test_same_output_everywhere(self, platform_name):
+        src = """
+        let rec fib n = if n < 2 then n else fib (n - 1) + fib (n - 2);;
+        print_int (fib 15);
+        print_string " ";
+        print_float (3.5 *. 2.0);
+        print_string (" " ^ string_of_int (String.length "endian"))
+        """
+        out = run(src, platform=PLATFORMS[platform_name])
+        assert out == b"610 7.0 6"
+
+    def test_word_size_difference_is_observable(self):
+        src = "print_int (1073741823 + 1)"  # 2^30 - 1 + 1
+        assert run(src, platform=PLATFORMS["rodrigo"]) == str(-(2**30)).encode()
+        assert run(src, platform=PLATFORMS["sp2148"]) == str(2**30).encode()
+
+
+class TestGCIntegration:
+    def test_heavy_allocation_with_gc(self):
+        src = """
+        let rec build n acc = if n = 0 then acc else build (n - 1) (n :: acc);;
+        let rec sum l = match l with [] -> 0 | h :: t -> h + sum t;;
+        let l = build 2000 [] in
+        (gc_full_major (); print_int (sum l))
+        """
+        assert run(src, minor_words=512, max_instructions=10_000_000) == b"2001000"
+
+    def test_garbage_is_collected(self):
+        src = """
+        let waste () =
+          let rec spin i = if i = 0 then () else (let _ = [| i; i; i |] in spin (i - 1)) in
+          spin 20000;;
+        waste ();;
+        print_int 1
+        """
+        code = compile_source(src)
+        vm = VirtualMachine(RODRIGO, code, VMConfig(minor_words=1024))
+        result = vm.run(max_instructions=10_000_000)
+        assert result.stdout == b"1"
+        # The heap must stay bounded: a couple of chunks at most.
+        assert len(vm.mem.heap.chunks) <= 3

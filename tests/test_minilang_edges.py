@@ -1,0 +1,145 @@
+"""Parser and compiler edge cases for MiniML."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import VirtualMachine, VMConfig, compile_source, get_platform
+from repro.errors import CompileError, MiniMLSyntaxError
+
+RODRIGO = get_platform("rodrigo")
+
+
+def run(src: str) -> bytes:
+    vm = VirtualMachine(
+        RODRIGO, compile_source(src), VMConfig(chkpt_state="disable")
+    )
+    result = vm.run(max_instructions=2_000_000)
+    assert result.status == "stopped"
+    return result.stdout
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("src", [
+        "let = 3",                 # missing name
+        "let x 3",                 # missing =
+        "if 1 then 2 else",        # dangling else
+        "match x with",            # no arms
+        "fun -> 1",                # no params
+        "for i = 1 to do () done", # missing bound
+        "(1 + 2",                  # unbalanced paren
+        "[1; 2",                   # unbalanced bracket
+        "let x = 1 in",            # missing body
+        "try 1",                   # missing with
+        "x <- 3",                  # <- needs an element access
+    ])
+    def test_rejected(self, src):
+        with pytest.raises(MiniMLSyntaxError):
+            compile_source(src)
+
+    def test_error_carries_position(self):
+        with pytest.raises(MiniMLSyntaxError, match="line 2"):
+            compile_source("let a = 1;;\nlet = 2")
+
+
+class TestPrecedence:
+    def test_unary_minus_binds_tighter_than_binop(self):
+        assert run("print_int (-2 * 3)") == b"-6"
+        assert run("print_int (10 - -3)") == b"13"
+
+    def test_cons_right_associative(self):
+        assert run("print_int (List.length (1 :: 2 :: 3 :: []))") == b"3"
+
+    def test_concat_right_associative(self):
+        assert run('print_string ("a" ^ "b" ^ "c")') == b"abc"
+
+    def test_comparison_below_arithmetic(self):
+        assert run("if 1 + 1 = 2 then print_int 1") == b"1"
+
+    def test_and_binds_tighter_than_or(self):
+        assert run("if true || false && false then print_int 1") == b"1"
+
+    def test_application_tightest(self):
+        assert run("let f x = x * 2;; print_int (f 3 + 1)") == b"7"
+
+    def test_sequence_loosest(self):
+        assert run("print_int 1; print_int (1 + 1)") == b"12"
+
+    def test_float_vs_int_operators_distinct(self):
+        assert run("print_float (1.5 +. 0.5); print_int (1 + 1)") == b"2.02"
+
+
+class TestCompilerEdges:
+    def test_deeply_nested_closures(self):
+        src = """
+        let f a = fun b -> fun c -> fun d -> a * 1000 + b * 100 + c * 10 + d;;
+        print_int (f 1 2 3 4)
+        """
+        assert run(src) == b"1234"
+
+    def test_closure_chain_captures_correct_values(self):
+        src = """
+        let make i = fun () -> i;;
+        let fs = List.map make [1; 2; 3];;
+        List.iter (fun f -> print_int (f ())) fs
+        """
+        assert run(src) == b"123"
+
+    def test_shadowed_prelude_in_local_scope(self):
+        assert run("let min a b = a * b in print_int (min 3 4)") == b"12"
+
+    def test_applying_result_of_application(self):
+        src = """
+        let add a b = a + b;;
+        print_int ((add 1) 2)
+        """
+        assert run(src) == b"3"
+
+    def test_over_application_of_curried_function(self):
+        # f returns a closure; applying f with 2 args at once exercises
+        # the extra_args machinery.
+        src = """
+        let f a = fun b -> a - b;;
+        print_int (f 10 4)
+        """
+        assert run(src) == b"6"
+
+    def test_prim_partial_application(self):
+        src = """
+        let out = List.map (string_concat "pre-") ["a"; "b"];;
+        List.iter print_string out
+        """
+        assert run(src) == b"pre-apre-b"
+
+    def test_too_many_args_to_prim_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("print_int 1 2")
+
+    def test_let_rec_value_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("let rec x = 1;; print_int x")
+
+    def test_large_literal_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source(f"print_int {2**40}")
+
+    def test_unit_parameter_functions(self):
+        assert run("let f () = 9;; print_int (f ())") == b"9"
+
+    def test_nested_match_in_arm_body(self):
+        src = """
+        let classify l =
+          match l with
+          | [] -> 0
+          | h :: t -> (match t with [] -> 1 | _ :: _ -> 2);;
+        print_int (classify []);
+        print_int (classify [9]);
+        print_int (classify [9; 9])
+        """
+        assert run(src) == b"012"
+
+    def test_empty_program(self):
+        vm = VirtualMachine(
+            RODRIGO, compile_source(""), VMConfig(chkpt_state="disable")
+        )
+        assert vm.run(max_instructions=100_000).status == "stopped"

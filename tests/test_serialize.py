@@ -1,0 +1,131 @@
+"""Tests for portable value marshaling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.platforms import CSD, PLATFORMS, RODRIGO, SP2148
+from repro.memory import MemoryManager
+from repro.serialize import MarshalError, extern_value, intern_value
+
+
+def value_of(mem, py):
+    """Build a VM value from a Python object (int/str/float/list/tuple)."""
+    v = mem.values
+    if isinstance(py, bool):
+        return v.val_bool(py)
+    if isinstance(py, int):
+        return v.val_int(py)
+    if isinstance(py, float):
+        return mem.make_float(py)
+    if isinstance(py, bytes):
+        return mem.make_string(py)
+    if isinstance(py, list):  # ML list
+        out = v.val_int(0)
+        for item in reversed(py):
+            out = mem.make_block(0, [value_of(mem, item), out])
+        return out
+    if isinstance(py, tuple):  # tuple = block tag 0
+        return mem.make_block(0, [value_of(mem, f) for f in py]) if py else mem.atoms.atom(0)
+    raise TypeError(py)
+
+
+def python_of(mem, value):
+    """Inverse of value_of for comparison (tuples for blocks)."""
+    v = mem.values
+    if v.is_int(value):
+        return v.int_val(value)
+    if mem.atoms.contains(value):
+        return ()
+    tag = mem.tag_of(value)
+    from repro.memory.blocks import DOUBLE_TAG, STRING_TAG
+
+    if tag == STRING_TAG:
+        return mem.read_string(value)
+    if tag == DOUBLE_TAG:
+        return mem.read_float(value)
+    return tuple(python_of(mem, mem.field(value, i)) for i in range(mem.size_of(value)))
+
+
+PY_VALUES = st.recursive(
+    st.one_of(
+        st.integers(-(2**30), 2**30 - 1),
+        st.binary(max_size=20),
+        st.floats(allow_nan=False),
+    ),
+    lambda children: st.tuples(children, children)
+    | st.tuples(children)
+    | st.tuples(children, children, children),
+    max_leaves=12,
+)
+
+
+class TestMarshalRoundtrip:
+    def test_simple_values(self):
+        mem = MemoryManager(RODRIGO)
+        for py in (0, -1, 42, b"hello", 3.25, (1, 2), (1, (2, b"x")), [1, 2, 3]):
+            v = value_of(mem, py)
+            data = extern_value(mem, v)
+            v2 = intern_value(mem, data)
+            assert python_of(mem, v2) == python_of(mem, v)
+
+    @given(PY_VALUES)
+    def test_roundtrip_property(self, py):
+        mem = MemoryManager(RODRIGO)
+        v = value_of(mem, py)
+        assert python_of(mem, intern_value(mem, extern_value(mem, v))) == \
+            python_of(mem, v)
+
+    @given(PY_VALUES)
+    def test_cross_architecture_property(self, py):
+        """Marshal on 32 LE, intern on 64 LE and 32 BE: same value."""
+        src = MemoryManager(RODRIGO)
+        v = value_of(src, py)
+        data = extern_value(src, v)
+        expected = python_of(src, v)
+        for platform in (SP2148, CSD):
+            dst = MemoryManager(platform)
+            assert python_of(dst, intern_value(dst, data)) == expected
+
+    def test_sharing_preserved(self):
+        mem = MemoryManager(RODRIGO)
+        shared = mem.make_block(0, [mem.values.val_int(9)])
+        pair = mem.make_block(0, [shared, shared])
+        v2 = intern_value(mem, extern_value(mem, pair))
+        assert mem.field(v2, 0) == mem.field(v2, 1)  # still one object
+
+    def test_cycle_preserved(self):
+        mem = MemoryManager(RODRIGO)
+        cell = mem.make_block(0, [mem.values.val_int(1), mem.values.val_int(0)])
+        mem.set_field(cell, 1, cell)  # self-cycle
+        v2 = intern_value(mem, extern_value(mem, cell))
+        assert mem.field(v2, 1) == v2
+        assert mem.values.int_val(mem.field(v2, 0)) == 1
+
+    def test_atoms(self):
+        mem = MemoryManager(RODRIGO)
+        data = extern_value(mem, mem.atoms.atom(5))
+        assert intern_value(mem, data) == mem.atoms.atom(5)
+
+    def test_closure_rejected(self):
+        from repro import VirtualMachine, VMConfig, compile_source
+
+        vm = VirtualMachine(
+            RODRIGO, compile_source("let f x = x;; print_int 0"),
+            VMConfig(chkpt_state="disable"),
+        )
+        vm.run(max_instructions=100_000)
+        closure = vm.mem.field(vm.global_data, 0)
+        with pytest.raises(MarshalError):
+            extern_value(vm.mem, closure)
+
+    def test_corrupt_data_rejected(self):
+        mem = MemoryManager(RODRIGO)
+        with pytest.raises(MarshalError):
+            intern_value(mem, b"garbage")
+        good = extern_value(mem, mem.values.val_int(1))
+        with pytest.raises(MarshalError):
+            intern_value(mem, good + b"\x00")
+        with pytest.raises(MarshalError):
+            intern_value(mem, good[:-1])

@@ -1,0 +1,203 @@
+"""Tests for the VM stack, minor heap, atoms, C-globals and manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.platforms import RODRIGO, SP2148
+from repro.errors import VMRuntimeError
+from repro.memory import AddressSpace, MemoryManager, VMStack
+from repro.memory.atoms import AtomTable
+from repro.memory.blocks import STRING_TAG, DOUBLE_TAG
+from repro.memory.minor_heap import MAX_YOUNG_WOSIZE, MinorHeap
+
+
+def fresh_stack(n_words=8):
+    space = AddressSpace(RODRIGO.arch)
+    return VMStack(space, RODRIGO.arch, RODRIGO.layout.stack_base, n_words)
+
+
+class TestVMStack:
+    def test_push_pop(self):
+        s = fresh_stack()
+        s.push(1)
+        s.push(2)
+        assert s.used_words == 2
+        assert s.pop() == 2
+        assert s.pop() == 1
+        assert s.used_words == 0
+
+    def test_underflow(self):
+        s = fresh_stack()
+        with pytest.raises(VMRuntimeError):
+            s.pop()
+
+    def test_peek_poke(self):
+        s = fresh_stack()
+        for v in (10, 20, 30):
+            s.push(v)
+        assert s.peek(0) == 30
+        assert s.peek(2) == 10
+        s.poke(1, 99)
+        assert s.peek(1) == 99
+
+    def test_grows_by_doubling(self):
+        s = fresh_stack(n_words=4)
+        high = s.stack_high
+        for i in range(20):
+            s.push(i)
+        assert s.n_words >= 20
+        assert s.realloc_count >= 2
+        assert s.stack_high == high  # the high end never moves
+        # Contents survive the reallocations.
+        assert [s.pop() for _ in range(20)] == list(range(19, -1, -1))
+
+    def test_sp_is_stable_across_growth(self):
+        s = fresh_stack(n_words=4)
+        for i in range(4):
+            s.push(i)
+        sp_before = s.sp
+        s.push(4)  # triggers growth
+        assert s.sp == sp_before - 4
+
+    def test_overflow_limit(self):
+        s = fresh_stack(n_words=4)
+        s.max_words = 8
+        with pytest.raises(VMRuntimeError):
+            for i in range(100):
+                s.push(i)
+
+    def test_used_slice_top_first(self):
+        s = fresh_stack()
+        s.push(1)
+        s.push(2)
+        assert s.used_slice() == [2, 1]
+
+
+class TestMinorHeap:
+    def test_bump_allocation(self):
+        space = AddressSpace(RODRIGO.arch)
+        m = MinorHeap(space, RODRIGO.arch, RODRIGO.layout.minor_base, 64)
+        b1 = m.try_alloc(3, 0)
+        b2 = m.try_alloc(3, 0)
+        assert b2 == b1 + 4 * 4
+        assert m.used_words == 8
+
+    def test_full_returns_none(self):
+        space = AddressSpace(RODRIGO.arch)
+        m = MinorHeap(space, RODRIGO.arch, RODRIGO.layout.minor_base, 8)
+        assert m.try_alloc(6, 0) is not None
+        assert m.try_alloc(6, 0) is None
+
+    def test_reset_empties(self):
+        space = AddressSpace(RODRIGO.arch)
+        m = MinorHeap(space, RODRIGO.arch, RODRIGO.layout.minor_base, 64)
+        m.try_alloc(3, 0)
+        assert not m.is_empty()
+        m.reset()
+        assert m.is_empty() and m.used_words == 0
+
+    def test_contains(self):
+        space = AddressSpace(RODRIGO.arch)
+        m = MinorHeap(space, RODRIGO.arch, RODRIGO.layout.minor_base, 64)
+        b = m.try_alloc(3, 0)
+        assert m.contains(b)
+        assert not m.contains(m.young_end)
+
+
+class TestAtoms:
+    def test_atoms_have_correct_tags(self):
+        space = AddressSpace(RODRIGO.arch)
+        atoms = AtomTable(space, RODRIGO.arch, RODRIGO.layout.atom_base)
+        for t in (0, 1, 255):
+            a = atoms.atom(t)
+            assert atoms.contains(a)
+            assert atoms.tag_of(a) == t
+            # The header just before the atom pointer carries the tag.
+            hd = space.load(a - 4)
+            assert hd & 0xFF == t
+            assert hd >> 10 == 0  # size 0
+
+    def test_out_of_range(self):
+        space = AddressSpace(RODRIGO.arch)
+        atoms = AtomTable(space, RODRIGO.arch, RODRIGO.layout.atom_base)
+        with pytest.raises(ValueError):
+            atoms.atom(256)
+
+
+class TestMemoryManager:
+    def test_small_blocks_go_young(self):
+        mem = MemoryManager(RODRIGO)
+        b = mem.alloc(4, 0)
+        assert mem.is_young(b)
+
+    def test_large_blocks_go_major(self):
+        mem = MemoryManager(RODRIGO)
+        b = mem.alloc(MAX_YOUNG_WOSIZE + 1, 0)
+        assert mem.is_in_heap(b)
+
+    def test_zero_size_is_atom(self):
+        mem = MemoryManager(RODRIGO)
+        assert mem.alloc(0, 3) == mem.atoms.atom(3)
+
+    def test_make_block_and_fields(self):
+        mem = MemoryManager(RODRIGO)
+        v = mem.values
+        b = mem.make_block(0, [v.val_int(1), v.val_int(2)])
+        assert mem.tag_of(b) == 0
+        assert mem.size_of(b) == 2
+        assert v.int_val(mem.field(b, 1)) == 2
+        mem.set_field(b, 0, v.val_int(9))
+        assert v.int_val(mem.field(b, 0)) == 9
+
+    def test_strings_roundtrip(self, platform):
+        mem = MemoryManager(platform)
+        s = mem.make_string(b"heterogeneous")
+        assert mem.tag_of(s) == STRING_TAG
+        assert mem.read_string(s) == b"heterogeneous"
+        assert mem.string_length(s) == 13
+        assert mem.string_get(s, 0) == ord("h")
+        mem.string_set(s, 0, ord("H"))
+        assert mem.read_string(s) == b"Heterogeneous"
+
+    def test_string_bounds_checked(self):
+        mem = MemoryManager(RODRIGO)
+        s = mem.make_string(b"ab")
+        with pytest.raises(VMRuntimeError):
+            mem.string_get(s, 2)
+        with pytest.raises(VMRuntimeError):
+            mem.string_set(s, -1, 0)
+
+    def test_floats_roundtrip(self, platform):
+        mem = MemoryManager(platform)
+        f = mem.make_float(3.25)
+        assert mem.tag_of(f) == DOUBLE_TAG
+        assert mem.read_float(f) == 3.25
+
+    def test_write_barrier_records_young_in_major(self):
+        mem = MemoryManager(RODRIGO)
+        big = mem.alloc(MAX_YOUNG_WOSIZE + 1, 0)  # major
+        young = mem.alloc(2, 0)  # minor
+        mem.set_field(big, 0, young)
+        addr = big + 0 * 4
+        assert addr in mem.reftable
+        mem.set_field(big, 0, mem.values.val_int(0))
+        assert addr not in mem.reftable
+
+    def test_no_barrier_for_young_into_young(self):
+        mem = MemoryManager(RODRIGO)
+        a = mem.alloc(2, 0)
+        b = mem.alloc(2, 0)
+        mem.set_field(a, 0, b)
+        assert not mem.reftable
+
+    def test_minor_exhaustion_without_hook_raises(self):
+        mem = MemoryManager(RODRIGO, minor_words=32)
+        with pytest.raises(VMRuntimeError):
+            for _ in range(20):
+                mem.alloc(4, 0)
+
+    def test_64bit_platform_geometry(self):
+        mem = MemoryManager(SP2148)
+        b = mem.make_block(0, [mem.values.val_int(5)])
+        assert mem.field(b, 0) == 11  # (5 << 1) | 1

@@ -1,0 +1,130 @@
+"""Tests for the MiniML standard prelude."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import VirtualMachine, VMConfig, compile_source, get_platform
+from repro.errors import CompileError, VMRuntimeError
+from repro.minilang.stdlib import prelude_globals
+
+RODRIGO = get_platform("rodrigo")
+
+
+def run(src: str) -> bytes:
+    code = compile_source(src)
+    vm = VirtualMachine(RODRIGO, code, VMConfig(chkpt_state="disable"))
+    result = vm.run(max_instructions=5_000_000)
+    assert result.status == "stopped"
+    return result.stdout
+
+
+class TestNumericHelpers:
+    def test_abs_min_max(self):
+        assert run("print_int (abs (-5)); print_int (min 3 9); print_int (max 3 9)") == b"539"
+
+    def test_succ_pred(self):
+        assert run("print_int (succ 41); print_int (pred 43)") == b"4242"
+
+
+class TestListModule:
+    def test_length_rev_append(self):
+        src = """
+        let l = [1; 2; 3];;
+        print_int (List.length l);;
+        List.iter print_int (List.rev l);;
+        print_int (List.length (List.append l [4; 5]))
+        """
+        assert run(src) == b"33215"
+
+    def test_map_preserves_order(self):
+        assert run("List.iter print_int (List.map succ [1; 2; 3])") == b"234"
+
+    def test_fold_left(self):
+        assert run("print_int (List.fold_left (fun a b -> a * 10 + b) 0 [1; 2; 3])") == b"123"
+
+    def test_mem(self):
+        assert run("""
+        if List.mem 2 [1; 2; 3] then print_int 1;;
+        if not (List.mem 9 [1; 2; 3]) then print_int 0
+        """) == b"10"
+
+    def test_nth_and_failure(self):
+        assert run("print_int (List.nth [10; 20; 30] 1)") == b"20"
+        with pytest.raises(VMRuntimeError, match="List.nth"):
+            run("print_int (List.nth [1] 5)")
+
+    def test_filter(self):
+        assert run("List.iter print_int (List.filter (fun x -> x mod 2 = 0) [1;2;3;4;5;6])") == b"246"
+
+    def test_assoc(self):
+        src = """
+        let table = [ [|1; 100|]; [|2; 200|] ];;
+        print_int (List.assoc 2 table);;
+        print_int (try List.assoc 9 table with "Not_found" -> -1)
+        """
+        assert run(src) == b"200-1"
+
+
+class TestArrayModule:
+    def test_init_and_copy_are_independent(self):
+        src = """
+        let a = Array.init 4 (fun i -> i * 10);;
+        let b = Array.copy a;;
+        b.(0) <- 999;;
+        print_int a.(0); print_string "/"; print_int b.(0);
+        print_string "/"; print_int a.(3)
+        """
+        assert run(src) == b"0/999/30"
+
+    def test_fill_and_iter(self):
+        src = """
+        let a = Array.make 5 1;;
+        Array.fill a 1 3 7;;
+        Array.iter print_int a
+        """
+        assert run(src) == b"17771"
+
+    def test_to_list(self):
+        assert run("List.iter print_int (Array.to_list (Array.init 4 succ))") == b"1234"
+
+    def test_empty_array_cases(self):
+        assert run("print_int (Array.length (Array.init 0 succ))") == b"0"
+        assert run("print_int (List.length (Array.to_list [||]))") == b"0"
+
+
+class TestStringHelpers:
+    def test_get_and_repeat(self):
+        assert run("print_char (String.get \"xyz\" 1); print_string (String.repeat \"ha\" 2)") == b"yhaha"
+
+
+class TestPreludeMechanics:
+    def test_prelude_can_be_disabled(self):
+        with pytest.raises(CompileError):
+            compile_source("print_int (List.length [1])", prelude=False)
+
+    def test_user_can_shadow_prelude(self):
+        assert run("let abs x = 999;; print_int (abs 5)") == b"999"
+
+    def test_prelude_globals_enumerates(self):
+        names = prelude_globals()
+        assert "List.map" in names
+        assert "Array.init" in names
+        assert "abs" in names
+
+    def test_prelude_survives_checkpoint(self, tmp_path):
+        from repro import restart_vm
+
+        src = """
+        let data = List.map (fun x -> x * x) [1; 2; 3];;
+        checkpoint ();;
+        print_int (List.fold_left (fun a b -> a + b) 0 data)
+        """
+        path = str(tmp_path / "p.hckp")
+        code = compile_source(src)
+        vm = VirtualMachine(
+            RODRIGO, code, VMConfig(chkpt_filename=path, chkpt_mode="blocking")
+        )
+        assert vm.run(max_instructions=2_000_000).stdout == b"14"
+        vm2, _ = restart_vm(get_platform("ultra64"), code, path)
+        assert vm2.run(max_instructions=2_000_000).stdout == b"14"

@@ -1,0 +1,127 @@
+"""Stress: GC pressure + threads + repeated heterogeneous C/R at once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    VirtualMachine,
+    VMConfig,
+    compile_source,
+    get_platform,
+    restart_vm,
+)
+
+# Two worker threads churn the heap under a mutex while the main thread
+# takes repeated checkpoints; GC runs constantly (tiny minor heap).
+SOURCE = """
+let m = mutex_create ();;
+let shared = ref [];;
+let finished = ref 0;;
+let rec take l k = if k = 0 then l else (match l with [] -> [] | _ :: t -> take t (k - 1));;
+let rec length l = match l with [] -> 0 | _ :: t -> 1 + length t;;
+let worker seed () =
+  begin
+    for i = 1 to 120 do
+      mutex_lock m;
+      shared := (i * seed) :: !shared;
+      (if length !shared > 40 then shared := take !shared 20);
+      mutex_unlock m;
+      (if i mod 30 = 0 then thread_yield ())
+    done;
+    mutex_lock m;
+    finished := !finished + 1;
+    mutex_unlock m
+  end;;
+let t1 = thread_create (worker 3);;
+let t2 = thread_create (worker 7);;
+checkpoint ();;
+thread_join t1;;
+checkpoint ();;
+thread_join t2;;
+let rec sum l = match l with [] -> 0 | h :: t -> h + sum t;;
+print_int !finished;;
+print_string ":";;
+print_int (length !shared)
+"""
+
+
+@pytest.mark.parametrize("hops", [["sp2148", "csd", "rodrigo"]])
+def test_gc_threads_and_migration_chain(hops, tmp_path):
+    path = str(tmp_path / "stress.hckp")
+    code = compile_source(SOURCE)
+    cfg = dict(minor_words=512, quantum=23, chunk_words=2048)
+    vm = VirtualMachine(
+        get_platform("rodrigo"), code,
+        VMConfig(chkpt_filename=path, chkpt_mode="blocking", **cfg),
+    )
+    reference = vm.run(max_instructions=20_000_000)
+    assert reference.status == "stopped"
+    assert vm.checkpoints_taken == 2
+    vm.mem.heap.check_integrity()
+
+    # Chain the final checkpoint through three architectures; at each hop
+    # run a slice, re-checkpoint, and verify the heap stays sound.
+    out = b""
+    for hop in hops:
+        vm, _ = restart_vm(
+            get_platform(hop), code, path,
+            VMConfig(chkpt_filename=path, chkpt_mode="blocking", **cfg),
+        )
+        result = vm.run(max_instructions=20_000_000)
+        assert result.status == "stopped"
+        vm.mem.heap.check_integrity()
+        vm.gc.full_major()
+        vm.mem.heap.check_integrity()
+        out = result.stdout
+    assert out == reference.stdout
+
+
+def test_many_sequential_checkpoints_same_file(tmp_path):
+    """50 checkpoints into one file: the commit protocol never leaves a
+    corrupt file behind, and the last one always wins."""
+    src = """
+    let r = ref 0;;
+    while !r < 50 do
+      r := !r + 1;
+      checkpoint ()
+    done;;
+    print_int !r
+    """
+    path = str(tmp_path / "many.hckp")
+    code = compile_source(src)
+    vm = VirtualMachine(
+        get_platform("rodrigo"), code,
+        VMConfig(chkpt_filename=path, chkpt_mode="blocking"),
+    )
+    result = vm.run(max_instructions=10_000_000)
+    assert result.stdout == b"50"
+    assert vm.checkpoints_taken == 50
+    vm2, _ = restart_vm(get_platform("ultra64"), code, path)
+    assert vm2.run(max_instructions=10_000_000).stdout == b"50"
+
+
+def test_background_checkpoints_overlap_execution(tmp_path):
+    """Background writers from successive checkpoints never corrupt one
+    another (each checkpoint joins the previous writer first)."""
+    src = """
+    let big = Array.make 20000 1;;
+    let r = ref 0;;
+    while !r < 6 do
+      r := !r + 1;
+      big.(!r) <- !r;
+      checkpoint ()
+    done;;
+    print_int big.(3)
+    """
+    path = str(tmp_path / "bg.hckp")
+    code = compile_source(src)
+    vm = VirtualMachine(
+        get_platform("rodrigo"), code,
+        VMConfig(chkpt_filename=path, chkpt_mode="background"),
+    )
+    result = vm.run(max_instructions=10_000_000)
+    assert result.stdout == b"3"
+    assert vm.checkpoints_taken == 6
+    vm2, _ = restart_vm(get_platform("rodrigo"), code, path)
+    assert vm2.run(max_instructions=10_000_000).stdout == b"3"

@@ -1,0 +1,107 @@
+"""Tests for string and float payload codecs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import ARCH_32_BE, ARCH_32_LE, ARCH_64_BE, ARCH_64_LE
+from repro.memory import FloatCodec, StringCodec
+
+
+class TestStringCodec:
+    def test_words_needed_always_leaves_pad_byte(self, arch):
+        c = StringCodec(arch)
+        wb = arch.word_bytes
+        assert c.words_needed(0) == 1
+        assert c.words_needed(wb - 1) == 1
+        assert c.words_needed(wb) == 2
+
+    def test_empty_string(self, arch):
+        c = StringCodec(arch)
+        words = c.encode(b"")
+        assert len(words) == 1
+        assert c.decode(words) == b""
+        assert c.byte_length(words) == 0
+
+    def test_roundtrip_hello(self, arch):
+        c = StringCodec(arch)
+        assert c.decode(c.encode(b"hello, world")) == b"hello, world"
+
+    @given(st.binary(max_size=200))
+    def test_roundtrip_property_all_archs(self, data):
+        for arch in (ARCH_32_LE, ARCH_32_BE, ARCH_64_LE, ARCH_64_BE):
+            c = StringCodec(arch)
+            assert c.decode(c.encode(data)) == data
+
+    def test_memory_bytes_identical_across_endianness(self):
+        """The in-memory byte image of a string is endian-neutral."""
+        data = b"heterogeneous checkpointing"
+        le = StringCodec(ARCH_32_LE)
+        be = StringCodec(ARCH_32_BE)
+        assert le.memory_bytes(le.encode(data)) == be.memory_bytes(be.encode(data))
+
+    def test_cross_endian_repack_is_byteswap(self):
+        """LE word values of a string are the byteswapped BE word values."""
+        data = b"abcdefgh"
+        le_words = StringCodec(ARCH_32_LE).encode(data)
+        be_words = StringCodec(ARCH_32_BE).encode(data)
+        swapped = [
+            int.from_bytes(w.to_bytes(4, "little"), "big") for w in le_words
+        ]
+        assert swapped == be_words
+
+    def test_get_set_byte(self, arch):
+        c = StringCodec(arch)
+        words = c.encode(b"abcdef")
+        assert c.get_byte(words, 0) == ord("a")
+        assert c.get_byte(words, 5) == ord("f")
+        c.set_byte(words, 0, ord("z"))
+        assert c.decode(words) == b"zbcdef"
+
+    def test_corrupt_padding_detected(self, arch):
+        c = StringCodec(arch)
+        words = c.encode(b"x")
+        words[-1] = arch.set_byte_of_word(
+            words[-1], arch.word_bytes - 1, arch.word_bytes * len(words)
+        )
+        with pytest.raises(ValueError):
+            c.byte_length(words)
+
+
+class TestFloatCodec:
+    def test_words_per_double(self):
+        assert FloatCodec(ARCH_32_LE).words_per_double == 2
+        assert FloatCodec(ARCH_64_LE).words_per_double == 1
+
+    def test_roundtrip_simple(self, arch):
+        c = FloatCodec(arch)
+        for x in (0.0, 1.5, -2.25, 3.141592653589793, 1e300, -1e-300):
+            assert c.decode(c.encode(x)) == x
+
+    def test_nan_and_inf(self, arch):
+        c = FloatCodec(arch)
+        assert math.isnan(c.decode(c.encode(math.nan)))
+        assert c.decode(c.encode(math.inf)) == math.inf
+
+    @given(st.floats(allow_nan=False))
+    def test_roundtrip_property(self, x):
+        for arch in (ARCH_32_LE, ARCH_32_BE, ARCH_64_LE, ARCH_64_BE):
+            c = FloatCodec(arch)
+            assert c.decode(c.encode(x)) == x
+
+    def test_memory_bytes_cross_endian(self):
+        """The 8-byte IEEE image differs between endiannesses as a unit."""
+        x = 2.718281828459045
+        le = FloatCodec(ARCH_32_LE).encode(x)
+        be = FloatCodec(ARCH_32_BE).encode(x)
+        le_raw = b"".join(w.to_bytes(4, "little") for w in le)
+        be_raw = b"".join(w.to_bytes(4, "big") for w in be)
+        assert le_raw == be_raw[::-1]
+
+    def test_wrong_payload_size_rejected(self):
+        c = FloatCodec(ARCH_32_LE)
+        with pytest.raises(ValueError):
+            c.decode([0])

@@ -1,0 +1,221 @@
+"""Tests for VM green threads and synchronization primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.platforms import RODRIGO
+from repro.errors import DeadlockError, ThreadError
+from repro.minilang import compile_source
+from repro.vm import VirtualMachine, VMConfig
+
+
+def run(src: str, quantum=50, max_instructions=5_000_000, **kw):
+    code = compile_source(src)
+    vm = VirtualMachine(RODRIGO, code, VMConfig(quantum=quantum, **kw))
+    result = vm.run(max_instructions=max_instructions)
+    assert result.status == "stopped"
+    return result, vm
+
+
+class TestThreadBasics:
+    def test_spawn_and_join(self):
+        src = """
+        let t = thread_create (fun () -> print_string "child ") in
+        (thread_join t; print_string "parent")
+        """
+        result, vm = run(src)
+        assert result.stdout == b"child parent"
+        assert vm.is_multithreaded
+
+    def test_single_threaded_flag(self):
+        result, vm = run("print_int 1")
+        assert not vm.is_multithreaded
+
+    def test_many_threads_all_run(self):
+        src = """
+        let counter = ref 0;;
+        let t1 = thread_create (fun () -> counter := !counter + 1);;
+        let t2 = thread_create (fun () -> counter := !counter + 10);;
+        let t3 = thread_create (fun () -> counter := !counter + 100);;
+        thread_join t1; thread_join t2; thread_join t3;
+        print_int !counter
+        """
+        result, _ = run(src)
+        assert result.stdout == b"111"
+
+    def test_join_already_finished(self):
+        src = """
+        let t = thread_create (fun () -> ()) in
+        (thread_yield (); thread_yield (); thread_join t; print_int 1)
+        """
+        result, _ = run(src)
+        assert result.stdout == b"1"
+
+    def test_preemption_interleaves(self):
+        # With a tiny quantum, two busy loops must interleave: both make
+        # progress before either finishes.
+        src = """
+        let log = Array.make 2 0;;
+        let busy id =
+          for i = 1 to 500 do
+            log.(id) <- log.(id) + 1
+          done;;
+        let t = thread_create (fun () -> busy 0) in
+        (busy 1; thread_join t; print_int (log.(0) + log.(1)))
+        """
+        result, vm = run(src, quantum=20)
+        assert result.stdout == b"1000"
+        assert vm.sched.switches >= 2
+
+    def test_thread_self_ids(self):
+        src = """
+        let t = thread_create (fun () -> print_int (thread_self ())) in
+        (thread_join t; print_int (thread_self ()))
+        """
+        result, _ = run(src)
+        assert result.stdout == b"10"
+
+
+class TestMutex:
+    def test_mutual_exclusion_protects_counter(self):
+        src = """
+        let m = mutex_create ();;
+        let total = ref 0;;
+        let worker () =
+          for i = 1 to 100 do
+            mutex_lock m;
+            total := !total + 1;
+            mutex_unlock m
+          done;;
+        let t1 = thread_create worker;;
+        let t2 = thread_create worker;;
+        thread_join t1; thread_join t2; print_int !total
+        """
+        result, _ = run(src, quantum=13)
+        assert result.stdout == b"200"
+
+    def test_lock_blocks_until_unlocked(self):
+        src = """
+        let m = mutex_create ();;
+        let () = mutex_lock m;;
+        let t = thread_create (fun () -> begin mutex_lock m; print_string "B"; mutex_unlock m end);;
+        thread_yield ();
+        print_string "A";
+        mutex_unlock m;
+        thread_join t
+        """
+        result, _ = run(src, quantum=10)
+        assert result.stdout == b"AB"
+
+    def test_unlock_not_held_raises(self):
+        with pytest.raises(ThreadError):
+            run("let m = mutex_create () in mutex_unlock m")
+
+    def test_relock_by_owner_raises(self):
+        with pytest.raises(ThreadError):
+            run("let m = mutex_create () in (mutex_lock m; mutex_lock m)")
+
+    def test_deadlock_detected(self):
+        src = """
+        let m = mutex_create ();;
+        mutex_lock m;;
+        let t = thread_create (fun () -> mutex_lock m) in
+        (thread_join t; print_int 1)
+        """
+        with pytest.raises(DeadlockError):
+            run(src, quantum=10)
+
+
+class TestCondition:
+    def test_wait_signal(self):
+        src = """
+        let m = mutex_create ();;
+        let c = condition_create ();;
+        let ready = ref 0;;
+        let waiter () =
+          begin
+            mutex_lock m;
+            while !ready = 0 do condition_wait c m done;
+            print_string "woke";
+            mutex_unlock m
+          end;;
+        let t = thread_create waiter;;
+        thread_yield ();
+        mutex_lock m;
+        ready := 1;
+        condition_signal c;
+        mutex_unlock m;
+        thread_join t;
+        print_string " done"
+        """
+        result, _ = run(src, quantum=10)
+        assert result.stdout == b"woke done"
+
+    def test_broadcast_wakes_all(self):
+        src = """
+        let m = mutex_create ();;
+        let c = condition_create ();;
+        let go = ref 0;;
+        let count = ref 0;;
+        let waiter () =
+          begin
+            mutex_lock m;
+            while !go = 0 do condition_wait c m done;
+            count := !count + 1;
+            mutex_unlock m
+          end;;
+        let t1 = thread_create waiter;;
+        let t2 = thread_create waiter;;
+        let t3 = thread_create waiter;;
+        thread_yield ();
+        mutex_lock m; go := 1; condition_broadcast c; mutex_unlock m;
+        thread_join t1; thread_join t2; thread_join t3;
+        print_int !count
+        """
+        result, _ = run(src, quantum=10)
+        assert result.stdout == b"3"
+
+    def test_producer_consumer(self):
+        src = """
+        let m = mutex_create ();;
+        let c = condition_create ();;
+        let queue = ref [];;
+        let consumed = ref 0;;
+        let consumer () =
+          let rec take n =
+            if n = 0 then () else
+            begin
+              mutex_lock m;
+              while (match !queue with [] -> true | _ :: _ -> false) do
+                condition_wait c m
+              done;
+              (match !queue with
+               | [] -> ()
+               | h :: t -> begin queue := t; consumed := !consumed + h end);
+              mutex_unlock m;
+              take (n - 1)
+            end
+          in take 5;;
+        let t = thread_create consumer;;
+        for i = 1 to 5 do
+          mutex_lock m;
+          queue := i :: !queue;
+          condition_signal c;
+          mutex_unlock m;
+          thread_yield ()
+        done;;
+        thread_join t;;
+        print_int !consumed
+        """
+        result, _ = run(src, quantum=15)
+        assert result.stdout == b"15"
+
+    def test_wait_without_lock_raises(self):
+        src = """
+        let m = mutex_create () in
+        let c = condition_create () in
+        condition_wait c m
+        """
+        with pytest.raises(ThreadError):
+            run(src)

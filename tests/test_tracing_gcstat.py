@@ -1,0 +1,103 @@
+"""Tests for the instruction tracer and the Gc.stat primitive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import VirtualMachine, VMConfig, compile_source, get_platform
+from repro.tracing import BreakpointTracer, InstructionTracer
+
+RODRIGO = get_platform("rodrigo")
+
+
+def make_vm(src: str, **kw):
+    return VirtualMachine(
+        RODRIGO, compile_source(src), VMConfig(chkpt_state="disable", **kw)
+    )
+
+
+class TestInstructionTracer:
+    def test_records_instructions(self):
+        vm = make_vm("print_int (1 + 2)")
+        tracer = InstructionTracer()
+        vm.interp.trace_hook = tracer
+        vm.run(max_instructions=100_000)
+        assert tracer.total == vm.interp.instructions
+        hist = tracer.opcode_histogram()
+        assert "ADDINT" in hist
+        assert "STOP" in hist and hist["STOP"] == 1
+
+    def test_ring_is_bounded(self):
+        vm = make_vm("for i = 1 to 500 do print_string \"\" done")
+        tracer = InstructionTracer(limit=50)
+        vm.interp.trace_hook = tracer
+        vm.run(max_instructions=100_000)
+        assert len(tracer.ring) == 50
+        assert tracer.total > 50
+
+    def test_format_tail_shows_stop(self):
+        vm = make_vm("print_int 1")
+        tracer = InstructionTracer()
+        vm.interp.trace_hook = tracer
+        vm.run(max_instructions=100_000)
+        assert "STOP" in tracer.format_tail(3)
+
+    def test_breakpoint_stops_vm(self):
+        """The VM halts at the first safe point after the breakpoint."""
+        src = "print_int 1;; print_int 2;; print_int 3"
+        vm = make_vm(src)
+        # Find the second C_CALL: trace a dry run first.
+        probe = InstructionTracer()
+        vm.interp.trace_hook = probe
+        vm.run(max_instructions=100_000)
+        from repro.bytecode.opcodes import Op
+
+        c_calls = sorted(
+            {pc for _, pc, op in probe.ring if op == int(Op.C_CALL)}
+        )
+        vm2 = make_vm(src)
+        bp = BreakpointTracer({c_calls[1]})
+        vm2.interp.trace_hook = bp
+        result = vm2.run(max_instructions=100_000)
+        assert bp.hit == c_calls[1]
+        # The breakpointed call itself completes; the third never runs.
+        assert result.stdout == b"12"
+
+    def test_untraced_run_unaffected(self):
+        vm = make_vm("print_int 7")
+        assert vm.run(max_instructions=100_000).stdout == b"7"
+
+
+class TestGcStat:
+    def test_stat_block_fields(self):
+        src = """
+        let s = Gc.stat () in
+        begin
+          print_int (Array.length s);
+          print_string " ";
+          (* heap_words >= live_words >= 0 *)
+          if s.(3) >= s.(4) then print_string "ok"
+        end
+        """
+        vm = make_vm(src)
+        assert vm.run(max_instructions=1_000_000).stdout == b"7 ok"
+
+    def test_minor_collections_counted(self):
+        src = """
+        let rec churn n = if n = 0 then () else (let _ = [| n; n |] in churn (n - 1));;
+        churn 3000;;
+        let s = Gc.stat () in
+        if s.(0) > 0 then print_string "collected"
+        """
+        vm = make_vm(src, minor_words=512)
+        assert vm.run(max_instructions=5_000_000).stdout == b"collected"
+
+    def test_python_level_stat(self):
+        vm = make_vm("let rec go n = if n = 0 then () else (let _ = [n] in go (n-1));; go 2000;; print_int 1")
+        vm.config.minor_words = None
+        vm.run(max_instructions=5_000_000)
+        stat = vm.gc.stat()
+        assert stat["heap_words"] >= stat["live_words"]
+        assert stat["heap_words"] == stat["live_words"] + stat["free_words"] or \
+            stat["heap_words"] >= stat["live_words"] + stat["free_words"]
+        assert stat["heap_chunks"] == len(vm.mem.heap.chunks)

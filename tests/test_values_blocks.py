@@ -1,0 +1,121 @@
+"""Tests for tagged values and block headers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import ARCH_32_LE, ARCH_64_LE
+from repro.memory import (
+    Color,
+    HeaderCodec,
+    NO_SCAN_TAG,
+    STRING_TAG,
+    ValueCodec,
+)
+
+
+class TestValueCodec:
+    def test_unit_false_true(self, arch):
+        v = ValueCodec(arch)
+        assert v.val_unit == v.val_int(0) == v.val_false
+        assert v.val_true == v.val_int(1)
+        assert v.bool_val(v.val_true) is True
+        assert v.bool_val(v.val_false) is False
+
+    def test_int_roundtrip_extremes(self, arch):
+        v = ValueCodec(arch)
+        for n in (0, 1, -1, v.max_int, v.min_int):
+            assert v.int_val(v.val_int(n)) == n
+
+    def test_int_range_32(self):
+        v = ValueCodec(ARCH_32_LE)
+        assert v.max_int == 2**30 - 1
+        assert v.min_int == -(2**30)
+
+    def test_int_range_64(self):
+        v = ValueCodec(ARCH_64_LE)
+        assert v.max_int == 2**62 - 1
+
+    def test_overflow_wraps_like_hardware(self):
+        v = ValueCodec(ARCH_32_LE)
+        assert v.int_val(v.val_int(v.max_int + 1)) == v.min_int
+
+    @given(st.integers())
+    def test_val_int_always_immediate(self, n):
+        v = ValueCodec(ARCH_32_LE)
+        assert v.is_int(v.val_int(n))
+        assert not v.is_block(v.val_int(n))
+
+    @given(st.integers(min_value=-(2**30), max_value=2**30 - 1))
+    def test_int_roundtrip_property(self, n):
+        v = ValueCodec(ARCH_32_LE)
+        assert v.int_val(v.val_int(n)) == n
+
+    def test_aligned_addresses_are_blocks(self, arch):
+        v = ValueCodec(arch)
+        addr = 0x1000
+        assert v.is_block(addr)
+        assert not v.is_int(addr)
+
+    def test_classification_is_total_and_exclusive(self, arch):
+        v = ValueCodec(arch)
+        for w in (0, 1, 2, 3, 0x1000, 0x1001, arch.word_mask):
+            assert v.is_int(w) != v.is_block(w)
+
+
+class TestHeaderCodec:
+    def test_fields_roundtrip(self, arch):
+        h = HeaderCodec(arch)
+        hd = h.make(STRING_TAG, Color.GRAY, 1234)
+        assert h.tag(hd) == STRING_TAG
+        assert h.color(hd) is Color.GRAY
+        assert h.size(hd) == 1234
+
+    def test_max_size_32(self):
+        h = HeaderCodec(ARCH_32_LE)
+        assert h.max_size == 2**22 - 1  # the paper's 22-bit size field
+        h.make(0, Color.WHITE, h.max_size)
+        with pytest.raises(ValueError):
+            h.make(0, Color.WHITE, h.max_size + 1)
+
+    def test_max_size_64(self):
+        h = HeaderCodec(ARCH_64_LE)
+        assert h.max_size == 2**54 - 1
+
+    def test_rejects_bad_tag(self):
+        h = HeaderCodec(ARCH_32_LE)
+        with pytest.raises(ValueError):
+            h.make(256, Color.WHITE, 1)
+        with pytest.raises(ValueError):
+            h.make(-1, Color.WHITE, 1)
+
+    def test_with_color_preserves_tag_and_size(self, arch):
+        h = HeaderCodec(arch)
+        hd = h.make(7, Color.WHITE, 99)
+        hd2 = h.with_color(hd, Color.BLUE)
+        assert h.tag(hd2) == 7
+        assert h.size(hd2) == 99
+        assert h.color(hd2) is Color.BLUE
+        assert h.is_blue(hd2)
+
+    def test_scannable_boundary(self, arch):
+        h = HeaderCodec(arch)
+        assert h.scannable(h.make(NO_SCAN_TAG - 1, Color.WHITE, 1))
+        assert not h.scannable(h.make(NO_SCAN_TAG, Color.WHITE, 1))
+        assert not h.scannable(h.make(STRING_TAG, Color.WHITE, 1))
+
+    @given(
+        st.integers(0, 255),
+        st.sampled_from(list(Color)),
+        st.integers(0, 2**22 - 1),
+    )
+    def test_roundtrip_property(self, tag, color, size):
+        h = HeaderCodec(ARCH_32_LE)
+        decoded = h.decode(h.make(tag, color, size))
+        assert (decoded.tag, decoded.color, decoded.size) == (tag, color, size)
+
+    def test_header_fits_in_word(self, arch):
+        h = HeaderCodec(arch)
+        hd = h.make(255, Color.BLACK, h.max_size)
+        assert 0 <= hd <= arch.word_mask

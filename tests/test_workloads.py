@@ -1,0 +1,119 @@
+"""Tests for the paper's workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import VirtualMachine, VMConfig, compile_source, get_platform, restart_vm
+from repro.workloads import (
+    alloc_expected,
+    alloc_source,
+    insertion_sort_expected,
+    insertion_sort_source,
+    matmul_expected,
+    matmul_source,
+)
+
+RODRIGO = get_platform("rodrigo")
+
+
+def run_plain(src, max_instructions=50_000_000):
+    code = compile_source(src)
+    vm = VirtualMachine(RODRIGO, code, VMConfig(chkpt_state="disable"))
+    result = vm.run(max_instructions=max_instructions)
+    assert result.status == "stopped"
+    return result
+
+
+class TestMatmul:
+    @pytest.mark.parametrize("n", [1, 2, 5, 12])
+    def test_result_correct(self, n):
+        assert run_plain(matmul_source(n, checkpoint=False)).stdout == matmul_expected(n)
+
+    def test_heap_grows_quadratically(self):
+        def live(vm):
+            return vm.mem.minor.used_words + vm.mem.heap.live_words()
+
+        small = run_plain(matmul_source(4, checkpoint=False)).vm
+        big = run_plain(matmul_source(16, checkpoint=False)).vm
+        assert live(big) > live(small) * 4
+
+    def test_checkpoint_mid_computation_restarts(self, tmp_path):
+        path = str(tmp_path / "mm.hckp")
+        src = matmul_source(8)
+        code = compile_source(src)
+        vm = VirtualMachine(
+            RODRIGO, code, VMConfig(chkpt_filename=path, chkpt_mode="blocking")
+        )
+        assert vm.run(max_instructions=50_000_000).stdout == matmul_expected(8)
+        vm2, _ = restart_vm(get_platform("sp2148"), code, path)
+        assert vm2.run(max_instructions=50_000_000).stdout == matmul_expected(8)
+
+
+class TestInsertionSort:
+    @pytest.mark.parametrize("n", [1, 10, 50])
+    def test_sorts(self, n):
+        out = run_plain(insertion_sort_source(n, checkpoint=False)).stdout
+        assert out == insertion_sort_expected(n)
+
+    def test_stack_grows_with_n(self):
+        """The paper's point: this workload is stack-bound."""
+        code = compile_source(insertion_sort_source(400, checkpoint=False))
+        vm = VirtualMachine(
+            RODRIGO, code, VMConfig(chkpt_state="disable", stack_words=512)
+        )
+        result = vm.run(max_instructions=50_000_000)
+        assert result.status == "stopped"
+        assert vm.main_stack.realloc_count >= 1
+
+    def test_checkpoint_at_deepest_recursion_restarts(self, tmp_path):
+        path = str(tmp_path / "is.hckp")
+        src = insertion_sort_source(120)
+        code = compile_source(src)
+        vm = VirtualMachine(
+            RODRIGO, code, VMConfig(chkpt_filename=path, chkpt_mode="blocking")
+        )
+        assert vm.run(max_instructions=50_000_000).stdout == insertion_sort_expected(120)
+        assert vm.checkpoints_taken == 1
+        # The checkpoint captured a deep recursion tower; restarting on a
+        # big-endian machine unwinds it correctly.
+        vm2, _ = restart_vm(get_platform("csd"), code, path)
+        assert vm2.run(max_instructions=50_000_000).stdout == insertion_sort_expected(120)
+
+    def test_checkpointed_stack_is_deep(self, tmp_path):
+        from repro.checkpoint.format import read_checkpoint
+
+        path = str(tmp_path / "deep.hckp")
+        n = 150
+        code = compile_source(insertion_sort_source(n))
+        vm = VirtualMachine(
+            RODRIGO, code, VMConfig(chkpt_filename=path, chkpt_mode="blocking")
+        )
+        vm.run(max_instructions=50_000_000)
+        snap = read_checkpoint(path)
+        main = next(t for t in snap.threads if t.tid == 0)
+        # ~4 words per frame x n frames, at least.
+        assert len(main.stack_words) > 3 * n
+
+
+class TestAlloc:
+    def test_fills_heap(self, tmp_path):
+        total = 64 * 1024
+        result = run_plain(alloc_source(total, checkpoint=False))
+        assert result.stdout == alloc_expected(total)
+        assert result.vm.mem.heap.live_words() >= total
+
+    def test_checkpoint_size_tracks_parameter(self, tmp_path):
+        sizes = {}
+        for total in (32 * 1024, 128 * 1024):
+            path = str(tmp_path / f"a{total}.hckp")
+            code = compile_source(alloc_source(total))
+            vm = VirtualMachine(
+                RODRIGO, code,
+                VMConfig(chkpt_filename=path, chkpt_mode="blocking"),
+            )
+            assert vm.run(max_instructions=50_000_000).stdout == alloc_expected(total)
+            sizes[total] = vm.last_checkpoint_stats.file_bytes
+        # Chunks are dumped whole (free space included, as in the paper),
+        # so the ratio is a bit below the 4x of the live data.
+        assert sizes[128 * 1024] > 2 * sizes[32 * 1024]
