@@ -8,6 +8,7 @@ capture) and written under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from collections import OrderedDict
@@ -19,6 +20,12 @@ from repro import VirtualMachine, VMConfig, compile_source, get_platform
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 _REPORTS: "OrderedDict[str, dict]" = OrderedDict()
+
+#: Machine-readable benchmark records, keyed by output file stem
+#: (``BENCH_checkpoint`` -> ``results/BENCH_checkpoint.json``).  The
+#: vectorized-vs-scalar acceptance numbers live here so a driver can
+#: check them without scraping the text reports.
+_BENCH: "OrderedDict[str, dict]" = OrderedDict()
 
 
 class Report:
@@ -64,6 +71,17 @@ def report_registry():
 
 
 @pytest.fixture(scope="session")
+def bench_json():
+    """``bench_json(stem)`` -> mutable dict serialized to
+    ``results/<stem>.json`` at session end."""
+
+    def _get(stem: str) -> dict:
+        return _BENCH.setdefault(stem, {})
+
+    return _get
+
+
+@pytest.fixture(scope="session")
 def get_report(report_registry):
     """``get_report(figure, title, columns)`` -> shared Report."""
 
@@ -77,6 +95,12 @@ def get_report(report_registry):
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _BENCH:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        for stem, data in _BENCH.items():
+            with open(os.path.join(RESULTS_DIR, f"{stem}.json"), "w") as f:
+                json.dump(data, f, indent=2, sort_keys=True)
+                f.write("\n")
     if not _REPORTS:
         return
     os.makedirs(RESULTS_DIR, exist_ok=True)

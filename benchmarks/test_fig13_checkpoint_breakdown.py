@@ -9,6 +9,13 @@ Our heap-saving cost is split across three instrumented phases —
 ``heap_dump`` (copying the chunks at the safe point), ``serialize``
 (native encoding) and ``write`` (disk I/O) — which together play the
 role of the paper's "saving the heap" bar.
+
+Both the vectorized fast path and the ``--no-vectorize`` scalar
+reference are measured on the *same* VM (the flag is flipped between
+interleaved rounds, min-of-N per path, so the comparison sees identical
+heap contents and identical machine noise).  The PR's acceptance number
+— heap save at the largest size at least 2x faster vectorized — is
+asserted here and recorded in ``results/BENCH_checkpoint.json``.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import make_checkpoint
+from repro.checkpoint.writer import CheckpointWriter
 from repro.workloads import alloc_source
 
 SIZES_WORDS = [64 * 1024, 256 * 1024, 640 * 1024]
@@ -23,38 +31,102 @@ SIZES_WORDS = [64 * 1024, 256 * 1024, 640 * 1024]
 HEAP_PHASES = ("heap_dump", "serialize", "write")
 SMALL_PHASES = ("minor_gc", "registers", "boundaries", "stack", "channels")
 
+#: Interleaved measurement rounds per path (min is reported).
+ROUNDS = 5
+
+#: Acceptance floor for the vectorized heap save at the largest size.
+MIN_SPEEDUP = 2.0
+
+
+def _measure(vm, path: str, vectorize: bool):
+    """One checkpoint via the writer; returns its stats."""
+    vm.config.vectorize = vectorize
+    return CheckpointWriter(vm).checkpoint(path)
+
+
+def _heap_save_seconds(stats) -> float:
+    return sum(stats.phases.seconds.get(p, 0.0) for p in HEAP_PHASES)
+
 
 @pytest.mark.parametrize("size", SIZES_WORDS)
-def test_checkpoint_phase_breakdown(size, tmp_path, benchmark, get_report):
+def test_checkpoint_phase_breakdown(size, tmp_path, benchmark, get_report,
+                                    bench_json):
     rep = get_report(
         "Figure 13",
         "checkpoint time breakdown vs checkpointed data size (rodrigo)",
-        ["ckpt MB", "total ms", "heap-save %", "commit %", "other %"],
+        ["path", "ckpt MB", "total ms", "heap-save ms",
+         "heap-save %", "commit %", "other %"],
     )
     path = str(tmp_path / "bd.hckp")
 
-    def checkpointed_run():
+    # One VM run provides the heap; the measured checkpoints re-save it.
+    def first_checkpoint():
         return make_checkpoint(alloc_source(size), path)
 
-    code, vm = benchmark.pedantic(checkpointed_run, rounds=1, iterations=1)
-    stats = vm.last_checkpoint_stats
-    fractions = stats.phases.fractions()
-    heap_save = sum(fractions.get(p, 0.0) for p in HEAP_PHASES)
-    commit = fractions.get("commit", 0.0)
-    other = 1.0 - heap_save - commit
-    rep.row(
-        f"{stats.file_bytes / 1e6:.2f}",
-        f"{stats.phases.total * 1e3:.1f}",
-        f"{100 * heap_save:.1f}",
-        f"{100 * commit:.1f}",
-        f"{100 * other:.1f}",
-    )
+    code, vm = benchmark.pedantic(first_checkpoint, rounds=1, iterations=1)
+
+    best = {}
+    for vectorize in (True, False):  # warm both paths once
+        _measure(vm, path, vectorize)
+    for _ in range(ROUNDS):
+        for vectorize in (True, False):
+            stats = _measure(vm, path, vectorize)
+            prev = best.get(vectorize)
+            if prev is None or _heap_save_seconds(stats) < (
+                _heap_save_seconds(prev)
+            ):
+                best[vectorize] = stats
+
+    record = bench_json("BENCH_checkpoint").setdefault("sizes", {})
+    entry = record.setdefault(str(size), {})
+    for vectorize in (False, True):
+        stats = best[vectorize]
+        fractions = stats.phases.fractions()
+        heap_save = sum(fractions.get(p, 0.0) for p in HEAP_PHASES)
+        commit = fractions.get("commit", 0.0)
+        other = 1.0 - heap_save - commit
+        label = "vectorized" if vectorize else "scalar"
+        rep.row(
+            label,
+            f"{stats.file_bytes / 1e6:.2f}",
+            f"{stats.phases.total * 1e3:.1f}",
+            f"{_heap_save_seconds(stats) * 1e3:.2f}",
+            f"{100 * heap_save:.1f}",
+            f"{100 * commit:.1f}",
+            f"{100 * other:.1f}",
+        )
+        entry[label] = {
+            "file_bytes": stats.file_bytes,
+            "heap_words": stats.heap_words,
+            "total_ms": round(stats.phases.total * 1e3, 3),
+            "heap_save_ms": round(_heap_save_seconds(stats) * 1e3, 3),
+            "phases_ms": {
+                k: round(v * 1e3, 3)
+                for k, v in stats.phases.seconds.items()
+            },
+            "kernels_ms": {
+                k: round(v * 1e3, 3)
+                for k, v in stats.phases.kernel_seconds.items()
+            },
+        }
+        # The paper's dominant-phase shape is asserted on the scalar
+        # reference — that is the implementation the paper describes.
+        # (The vectorized path compresses heap save so far that at the
+        # smallest size the fsync in "commit" overtakes it.)
+        if not vectorize:
+            assert heap_save > 0.5
+        small = sum(fractions.get(p, 0.0) for p in SMALL_PHASES)
+        assert small < 0.3
+
+    speedup = _heap_save_seconds(best[False]) / _heap_save_seconds(best[True])
+    entry["heap_save_speedup"] = round(speedup, 3)
     if size == SIZES_WORDS[-1]:
         rep.note(
             "paper shape: saving the heap > 80%, commit grows with file "
             "size, minor GC + registers + stack < 5%"
         )
-    # The paper's dominant-phase claim.
-    assert heap_save > 0.5
-    small = sum(fractions.get(p, 0.0) for p in SMALL_PHASES)
-    assert small < 0.3
+        rep.note(
+            f"vectorized heap save at {size} words: {speedup:.2f}x faster "
+            f"than the scalar reference (min of {ROUNDS} interleaved rounds)"
+        )
+        assert speedup >= MIN_SPEEDUP

@@ -3,6 +3,12 @@
 The paper: "During restart, the substantial parts are restoring the
 heap and fixing pointer values inside it ... these substantial parts
 take more than 90 percent of restart."
+
+Both the vectorized reader and the ``--no-vectorize`` scalar reference
+restore the same file, interleaved min-of-N, so the comparison sees the
+same disk cache and machine noise.  The PR's acceptance number — the
+largest restart at least 3x faster end-to-end vectorized — is asserted
+here and recorded in ``results/BENCH_restart.json``.
 """
 
 from __future__ import annotations
@@ -10,20 +16,35 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import make_checkpoint
-from repro import get_platform, restart_vm
+from repro import VMConfig, get_platform, restart_vm
 from repro.workloads import alloc_source
 
 SIZES_WORDS = [64 * 1024, 256 * 1024, 640 * 1024]
 
 HEAP_PHASES = ("heap_restore", "heap_rebuild", "pointer_fix", "read_file")
 
+#: Interleaved measurement rounds per path (min is reported).
+ROUNDS = 5
+
+#: Acceptance floor for the vectorized restart at the largest size.
+MIN_SPEEDUP = 3.0
+
+
+def _restart(code, path: str, vectorize: bool):
+    vm, stats = restart_vm(
+        get_platform("rodrigo"), code, path, VMConfig(vectorize=vectorize)
+    )
+    return stats
+
 
 @pytest.mark.parametrize("size", SIZES_WORDS)
-def test_restart_phase_breakdown(size, tmp_path, benchmark, get_report):
+def test_restart_phase_breakdown(size, tmp_path, benchmark, get_report,
+                                 bench_json):
     rep = get_report(
         "Figure 14",
         "restart time breakdown vs checkpointed data size (rodrigo->rodrigo)",
-        ["ckpt MB", "total ms", "heap restore+fix %", "stack %", "other %"],
+        ["path", "ckpt MB", "total ms", "heap restore+fix %", "stack %",
+         "other %"],
     )
     path = str(tmp_path / "bd.hckp")
     code, vm = make_checkpoint(alloc_source(size), path)
@@ -32,21 +53,60 @@ def test_restart_phase_breakdown(size, tmp_path, benchmark, get_report):
     def restart():
         return restart_vm(get_platform("rodrigo"), code, path)
 
-    vm2, stats = benchmark.pedantic(restart, rounds=1, iterations=1)
-    fractions = stats.phases.fractions()
-    heap = sum(fractions.get(p, 0.0) for p in HEAP_PHASES)
-    stack = fractions.get("stack_restore", 0.0) + fractions.get("threads", 0.0)
-    other = 1.0 - heap - stack
-    rep.row(
-        f"{file_mb:.2f}",
-        f"{stats.phases.total * 1e3:.1f}",
-        f"{100 * heap:.1f}",
-        f"{100 * stack:.1f}",
-        f"{100 * other:.1f}",
-    )
+    benchmark.pedantic(restart, rounds=1, iterations=1)
+
+    best = {}
+    for vectorize in (True, False):  # warm both paths once
+        _restart(code, path, vectorize)
+    for _ in range(ROUNDS):
+        for vectorize in (True, False):
+            stats = _restart(code, path, vectorize)
+            prev = best.get(vectorize)
+            if prev is None or stats.phases.total < prev.phases.total:
+                best[vectorize] = stats
+
+    record = bench_json("BENCH_restart").setdefault("sizes", {})
+    entry = record.setdefault(str(size), {})
+    for vectorize in (False, True):
+        stats = best[vectorize]
+        fractions = stats.phases.fractions()
+        heap = sum(fractions.get(p, 0.0) for p in HEAP_PHASES)
+        stack = fractions.get("stack_restore", 0.0) + fractions.get(
+            "threads", 0.0
+        )
+        other = 1.0 - heap - stack
+        label = "vectorized" if vectorize else "scalar"
+        rep.row(
+            label,
+            f"{file_mb:.2f}",
+            f"{stats.phases.total * 1e3:.1f}",
+            f"{100 * heap:.1f}",
+            f"{100 * stack:.1f}",
+            f"{100 * other:.1f}",
+        )
+        entry[label] = {
+            "total_ms": round(stats.phases.total * 1e3, 3),
+            "phases_ms": {
+                k: round(v * 1e3, 3)
+                for k, v in stats.phases.seconds.items()
+            },
+            "kernels_ms": {
+                k: round(v * 1e3, 3)
+                for k, v in stats.phases.kernel_seconds.items()
+            },
+        }
+        # The paper's shape: heap restore + pointer fixing dominate.
+        assert heap > 0.7
+
+    speedup = best[False].phases.total / best[True].phases.total
+    entry["restart_speedup"] = round(speedup, 3)
     if size == SIZES_WORDS[-1]:
         rep.note(
             "paper shape: restoring the heap and fixing its pointers take "
             "more than 90% of restart"
         )
-    assert heap > 0.7
+        rep.note(
+            f"vectorized restart at {size} words: {speedup:.2f}x faster "
+            f"than the scalar reference (min of {ROUNDS} interleaved rounds)"
+        )
+        assert speedup >= MIN_SPEEDUP

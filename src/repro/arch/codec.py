@@ -30,13 +30,23 @@ class WordCodec:
 
     def decode(self, data: bytes) -> list[int]:
         """Deserialize a native byte stream back into a list of words."""
+        return self.decode_array(data).tolist()
+
+    def encode_array(self, arr: np.ndarray) -> bytes:
+        """Serialize a word array (any unsigned dtype) into native bytes."""
+        if arr.dtype == self._dtype:
+            return arr.tobytes()
+        wide = arr.astype(np.uint64) & np.uint64(self.arch.word_mask)
+        return wide.astype(self._dtype).tobytes()
+
+    def decode_array(self, data: bytes) -> np.ndarray:
+        """Deserialize a native byte stream into a ``uint64`` array."""
         if len(data) % self.arch.word_bytes:
             raise ValueError(
                 f"byte stream length {len(data)} is not a multiple of the "
                 f"word size {self.arch.word_bytes}"
             )
-        arr = np.frombuffer(data, dtype=self._dtype)
-        return [int(w) for w in arr.astype(np.uint64)]
+        return np.frombuffer(data, dtype=self._dtype).astype(np.uint64)
 
     def byteswapped(self, data: bytes) -> bytes:
         """Return ``data`` with every word's bytes reversed.

@@ -25,6 +25,8 @@ from repro.checkpoint.format import (
     VMSnapshot,
     read_checkpoint,
     CHECKPOINT_MAGIC,
+    CHECKPOINT_MAGIC_V1,
+    CHECKPOINT_MAGIC_V2,
 )
 from repro.checkpoint.writer import CheckpointWriter, CheckpointStats, build_snapshot
 from repro.checkpoint.reader import restart_vm, RestartStats
@@ -38,6 +40,8 @@ __all__ = [
     "VMSnapshot",
     "read_checkpoint",
     "CHECKPOINT_MAGIC",
+    "CHECKPOINT_MAGIC_V1",
+    "CHECKPOINT_MAGIC_V2",
     "CheckpointWriter",
     "CheckpointStats",
     "build_snapshot",

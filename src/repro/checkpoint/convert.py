@@ -16,7 +16,9 @@ conversion happens on restart and only when the architectures differ:
 
 from __future__ import annotations
 
-from repro.arch.architecture import Architecture
+import numpy as np
+
+from repro.arch.architecture import Architecture, Endianness
 from repro.memory.floats import FloatCodec
 from repro.memory.strings import StringCodec
 from repro.memory.values import ValueCodec
@@ -69,6 +71,99 @@ class ValueConverter:
         if self.src.bits == self.dst.bits:
             return word
         return self.dst.to_unsigned(self.src.to_signed(word))
+
+    # -- batch conversions (vectorized fast path) -----------------------------
+
+    def convert_raw_array(self, arr: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`convert_raw` over a ``uint64`` array."""
+        if self.src.bits == self.dst.bits:
+            return arr
+        if self.src.bits == 64:  # 64 -> 32: truncate (sign kept mod 2**32)
+            return arr & np.uint64(0xFFFFFFFF)
+        # 32 -> 64: sign-extend from bit 31.
+        out = arr.copy()
+        out[(arr & np.uint64(0x80000000)) != 0] |= np.uint64(
+            0xFFFFFFFF00000000
+        )
+        return out
+
+    def convert_raw_many(self, words: list[int]) -> list[int]:
+        """Batch :meth:`convert_raw` over a list of words."""
+        if self.src.bits == self.dst.bits:
+            return list(words)
+        arr = np.asarray(words, dtype=np.uint64)
+        return self.convert_raw_array(arr).tolist()
+
+    def convert_immediate_array(self, arr: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`convert_immediate` over a ``uint64`` array.
+
+        Every element must be an immediate (LSB set); non-immediates in
+        the input are the caller's bug, not detected here.
+        """
+        if self.src.bits == self.dst.bits:
+            return arr
+        if self.src.bits == 64:
+            n = arr.view(np.int64) >> 1  # arithmetic shift = Int_val
+        else:
+            n = arr.astype(np.uint32).view(np.int32).astype(np.int64) >> 1
+        boxed = ((n << 1) | 1).view(np.uint64)
+        return boxed & np.uint64(self.dst.word_mask)
+
+    def repack_string_array(self, arr: np.ndarray) -> np.ndarray:
+        """Vectorized same-word-size string repack (endian swap).
+
+        The payload's byte *sequence* is the invariant, so with equal
+        word sizes each word's bytes simply reverse.  Cross-word-size
+        strings go through the scalar :meth:`repack_string` (the word
+        count changes, which this in-place kernel cannot express).
+        """
+        if not self.endian_differs:
+            return arr
+        if self.src.word_bytes == 8:
+            return arr.byteswap()
+        return arr.astype(np.uint32).byteswap().astype(np.uint64)
+
+    def repack_double_array(self, arr: np.ndarray) -> np.ndarray:
+        """Vectorized same-word-size double repack (endian swap).
+
+        A 64-bit double word holds the IEEE bit pattern as a value, so
+        its cross-endian repack is the identity at the word-value level.
+        On 32-bit the pattern spans two words in memory order, so the
+        pair's word *values* swap places.
+        """
+        if not self.endian_differs or self.src.word_bytes == 8:
+            return arr
+        out = np.empty_like(arr)
+        out[0::2] = arr[1::2]
+        out[1::2] = arr[0::2]
+        return out
+
+    def double_pattern_array(self, arr: np.ndarray) -> np.ndarray:
+        """IEEE bit patterns (one ``uint64`` each) of a double payload.
+
+        ``arr`` is the concatenated payload words of same-sized double
+        blocks in the *source* representation.
+        """
+        if self.src.word_bytes == 8:
+            return arr
+        if self.src.endianness is Endianness.LITTLE:
+            lo, hi = arr[0::2], arr[1::2]
+        else:
+            hi, lo = arr[0::2], arr[1::2]
+        return lo | (hi << np.uint64(32))
+
+    def double_words_from_patterns(self, patterns: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`double_pattern_array`, for the *target*."""
+        if self.dst.word_bytes == 8:
+            return patterns
+        lo = patterns & np.uint64(0xFFFFFFFF)
+        hi = patterns >> np.uint64(32)
+        out = np.empty(patterns.size * 2, dtype=np.uint64)
+        if self.dst.endianness is Endianness.LITTLE:
+            out[0::2], out[1::2] = lo, hi
+        else:
+            out[0::2], out[1::2] = hi, lo
+        return out
 
     # -- payload conversions -------------------------------------------------------
 

@@ -13,6 +13,10 @@ Layout (sections in the order of the paper's §4.1 steps 5-13):
 6.  VM globals: freelist head, global_data pointer, allocated words
     (paper step 9)
 7.  heap chunks, dumped raw in native representation (paper step 8)
+7b. block-extent index (format v2 only, optional): per chunk, the
+    delta-coded word positions of every block header plus a one-byte
+    class per block, so restart can vectorize per block class without
+    re-discovering headers word-by-word
 8.  atom table dump (paper step 9)
 9.  C-global area dump + registered root indices
 10. per-thread records: registers (paper step 7), scheduling state and
@@ -40,8 +44,25 @@ from repro.arch.architecture import Architecture, Endianness
 from repro.channels.manager import ChannelRecord
 from repro.errors import CheckpointFormatError
 
-CHECKPOINT_MAGIC = b"HCKP\x01\x00"
+CHECKPOINT_MAGIC_V1 = b"HCKP\x01\x00"
+CHECKPOINT_MAGIC_V2 = b"HCKP\x02\x00"
+#: The magic current writers emit (format v2: optional block-extent index).
+CHECKPOINT_MAGIC = CHECKPOINT_MAGIC_V2
 CHECKPOINT_END = b"HCKPEND!"
+
+_MAGIC_VERSIONS = {CHECKPOINT_MAGIC_V1: 1, CHECKPOINT_MAGIC_V2: 2}
+
+#: Block classes recorded in the v2 block-extent index.  They partition
+#: blocks by how restart must treat the payload: FREE blocks carry a
+#: freelist link in field 0; SCAN payloads are values (pointers or
+#: immediates); STRING/DOUBLE payloads are byte-oriented and repack by
+#: their own rules on an endianness or word-size change; OPAQUE payloads
+#: (NO_SCAN custom data) are raw machine words.
+CLASS_FREE = 0
+CLASS_SCAN = 1
+CLASS_STRING = 2
+CLASS_DOUBLE = 3
+CLASS_OPAQUE = 4
 
 
 # ---------------------------------------------------------------------------
@@ -100,6 +121,7 @@ class CheckpointHeader:
     current_tid: int
     code_digest: bytes
     code_len: int
+    format_version: int = 2
 
     @property
     def arch(self) -> Architecture:
@@ -120,12 +142,17 @@ class VMSnapshot:
     freelist_head: int
     global_data: int
     allocated_words: int
-    heap_chunks: list[tuple[int, list[int]]]  # (base, words)
+    heap_chunks: list[tuple[int, list[int]]]  # (base, words); the
+    # vectorized paths store numpy arrays in the ``words`` slot instead
     atom_words: list[int]
     cglobal_words: list[int]
     cglobal_roots: list[int]
     threads: list[ThreadRecord]
     channels: list[ChannelRecord]
+    #: Format-v2 block-extent index: one ``(positions, classes)`` pair
+    #: per heap chunk (uint32 header word-indices, uint8 CLASS_* codes),
+    #: or None when the file carries no index (v1, or scalar writer).
+    chunk_index: Optional[list[tuple[np.ndarray, np.ndarray]]] = None
 
     @property
     def arch(self) -> Architecture:
@@ -171,9 +198,26 @@ class SectionWriter:
         """One VM word in native representation."""
         self.buf.write(self.arch.word_to_bytes(w))
 
-    def words(self, ws: list[int]) -> None:
-        """A word array in native representation (vectorized)."""
+    def words(self, ws) -> None:
+        """A word array in native representation (vectorized).
+
+        Accepts a list of ints or a numpy array; an array already in the
+        architecture's native dtype is written without any copy/convert.
+        """
         self.u64(len(ws))
+        if isinstance(ws, np.ndarray):
+            if ws.dtype == self._dtype:
+                # Buffer protocol: no intermediate bytes copy.
+                self.buf.write(
+                    ws.data if ws.flags.c_contiguous else ws.tobytes()
+                )
+                return
+            arr = ws.astype(np.uint64) & np.uint64(self.arch.word_mask)
+            self.buf.write(arr.astype(self._dtype).data)
+            return
+        # List input: the scalar reference encoding, kept byte-for-byte
+        # and copy-for-copy as-is so ``--no-vectorize`` measures the
+        # unoptimized baseline the vectorized path is compared against.
         arr = np.asarray(ws, dtype=np.uint64) & np.uint64(self.arch.word_mask)
         self.buf.write(arr.astype(self._dtype).tobytes())
 
@@ -223,10 +267,13 @@ class SectionReader:
         return self.arch.word_from_bytes(self._take(self.arch.word_bytes))
 
     def words(self) -> list[int]:
+        return self.words_array().tolist()
+
+    def words_array(self) -> np.ndarray:
+        """A word array decoded to canonical ``uint64`` (no Python ints)."""
         n = self.u64()
         raw = self._take(n * self.arch.word_bytes)
-        arr = np.frombuffer(raw, dtype=self._dtype)
-        return [int(w) for w in arr.astype(np.uint64)]
+        return np.frombuffer(raw, dtype=self._dtype).astype(np.uint64)
 
 
 # ---------------------------------------------------------------------------
@@ -234,12 +281,88 @@ class SectionReader:
 # ---------------------------------------------------------------------------
 
 
+def _encode_chunk_index(w: SectionWriter, index) -> None:
+    """Write the v2 block-extent index (delta-coded header positions).
+
+    Positions are ascending word indices; each is stored as a ``u8``
+    delta from its predecessor (the first from zero).  A delta that does
+    not fit (>= 0xFF) stores the escape marker 0xFF and its real value
+    in a side array of ``<u4``.  Classes are one ``u8`` per block.
+    """
+    for positions, classes in index:
+        pos = np.asarray(positions, dtype=np.uint32)
+        n = int(pos.size)
+        w.u32(n)
+        deltas = np.diff(pos, prepend=np.uint32(0))
+        escaped = deltas >= 0xFF
+        small = deltas.astype(np.uint8)
+        small[escaped] = 0xFF
+        w.bytes_lp(small.tobytes())
+        escapes = deltas[escaped].astype("<u4")
+        w.u32(int(escapes.size))
+        w.raw(escapes.tobytes())
+        w.bytes_lp(np.asarray(classes, dtype=np.uint8).tobytes())
+
+
+def _decode_chunk_index(r: SectionReader, n_chunks: int):
+    index = []
+    for _ in range(n_chunks):
+        n = r.u32()
+        small = np.frombuffer(r.bytes_lp(), dtype=np.uint8)
+        n_esc = r.u32()
+        escapes = np.frombuffer(r._take(4 * n_esc), dtype="<u4")
+        classes = np.frombuffer(r.bytes_lp(), dtype=np.uint8)
+        if small.size != n or classes.size != n:
+            raise CheckpointFormatError("malformed block-extent index")
+        deltas = small.astype(np.uint32)
+        escaped = small == 0xFF
+        if int(escaped.sum()) != n_esc:
+            raise CheckpointFormatError("block-extent escape count mismatch")
+        deltas[escaped] = escapes
+        positions = np.cumsum(deltas, dtype=np.uint64).astype(np.uint32)
+        index.append((positions, classes))
+    return index
+
+
 def serialize_snapshot(snap: VMSnapshot) -> bytes:
-    """Serialize a snapshot into the on-disk checkpoint format."""
+    """Serialize a snapshot into the on-disk checkpoint format.
+
+    This is the scalar reference tail: materialize the body, checksum
+    it, concatenate the trailer.  Both copies are deliberate — they are
+    part of the unoptimized baseline ``--no-vectorize`` measures.
+    """
+    w = _write_snapshot_body(snap)
+    body = w.getvalue()
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return body + CHECKPOINT_END + struct.pack("<I", crc)
+
+
+def serialize_snapshot_writer(snap: VMSnapshot) -> "SectionWriter":
+    """Serialize a snapshot; returns the filled :class:`SectionWriter`.
+
+    The vectorized tail: the CRC runs over the live buffer view and the
+    trailer is appended in place, so callers streaming straight to a
+    file (``w.buf.getbuffer()``) never copy the multi-megabyte body.
+    """
+    w = _write_snapshot_body(snap)
+    with w.buf.getbuffer() as view:
+        crc = zlib.crc32(view) & 0xFFFFFFFF
+    w.raw(CHECKPOINT_END + struct.pack("<I", crc))
+    return w
+
+
+def _write_snapshot_body(snap: VMSnapshot) -> "SectionWriter":
+    """Write every section except the end-signature trailer."""
     arch = snap.arch
     w = SectionWriter(arch)
     h = snap.header
-    w.raw(CHECKPOINT_MAGIC)
+    version = h.format_version
+    if version == 1:
+        w.raw(CHECKPOINT_MAGIC_V1)
+    elif version == 2:
+        w.raw(CHECKPOINT_MAGIC_V2)
+    else:
+        raise CheckpointFormatError(f"cannot write format version {version}")
     # Architecture marker (paper step 5): word size then native "one".
     w.u8(arch.word_bytes)
     w.word(1)
@@ -265,6 +388,17 @@ def serialize_snapshot(snap: VMSnapshot) -> bytes:
     for base, words in snap.heap_chunks:
         w.word(base)
         w.words(words)
+    # Block-extent index (format v2; optional).
+    if version >= 2:
+        if snap.chunk_index is not None and len(snap.chunk_index) != len(
+            snap.heap_chunks
+        ):
+            raise CheckpointFormatError(
+                "block-extent index does not cover every heap chunk"
+            )
+        w.u8(1 if snap.chunk_index is not None else 0)
+        if snap.chunk_index is not None:
+            _encode_chunk_index(w, snap.chunk_index)
     # Atom table (paper step 9).
     w.words(snap.atom_words)
     # C globals.
@@ -305,14 +439,19 @@ def serialize_snapshot(snap: VMSnapshot) -> bytes:
         w.u64(ch.position)
         w.bytes_lp(ch.out_buffer)
         w.u8(1 if ch.closed else 0)
-    # Signature (paper step 13).
-    body = w.getvalue()
-    crc = zlib.crc32(body) & 0xFFFFFFFF
-    return body + CHECKPOINT_END + struct.pack("<I", crc)
+    # The end signature + CRC (paper step 13) is appended by the caller
+    # — the scalar and vectorized tails differ in copies, not in bytes.
+    return w
 
 
-def read_checkpoint(path: str) -> VMSnapshot:
-    """Read and validate a checkpoint file; detect its architecture."""
+def read_checkpoint(path: str, raw_arrays: bool = False) -> VMSnapshot:
+    """Read and validate a checkpoint file; detect its architecture.
+
+    A v2 reader accepts v1 files (they simply carry no block-extent
+    index).  With ``raw_arrays`` the bulk word sections (heap chunks and
+    thread stacks) are returned as numpy ``uint64`` arrays instead of
+    Python lists, for the vectorized restart path.
+    """
     with open(path, "rb") as f:
         data = f.read()
     if len(data) < len(CHECKPOINT_MAGIC) + len(CHECKPOINT_END) + 4:
@@ -326,7 +465,9 @@ def read_checkpoint(path: str) -> VMSnapshot:
     if zlib.crc32(body) & 0xFFFFFFFF != crc:
         raise CheckpointFormatError("checkpoint CRC mismatch (corrupt file)")
     r = SectionReader(body)
-    if r._take(len(CHECKPOINT_MAGIC)) != CHECKPOINT_MAGIC:
+    magic = r._take(len(CHECKPOINT_MAGIC))
+    version = _MAGIC_VERSIONS.get(magic)
+    if version is None:
         raise CheckpointFormatError("not a checkpoint file (bad magic)")
     # Architecture marker (paper §4.2 step 2): detect word size and
     # endianness from the saved constant one.
@@ -357,6 +498,7 @@ def read_checkpoint(path: str) -> VMSnapshot:
         current_tid=current_tid,
         code_digest=code_digest,
         code_len=code_len,
+        format_version=version,
     )
     boundaries = []
     for _ in range(r.u32()):
@@ -371,7 +513,12 @@ def read_checkpoint(path: str) -> VMSnapshot:
     heap_chunks = []
     for _ in range(r.u32()):
         base = r.word()
-        heap_chunks.append((base, r.words()))
+        heap_chunks.append(
+            (base, r.words_array() if raw_arrays else r.words())
+        )
+    chunk_index = None
+    if version >= 2 and r.u8():
+        chunk_index = _decode_chunk_index(r, len(heap_chunks))
     atom_words = r.words()
     cglobal_words = r.words()
     cglobal_roots = [r.u32() for _ in range(r.u32())]
@@ -390,7 +537,7 @@ def read_checkpoint(path: str) -> VMSnapshot:
         stack_base = r.word()
         stack_high = r.word()
         capacity_words = r.u64()
-        stack_words = r.words()
+        stack_words = r.words_array() if raw_arrays else r.words()
         threads.append(
             ThreadRecord(
                 tid, state, block_kind, blocked_on, pending_mutex, result,
@@ -421,4 +568,5 @@ def read_checkpoint(path: str) -> VMSnapshot:
         cglobal_roots=cglobal_roots,
         threads=threads,
         channels=channels,
+        chunk_index=chunk_index,
     )

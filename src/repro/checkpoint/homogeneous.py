@@ -159,6 +159,10 @@ class HomogeneousCheckpointer:
                     f"core dumps require identical layout"
                 )
             area.words[:] = words
+        # The restored image replaced chunk contents wholesale; the
+        # incrementally maintained header maps no longer describe them.
+        for chunk in vm.mem.heap.chunks:
+            chunk.header_map = None
         (clen,) = struct.unpack_from("<I", data, off)
         off += 4 + clen  # the text segment: verified by digest already
         (n_threads,) = struct.unpack_from("<I", data, off)

@@ -35,6 +35,9 @@ class InspectionReport:
     """Findings of one checkpoint inspection."""
 
     platform_name: str = ""
+    format_version: int = 1
+    #: Whether the file carries the v2 block-extent index.
+    has_block_index: bool = False
     word_bytes: int = 0
     endianness: str = ""
     multithreaded: bool = False
@@ -59,7 +62,13 @@ class InspectionReport:
         return not self.problems
 
     def render(self) -> str:
+        index_note = (
+            "block-extent index present"
+            if self.has_block_index
+            else "no block index"
+        )
         lines = [
+            f"format     : v{self.format_version}, {index_note}",
             f"platform   : {self.platform_name} "
             f"({self.word_bytes * 8}-bit {self.endianness}-endian)",
             f"application: {'multi' if self.multithreaded else 'single'}"
@@ -103,6 +112,8 @@ def inspect_snapshot(snap: VMSnapshot) -> InspectionReport:
     """Validate a parsed checkpoint; never raises on content problems."""
     report = InspectionReport(
         platform_name=snap.header.platform_name,
+        format_version=snap.header.format_version,
+        has_block_index=snap.chunk_index is not None,
         word_bytes=snap.header.word_bytes,
         endianness=snap.header.endianness.value,
         multithreaded=snap.header.multithreaded,
@@ -137,11 +148,13 @@ def inspect_snapshot(snap: VMSnapshot) -> InspectionReport:
     for a in areas:
         if a.kind == "code":
             code_end = a.base + a.n_words * 4
-    for base, words in snap.heap_chunks:
+    for ci, (base, words) in enumerate(snap.heap_chunks):
         report.heap_words += len(words)
+        walk_positions: list[int] = []
         i = 0
         n = len(words)
         while i < n:
+            walk_positions.append(i)
             hd = words[i]
             size = headers.size(hd)
             tag = headers.tag(hd)
@@ -188,6 +201,19 @@ def inspect_snapshot(snap: VMSnapshot) -> InspectionReport:
                             w, f"chunk {base:#x} block@{i} field {j}"
                         )
             i += 1 + size
+        if snap.chunk_index is not None:
+            # The v2 index must agree with the discovery walk exactly —
+            # a vectorized restart trusts it without re-walking.
+            indexed = [int(p) for p in snap.chunk_index[ci][0]]
+            if indexed != walk_positions:
+                report.problems.append(
+                    f"chunk {base:#x}: block-extent index lists "
+                    f"{len(indexed)} block(s) but the discovery walk "
+                    f"found {len(walk_positions)}"
+                    if len(indexed) != len(walk_positions)
+                    else f"chunk {base:#x}: block-extent index disagrees "
+                    f"with the discovery walk"
+                )
 
     # --- threads -----------------------------------------------------------
     for t in snap.threads:

@@ -30,19 +30,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import BinaryIO, Optional
 
+import numpy as np
+
+from repro.arch.architecture import Endianness
 from repro.arch.platforms import Platform
 from repro.bytecode.image import CodeImage
 from repro.checkpoint.convert import ValueConverter
 from repro.checkpoint.format import VMSnapshot, read_checkpoint
 from repro.checkpoint.relocate import AddressMapper
-from repro.errors import RestartError
+from repro.errors import HeapExhausted, RestartError
 from repro.memory.blocks import (
     Color,
     DOUBLE_TAG,
     HeaderCodec,
+    NO_SCAN_TAG,
     STRING_TAG,
 )
-from repro.memory.heap import Heap
+from repro.memory.heap import PAGE_SIZE, Heap
 from repro.memory.layout import AreaKind, MemoryArea
 from repro.metrics import PhaseTimer
 from repro.threads.thread import BlockKind, ThreadState, VMThread
@@ -80,9 +84,10 @@ def restart_vm(
     """
     stats = RestartStats()
     timer = stats.phases
+    vectorize = config.vectorize if config is not None else True
     # Steps 1-4: read and validate.
     with timer.phase("read_file"):
-        snap = read_checkpoint(path)
+        snap = read_checkpoint(path, raw_arrays=vectorize)
     if snap.header.code_digest != code.digest():
         raise RestartError(
             "checkpoint was taken from a different program (digest mismatch)"
@@ -98,12 +103,25 @@ def restart_vm(
     try:
         _fresh_heap(vm)
         relocation: Optional[dict[int, int]] = None
+        rebuild_ctx = None
+        positions: Optional[list[np.ndarray]] = None
         if converter.word_size_differs:
             with timer.phase("heap_rebuild"):
-                relocation = _rebuild_heap(vm, snap, converter)
+                if vectorize:
+                    positions = _chunk_positions(snap, timer)
+                    rebuild_ctx = _rebuild_heap_vec(
+                        vm, snap, converter, positions, timer
+                    )
+                    relocation = rebuild_ctx.relocation
+                else:
+                    relocation = _rebuild_heap(vm, snap, converter)
         else:
             with timer.phase("heap_restore"):
-                _restore_heap_chunks(vm, snap)
+                if vectorize:
+                    positions = _chunk_positions(snap, timer)
+                    _restore_heap_chunks_vec(vm, snap, positions)
+                else:
+                    _restore_heap_chunks(vm, snap)
         # Threads and their stacks must exist before the mapper so stack
         # addresses resolve (step 8 before 9, safely: no thread runs yet).
         with timer.phase("threads"):
@@ -112,14 +130,23 @@ def restart_vm(
         fix = _value_fixer(vm, mapper, converter)
         if converter.word_size_differs:
             with timer.phase("pointer_fix"):
-                _fix_rebuilt_heap(vm, snap, relocation, fix, converter)
-                vm.mem.heap.rebuild_freelist()
+                if vectorize:
+                    _fix_rebuilt_heap_vec(vm, rebuild_ctx, mapper, converter)
+                else:
+                    _fix_rebuilt_heap(vm, snap, relocation, fix, converter)
+                    vm.mem.heap.rebuild_freelist()
         else:
             with timer.phase("pointer_fix"):
-                _fix_heap_pointers(vm, mapper)
+                if vectorize:
+                    _fix_heap_pointers_vec(vm, mapper, positions, timer)
+                else:
+                    _fix_heap_pointers(vm, mapper)
             if converter.endian_differs:
                 with timer.phase("convert_payloads"):
-                    _repack_heap_payloads(vm, converter)
+                    if vectorize:
+                        _repack_heap_payloads_vec(vm, converter, positions)
+                    else:
+                        _repack_heap_payloads(vm, converter)
             with timer.phase("freelist"):
                 head = snap.freelist_head
                 vm.mem.heap.freelist_head = (
@@ -132,7 +159,7 @@ def restart_vm(
             vm.global_data = gd
             _restore_cglobals(vm, snap, fix, converter)
         with timer.phase("stack_restore"):
-            _fix_threads(vm, snap, mapper, fix, converter)
+            _fix_threads(vm, snap, mapper, fix, converter, vectorize)
         with timer.phase("registers"):
             _restore_current(vm, snap, mapper)
         with timer.phase("channels"):
@@ -287,7 +314,7 @@ def _rebuild_heap(
                 elif tag == DOUBLE_TAG:
                     new_payload = converter.repack_double(payload)
                 elif tag >= 251:  # opaque no-scan data
-                    new_payload = [converter.convert_raw(w) for w in payload]
+                    new_payload = converter.convert_raw_many(payload)
                 else:
                     # Scannable: copy raw now, fix in the second pass.
                     new_payload = list(payload)
@@ -315,6 +342,484 @@ def _fix_rebuilt_heap(
             size = headers.size(hd)
             for j in range(size):
                 mem.heap.set_field(block, j, fix(mem.heap.field(block, j)))
+
+
+# ---------------------------------------------------------------------------
+# Vectorized heap restoration (the numpy fast path)
+# ---------------------------------------------------------------------------
+
+
+def _ragged_indices(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Flat indices of the runs ``[starts[k], starts[k] + lens[k])``.
+
+    The standard repeat/cumsum trick; every ``lens[k]`` must be > 0.
+    """
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    steps = np.ones(total, dtype=np.int64)
+    cum = np.cumsum(lens)
+    steps[0] = starts[0]
+    if starts.size > 1:
+        steps[cum[:-1]] = starts[1:] - (starts[:-1] + lens[:-1] - 1)
+    return np.cumsum(steps)
+
+
+def _chunk_positions(snap: VMSnapshot, timer: PhaseTimer) -> list[np.ndarray]:
+    """Block-header word positions of every saved chunk.
+
+    Format-v2 files with an index answer this directly; otherwise (v1
+    files, or a scalar writer that omitted the index) one word-at-a-time
+    discovery walk over the saved image recovers the positions.
+    """
+    if snap.chunk_index is not None:
+        return [pos for pos, _ in snap.chunk_index]
+    src_headers = HeaderCodec(snap.arch)
+    out = []
+    with timer.kernel("discover_blocks"):
+        for _, words in snap.heap_chunks:
+            pos = []
+            i = 0
+            n = len(words)
+            while i < n:
+                pos.append(i)
+                i += 1 + src_headers.size(int(words[i]))
+            out.append(np.asarray(pos, dtype=np.uint32))
+    return out
+
+
+def _restore_heap_chunks_vec(
+    vm: VirtualMachine, snap: VMSnapshot, positions: list[np.ndarray]
+) -> None:
+    """Same-word-size path, staged: adopt chunks backed by numpy arrays.
+
+    The word lists materialize lazily (first GC or interpreter access);
+    the pointer-fixing kernels below operate on the staged arrays
+    directly, so a restart never unboxes words it does not touch.
+    """
+    layout = vm.platform.layout
+    arch = vm.platform.arch
+    for slot, ((_src_base, arr), pos) in enumerate(
+        zip(snap.heap_chunks, positions)
+    ):
+        if arr.size * arch.word_bytes > layout.chunk_stride:
+            raise RestartError("checkpointed chunk exceeds platform stride")
+        base = layout.heap_base + slot * layout.chunk_stride
+        area = MemoryArea.from_staged(
+            AreaKind.HEAP_CHUNK, base, arr, arch, label=f"heap-chunk-{slot}"
+        )
+        hm = np.zeros(arr.size, dtype=np.uint8)
+        hm[pos.astype(np.int64)] = 1
+        vm.mem.heap.adopt_chunk(area, header_map=bytearray(hm.tobytes()))
+
+
+def _fix_heap_pointers_vec(
+    vm: VirtualMachine,
+    mapper: AddressMapper,
+    positions: list[np.ndarray],
+    timer: PhaseTimer,
+) -> None:
+    """Vectorized :func:`_fix_heap_pointers`: classify every payload word
+    of every scannable block by its LSB and map the pointers in bulk."""
+    for chunk, pos in zip(vm.mem.heap.chunks, positions):
+        arr = chunk.area.peek_staged()
+        p = pos.astype(np.int64)
+        hds = arr[p]
+        sizes = (hds >> np.uint64(10)).astype(np.int64)
+        colors = (hds >> np.uint64(8)) & np.uint64(3)
+        tags = hds & np.uint64(0xFF)
+        blue = colors == Color.BLUE.value
+        recolor = (colors == Color.GRAY.value) | (
+            colors == Color.BLACK.value
+        )
+        if recolor.any():
+            arr[p[recolor]] = hds[recolor] & ~np.uint64(0x300)
+        linked = blue & (sizes >= 1)
+        if linked.any():
+            lp = p[linked] + 1
+            links = arr[lp]
+            nz = links != 0
+            if nz.any():
+                with timer.kernel("map_many"):
+                    mapped, ok = mapper.map_many(links[nz])
+                arr[lp[nz]] = np.where(ok, mapped, np.uint64(0))
+        scan = (~blue) & (tags < np.uint64(NO_SCAN_TAG)) & (sizes > 0)
+        if scan.any():
+            idx = _ragged_indices(p[scan] + 1, sizes[scan])
+            vals = arr[idx]
+            even = (vals & np.uint64(1)) == 0
+            if even.any():
+                ptrs = vals[even]
+                with timer.kernel("map_many"):
+                    mapped, ok = mapper.map_many(ptrs)
+                arr[idx[even]] = np.where(ok, mapped, ptrs)
+
+
+def _repack_heap_payloads_vec(
+    vm: VirtualMachine,
+    converter: ValueConverter,
+    positions: list[np.ndarray],
+) -> None:
+    """Vectorized :func:`_repack_heap_payloads` (endianness-only)."""
+    for chunk, pos in zip(vm.mem.heap.chunks, positions):
+        arr = chunk.area.peek_staged()
+        p = pos.astype(np.int64)
+        hds = arr[p]
+        sizes = (hds >> np.uint64(10)).astype(np.int64)
+        colors = (hds >> np.uint64(8)) & np.uint64(3)
+        tags = hds & np.uint64(0xFF)
+        nonblue = colors != Color.BLUE.value
+        strs = nonblue & (tags == np.uint64(STRING_TAG)) & (sizes > 0)
+        if strs.any():
+            idx = _ragged_indices(p[strs] + 1, sizes[strs])
+            arr[idx] = converter.repack_string_array(arr[idx])
+        dbls = nonblue & (tags == np.uint64(DOUBLE_TAG)) & (sizes > 0)
+        if dbls.any():
+            idx = _ragged_indices(p[dbls] + 1, sizes[dbls])
+            arr[idx] = converter.repack_double_array(arr[idx])
+
+
+@dataclass
+class _RebuildContext:
+    """What the cross-word-size rebuild hands to its fix-up pass."""
+
+    relocation: dict[int, int]
+    #: Scannable rebuilt blocks: dst block addresses and payload sizes.
+    scan_addrs: np.ndarray
+    scan_sizes: np.ndarray
+
+
+def _rebuild_heap_vec(
+    vm: VirtualMachine,
+    snap: VMSnapshot,
+    converter: ValueConverter,
+    positions: list[np.ndarray],
+    timer: PhaseTimer,
+) -> _RebuildContext:
+    """Vectorized :func:`_rebuild_heap`.
+
+    Replicates the scalar path bit for bit: block *placement* replays
+    the first-fit allocator against a lightweight freelist model (same
+    carve rules, same chunk-growth points), while the payload copies and
+    conversions run as bulk numpy gathers/scatters grouped by the block
+    classes the v2 index records.
+    """
+    src_arch = snap.arch
+    src_wb = src_arch.word_bytes
+    dst_arch = vm.platform.arch
+    dst_wb = dst_arch.word_bytes
+    heap = vm.mem.heap
+
+    # -- pass A: per-chunk live-block metadata -----------------------------
+    per_chunk = []
+    str_shift = np.uint64(
+        8 * (src_wb - 1)
+        if src_arch.endianness is Endianness.LITTLE
+        else 0
+    )
+    with timer.kernel("classify"):
+        for (src_base, arr), pos in zip(snap.heap_chunks, positions):
+            p = pos.astype(np.int64)
+            hds = arr[p]
+            sizes = (hds >> np.uint64(10)).astype(np.int64)
+            colors = (hds >> np.uint64(8)) & np.uint64(3)
+            tags = (hds & np.uint64(0xFF)).astype(np.int64)
+            live = (colors != Color.BLUE.value) & (sizes > 0)
+            lp = p[live]
+            lsz = sizes[live]
+            ltag = tags[live]
+            nsz = lsz.copy()
+            is_str = ltag == STRING_TAG
+            if is_str.any():
+                last = arr[lp[is_str] + lsz[is_str]]
+                pad = ((last >> str_shift) & np.uint64(0xFF)).astype(np.int64)
+                blen = lsz[is_str] * src_wb - 1 - pad
+                nsz[is_str] = blen // dst_wb + 1
+            is_dbl = ltag == DOUBLE_TAG
+            if is_dbl.any():
+                nsz[is_dbl] = lsz[is_dbl] * src_wb // dst_wb
+            src_blocks = (
+                np.uint64(src_base) + (lp + 1).astype(np.uint64) * np.uint64(src_wb)
+            )
+            per_chunk.append((arr, lp, lsz, ltag, nsz, src_blocks))
+
+    all_nsz = (
+        np.concatenate([m[4] for m in per_chunk])
+        if per_chunk
+        else np.empty(0, dtype=np.int64)
+    )
+    all_tags = (
+        np.concatenate([m[3] for m in per_chunk])
+        if per_chunk
+        else np.empty(0, dtype=np.int64)
+    )
+    all_src = (
+        np.concatenate([m[5] for m in per_chunk])
+        if per_chunk
+        else np.empty(0, dtype=np.uint64)
+    )
+
+    # -- pass B: replay first-fit placement --------------------------------
+    with timer.kernel("placement"):
+        dst_blocks, chunks_out, freelist, fragments = _simulate_first_fit(
+            heap, all_nsz.tolist(), dst_wb
+        )
+    all_dst = np.asarray(dst_blocks, dtype=np.uint64)
+    relocation = dict(zip(all_src.tolist(), dst_blocks))
+
+    # -- pass C: build the target chunk images -----------------------------
+    dst_arrs = [np.zeros(n_words, dtype=np.uint64) for _, n_words in chunks_out]
+    dst_bases = np.asarray([b for b, _ in chunks_out], dtype=np.uint64)
+    hdr_vals = (all_nsz.astype(np.uint64) << np.uint64(10)) | all_tags.astype(
+        np.uint64
+    )
+    dchunk = (
+        np.searchsorted(dst_bases, all_dst, side="right").astype(np.int64) - 1
+    )
+    hidx = ((all_dst - dst_bases[dchunk]) // np.uint64(dst_wb)).astype(
+        np.int64
+    ) - 1
+    for d, dst in enumerate(dst_arrs):
+        m = dchunk == d
+        dst[hidx[m]] = hdr_vals[m]
+    # White zero-size fragment headers encode as 0: already zeroed.
+    del fragments
+
+    def scatter(group_dst, group_nsz, vals):
+        """Scatter per-block ``vals`` runs to the target chunk arrays."""
+        gchunk = (
+            np.searchsorted(dst_bases, group_dst, side="right").astype(
+                np.int64
+            )
+            - 1
+        )
+        val_starts = np.cumsum(group_nsz) - group_nsz
+        for d, dst in enumerate(dst_arrs):
+            m = gchunk == d
+            if not m.any():
+                continue
+            off = ((group_dst[m] - dst_bases[d]) // np.uint64(dst_wb)).astype(
+                np.int64
+            )
+            di = _ragged_indices(off, group_nsz[m])
+            vi = _ragged_indices(val_starts[m], group_nsz[m])
+            dst[di] = vals[vi]
+
+    scan_addr_parts = []
+    scan_size_parts = []
+    with timer.kernel("payloads"):
+        foff = 0
+        for arr, lp, lsz, ltag, nsz, _src_blocks in per_chunk:
+            nblocks = int(lp.size)
+            dsts = all_dst[foff : foff + nblocks]
+            foff += nblocks
+            is_str = ltag == STRING_TAG
+            is_dbl = ltag == DOUBLE_TAG
+            is_opq = (ltag >= NO_SCAN_TAG) & ~is_str & ~is_dbl
+            is_scan = ltag < NO_SCAN_TAG
+            if is_scan.any():
+                vals = arr[_ragged_indices(lp[is_scan] + 1, lsz[is_scan])]
+                scatter(dsts[is_scan], nsz[is_scan], vals)
+                scan_addr_parts.append(dsts[is_scan])
+                scan_size_parts.append(nsz[is_scan])
+            if is_opq.any():
+                vals = converter.convert_raw_array(
+                    arr[_ragged_indices(lp[is_opq] + 1, lsz[is_opq])]
+                )
+                scatter(dsts[is_opq], nsz[is_opq], vals)
+            if is_dbl.any():
+                vals = converter.double_words_from_patterns(
+                    converter.double_pattern_array(
+                        arr[_ragged_indices(lp[is_dbl] + 1, lsz[is_dbl])]
+                    )
+                )
+                scatter(dsts[is_dbl], nsz[is_dbl], vals)
+            if is_str.any():
+                # Strings change word counts irregularly; repack one by
+                # one through the codecs (a small minority of the heap).
+                for k in np.flatnonzero(is_str):
+                    payload = arr[lp[k] + 1 : lp[k] + 1 + lsz[k]].tolist()
+                    new = converter.repack_string(payload)
+                    addr = int(dsts[k])
+                    d = int(
+                        np.searchsorted(dst_bases, np.uint64(addr), "right") - 1
+                    )
+                    off = (addr - int(dst_bases[d])) // dst_wb
+                    dst_arrs[d][off : off + len(new)] = np.asarray(
+                        new, dtype=np.uint64
+                    )
+
+    # -- pass D: freelist remnants + adoption ------------------------------
+    blues = sorted(addr for addr, _size in freelist)
+    size_by_addr = {addr: size for addr, size in freelist}
+    for i, addr in enumerate(blues):
+        d = int(np.searchsorted(dst_bases, np.uint64(addr), "right") - 1)
+        off = (addr - int(dst_bases[d])) // dst_wb
+        dst_arrs[d][off - 1] = np.uint64(
+            (size_by_addr[addr] << 10) | (Color.BLUE.value << 8)
+        )
+        nxt = blues[i + 1] if i + 1 < len(blues) else 0
+        dst_arrs[d][off] = np.uint64(nxt)
+    for (base, n_words), dst in zip(chunks_out, dst_arrs):
+        area = MemoryArea.from_staged(
+            AreaKind.HEAP_CHUNK,
+            base,
+            dst,
+            dst_arch,
+            label=f"heap-chunk-{len(heap.chunks)}",
+        )
+        heap.adopt_chunk(area, header_map=None)
+    _install_rebuilt_header_maps(
+        heap, chunks_out, dchunk, hidx, freelist, dst_bases, dst_wb
+    )
+    heap.freelist_head = blues[0] if blues else 0
+    heap.allocated_words += int((all_nsz + 1).sum())
+    return _RebuildContext(
+        relocation=relocation,
+        scan_addrs=(
+            np.concatenate(scan_addr_parts)
+            if scan_addr_parts
+            else np.empty(0, dtype=np.uint64)
+        ),
+        scan_sizes=(
+            np.concatenate(scan_size_parts)
+            if scan_size_parts
+            else np.empty(0, dtype=np.int64)
+        ),
+    )
+
+
+def _simulate_first_fit(
+    heap: Heap, sizes: list[int], dst_wb: int
+) -> tuple[list[int], list[tuple[int, int]], list[list[int]], list[int]]:
+    """Replay :meth:`Heap.alloc` placement without touching memory.
+
+    Returns ``(block_addrs, chunks, freelist, fragments)`` where
+    ``chunks`` is ``(base, n_words)`` per created chunk, ``freelist``
+    the surviving ``[block_addr, size]`` entries and ``fragments`` the
+    header addresses of zero-size white fragments.  The model mirrors
+    ``_try_alloc`` exactly: first fit, tail carving, head-pushed chunks.
+    """
+    page_words = PAGE_SIZE // dst_wb
+    chunk_words = heap.chunk_words
+    heap_base = heap._heap_base
+    stride = heap._chunk_stride
+    slot = heap._next_chunk_slot
+    freelist: list[list[int]] = []
+    chunks: list[tuple[int, int]] = []
+    fragments: list[int] = []
+    blocks: list[int] = []
+
+    def add_chunk(min_words: int) -> None:
+        nonlocal slot
+        n_words = max(chunk_words, min_words + 1)
+        n_words = -(-n_words // page_words) * page_words
+        if n_words * dst_wb > stride:
+            raise HeapExhausted(
+                f"allocation of {min_words} words exceeds the maximum chunk "
+                f"size of this platform layout"
+            )
+        base = heap_base + slot * stride
+        slot += 1
+        chunks.append((base, n_words))
+        freelist.insert(0, [base + dst_wb, n_words - 1])
+
+    for wosize in sizes:
+        placed = None
+        while placed is None:
+            for k, ent in enumerate(freelist):
+                addr, size = ent
+                if size == wosize:
+                    freelist.pop(k)
+                    placed = addr
+                    break
+                if size == wosize + 1:
+                    freelist.pop(k)
+                    fragments.append(addr - dst_wb)
+                    placed = addr + dst_wb
+                    break
+                if size >= wosize + 2:
+                    remaining = size - wosize - 1
+                    ent[1] = remaining
+                    placed = addr + (remaining + 1) * dst_wb
+                    break
+            if placed is None:
+                add_chunk(wosize + 1)
+        blocks.append(placed)
+    return blocks, chunks, freelist, fragments
+
+
+def _install_rebuilt_header_maps(
+    heap: Heap,
+    chunks_out: list[tuple[int, int]],
+    dchunk: np.ndarray,
+    hidx: np.ndarray,
+    freelist: list[list[int]],
+    dst_bases: np.ndarray,
+    dst_wb: int,
+) -> None:
+    """Build each rebuilt chunk's header bitmap from the placement data.
+
+    Word 0 of every chunk is always a header: the rebuild never frees a
+    block, so every free block (and hence every fragment or blue remnant
+    it turns into) keeps its header at its chunk's first word, while
+    allocations carve from free-block tails (covered by ``hidx``).
+    """
+    maps = [np.zeros(n_words, dtype=np.uint8) for _, n_words in chunks_out]
+    for d, hm in enumerate(maps):
+        hm[hidx[dchunk == d]] = 1
+        hm[0] = 1
+    for addr, _size in freelist:
+        d = int(np.searchsorted(dst_bases, np.uint64(addr), "right") - 1)
+        maps[d][(addr - int(dst_bases[d])) // dst_wb - 1] = 1
+    start = len(heap.chunks) - len(chunks_out)
+    for i, hm in enumerate(maps):
+        heap.chunks[start + i].header_map = bytearray(hm.tobytes())
+
+
+def _fix_rebuilt_heap_vec(
+    vm: VirtualMachine,
+    ctx: _RebuildContext,
+    mapper: AddressMapper,
+    converter: ValueConverter,
+) -> None:
+    """Vectorized :func:`_fix_rebuilt_heap`: convert every field of every
+    rebuilt scannable block (immediates re-boxed, pointers remapped,
+    dangling words neutralized to unit)."""
+    heap = vm.mem.heap
+    unit = np.uint64(vm.mem.values.val_unit)
+    dst_wb = vm.platform.arch.word_bytes
+    dst_bases = np.asarray([c.base for c in heap.chunks], dtype=np.uint64)
+    if ctx.scan_addrs.size == 0:
+        return
+    gchunk = (
+        np.searchsorted(dst_bases, ctx.scan_addrs, side="right").astype(
+            np.int64
+        )
+        - 1
+    )
+    for d, chunk in enumerate(heap.chunks):
+        m = gchunk == d
+        if not m.any():
+            continue
+        arr = chunk.area.peek_staged()
+        off = (
+            (ctx.scan_addrs[m] - dst_bases[d]) // np.uint64(dst_wb)
+        ).astype(np.int64)
+        idx = _ragged_indices(off, ctx.scan_sizes[m])
+        w = arr[idx]
+        out = np.empty_like(w)
+        odd = (w & np.uint64(1)) == 1
+        if odd.any():
+            out[odd] = converter.convert_immediate_array(w[odd])
+        even = ~odd
+        if even.any():
+            ptrs = w[even]
+            mapped, ok = mapper.map_many(ptrs)
+            out[even] = np.where(
+                ok, mapped, np.where(ptrs == 0, np.uint64(0), unit)
+            )
+        arr[idx] = out
 
 
 # ---------------------------------------------------------------------------
@@ -371,8 +876,10 @@ def _restore_threads_raw(vm: VirtualMachine, snap: VMSnapshot) -> None:
             stack.replace_capacity(capacity)
         # Copy the used region under stack_high (top of stack first).
         base_index = stack.n_words - used
-        for k, w in enumerate(rec.stack_words):
-            stack.area.words[base_index + k] = w
+        ws = rec.stack_words
+        if isinstance(ws, np.ndarray):
+            ws = ws.tolist()
+        stack.area.words[base_index : base_index + used] = ws
         stack.sp = stack.stack_high - used * vm.mem.arch.word_bytes
 
 
@@ -382,6 +889,7 @@ def _fix_threads(
     mapper: AddressMapper,
     fix,
     converter: ValueConverter,
+    vectorize: bool = False,
 ) -> None:
     """Fix every thread's stack words, registers and scheduling state."""
     values = vm.mem.values
@@ -390,8 +898,11 @@ def _fix_threads(
         stack = thread.stack
         first = (stack.sp - stack.area.base) // vm.mem.arch.word_bytes
         words = stack.area.words
-        for k in range(first, len(words)):
-            words[k] = fix(words[k])
+        if vectorize:
+            _fix_stack_words_vec(words, first, mapper, converter, values)
+        else:
+            for k in range(first, len(words)):
+                words[k] = fix(words[k])
         thread.state = ThreadState(rec.state)
         thread.block_kind = BlockKind(rec.block_kind)
         if thread.block_kind is BlockKind.JOIN:
@@ -414,6 +925,36 @@ def _fix_threads(
         if pc_addr is None:
             raise RestartError(f"thread {rec.tid} PC does not map")
         thread.pc = (pc_addr - vm.code_base) // 4
+
+
+def _fix_stack_words_vec(
+    words: list, first: int, mapper: AddressMapper, converter, values
+) -> None:
+    """Vectorized stack fix: the inner loop of :func:`_fix_threads`.
+
+    Replicates ``_value_fixer`` element-wise: immediates are converted,
+    pointers remapped, and unmapped non-null even words neutralized to
+    unit on word-size-changing restarts (kept verbatim otherwise).
+    """
+    if first >= len(words):
+        return
+    arr = np.asarray(words[first:], dtype=np.uint64)
+    out = np.empty_like(arr)
+    odd = (arr & np.uint64(1)) == 1
+    if odd.any():
+        out[odd] = converter.convert_immediate_array(arr[odd])
+    even = ~odd
+    if even.any():
+        ptrs = arr[even]
+        mapped, ok = mapper.map_many(ptrs)
+        if converter.word_size_differs:
+            fallback = np.where(
+                ptrs == 0, np.uint64(0), np.uint64(values.val_unit)
+            )
+        else:
+            fallback = ptrs
+        out[even] = np.where(ok, mapped, fallback)
+    words[first:] = out.tolist()
 
 
 def _restore_current(vm: VirtualMachine, snap: VMSnapshot, mapper: AddressMapper) -> None:

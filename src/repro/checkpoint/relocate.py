@@ -20,9 +20,17 @@ from __future__ import annotations
 import bisect
 from typing import Optional, TYPE_CHECKING
 
+import numpy as np
+
 from repro.checkpoint.format import AreaRecord, VMSnapshot
 from repro.errors import RestartError
 from repro.memory.layout import AreaKind
+
+# Row kinds of the vectorized mapping table (see AddressMapper.map_many).
+_ROW_UNIFORM = 0
+_ROW_STACK = 1
+_ROW_HEAP_RELOC = 2
+_ROW_BAD = 3
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.vm import VirtualMachine
@@ -68,6 +76,7 @@ class AddressMapper:
                 src_high = src.base + src.n_words * self.src_wb
                 self._stack_highs[label] = (src_high, t.stack.stack_high)
         self._misses = 0
+        self._tables = None  # lazy vectorized mapping tables (map_many)
         code_rec = next((a for a in snap.boundaries if a.kind == "code"), None)
         #: One-past-the-end code address: a thread that ran off the end
         #: of the program (a finished thread's saved PC) parks here.
@@ -135,3 +144,128 @@ class AddressMapper:
     def dangling_pointers(self) -> int:
         """Pointers into dropped free blocks (dead data only)."""
         return self._misses
+
+    # -- vectorized mapping (restart fast path) -------------------------------
+
+    def _ensure_tables(self):
+        """Build the per-area mapping table used by :meth:`map_many`.
+
+        Every area kind except stacks and the relocation-mode heap maps
+        through one uniform formula ``A + ((addr - base) // d) * s``,
+        with integer floor division matching the scalar code exactly
+        (code pointers divide by the 4-byte unit size, atom and C-global
+        slots by the source word size, same-word-size heap chunks by 1).
+        Stacks anchor at the *high* end, so they keep a dedicated form.
+        """
+        if self._tables is not None:
+            return self._tables
+        n = len(self._areas)
+        bases = np.zeros(n, dtype=np.uint64)
+        ends = np.zeros(n, dtype=np.uint64)
+        rows = np.zeros(n, dtype=np.uint8)
+        A = np.zeros(n, dtype=np.uint64)
+        d = np.ones(n, dtype=np.uint64)
+        s = np.ones(n, dtype=np.uint64)
+        vm = self.vm
+        src_wb, dst_wb = self.src_wb, self.dst_wb
+        for i, area in enumerate(self._areas):
+            bases[i] = area.base
+            ends[i] = area.base + area.n_words * src_wb
+            kind = area.kind
+            if kind == AreaKind.HEAP_CHUNK.value:
+                if self.heap_relocation is not None:
+                    rows[i] = _ROW_HEAP_RELOC
+                else:
+                    A[i] = self._heap_chunk_targets[area.base]
+            elif kind == "code":
+                A[i], d[i], s[i] = vm.code_base, 4, 4
+            elif kind == AreaKind.ATOMS.value:
+                A[i], d[i], s[i] = vm.mem.atoms.area.base, src_wb, dst_wb
+            elif kind == AreaKind.C_GLOBALS.value:
+                A[i], d[i], s[i] = vm.mem.cglobals.area.base, src_wb, dst_wb
+            elif kind in (AreaKind.STACK.value, AreaKind.THREAD_STACK.value):
+                highs = self._stack_highs.get(area.label)
+                if highs is None:
+                    rows[i] = _ROW_BAD
+                else:
+                    rows[i] = _ROW_STACK
+                    A[i] = highs[1]  # target stack high
+            else:  # minor heap (or unknown): an error if ever targeted
+                rows[i] = _ROW_BAD
+        reloc_keys = reloc_vals = None
+        if self.heap_relocation is not None:
+            reloc_keys = np.fromiter(
+                self.heap_relocation.keys(), dtype=np.uint64,
+                count=len(self.heap_relocation),
+            )
+            reloc_vals = np.fromiter(
+                self.heap_relocation.values(), dtype=np.uint64,
+                count=len(self.heap_relocation),
+            )
+            order = np.argsort(reloc_keys)
+            reloc_keys = reloc_keys[order]
+            reloc_vals = reloc_vals[order]
+        self._tables = (bases, ends, rows, A, d, s, reloc_keys, reloc_vals)
+        return self._tables
+
+    def map_many(self, addrs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`map`: adjust a ``uint64`` address array.
+
+        Returns ``(mapped, ok)``; where ``ok`` is False the address lay
+        in no saved area (the scalar path's ``None``) and ``mapped`` is
+        0.  Bit-identical to calling :meth:`map` per element.
+        """
+        bases, ends, rows, A, d, s, rkeys, rvals = self._ensure_tables()
+        mapped = np.zeros(addrs.shape, dtype=np.uint64)
+        ok = np.zeros(addrs.shape, dtype=bool)
+        if self._code_end is not None:
+            ce = addrs == np.uint64(self._code_end)
+            if ce.any():
+                mapped[ce] = self.vm.code_base + 4 * len(self.vm.code.units)
+                ok[ce] = True
+        else:
+            ce = np.zeros(addrs.shape, dtype=bool)
+        idx = np.searchsorted(bases, addrs, side="right").astype(np.int64) - 1
+        safe = np.maximum(idx, 0)
+        within = (idx >= 0) & (addrs < ends[safe]) & ~ce
+        if not within.any():
+            return mapped, ok
+        r = safe[within]
+        a = addrs[within]
+        kinds = rows[r]
+        res = np.zeros(a.shape, dtype=np.uint64)
+        okw = np.ones(a.shape, dtype=bool)
+        uni = kinds == _ROW_UNIFORM
+        if uni.any():
+            ru = r[uni]
+            res[uni] = A[ru] + ((a[uni] - bases[ru]) // d[ru]) * s[ru]
+        stk = kinds == _ROW_STACK
+        if stk.any():
+            rs = r[stk]
+            below = (ends[rs] - a[stk]) // np.uint64(self.src_wb)
+            res[stk] = A[rs] - below * np.uint64(self.dst_wb)
+        rel = kinds == _ROW_HEAP_RELOC
+        if rel.any() and (rkeys is None or rkeys.size == 0):
+            okw[rel] = False
+            self._misses += int(rel.sum())
+            rel = np.zeros(a.shape, dtype=bool)
+        if rel.any():
+            ar = a[rel]
+            pos = np.searchsorted(rkeys, ar)
+            safe_pos = np.minimum(pos, rkeys.size - 1)
+            hit = (pos < rkeys.size) & (rkeys[safe_pos] == ar)
+            res[rel] = np.where(hit, rvals[safe_pos], np.uint64(0))
+            okw[rel] = hit
+            self._misses += int(ar.size - hit.sum())
+        bad = kinds == _ROW_BAD
+        if bad.any():
+            offending = self._areas[int(r[bad][0])]
+            if offending.kind == AreaKind.MINOR_HEAP.value:
+                raise RestartError(
+                    "checkpoint contains a pointer into the (empty) young "
+                    "generation — corrupt file?"
+                )
+            raise RestartError(f"no target stack for {offending.label!r}")
+        mapped[within] = res
+        ok[within] = okw
+        return mapped, ok

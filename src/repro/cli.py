@@ -48,6 +48,8 @@ def _config_from(args: argparse.Namespace) -> VMConfig:
         cfg.chkpt_interval = args.interval
     if getattr(args, "mode", None):
         cfg.chkpt_mode = args.mode
+    if getattr(args, "no_vectorize", False):
+        cfg.vectorize = False
     return cfg
 
 
@@ -76,6 +78,12 @@ def cmd_info(args: argparse.Namespace) -> int:
     snap = read_checkpoint(args.checkpoint_file)
     h = snap.header
     print(f"checkpoint: {args.checkpoint_file}")
+    if snap.chunk_index is None:
+        index_note = "no block index (restart discovers blocks by walking)"
+    else:
+        n_blocks = sum(int(pos.size) for pos, _ in snap.chunk_index)
+        index_note = f"block-extent index over {n_blocks} block(s)"
+    print(f"  format   : v{h.format_version}, {index_note}")
     print(f"  taken on : {h.platform_name} ({h.word_bytes * 8}-bit "
           f"{h.endianness.value}-endian, {h.os_name})")
     print(f"  program  : {h.code_len} units, digest {h.code_digest.hex()[:16]}")
@@ -166,6 +174,9 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--interval", type=float,
                         help="periodic checkpoint interval in seconds")
         sp.add_argument("--mode", choices=["auto", "background", "blocking"])
+        sp.add_argument("--no-vectorize", action="store_true",
+                        help="use the scalar reference C/R paths "
+                             "(CHKPT_VECTORIZE=0)")
         sp.add_argument("--max-instructions", type=int, default=None)
 
     r = sub.add_parser("run", help="run a program on a simulated platform")

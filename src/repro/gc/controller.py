@@ -136,6 +136,7 @@ class GCController:
                     # fragment blocks that follow it.
                     end = i + 1 + size
                     merged = size
+                    hm = chunk.header_map
                     while end < n:
                         nhd = words[end]
                         ncol = headers.color(nhd)
@@ -143,6 +144,8 @@ class GCController:
                         if ncol is Color.BLUE or (
                             ncol is Color.WHITE and nsz == 0
                         ):
+                            if hm is not None:
+                                hm[end] = 0
                             merged += 1 + nsz
                             end += 1 + nsz
                         else:

@@ -235,10 +235,13 @@ class MajorCollector:
                 # free as one blue block.
                 end = i + 1 + size
                 merged = size
+                hm = chunk.header_map
                 while end < len(words):
                     nhd = words[end]
                     if headers.color(nhd) is not Color.WHITE:
                         break
+                    if hm is not None:
+                        hm[end] = 0
                     merged += 1 + headers.size(nhd)
                     end += 1 + headers.size(nhd)
                 words[i] = headers.make(0, Color.WHITE, merged)

@@ -31,9 +31,16 @@ class AreaKind(enum.Enum):
 
 
 class MemoryArea:
-    """A contiguous, word-addressed region of the virtual address space."""
+    """A contiguous, word-addressed region of the virtual address space.
 
-    __slots__ = ("kind", "base", "words", "word_bytes", "label")
+    Word storage is a plain ``list[int]``.  The vectorized restart path
+    can instead *stage* a numpy ``uint64`` array via :meth:`from_staged`;
+    the list is materialized lazily on the first ``words`` access, so a
+    restart followed immediately by another checkpoint never pays the
+    unboxing cost for untouched chunks.
+    """
+
+    __slots__ = ("kind", "base", "words", "word_bytes", "label", "_staged")
 
     def __init__(
         self,
@@ -53,18 +60,64 @@ class MemoryArea:
         self.words: list[int] = [fill] * n_words
         self.word_bytes = arch.word_bytes
         self.label = label or kind.value
+        self._staged = None
+
+    @classmethod
+    def from_staged(
+        cls,
+        kind: AreaKind,
+        base: int,
+        staged,
+        arch: Architecture,
+        label: str = "",
+    ) -> "MemoryArea":
+        """Build an area backed by a numpy ``uint64`` array.
+
+        The ``words`` list does not exist yet; it is created (via
+        ``tolist``) on first access and the staged array is dropped.
+        """
+        if base % arch.word_bytes:
+            raise AlignmentError(
+                f"area base {base:#x} not aligned to {arch.word_bytes} bytes"
+            )
+        area = cls.__new__(cls)
+        area.kind = kind
+        area.base = base
+        area.word_bytes = arch.word_bytes
+        area.label = label or kind.value
+        area._staged = staged
+        # The 'words' slot is intentionally left unset: __getattr__
+        # materializes it on demand.
+        return area
+
+    def __getattr__(self, name: str):
+        if name == "words":
+            staged = self._staged
+            if staged is not None:
+                self._staged = None
+                ws = staged.tolist()
+                self.words = ws
+                return ws
+        raise AttributeError(name)
+
+    def peek_staged(self):
+        """The staged numpy array, or ``None`` once materialized."""
+        return self._staged
 
     # -- geometry -----------------------------------------------------------
 
     @property
     def n_words(self) -> int:
-        """Number of words in the area."""
+        """Number of words in the area (does not materialize staging)."""
+        staged = self._staged
+        if staged is not None:
+            return int(staged.size)
         return len(self.words)
 
     @property
     def size_bytes(self) -> int:
         """Area size in bytes."""
-        return len(self.words) * self.word_bytes
+        return self.n_words * self.word_bytes
 
     @property
     def end(self) -> int:
@@ -89,7 +142,7 @@ class MemoryArea:
 
     def addr_of(self, index: int) -> int:
         """Byte address of a word index."""
-        if not 0 <= index < len(self.words):
+        if not 0 <= index < self.n_words:
             raise SegmentationFault(
                 f"word index {index} outside area {self.label}"
             )

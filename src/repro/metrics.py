@@ -19,6 +19,9 @@ class PhaseTimer:
     def __init__(self) -> None:
         self.seconds: dict[str, float] = {}
         self.counts: dict[str, int] = {}
+        #: Fine-grained kernel timings nested *inside* phases.  Kept in a
+        #: separate dict so they never double-count toward :attr:`total`.
+        self.kernel_seconds: dict[str, float] = {}
 
     @contextmanager
     def phase(self, name: str):
@@ -30,6 +33,23 @@ class PhaseTimer:
             dt = time.perf_counter() - t0
             self.seconds[name] = self.seconds.get(name, 0.0) + dt
             self.counts[name] = self.counts.get(name, 0) + 1
+
+    @contextmanager
+    def kernel(self, name: str):
+        """Time one kernel inside an enclosing phase.
+
+        Kernel time is informational (which inner loop dominates a
+        phase); it is excluded from :attr:`total` and :meth:`fractions`
+        because the enclosing phase already accounts for it.
+        """
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.kernel_seconds[name] = (
+                self.kernel_seconds.get(name, 0.0) + dt
+            )
 
     def add(self, name: str, seconds: float) -> None:
         """Record an externally measured duration."""
@@ -52,6 +72,8 @@ class PhaseTimer:
         """Fold another timer's phases into this one."""
         for k, v in other.seconds.items():
             self.add(k, v)
+        for k, v in other.kernel_seconds.items():
+            self.kernel_seconds[k] = self.kernel_seconds.get(k, 0.0) + v
 
     def report(self, title: str = "phases") -> str:
         """Human-readable table of the breakdown."""
@@ -61,4 +83,8 @@ class PhaseTimer:
         ):
             share = 100.0 * sec / self.total if self.total else 0.0
             lines.append(f"  {name:<24s} {sec * 1e3:10.3f} ms  {share:5.1f}%")
+        for name, sec in sorted(
+            self.kernel_seconds.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  [kernel] {name:<15s} {sec * 1e3:10.3f} ms")
         return "\n".join(lines)

@@ -63,6 +63,10 @@ class VMConfig:
     stack_words: int = DEFAULT_STACK_WORDS
     #: Thread preemption quantum in instructions.
     quantum: int = 1000
+    #: ``CHKPT_VECTORIZE``: use the numpy fast path for the checkpoint
+    #: and restart hot loops.  ``False`` selects the word-at-a-time
+    #: scalar reference implementation (kept for differential testing).
+    vectorize: bool = True
 
     @classmethod
     def from_env(cls, environ: Mapping[str, str]) -> "VMConfig":
@@ -76,6 +80,9 @@ class VMConfig:
         if raw is not None:
             interval = float(raw)
             cfg.chkpt_interval = None if interval < 0 else interval
+        vec = environ.get("CHKPT_VECTORIZE")
+        if vec is not None:
+            cfg.vectorize = vec.strip().lower() not in ("0", "false", "no", "off")
         return cfg
 
 
