@@ -49,6 +49,7 @@ from repro.errors import (
     CompileError,
     ReproError,
     RestartError,
+    StoreError,
     VMRuntimeError,
 )
 from repro.minilang import compile_source
@@ -76,6 +77,7 @@ __all__ = [
     "CompileError",
     "ReproError",
     "RestartError",
+    "StoreError",
     "VMRuntimeError",
     "compile_source",
     "RunResult",

@@ -444,6 +444,38 @@ def _write_snapshot_body(snap: VMSnapshot) -> "SectionWriter":
     return w
 
 
+def detect_format_version(path: str) -> Optional[int]:
+    """The format version a file's magic claims, or None if unreadable."""
+    try:
+        with open(path, "rb") as f:
+            magic = f.read(len(CHECKPOINT_MAGIC))
+    except OSError:
+        return None
+    return _MAGIC_VERSIONS.get(magic)
+
+
+def annotate_restore_error(exc: Exception, path: str) -> Exception:
+    """Attach file path + detected format version to a restore error.
+
+    Re-raising a failed restore without saying *which* file (a periodic
+    checkpoint setup juggles several) or *what* format it carries makes
+    corruption reports useless; every error leaving this module or the
+    restart path is annotated exactly once (marked via the ``path``
+    attribute).
+    """
+    if getattr(exc, "path", None) is not None:
+        return exc
+    version = detect_format_version(path)
+    vnote = (
+        f"format v{version}"
+        if version is not None
+        else "format version undetectable"
+    )
+    err = type(exc)(f"{path}: {exc} ({vnote})")
+    err.path = path  # type: ignore[attr-defined]
+    return err
+
+
 def read_checkpoint(path: str, raw_arrays: bool = False) -> VMSnapshot:
     """Read and validate a checkpoint file; detect its architecture.
 
@@ -451,9 +483,19 @@ def read_checkpoint(path: str, raw_arrays: bool = False) -> VMSnapshot:
     index).  With ``raw_arrays`` the bulk word sections (heap chunks and
     thread stacks) are returned as numpy ``uint64`` arrays instead of
     Python lists, for the vectorized restart path.
+
+    Any :class:`~repro.errors.CheckpointFormatError` raised here carries
+    the file path and the format version its magic claims.
     """
     with open(path, "rb") as f:
         data = f.read()
+    try:
+        return _parse_checkpoint(data, raw_arrays)
+    except CheckpointFormatError as e:
+        raise annotate_restore_error(e, path) from e
+
+
+def _parse_checkpoint(data: bytes, raw_arrays: bool = False) -> VMSnapshot:
     if len(data) < len(CHECKPOINT_MAGIC) + len(CHECKPOINT_END) + 4:
         raise CheckpointFormatError("checkpoint file too small")
     body, trailer = data[:-12], data[-12:]

@@ -255,3 +255,58 @@ def inspect_snapshot(snap: VMSnapshot) -> InspectionReport:
 def inspect_checkpoint(path: str) -> InspectionReport:
     """Read, verify (signature + CRC) and deep-validate a checkpoint."""
     return inspect_snapshot(read_checkpoint(path))
+
+
+def describe_snapshot(snap: VMSnapshot) -> dict:
+    """A machine-readable description of a parsed checkpoint.
+
+    The JSON backbone of ``repro info --json``; the checkpoint store's
+    deep integrity audit consumes the same structure to decide whether a
+    stored payload is still a restorable checkpoint.
+    """
+    h = snap.header
+    heap_words = sum(len(w) for _, w in snap.heap_chunks)
+    return {
+        "format_version": h.format_version,
+        "has_block_index": snap.chunk_index is not None,
+        "platform": h.platform_name,
+        "os": h.os_name,
+        "word_bits": h.word_bytes * 8,
+        "endianness": h.endianness.value,
+        "multithreaded": h.multithreaded,
+        "current_tid": h.current_tid,
+        "code_digest": h.code_digest.hex(),
+        "code_len": h.code_len,
+        "heap": {
+            "chunks": len(snap.heap_chunks),
+            "words": int(heap_words),
+            "allocated_words": snap.allocated_words,
+        },
+        "threads": [
+            {
+                "tid": t.tid,
+                "state": t.state,
+                "stack_words": len(t.stack_words),
+            }
+            for t in snap.threads
+        ],
+        "channels": len(snap.channels),
+    }
+
+
+def describe_checkpoint(path: str, deep: bool = False) -> dict:
+    """Read a checkpoint file and describe it as JSON-able data.
+
+    With ``deep``, the full structural validation runs too and its
+    findings land under ``"problems"`` / ``"ok"``.
+    """
+    snap = read_checkpoint(path)
+    desc = describe_snapshot(snap)
+    desc["path"] = path
+    if deep:
+        report = inspect_snapshot(snap)
+        desc["problems"] = list(report.problems)
+        desc["ok"] = report.ok
+        desc["blocks_by_class"] = dict(report.blocks_by_class)
+        desc["pointers_by_area"] = dict(report.pointers_by_area)
+    return desc

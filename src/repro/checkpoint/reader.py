@@ -36,7 +36,11 @@ from repro.arch.architecture import Endianness
 from repro.arch.platforms import Platform
 from repro.bytecode.image import CodeImage
 from repro.checkpoint.convert import ValueConverter
-from repro.checkpoint.format import VMSnapshot, read_checkpoint
+from repro.checkpoint.format import (
+    VMSnapshot,
+    annotate_restore_error,
+    read_checkpoint,
+)
 from repro.checkpoint.relocate import AddressMapper
 from repro.errors import HeapExhausted, RestartError
 from repro.memory.blocks import (
@@ -81,7 +85,24 @@ def restart_vm(
     ``code`` must be the same program image the checkpoint was taken
     from (verified by digest).  Returns the VM, ready for ``run()`` to
     continue from the checkpointed safe point.
+
+    A failed restore raises :class:`~repro.errors.RestartError` carrying
+    the checkpoint path and its detected format version.
     """
+    try:
+        return _restart_vm(platform, code, path, config, stdout, stdin)
+    except RestartError as e:
+        raise annotate_restore_error(e, path) from e
+
+
+def _restart_vm(
+    platform: Platform,
+    code: CodeImage,
+    path: str,
+    config: Optional[VMConfig],
+    stdout: Optional[BinaryIO],
+    stdin: Optional[BinaryIO],
+) -> tuple[VirtualMachine, RestartStats]:
     stats = RestartStats()
     timer = stats.phases
     vectorize = config.vectorize if config is not None else True

@@ -10,7 +10,10 @@ Commands::
     python -m repro run prog.ml  --platform rodrigo --checkpoint app.hckp
     python -m repro restart prog.ml app.hckp --platform sp2148
     python -m repro platforms
-    python -m repro info app.hckp
+    python -m repro info app.hckp [--json] [--deep]
+    python -m repro store serve --root /var/ckpt --port 7420
+    python -m repro store put|get|ls|gc|stat|audit --addr host:port ...
+    python -m repro ha run prog.ml --addr host:port --vm-id myapp
 
 ``run`` and ``restart`` accept either MiniML source (``.ml``) or a
 compiled image (``.byc``).
@@ -19,6 +22,7 @@ compiled image (``.byc``).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -75,6 +79,12 @@ def cmd_platforms(_args: argparse.Namespace) -> int:
 
 
 def cmd_info(args: argparse.Namespace) -> int:
+    if args.json:
+        from repro.checkpoint.inspect import describe_checkpoint
+
+        desc = describe_checkpoint(args.checkpoint_file, deep=args.deep)
+        print(json.dumps(desc, indent=2, sort_keys=True))
+        return 0 if desc.get("ok", True) else 1
     snap = read_checkpoint(args.checkpoint_file)
     h = snap.header
     print(f"checkpoint: {args.checkpoint_file}")
@@ -142,6 +152,125 @@ def cmd_restart(args: argparse.Namespace) -> int:
     return _finish(result)
 
 
+def _parse_addr(addr: str) -> tuple[str, int]:
+    host, _, port = addr.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"repro: bad --addr {addr!r} (expected host:port)")
+    return host, int(port)
+
+
+def _store_client(args: argparse.Namespace):
+    from repro.store import StoreClient
+
+    host, port = _parse_addr(args.addr)
+    return StoreClient(host, port, retries=args.retries)
+
+
+def cmd_store_serve(args: argparse.Namespace) -> int:
+    from repro.store import ChunkStore, StoreServer
+
+    replicas = [_parse_addr(a) for a in args.replica]
+    server = StoreServer(
+        ChunkStore(args.root),
+        host=args.host,
+        port=args.port,
+        replicas=replicas,
+        heartbeat_interval=args.heartbeat,
+    )
+    host, port = server.address
+    print(f"store serving {args.root} on {host}:{port} "
+          f"({len(replicas)} replica(s))", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+def cmd_store_put(args: argparse.Namespace) -> int:
+    with _store_client(args) as client:
+        generation, stats = client.put_checkpoint_file(args.vm_id, args.file)
+    print(f"{args.vm_id} gen {generation}: "
+          f"{stats.chunks_new}/{stats.chunks_total} new chunk(s), "
+          f"dedup {stats.dedup_ratio:.2f}x")
+    return 0
+
+
+def cmd_store_get(args: argparse.Namespace) -> int:
+    with _store_client(args) as client:
+        manifest = client.get_checkpoint_file(
+            args.vm_id, args.output, generation=args.generation
+        )
+    print(f"{args.vm_id} gen {manifest.generation} -> {args.output} "
+          f"({manifest.payload_len} bytes, verified)")
+    return 0
+
+
+def cmd_store_ls(args: argparse.Namespace) -> int:
+    with _store_client(args) as client:
+        listing = client.ls()
+    vms = listing.get("vms", {})
+    for vm_id in sorted(vms):
+        if args.vm_id and vm_id != args.vm_id:
+            continue
+        for entry in vms[vm_id]:
+            print(f"{vm_id} gen {entry['generation']}: "
+                  f"{entry['payload_len']} bytes, "
+                  f"{entry['chunks']} chunk(s)")
+    print(f"[{listing.get('objects', 0)} object(s) in store]", file=sys.stderr)
+    return 0
+
+
+def cmd_store_gc(args: argparse.Namespace) -> int:
+    with _store_client(args) as client:
+        result = client.gc()
+    print(f"gc: removed {result['removed']} unreferenced chunk(s), "
+          f"kept {result['kept']}, freed {result['bytes_freed']} bytes")
+    return 0
+
+
+def cmd_store_stat(args: argparse.Namespace) -> int:
+    with _store_client(args) as client:
+        print(json.dumps(client.stat(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_store_audit(args: argparse.Namespace) -> int:
+    with _store_client(args) as client:
+        report = client.audit(deep=args.deep)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report.get("ok") else 1
+
+
+def cmd_ha_run(args: argparse.Namespace) -> int:
+    from repro.store import HASupervisor
+
+    code = _load_code(args.source)
+    with _store_client(args) as client:
+        supervisor = HASupervisor(
+            code,
+            client,
+            args.vm_id,
+            start_platform=args.platform,
+            checkpoint_every=args.checkpoint_every,
+            fault_budgets=(args.fault_min, args.fault_max),
+            max_faults=args.max_faults,
+            seed=args.seed,
+        )
+        report = supervisor.run()
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.buffer.write(report.stdout)
+        sys.stdout.buffer.flush()
+        print(f"[ha: {report.faults_injected} fault(s), "
+              f"{report.restarts} restart(s), "
+              f"{report.checkpoints} checkpoint(s), "
+              f"platforms {' -> '.join(report.platforms_visited)}]",
+              file=sys.stderr)
+    return 0 if report.completed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -165,7 +294,85 @@ def build_parser() -> argparse.ArgumentParser:
     i.add_argument("checkpoint_file")
     i.add_argument("--deep", action="store_true",
                    help="walk and validate every heap block and stack word")
+    i.add_argument("--json", action="store_true",
+                   help="emit the description as machine-readable JSON")
     i.set_defaults(fn=cmd_info)
+
+    st = sub.add_parser("store", help="checkpoint store daemon and client")
+    stsub = st.add_subparsers(dest="store_command", required=True)
+
+    sv = stsub.add_parser("serve", help="run a store daemon")
+    sv.add_argument("--root", required=True, help="store directory")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=7420)
+    sv.add_argument("--replica", action="append", default=[],
+                    metavar="HOST:PORT",
+                    help="follower store to replicate to (repeatable)")
+    sv.add_argument("--heartbeat", type=float, default=2.0,
+                    help="follower heartbeat interval in seconds")
+    sv.set_defaults(fn=cmd_store_serve)
+
+    def store_common(sp):
+        sp.add_argument("--addr", default="127.0.0.1:7420",
+                        metavar="HOST:PORT", help="store daemon address")
+        sp.add_argument("--retries", type=int, default=3,
+                        help="transport retries per request")
+
+    sp_put = stsub.add_parser("put", help="upload a checkpoint file")
+    sp_put.add_argument("vm_id")
+    sp_put.add_argument("file")
+    store_common(sp_put)
+    sp_put.set_defaults(fn=cmd_store_put)
+
+    sp_get = stsub.add_parser("get", help="download a checkpoint file")
+    sp_get.add_argument("vm_id")
+    sp_get.add_argument("output")
+    sp_get.add_argument("--generation", type=int, default=None,
+                        help="generation to fetch (default: latest)")
+    store_common(sp_get)
+    sp_get.set_defaults(fn=cmd_store_get)
+
+    sp_ls = stsub.add_parser("ls", help="list stored checkpoints")
+    sp_ls.add_argument("vm_id", nargs="?", default=None)
+    store_common(sp_ls)
+    sp_ls.set_defaults(fn=cmd_store_ls)
+
+    sp_gc = stsub.add_parser("gc", help="drop unreferenced chunks")
+    store_common(sp_gc)
+    sp_gc.set_defaults(fn=cmd_store_gc)
+
+    sp_stat = stsub.add_parser("stat", help="daemon statistics as JSON")
+    store_common(sp_stat)
+    sp_stat.set_defaults(fn=cmd_store_stat)
+
+    sp_audit = stsub.add_parser("audit", help="verify store integrity")
+    sp_audit.add_argument("--deep", action="store_true",
+                          help="also validate reassembled checkpoints")
+    store_common(sp_audit)
+    sp_audit.set_defaults(fn=cmd_store_audit)
+
+    ha = sub.add_parser("ha", help="high-availability supervision")
+    hasub = ha.add_subparsers(dest="ha_command", required=True)
+
+    hr = hasub.add_parser(
+        "run", help="run a program under fault injection with store-backed "
+                    "checkpoints and heterogeneous auto-restart")
+    hr.add_argument("source")
+    hr.add_argument("--vm-id", required=True, help="store id for checkpoints")
+    hr.add_argument("--platform", default="rodrigo",
+                    choices=sorted(PLATFORMS))
+    hr.add_argument("--checkpoint-every", type=int, default=20_000,
+                    help="instructions between checkpoints")
+    hr.add_argument("--fault-min", type=int, default=30_000,
+                    help="minimum instructions before an injected fault")
+    hr.add_argument("--fault-max", type=int, default=120_000,
+                    help="maximum instructions before an injected fault")
+    hr.add_argument("--max-faults", type=int, default=3)
+    hr.add_argument("--seed", type=int, default=2002)
+    hr.add_argument("--json", action="store_true",
+                    help="emit the full HA report as JSON")
+    store_common(hr)
+    hr.set_defaults(fn=cmd_ha_run)
 
     def common(sp):
         sp.add_argument("--platform", default="rodrigo",

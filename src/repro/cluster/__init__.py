@@ -16,7 +16,16 @@ from repro.cluster.coordinator import (
     Cluster,
     ClusterDeadlock,
     ClusterNode,
+    checkpoint_cluster_to_store,
     restart_cluster,
+    restart_cluster_from_store,
 )
 
-__all__ = ["Cluster", "ClusterDeadlock", "ClusterNode", "restart_cluster"]
+__all__ = [
+    "Cluster",
+    "ClusterDeadlock",
+    "ClusterNode",
+    "checkpoint_cluster_to_store",
+    "restart_cluster",
+    "restart_cluster_from_store",
+]

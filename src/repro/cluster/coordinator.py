@@ -272,3 +272,81 @@ def restart_cluster(
             node.state = "waiting"
         nodes.append(node)
     return Cluster._adopt(code, nodes, slice_instructions)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint-store integration
+# ---------------------------------------------------------------------------
+
+
+def checkpoint_cluster_to_store(
+    cluster: Cluster,
+    client,
+    cluster_id: str,
+    directory: Optional[str] = None,
+):
+    """Coordinated checkpoint pushed to a checkpoint store.
+
+    Takes a normal :meth:`Cluster.checkpoint` into ``directory`` (a
+    temporary directory when omitted), packs the manifest plus every node
+    checkpoint into one payload, and stores it as the next generation of
+    ``cluster_id`` — so coordinated snapshots get the same dedup,
+    replication and integrity guarantees as single-VM checkpoints.
+    Returns ``(generation, PutStats)``.
+    """
+    import tempfile
+
+    from repro.store.chunkstore import pack_files
+
+    if directory is None:
+        directory = tempfile.mkdtemp(prefix="repro-cluster-ck-")
+    cluster.checkpoint(directory)
+    files = {}
+    for name in sorted(os.listdir(directory)):
+        if name == "manifest.rclu" or name.endswith(".hckp"):
+            with open(os.path.join(directory, name), "rb") as f:
+                files[name] = f.read()
+    payload = pack_files(files)
+    meta = {"kind": "cluster", "nodes": len(cluster.nodes)}
+    return client.put_checkpoint(cluster_id, payload, meta=meta)
+
+
+def restart_cluster_from_store(
+    code: CodeImage,
+    client,
+    cluster_id: str,
+    platforms: Sequence[Platform | str],
+    directory: Optional[str] = None,
+    generation: Optional[int] = None,
+    slice_instructions: int = 20_000,
+) -> Cluster:
+    """Fetch a stored coordinated checkpoint and restart every node.
+
+    The inverse of :func:`checkpoint_cluster_to_store`: downloads and
+    verifies the packed payload, unpacks it into ``directory`` (a
+    temporary directory when omitted) and hands off to
+    :func:`restart_cluster`.
+    """
+    import tempfile
+
+    from repro.errors import StoreError
+    from repro.store.chunkstore import unpack_files
+
+    payload, _manifest = client.get_checkpoint(cluster_id, generation)
+    try:
+        files = unpack_files(payload)
+    except StoreError as e:
+        raise CheckpointFormatError(
+            f"stored payload for {cluster_id!r} is not a cluster checkpoint: {e}"
+        ) from e
+    if "manifest.rclu" not in files:
+        raise CheckpointFormatError(
+            f"stored payload for {cluster_id!r} is not a cluster checkpoint"
+        )
+    if directory is None:
+        directory = tempfile.mkdtemp(prefix="repro-cluster-rs-")
+    os.makedirs(directory, exist_ok=True)
+    for name, data in files.items():
+        with open(os.path.join(directory, os.path.basename(name)), "wb") as f:
+            f.write(data)
+    return restart_cluster(code, directory, platforms, slice_instructions)

@@ -63,6 +63,26 @@ class IncompatibleCheckpointError(RestartError):
     """The checkpoint cannot be restored on this platform (baseline only)."""
 
 
+class StoreError(ReproError):
+    """Base class for checkpoint-store failures."""
+
+
+class StoreIntegrityError(StoreError):
+    """A stored chunk or manifest failed its integrity check."""
+
+
+class StoreProtocolError(StoreError):
+    """A malformed or unexpected frame on the store wire protocol."""
+
+
+class StoreConnectionError(StoreError):
+    """The store daemon could not be reached (after all retries)."""
+
+
+class StoreNotFoundError(StoreError):
+    """A requested chunk, manifest, or VM id does not exist."""
+
+
 class CompileError(ReproError):
     """MiniML source could not be compiled."""
 

@@ -75,6 +75,15 @@ class PhaseTimer:
         for k, v in other.kernel_seconds.items():
             self.kernel_seconds[k] = self.kernel_seconds.get(k, 0.0) + v
 
+    def as_dict(self) -> dict:
+        """JSON-able breakdown (seconds, entry counts, kernel timings)."""
+        return {
+            "total_seconds": self.total,
+            "phases": dict(self.seconds),
+            "counts": dict(self.counts),
+            "kernels": dict(self.kernel_seconds),
+        }
+
     def report(self, title: str = "phases") -> str:
         """Human-readable table of the breakdown."""
         lines = [f"{title}: total {self.total * 1e3:.3f} ms"]

@@ -1,0 +1,36 @@
+"""Checkpoint store & HA failover service.
+
+The paper makes VM checkpoints *portable artifacts* that can restart on
+a different machine; this package makes them *managed* artifacts.  It
+provides:
+
+- :class:`~repro.store.chunkstore.ChunkStore` — a content-addressed
+  repository: checkpoint payloads are split into fixed-size chunks,
+  keyed by SHA-256 and zlib-compressed, with a generation manifest per
+  VM.  Successive periodic checkpoints dedup unchanged heap/stack
+  chunks.
+- :class:`~repro.store.server.StoreServer` /
+  :class:`~repro.store.client.StoreClient` — a TCP daemon speaking a
+  length-prefixed binary protocol, with N-way replication to follower
+  stores and heartbeat liveness tracking; the client has configurable
+  timeouts and bounded exponential-backoff retries.
+- :class:`~repro.store.ha.HASupervisor` — runs a workload VM with
+  periodic checkpoints pushed to the store, injects faults, and
+  auto-restarts from the latest manifest on a *different* simulated
+  platform, repeating until the program completes.
+"""
+
+from repro.store.chunkstore import ChunkStore, Manifest, PutStats
+from repro.store.client import StoreClient
+from repro.store.ha import HAReport, HASupervisor
+from repro.store.server import StoreServer
+
+__all__ = [
+    "ChunkStore",
+    "Manifest",
+    "PutStats",
+    "StoreClient",
+    "StoreServer",
+    "HAReport",
+    "HASupervisor",
+]

@@ -1,0 +1,533 @@
+"""Content-addressed checkpoint repository.
+
+A checkpoint payload (the bytes of one ``.hckp`` file) is split into
+fixed-size chunks; each chunk is keyed by its SHA-256 digest and stored
+zlib-compressed under ``objects/<kk>/<key>.z``.  A *manifest* per VM
+generation records the ordered chunk keys plus the whole-payload digest,
+so ``put``/``get``/``ls``/``gc`` all operate on manifests and successive
+periodic checkpoints dedup every chunk that did not change.
+
+Integrity is re-verified chunk by chunk on every read: a chunk whose
+decompressed bytes no longer hash to its key raises
+:class:`~repro.errors.StoreIntegrityError` (and so does a reassembled
+payload whose digest disagrees with its manifest).
+
+Layout::
+
+    root/
+      objects/ab/ab3f...9c.z        zlib(chunk), key = sha256(chunk)
+      manifests/<vm_id>/00000001.json
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import StoreError, StoreIntegrityError, StoreNotFoundError
+
+#: Default payload chunk size.  Small enough that a single mutated heap
+#: page re-uploads little; large enough that manifests stay short.
+DEFAULT_CHUNK_SIZE = 64 * 1024
+
+_VM_ID_RE = re.compile(r"[A-Za-z0-9._-]+(/[A-Za-z0-9._-]+)*\Z")
+
+
+def _check_vm_id(vm_id: str) -> str:
+    if not _VM_ID_RE.match(vm_id) or ".." in vm_id.split("/"):
+        raise StoreError(f"invalid vm id {vm_id!r}")
+    return vm_id
+
+
+def chunk_key(data: bytes) -> str:
+    """The content address of one chunk."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """One generation of one VM's checkpoints."""
+
+    vm_id: str
+    generation: int
+    chunk_size: int
+    payload_len: int
+    payload_sha256: str
+    chunks: tuple[str, ...]
+    meta: dict = field(default_factory=dict)
+    created: float = 0.0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "vm_id": self.vm_id,
+                "generation": self.generation,
+                "chunk_size": self.chunk_size,
+                "payload_len": self.payload_len,
+                "payload_sha256": self.payload_sha256,
+                "chunks": list(self.chunks),
+                "meta": self.meta,
+                "created": self.created,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Manifest":
+        try:
+            d = json.loads(text)
+            return cls(
+                vm_id=d["vm_id"],
+                generation=int(d["generation"]),
+                chunk_size=int(d["chunk_size"]),
+                payload_len=int(d["payload_len"]),
+                payload_sha256=d["payload_sha256"],
+                chunks=tuple(d["chunks"]),
+                meta=dict(d.get("meta", {})),
+                created=float(d.get("created", 0.0)),
+            )
+        except (ValueError, KeyError, TypeError) as e:
+            raise StoreIntegrityError(f"malformed manifest: {e}") from e
+
+
+@dataclass
+class PutStats:
+    """Dedup accounting for one (or several accumulated) put(s)."""
+
+    chunks_total: int = 0
+    chunks_new: int = 0
+    bytes_total: int = 0
+    bytes_new: int = 0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Logical bytes referenced per byte actually stored (>= 1)."""
+        if self.bytes_new == 0:
+            return float("inf") if self.bytes_total else 1.0
+        return self.bytes_total / self.bytes_new
+
+    def merge(self, other: "PutStats") -> None:
+        self.chunks_total += other.chunks_total
+        self.chunks_new += other.chunks_new
+        self.bytes_total += other.bytes_total
+        self.bytes_new += other.bytes_new
+
+
+class ChunkStore:
+    """A content-addressed chunk store rooted at one directory."""
+
+    def __init__(self, root: str, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        if chunk_size <= 0:
+            raise StoreError("chunk_size must be positive")
+        self.root = root
+        self.chunk_size = chunk_size
+        self._objects = os.path.join(root, "objects")
+        self._manifests = os.path.join(root, "manifests")
+        os.makedirs(self._objects, exist_ok=True)
+        os.makedirs(self._manifests, exist_ok=True)
+
+    # -- objects -----------------------------------------------------------
+
+    def _object_path(self, key: str) -> str:
+        return os.path.join(self._objects, key[:2], key + ".z")
+
+    def has_object(self, key: str) -> bool:
+        return os.path.exists(self._object_path(key))
+
+    def put_object(self, data: bytes) -> tuple[str, bool]:
+        """Store one chunk; returns ``(key, was_new)``."""
+        key = chunk_key(data)
+        path = self._object_path(key)
+        if os.path.exists(path):
+            return key, False
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as f:
+            f.write(zlib.compress(data, 6))
+        os.replace(tmp, path)
+        return key, True
+
+    def get_object(self, key: str) -> bytes:
+        """Load one chunk, re-verifying its content address."""
+        path = self._object_path(key)
+        try:
+            with open(path, "rb") as f:
+                raw = f.read()
+        except FileNotFoundError:
+            raise StoreNotFoundError(f"no such chunk {key}") from None
+        try:
+            data = zlib.decompress(raw)
+        except zlib.error as e:
+            raise StoreIntegrityError(f"chunk {key} is corrupt: {e}") from e
+        if chunk_key(data) != key:
+            raise StoreIntegrityError(
+                f"chunk {key} fails verification (stored bytes hash to "
+                f"{chunk_key(data)[:16]}...)"
+            )
+        return data
+
+    def iter_objects(self) -> Iterator[str]:
+        for sub in sorted(os.listdir(self._objects)):
+            d = os.path.join(self._objects, sub)
+            if not os.path.isdir(d):
+                continue
+            for name in sorted(os.listdir(d)):
+                if name.endswith(".z"):
+                    yield name[: -len(".z")]
+
+    # -- manifests ---------------------------------------------------------
+
+    def _manifest_dir(self, vm_id: str) -> str:
+        return os.path.join(self._manifests, _check_vm_id(vm_id))
+
+    def _manifest_path(self, vm_id: str, generation: int) -> str:
+        return os.path.join(self._manifest_dir(vm_id), f"{generation:08d}.json")
+
+    def generations(self, vm_id: str) -> list[int]:
+        d = self._manifest_dir(vm_id)
+        if not os.path.isdir(d):
+            return []
+        out = []
+        for name in os.listdir(d):
+            if name.endswith(".json"):
+                try:
+                    out.append(int(name[: -len(".json")]))
+                except ValueError:
+                    continue
+        return sorted(out)
+
+    def vm_ids(self) -> list[str]:
+        out = []
+        for dirpath, _dirnames, filenames in os.walk(self._manifests):
+            if any(f.endswith(".json") for f in filenames):
+                out.append(
+                    os.path.relpath(dirpath, self._manifests).replace(os.sep, "/")
+                )
+        return sorted(out)
+
+    def read_manifest(self, vm_id: str, generation: Optional[int] = None) -> Manifest:
+        gens = self.generations(vm_id)
+        if not gens:
+            raise StoreNotFoundError(f"no checkpoints stored for vm {vm_id!r}")
+        gen = generation if generation is not None else gens[-1]
+        path = self._manifest_path(vm_id, gen)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                return Manifest.from_json(f.read())
+        except FileNotFoundError:
+            raise StoreNotFoundError(
+                f"vm {vm_id!r} has no generation {gen} (has {gens})"
+            ) from None
+
+    def write_manifest(self, manifest: Manifest) -> None:
+        path = self._manifest_path(manifest.vm_id, manifest.generation)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            f.write(manifest.to_json())
+        os.replace(tmp, path)
+
+    # -- checkpoint payloads ----------------------------------------------
+
+    def split(self, payload: bytes) -> list[bytes]:
+        cs = self.chunk_size
+        return [payload[i : i + cs] for i in range(0, len(payload), cs)] or [b""]
+
+    def put_checkpoint(
+        self,
+        vm_id: str,
+        payload: bytes,
+        meta: Optional[dict] = None,
+        generation: Optional[int] = None,
+    ) -> tuple[Manifest, PutStats]:
+        """Store one checkpoint payload as the next generation of ``vm_id``.
+
+        Re-putting a payload identical to the latest generation returns
+        that manifest instead of minting a new generation, which makes
+        retried uploads idempotent.  An explicit ``generation`` (used by
+        replication) writes exactly that slot.
+        """
+        _check_vm_id(vm_id)
+        stats = PutStats()
+        chunks = self.split(payload)
+        keys = []
+        for chunk in chunks:
+            key, was_new = self.put_object(chunk)
+            keys.append(key)
+            stats.chunks_total += 1
+            stats.bytes_total += len(chunk)
+            if was_new:
+                stats.chunks_new += 1
+                stats.bytes_new += len(chunk)
+        manifest = self.commit_manifest(
+            vm_id,
+            keys,
+            payload_len=len(payload),
+            payload_sha256=hashlib.sha256(payload).hexdigest(),
+            meta=meta,
+            generation=generation,
+        )
+        return manifest, stats
+
+    def commit_manifest(
+        self,
+        vm_id: str,
+        chunks: list[str],
+        payload_len: int,
+        payload_sha256: str,
+        meta: Optional[dict] = None,
+        chunk_size: Optional[int] = None,
+        generation: Optional[int] = None,
+    ) -> Manifest:
+        """Record a generation whose chunks are already stored.
+
+        Every referenced chunk must exist (the daemon calls this after a
+        streamed upload).  Without an explicit ``generation``: committing
+        the same payload as the latest generation returns that manifest
+        unchanged — a retried upload never mints a duplicate generation.
+        """
+        _check_vm_id(vm_id)
+        for key in chunks:
+            if not self.has_object(key):
+                raise StoreNotFoundError(
+                    f"manifest for vm {vm_id!r} references missing chunk "
+                    f"{key[:16]}..."
+                )
+        if generation is None:
+            gens = self.generations(vm_id)
+            if gens:
+                latest = self.read_manifest(vm_id, gens[-1])
+                if (
+                    latest.payload_sha256 == payload_sha256
+                    and latest.chunks == tuple(chunks)
+                ):
+                    return latest
+            generation = (gens[-1] + 1) if gens else 1
+        manifest = Manifest(
+            vm_id=vm_id,
+            generation=generation,
+            chunk_size=chunk_size or self.chunk_size,
+            payload_len=payload_len,
+            payload_sha256=payload_sha256,
+            chunks=tuple(chunks),
+            meta=dict(meta or {}),
+            created=time.time(),
+        )
+        self.write_manifest(manifest)
+        return manifest
+
+    def get_checkpoint(
+        self, vm_id: str, generation: Optional[int] = None
+    ) -> tuple[bytes, Manifest]:
+        """Reassemble one generation, verifying every chunk and the whole."""
+        manifest = self.read_manifest(vm_id, generation)
+        payload = b"".join(self.get_object(k) for k in manifest.chunks)
+        if len(payload) != manifest.payload_len:
+            raise StoreIntegrityError(
+                f"vm {vm_id!r} gen {manifest.generation}: reassembled "
+                f"{len(payload)} bytes, manifest says {manifest.payload_len}"
+            )
+        if hashlib.sha256(payload).hexdigest() != manifest.payload_sha256:
+            raise StoreIntegrityError(
+                f"vm {vm_id!r} gen {manifest.generation}: payload digest "
+                f"mismatch"
+            )
+        return payload, manifest
+
+    # -- housekeeping ------------------------------------------------------
+
+    def ls(self) -> dict:
+        """Machine-readable listing: every vm, its generations, sizes."""
+        vms = {}
+        for vm_id in self.vm_ids():
+            gens = []
+            for gen in self.generations(vm_id):
+                m = self.read_manifest(vm_id, gen)
+                gens.append(
+                    {
+                        "generation": m.generation,
+                        "payload_len": m.payload_len,
+                        "chunks": len(m.chunks),
+                        "created": m.created,
+                        "meta": m.meta,
+                    }
+                )
+            vms[vm_id] = gens
+        return {"vms": vms, "objects": sum(1 for _ in self.iter_objects())}
+
+    def prune(self, vm_id: str, keep_last: int) -> list[int]:
+        """Drop all but the newest ``keep_last`` generations of a VM."""
+        if keep_last < 1:
+            raise StoreError("prune must keep at least one generation")
+        gens = self.generations(vm_id)
+        dropped = gens[:-keep_last]
+        for gen in dropped:
+            os.remove(self._manifest_path(vm_id, gen))
+        return dropped
+
+    def referenced_keys(self) -> set[str]:
+        keys: set[str] = set()
+        for vm_id in self.vm_ids():
+            for gen in self.generations(vm_id):
+                keys.update(self.read_manifest(vm_id, gen).chunks)
+        return keys
+
+    def gc(self) -> dict:
+        """Delete every chunk no manifest references."""
+        live = self.referenced_keys()
+        removed = 0
+        bytes_freed = 0
+        for key in list(self.iter_objects()):
+            if key in live:
+                continue
+            path = self._object_path(key)
+            bytes_freed += os.path.getsize(path)
+            os.remove(path)
+            removed += 1
+        return {"removed": removed, "kept": len(live), "bytes_freed": bytes_freed}
+
+    def dedup_stats(self, vm_id: str) -> PutStats:
+        """Cumulative dedup over every stored generation of one VM.
+
+        ``bytes_total`` counts every byte each manifest references;
+        ``bytes_new`` counts each distinct chunk once — their ratio is
+        the store-wide dedup factor for this VM's history.
+        """
+        stats = PutStats()
+        sizes: dict[str, int] = {}
+        for gen in self.generations(vm_id):
+            m = self.read_manifest(vm_id, gen)
+            for i, key in enumerate(m.chunks):
+                size = min(m.chunk_size, m.payload_len - i * m.chunk_size)
+                size = max(size, 0)
+                stats.chunks_total += 1
+                stats.bytes_total += size
+                if key not in sizes:
+                    sizes[key] = size
+                    stats.chunks_new += 1
+                    stats.bytes_new += size
+        return stats
+
+    # -- integrity audit ---------------------------------------------------
+
+    def audit(self, deep: bool = False) -> dict:
+        """Verify every object and manifest; report problems.
+
+        With ``deep``, additionally reassemble the latest generation of
+        every VM whose payload carries the checkpoint magic and validate
+        it through the same machine-readable description that
+        ``repro info --json`` emits.
+        """
+        problems: list[str] = []
+        objects = 0
+        for key in self.iter_objects():
+            objects += 1
+            try:
+                self.get_object(key)
+            except StoreError as e:
+                problems.append(str(e))
+        manifests = 0
+        for vm_id in self.vm_ids():
+            for gen in self.generations(vm_id):
+                manifests += 1
+                try:
+                    m = self.read_manifest(vm_id, gen)
+                except StoreError as e:
+                    problems.append(f"vm {vm_id!r} gen {gen}: {e}")
+                    continue
+                for key in m.chunks:
+                    if not self.has_object(key):
+                        problems.append(
+                            f"vm {vm_id!r} gen {gen}: missing chunk {key[:16]}..."
+                        )
+        report = {
+            "objects": objects,
+            "manifests": manifests,
+            "problems": problems,
+            "ok": not problems,
+        }
+        if deep:
+            report["checkpoints"] = self._deep_audit(problems)
+            report["ok"] = not problems
+        return report
+
+    def _deep_audit(self, problems: list[str]) -> dict:
+        import tempfile
+
+        from repro.checkpoint.format import CHECKPOINT_MAGIC_V1
+        from repro.checkpoint.inspect import describe_checkpoint
+
+        described = {}
+        for vm_id in self.vm_ids():
+            try:
+                payload, manifest = self.get_checkpoint(vm_id)
+            except StoreError as e:
+                problems.append(f"vm {vm_id!r}: {e}")
+                continue
+            if payload[:4] != CHECKPOINT_MAGIC_V1[:4]:
+                described[vm_id] = {"skipped": "not a checkpoint payload"}
+                continue
+            fd, path = tempfile.mkstemp(suffix=".hckp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    f.write(payload)
+                desc = describe_checkpoint(path, deep=True)
+                desc["generation"] = manifest.generation
+                described[vm_id] = desc
+                for p in desc.get("problems", []):
+                    problems.append(f"vm {vm_id!r}: {p}")
+            except Exception as e:  # a corrupt payload must not stop the audit
+                problems.append(f"vm {vm_id!r}: unreadable checkpoint: {e}")
+            finally:
+                os.unlink(path)
+        return described
+
+
+# ---------------------------------------------------------------------------
+# Multi-file payload packing (cluster checkpoints)
+# ---------------------------------------------------------------------------
+
+_PACK_MAGIC = b"RPAK\x01"
+
+
+def pack_files(files: dict[str, bytes]) -> bytes:
+    """Pack named byte blobs into one store payload (order-stable)."""
+    out = bytearray(_PACK_MAGIC)
+    out += struct.pack("<I", len(files))
+    for name in sorted(files):
+        raw = name.encode()
+        out += struct.pack("<I", len(raw)) + raw
+        out += struct.pack("<Q", len(files[name])) + files[name]
+    return bytes(out)
+
+
+def unpack_files(payload: bytes) -> dict[str, bytes]:
+    """Inverse of :func:`pack_files`."""
+    if payload[: len(_PACK_MAGIC)] != _PACK_MAGIC:
+        raise StoreIntegrityError("not a packed multi-file payload")
+    off = len(_PACK_MAGIC)
+    try:
+        (n,) = struct.unpack_from("<I", payload, off)
+        off += 4
+        files = {}
+        for _ in range(n):
+            (name_len,) = struct.unpack_from("<I", payload, off)
+            off += 4
+            name = payload[off : off + name_len].decode()
+            off += name_len
+            (data_len,) = struct.unpack_from("<Q", payload, off)
+            off += 8
+            files[name] = payload[off : off + data_len]
+            if len(files[name]) != data_len:
+                raise StoreIntegrityError("truncated packed payload")
+            off += data_len
+        return files
+    except struct.error as e:
+        raise StoreIntegrityError(f"truncated packed payload: {e}") from e

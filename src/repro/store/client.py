@@ -1,0 +1,323 @@
+"""The checkpoint-store client.
+
+One persistent TCP connection to a store daemon, re-established
+transparently when it drops.  Every request is retried on transport
+failure with bounded exponential backoff (``backoff * 2**attempt``,
+capped at ``backoff_max``, at most ``retries`` retries); application
+errors reported by the daemon (``ERR`` frames) are *not* retried — they
+are re-raised as the matching :class:`~repro.errors.StoreError`
+subclass.
+
+Retried uploads are safe end to end: chunk puts are content-addressed
+(idempotent by construction) and a manifest commit of an unchanged
+payload returns the existing generation instead of minting a new one.
+
+Uploads and downloads stream chunk-at-a-time — ``put_checkpoint_file``
+never holds more than one chunk of the file in memory, and every chunk
+is verified against its content address on the way down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import socket
+import time
+from typing import BinaryIO, Iterable, Iterator, Optional
+
+from repro.errors import (
+    StoreConnectionError,
+    StoreError,
+    StoreIntegrityError,
+    StoreNotFoundError,
+    StoreProtocolError,
+)
+from repro.store import protocol as P
+from repro.store.chunkstore import DEFAULT_CHUNK_SIZE, Manifest, PutStats, chunk_key
+
+_ERROR_CLASSES = {
+    "StoreError": StoreError,
+    "StoreIntegrityError": StoreIntegrityError,
+    "StoreProtocolError": StoreProtocolError,
+    "StoreNotFoundError": StoreNotFoundError,
+    "StoreConnectionError": StoreConnectionError,
+}
+
+#: How many digests one HAS_MANY query carries at most.
+_HAS_BATCH = 1024
+
+
+class StoreClient:
+    """A connection to one store daemon."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 5.0,
+        io_timeout: float = 30.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        backoff_max: float = 1.0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.io_timeout = io_timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        self.chunk_size = chunk_size
+        self._sock: Optional[socket.socket] = None
+        #: Transport failures survived via retry (observability + tests).
+        self.retries_used = 0
+
+    # -- connection management ---------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        sock.settimeout(self.io_timeout)
+        return sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "StoreClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- request core ------------------------------------------------------
+
+    def _call(self, op: int, payload: bytes = b"") -> bytes:
+        """One request/response exchange, with retry on transport failure."""
+        last: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.retries_used += 1
+                time.sleep(
+                    min(self.backoff * (2 ** (attempt - 1)), self.backoff_max)
+                )
+            try:
+                if self._sock is None:
+                    self._sock = self._connect()
+                P.send_frame(self._sock, op, payload)
+                frame = P.recv_frame(self._sock)
+            except (OSError, StoreProtocolError) as e:
+                self.close()
+                last = e
+                continue
+            rop, rpayload = frame
+            if rop == P.OP_ERR:
+                err = P.decode_json(rpayload)
+                raise _ERROR_CLASSES.get(err.get("error"), StoreError)(
+                    err.get("message", "unknown store error")
+                )
+            if rop != P.OP_OK:
+                self.close()
+                raise StoreProtocolError(f"unexpected response opcode 0x{rop:02x}")
+            return rpayload
+        raise StoreConnectionError(
+            f"store at {self.host}:{self.port} unreachable after "
+            f"{self.retries + 1} attempt(s): {last}"
+        )
+
+    # -- primitive operations ----------------------------------------------
+
+    def ping(self) -> bool:
+        return self._call(P.OP_PING) == b"pong"
+
+    def has_chunk(self, key: str) -> bool:
+        return self._call(P.OP_HAS_CHUNK, bytes.fromhex(key)) == b"\x01"
+
+    def has_many(self, keys: list[str]) -> list[bool]:
+        out: list[bool] = []
+        for i in range(0, len(keys), _HAS_BATCH):
+            batch = keys[i : i + _HAS_BATCH]
+            payload = b"".join(bytes.fromhex(k) for k in batch)
+            resp = self._call(P.OP_HAS_MANY, payload)
+            if len(resp) != len(batch):
+                raise StoreProtocolError("HAS_MANY answer length mismatch")
+            out.extend(b == 1 for b in resp)
+        return out
+
+    def put_chunk(self, data: bytes) -> str:
+        key = chunk_key(data)
+        self._call(P.OP_PUT_CHUNK, P.encode_chunk(bytes.fromhex(key), data))
+        return key
+
+    def get_chunk(self, key: str) -> bytes:
+        resp = self._call(P.OP_GET_CHUNK, bytes.fromhex(key))
+        key_raw, data = P.decode_chunk(resp)
+        if key_raw.hex() != key or chunk_key(data) != key:
+            raise StoreIntegrityError(
+                f"chunk {key[:16]}... failed verification after download"
+            )
+        return data
+
+    def put_manifest(
+        self,
+        vm_id: str,
+        chunks: list[str],
+        payload_len: int,
+        payload_sha256: str,
+        meta: Optional[dict] = None,
+        chunk_size: Optional[int] = None,
+        generation: Optional[int] = None,
+    ) -> int:
+        req = {
+            "vm_id": vm_id,
+            "chunks": chunks,
+            "payload_len": payload_len,
+            "payload_sha256": payload_sha256,
+            "meta": meta or {},
+            "chunk_size": chunk_size or self.chunk_size,
+        }
+        if generation is not None:
+            req["generation"] = generation
+        resp = P.decode_json(self._call(P.OP_PUT_MANIFEST, P.encode_json(req)))
+        return int(resp["generation"])
+
+    def get_manifest(self, vm_id: str, generation: Optional[int] = None) -> Manifest:
+        req: dict = {"vm_id": vm_id}
+        if generation is not None:
+            req["generation"] = generation
+        return Manifest.from_json(
+            self._call(P.OP_GET_MANIFEST, P.encode_json(req)).decode()
+        )
+
+    def ls(self) -> dict:
+        return P.decode_json(self._call(P.OP_LS))
+
+    def gc(self) -> dict:
+        return P.decode_json(self._call(P.OP_GC))
+
+    def stat(self) -> dict:
+        return P.decode_json(self._call(P.OP_STAT))
+
+    def audit(self, deep: bool = False) -> dict:
+        return P.decode_json(
+            self._call(P.OP_AUDIT, P.encode_json({"deep": deep}))
+        )
+
+    # -- streaming checkpoint transfer --------------------------------------
+
+    def _put_stream(
+        self,
+        vm_id: str,
+        chunk_iter: Iterable[bytes],
+        reread: Iterator[bytes],
+        meta: Optional[dict],
+    ) -> tuple[int, PutStats]:
+        """Two-pass streaming upload: hash everything, send what's missing."""
+        keys: list[str] = []
+        sizes: list[int] = []
+        payload_sha = hashlib.sha256()
+        for chunk in chunk_iter:
+            keys.append(chunk_key(chunk))
+            sizes.append(len(chunk))
+            payload_sha.update(chunk)
+        if not keys:  # an empty payload is one empty chunk
+            keys = [chunk_key(b"")]
+            sizes = [0]
+        stats = PutStats(chunks_total=len(keys), bytes_total=sum(sizes))
+        present = self.has_many(keys)
+        wanted = {k for k, have in zip(keys, present) if not have}
+        if chunk_key(b"") in wanted:  # the reread yields no empty chunk
+            self.put_chunk(b"")
+            wanted.discard(chunk_key(b""))
+            stats.chunks_new += 1
+        for chunk in reread:
+            key = chunk_key(chunk)
+            if key in wanted:
+                self.put_chunk(chunk)
+                wanted.discard(key)
+                stats.chunks_new += 1
+                stats.bytes_new += len(chunk)
+        generation = self.put_manifest(
+            vm_id,
+            keys,
+            payload_len=sum(sizes),
+            payload_sha256=payload_sha.hexdigest(),
+            meta=meta,
+        )
+        return generation, stats
+
+    def _iter_chunks(self, payload: bytes) -> Iterator[bytes]:
+        cs = self.chunk_size
+        for i in range(0, len(payload), cs):
+            yield payload[i : i + cs]
+
+    @staticmethod
+    def _iter_file(f: BinaryIO, chunk_size: int) -> Iterator[bytes]:
+        while True:
+            chunk = f.read(chunk_size)
+            if not chunk:
+                return
+            yield chunk
+
+    def put_checkpoint(
+        self, vm_id: str, payload: bytes, meta: Optional[dict] = None
+    ) -> tuple[int, PutStats]:
+        """Upload one checkpoint payload; returns its generation + stats."""
+        return self._put_stream(
+            vm_id, self._iter_chunks(payload), self._iter_chunks(payload), meta
+        )
+
+    def put_checkpoint_file(
+        self, vm_id: str, path: str, meta: Optional[dict] = None
+    ) -> tuple[int, PutStats]:
+        """Stream a checkpoint file up without loading it whole."""
+        with open(path, "rb") as f1, open(path, "rb") as f2:
+            return self._put_stream(
+                vm_id,
+                self._iter_file(f1, self.chunk_size),
+                self._iter_file(f2, self.chunk_size),
+                meta,
+            )
+
+    def get_checkpoint(
+        self, vm_id: str, generation: Optional[int] = None
+    ) -> tuple[bytes, Manifest]:
+        """Download and verify one generation (latest by default)."""
+        manifest = self.get_manifest(vm_id, generation)
+        payload = b"".join(self.get_chunk(k) for k in manifest.chunks)
+        if (
+            len(payload) != manifest.payload_len
+            or hashlib.sha256(payload).hexdigest() != manifest.payload_sha256
+        ):
+            raise StoreIntegrityError(
+                f"vm {vm_id!r} gen {manifest.generation}: downloaded payload "
+                f"fails verification"
+            )
+        return payload, manifest
+
+    def get_checkpoint_file(
+        self, vm_id: str, path: str, generation: Optional[int] = None
+    ) -> Manifest:
+        """Stream one generation down to ``path`` chunk by chunk."""
+        manifest = self.get_manifest(vm_id, generation)
+        payload_sha = hashlib.sha256()
+        written = 0
+        with open(path, "wb") as f:
+            for key in manifest.chunks:
+                chunk = self.get_chunk(key)
+                payload_sha.update(chunk)
+                written += len(chunk)
+                f.write(chunk)
+        if (
+            written != manifest.payload_len
+            or payload_sha.hexdigest() != manifest.payload_sha256
+        ):
+            raise StoreIntegrityError(
+                f"vm {vm_id!r} gen {manifest.generation}: downloaded payload "
+                f"fails verification"
+            )
+        return manifest

@@ -1,0 +1,269 @@
+"""High-availability supervision: checkpoint, crash, restart elsewhere.
+
+The supervisor closes the loop the paper leaves open: it runs a workload
+VM with periodic checkpoints pushed to a checkpoint store, kills the VM
+at random instruction budgets (the same steps machinery the interpreter
+uses for preemption), and auto-restarts from the store's latest manifest
+on a *different* simulated platform — by default one differing in both
+endianness and word size, forcing the heterogeneous conversion path —
+repeating until the program completes.
+
+Output continuity uses the cluster coordinator's protocol: stdout is
+flushed before each checkpoint and the cumulative output rides in the
+manifest meta, so the restarted VM's sink is prefilled and the final
+output is bit-identical to an uninterrupted run.
+
+Per-phase metrics (run, checkpoint, upload, restart) accumulate in a
+:class:`~repro.metrics.PhaseTimer`; the report adds dedup ratio, work
+lost to each fault, and per-restart latencies.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.arch.platforms import PLATFORMS, Platform, get_platform
+from repro.bytecode.image import CodeImage
+from repro.checkpoint.reader import restart_vm
+from repro.errors import ReproError, StoreNotFoundError
+from repro.metrics import PhaseTimer
+from repro.store.chunkstore import PutStats
+from repro.store.client import StoreClient
+from repro.vm import VMConfig, VirtualMachine
+
+
+@dataclass
+class HAReport:
+    """What one supervised run did and what it cost."""
+
+    completed: bool = False
+    exit_code: int = 0
+    stdout: bytes = b""
+    faults_injected: int = 0
+    checkpoints: int = 0
+    restarts: int = 0
+    cold_restarts: int = 0
+    generations: list[int] = field(default_factory=list)
+    platforms_visited: list[str] = field(default_factory=list)
+    work_lost_instructions: int = 0
+    restart_latencies: list[float] = field(default_factory=list)
+    upload_stats: PutStats = field(default_factory=PutStats)
+    phases: PhaseTimer = field(default_factory=PhaseTimer)
+
+    def as_dict(self) -> dict:
+        """JSON-able summary (the CLI's ``repro ha run --json``)."""
+        return {
+            "completed": self.completed,
+            "exit_code": self.exit_code,
+            "stdout": self.stdout.decode(errors="replace"),
+            "faults_injected": self.faults_injected,
+            "checkpoints": self.checkpoints,
+            "restarts": self.restarts,
+            "cold_restarts": self.cold_restarts,
+            "generations": self.generations,
+            "platforms_visited": self.platforms_visited,
+            "work_lost_instructions": self.work_lost_instructions,
+            "restart_latencies": self.restart_latencies,
+            "dedup_ratio": self.upload_stats.dedup_ratio,
+            "phases": self.phases.as_dict(),
+        }
+
+
+class HASupervisor:
+    """Run a workload to completion through injected failures."""
+
+    def __init__(
+        self,
+        code: CodeImage,
+        client: StoreClient,
+        vm_id: str,
+        start_platform: Platform | str = "rodrigo",
+        checkpoint_every: int = 20_000,
+        fault_budgets: tuple[int, int] = (30_000, 120_000),
+        max_faults: int = 3,
+        seed: int = 2002,
+        config: Optional[VMConfig] = None,
+        require_hetero: bool = True,
+        max_slices: int = 100_000,
+    ) -> None:
+        if checkpoint_every <= 0:
+            raise ReproError("checkpoint_every must be positive")
+        self.code = code
+        self.client = client
+        self.vm_id = vm_id
+        self.start_platform = (
+            get_platform(start_platform)
+            if isinstance(start_platform, str)
+            else start_platform
+        )
+        self.checkpoint_every = checkpoint_every
+        self.fault_budgets = fault_budgets
+        self.max_faults = max_faults
+        self.require_hetero = require_hetero
+        self.max_slices = max_slices
+        self._rng = random.Random(seed)
+        self._base_config = config
+
+    # -- pieces ------------------------------------------------------------
+
+    def _config(self, path: str) -> VMConfig:
+        base = self._base_config
+        cfg = VMConfig() if base is None else VMConfig(**vars(base))
+        cfg.chkpt_state = "enable"
+        cfg.chkpt_filename = path
+        cfg.chkpt_mode = "blocking"  # the upload needs the committed file
+        cfg.chkpt_interval = None  # the supervisor owns the cadence
+        return cfg
+
+    def _restart_candidates(self, current: Platform) -> list[str]:
+        """Platforms a restart may land on — different machine, and (by
+        default) different endianness *and* word size, so every restart
+        exercises the full heterogeneous conversion path."""
+        names = []
+        for name in sorted(PLATFORMS):
+            p = PLATFORMS[name]
+            if p.name == current.name:
+                continue
+            if self.require_hetero and (
+                p.arch.endianness is current.arch.endianness
+                or p.arch.word_bytes == current.arch.word_bytes
+            ):
+                continue
+            names.append(name)
+        if not names:  # no fully-heterogeneous peer: any other machine
+            names = [n for n in sorted(PLATFORMS) if n != current.name]
+        return names
+
+    def _next_fault(self, report: HAReport) -> Optional[int]:
+        if report.faults_injected >= self.max_faults:
+            return None
+        return self._rng.randint(*self.fault_budgets)
+
+    # -- the supervision loop ----------------------------------------------
+
+    def run(self) -> HAReport:
+        report = HAReport()
+        timer = report.phases
+        fd, ckpt_path = tempfile.mkstemp(suffix=".hckp")
+        os.close(fd)
+        os.unlink(ckpt_path)  # perform_checkpoint recreates it atomically
+        try:
+            return self._supervise(report, timer, ckpt_path)
+        finally:
+            if os.path.exists(ckpt_path):
+                os.unlink(ckpt_path)
+
+    def _supervise(
+        self, report: HAReport, timer: PhaseTimer, ckpt_path: str
+    ) -> HAReport:
+        platform = self.start_platform
+        config = self._config(ckpt_path)
+        vm = VirtualMachine(platform, self.code, config)
+        report.platforms_visited.append(platform.name)
+
+        since_restart = 0  # instructions executed since (re)start
+        since_checkpoint = 0  # of those, not yet covered by a checkpoint
+        next_fault = self._next_fault(report)
+
+        for _ in range(self.max_slices):
+            budget = self.checkpoint_every
+            crash_after = False
+            if next_fault is not None and since_restart + budget >= next_fault:
+                budget = max(1, next_fault - since_restart)
+                crash_after = True
+            before = vm.interp.instructions
+            with timer.phase("run"):
+                result = vm.run(max_instructions=budget)
+            executed = vm.interp.instructions - before
+            since_restart += executed
+            since_checkpoint += executed
+
+            if result.status in ("stopped", "exited"):
+                report.completed = True
+                report.exit_code = result.exit_code
+                report.stdout = vm.channels.stdout_bytes()
+                return report
+
+            if crash_after:
+                # The fault: the machine dies here, taking the VM and any
+                # work since the last upload with it.
+                report.faults_injected += 1
+                report.work_lost_instructions += since_checkpoint
+                vm = None
+                t0 = time.perf_counter()
+                vm, platform, prefill = self._restart(
+                    report, timer, ckpt_path, platform, config
+                )
+                report.restart_latencies.append(time.perf_counter() - t0)
+                report.platforms_visited.append(platform.name)
+                if prefill:
+                    vm.channels._stdout.write(prefill)
+                since_restart = 0
+                since_checkpoint = 0
+                next_fault = self._next_fault(report)
+                continue
+
+            self._checkpoint_and_upload(report, timer, vm, ckpt_path, platform)
+            since_checkpoint = 0
+        raise ReproError("HA supervision exceeded max_slices")
+
+    def _checkpoint_and_upload(
+        self,
+        report: HAReport,
+        timer: PhaseTimer,
+        vm: VirtualMachine,
+        ckpt_path: str,
+        platform: Platform,
+    ) -> None:
+        # Flush first (the coordinator's trick): the checkpoint carries an
+        # empty output buffer and the manifest the cumulative output, so a
+        # restart prefills the fresh sink instead of replaying writes.
+        vm.channels.stdout.flush()
+        stdout_so_far = vm.channels.stdout_bytes()
+        with timer.phase("checkpoint"):
+            vm.perform_checkpoint()
+        meta = {
+            "platform": platform.name,
+            "instructions": vm.interp.instructions,
+            "stdout_b64": base64.b64encode(stdout_so_far).decode(),
+        }
+        with timer.phase("upload"):
+            generation, stats = self.client.put_checkpoint_file(
+                self.vm_id, ckpt_path, meta=meta
+            )
+        report.checkpoints += 1
+        report.generations.append(generation)
+        report.upload_stats.merge(stats)
+
+    def _restart(
+        self,
+        report: HAReport,
+        timer: PhaseTimer,
+        ckpt_path: str,
+        crashed_platform: Platform,
+        config: VMConfig,
+    ) -> tuple[VirtualMachine, Platform, bytes]:
+        target = get_platform(
+            self._rng.choice(self._restart_candidates(crashed_platform))
+        )
+        try:
+            with timer.phase("restart_download"):
+                manifest = self.client.get_checkpoint_file(
+                    self.vm_id, ckpt_path
+                )
+        except StoreNotFoundError:
+            # Crashed before the first checkpoint landed: cold start.
+            report.cold_restarts += 1
+            vm = VirtualMachine(target, self.code, config)
+            return vm, target, b""
+        with timer.phase("restart_rebuild"):
+            vm, _stats = restart_vm(target, self.code, ckpt_path, config)
+        report.restarts += 1
+        prefill = base64.b64decode(manifest.meta.get("stdout_b64", ""))
+        return vm, target, prefill

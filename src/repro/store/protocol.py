@@ -1,0 +1,140 @@
+"""The store wire protocol: length-prefixed binary frames over TCP.
+
+Every message is one frame::
+
+    +------+---------+--------+-----------+---------------+
+    | RSTP | version | opcode | length u32| payload bytes |
+    +------+---------+--------+-----------+---------------+
+      4B       u8       u8      little-endian   <length>
+
+Requests carry an operation opcode; the server answers every request
+with exactly one ``OK`` or ``ERR`` frame.  Chunk payloads are raw
+(uncompressed) bytes prefixed by their 32-byte SHA-256, so both sides
+can verify content addresses on the wire; structured payloads (manifest
+operations, listings, stats) are UTF-8 JSON.
+
+Uploads and downloads stream one chunk per frame — neither side ever
+holds more than ``MAX_FRAME`` bytes of a checkpoint in a single message.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+from repro.errors import StoreProtocolError
+
+MAGIC = b"RSTP"
+VERSION = 1
+HEADER = struct.Struct("<4sBBI")
+
+#: Upper bound on one frame's payload; protects both sides from a
+#: corrupt or hostile length prefix.
+MAX_FRAME = 64 * 1024 * 1024
+
+# Request opcodes.
+OP_PING = 0x01
+OP_HAS_CHUNK = 0x02
+OP_PUT_CHUNK = 0x03
+OP_GET_CHUNK = 0x04
+OP_PUT_MANIFEST = 0x05
+OP_GET_MANIFEST = 0x06
+OP_LS = 0x07
+OP_GC = 0x08
+OP_STAT = 0x09
+OP_AUDIT = 0x0A
+OP_HAS_MANY = 0x0B
+
+# Response opcodes.
+OP_OK = 0x80
+OP_ERR = 0x81
+
+OP_NAMES = {
+    OP_PING: "PING",
+    OP_HAS_CHUNK: "HAS_CHUNK",
+    OP_PUT_CHUNK: "PUT_CHUNK",
+    OP_GET_CHUNK: "GET_CHUNK",
+    OP_PUT_MANIFEST: "PUT_MANIFEST",
+    OP_GET_MANIFEST: "GET_MANIFEST",
+    OP_LS: "LS",
+    OP_GC: "GC",
+    OP_STAT: "STAT",
+    OP_AUDIT: "AUDIT",
+    OP_HAS_MANY: "HAS_MANY",
+    OP_OK: "OK",
+    OP_ERR: "ERR",
+}
+
+
+def encode_frame(op: int, payload: bytes = b"") -> bytes:
+    """One complete frame, ready for ``sendall``."""
+    if len(payload) > MAX_FRAME:
+        raise StoreProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds MAX_FRAME"
+        )
+    return HEADER.pack(MAGIC, VERSION, op, len(payload)) + payload
+
+
+def send_frame(sock: socket.socket, op: int, payload: bytes = b"") -> None:
+    sock.sendall(encode_frame(op, payload))
+
+
+def _recv_exact(sock: socket.socket, n: int, allow_eof: bool = False) -> Optional[bytes]:
+    buf = bytearray()
+    while len(buf) < n:
+        try:
+            part = sock.recv(n - len(buf))
+        except ConnectionResetError:
+            part = b""
+        if not part:
+            if allow_eof and not buf:
+                return None
+            raise StoreProtocolError(
+                f"connection closed mid-frame ({len(buf)}/{n} bytes)"
+            )
+        buf += part
+    return bytes(buf)
+
+
+def recv_frame(
+    sock: socket.socket, allow_eof: bool = False
+) -> Optional[tuple[int, bytes]]:
+    """Read one frame; ``None`` on clean EOF (when ``allow_eof``)."""
+    head = _recv_exact(sock, HEADER.size, allow_eof=allow_eof)
+    if head is None:
+        return None
+    magic, version, op, length = HEADER.unpack(head)
+    if magic != MAGIC:
+        raise StoreProtocolError(f"bad frame magic {magic!r}")
+    if version != VERSION:
+        raise StoreProtocolError(f"unsupported protocol version {version}")
+    if length > MAX_FRAME:
+        raise StoreProtocolError(f"frame length {length} exceeds MAX_FRAME")
+    payload = _recv_exact(sock, length) if length else b""
+    return op, payload
+
+
+def encode_json(obj) -> bytes:
+    return json.dumps(obj, sort_keys=True).encode()
+
+
+def decode_json(payload: bytes):
+    try:
+        return json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as e:
+        raise StoreProtocolError(f"malformed JSON payload: {e}") from e
+
+
+def encode_chunk(key_raw: bytes, data: bytes) -> bytes:
+    """A chunk frame payload: 32-byte digest then the raw chunk bytes."""
+    if len(key_raw) != 32:
+        raise StoreProtocolError("chunk key must be a 32-byte SHA-256 digest")
+    return key_raw + data
+
+
+def decode_chunk(payload: bytes) -> tuple[bytes, bytes]:
+    if len(payload) < 32:
+        raise StoreProtocolError("chunk payload shorter than its digest")
+    return payload[:32], payload[32:]

@@ -1,0 +1,361 @@
+"""The checkpoint store daemon.
+
+A threaded TCP server exposing one :class:`~repro.store.chunkstore.ChunkStore`
+over the frame protocol in :mod:`repro.store.protocol`, in the spirit of
+"checkpointing as a service": workload VMs push periodic checkpoints
+here, restart supervisors pull the latest manifest from here.
+
+Replication
+-----------
+
+The daemon can be given N follower stores (other daemons' addresses).
+Replication is manifest-granular and self-healing: when a manifest
+commits locally, the primary asks each *live* follower which referenced
+chunks it is missing, streams exactly those over, then commits the same
+manifest (same generation number) there.  A follower that was down and
+comes back is therefore fully caught up by the next checkpoint that
+lands — content addressing makes re-sends idempotent and cheap.
+
+Liveness is tracked by heartbeats: a background thread pings every
+follower each ``heartbeat_interval`` seconds; ``heartbeat_misses``
+consecutive failures mark it dead (skipped by replication), one
+successful ping revives it.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import StoreError, StoreProtocolError
+from repro.store import protocol as P
+from repro.store.chunkstore import ChunkStore, Manifest, chunk_key
+
+
+@dataclass
+class FollowerState:
+    """Liveness bookkeeping for one replication target."""
+
+    host: str
+    port: int
+    alive: bool = True
+    consecutive_failures: int = 0
+    last_ok: float = 0.0
+    last_error: str = ""
+    manifests_replicated: int = 0
+    chunks_replicated: int = 0
+
+    @property
+    def addr(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def describe(self) -> dict:
+        return {
+            "addr": self.addr,
+            "alive": self.alive,
+            "consecutive_failures": self.consecutive_failures,
+            "last_ok": self.last_ok,
+            "last_error": self.last_error,
+            "manifests_replicated": self.manifests_replicated,
+            "chunks_replicated": self.chunks_replicated,
+        }
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One client connection: a sequence of request frames."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        server: "StoreServer" = self.server.store_server  # type: ignore[attr-defined]
+        sock = self.request
+        while not server._stopping.is_set():
+            try:
+                frame = P.recv_frame(sock, allow_eof=True)
+            except (StoreProtocolError, OSError):
+                return
+            if frame is None:
+                return
+            op, payload = frame
+            try:
+                rop, rpayload = server.dispatch(op, payload)
+            except StoreError as e:
+                rop = P.OP_ERR
+                rpayload = P.encode_json(
+                    {"error": type(e).__name__, "message": str(e)}
+                )
+            except Exception as e:  # never let a handler kill the daemon
+                rop = P.OP_ERR
+                rpayload = P.encode_json(
+                    {"error": "StoreError", "message": f"internal: {e}"}
+                )
+            try:
+                P.send_frame(sock, rop, rpayload)
+            except OSError:
+                return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class StoreServer:
+    """The daemon: a chunk store behind a TCP frame protocol."""
+
+    def __init__(
+        self,
+        store: ChunkStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replicas: list[tuple[str, int]] | None = None,
+        heartbeat_interval: float = 2.0,
+        heartbeat_misses: int = 3,
+    ) -> None:
+        self.store = store
+        self.followers = [FollowerState(h, p) for h, p in (replicas or [])]
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_misses = heartbeat_misses
+        self._tcp = _TCPServer((host, port), _Handler)
+        self._tcp.store_server = self  # type: ignore[attr-defined]
+        self._commit_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._serve_thread: threading.Thread | None = None
+        self._heartbeat_thread: threading.Thread | None = None
+        self._started = time.monotonic()
+        self.requests_served = 0
+        self.replication_failures = 0
+        self._dispatch = {
+            P.OP_PING: self._op_ping,
+            P.OP_HAS_CHUNK: self._op_has_chunk,
+            P.OP_HAS_MANY: self._op_has_many,
+            P.OP_PUT_CHUNK: self._op_put_chunk,
+            P.OP_GET_CHUNK: self._op_get_chunk,
+            P.OP_PUT_MANIFEST: self._op_put_manifest,
+            P.OP_GET_MANIFEST: self._op_get_manifest,
+            P.OP_LS: self._op_ls,
+            P.OP_GC: self._op_gc,
+            P.OP_STAT: self._op_stat,
+            P.OP_AUDIT: self._op_audit,
+        }
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — port is concrete even if 0 was asked."""
+        return self._tcp.server_address[:2]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Serve in background threads; returns the bound address."""
+        self._serve_thread = threading.Thread(
+            target=self._tcp.serve_forever, name="store-server", daemon=True
+        )
+        self._serve_thread.start()
+        if self.followers:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop, name="store-heartbeat", daemon=True
+            )
+            self._heartbeat_thread.start()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Blocking variant of :meth:`start` (the CLI daemon loop)."""
+        if self.followers:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop, name="store-heartbeat", daemon=True
+            )
+            self._heartbeat_thread.start()
+        try:
+            self._tcp.serve_forever()
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        self._stopping.set()
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5)
+            self._serve_thread = None
+
+    # -- request dispatch --------------------------------------------------
+
+    def dispatch(self, op: int, payload: bytes) -> tuple[int, bytes]:
+        handler = self._dispatch.get(op)
+        if handler is None:
+            raise StoreProtocolError(f"unknown opcode 0x{op:02x}")
+        self.requests_served += 1
+        return handler(payload)
+
+    def _op_ping(self, _payload: bytes) -> tuple[int, bytes]:
+        return P.OP_OK, b"pong"
+
+    @staticmethod
+    def _digest(payload: bytes) -> str:
+        if len(payload) != 32:
+            raise StoreProtocolError("expected a 32-byte chunk digest")
+        return payload.hex()
+
+    def _op_has_chunk(self, payload: bytes) -> tuple[int, bytes]:
+        key = self._digest(payload)
+        return P.OP_OK, bytes([1 if self.store.has_object(key) else 0])
+
+    def _op_has_many(self, payload: bytes) -> tuple[int, bytes]:
+        if len(payload) % 32:
+            raise StoreProtocolError("HAS_MANY payload is not whole digests")
+        out = bytearray()
+        for i in range(0, len(payload), 32):
+            key = payload[i : i + 32].hex()
+            out.append(1 if self.store.has_object(key) else 0)
+        return P.OP_OK, bytes(out)
+
+    def _op_put_chunk(self, payload: bytes) -> tuple[int, bytes]:
+        key_raw, data = P.decode_chunk(payload)
+        if chunk_key(data) != key_raw.hex():
+            raise StoreProtocolError(
+                "chunk content does not match its declared digest"
+            )
+        _, was_new = self.store.put_object(data)
+        return P.OP_OK, bytes([1 if was_new else 0])
+
+    def _op_get_chunk(self, payload: bytes) -> tuple[int, bytes]:
+        key = self._digest(payload)
+        data = self.store.get_object(key)
+        return P.OP_OK, P.encode_chunk(payload, data)
+
+    def _op_put_manifest(self, payload: bytes) -> tuple[int, bytes]:
+        req = P.decode_json(payload)
+        try:
+            vm_id = req["vm_id"]
+            chunks = list(req["chunks"])
+            payload_len = int(req["payload_len"])
+            payload_sha256 = req["payload_sha256"]
+        except (KeyError, TypeError, ValueError) as e:
+            raise StoreProtocolError(f"malformed PUT_MANIFEST: {e}") from e
+        with self._commit_lock:
+            manifest = self.store.commit_manifest(
+                vm_id,
+                chunks,
+                payload_len=payload_len,
+                payload_sha256=payload_sha256,
+                meta=req.get("meta"),
+                chunk_size=req.get("chunk_size"),
+                generation=req.get("generation"),
+            )
+        self._replicate(manifest)
+        return P.OP_OK, P.encode_json({"generation": manifest.generation})
+
+    def _op_get_manifest(self, payload: bytes) -> tuple[int, bytes]:
+        req = P.decode_json(payload)
+        manifest = self.store.read_manifest(
+            req["vm_id"], req.get("generation")
+        )
+        return P.OP_OK, manifest.to_json().encode()
+
+    def _op_ls(self, _payload: bytes) -> tuple[int, bytes]:
+        return P.OP_OK, P.encode_json(self.store.ls())
+
+    def _op_gc(self, _payload: bytes) -> tuple[int, bytes]:
+        return P.OP_OK, P.encode_json(self.store.gc())
+
+    def _op_stat(self, _payload: bytes) -> tuple[int, bytes]:
+        return P.OP_OK, P.encode_json(self.stats())
+
+    def _op_audit(self, payload: bytes) -> tuple[int, bytes]:
+        req = P.decode_json(payload) if payload else {}
+        return P.OP_OK, P.encode_json(self.store.audit(deep=bool(req.get("deep"))))
+
+    def stats(self) -> dict:
+        return {
+            "uptime": time.monotonic() - self._started,
+            "requests_served": self.requests_served,
+            "objects": sum(1 for _ in self.store.iter_objects()),
+            "vms": self.store.vm_ids(),
+            "followers": [f.describe() for f in self.followers],
+            "replication_failures": self.replication_failures,
+        }
+
+    # -- replication -------------------------------------------------------
+
+    def _follower_client(self, follower: FollowerState):
+        from repro.store.client import StoreClient
+
+        # Replication retries little: the heartbeat loop owns failure
+        # detection; a slow follower must not stall the primary's reply.
+        return StoreClient(
+            follower.host, follower.port,
+            connect_timeout=2.0, io_timeout=10.0, retries=1, backoff=0.05,
+        )
+
+    def _replicate(self, manifest: Manifest) -> None:
+        for follower in self.followers:
+            if not follower.alive:
+                continue
+            try:
+                with self._follower_client(follower) as client:
+                    # Ship every generation of this VM the follower lacks,
+                    # not just the one that triggered us — this is what
+                    # catches a recovered follower fully up.
+                    have = {
+                        g["generation"]
+                        for g in client.ls().get("vms", {}).get(
+                            manifest.vm_id, []
+                        )
+                    }
+                    for gen in self.store.generations(manifest.vm_id):
+                        if gen in have:
+                            continue
+                        self._replicate_one(
+                            client,
+                            follower,
+                            self.store.read_manifest(manifest.vm_id, gen),
+                        )
+            except StoreError as e:
+                self.replication_failures += 1
+                self._mark_failure(follower, e)
+
+    def _replicate_one(self, client, follower: FollowerState,
+                       manifest: Manifest) -> None:
+        keys = list(manifest.chunks)
+        present = client.has_many(keys)
+        for key, have in zip(keys, present):
+            if have:
+                continue
+            client.put_chunk(self.store.get_object(key))
+            follower.chunks_replicated += 1
+        client.put_manifest(
+            manifest.vm_id,
+            keys,
+            payload_len=manifest.payload_len,
+            payload_sha256=manifest.payload_sha256,
+            meta=manifest.meta,
+            chunk_size=manifest.chunk_size,
+            generation=manifest.generation,
+        )
+        follower.manifests_replicated += 1
+
+    # -- heartbeats --------------------------------------------------------
+
+    def _mark_failure(self, follower: FollowerState, error: Exception) -> None:
+        follower.consecutive_failures += 1
+        follower.last_error = str(error)
+        if follower.consecutive_failures >= self.heartbeat_misses:
+            follower.alive = False
+
+    def heartbeat_once(self) -> None:
+        """Ping every follower once, updating liveness."""
+        for follower in self.followers:
+            try:
+                with self._follower_client(follower) as client:
+                    client.ping()
+                follower.alive = True
+                follower.consecutive_failures = 0
+                follower.last_ok = time.time()
+                follower.last_error = ""
+            except StoreError as e:
+                self._mark_failure(follower, e)
+
+    def _heartbeat_loop(self) -> None:  # pragma: no cover - timing loop
+        while not self._stopping.wait(self.heartbeat_interval):
+            self.heartbeat_once()

@@ -76,3 +76,162 @@ class TestRunRestart:
         assert "rodrigo" in out
         assert "32-bit little-endian" in out
         assert "single-threaded" in out
+
+    def test_info_json_is_machine_readable(self, prog_path, tmp_path, capsys):
+        import json
+
+        ck = str(tmp_path / "j.hckp")
+        main(["run", prog_path, "--checkpoint", ck, "--mode", "blocking"])
+        capsys.readouterr()
+        assert main(["info", ck, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["platform"] == "rodrigo"
+        assert doc["word_bits"] == 32
+        assert doc["endianness"] == "little"
+        assert doc["path"] == ck
+        assert doc["heap"]["chunks"] >= 1
+        assert doc["threads"][0]["tid"] == 0
+        assert "problems" not in doc  # only --deep validates
+
+    def test_info_json_deep_validates(self, prog_path, tmp_path, capsys):
+        import json
+
+        ck = str(tmp_path / "jd.hckp")
+        main(["run", prog_path, "--checkpoint", ck, "--mode", "blocking"])
+        capsys.readouterr()
+        assert main(["info", ck, "--json", "--deep"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["problems"] == []
+        assert doc["blocks_by_class"]
+
+
+class TestRestoreErrorContext:
+    """Restore errors must say which file and what format it claims."""
+
+    def _checkpoint(self, prog_path, tmp_path):
+        ck = str(tmp_path / "ctx.hckp")
+        main(["run", prog_path, "--checkpoint", ck, "--mode", "blocking"])
+        return ck
+
+    def test_corrupt_file_error_names_path_and_version(
+        self, prog_path, tmp_path, capsys
+    ):
+        from repro.errors import CheckpointFormatError
+
+        ck = self._checkpoint(prog_path, tmp_path)
+        capsys.readouterr()
+        data = bytearray(open(ck, "rb").read())
+        data[len(data) // 2] ^= 0xFF  # body corruption; magic intact
+        open(ck, "wb").write(bytes(data))
+        with pytest.raises(CheckpointFormatError) as exc:
+            main(["restart", prog_path, ck])
+        msg = str(exc.value)
+        assert ck in msg
+        assert "format v" in msg
+        assert exc.value.path == ck
+
+    def test_garbage_file_reports_undetectable_version(
+        self, prog_path, tmp_path
+    ):
+        from repro.errors import RestartError
+
+        bad = str(tmp_path / "garbage.hckp")
+        open(bad, "wb").write(b"this is not a checkpoint at all")
+        with pytest.raises(RestartError) as exc:
+            main(["restart", prog_path, bad])
+        msg = str(exc.value)
+        assert bad in msg
+        assert "format version undetectable" in msg
+
+    def test_annotation_applied_once(self, prog_path, tmp_path):
+        from repro.checkpoint.format import annotate_restore_error
+        from repro.errors import RestartError
+
+        ck = self._checkpoint(prog_path, tmp_path)
+        err = annotate_restore_error(RestartError("boom"), ck)
+        again = annotate_restore_error(err, "/somewhere/else")
+        assert again is err
+        assert str(err).count(ck) == 1
+
+
+class TestStoreCLI:
+    @pytest.fixture
+    def service(self, tmp_path):
+        from repro.store import ChunkStore, StoreServer
+
+        server = StoreServer(ChunkStore(str(tmp_path / "store")))
+        host, port = server.start()
+        yield server, f"{host}:{port}"
+        server.stop()
+
+    @pytest.fixture
+    def ckpt(self, prog_path, tmp_path, capsys):
+        ck = str(tmp_path / "s.hckp")
+        main(["run", prog_path, "--checkpoint", ck, "--mode", "blocking"])
+        capsys.readouterr()
+        return ck
+
+    def test_put_get_ls_roundtrip(self, service, ckpt, tmp_path, capsys):
+        _, addr = service
+        assert main(["store", "put", "app", ckpt, "--addr", addr]) == 0
+        assert "gen 1" in capsys.readouterr().out
+        assert main(["store", "ls", "--addr", addr]) == 0
+        assert "app gen 1" in capsys.readouterr().out
+        out = str(tmp_path / "fetched.hckp")
+        assert main(["store", "get", "app", out, "--addr", addr]) == 0
+        assert "verified" in capsys.readouterr().out
+        assert open(out, "rb").read() == open(ckpt, "rb").read()
+        # the fetched checkpoint restarts fine on another platform
+        assert main(["restart", str(tmp_path / "prog.ml"), out,
+                     "--platform", "ultra64"]) == 0
+
+    def test_gc_stat_audit(self, service, ckpt, capsys):
+        import json
+
+        _, addr = service
+        main(["store", "put", "app", ckpt, "--addr", addr])
+        capsys.readouterr()
+        assert main(["store", "gc", "--addr", addr]) == 0
+        assert "removed 0" in capsys.readouterr().out
+        assert main(["store", "stat", "--addr", addr]) == 0
+        assert json.loads(capsys.readouterr().out)["objects"] > 0
+        assert main(["store", "audit", "--deep", "--addr", addr]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"]
+        assert report["checkpoints"]["app"]["platform"] == "rodrigo"
+
+    def test_bad_addr_rejected(self, ckpt):
+        with pytest.raises(SystemExit):
+            main(["store", "ls", "--addr", "nonsense"])
+
+
+class TestHACLI:
+    def test_ha_run_json(self, tmp_path, capsys):
+        import json
+
+        from repro.store import ChunkStore, StoreServer
+
+        prog = tmp_path / "work.ml"
+        prog.write_text("""
+            let i = ref 0;;
+            while !i < 20000 do i := !i + 1 done;;
+            print_string "n=";;
+            print_int !i
+        """)
+        server = StoreServer(ChunkStore(str(tmp_path / "store")))
+        host, port = server.start()
+        try:
+            rc = main(["ha", "run", str(prog), "--vm-id", "cli-ha",
+                       "--addr", f"{host}:{port}",
+                       "--checkpoint-every", "10000",
+                       "--fault-min", "15000", "--fault-max", "40000",
+                       "--max-faults", "1", "--json"])
+        finally:
+            server.stop()
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["completed"]
+        assert doc["stdout"] == "n=20000"
+        assert doc["faults_injected"] == 1
+        assert len(doc["platforms_visited"]) >= 2

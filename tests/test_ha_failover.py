@@ -1,0 +1,165 @@
+"""End-to-end HA: periodic store checkpoints, faults, hetero restart."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import VMConfig, VirtualMachine, compile_source, get_platform
+from repro.arch.platforms import PLATFORMS
+from repro.errors import ReproError
+from repro.store import ChunkStore, HASupervisor, StoreClient, StoreServer
+
+# Several checkpoint intervals of work; the total stays inside 31-bit
+# ints so migration across the 32-bit machines is lossless.
+WORKLOAD = """
+let limit = 40000;;
+let total = ref 0;;
+let i = ref 0;;
+while !i < limit do
+  i := !i + 1;
+  total := !total + !i
+done;;
+print_string "sum = ";;
+print_int !total
+"""
+
+
+@pytest.fixture(scope="module")
+def code():
+    return compile_source(WORKLOAD)
+
+
+@pytest.fixture(scope="module")
+def expected(code):
+    vm = VirtualMachine(
+        get_platform("rodrigo"), code, VMConfig(chkpt_state="disable")
+    )
+    return vm.run().stdout
+
+
+@pytest.fixture
+def service(tmp_path):
+    server = StoreServer(ChunkStore(str(tmp_path / "store")))
+    host, port = server.start()
+    client = StoreClient(host, port, backoff=0.01)
+    yield server, client
+    client.close()
+    server.stop()
+
+
+def hetero(a: str, b: str) -> bool:
+    pa, pb = PLATFORMS[a], PLATFORMS[b]
+    return (pa.arch.endianness is not pb.arch.endianness
+            and pa.arch.word_bytes != pb.arch.word_bytes)
+
+
+class TestHAFailover:
+    def test_end_to_end_bit_identical(self, code, expected, service):
+        """Acceptance: a VM checkpointing to a live store daemon is
+        killed mid-run, auto-restarted on a platform differing in both
+        endianness and word size, and still produces output
+        bit-identical to the uninterrupted run."""
+        _, client = service
+        supervisor = HASupervisor(
+            code, client, "ha-e2e",
+            start_platform="rodrigo",
+            checkpoint_every=20_000,
+            fault_budgets=(30_000, 80_000),
+            max_faults=3,
+            seed=7,
+        )
+        report = supervisor.run()
+        assert report.completed and report.exit_code == 0
+        assert report.stdout == expected
+        assert report.faults_injected == 3
+        assert report.restarts + report.cold_restarts == 3
+        # every warm handoff crossed endianness AND word size
+        hops = list(zip(report.platforms_visited, report.platforms_visited[1:]))
+        assert hops, "no restart happened"
+        for a, b in hops:
+            assert hetero(a, b), f"restart {a} -> {b} was not heterogeneous"
+        assert report.upload_stats.dedup_ratio > 2.0
+
+    def test_metrics_are_populated(self, code, service):
+        _, client = service
+        report = HASupervisor(
+            code, client, "ha-metrics",
+            checkpoint_every=15_000,
+            fault_budgets=(20_000, 50_000),
+            max_faults=2,
+            seed=11,
+        ).run()
+        assert report.checkpoints >= 5
+        assert report.generations == sorted(report.generations)
+        assert len(report.restart_latencies) == report.restarts
+        assert all(lat > 0 for lat in report.restart_latencies)
+        assert report.work_lost_instructions > 0
+        phases = report.phases.as_dict()["phases"]
+        for phase in ("run", "checkpoint", "upload", "restart_download",
+                      "restart_rebuild"):
+            assert phase in phases, f"phase {phase!r} missing"
+        # dedup across the periodic checkpoints of a slowly-moving heap
+        # (each migration re-encodes the heap natively, resetting the
+        # chunk population — so the bound here is looser than the
+        # single-platform one asserted elsewhere)
+        assert report.upload_stats.dedup_ratio > 1.5
+        doc = report.as_dict()
+        assert doc["completed"] and doc["dedup_ratio"] > 1.5
+
+    def test_fault_before_first_checkpoint_cold_starts(self, code, expected,
+                                                       service):
+        _, client = service
+        report = HASupervisor(
+            code, client, "ha-cold",
+            checkpoint_every=50_000,
+            fault_budgets=(1_000, 5_000),  # dies before any checkpoint
+            max_faults=1,
+            seed=3,
+        ).run()
+        assert report.cold_restarts == 1
+        assert report.completed
+        assert report.stdout == expected
+
+    def test_no_faults_runs_straight_through(self, code, expected, service):
+        _, client = service
+        report = HASupervisor(
+            code, client, "ha-quiet",
+            checkpoint_every=25_000,
+            max_faults=0,
+            seed=1,
+        ).run()
+        assert report.completed
+        assert report.faults_injected == 0
+        assert report.restarts == 0
+        assert report.stdout == expected
+        assert report.checkpoints > 0  # periodic pushes still happened
+
+    def test_checkpoints_land_in_store(self, code, service):
+        server, client = service
+        HASupervisor(
+            code, client, "ha-landed",
+            checkpoint_every=20_000,
+            max_faults=1,
+            fault_budgets=(30_000, 60_000),
+            seed=5,
+        ).run()
+        gens = server.store.generations("ha-landed")
+        assert gens, "no generation stored"
+        payload, manifest = server.store.get_checkpoint("ha-landed")
+        assert manifest.meta["platform"] in PLATFORMS
+        assert payload  # a verified, reassembled checkpoint
+
+    def test_rejects_nonpositive_interval(self, code, service):
+        _, client = service
+        with pytest.raises(ReproError):
+            HASupervisor(code, client, "bad", checkpoint_every=0)
+
+    def test_restart_candidates_force_heterogeneity(self, code, service):
+        _, client = service
+        sup = HASupervisor(code, client, "cand")
+        for name in PLATFORMS:
+            for cand in sup._restart_candidates(PLATFORMS[name]):
+                assert cand != name
+        # from 32LE rodrigo, only fully-different machines qualify
+        cands = sup._restart_candidates(PLATFORMS["rodrigo"])
+        assert all(hetero("rodrigo", c) for c in cands)

@@ -1,0 +1,311 @@
+"""Tests for the store daemon, client retry, replication, heartbeats."""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+
+import pytest
+
+from repro.errors import (
+    StoreConnectionError,
+    StoreNotFoundError,
+    StoreProtocolError,
+)
+from repro.store import ChunkStore, StoreClient, StoreServer
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = StoreServer(ChunkStore(str(tmp_path / "primary")))
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    host, port = server.address
+    with StoreClient(host, port, retries=2, backoff=0.01) as c:
+        yield c
+
+
+class DroppingProxy:
+    """A TCP proxy that kills its first N accepted connections, then
+    forwards transparently — the injected transport fault."""
+
+    def __init__(self, upstream: tuple[str, int], drop_first: int = 1) -> None:
+        self.upstream = upstream
+        self.drops_left = drop_first
+        self.connections = 0
+        self._listen = socket.socket()
+        self._listen.bind(("127.0.0.1", 0))
+        self._listen.listen(8)
+        self.address = self._listen.getsockname()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listen.accept()
+            except OSError:
+                return
+            self.connections += 1
+            if self.drops_left > 0:
+                self.drops_left -= 1
+                conn.close()  # the fault: connection dies immediately
+                continue
+            threading.Thread(
+                target=self._forward, args=(conn,), daemon=True
+            ).start()
+
+    def _forward(self, conn: socket.socket) -> None:
+        up = socket.create_connection(self.upstream)
+
+        def pump(src, dst):
+            try:
+                while True:
+                    data = src.recv(65536)
+                    if not data:
+                        break
+                    dst.sendall(data)
+            except OSError:
+                pass
+            finally:
+                for s in (src, dst):
+                    try:
+                        s.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+
+        t = threading.Thread(target=pump, args=(up, conn), daemon=True)
+        t.start()
+        pump(conn, up)
+
+    def close(self) -> None:
+        self._stop.set()
+        self._listen.close()
+
+
+class TestDaemonRoundtrip:
+    def test_ping(self, client):
+        assert client.ping()
+
+    def test_checkpoint_roundtrip(self, client):
+        payload = os.urandom(300_000)
+        gen, stats = client.put_checkpoint("vm", payload, meta={"p": "csd"})
+        assert gen == 1
+        assert stats.chunks_new == stats.chunks_total
+        back, manifest = client.get_checkpoint("vm")
+        assert back == payload
+        assert manifest.meta == {"p": "csd"}
+
+    def test_file_roundtrip_streams(self, client, tmp_path):
+        src = tmp_path / "in.bin"
+        src.write_bytes(os.urandom(200_000))
+        client.put_checkpoint_file("vm", str(src))
+        out = tmp_path / "out.bin"
+        client.get_checkpoint_file("vm", str(out))
+        assert out.read_bytes() == src.read_bytes()
+
+    def test_second_put_dedups(self, client):
+        payload = bytearray(os.urandom(256 * 1024))
+        client.put_checkpoint("vm", bytes(payload))
+        payload[1000:1100] = os.urandom(100)  # touch one chunk
+        gen, stats = client.put_checkpoint("vm", bytes(payload))
+        assert gen == 2
+        assert stats.chunks_new == 1
+        assert stats.dedup_ratio > 2.0
+
+    def test_empty_payload(self, client):
+        client.put_checkpoint("vm", b"")
+        back, _ = client.get_checkpoint("vm")
+        assert back == b""
+
+    def test_application_errors_not_retried(self, client):
+        with pytest.raises(StoreNotFoundError):
+            client.get_manifest("ghost")
+        assert client.retries_used == 0
+
+    def test_ls_gc_stat_audit(self, client):
+        client.put_checkpoint("vm", os.urandom(10_000))
+        assert "vm" in client.ls()["vms"]
+        assert client.gc()["removed"] == 0
+        stat = client.stat()
+        assert stat["requests_served"] > 0
+        assert client.audit()["ok"]
+
+    def test_many_clients_concurrently(self, server):
+        host, port = server.address
+        errors: list[Exception] = []
+
+        def worker(i: int) -> None:
+            try:
+                with StoreClient(host, port) as c:
+                    payload = bytes([i]) * 50_000
+                    c.put_checkpoint(f"vm{i}", payload)
+                    back, _ = c.get_checkpoint(f"vm{i}")
+                    assert back == payload
+            except Exception as e:  # surfaces in the main thread
+                errors.append(e)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+
+class TestClientRetry:
+    def test_survives_one_dropped_connection(self, server, tmp_path):
+        """Acceptance: a put_checkpoint_file succeeds although the first
+        connection is torn down by the network."""
+        proxy = DroppingProxy(server.address, drop_first=1)
+        try:
+            src = tmp_path / "ck.bin"
+            src.write_bytes(os.urandom(150_000))
+            with StoreClient(*proxy.address, retries=3, backoff=0.01) as c:
+                gen, _ = c.put_checkpoint_file("vm", str(src))
+                assert gen == 1
+                assert c.retries_used >= 1
+                back, _ = c.get_checkpoint("vm")
+            assert back == src.read_bytes()
+        finally:
+            proxy.close()
+
+    def test_retried_upload_is_idempotent(self, server, tmp_path):
+        """A retry that re-sends the whole upload must not mint a second
+        generation."""
+        proxy = DroppingProxy(server.address, drop_first=0)
+        try:
+            payload = os.urandom(100_000)
+            with StoreClient(*proxy.address, retries=3, backoff=0.01) as c:
+                c.put_checkpoint("vm", payload)
+                # simulate "reply lost, client retries the whole upload"
+                gen, stats = c.put_checkpoint("vm", payload)
+            assert gen == 1
+            assert stats.bytes_new == 0
+            assert server.store.generations("vm") == [1]
+        finally:
+            proxy.close()
+
+    def test_gives_up_after_bounded_retries(self):
+        dead = socket.socket()
+        dead.bind(("127.0.0.1", 0))  # bound but never accepting
+        try:
+            host, port = dead.getsockname()
+            c = StoreClient(host, port, connect_timeout=0.2,
+                            retries=2, backoff=0.01)
+            with pytest.raises(StoreConnectionError, match="3 attempt"):
+                c.ping()
+        finally:
+            dead.close()
+
+    def test_garbage_response_raises_protocol_error(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+
+        def answer_garbage():
+            conn, _ = listener.accept()
+            conn.recv(65536)
+            conn.sendall(b"HTTP/1.1 200 OK\r\n\r\n")
+            conn.close()
+
+        t = threading.Thread(target=answer_garbage, daemon=True)
+        t.start()
+        try:
+            host, port = listener.getsockname()
+            c = StoreClient(host, port, retries=0, io_timeout=2.0)
+            with pytest.raises((StoreProtocolError, StoreConnectionError)):
+                c.ping()
+        finally:
+            listener.close()
+
+
+class TestReplication:
+    def _pair(self, tmp_path):
+        follower = StoreServer(ChunkStore(str(tmp_path / "follower")))
+        follower.start()
+        primary = StoreServer(
+            ChunkStore(str(tmp_path / "primary")),
+            replicas=[follower.address],
+            heartbeat_interval=0.05,
+        )
+        primary.start()
+        return primary, follower
+
+    def test_manifest_and_chunks_reach_follower(self, tmp_path):
+        primary, follower = self._pair(tmp_path)
+        try:
+            payload = os.urandom(200_000)
+            with StoreClient(*primary.address) as c:
+                gen, _ = c.put_checkpoint("vm", payload)
+            back, m = follower.store.get_checkpoint("vm")
+            assert back == payload
+            assert m.generation == gen
+            assert primary.followers[0].manifests_replicated == 1
+        finally:
+            primary.stop()
+            follower.stop()
+
+    def test_recovered_follower_catches_up(self, tmp_path):
+        """Self-healing: a follower that was down during generation 1
+        holds generations 1 *and* 2 after the next checkpoint lands."""
+        primary, follower = self._pair(tmp_path)
+        try:
+            follower.stop()  # the outage
+            base = os.urandom(150_000)
+            with StoreClient(*primary.address) as c:
+                c.put_checkpoint("vm", base)
+                assert primary.replication_failures >= 1
+
+                # follower comes back on the same address
+                follower2 = StoreServer(
+                    ChunkStore(str(tmp_path / "follower")),
+                    port=follower.address[1],
+                )
+                follower2.start()
+                primary.heartbeat_once()  # liveness recovers
+                assert primary.followers[0].alive
+
+                c.put_checkpoint("vm", base + os.urandom(10_000))
+            assert follower2.store.generations("vm") == [1, 2]
+            back, _ = follower2.store.get_checkpoint("vm", generation=1)
+            assert back == base
+            follower2.stop()
+        finally:
+            primary.stop()
+
+    def test_heartbeat_marks_dead_follower(self, tmp_path):
+        primary, follower = self._pair(tmp_path)
+        try:
+            follower.stop()
+            for _ in range(primary.heartbeat_misses):
+                primary.heartbeat_once()
+            state = primary.followers[0]
+            assert not state.alive
+            assert state.consecutive_failures >= primary.heartbeat_misses
+            # replication now skips it without raising
+            with StoreClient(*primary.address) as c:
+                gen, _ = c.put_checkpoint("vm", b"x" * 1000)
+            assert gen == 1
+        finally:
+            primary.stop()
+
+    def test_follower_state_in_stats(self, tmp_path):
+        primary, follower = self._pair(tmp_path)
+        try:
+            with StoreClient(*primary.address) as c:
+                c.put_checkpoint("vm", b"y" * 1000)
+                stat = c.stat()
+            (f,) = stat["followers"]
+            assert f["alive"] and f["manifests_replicated"] == 1
+        finally:
+            primary.stop()
+            follower.stop()
