@@ -17,35 +17,60 @@
   the paper compares against.
 """
 
+from repro.checkpoint.commit import (
+    COMMIT_POINTS,
+    CommitHooks,
+    atomic_commit,
+    generation_chain,
+    recover_commit,
+)
 from repro.checkpoint.format import (
     CheckpointHeader,
     AreaRecord,
+    SectionEntry,
     ThreadRecord,
     RegisterRecord,
     VMSnapshot,
     read_checkpoint,
+    read_section_table,
     CHECKPOINT_MAGIC,
     CHECKPOINT_MAGIC_V1,
     CHECKPOINT_MAGIC_V2,
+    CHECKPOINT_MAGIC_V3,
 )
 from repro.checkpoint.writer import CheckpointWriter, CheckpointStats, build_snapshot
-from repro.checkpoint.reader import restart_vm, RestartStats
+from repro.checkpoint.reader import (
+    RestartStats,
+    restart_vm,
+    restart_vm_with_fallback,
+)
+from repro.checkpoint.fsck import fsck_checkpoint
 from repro.checkpoint.homogeneous import HomogeneousCheckpointer
 
 __all__ = [
     "CheckpointHeader",
     "AreaRecord",
+    "SectionEntry",
     "ThreadRecord",
     "RegisterRecord",
     "VMSnapshot",
     "read_checkpoint",
+    "read_section_table",
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_MAGIC_V1",
     "CHECKPOINT_MAGIC_V2",
+    "CHECKPOINT_MAGIC_V3",
+    "COMMIT_POINTS",
+    "CommitHooks",
+    "atomic_commit",
+    "generation_chain",
+    "recover_commit",
     "CheckpointWriter",
     "CheckpointStats",
     "build_snapshot",
     "restart_vm",
+    "restart_vm_with_fallback",
+    "fsck_checkpoint",
     "RestartStats",
     "HomogeneousCheckpointer",
 ]

@@ -22,6 +22,11 @@ Layout (sections in the order of the paper's §4.1 steps 5-13):
 10. per-thread records: registers (paper step 7), scheduling state and
     the used stack region (paper steps 10-11)
 11. channel records (paper step 12)
+11b. integrity trailer (format v3 only): a section table naming every
+    body section with its byte extent and CRC32, plus a SHA-256 of the
+    whole body — so a reader can verify section-at-a-time, name the
+    exact damaged section on a mismatch, and ``repro fsck`` can repair
+    just the damaged byte range from a store replica
 12. end signature + CRC32 of everything before it (paper step 13)
 
 Framing integers (counts, lengths) are fixed little-endian; *VM data
@@ -32,6 +37,7 @@ prescribes — conversion happens only at restart, and only if needed.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import struct
 import zlib
@@ -42,15 +48,23 @@ import numpy as np
 
 from repro.arch.architecture import Architecture, Endianness
 from repro.channels.manager import ChannelRecord
-from repro.errors import CheckpointFormatError
+from repro.errors import CheckpointFormatError, CheckpointIntegrityError
+from repro.metrics import INTEGRITY
 
 CHECKPOINT_MAGIC_V1 = b"HCKP\x01\x00"
 CHECKPOINT_MAGIC_V2 = b"HCKP\x02\x00"
-#: The magic current writers emit (format v2: optional block-extent index).
-CHECKPOINT_MAGIC = CHECKPOINT_MAGIC_V2
+CHECKPOINT_MAGIC_V3 = b"HCKP\x03\x00"
+#: The magic current writers emit (format v3: per-section CRCs + trailer).
+CHECKPOINT_MAGIC = CHECKPOINT_MAGIC_V3
 CHECKPOINT_END = b"HCKPEND!"
+#: Leads the v3 integrity trailer (section table + whole-body SHA-256).
+TRAILER_MAGIC = b"HCKPTBL3"
 
-_MAGIC_VERSIONS = {CHECKPOINT_MAGIC_V1: 1, CHECKPOINT_MAGIC_V2: 2}
+_MAGIC_VERSIONS = {
+    CHECKPOINT_MAGIC_V1: 1,
+    CHECKPOINT_MAGIC_V2: 2,
+    CHECKPOINT_MAGIC_V3: 3,
+}
 
 #: Block classes recorded in the v2 block-extent index.  They partition
 #: blocks by how restart must treat the payload: FREE blocks carry a
@@ -68,6 +82,20 @@ CLASS_OPAQUE = 4
 # ---------------------------------------------------------------------------
 # Records
 # ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SectionEntry:
+    """One row of the v3 section table: a named body byte range + CRC."""
+
+    name: str
+    offset: int
+    length: int
+    crc32: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
 
 
 @dataclass(frozen=True)
@@ -121,7 +149,7 @@ class CheckpointHeader:
     current_tid: int
     code_digest: bytes
     code_len: int
-    format_version: int = 2
+    format_version: int = 3
 
     @property
     def arch(self) -> Architecture:
@@ -153,6 +181,8 @@ class VMSnapshot:
     #: per heap chunk (uint32 header word-indices, uint8 CLASS_* codes),
     #: or None when the file carries no index (v1, or scalar writer).
     chunk_index: Optional[list[tuple[np.ndarray, np.ndarray]]] = None
+    #: The verified v3 section table (None for v1/v2 files).
+    sections: Optional[list[SectionEntry]] = None
 
     @property
     def arch(self) -> Architecture:
@@ -171,6 +201,25 @@ class SectionWriter:
         self.arch = arch
         self._dtype = np.dtype(arch.numpy_dtype)
         self.buf = io.BytesIO()
+        #: ``(name, start_offset)`` marks; each section runs to the next
+        #: mark (the last to the end of the body).
+        self.section_marks: list[tuple[str, int]] = []
+
+    def begin_section(self, name: str) -> None:
+        """Mark the start of a named section at the current offset."""
+        self.section_marks.append((name, self.buf.tell()))
+
+    def section_extents(self, body_len: int) -> list[tuple[str, int, int]]:
+        """``(name, offset, length)`` per section, covering the body."""
+        out = []
+        for i, (name, start) in enumerate(self.section_marks):
+            end = (
+                self.section_marks[i + 1][1]
+                if i + 1 < len(self.section_marks)
+                else body_len
+            )
+            out.append((name, start, end - start))
+        return out
 
     def u8(self, v: int) -> None:
         self.buf.write(struct.pack("<B", v))
@@ -233,6 +282,11 @@ class SectionReader:
         self.off = 0
         self.arch = arch
         self._dtype = np.dtype(arch.numpy_dtype) if arch else None
+        #: The section the parser is currently inside, for error reports.
+        self.section = "header"
+
+    def begin(self, name: str) -> None:
+        self.section = name
 
     def set_arch(self, arch: Architecture) -> None:
         self.arch = arch
@@ -240,7 +294,13 @@ class SectionReader:
 
     def _take(self, n: int) -> bytes:
         if self.off + n > len(self.data):
-            raise CheckpointFormatError("truncated checkpoint file")
+            raise CheckpointFormatError(
+                f"truncated checkpoint file: section '{self.section}' "
+                f"needs {n} byte(s) at offset {self.off} but only "
+                f"{len(self.data) - self.off} remain",
+                section=self.section,
+                offset=self.off,
+            )
         out = self.data[self.off : self.off + n]
         self.off += n
         return out
@@ -324,6 +384,32 @@ def _decode_chunk_index(r: SectionReader, n_chunks: int):
     return index
 
 
+def _encode_integrity_trailer(view, extents) -> bytes:
+    """The v3 integrity trailer for a complete body.
+
+    ``view`` may be a ``bytes`` or ``memoryview`` of the body;
+    ``extents`` is ``SectionWriter.section_extents`` output.  Layout:
+    trailer magic, u32 section count, per section (lp-str name, u64
+    offset, u64 length, u32 CRC32), 32 raw SHA-256 bytes of the body,
+    and finally a u32 byte length of everything from the trailer magic
+    through the SHA — so a reader can locate the trailer from the end
+    of the file without parsing the body first.
+    """
+    parts = [TRAILER_MAGIC, struct.pack("<I", len(extents))]
+    for name, off, length in extents:
+        raw = name.encode()
+        parts.append(struct.pack("<I", len(raw)) + raw)
+        parts.append(
+            struct.pack(
+                "<QQI", off, length,
+                zlib.crc32(view[off : off + length]) & 0xFFFFFFFF,
+            )
+        )
+    parts.append(hashlib.sha256(view).digest())
+    blob = b"".join(parts)
+    return blob + struct.pack("<I", len(blob))
+
+
 def serialize_snapshot(snap: VMSnapshot) -> bytes:
     """Serialize a snapshot into the on-disk checkpoint format.
 
@@ -333,6 +419,8 @@ def serialize_snapshot(snap: VMSnapshot) -> bytes:
     """
     w = _write_snapshot_body(snap)
     body = w.getvalue()
+    if snap.header.format_version >= 3:
+        body += _encode_integrity_trailer(body, w.section_extents(len(body)))
     crc = zlib.crc32(body) & 0xFFFFFFFF
     return body + CHECKPOINT_END + struct.pack("<I", crc)
 
@@ -340,11 +428,18 @@ def serialize_snapshot(snap: VMSnapshot) -> bytes:
 def serialize_snapshot_writer(snap: VMSnapshot) -> "SectionWriter":
     """Serialize a snapshot; returns the filled :class:`SectionWriter`.
 
-    The vectorized tail: the CRC runs over the live buffer view and the
+    The vectorized tail: the CRCs run over the live buffer view and the
     trailer is appended in place, so callers streaming straight to a
     file (``w.buf.getbuffer()``) never copy the multi-megabyte body.
     """
     w = _write_snapshot_body(snap)
+    if snap.header.format_version >= 3:
+        body_len = w.buf.tell()
+        with w.buf.getbuffer() as view:
+            trailer = _encode_integrity_trailer(
+                view, w.section_extents(body_len)
+            )
+        w.raw(trailer)
     with w.buf.getbuffer() as view:
         crc = zlib.crc32(view) & 0xFFFFFFFF
     w.raw(CHECKPOINT_END + struct.pack("<I", crc))
@@ -357,10 +452,13 @@ def _write_snapshot_body(snap: VMSnapshot) -> "SectionWriter":
     w = SectionWriter(arch)
     h = snap.header
     version = h.format_version
+    w.begin_section("header")
     if version == 1:
         w.raw(CHECKPOINT_MAGIC_V1)
     elif version == 2:
         w.raw(CHECKPOINT_MAGIC_V2)
+    elif version == 3:
+        w.raw(CHECKPOINT_MAGIC_V3)
     else:
         raise CheckpointFormatError(f"cannot write format version {version}")
     # Architecture marker (paper step 5): word size then native "one".
@@ -373,6 +471,7 @@ def _write_snapshot_body(snap: VMSnapshot) -> "SectionWriter":
     w.bytes_lp(h.code_digest)
     w.u32(h.code_len)
     # Boundaries (paper step 6).
+    w.begin_section("boundaries")
     w.u32(len(snap.boundaries))
     for area in snap.boundaries:
         w.str_lp(area.kind)
@@ -380,16 +479,19 @@ def _write_snapshot_body(snap: VMSnapshot) -> "SectionWriter":
         w.word(area.base)
         w.u64(area.n_words)
     # VM globals (paper step 9).
+    w.begin_section("globals")
     w.word(snap.freelist_head)
     w.word(snap.global_data)
     w.u64(snap.allocated_words)
     # Heap (paper step 8).
+    w.begin_section("heap")
     w.u32(len(snap.heap_chunks))
     for base, words in snap.heap_chunks:
         w.word(base)
         w.words(words)
     # Block-extent index (format v2; optional).
     if version >= 2:
+        w.begin_section("index")
         if snap.chunk_index is not None and len(snap.chunk_index) != len(
             snap.heap_chunks
         ):
@@ -400,13 +502,16 @@ def _write_snapshot_body(snap: VMSnapshot) -> "SectionWriter":
         if snap.chunk_index is not None:
             _encode_chunk_index(w, snap.chunk_index)
     # Atom table (paper step 9).
+    w.begin_section("atoms")
     w.words(snap.atom_words)
     # C globals.
+    w.begin_section("cglobals")
     w.words(snap.cglobal_words)
     w.u32(len(snap.cglobal_roots))
     for idx in snap.cglobal_roots:
         w.u32(idx)
     # Threads (paper steps 7, 10, 11).
+    w.begin_section("threads")
     w.u32(len(snap.threads))
     for t in snap.threads:
         w.u32(t.tid)
@@ -426,6 +531,7 @@ def _write_snapshot_body(snap: VMSnapshot) -> "SectionWriter":
         w.u64(t.capacity_words)
         w.words(t.stack_words)
     # Channels (paper step 12).
+    w.begin_section("channels")
     w.u32(len(snap.channels))
     for ch in snap.channels:
         w.u32(ch.cid)
@@ -472,6 +578,9 @@ def annotate_restore_error(exc: Exception, path: str) -> Exception:
         else "format version undetectable"
     )
     err = type(exc)(f"{path}: {exc} ({vnote})")
+    for attr in ("section", "offset", "length", "expected", "actual"):
+        if hasattr(exc, attr):
+            setattr(err, attr, getattr(exc, attr))
     err.path = path  # type: ignore[attr-defined]
     return err
 
@@ -492,25 +601,236 @@ def read_checkpoint(path: str, raw_arrays: bool = False) -> VMSnapshot:
     try:
         return _parse_checkpoint(data, raw_arrays)
     except CheckpointFormatError as e:
+        INTEGRITY.integrity_failures += 1
         raise annotate_restore_error(e, path) from e
 
 
 def _parse_checkpoint(data: bytes, raw_arrays: bool = False) -> VMSnapshot:
     if len(data) < len(CHECKPOINT_MAGIC) + len(CHECKPOINT_END) + 4:
-        raise CheckpointFormatError("checkpoint file too small")
-    body, trailer = data[:-12], data[-12:]
-    if trailer[:8] != CHECKPOINT_END:
         raise CheckpointFormatError(
-            "missing end signature: the checkpoint was not committed"
+            f"checkpoint file too small ({len(data)} byte(s)): truncated "
+            f"in section 'header'",
+            section="header",
+            offset=len(data),
         )
-    (crc,) = struct.unpack("<I", trailer[8:])
-    if zlib.crc32(body) & 0xFFFFFFFF != crc:
-        raise CheckpointFormatError("checkpoint CRC mismatch (corrupt file)")
-    r = SectionReader(body)
+    payload, end = data[:-12], data[-12:]
+    if end[:8] != CHECKPOINT_END:
+        _raise_truncation(data)
+    (crc,) = struct.unpack("<I", end[8:])
+    version = _MAGIC_VERSIONS.get(data[: len(CHECKPOINT_MAGIC)])
+    sections: Optional[list[SectionEntry]] = None
+    if version is not None and version >= 3:
+        body, sections = _verify_v3_payload(payload, crc)
+    else:
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise CheckpointIntegrityError(
+                "checkpoint CRC mismatch (corrupt file)",
+                section="file",
+                offset=0,
+                length=len(payload),
+                expected=crc,
+                actual=zlib.crc32(payload) & 0xFFFFFFFF,
+            )
+        body = payload
+    snap = _parse_body(SectionReader(body), raw_arrays)
+    snap.sections = sections
+    return snap
+
+
+def _raise_truncation(data: bytes) -> None:
+    """Diagnose a file with no end signature: name where the data ends.
+
+    A tolerant body parse locates the section and byte offset at which
+    the data runs out, so a torn write is reported as *where* it tore
+    instead of a bare "not committed".
+    """
+    section, offset = _locate_parse_end(data)
+    raise CheckpointFormatError(
+        f"missing end signature: the checkpoint was not committed or was "
+        f"truncated (data ends in section '{section}' at byte offset "
+        f"{offset})",
+        section=section,
+        offset=offset,
+    )
+
+
+def _locate_parse_end(data: bytes) -> tuple[str, int]:
+    r = SectionReader(data)
+    try:
+        _parse_body(r, raw_arrays=False)
+    except CheckpointFormatError as e:
+        return e.section or r.section, e.offset if e.offset is not None else r.off
+    except Exception:  # pragma: no cover - defensive; _parse_body wraps
+        return r.section, r.off
+    # The whole body parsed: the cut lies in the trailer region.
+    return "trailer", r.off
+
+
+def _verify_v3_payload(
+    payload: bytes, end_crc: int
+) -> tuple[bytes, list[SectionEntry]]:
+    """Locate and check the v3 integrity trailer; verify the body.
+
+    Verification order: per-section CRC32s first (cheap, and a mismatch
+    names the exact damaged section for fsck), then the whole-body
+    SHA-256, then the end-of-file CRC that also covers the trailer
+    bytes themselves.
+    """
+    min_trailer = len(TRAILER_MAGIC) + 4 + 32
+    if len(payload) < min_trailer + 4:
+        raise CheckpointIntegrityError(
+            "v3 integrity trailer missing (file too small)",
+            section="trailer",
+            offset=len(payload),
+        )
+    (tlen,) = struct.unpack("<I", payload[-4:])
+    tstart = len(payload) - 4 - tlen
+    if (
+        tlen < min_trailer
+        or tstart < len(CHECKPOINT_MAGIC)
+        or payload[tstart : tstart + len(TRAILER_MAGIC)] != TRAILER_MAGIC
+    ):
+        raise CheckpointIntegrityError(
+            "v3 integrity trailer is missing or corrupt",
+            section="trailer",
+            offset=max(tstart, 0),
+            length=min(tlen + 4, len(payload)),
+        )
+    body = payload[:tstart]
+    tr = SectionReader(payload[tstart:-4])
+    tr.begin("trailer")
+    try:
+        tr._take(len(TRAILER_MAGIC))
+        n = tr.u32()
+        if n > 256:
+            raise CheckpointFormatError(
+                f"implausible section count {n}", section="trailer"
+            )
+        entries = []
+        for _ in range(n):
+            name = tr.str_lp()
+            off, length, crc32v = struct.unpack("<QQI", tr._take(20))
+            entries.append(SectionEntry(name, off, length, crc32v))
+        sha = tr._take(32)
+    except CheckpointFormatError as e:
+        raise CheckpointIntegrityError(
+            f"v3 section table unreadable: {e}",
+            section="trailer",
+            offset=tstart,
+            length=tlen + 4,
+        ) from e
+    # The table must tile the body exactly — gaps or overlaps would let
+    # corruption hide between sections.
+    pos = 0
+    for ent in entries:
+        if ent.offset != pos or ent.end > len(body):
+            raise CheckpointIntegrityError(
+                f"v3 section table does not tile the body (section "
+                f"'{ent.name}' claims bytes {ent.offset}..{ent.end})",
+                section="trailer",
+                offset=tstart,
+                length=tlen + 4,
+            )
+        pos = ent.end
+    if pos != len(body):
+        raise CheckpointIntegrityError(
+            f"v3 section table covers {pos} of {len(body)} body byte(s)",
+            section="trailer",
+            offset=tstart,
+            length=tlen + 4,
+        )
+    for ent in entries:
+        actual = zlib.crc32(payload[ent.offset : ent.end]) & 0xFFFFFFFF
+        if actual != ent.crc32:
+            raise CheckpointIntegrityError(
+                f"section '{ent.name}' CRC mismatch at bytes "
+                f"{ent.offset}..{ent.end} (expected {ent.crc32:#010x}, "
+                f"got {actual:#010x})",
+                section=ent.name,
+                offset=ent.offset,
+                length=ent.length,
+                expected=ent.crc32,
+                actual=actual,
+            )
+    actual_sha = hashlib.sha256(body).digest()
+    if actual_sha != sha:
+        raise CheckpointIntegrityError(
+            f"whole-file SHA-256 mismatch (expected {sha.hex()[:16]}..., "
+            f"got {actual_sha.hex()[:16]}...)",
+            section="file",
+            offset=0,
+            length=len(body),
+            expected=sha.hex(),
+            actual=actual_sha.hex(),
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != end_crc:
+        raise CheckpointIntegrityError(
+            "end-of-file CRC mismatch (trailer bytes corrupt)",
+            section="trailer",
+            offset=tstart,
+            length=tlen + 4,
+            expected=end_crc,
+            actual=zlib.crc32(payload) & 0xFFFFFFFF,
+        )
+    return body, entries
+
+
+def read_section_table(data: bytes) -> Optional[list[SectionEntry]]:
+    """Best-effort section table of a v3 file's bytes (None otherwise).
+
+    Used by fsck and the fault injectors to locate section boundaries
+    without requiring the file to verify — tolerates a damaged body but
+    returns None when the trailer itself is unusable.
+    """
+    if _MAGIC_VERSIONS.get(data[: len(CHECKPOINT_MAGIC)], 0) < 3:
+        return None
+    if len(data) < 12 or data[-12:-4] != CHECKPOINT_END:
+        return None
+    try:
+        payload = data[:-12]
+        (tlen,) = struct.unpack("<I", payload[-4:])
+        tstart = len(payload) - 4 - tlen
+        if tstart < 0 or payload[tstart : tstart + 8] != TRAILER_MAGIC:
+            return None
+        tr = SectionReader(payload[tstart:-4])
+        tr.begin("trailer")
+        tr._take(len(TRAILER_MAGIC))
+        entries = []
+        for _ in range(tr.u32()):
+            name = tr.str_lp()
+            off, length, crc32v = struct.unpack("<QQI", tr._take(20))
+            entries.append(SectionEntry(name, off, length, crc32v))
+        return entries
+    except (CheckpointFormatError, struct.error, UnicodeDecodeError):
+        return None
+
+
+def _parse_body(r: SectionReader, raw_arrays: bool = False) -> VMSnapshot:
+    try:
+        return _parse_body_sections(r, raw_arrays)
+    except CheckpointFormatError:
+        raise
+    except (ValueError, struct.error, UnicodeDecodeError, IndexError,
+            OverflowError) as e:
+        # Corrupt-but-CRC-passing data cannot normally get here; the
+        # tolerant truncation diagnosis can.  Never leak a raw
+        # struct.error/IndexError to callers.
+        raise CheckpointFormatError(
+            f"malformed checkpoint data in section '{r.section}' at byte "
+            f"offset {r.off}: {e}",
+            section=r.section,
+            offset=r.off,
+        ) from e
+
+
+def _parse_body_sections(r: SectionReader, raw_arrays: bool) -> VMSnapshot:
+    r.begin("header")
     magic = r._take(len(CHECKPOINT_MAGIC))
     version = _MAGIC_VERSIONS.get(magic)
     if version is None:
-        raise CheckpointFormatError("not a checkpoint file (bad magic)")
+        raise CheckpointFormatError(
+            "not a checkpoint file (bad magic)", section="header", offset=0
+        )
     # Architecture marker (paper §4.2 step 2): detect word size and
     # endianness from the saved constant one.
     word_bytes = r.u8()
@@ -543,15 +863,18 @@ def _parse_checkpoint(data: bytes, raw_arrays: bool = False) -> VMSnapshot:
         format_version=version,
     )
     boundaries = []
+    r.begin("boundaries")
     for _ in range(r.u32()):
         kind = r.str_lp()
         label = r.str_lp()
         base = r.word()
         n_words = r.u64()
         boundaries.append(AreaRecord(kind, label, base, n_words))
+    r.begin("globals")
     freelist_head = r.word()
     global_data = r.word()
     allocated_words = r.u64()
+    r.begin("heap")
     heap_chunks = []
     for _ in range(r.u32()):
         base = r.word()
@@ -559,12 +882,17 @@ def _parse_checkpoint(data: bytes, raw_arrays: bool = False) -> VMSnapshot:
             (base, r.words_array() if raw_arrays else r.words())
         )
     chunk_index = None
-    if version >= 2 and r.u8():
-        chunk_index = _decode_chunk_index(r, len(heap_chunks))
+    if version >= 2:
+        r.begin("index")
+        if r.u8():
+            chunk_index = _decode_chunk_index(r, len(heap_chunks))
+    r.begin("atoms")
     atom_words = r.words()
+    r.begin("cglobals")
     cglobal_words = r.words()
     cglobal_roots = [r.u32() for _ in range(r.u32())]
     threads = []
+    r.begin("threads")
     for _ in range(r.u32()):
         tid = r.u32()
         state = r.str_lp()
@@ -587,6 +915,7 @@ def _parse_checkpoint(data: bytes, raw_arrays: bool = False) -> VMSnapshot:
             )
         )
     channels = []
+    r.begin("channels")
     for _ in range(r.u32()):
         cid = r.u32()
         path = r.str_lp() if r.u8() else None

@@ -54,6 +54,9 @@ class InspectionReport:
     pointers_by_area: Counter = field(default_factory=Counter)
     stack_words: int = 0
     channels: int = 0
+    #: v3 section table (name, offset, length, crc32) as verified at
+    #: parse time; empty for v1/v2 files.
+    sections: list = field(default_factory=list)
     #: Human-readable problems; empty means the checkpoint validates.
     problems: list[str] = field(default_factory=list)
 
@@ -67,6 +70,8 @@ class InspectionReport:
             if self.has_block_index
             else "no block index"
         )
+        if self.sections:
+            index_note += f", integrity trailer ({len(self.sections)} sections verified)"
         lines = [
             f"format     : v{self.format_version}, {index_note}",
             f"platform   : {self.platform_name} "
@@ -120,6 +125,15 @@ def inspect_snapshot(snap: VMSnapshot) -> InspectionReport:
         thread_count=len(snap.threads),
         heap_chunks=len(snap.heap_chunks),
         channels=len(snap.channels),
+        sections=[
+            {
+                "name": s.name,
+                "offset": s.offset,
+                "length": s.length,
+                "crc32": f"{s.crc32:08x}",
+            }
+            for s in (snap.sections or [])
+        ],
     )
     arch = snap.arch
     headers = HeaderCodec(arch)
@@ -269,6 +283,16 @@ def describe_snapshot(snap: VMSnapshot) -> dict:
     return {
         "format_version": h.format_version,
         "has_block_index": snap.chunk_index is not None,
+        "integrity_verified": snap.sections is not None,
+        "sections": [
+            {
+                "name": s.name,
+                "offset": s.offset,
+                "length": s.length,
+                "crc32": f"{s.crc32:08x}",
+            }
+            for s in (snap.sections or [])
+        ],
         "platform": h.platform_name,
         "os": h.os_name,
         "word_bits": h.word_bytes * 8,

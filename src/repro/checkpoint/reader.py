@@ -35,6 +35,7 @@ import numpy as np
 from repro.arch.architecture import Endianness
 from repro.arch.platforms import Platform
 from repro.bytecode.image import CodeImage
+from repro.checkpoint.commit import generation_chain, recover_commit
 from repro.checkpoint.convert import ValueConverter
 from repro.checkpoint.format import (
     VMSnapshot,
@@ -43,6 +44,7 @@ from repro.checkpoint.format import (
 )
 from repro.checkpoint.relocate import AddressMapper
 from repro.errors import HeapExhausted, RestartError
+from repro.metrics import INTEGRITY
 from repro.memory.blocks import (
     Color,
     DOUBLE_TAG,
@@ -66,6 +68,9 @@ class RestartStats:
     converted_word_size: bool = False
     heap_words: int = 0
     dangling_pointers: int = 0
+    #: The file actually restored — differs from the requested path when
+    #: a fallback walked the generation chain past a damaged head.
+    restored_path: str = ""
 
     @property
     def total_seconds(self) -> float:
@@ -90,9 +95,62 @@ def restart_vm(
     the checkpoint path and its detected format version.
     """
     try:
-        return _restart_vm(platform, code, path, config, stdout, stdin)
+        vm, stats = _restart_vm(platform, code, path, config, stdout, stdin)
     except RestartError as e:
         raise annotate_restore_error(e, path) from e
+    stats.restored_path = path
+    return vm, stats
+
+
+def restart_vm_with_fallback(
+    platform: Platform,
+    code: CodeImage,
+    path: str,
+    config: Optional[VMConfig] = None,
+    stdout: Optional[BinaryIO] = None,
+    stdin: Optional[BinaryIO] = None,
+) -> tuple[VirtualMachine, RestartStats]:
+    """Restore from ``path``, degrading gracefully along its generations.
+
+    First resolves any commit a crash interrupted
+    (:func:`~repro.checkpoint.commit.recover_commit` rolls a complete
+    temp file forward, a torn one back), then tries ``path``,
+    ``path.1``, ``path.2``, ... in order, skipping generations that fail
+    verification or restore.  A restore that succeeds anywhere past the
+    head counts as a ``fallback_restore`` in the integrity metrics and
+    records which file won in ``stats.restored_path``.
+
+    Raises :class:`~repro.errors.RestartError` naming every generation
+    tried (with each one's failure) only when the whole chain is
+    exhausted.
+    """
+    recover_commit(path)
+    chain = generation_chain(path)
+    if not chain:
+        raise RestartError(f"no checkpoint generations exist at {path}")
+    failures: list[str] = []
+    first_error: Optional[RestartError] = None
+    for candidate in chain:
+        try:
+            vm, stats = restart_vm(
+                platform, code, candidate, config, stdout, stdin
+            )
+        except RestartError as e:
+            failures.append(f"{candidate}: {e}")
+            if first_error is None:
+                first_error = e
+            continue
+        if failures:
+            INTEGRITY.fallback_restores += 1
+        return vm, stats
+    if len(chain) == 1:
+        # Nothing to fall back to: surface the head's own (typed,
+        # annotated) error rather than wrapping it.
+        raise first_error
+    raise RestartError(
+        "all %d checkpoint generation(s) failed to restore:\n  %s"
+        % (len(chain), "\n  ".join(failures))
+    ) from first_error
 
 
 def _restart_vm(

@@ -27,7 +27,6 @@ The fourteen steps, mapped onto this implementation:
 from __future__ import annotations
 
 import array
-import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -35,6 +34,7 @@ from typing import Optional, TYPE_CHECKING
 
 import numpy as np
 
+from repro.checkpoint.commit import CommitHooks, atomic_commit
 from repro.checkpoint.format import (
     CLASS_DOUBLE,
     CLASS_FREE,
@@ -211,6 +211,7 @@ def build_snapshot(
             channels = vm.channels.snapshot()
 
         header = CheckpointHeader(
+            format_version=vm.config.chkpt_format,
             word_bytes=vm.platform.arch.word_bytes,
             endianness=vm.platform.arch.endianness,
             platform_name=vm.platform.name,
@@ -297,11 +298,21 @@ def _finalize_snapshot(snap: VMSnapshot) -> None:
     snap._chunk_positions = None  # type: ignore[attr-defined]
 
 
-def write_snapshot(snap: VMSnapshot, path: str, timer: PhaseTimer) -> int:
+def write_snapshot(
+    snap: VMSnapshot,
+    path: str,
+    timer: PhaseTimer,
+    *,
+    retain: int = 0,
+    hooks: Optional[CommitHooks] = None,
+) -> int:
     """Serialize and atomically commit a snapshot; returns file size.
 
-    The temporary-file-then-rename protocol guarantees a failure during
-    checkpointing leaves the previous checkpoint intact (paper §4.1).
+    The journal + temporary-file + rename protocol of
+    :func:`repro.checkpoint.commit.atomic_commit` guarantees a failure
+    at *any byte offset* during checkpointing leaves the previous
+    checkpoint (or generation chain, with ``retain > 0``) intact
+    (paper §4.1).
     """
     vectorized = getattr(snap, "_chunk_positions", None) is not None or (
         snap.chunk_index is not None
@@ -316,24 +327,13 @@ def write_snapshot(snap: VMSnapshot, path: str, timer: PhaseTimer) -> int:
             # its body copies intact (this is the baseline the
             # vectorized path is benchmarked against).
             view = serialize_snapshot(snap)
-    n_bytes = len(view)
-    tmp_path = path + ".tmp"
-    f = open(tmp_path, "wb")
     try:
-        with timer.phase("write"):
-            f.write(view)
-            f.flush()
+        n_bytes = atomic_commit(
+            path, view, retain=retain, hooks=hooks, timer=timer
+        )
+    finally:
         if vectorized:
             view.release()
-        # The durability barrier belongs to the atomic-commit step
-        # (paper step 13): the rename must not be reordered before the
-        # data blocks it commits.
-        with timer.phase("commit"):
-            os.fsync(f.fileno())
-    finally:
-        f.close()
-    with timer.phase("commit"):
-        os.replace(tmp_path, path)
     return n_bytes
 
 
@@ -360,6 +360,8 @@ class CheckpointWriter:
         mode = self._mode()
         stats = CheckpointStats(path=path, mode=mode)
         timer = stats.phases
+        retain = vm.config.chkpt_retain
+        hooks = vm.config.commit_hooks
         # Wait out any previous in-flight writer (one checkpoint at a time,
         # like the paper's single checkpoint file).
         vm.join_background_checkpoint()
@@ -369,14 +371,18 @@ class CheckpointWriter:
         stats.heap_words = getattr(snap, "_heap_words", 0)
 
         if mode == "blocking":
-            stats.file_bytes = write_snapshot(snap, path, timer)
+            stats.file_bytes = write_snapshot(
+                snap, path, timer, retain=retain, hooks=hooks
+            )
             stats.blocking_seconds = time.perf_counter() - t0
         else:
             stats.blocking_seconds = time.perf_counter() - t0
 
             def _writer() -> None:
                 try:
-                    stats.file_bytes = write_snapshot(snap, path, timer)
+                    stats.file_bytes = write_snapshot(
+                        snap, path, timer, retain=retain, hooks=hooks
+                    )
                 except Exception as exc:  # pragma: no cover - I/O failure
                     stats.file_bytes = -1
                     stats.error = exc  # type: ignore[attr-defined]

@@ -11,6 +11,8 @@ Commands::
     python -m repro restart prog.ml app.hckp --platform sp2148
     python -m repro platforms
     python -m repro info app.hckp [--json] [--deep]
+    python -m repro fsck app.hckp [--repair --addr host:port --vm-id myapp]
+    python -m repro faults plan|inject|fuzz ...
     python -m repro store serve --root /var/ckpt --port 7420
     python -m repro store put|get|ls|gc|stat|audit --addr host:port ...
     python -m repro ha run prog.ml --addr host:port --vm-id myapp
@@ -54,6 +56,10 @@ def _config_from(args: argparse.Namespace) -> VMConfig:
         cfg.chkpt_mode = args.mode
     if getattr(args, "no_vectorize", False):
         cfg.vectorize = False
+    if getattr(args, "format", None):
+        cfg.chkpt_format = int(args.format.lstrip("v"))
+    if getattr(args, "retain", None) is not None:
+        cfg.chkpt_retain = args.retain
     return cfg
 
 
@@ -81,8 +87,10 @@ def cmd_platforms(_args: argparse.Namespace) -> int:
 def cmd_info(args: argparse.Namespace) -> int:
     if args.json:
         from repro.checkpoint.inspect import describe_checkpoint
+        from repro.metrics import INTEGRITY
 
         desc = describe_checkpoint(args.checkpoint_file, deep=args.deep)
+        desc["integrity_counters"] = INTEGRITY.as_dict()
         print(json.dumps(desc, indent=2, sort_keys=True))
         return 0 if desc.get("ok", True) else 1
     snap = read_checkpoint(args.checkpoint_file)
@@ -94,6 +102,12 @@ def cmd_info(args: argparse.Namespace) -> int:
         n_blocks = sum(int(pos.size) for pos, _ in snap.chunk_index)
         index_note = f"block-extent index over {n_blocks} block(s)"
     print(f"  format   : v{h.format_version}, {index_note}")
+    if snap.sections:
+        print(f"  integrity: trailer verified "
+              f"({len(snap.sections)} section CRCs + SHA-256)")
+        for s in snap.sections:
+            print(f"    {s.name:<10s} bytes {s.offset:>8d}..{s.end:<8d} "
+                  f"crc32 {s.crc32:08x}")
     print(f"  taken on : {h.platform_name} ({h.word_bytes * 8}-bit "
           f"{h.endianness.value}-endian, {h.os_name})")
     print(f"  program  : {h.code_len} units, digest {h.code_digest.hex()[:16]}")
@@ -135,8 +149,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_restart(args: argparse.Namespace) -> int:
+    from repro.checkpoint.reader import restart_vm_with_fallback
+
     code = _load_code(args.source)
-    vm, stats = restart_vm(
+    restore = restart_vm if args.no_fallback else restart_vm_with_fallback
+    vm, stats = restore(
         get_platform(args.platform), code, args.checkpoint_file,
         _config_from(args),
     )
@@ -148,8 +165,110 @@ def cmd_restart(args: argparse.Namespace) -> int:
     print(f"[restarted on {args.platform}; converted: "
           f"{', '.join(conv) if conv else 'nothing'}; "
           f"{stats.total_seconds * 1e3:.1f} ms]", file=sys.stderr)
+    if stats.restored_path and stats.restored_path != args.checkpoint_file:
+        print(f"[fell back to previous generation {stats.restored_path}]",
+              file=sys.stderr)
     result = vm.run(max_instructions=args.max_instructions)
     return _finish(result)
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.checkpoint.fsck import (
+        ClientSource,
+        LocalStoreSource,
+        fsck_checkpoint,
+    )
+
+    source = None
+    client = None
+    if args.store_root:
+        from repro.store import ChunkStore
+
+        source = LocalStoreSource(ChunkStore(args.store_root))
+    elif args.repair:
+        from repro.store import StoreClient
+
+        host, port = _parse_addr(args.addr)
+        client = StoreClient(host, port, retries=args.retries)
+        source = ClientSource(client)
+    try:
+        report = fsck_checkpoint(
+            args.checkpoint_file,
+            repair=args.repair,
+            source=source,
+            vm_id=args.vm_id,
+            generation=args.generation,
+        )
+    finally:
+        if client is not None:
+            client.close()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        status = "OK" if report["ok"] else "DAMAGED"
+        print(f"{report['path']}: {status} (action: {report['action']})")
+        for p in report["problems"]:
+            print(f"  - {p.get('error', p)}")
+        if report["sections_repaired"]:
+            print(f"  repaired {report['sections_repaired']} section(s) "
+                  f"({report['chunks_fetched']} chunk(s) fetched)")
+    return 0 if report["ok"] else 1
+
+
+def cmd_faults_plan(args: argparse.Namespace) -> int:
+    from repro.checkpoint.format import read_section_table
+    from repro.faults import plan_mutations
+
+    with open(args.checkpoint_file, "rb") as f:
+        data = f.read()
+    plan = plan_mutations(
+        len(data), args.seed, args.count,
+        section_table=read_section_table(data),
+    )
+    for i, m in enumerate(plan):
+        print(f"{i:4d}  {m.describe()}")
+    return 0
+
+
+def cmd_faults_inject(args: argparse.Namespace) -> int:
+    from repro.checkpoint.format import read_section_table
+    from repro.faults import apply_mutation, plan_mutations
+
+    with open(args.checkpoint_file, "rb") as f:
+        data = f.read()
+    plan = plan_mutations(
+        len(data), args.seed, args.index + 1,
+        section_table=read_section_table(data),
+    )
+    m = plan[args.index]
+    out = args.output or args.checkpoint_file + ".corrupt"
+    with open(out, "wb") as f:
+        f.write(apply_mutation(data, m))
+    print(f"{out}: {m.describe()}")
+    return 0
+
+
+def cmd_faults_fuzz(args: argparse.Namespace) -> int:
+    from repro.faults.fuzz import fuzz_matrix
+
+    report = fuzz_matrix(
+        seed=args.seed,
+        mutations=args.mutations,
+        platforms=args.platforms.split(",") if args.platforms else None,
+        progress=lambda msg: print(f"[{msg}]", file=sys.stderr),
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        o = report["outcomes"]
+        print(f"corruption matrix: {report['mutations']} mutation(s) over "
+              f"{report['pairs']} platform pair(s)")
+        print(f"  detected + recovered : {o['detected_and_recovered']}")
+        print(f"  clean restores       : {o['clean_restore']}")
+        print(f"  invariant violations : {len(report['failures'])}")
+        for f in report["failures"]:
+            print(f"  FAIL {f['pair']}: {f['mutation']} -> {f['problem']}")
+    return 0 if report["ok"] else 1
 
 
 def _parse_addr(addr: str) -> tuple[str, int]:
@@ -298,6 +417,58 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the description as machine-readable JSON")
     i.set_defaults(fn=cmd_info)
 
+    fk = sub.add_parser(
+        "fsck", help="verify a checkpoint file; repair from a store replica")
+    fk.add_argument("checkpoint_file")
+    fk.add_argument("--repair", action="store_true",
+                    help="re-fetch damaged sections from the store")
+    fk.add_argument("--store-root", default=None,
+                    help="repair from a local store directory instead of "
+                         "a daemon")
+    fk.add_argument("--addr", default="127.0.0.1:7420", metavar="HOST:PORT",
+                    help="store daemon address (with --repair)")
+    fk.add_argument("--retries", type=int, default=3,
+                    help="transport retries per request")
+    fk.add_argument("--vm-id", default=None,
+                    help="store id holding the replica")
+    fk.add_argument("--generation", type=int, default=None,
+                    help="replica generation (default: latest)")
+    fk.add_argument("--json", action="store_true",
+                    help="emit the fsck report as JSON")
+    fk.set_defaults(fn=cmd_fsck)
+
+    fl = sub.add_parser(
+        "faults", help="deterministic corruption/crash fault injection")
+    flsub = fl.add_subparsers(dest="faults_command", required=True)
+
+    fp = flsub.add_parser("plan", help="print the seeded mutation plan "
+                                       "for a checkpoint file")
+    fp.add_argument("checkpoint_file")
+    fp.add_argument("--seed", type=int, default=2002)
+    fp.add_argument("--count", type=int, default=20)
+    fp.set_defaults(fn=cmd_faults_plan)
+
+    fi = flsub.add_parser("inject", help="apply one planned mutation")
+    fi.add_argument("checkpoint_file")
+    fi.add_argument("--seed", type=int, default=2002)
+    fi.add_argument("--index", type=int, default=0,
+                    help="which mutation of the plan to apply")
+    fi.add_argument("-o", "--output", default=None,
+                    help="output file (default: <file>.corrupt)")
+    fi.set_defaults(fn=cmd_faults_inject)
+
+    ff = flsub.add_parser(
+        "fuzz", help="run the corruption matrix: mutate checkpoints "
+                     "across platform pairs and check every restore "
+                     "detects or recovers")
+    ff.add_argument("--seed", type=int, default=2002)
+    ff.add_argument("--mutations", type=int, default=200)
+    ff.add_argument("--platforms", default=None,
+                    help="comma-separated platform names "
+                         "(default: one per architecture class)")
+    ff.add_argument("--json", action="store_true")
+    ff.set_defaults(fn=cmd_faults_fuzz)
+
     st = sub.add_parser("store", help="checkpoint store daemon and client")
     stsub = st.add_subparsers(dest="store_command", required=True)
 
@@ -384,6 +555,12 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--no-vectorize", action="store_true",
                         help="use the scalar reference C/R paths "
                              "(CHKPT_VECTORIZE=0)")
+        sp.add_argument("--format", choices=["v1", "v2", "v3", "1", "2", "3"],
+                        help="checkpoint format version to write "
+                             "(CHKPT_FORMAT; default v3)")
+        sp.add_argument("--retain", type=int, default=None, metavar="N",
+                        help="keep N previous checkpoint generations as "
+                             "path.1..path.N (CHKPT_RETAIN)")
         sp.add_argument("--max-instructions", type=int, default=None)
 
     r = sub.add_parser("run", help="run a program on a simulated platform")
@@ -394,6 +571,9 @@ def build_parser() -> argparse.ArgumentParser:
     rs = sub.add_parser("restart", help="restart a checkpoint")
     rs.add_argument("source")
     rs.add_argument("checkpoint_file")
+    rs.add_argument("--no-fallback", action="store_true",
+                    help="fail instead of walking the generation chain "
+                         "when the newest checkpoint is damaged")
     common(rs)
     rs.set_defaults(fn=cmd_restart)
 

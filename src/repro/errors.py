@@ -56,7 +56,47 @@ class RestartError(ReproError):
 
 
 class CheckpointFormatError(RestartError):
-    """The checkpoint file is corrupt or has an unknown format."""
+    """The checkpoint file is corrupt or has an unknown format.
+
+    Where the failure can be localized, ``section`` names the file
+    section and ``offset`` the byte offset at which it was detected.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        section: str | None = None,
+        offset: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.section = section
+        self.offset = offset
+
+
+class CheckpointIntegrityError(CheckpointFormatError):
+    """A checkpoint failed an integrity check (CRC or digest mismatch).
+
+    Subclasses :class:`CheckpointFormatError` so every existing corrupt-
+    file handler keeps working; carries the damaged ``section``, its
+    byte ``offset``, and the ``expected``/``actual`` checksum values so
+    ``repro fsck`` can repair exactly the damaged byte range.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        section: str | None = None,
+        offset: int | None = None,
+        length: int | None = None,
+        expected: object = None,
+        actual: object = None,
+    ) -> None:
+        super().__init__(message, section=section, offset=offset)
+        self.length = length
+        self.expected = expected
+        self.actual = actual
 
 
 class IncompatibleCheckpointError(RestartError):

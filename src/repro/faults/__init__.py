@@ -1,0 +1,43 @@
+"""Deterministic fault injection for the checkpoint stack.
+
+Everything here is seedable and reproducible: the same seed yields the
+same mutation plan, the same crash points, the same torn-rename
+artifacts.  Used three ways:
+
+* as pytest fixtures (``tests/test_commit_crash.py``,
+  ``tests/test_corruption_fuzz.py``),
+* by the HA supervisor to widen its crash windows into mid-write,
+* from the CLI (``repro faults inject|plan|fuzz``) and the CI
+  corruption-matrix job.
+"""
+
+from repro.faults.injectors import (
+    CrashHooks,
+    FailFsyncHooks,
+    Mutation,
+    SimulatedCrashError,
+    TornRenameHooks,
+    apply_mutation,
+    mutate_bytes,
+    plan_mutations,
+)
+
+__all__ = [
+    "CrashHooks",
+    "FailFsyncHooks",
+    "Mutation",
+    "SimulatedCrashError",
+    "TornRenameHooks",
+    "apply_mutation",
+    "mutate_bytes",
+    "plan_mutations",
+    "fuzz_matrix",
+]
+
+
+def fuzz_matrix(*args, **kwargs):
+    """Lazy re-export of :func:`repro.faults.fuzz.fuzz_matrix` (pulls in
+    the VM/compiler stack, which plain injector users don't need)."""
+    from repro.faults.fuzz import fuzz_matrix as _fuzz_matrix
+
+    return _fuzz_matrix(*args, **kwargs)

@@ -1,0 +1,233 @@
+"""The corruption-matrix fuzz harness (CI job + ``repro faults fuzz``).
+
+The invariant under test — the acceptance bar of this robustness layer:
+for **every** seeded mutation of a checkpoint file, on **every**
+platform pair, a restore attempt must either
+
+* reproduce the exact baseline output (the mutation hit slack bytes —
+  essentially impossible with the v3 trailer, but allowed), or
+* raise a *typed* integrity/format error, and — because the harness
+  always keeps one retained generation — fall back to a correct restore
+  of the previous generation.
+
+Anything else (an uncaught exception, a hang, or a restore that
+"succeeds" with wrong output) is a harness failure, reported per
+mutation.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Callable, Optional
+
+from repro.arch.platforms import PLATFORMS, Platform
+from repro.checkpoint.format import read_section_table
+from repro.checkpoint.reader import restart_vm, restart_vm_with_fallback
+from repro.errors import RestartError
+from repro.faults.injectors import Mutation, apply_mutation, plan_mutations
+from repro.minilang import compile_source
+from repro.vm import VMConfig, VirtualMachine
+
+#: One platform per architecture class (32/64 bits x little/big endian);
+#: the pairs of these four cover every conversion the restart path has.
+ARCH_REPRESENTATIVES = ("rodrigo", "csd", "sp2148", "ultra64")
+
+#: Checkpoints twice mid-computation: after the run, the head generation
+#: holds the second checkpoint and ``path.1`` the first, so a damaged
+#: head has a real, *different* generation to fall back to.  The state
+#: spans heap (list, array, string, float), closures, and deep stack.
+FUZZ_PROGRAM = """
+let rec build n acc = if n = 0 then acc else build (n - 1) (n :: acc);;
+let rec sum l = match l with [] -> 0 | h :: t -> h + sum t;;
+let data = build 60 [];;
+let arr = Array.make 8 0;;
+let () = for i = 0 to 7 do arr.(i) <- i * i done;;
+let tag = "s:" ^ string_of_int (sum data);;
+let f = 1.5;;
+checkpoint ();;
+print_string tag;;
+print_string " a=";;
+print_int (arr.(3) + arr.(7));;
+checkpoint ();;
+print_string " f=";;
+print_float (f *. 4.0);;
+print_newline ();;
+"""
+
+
+def _run_restarted(
+    platform: Platform, code, path: str, fallback: bool
+) -> tuple[bytes, str]:
+    """Restore at ``path`` (walking generations iff ``fallback``) and run
+    to completion; returns (stdout, restored file path)."""
+    out = io.BytesIO()
+    restore = restart_vm_with_fallback if fallback else restart_vm
+    # Restarted runs re-execute any later ``checkpoint ()`` calls; those
+    # must not overwrite the file under test.
+    vm, stats = restore(
+        platform, code, path, VMConfig(chkpt_state="disable"), stdout=out
+    )
+    result = vm.run(max_instructions=20_000_000)
+    if result.status != "stopped":
+        raise RestartError(f"restarted VM did not stop: {result.status}")
+    return result.stdout, stats.restored_path
+
+
+def fuzz_matrix(
+    seed: int = 2002,
+    mutations: int = 200,
+    platforms: Optional[list[str]] = None,
+    program: str = FUZZ_PROGRAM,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run the corruption matrix; returns a JSON-able report.
+
+    ``mutations`` is the total budget, spread round-robin across all
+    ordered (origin, target) platform pairs so every conversion path
+    sees both early and late entries of the mutation plan.
+    """
+    import tempfile
+
+    names = list(platforms or ARCH_REPRESENTATIVES)
+    for n in names:
+        if n not in PLATFORMS:
+            raise ValueError(f"unknown platform {n!r}")
+    code = compile_source(program)
+    report: dict = {
+        "seed": seed,
+        "mutations": 0,
+        "pairs": len(names) * len(names),
+        "outcomes": {
+            "detected_and_recovered": 0,
+            "clean_restore": 0,
+            "typed_failure_no_chain": 0,
+        },
+        "failures": [],
+        "ok": True,
+    }
+
+    with tempfile.TemporaryDirectory() as td:
+        # One origin checkpoint chain per origin platform.
+        chains: dict[str, tuple[str, bytes, bytes]] = {}
+        for origin in names:
+            path = f"{td}/{origin}.hckp"
+            vm = VirtualMachine(
+                PLATFORMS[origin],
+                code,
+                VMConfig(
+                    chkpt_filename=path,
+                    chkpt_mode="blocking",
+                    chkpt_retain=1,
+                ),
+                stdout=io.BytesIO(),
+            )
+            result = vm.run(max_instructions=20_000_000)
+            assert result.status == "stopped" and vm.checkpoints_taken == 2
+            with open(path, "rb") as f:
+                head = f.read()
+            with open(path + ".1", "rb") as f:
+                prev = f.read()
+            chains[origin] = (path, head, prev)
+
+        # Per-pair baselines: expected output from head and from path.1.
+        baselines: dict[tuple[str, str], tuple[bytes, bytes]] = {}
+        for origin in names:
+            path, _head, _prev = chains[origin]
+            for target in names:
+                out_head, _ = _run_restarted(
+                    PLATFORMS[target], code, path, fallback=False
+                )
+                out_prev, _ = _run_restarted(
+                    PLATFORMS[target], code, path + ".1", fallback=False
+                )
+                baselines[(origin, target)] = (out_head, out_prev)
+
+        pairs = [(o, t) for o in names for t in names]
+        per_pair = -(-mutations // len(pairs))
+        for pair_idx, (origin, target) in enumerate(pairs):
+            path, head, prev = chains[origin]
+            plan = plan_mutations(
+                len(head),
+                seed=seed * 1000 + pair_idx,
+                count=per_pair,
+                section_table=read_section_table(head),
+            )
+            out_head, out_prev = baselines[(origin, target)]
+            for m in plan:
+                if report["mutations"] >= mutations:
+                    break
+                report["mutations"] += 1
+                _fuzz_one(
+                    report,
+                    m,
+                    PLATFORMS[target],
+                    code,
+                    path,
+                    head,
+                    prev,
+                    out_head,
+                    out_prev,
+                    label=f"{origin}->{target}",
+                )
+            if progress is not None:
+                progress(
+                    f"{origin}->{target}: {report['mutations']} mutations, "
+                    f"{len(report['failures'])} failures"
+                )
+
+    report["ok"] = not report["failures"]
+    return report
+
+
+def _fuzz_one(
+    report: dict,
+    m: Mutation,
+    target: Platform,
+    code,
+    path: str,
+    head: bytes,
+    prev: bytes,
+    out_head: bytes,
+    out_prev: bytes,
+    label: str,
+) -> None:
+    """Apply one mutation to the head generation and check the invariant."""
+    damaged = apply_mutation(head, m)
+    with open(path, "wb") as f:
+        f.write(damaged)
+    with open(path + ".1", "wb") as f:
+        f.write(prev)
+    try:
+        out, restored = _run_restarted(target, code, path, fallback=True)
+    except RestartError:
+        # Typed failure with the whole chain exhausted would be a
+        # violation here (a healthy path.1 always exists) *except* when
+        # the mutation is a no-op on the parsed image; record it.
+        report["outcomes"]["typed_failure_no_chain"] += 1
+        report["failures"].append(
+            {"pair": label, "mutation": m.describe(),
+             "problem": "fallback chain exhausted despite healthy path.1"}
+        )
+        return
+    except Exception as e:  # noqa: BLE001 — the invariant bans these
+        report["failures"].append(
+            {"pair": label, "mutation": m.describe(),
+             "problem": f"uncaught {type(e).__name__}: {e}"}
+        )
+        return
+    if restored == path:
+        if out == out_head:
+            report["outcomes"]["clean_restore"] += 1
+        else:
+            report["failures"].append(
+                {"pair": label, "mutation": m.describe(),
+                 "problem": "silently wrong restore from damaged head"}
+            )
+    else:
+        if out == out_prev:
+            report["outcomes"]["detected_and_recovered"] += 1
+        else:
+            report["failures"].append(
+                {"pair": label, "mutation": m.describe(),
+                 "problem": "fallback restore produced wrong output"}
+            )

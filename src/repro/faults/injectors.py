@@ -1,0 +1,200 @@
+"""Seedable corruption and crash injectors.
+
+Two families:
+
+* **Byte mutations** (:class:`Mutation`, :func:`plan_mutations`,
+  :func:`apply_mutation`) damage a finished checkpoint file the way a
+  dying disk or a buggy transport would: truncation, bit flips, and
+  swapped section contents.
+* **Commit-hook injectors** (:class:`CrashHooks`,
+  :class:`FailFsyncHooks`, :class:`TornRenameHooks`) plug into
+  :class:`repro.checkpoint.commit.CommitHooks` to kill the atomic
+  commit protocol at a chosen step, fail its fsyncs, or tear its
+  rename, the way a power cut would.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.checkpoint.commit import CommitHooks
+
+
+class SimulatedCrashError(Exception):
+    """Raised by a crash injector at its trigger point.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: a real crash
+    is not a handleable library error, and nothing in the production
+    code paths may catch it — tests and the HA supervisor catch it at
+    the same scope a process boundary would.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at commit point '{point}'")
+        self.point = point
+
+
+class CrashHooks(CommitHooks):
+    """Die (raise :class:`SimulatedCrashError`) at a named commit point."""
+
+    def __init__(self, crash_at: str) -> None:
+        self.crash_at = crash_at
+        self.reached: list[str] = []
+
+    def point(self, name: str) -> None:
+        self.reached.append(name)
+        if name == self.crash_at:
+            raise SimulatedCrashError(name)
+
+
+class FailFsyncHooks(CommitHooks):
+    """Make the Nth fsync call fail with EIO, then crash.
+
+    Models a disk that errors on flush: the kernel reported the write,
+    the durability barrier failed.  ``crash_after=True`` (default)
+    escalates to a simulated crash — the conservative model, since after
+    an fsync EIO the page cache state is undefined.
+    """
+
+    def __init__(self, fail_on: int = 1, crash_after: bool = True) -> None:
+        self.fail_on = fail_on
+        self.crash_after = crash_after
+        self.calls = 0
+
+    def fsync(self, fd: int) -> None:
+        self.calls += 1
+        if self.calls == self.fail_on:
+            if self.crash_after:
+                raise SimulatedCrashError(f"fsync#{self.calls}")
+            raise OSError(5, "Input/output error (injected)")
+        os.fsync(fd)
+
+
+class TornRenameHooks(CommitHooks):
+    """Tear the final rename: leave a prefix of the new file at ``dst``.
+
+    No POSIX rename actually does this, but a copy-based "rename" across
+    filesystems (or a cheap NFS server) can — and it is the nastiest
+    artifact a restore can meet: a *plausible* head generation that is
+    silently short.  ``keep_fraction`` controls how much survives.
+    """
+
+    def __init__(self, keep_fraction: float = 0.5) -> None:
+        if not 0.0 <= keep_fraction < 1.0:
+            raise ValueError("keep_fraction must be in [0, 1)")
+        self.keep_fraction = keep_fraction
+        self.torn = False
+
+    def replace(self, src: str, dst: str) -> None:
+        if self.torn or not src.endswith(".tmp"):
+            os.replace(src, dst)
+            return
+        self.torn = True
+        with open(src, "rb") as f:
+            data = f.read()
+        with open(dst, "wb") as f:
+            f.write(data[: int(len(data) * self.keep_fraction)])
+        os.unlink(src)
+        raise SimulatedCrashError("torn_rename")
+
+
+# ---------------------------------------------------------------------------
+# Byte mutations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One deterministic corruption of a byte string.
+
+    ``kind``:
+
+    * ``"truncate"`` — drop everything from ``offset``.
+    * ``"bitflip"`` — flip bit ``bit`` of the byte at ``offset``.
+    * ``"section-swap"`` — exchange ``length`` bytes at ``offset`` with
+      the ``length`` bytes at ``other`` (models sections written out of
+      order, or two DMA buffers landing swapped).
+    """
+
+    kind: str
+    offset: int
+    bit: int = 0
+    length: int = 0
+    other: int = 0
+
+    def describe(self) -> str:
+        if self.kind == "truncate":
+            return f"truncate at byte {self.offset}"
+        if self.kind == "bitflip":
+            return f"flip bit {self.bit} of byte {self.offset}"
+        return (
+            f"swap {self.length} bytes at {self.offset} with {self.other}"
+        )
+
+
+def apply_mutation(data: bytes, m: Mutation) -> bytes:
+    """Return ``data`` with mutation ``m`` applied (input untouched)."""
+    if m.kind == "truncate":
+        return data[: m.offset]
+    buf = bytearray(data)
+    if m.kind == "bitflip":
+        buf[m.offset] ^= 1 << m.bit
+        return bytes(buf)
+    if m.kind == "section-swap":
+        a, b, n = m.offset, m.other, m.length
+        buf[a : a + n], buf[b : b + n] = buf[b : b + n], buf[a : a + n]
+        return bytes(buf)
+    raise ValueError(f"unknown mutation kind {m.kind!r}")
+
+
+def plan_mutations(
+    size: int,
+    seed: int,
+    count: int,
+    section_table: Optional[list] = None,
+) -> list[Mutation]:
+    """Deterministic plan of ``count`` mutations for a ``size``-byte file.
+
+    Mixes the three kinds roughly 40/40/20.  When a v3 ``section_table``
+    (list of :class:`~repro.checkpoint.format.SectionEntry`) is given,
+    section swaps exchange the heads of two real sections and a share of
+    the truncations land exactly on section boundaries — the offsets the
+    hardening satellite cares most about.
+    """
+    rng = random.Random(seed)
+    plans: list[Mutation] = []
+    sections = [s for s in (section_table or []) if s.length > 0]
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.4:
+            if sections and rng.random() < 0.5:
+                s = rng.choice(sections)
+                off = s.offset if rng.random() < 0.5 else s.end
+                off = min(off, size - 1)
+            else:
+                off = rng.randrange(1, size)
+            plans.append(Mutation("truncate", off))
+        elif roll < 0.8 or len(sections) < 2:
+            off = rng.randrange(size)
+            plans.append(Mutation("bitflip", off, bit=rng.randrange(8)))
+        else:
+            a, b = rng.sample(sections, 2)
+            n = min(a.length, b.length, 1 + rng.randrange(64))
+            plans.append(
+                Mutation("section-swap", a.offset, length=n, other=b.offset)
+            )
+    return plans
+
+
+def mutate_bytes(data: bytes, seed: int, count: int = 1) -> list[bytes]:
+    """Convenience: plan + apply against ``data`` (section-aware when the
+    file carries a v3 trailer)."""
+    from repro.checkpoint.format import read_section_table
+
+    plans = plan_mutations(
+        len(data), seed, count, section_table=read_section_table(data)
+    )
+    return [apply_mutation(data, m) for m in plans]

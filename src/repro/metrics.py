@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from dataclasses import dataclass
 
 
 class PhaseTimer:
@@ -97,3 +98,49 @@ class PhaseTimer:
         ):
             lines.append(f"  [kernel] {name:<15s} {sec * 1e3:10.3f} ms")
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Integrity accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IntegrityCounters:
+    """Process-wide counts of integrity events on the checkpoint path.
+
+    A restore that survives corruption by walking a generation chain, or
+    an ``fsck`` that patches damaged sections, must leave an audit trail
+    an operator can alarm on — silently healed corruption hides a dying
+    disk.  ``repro info --json`` and the HA supervisor report these.
+    """
+
+    #: Checkpoint files that failed CRC/digest/parse verification.
+    integrity_failures: int = 0
+    #: Restores that succeeded only by falling back to an older
+    #: generation (local ``path.N`` chain or an earlier store manifest).
+    fallback_restores: int = 0
+    #: File sections repaired in place from a store replica by fsck.
+    sections_repaired: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "integrity_failures": self.integrity_failures,
+            "fallback_restores": self.fallback_restores,
+            "sections_repaired": self.sections_repaired,
+        }
+
+    def delta_since(self, snapshot: dict) -> dict:
+        """Counter movement since an :meth:`as_dict` snapshot."""
+        return {
+            k: v - snapshot.get(k, 0) for k, v in self.as_dict().items()
+        }
+
+    def reset(self) -> None:
+        self.integrity_failures = 0
+        self.fallback_restores = 0
+        self.sections_repaired = 0
+
+
+#: The module-level instance everything increments (GIL-atomic int adds).
+INTEGRITY = IntegrityCounters()

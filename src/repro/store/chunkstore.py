@@ -51,6 +51,88 @@ def chunk_key(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
+class DirectoryLock:
+    """A coarse mutual-exclusion lock over one store directory.
+
+    Guards the window the GC satellite worries about: ``gc`` computes
+    its live set from the manifests, so a ``commit`` that has written a
+    manifest whose chunks are still landing (the daemon's streamed
+    upload order, or a crash between the two) must never interleave with
+    the sweep — the sweep would delete chunks the brand-new generation
+    references.
+
+    Implementation: ``O_CREAT | O_EXCL`` on ``<root>/.lock`` (atomic on
+    every filesystem the store supports), holder pid + timestamp inside
+    for diagnostics.  A lock older than ``stale_after`` seconds is
+    presumed abandoned by a crashed holder and broken.  Waiting longer
+    than ``timeout`` raises :class:`~repro.errors.StoreError` rather
+    than deadlocking the caller.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        timeout: float = 10.0,
+        stale_after: float = 60.0,
+        poll_interval: float = 0.02,
+    ) -> None:
+        self.path = path
+        self.timeout = timeout
+        self.stale_after = stale_after
+        self.poll_interval = poll_interval
+        self._held = False
+
+    def acquire(self) -> None:
+        if self._held:
+            raise StoreError(f"lock {self.path} is not reentrant")
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                self._maybe_break_stale()
+                if time.monotonic() >= deadline:
+                    raise StoreError(
+                        f"timed out after {self.timeout:.1f}s waiting for "
+                        f"store lock {self.path}"
+                    ) from None
+                time.sleep(self.poll_interval)
+                continue
+            try:
+                os.write(fd, f"{os.getpid()} {time.time()}\n".encode())
+            finally:
+                os.close(fd)
+            self._held = True
+            return
+
+    def _maybe_break_stale(self) -> None:
+        try:
+            age = time.time() - os.path.getmtime(self.path)
+        except OSError:
+            return  # released (or broken) between our check and now
+        if age > self.stale_after:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "DirectoryLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.release()
+
+
 @dataclass(frozen=True)
 class Manifest:
     """One generation of one VM's checkpoints."""
@@ -123,15 +205,37 @@ class PutStats:
 class ChunkStore:
     """A content-addressed chunk store rooted at one directory."""
 
-    def __init__(self, root: str, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+    def __init__(
+        self,
+        root: str,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        lock_timeout: float = 10.0,
+        lock_stale_after: float = 60.0,
+    ) -> None:
         if chunk_size <= 0:
             raise StoreError("chunk_size must be positive")
         self.root = root
         self.chunk_size = chunk_size
+        self.lock_timeout = lock_timeout
+        self.lock_stale_after = lock_stale_after
         self._objects = os.path.join(root, "objects")
         self._manifests = os.path.join(root, "manifests")
         os.makedirs(self._objects, exist_ok=True)
         os.makedirs(self._manifests, exist_ok=True)
+
+    def _lock(self) -> DirectoryLock:
+        """A fresh handle on the store-wide mutation lock.
+
+        Fresh per operation (the exclusion lives in the lock *file*),
+        so one store object can run sequential locked operations and
+        concurrent holders — other processes or threads — block on the
+        filesystem, not on shared Python state.
+        """
+        return DirectoryLock(
+            os.path.join(self.root, ".lock"),
+            timeout=self.lock_timeout,
+            stale_after=self.lock_stale_after,
+        )
 
     # -- objects -----------------------------------------------------------
 
@@ -258,22 +362,27 @@ class ChunkStore:
         stats = PutStats()
         chunks = self.split(payload)
         keys = []
-        for chunk in chunks:
-            key, was_new = self.put_object(chunk)
-            keys.append(key)
-            stats.chunks_total += 1
-            stats.bytes_total += len(chunk)
-            if was_new:
-                stats.chunks_new += 1
-                stats.bytes_new += len(chunk)
-        manifest = self.commit_manifest(
-            vm_id,
-            keys,
-            payload_len=len(payload),
-            payload_sha256=hashlib.sha256(payload).hexdigest(),
-            meta=meta,
-            generation=generation,
-        )
+        # The whole chunks-then-manifest sequence holds the store lock:
+        # a concurrent gc must never observe the manifest before every
+        # chunk it references is durable (or vice versa, sweep away
+        # just-written chunks the manifest is about to claim).
+        with self._lock():
+            for chunk in chunks:
+                key, was_new = self.put_object(chunk)
+                keys.append(key)
+                stats.chunks_total += 1
+                stats.bytes_total += len(chunk)
+                if was_new:
+                    stats.chunks_new += 1
+                    stats.bytes_new += len(chunk)
+            manifest = self._commit_manifest(
+                vm_id,
+                keys,
+                payload_len=len(payload),
+                payload_sha256=hashlib.sha256(payload).hexdigest(),
+                meta=meta,
+                generation=generation,
+            )
         return manifest, stats
 
     def commit_manifest(
@@ -293,6 +402,28 @@ class ChunkStore:
         the same payload as the latest generation returns that manifest
         unchanged — a retried upload never mints a duplicate generation.
         """
+        with self._lock():
+            return self._commit_manifest(
+                vm_id,
+                chunks,
+                payload_len,
+                payload_sha256,
+                meta=meta,
+                chunk_size=chunk_size,
+                generation=generation,
+            )
+
+    def _commit_manifest(
+        self,
+        vm_id: str,
+        chunks: list[str],
+        payload_len: int,
+        payload_sha256: str,
+        meta: Optional[dict] = None,
+        chunk_size: Optional[int] = None,
+        generation: Optional[int] = None,
+    ) -> Manifest:
+        """Lock-free body of :meth:`commit_manifest` (caller holds it)."""
         _check_vm_id(vm_id)
         for key in chunks:
             if not self.has_object(key):
@@ -366,10 +497,11 @@ class ChunkStore:
         """Drop all but the newest ``keep_last`` generations of a VM."""
         if keep_last < 1:
             raise StoreError("prune must keep at least one generation")
-        gens = self.generations(vm_id)
-        dropped = gens[:-keep_last]
-        for gen in dropped:
-            os.remove(self._manifest_path(vm_id, gen))
+        with self._lock():
+            gens = self.generations(vm_id)
+            dropped = gens[:-keep_last]
+            for gen in dropped:
+                os.remove(self._manifest_path(vm_id, gen))
         return dropped
 
     def referenced_keys(self) -> set[str]:
@@ -380,17 +512,24 @@ class ChunkStore:
         return keys
 
     def gc(self) -> dict:
-        """Delete every chunk no manifest references."""
-        live = self.referenced_keys()
-        removed = 0
-        bytes_freed = 0
-        for key in list(self.iter_objects()):
-            if key in live:
-                continue
-            path = self._object_path(key)
-            bytes_freed += os.path.getsize(path)
-            os.remove(path)
-            removed += 1
+        """Delete every chunk no manifest references.
+
+        Holds the store lock for the whole mark-and-sweep: the live set
+        is computed from the manifests, so an interleaved commit could
+        otherwise have its just-written chunks swept before its manifest
+        lands.
+        """
+        with self._lock():
+            live = self.referenced_keys()
+            removed = 0
+            bytes_freed = 0
+            for key in list(self.iter_objects()):
+                if key in live:
+                    continue
+                path = self._object_path(key)
+                bytes_freed += os.path.getsize(path)
+                os.remove(path)
+                removed += 1
         return {"removed": removed, "kept": len(live), "bytes_freed": bytes_freed}
 
     def dedup_stats(self, vm_id: str) -> PutStats:

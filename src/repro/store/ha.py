@@ -30,9 +30,11 @@ from typing import Optional
 
 from repro.arch.platforms import PLATFORMS, Platform, get_platform
 from repro.bytecode.image import CodeImage
+from repro.checkpoint.commit import COMMIT_POINTS, recover_commit
 from repro.checkpoint.reader import restart_vm
-from repro.errors import ReproError, StoreNotFoundError
-from repro.metrics import PhaseTimer
+from repro.errors import ReproError, RestartError, StoreNotFoundError
+from repro.faults.injectors import CrashHooks, SimulatedCrashError
+from repro.metrics import INTEGRITY, PhaseTimer
 from repro.store.chunkstore import PutStats
 from repro.store.client import StoreClient
 from repro.vm import VMConfig, VirtualMachine
@@ -46,6 +48,12 @@ class HAReport:
     exit_code: int = 0
     stdout: bytes = b""
     faults_injected: int = 0
+    #: Faults that struck *during* a checkpoint write (a strict subset of
+    #: ``faults_injected``) — the crash window PR 3 opened up.
+    midwrite_faults: int = 0
+    #: Restarts that had to skip past one or more unrestorable store
+    #: generations before succeeding.
+    fallback_restores: int = 0
     checkpoints: int = 0
     restarts: int = 0
     cold_restarts: int = 0
@@ -55,6 +63,8 @@ class HAReport:
     restart_latencies: list[float] = field(default_factory=list)
     upload_stats: PutStats = field(default_factory=PutStats)
     phases: PhaseTimer = field(default_factory=PhaseTimer)
+    #: Movement of the process-wide integrity counters over this run.
+    integrity: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """JSON-able summary (the CLI's ``repro ha run --json``)."""
@@ -63,6 +73,8 @@ class HAReport:
             "exit_code": self.exit_code,
             "stdout": self.stdout.decode(errors="replace"),
             "faults_injected": self.faults_injected,
+            "midwrite_faults": self.midwrite_faults,
+            "fallback_restores": self.fallback_restores,
             "checkpoints": self.checkpoints,
             "restarts": self.restarts,
             "cold_restarts": self.cold_restarts,
@@ -72,6 +84,7 @@ class HAReport:
             "restart_latencies": self.restart_latencies,
             "dedup_ratio": self.upload_stats.dedup_ratio,
             "phases": self.phases.as_dict(),
+            "integrity": dict(self.integrity),
         }
 
 
@@ -91,9 +104,12 @@ class HASupervisor:
         config: Optional[VMConfig] = None,
         require_hetero: bool = True,
         max_slices: int = 100_000,
+        midwrite_fault_prob: float = 0.0,
     ) -> None:
         if checkpoint_every <= 0:
             raise ReproError("checkpoint_every must be positive")
+        if not 0.0 <= midwrite_fault_prob <= 1.0:
+            raise ReproError("midwrite_fault_prob must be in [0, 1]")
         self.code = code
         self.client = client
         self.vm_id = vm_id
@@ -107,6 +123,7 @@ class HASupervisor:
         self.max_faults = max_faults
         self.require_hetero = require_hetero
         self.max_slices = max_slices
+        self.midwrite_fault_prob = midwrite_fault_prob
         self._rng = random.Random(seed)
         self._base_config = config
 
@@ -150,14 +167,17 @@ class HASupervisor:
     def run(self) -> HAReport:
         report = HAReport()
         timer = report.phases
+        integrity_before = INTEGRITY.as_dict()
         fd, ckpt_path = tempfile.mkstemp(suffix=".hckp")
         os.close(fd)
         os.unlink(ckpt_path)  # perform_checkpoint recreates it atomically
         try:
             return self._supervise(report, timer, ckpt_path)
         finally:
-            if os.path.exists(ckpt_path):
-                os.unlink(ckpt_path)
+            report.integrity = INTEGRITY.delta_since(integrity_before)
+            for leftover in (ckpt_path, ckpt_path + ".tmp", ckpt_path + ".journal"):
+                if os.path.exists(leftover):
+                    os.unlink(leftover)
 
     def _supervise(
         self, report: HAReport, timer: PhaseTimer, ckpt_path: str
@@ -190,27 +210,42 @@ class HASupervisor:
                 report.stdout = vm.channels.stdout_bytes()
                 return report
 
-            if crash_after:
-                # The fault: the machine dies here, taking the VM and any
-                # work since the last upload with it.
-                report.faults_injected += 1
-                report.work_lost_instructions += since_checkpoint
-                vm = None
-                t0 = time.perf_counter()
-                vm, platform, prefill = self._restart(
-                    report, timer, ckpt_path, platform, config
-                )
-                report.restart_latencies.append(time.perf_counter() - t0)
-                report.platforms_visited.append(platform.name)
-                if prefill:
-                    vm.channels._stdout.write(prefill)
-                since_restart = 0
-                since_checkpoint = 0
-                next_fault = self._next_fault(report)
-                continue
+            midwrite_point = None
+            if (
+                not crash_after
+                and report.faults_injected < self.max_faults
+                and self._rng.random() < self.midwrite_fault_prob
+            ):
+                midwrite_point = self._rng.choice(COMMIT_POINTS[:-1])
 
-            self._checkpoint_and_upload(report, timer, vm, ckpt_path, platform)
+            if not crash_after:
+                survived = self._checkpoint_and_upload(
+                    report, timer, vm, ckpt_path, platform,
+                    crash_point=midwrite_point,
+                )
+                if survived:
+                    since_checkpoint = 0
+                    continue
+                # The machine died mid-checkpoint-write: the crash window
+                # the atomic commit protocol exists for.
+                report.midwrite_faults += 1
+
+            # The fault: the machine dies here, taking the VM and any
+            # work since the last upload with it.
+            report.faults_injected += 1
+            report.work_lost_instructions += since_checkpoint
+            vm = None
+            t0 = time.perf_counter()
+            vm, platform, prefill = self._restart(
+                report, timer, ckpt_path, platform, config
+            )
+            report.restart_latencies.append(time.perf_counter() - t0)
+            report.platforms_visited.append(platform.name)
+            if prefill:
+                vm.channels._stdout.write(prefill)
+            since_restart = 0
             since_checkpoint = 0
+            next_fault = self._next_fault(report)
         raise ReproError("HA supervision exceeded max_slices")
 
     def _checkpoint_and_upload(
@@ -220,14 +255,30 @@ class HASupervisor:
         vm: VirtualMachine,
         ckpt_path: str,
         platform: Platform,
-    ) -> None:
+        crash_point: Optional[str] = None,
+    ) -> bool:
+        """Checkpoint + upload; returns False if the machine "died".
+
+        With ``crash_point`` set, a simulated crash strikes the commit
+        protocol at that step — the checkpoint file is left in whatever
+        torn/half-rotated state a real power cut would leave, nothing is
+        uploaded, and the caller treats it as a fault.
+        """
         # Flush first (the coordinator's trick): the checkpoint carries an
         # empty output buffer and the manifest the cumulative output, so a
         # restart prefills the fresh sink instead of replaying writes.
         vm.channels.stdout.flush()
         stdout_so_far = vm.channels.stdout_bytes()
-        with timer.phase("checkpoint"):
-            vm.perform_checkpoint()
+        try:
+            vm.config.commit_hooks = (
+                CrashHooks(crash_point) if crash_point else None
+            )
+            with timer.phase("checkpoint"):
+                vm.perform_checkpoint()
+        except SimulatedCrashError:
+            return False
+        finally:
+            vm.config.commit_hooks = None
         meta = {
             "platform": platform.name,
             "instructions": vm.interp.instructions,
@@ -240,6 +291,7 @@ class HASupervisor:
         report.checkpoints += 1
         report.generations.append(generation)
         report.upload_stats.merge(stats)
+        return True
 
     def _restart(
         self,
@@ -252,6 +304,10 @@ class HASupervisor:
         target = get_platform(
             self._rng.choice(self._restart_candidates(crashed_platform))
         )
+        # A mid-write crash leaves journal/tmp debris (and possibly a torn
+        # head) at the local path; resolve it the way a rebooted machine
+        # would before the store download overwrites the file.
+        recover_commit(ckpt_path)
         try:
             with timer.phase("restart_download"):
                 manifest = self.client.get_checkpoint_file(
@@ -262,8 +318,33 @@ class HASupervisor:
             report.cold_restarts += 1
             vm = VirtualMachine(target, self.code, config)
             return vm, target, b""
-        with timer.phase("restart_rebuild"):
-            vm, _stats = restart_vm(target, self.code, ckpt_path, config)
+        # Walk store generations newest-first until one restores: a
+        # damaged latest generation degrades the restart, never kills it.
+        older: Optional[list[int]] = None
+        while True:
+            try:
+                with timer.phase("restart_rebuild"):
+                    vm, _stats = restart_vm(
+                        target, self.code, ckpt_path, config
+                    )
+                break
+            except RestartError:
+                if older is None:
+                    listing = self.client.ls()["vms"].get(self.vm_id, [])
+                    older = sorted(
+                        g["generation"]
+                        for g in listing
+                        if g["generation"] < manifest.generation
+                    )
+                if not older:
+                    raise
+                with timer.phase("restart_download"):
+                    manifest = self.client.get_checkpoint_file(
+                        self.vm_id, ckpt_path, generation=older.pop()
+                    )
+        if older is not None:
+            report.fallback_restores += 1
+            INTEGRITY.fallback_restores += 1
         report.restarts += 1
         prefill = base64.b64decode(manifest.meta.get("stdout_b64", ""))
         return vm, target, prefill

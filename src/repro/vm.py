@@ -67,6 +67,17 @@ class VMConfig:
     #: and restart hot loops.  ``False`` selects the word-at-a-time
     #: scalar reference implementation (kept for differential testing).
     vectorize: bool = True
+    #: ``CHKPT_FORMAT``: checkpoint file format version to write (1, 2,
+    #: or 3).  3 adds the per-section CRC32 + SHA-256 integrity trailer;
+    #: 2 is the escape hatch for readers that predate it.
+    chkpt_format: int = 3
+    #: ``CHKPT_RETAIN``: how many previous checkpoint generations to keep
+    #: as ``path.1`` ... ``path.N`` (0 = overwrite, the paper's single
+    #: checkpoint file).  Restores fall back along this chain when the
+    #: newest generation fails verification.
+    chkpt_retain: int = 0
+    #: Commit hook override (fault injection); ``None`` = real syscalls.
+    commit_hooks: Optional[object] = None
 
     @classmethod
     def from_env(cls, environ: Mapping[str, str]) -> "VMConfig":
@@ -83,6 +94,12 @@ class VMConfig:
         vec = environ.get("CHKPT_VECTORIZE")
         if vec is not None:
             cfg.vectorize = vec.strip().lower() not in ("0", "false", "no", "off")
+        fmt = environ.get("CHKPT_FORMAT")
+        if fmt is not None and fmt.strip().lstrip("v") in ("1", "2", "3"):
+            cfg.chkpt_format = int(fmt.strip().lstrip("v"))
+        raw = environ.get("CHKPT_RETAIN")
+        if raw is not None and raw.strip().isdigit():
+            cfg.chkpt_retain = int(raw.strip())
         return cfg
 
 

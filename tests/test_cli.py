@@ -235,3 +235,130 @@ class TestHACLI:
         assert doc["stdout"] == "n=20000"
         assert doc["faults_injected"] == 1
         assert len(doc["platforms_visited"]) >= 2
+
+
+class TestFsckCLI:
+    def _checkpoint(self, prog_path, tmp_path, capsys):
+        ck = str(tmp_path / "fsck.hckp")
+        assert main(["run", prog_path, "--checkpoint", ck,
+                     "--mode", "blocking"]) == 0
+        capsys.readouterr()
+        return ck
+
+    def test_healthy_file_exits_zero(self, prog_path, tmp_path, capsys):
+        ck = self._checkpoint(prog_path, tmp_path, capsys)
+        assert main(["fsck", ck]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_damaged_file_exits_nonzero(self, prog_path, tmp_path, capsys):
+        ck = self._checkpoint(prog_path, tmp_path, capsys)
+        data = bytearray(open(ck, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        open(ck, "wb").write(bytes(data))
+        assert main(["fsck", ck]) != 0
+
+    def test_json_report(self, prog_path, tmp_path, capsys):
+        import json as json_mod
+
+        ck = self._checkpoint(prog_path, tmp_path, capsys)
+        assert main(["fsck", ck, "--json"]) == 0
+        doc = json_mod.loads(capsys.readouterr().out)
+        assert doc["ok"] and doc["path"] == ck
+
+    def test_repair_from_store_root(self, prog_path, tmp_path, capsys):
+        from repro.store import ChunkStore
+
+        ck = self._checkpoint(prog_path, tmp_path, capsys)
+        healthy = open(ck, "rb").read()
+        root = str(tmp_path / "store")
+        ChunkStore(root).put_checkpoint("vm", healthy)
+        data = bytearray(healthy)
+        data[len(data) // 2] ^= 0xFF
+        open(ck, "wb").write(bytes(data))
+        assert main(["fsck", ck, "--repair", "--store-root", root,
+                     "--vm-id", "vm"]) == 0
+        assert open(ck, "rb").read() == healthy
+
+
+class TestFaultsCLI:
+    def _checkpoint(self, prog_path, tmp_path, capsys):
+        ck = str(tmp_path / "faults.hckp")
+        assert main(["run", prog_path, "--checkpoint", ck,
+                     "--mode", "blocking"]) == 0
+        capsys.readouterr()
+        return ck
+
+    def test_plan_lists_mutations(self, prog_path, tmp_path, capsys):
+        ck = self._checkpoint(prog_path, tmp_path, capsys)
+        assert main(["faults", "plan", ck, "--seed", "5",
+                     "--count", "4"]) == 0
+        out = capsys.readouterr().out
+        assert len([l for l in out.splitlines() if l.strip()]) >= 4
+
+    def test_inject_writes_corrupt_copy(self, prog_path, tmp_path, capsys):
+        ck = self._checkpoint(prog_path, tmp_path, capsys)
+        out_path = str(tmp_path / "bad.hckp")
+        assert main(["faults", "inject", ck, "--seed", "5",
+                     "--index", "1", "-o", out_path]) == 0
+        original = open(ck, "rb").read()
+        damaged = open(out_path, "rb").read()
+        assert damaged != original
+        assert main(["fsck", out_path]) != 0  # detected as corrupt
+
+    def test_fuzz_small_matrix(self, prog_path, tmp_path, capsys):
+        import json as json_mod
+
+        assert main(["faults", "fuzz", "--seed", "3", "--mutations", "4",
+                     "--platforms", "rodrigo", "--json"]) == 0
+        doc = json_mod.loads(capsys.readouterr().out)
+        assert doc["ok"] and doc["mutations"] == 4
+
+
+class TestRestartFallbackCLI:
+    def test_corrupt_head_falls_back_to_retained(
+        self, prog_path, tmp_path, capsys
+    ):
+        ck = str(tmp_path / "gen.hckp")
+        # Two runs with --retain 1: second commit rotates the first to .1
+        assert main(["run", prog_path, "--checkpoint", ck,
+                     "--mode", "blocking", "--retain", "1"]) == 0
+        assert main(["run", prog_path, "--checkpoint", ck,
+                     "--mode", "blocking", "--retain", "1"]) == 0
+        capsys.readouterr()
+        assert os.path.exists(ck + ".1")
+        data = bytearray(open(ck, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        open(ck, "wb").write(bytes(data))
+        assert main(["restart", prog_path, ck]) == 0
+        captured = capsys.readouterr()
+        assert "42" in captured.out
+        assert "fell back" in captured.err
+
+    def test_no_fallback_flag_fails_hard(self, prog_path, tmp_path, capsys):
+        ck = str(tmp_path / "gen2.hckp")
+        assert main(["run", prog_path, "--checkpoint", ck,
+                     "--mode", "blocking", "--retain", "1"]) == 0
+        assert main(["run", prog_path, "--checkpoint", ck,
+                     "--mode", "blocking", "--retain", "1"]) == 0
+        capsys.readouterr()
+        data = bytearray(open(ck, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        open(ck, "wb").write(bytes(data))
+        from repro.errors import CheckpointFormatError
+
+        with pytest.raises(CheckpointFormatError):
+            main(["restart", prog_path, ck, "--no-fallback"])
+
+    def test_info_reports_integrity_counters(self, prog_path, tmp_path,
+                                             capsys):
+        import json as json_mod
+
+        ck = str(tmp_path / "info.hckp")
+        assert main(["run", prog_path, "--checkpoint", ck,
+                     "--mode", "blocking"]) == 0
+        capsys.readouterr()
+        assert main(["info", ck, "--json"]) == 0
+        doc = json_mod.loads(capsys.readouterr().out)
+        assert doc["integrity_verified"] is True
+        assert "integrity_counters" in doc
+        assert doc["sections"]

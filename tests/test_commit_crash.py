@@ -1,0 +1,252 @@
+"""Crash simulation: the commit protocol at every interruptible point.
+
+The invariant (paper step 13, strengthened): a crash at *any* commit
+point leaves either the previous generation or the new one fully
+restorable — never a torn file presented as the newest generation.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import pytest
+
+from repro import VirtualMachine, VMConfig, compile_source, get_platform
+from repro.checkpoint.commit import (
+    COMMIT_POINTS,
+    atomic_commit,
+    generation_chain,
+    journal_path,
+    recover_commit,
+    tmp_path as commit_tmp_path,
+)
+from repro.checkpoint.reader import restart_vm_with_fallback
+from repro.errors import CheckpointError, RestartError
+from repro.faults.injectors import (
+    CrashHooks,
+    FailFsyncHooks,
+    SimulatedCrashError,
+    TornRenameHooks,
+)
+
+RODRIGO = get_platform("rodrigo")
+
+OLD = b"previous generation payload " * 64
+NEW = b"the replacement generation.. " * 64
+
+#: Points at which the new payload is already durable (journal + complete
+#: temp file), so recovery must roll *forward*; before these it must
+#: leave the old generation newest.
+ROLL_FORWARD_FROM = COMMIT_POINTS.index("tmp_written")
+
+
+def read(path: str) -> bytes:
+    with open(path, "rb") as f:
+        return f.read()
+
+
+class TestCrashAtEveryPoint:
+    @pytest.mark.parametrize("point", COMMIT_POINTS)
+    @pytest.mark.parametrize("retain", [0, 1, 2])
+    def test_previous_or_new_generation_survives(self, tmp_path, point, retain):
+        path = str(tmp_path / "ck.bin")
+        atomic_commit(path, OLD, retain=retain)
+        hooks = CrashHooks(point)
+        with pytest.raises(SimulatedCrashError):
+            atomic_commit(path, NEW, retain=retain, hooks=hooks)
+        assert hooks.reached[-1] == point
+
+        outcome = recover_commit(path)
+        chain = generation_chain(path)
+        assert chain, "crash must never wipe out every generation"
+        newest = read(chain[0])
+        if COMMIT_POINTS.index(point) >= ROLL_FORWARD_FROM:
+            assert newest == NEW, f"{point}: complete commit must roll forward"
+        else:
+            assert newest == OLD, f"{point}: incomplete commit must roll back"
+        # No debris survives recovery, and recovery is idempotent.
+        assert not os.path.exists(journal_path(path))
+        assert not os.path.exists(commit_tmp_path(path))
+        assert recover_commit(path) == "clean"
+        assert outcome in (
+            "clean", "rolled_back", "rolled_forward",
+            "already_committed", "discarded_tmp",
+        )
+
+    @pytest.mark.parametrize("point", COMMIT_POINTS)
+    def test_retained_generation_untouched_by_crash(self, tmp_path, point):
+        path = str(tmp_path / "ck.bin")
+        atomic_commit(path, b"gen-A" * 100, retain=2)
+        atomic_commit(path, OLD, retain=2)
+        with pytest.raises(SimulatedCrashError):
+            atomic_commit(path, NEW, retain=2, hooks=CrashHooks(point))
+        recover_commit(path)
+        chain = generation_chain(path)
+        contents = [read(p) for p in chain]
+        # Both pre-crash generations still exist somewhere in the chain.
+        assert OLD in contents
+        assert b"gen-A" * 100 in contents
+
+
+class TestRecoverCommitStates:
+    def test_clean_noop(self, tmp_path):
+        path = str(tmp_path / "ck.bin")
+        atomic_commit(path, OLD)
+        assert recover_commit(path) == "clean"
+        assert read(path) == OLD
+
+    def test_stray_tmp_discarded(self, tmp_path):
+        path = str(tmp_path / "ck.bin")
+        atomic_commit(path, OLD)
+        with open(commit_tmp_path(path), "wb") as f:
+            f.write(b"half-written garbage")
+        assert recover_commit(path) == "discarded_tmp"
+        assert read(path) == OLD
+
+    def test_complete_tmp_rolls_forward(self, tmp_path):
+        path = str(tmp_path / "ck.bin")
+        atomic_commit(path, OLD)
+        with pytest.raises(SimulatedCrashError):
+            atomic_commit(path, NEW, hooks=CrashHooks("tmp_synced"))
+        assert recover_commit(path) == "rolled_forward"
+        assert read(path) == NEW
+
+    def test_torn_tmp_rolls_back(self, tmp_path):
+        path = str(tmp_path / "ck.bin")
+        atomic_commit(path, OLD)
+        with pytest.raises(SimulatedCrashError):
+            atomic_commit(path, NEW, hooks=CrashHooks("tmp_partial"))
+        assert recover_commit(path) == "rolled_back"
+        assert read(path) == OLD
+
+    def test_post_rename_journal_cleaned(self, tmp_path):
+        path = str(tmp_path / "ck.bin")
+        atomic_commit(path, OLD)
+        with pytest.raises(SimulatedCrashError):
+            atomic_commit(path, NEW, hooks=CrashHooks("dir_synced"))
+        assert recover_commit(path) == "already_committed"
+        assert read(path) == NEW
+
+    def test_garbage_journal_rolls_back(self, tmp_path):
+        path = str(tmp_path / "ck.bin")
+        atomic_commit(path, OLD)
+        with open(journal_path(path), "wb") as f:
+            f.write(b"{not json")
+        with open(commit_tmp_path(path), "wb") as f:
+            f.write(b"whatever")
+        assert recover_commit(path) == "rolled_back"
+        assert read(path) == OLD
+
+    def test_journal_mismatched_tmp_rolls_back(self, tmp_path):
+        path = str(tmp_path / "ck.bin")
+        atomic_commit(path, OLD)
+        with open(journal_path(path), "w") as f:
+            json.dump(
+                {"path": "ck.bin", "size": 3, "sha256": "0" * 64}, f
+            )
+        with open(commit_tmp_path(path), "wb") as f:
+            f.write(b"xyz")  # right size, wrong hash
+        assert recover_commit(path) == "rolled_back"
+        assert read(path) == OLD
+
+
+class TestInjectedIOFailures:
+    def test_failing_fsync_aborts_and_preserves_old(self, tmp_path):
+        path = str(tmp_path / "ck.bin")
+        atomic_commit(path, OLD, retain=1)
+        with pytest.raises(CheckpointError):
+            atomic_commit(
+                path, NEW, retain=1,
+                hooks=FailFsyncHooks(fail_on=2, crash_after=False),
+            )
+        # Abort cleaned up after itself; the old head is untouched.
+        assert read(path) == OLD
+        assert not os.path.exists(commit_tmp_path(path))
+        assert not os.path.exists(journal_path(path))
+
+    def test_failing_fsync_as_crash(self, tmp_path):
+        path = str(tmp_path / "ck.bin")
+        atomic_commit(path, OLD)
+        with pytest.raises(SimulatedCrashError):
+            atomic_commit(path, NEW, hooks=FailFsyncHooks(fail_on=1))
+        recover_commit(path)
+        assert read(generation_chain(path)[0]) == OLD
+
+    def test_torn_rename_detected_by_recovery(self, tmp_path):
+        path = str(tmp_path / "ck.bin")
+        atomic_commit(path, OLD, retain=1)
+        with pytest.raises(SimulatedCrashError):
+            atomic_commit(
+                path, NEW, retain=1, hooks=TornRenameHooks(keep_fraction=0.5)
+            )
+        # The head is the torn artifact; recovery removes the journal and
+        # the generation chain still holds the old payload at path.1.
+        assert recover_commit(path) == "rolled_back"
+        chain = generation_chain(path)
+        assert OLD in [read(p) for p in chain]
+
+
+#: Two checkpoints: the second commit is the one the crash interrupts,
+#: so path.1 always holds a complete, restorable first checkpoint.
+CRASH_PROGRAM = """
+let x = ref 0;;
+x := 11;;
+checkpoint ();;
+x := !x * 4;;
+checkpoint ();;
+print_string "x=";;
+print_int !x;;
+"""
+
+
+class TestVMCheckpointCrash:
+    @pytest.mark.parametrize("point", COMMIT_POINTS[:-1])
+    def test_restore_after_midwrite_crash(self, tmp_path, point):
+        """A VM whose *second* checkpoint commit dies at ``point`` must
+        still be restorable: either from the completed second checkpoint
+        (roll-forward) or the retained first one."""
+        path = str(tmp_path / "ck.hckp")
+        code = compile_source(CRASH_PROGRAM)
+        vm2 = VirtualMachine(
+            RODRIGO,
+            code,
+            VMConfig(chkpt_filename=path, chkpt_mode="blocking", chkpt_retain=1),
+            stdout=io.BytesIO(),
+        )
+
+        class ArmSecond(CrashHooks):
+            """Let the first commit through, kill the second."""
+
+            def __init__(self, crash_at: str) -> None:
+                super().__init__(crash_at)
+                self.commits_seen = 0
+
+            def point(self, name: str) -> None:
+                if name == "begin":
+                    self.commits_seen += 1
+                if self.commits_seen < 2:
+                    return
+                super().point(name)
+
+        vm2.config.commit_hooks = ArmSecond(point)
+        with pytest.raises(SimulatedCrashError):
+            vm2.run(max_instructions=20_000_000)
+
+        out = io.BytesIO()
+        vm3, stats = restart_vm_with_fallback(
+            RODRIGO, code, path, VMConfig(chkpt_state="disable"), stdout=out
+        )
+        r = vm3.run(max_instructions=20_000_000)
+        assert r.status == "stopped"
+        # Restored from the second checkpoint → x was already 44;
+        # restored from the first → the multiply re-executes.  Both give
+        # the uninterrupted answer.
+        assert r.stdout == b"x=44"
+
+    def test_chain_exhausted_is_typed(self, tmp_path):
+        path = str(tmp_path / "none.hckp")
+        code = compile_source(CRASH_PROGRAM)
+        with pytest.raises(RestartError):
+            restart_vm_with_fallback(RODRIGO, code, path)

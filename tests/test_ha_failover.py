@@ -163,3 +163,48 @@ class TestHAFailover:
         # from 32LE rodrigo, only fully-different machines qualify
         cands = sup._restart_candidates(PLATFORMS["rodrigo"])
         assert all(hetero("rodrigo", c) for c in cands)
+
+
+class TestMidWriteFaults:
+    """Crashes that strike *during* the checkpoint commit (PR 3): the
+    atomic commit protocol plus the store generation walk must keep the
+    run completing with bit-identical output."""
+
+    def test_midwrite_crashes_still_complete_bit_identical(
+        self, code, expected, service
+    ):
+        _, client = service
+        report = HASupervisor(
+            code, client, "ha-midwrite",
+            checkpoint_every=10_000,
+            fault_budgets=(500_000, 900_000),  # never die *between* writes
+            max_faults=3,
+            seed=13,
+            midwrite_fault_prob=1.0,  # every checkpoint attempt dies
+        ).run()
+        assert report.completed
+        assert report.stdout == expected
+        assert report.midwrite_faults == 3
+        assert report.faults_injected == 3
+        assert report.midwrite_faults <= report.faults_injected
+        doc = report.as_dict()
+        assert doc["midwrite_faults"] == 3
+        assert "integrity" in doc
+
+    def test_midwrite_prob_validated(self, code, service):
+        _, client = service
+        with pytest.raises(ReproError):
+            HASupervisor(code, client, "ha-bad", midwrite_fault_prob=1.5)
+
+    def test_occasional_midwrite_faults(self, code, expected, service):
+        _, client = service
+        report = HASupervisor(
+            code, client, "ha-mixed",
+            checkpoint_every=8_000,
+            fault_budgets=(30_000, 60_000),
+            max_faults=4,
+            seed=17,
+            midwrite_fault_prob=0.3,
+        ).run()
+        assert report.completed
+        assert report.stdout == expected

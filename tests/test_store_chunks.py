@@ -225,3 +225,97 @@ class TestPackFiles:
     def test_bad_magic_rejected(self):
         with pytest.raises(StoreError):
             unpack_files(b"not a pack")
+
+
+class TestDirectoryLock:
+    """The gc/prune vs concurrent-commit exclusion (PR 3 satellite)."""
+
+    def test_acquire_creates_and_release_removes(self, tmp_path):
+        from repro.store.chunkstore import DirectoryLock
+
+        lock_path = str(tmp_path / ".lock")
+        lock = DirectoryLock(lock_path)
+        lock.acquire()
+        assert os.path.exists(lock_path)
+        lock.release()
+        assert not os.path.exists(lock_path)
+
+    def test_context_manager(self, tmp_path):
+        from repro.store.chunkstore import DirectoryLock
+
+        lock_path = str(tmp_path / ".lock")
+        with DirectoryLock(lock_path):
+            assert os.path.exists(lock_path)
+        assert not os.path.exists(lock_path)
+
+    def test_contended_lock_times_out(self, tmp_path):
+        from repro.store.chunkstore import DirectoryLock
+
+        lock_path = str(tmp_path / ".lock")
+        holder = DirectoryLock(lock_path)
+        holder.acquire()
+        waiter = DirectoryLock(lock_path, timeout=0.1, stale_after=60.0)
+        with pytest.raises(StoreError, match="timed out"):
+            waiter.acquire()
+        holder.release()
+
+    def test_not_reentrant(self, tmp_path):
+        from repro.store.chunkstore import DirectoryLock
+
+        lock = DirectoryLock(str(tmp_path / ".lock"))
+        lock.acquire()
+        with pytest.raises(StoreError, match="not reentrant"):
+            lock.acquire()
+        lock.release()
+
+    def test_stale_lock_broken(self, tmp_path):
+        from repro.store.chunkstore import DirectoryLock
+
+        lock_path = str(tmp_path / ".lock")
+        with open(lock_path, "w") as f:
+            f.write("99999 0\n")
+        old = os.path.getmtime(lock_path) - 120
+        os.utime(lock_path, (old, old))
+        lock = DirectoryLock(lock_path, timeout=1.0, stale_after=60.0)
+        lock.acquire()  # breaks the abandoned lock instead of timing out
+        lock.release()
+
+    def test_gc_blocked_while_commit_holds_lock(self, tmp_path):
+        store = ChunkStore(str(tmp_path / "store"), lock_timeout=0.1)
+        store.put_checkpoint("vm", os.urandom(100_000))
+        with store._lock():
+            with pytest.raises(StoreError, match="timed out"):
+                store.gc()
+        # Lock released: the sweep runs (and deletes nothing live).
+        report = store.gc()
+        assert report["removed"] == 0
+
+    def test_commit_waits_for_gc_then_proceeds(self, tmp_path):
+        import threading
+
+        store = ChunkStore(str(tmp_path / "store"), lock_timeout=5.0)
+        lock = store._lock()
+        lock.acquire()
+        done = []
+
+        def commit():
+            done.append(store.put_checkpoint("vm", os.urandom(50_000)))
+
+        t = threading.Thread(target=commit)
+        t.start()
+        t.join(timeout=0.2)
+        assert t.is_alive(), "commit must block while the lock is held"
+        lock.release()
+        t.join(timeout=5.0)
+        assert not t.is_alive() and len(done) == 1
+        manifest, _stats = done[0]
+        assert store.read_manifest("vm", manifest.generation) is not None
+
+    def test_prune_takes_the_lock(self, tmp_path):
+        store = ChunkStore(str(tmp_path / "store"), lock_timeout=0.1)
+        for _ in range(3):
+            store.put_checkpoint("vm", os.urandom(10_000))
+        with store._lock():
+            with pytest.raises(StoreError, match="timed out"):
+                store.prune("vm", keep_last=1)
+        assert len(store.prune("vm", keep_last=1)) == 2

@@ -309,3 +309,104 @@ class TestReplication:
         finally:
             primary.stop()
             follower.stop()
+
+
+class MidFrameServer:
+    """A fake store daemon that dies mid-response-frame.
+
+    For its first ``die_count`` connections it reads the request, sends
+    only ``reply_bytes`` bytes of a valid OP_OK response and slams the
+    connection shut — a daemon killed between ``write()`` and the frame
+    boundary.  Later connections answer PING properly.
+    """
+
+    def __init__(self, reply_bytes: int, die_count: int = 1) -> None:
+        from repro.store import protocol as P
+
+        self._P = P
+        self.reply_bytes = reply_bytes
+        self.die_count = die_count
+        self.connections = 0
+        self._listen = socket.socket()
+        self._listen.bind(("127.0.0.1", 0))
+        self._listen.listen(8)
+        self.address = self._listen.getsockname()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        P = self._P
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listen.accept()
+            except OSError:
+                return
+            self.connections += 1
+            try:
+                op, _payload = P.recv_frame(conn)
+                frame = P.encode_frame(P.OP_OK, b"pong")
+                if self.connections <= self.die_count:
+                    conn.sendall(frame[: self.reply_bytes])
+                else:
+                    conn.sendall(frame)
+            except Exception:
+                pass
+            finally:
+                conn.close()
+
+    def close(self) -> None:
+        self._stop.set()
+        self._listen.close()
+
+
+class TestClientMidFrameDeath:
+    """The daemon dies halfway through a response frame (PR 3 satellite):
+    the client must retry on the typed mid-frame error and either recover
+    or surface :class:`StoreConnectionError` — never hang or crash."""
+
+    def test_partial_header_then_recovery(self):
+        srv = MidFrameServer(reply_bytes=4)  # 4 of the 10 header bytes
+        try:
+            host, port = srv.address
+            with StoreClient(host, port, retries=2, backoff=0.01) as c:
+                assert c.ping()
+                assert c.retries_used == 1
+                assert srv.connections == 2
+        finally:
+            srv.close()
+
+    def test_partial_payload_then_recovery(self):
+        # Full header (length says 4) but only half the payload follows.
+        from repro.store import protocol as P
+
+        partial = P.HEADER.size + 2
+        srv = MidFrameServer(reply_bytes=partial)
+        try:
+            host, port = srv.address
+            with StoreClient(host, port, retries=2, backoff=0.01) as c:
+                assert c.ping()
+                assert c.retries_used == 1
+        finally:
+            srv.close()
+
+    def test_persistent_mid_frame_death_is_typed(self):
+        srv = MidFrameServer(reply_bytes=4, die_count=100)
+        try:
+            host, port = srv.address
+            with StoreClient(host, port, retries=2, backoff=0.01) as c:
+                with pytest.raises(StoreConnectionError, match="after 3"):
+                    c.ping()
+                # One initial attempt + `retries` retries, no more.
+                assert srv.connections == 3
+        finally:
+            srv.close()
+
+    def test_zero_byte_response_then_recovery(self):
+        srv = MidFrameServer(reply_bytes=0)
+        try:
+            host, port = srv.address
+            with StoreClient(host, port, retries=2, backoff=0.01) as c:
+                assert c.ping()
+        finally:
+            srv.close()
