@@ -41,7 +41,7 @@ import hashlib
 import io
 import struct
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import BinaryIO, Optional
 
 import numpy as np
@@ -54,16 +54,24 @@ from repro.metrics import INTEGRITY
 CHECKPOINT_MAGIC_V1 = b"HCKP\x01\x00"
 CHECKPOINT_MAGIC_V2 = b"HCKP\x02\x00"
 CHECKPOINT_MAGIC_V3 = b"HCKP\x03\x00"
+#: Format v4 marks *delta* checkpoints only: the heap section holds
+#: dirty regions relative to a parent generation (bound by the parent's
+#: body SHA-256 in the header) instead of full chunk dumps.  Full
+#: checkpoints keep the v3 magic, so v4 never appears at the base of a
+#: chain.
+CHECKPOINT_MAGIC_V4 = b"HCKP\x04\x00"
 #: The magic current writers emit (format v3: per-section CRCs + trailer).
 CHECKPOINT_MAGIC = CHECKPOINT_MAGIC_V3
 CHECKPOINT_END = b"HCKPEND!"
-#: Leads the v3 integrity trailer (section table + whole-body SHA-256).
+#: Leads the v3 integrity trailer (section table + whole-body SHA-256);
+#: v4 files reuse it unchanged.
 TRAILER_MAGIC = b"HCKPTBL3"
 
 _MAGIC_VERSIONS = {
     CHECKPOINT_MAGIC_V1: 1,
     CHECKPOINT_MAGIC_V2: 2,
     CHECKPOINT_MAGIC_V3: 3,
+    CHECKPOINT_MAGIC_V4: 4,
 }
 
 #: Block classes recorded in the v2 block-extent index.  They partition
@@ -96,6 +104,47 @@ class SectionEntry:
     @property
     def end(self) -> int:
         return self.offset + self.length
+
+
+@dataclass(frozen=True)
+class DeltaChunkRecord:
+    """Dirty regions of one heap chunk in a v4 delta.
+
+    Every chunk mapped at capture time gets a record — even with zero
+    dirty regions — because the record also carries the chunk geometry a
+    reconstruction needs (new chunks materialize from it, vanished
+    chunks are dropped because no record mentions them).
+    """
+
+    base: int
+    n_words: int
+    #: ``(start_word, words)`` runs, ascending and non-overlapping; the
+    #: vectorized paths store numpy arrays in the ``words`` slot.
+    regions: list
+
+
+@dataclass(frozen=True)
+class DeltaInfo:
+    """The v4 header extension + delta-encoded heap payload."""
+
+    #: Body SHA-256 of the parent generation this delta applies on top
+    #: of — the same digest the parent's v3/v4 trailer records.
+    parent_sha256: bytes
+    #: 1 for a delta directly on a full checkpoint, +1 per further hop.
+    chain_depth: int
+    #: Dirty heap words serialized in this delta.
+    dirty_words: int
+    #: Total mapped heap words at capture (for dirty-ratio reporting).
+    total_words: int
+    #: Whether the atom-table / C-global sections are present (omitted
+    #: when untouched since the parent; reconstruction walks back).
+    has_atoms: bool = True
+    has_cglobals: bool = True
+    chunks: list = field(default_factory=list)
+
+    @property
+    def dirty_ratio(self) -> float:
+        return self.dirty_words / self.total_words if self.total_words else 0.0
 
 
 @dataclass(frozen=True)
@@ -183,6 +232,12 @@ class VMSnapshot:
     chunk_index: Optional[list[tuple[np.ndarray, np.ndarray]]] = None
     #: The verified v3 section table (None for v1/v2 files).
     sections: Optional[list[SectionEntry]] = None
+    #: Delta payload + parent binding (format v4 only; None for fulls).
+    delta: Optional[DeltaInfo] = None
+    #: SHA-256 of the serialized body — set by the serializers and by
+    #: the reader for v3+ files; it is the identity a child delta's
+    #: ``parent_sha256`` binds to.
+    body_sha256: Optional[bytes] = None
 
     @property
     def arch(self) -> Architecture:
@@ -384,8 +439,8 @@ def _decode_chunk_index(r: SectionReader, n_chunks: int):
     return index
 
 
-def _encode_integrity_trailer(view, extents) -> bytes:
-    """The v3 integrity trailer for a complete body.
+def _encode_integrity_trailer(view, extents) -> tuple[bytes, bytes]:
+    """The v3 integrity trailer for a complete body + the body SHA-256.
 
     ``view`` may be a ``bytes`` or ``memoryview`` of the body;
     ``extents`` is ``SectionWriter.section_extents`` output.  Layout:
@@ -405,9 +460,10 @@ def _encode_integrity_trailer(view, extents) -> bytes:
                 zlib.crc32(view[off : off + length]) & 0xFFFFFFFF,
             )
         )
-    parts.append(hashlib.sha256(view).digest())
+    sha = hashlib.sha256(view).digest()
+    parts.append(sha)
     blob = b"".join(parts)
-    return blob + struct.pack("<I", len(blob))
+    return blob + struct.pack("<I", len(blob)), sha
 
 
 def serialize_snapshot(snap: VMSnapshot) -> bytes:
@@ -420,7 +476,11 @@ def serialize_snapshot(snap: VMSnapshot) -> bytes:
     w = _write_snapshot_body(snap)
     body = w.getvalue()
     if snap.header.format_version >= 3:
-        body += _encode_integrity_trailer(body, w.section_extents(len(body)))
+        trailer, sha = _encode_integrity_trailer(
+            body, w.section_extents(len(body))
+        )
+        body += trailer
+        snap.body_sha256 = sha
     crc = zlib.crc32(body) & 0xFFFFFFFF
     return body + CHECKPOINT_END + struct.pack("<I", crc)
 
@@ -436,10 +496,11 @@ def serialize_snapshot_writer(snap: VMSnapshot) -> "SectionWriter":
     if snap.header.format_version >= 3:
         body_len = w.buf.tell()
         with w.buf.getbuffer() as view:
-            trailer = _encode_integrity_trailer(
+            trailer, sha = _encode_integrity_trailer(
                 view, w.section_extents(body_len)
             )
         w.raw(trailer)
+        snap.body_sha256 = sha
     with w.buf.getbuffer() as view:
         crc = zlib.crc32(view) & 0xFFFFFFFF
     w.raw(CHECKPOINT_END + struct.pack("<I", crc))
@@ -459,8 +520,19 @@ def _write_snapshot_body(snap: VMSnapshot) -> "SectionWriter":
         w.raw(CHECKPOINT_MAGIC_V2)
     elif version == 3:
         w.raw(CHECKPOINT_MAGIC_V3)
+    elif version == 4:
+        w.raw(CHECKPOINT_MAGIC_V4)
     else:
         raise CheckpointFormatError(f"cannot write format version {version}")
+    delta = snap.delta
+    if version >= 4 and delta is None:
+        raise CheckpointFormatError(
+            "format v4 is delta-only: snapshot carries no delta info"
+        )
+    if version < 4 and delta is not None:
+        raise CheckpointFormatError(
+            f"delta snapshots require format v4 (asked for v{version})"
+        )
     # Architecture marker (paper step 5): word size then native "one".
     w.u8(arch.word_bytes)
     w.word(1)
@@ -470,6 +542,13 @@ def _write_snapshot_body(snap: VMSnapshot) -> "SectionWriter":
     w.u32(h.current_tid)
     w.bytes_lp(h.code_digest)
     w.u32(h.code_len)
+    if version >= 4:
+        # Parent binding: the delta only applies on top of the exact
+        # generation whose body hashed to this digest.
+        w.raw(delta.parent_sha256)
+        w.u32(delta.chain_depth)
+        w.u64(delta.dirty_words)
+        w.u64(delta.total_words)
     # Boundaries (paper step 6).
     w.begin_section("boundaries")
     w.u32(len(snap.boundaries))
@@ -483,33 +562,52 @@ def _write_snapshot_body(snap: VMSnapshot) -> "SectionWriter":
     w.word(snap.freelist_head)
     w.word(snap.global_data)
     w.u64(snap.allocated_words)
-    # Heap (paper step 8).
+    # Heap (paper step 8).  v4 writes dirty regions per chunk instead
+    # of the full chunk dump.
     w.begin_section("heap")
-    w.u32(len(snap.heap_chunks))
-    for base, words in snap.heap_chunks:
-        w.word(base)
-        w.words(words)
-    # Block-extent index (format v2; optional).
+    if version >= 4:
+        n_chunks = len(delta.chunks)
+        w.u32(n_chunks)
+        for rec in delta.chunks:
+            w.word(rec.base)
+            w.u64(rec.n_words)
+            w.u32(len(rec.regions))
+            for start, words in rec.regions:
+                w.u64(start)
+                w.words(words)
+    else:
+        n_chunks = len(snap.heap_chunks)
+        w.u32(n_chunks)
+        for base, words in snap.heap_chunks:
+            w.word(base)
+            w.words(words)
+    # Block-extent index (format v2; optional).  A v4 index covers the
+    # *reconstructed* heap: one entry per chunk record, whole chunks.
     if version >= 2:
         w.begin_section("index")
-        if snap.chunk_index is not None and len(snap.chunk_index) != len(
-            snap.heap_chunks
-        ):
+        if snap.chunk_index is not None and len(snap.chunk_index) != n_chunks:
             raise CheckpointFormatError(
                 "block-extent index does not cover every heap chunk"
             )
         w.u8(1 if snap.chunk_index is not None else 0)
         if snap.chunk_index is not None:
             _encode_chunk_index(w, snap.chunk_index)
-    # Atom table (paper step 9).
+    # Atom table (paper step 9).  Static after VM init, so a delta
+    # normally omits it (presence byte 0) and reconstruction walks back.
     w.begin_section("atoms")
-    w.words(snap.atom_words)
-    # C globals.
+    if version >= 4:
+        w.u8(1 if delta.has_atoms else 0)
+    if version < 4 or delta.has_atoms:
+        w.words(snap.atom_words)
+    # C globals (omitted from deltas when untouched since the parent).
     w.begin_section("cglobals")
-    w.words(snap.cglobal_words)
-    w.u32(len(snap.cglobal_roots))
-    for idx in snap.cglobal_roots:
-        w.u32(idx)
+    if version >= 4:
+        w.u8(1 if delta.has_cglobals else 0)
+    if version < 4 or delta.has_cglobals:
+        w.words(snap.cglobal_words)
+        w.u32(len(snap.cglobal_roots))
+        for idx in snap.cglobal_roots:
+            w.u32(idx)
     # Threads (paper steps 7, 10, 11).
     w.begin_section("threads")
     w.u32(len(snap.threads))
@@ -619,8 +717,9 @@ def _parse_checkpoint(data: bytes, raw_arrays: bool = False) -> VMSnapshot:
     (crc,) = struct.unpack("<I", end[8:])
     version = _MAGIC_VERSIONS.get(data[: len(CHECKPOINT_MAGIC)])
     sections: Optional[list[SectionEntry]] = None
+    body_sha: Optional[bytes] = None
     if version is not None and version >= 3:
-        body, sections = _verify_v3_payload(payload, crc)
+        body, sections, body_sha = _verify_v3_payload(payload, crc)
     else:
         if zlib.crc32(payload) & 0xFFFFFFFF != crc:
             raise CheckpointIntegrityError(
@@ -634,6 +733,7 @@ def _parse_checkpoint(data: bytes, raw_arrays: bool = False) -> VMSnapshot:
         body = payload
     snap = _parse_body(SectionReader(body), raw_arrays)
     snap.sections = sections
+    snap.body_sha256 = body_sha
     return snap
 
 
@@ -668,7 +768,7 @@ def _locate_parse_end(data: bytes) -> tuple[str, int]:
 
 def _verify_v3_payload(
     payload: bytes, end_crc: int
-) -> tuple[bytes, list[SectionEntry]]:
+) -> tuple[bytes, list[SectionEntry], bytes]:
     """Locate and check the v3 integrity trailer; verify the body.
 
     Verification order: per-section CRC32s first (cheap, and a mismatch
@@ -772,7 +872,7 @@ def _verify_v3_payload(
             expected=end_crc,
             actual=zlib.crc32(payload) & 0xFFFFFFFF,
         )
-    return body, entries
+    return body, entries, sha
 
 
 def read_section_table(data: bytes) -> Optional[list[SectionEntry]]:
@@ -851,6 +951,13 @@ def _parse_body_sections(r: SectionReader, raw_arrays: bool) -> VMSnapshot:
     current_tid = r.u32()
     code_digest = r.bytes_lp()
     code_len = r.u32()
+    parent_sha = b""
+    chain_depth = dirty_words = total_words = 0
+    if version >= 4:
+        parent_sha = r._take(32)
+        chain_depth = r.u32()
+        dirty_words = r.u64()
+        total_words = r.u64()
     header = CheckpointHeader(
         word_bytes=word_bytes,
         endianness=endianness,
@@ -876,21 +983,40 @@ def _parse_body_sections(r: SectionReader, raw_arrays: bool) -> VMSnapshot:
     allocated_words = r.u64()
     r.begin("heap")
     heap_chunks = []
-    for _ in range(r.u32()):
-        base = r.word()
-        heap_chunks.append(
-            (base, r.words_array() if raw_arrays else r.words())
-        )
+    delta_chunks = []
+    n_chunks = r.u32()
+    if version >= 4:
+        for _ in range(n_chunks):
+            base = r.word()
+            n_words = r.u64()
+            regions = []
+            for _ in range(r.u32()):
+                start = r.u64()
+                regions.append(
+                    (start, r.words_array() if raw_arrays else r.words())
+                )
+            delta_chunks.append(DeltaChunkRecord(base, n_words, regions))
+    else:
+        for _ in range(n_chunks):
+            base = r.word()
+            heap_chunks.append(
+                (base, r.words_array() if raw_arrays else r.words())
+            )
     chunk_index = None
     if version >= 2:
         r.begin("index")
         if r.u8():
-            chunk_index = _decode_chunk_index(r, len(heap_chunks))
+            chunk_index = _decode_chunk_index(r, n_chunks)
     r.begin("atoms")
-    atom_words = r.words()
+    has_atoms = True if version < 4 else bool(r.u8())
+    atom_words = r.words() if has_atoms else []
     r.begin("cglobals")
-    cglobal_words = r.words()
-    cglobal_roots = [r.u32() for _ in range(r.u32())]
+    has_cglobals = True if version < 4 else bool(r.u8())
+    if has_cglobals:
+        cglobal_words = r.words()
+        cglobal_roots = [r.u32() for _ in range(r.u32())]
+    else:
+        cglobal_words, cglobal_roots = [], []
     threads = []
     r.begin("threads")
     for _ in range(r.u32()):
@@ -927,6 +1053,17 @@ def _parse_body_sections(r: SectionReader, raw_arrays: bool) -> VMSnapshot:
         channels.append(
             ChannelRecord(cid, path, mode, std_name, position, out_buffer, closed)
         )
+    delta = None
+    if version >= 4:
+        delta = DeltaInfo(
+            parent_sha256=parent_sha,
+            chain_depth=chain_depth,
+            dirty_words=dirty_words,
+            total_words=total_words,
+            has_atoms=has_atoms,
+            has_cglobals=has_cglobals,
+            chunks=delta_chunks,
+        )
     return VMSnapshot(
         header=header,
         boundaries=boundaries,
@@ -940,4 +1077,113 @@ def _parse_body_sections(r: SectionReader, raw_arrays: bool) -> VMSnapshot:
         threads=threads,
         channels=channels,
         chunk_index=chunk_index,
+        delta=delta,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Delta-chain reconstruction (format v4)
+# ---------------------------------------------------------------------------
+
+
+def merge_delta_chain(chain: list[VMSnapshot], raw_arrays: bool = False) -> VMSnapshot:
+    """Reconstruct a full snapshot from a base + ordered deltas.
+
+    ``chain`` is ordered base-first: element 0 must be a full (non-delta)
+    snapshot and every later element a v4 delta whose recorded parent
+    SHA-256 matches the body digest of the element before it — the
+    binding that stops a delta from being spliced onto the wrong
+    generation.  Heap regions are applied oldest-to-newest with
+    vectorized array splices; non-heap sections (threads, channels,
+    boundaries, globals, index) come from the newest element, and
+    omitted atom/C-global sections walk back to the nearest element that
+    carries them.
+
+    The merged snapshot presents itself as a plain full checkpoint
+    (``delta`` is ``None``, header version 3) so the existing restore
+    pipeline — pointer fixing, endianness/word-size conversion — runs on
+    it unchanged.
+    """
+    if not chain:
+        raise CheckpointFormatError("empty delta chain")
+    base = chain[0]
+    if base.delta is not None:
+        raise CheckpointIntegrityError(
+            "delta chain has no full base: the oldest element is itself "
+            f"a delta (chain depth {base.delta.chain_depth})",
+            section="header",
+        )
+    if len(chain) == 1:
+        return base
+    state: dict[int, np.ndarray] = {
+        cbase: np.asarray(words, dtype=np.uint64).copy()
+        for cbase, words in base.heap_chunks
+    }
+    for prev, snap in zip(chain, chain[1:]):
+        info = snap.delta
+        if info is None:
+            raise CheckpointFormatError(
+                "full checkpoint in the middle of a delta chain"
+            )
+        if prev.body_sha256 is None or info.parent_sha256 != prev.body_sha256:
+            have = prev.body_sha256.hex()[:16] if prev.body_sha256 else "unknown"
+            raise CheckpointIntegrityError(
+                f"delta parent hash mismatch: delta binds to "
+                f"{info.parent_sha256.hex()[:16]}... but the preceding "
+                f"generation's body is {have}...",
+                section="header",
+                expected=info.parent_sha256.hex(),
+                actual=prev.body_sha256.hex() if prev.body_sha256 else None,
+            )
+        current: dict[int, np.ndarray] = {}
+        for rec in info.chunks:
+            arr = state.get(rec.base)
+            if arr is None or arr.size != rec.n_words:
+                # A chunk the parent didn't have (or whose geometry
+                # changed): it was freshly mapped, so its regions cover
+                # every meaningful word.
+                arr = np.zeros(rec.n_words, dtype=np.uint64)
+            for start, words in rec.regions:
+                wa = np.asarray(words, dtype=np.uint64)
+                if start + wa.size > arr.size:
+                    raise CheckpointIntegrityError(
+                        f"delta region [{start}, {start + wa.size}) "
+                        f"overruns chunk of {arr.size} word(s)",
+                        section="heap",
+                    )
+                arr[start : start + wa.size] = wa
+            current[rec.base] = arr
+        # Chunks absent from this delta's records were unmapped on the
+        # saving machine (compaction) and are dropped here too.
+        state = current
+    head = chain[-1]
+    heap_chunks: list[tuple[int, object]] = [
+        (rec.base, state[rec.base] if raw_arrays else state[rec.base].tolist())
+        for rec in head.delta.chunks
+    ]
+    atom_words = base.atom_words
+    cglobal_words = base.cglobal_words
+    cglobal_roots = base.cglobal_roots
+    for snap in chain[1:]:
+        if snap.delta.has_atoms:
+            atom_words = snap.atom_words
+        if snap.delta.has_cglobals:
+            cglobal_words = snap.cglobal_words
+            cglobal_roots = snap.cglobal_roots
+    return VMSnapshot(
+        header=replace(head.header, format_version=3),
+        boundaries=head.boundaries,
+        freelist_head=head.freelist_head,
+        global_data=head.global_data,
+        allocated_words=head.allocated_words,
+        heap_chunks=heap_chunks,
+        atom_words=atom_words,
+        cglobal_words=cglobal_words,
+        cglobal_roots=cglobal_roots,
+        threads=head.threads,
+        channels=head.channels,
+        chunk_index=head.chunk_index,
+        sections=None,
+        delta=None,
+        body_sha256=head.body_sha256,
     )

@@ -21,6 +21,7 @@ from typing import Optional, Protocol
 
 from repro.checkpoint.commit import atomic_commit
 from repro.checkpoint.format import (
+    CHECKPOINT_MAGIC_V4,
     _parse_checkpoint,
     read_section_table,
 )
@@ -50,6 +51,9 @@ class LocalStoreSource:
     def chunk(self, key: str) -> bytes:
         return self.store.get_object(key)
 
+    def generations(self, vm_id: str) -> list[int]:
+        return list(self.store.generations(vm_id))
+
 
 class ClientSource:
     """Repair from a running store daemon via :class:`StoreClient`."""
@@ -62,6 +66,10 @@ class ClientSource:
 
     def chunk(self, key: str) -> bytes:
         return self.client.get_chunk(key)
+
+    def generations(self, vm_id: str) -> list[int]:
+        listing = self.client.ls().get("vms", {}).get(vm_id, [])
+        return sorted(g["generation"] for g in listing)
 
 
 def verify_checkpoint_bytes(data: bytes) -> list[dict]:
@@ -235,4 +243,230 @@ def fsck_checkpoint(
     report["action"] = "refetched"
     report["sections_repaired"] = len(sectional) or 1
     INTEGRITY.sections_repaired += report["sections_repaired"]
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Delta-chain fsck
+# ---------------------------------------------------------------------------
+
+
+def _chain_link_report(path: str) -> dict:
+    """Verify one chain link and extract its chain identity."""
+    entry: dict = {
+        "path": path,
+        "kind": "unknown",
+        "ok": False,
+        "problems": [],
+        "body_sha256": None,
+        "parent_sha256": None,
+    }
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError as e:
+        entry["problems"] = [{"error": f"cannot read {path}: {e}"}]
+        return entry
+    # The magic alone decides delta-ness, so discovery keeps walking
+    # past a link too damaged to parse.
+    if data[:6] == CHECKPOINT_MAGIC_V4:
+        entry["kind"] = "delta"
+    entry["problems"] = verify_checkpoint_bytes(data)
+    entry["ok"] = not entry["problems"]
+    if entry["ok"]:
+        snap = _parse_checkpoint(data)
+        if snap.body_sha256 is not None:
+            entry["body_sha256"] = snap.body_sha256.hex()
+        if snap.delta is not None:
+            entry["kind"] = "delta"
+            entry["parent_sha256"] = snap.delta.parent_sha256.hex()
+        else:
+            entry["kind"] = "full"
+    return entry
+
+
+def _chain_generations(
+    source: ReplicaSource,
+    vm_id: str,
+    links: list[dict],
+    head_generation: Optional[int],
+) -> list[Optional[int]]:
+    """Store generations aligned to the local chain, head first.
+
+    Alignment uses two signals: any locally verifiable link is matched
+    to a store generation by its own body SHA, and the damaged gaps in
+    between are filled by following the ``parent_sha256`` ->
+    ``body_sha256`` links the HA supervisor records in manifest meta.
+    Sources or uploads without that meta can only locate the head.
+    """
+    chain: list[Optional[int]] = [None] * len(links)
+    gen_of = getattr(source, "generations", None)
+    if gen_of is None:
+        chain[0] = head_generation
+        return chain
+    try:
+        gens = list(gen_of(vm_id))
+    except StoreError:
+        gens = []
+    if not gens:
+        chain[0] = head_generation
+        return chain
+    metas: dict[int, dict] = {}
+    for g in gens:
+        try:
+            metas[g] = source.manifest(vm_id, g).meta or {}
+        except StoreError:
+            metas[g] = {}
+    used: set[int] = set()
+
+    def by_body(sha: Optional[str]) -> Optional[int]:
+        cands = [
+            g
+            for g in gens
+            if sha and g not in used and metas[g].get("body_sha256") == sha
+        ]
+        return max(cands) if cands else None
+
+    chain[0] = (
+        head_generation
+        if head_generation is not None
+        else by_body(links[0]["body_sha256"])
+    )
+    if chain[0] is None and all(e["body_sha256"] is None for e in links):
+        # Nothing verifies locally and no explicit generation: assume
+        # the store's newest generation is the chain head.
+        chain[0] = max(gens)
+    if chain[0] is not None:
+        used.add(chain[0])
+    for idx in range(1, len(links)):
+        g = by_body(links[idx]["body_sha256"])
+        if g is None:
+            # The link itself is unreadable; find it through what its
+            # child recorded as the parent SHA — the locally verified
+            # child binding if available, otherwise the store meta of
+            # the child's generation.
+            psha = links[idx - 1].get("parent_sha256")
+            if not psha and chain[idx - 1] is not None:
+                psha = metas.get(chain[idx - 1], {}).get("parent_sha256")
+            g = by_body(psha)
+        chain[idx] = g
+        if g is not None:
+            used.add(g)
+    return chain
+
+
+def fsck_chain(
+    path: str,
+    repair: bool = False,
+    source: Optional[ReplicaSource] = None,
+    vm_id: Optional[str] = None,
+    generation: Optional[int] = None,
+) -> dict:
+    """Verify ``path`` and, for a v4 delta head, its whole parent chain.
+
+    Each link gets its own verification report plus a binding check
+    (every delta's recorded parent SHA must match the next generation's
+    body SHA).  Repair runs base-first: a delta is only repaired once
+    everything beneath it verifies — patching a delta whose base is
+    unverifiable would manufacture a chain that merges into garbage, so
+    that repair is refused instead.
+    """
+    from repro.checkpoint.reader import MAX_DELTA_CHAIN, next_generation_path
+
+    report: dict = {
+        "path": path,
+        "ok": False,
+        "kind": "full",
+        "chain_depth": 0,
+        "links": [],
+        "action": "none",
+        "sections_repaired": 0,
+        "chunks_fetched": 0,
+    }
+    p = path
+    for _ in range(MAX_DELTA_CHAIN + 1):
+        entry = _chain_link_report(p)
+        report["links"].append(entry)
+        if entry["kind"] != "delta":
+            break
+        p = next_generation_path(p)
+    else:
+        last = report["links"][-1]
+        last["ok"] = False
+        last["problems"].append(
+            {"error": f"delta chain deeper than {MAX_DELTA_CHAIN} links"}
+        )
+    links = report["links"]
+    report["kind"] = "delta" if links[0]["kind"] == "delta" else "full"
+    report["chain_depth"] = len(links) - 1
+
+    if (
+        repair
+        and any(not e["ok"] for e in links)
+        and source is not None
+        and vm_id is not None
+    ):
+        gens = _chain_generations(source, vm_id, links, generation)
+        deeper_ok = True  # everything beneath the current link verifies
+        for idx in range(len(links) - 1, -1, -1):
+            entry = links[idx]
+            if entry["ok"]:
+                continue
+            if not deeper_ok:
+                entry["problems"].append(
+                    {
+                        "error": "repair refused: this delta's base chain "
+                        "is unverifiable",
+                    }
+                )
+                report["action"] = "refused"
+                continue
+            gen = gens[idx] if idx < len(gens) else None
+            if gen is None and idx > 0:
+                entry["problems"].append(
+                    {"error": "no store generation locatable for this link"}
+                )
+                deeper_ok = False
+                report["action"] = "unrepairable"
+                continue
+            sub = fsck_checkpoint(
+                entry["path"],
+                repair=True,
+                source=source,
+                vm_id=vm_id,
+                generation=gen,
+            )
+            report["sections_repaired"] += sub["sections_repaired"]
+            report["chunks_fetched"] += sub["chunks_fetched"]
+            if sub["ok"]:
+                links[idx] = _chain_link_report(entry["path"])
+                if report["action"] == "none":
+                    report["action"] = "repaired"
+            else:
+                entry["problems"] = sub["problems"]
+                deeper_ok = False
+                report["action"] = "unrepairable"
+
+    # Binding verification over the (possibly repaired) files.
+    for child, parent in zip(links, links[1:]):
+        if (
+            child.get("parent_sha256")
+            and parent.get("body_sha256")
+            and child["parent_sha256"] != parent["body_sha256"]
+        ):
+            child["ok"] = False
+            child["problems"].append(
+                {
+                    "error": (
+                        f"chain binding mismatch: {child['path']} expects "
+                        f"parent body SHA {child['parent_sha256'][:16]}... "
+                        f"but {parent['path']} has "
+                        f"{parent['body_sha256'][:16]}..."
+                    ),
+                }
+            )
+    report["ok"] = all(e["ok"] for e in links)
+    report["problems"] = [
+        dict(prob, link=e["path"]) for e in links for prob in e["problems"]
+    ]
     return report

@@ -267,8 +267,14 @@ def inspect_snapshot(snap: VMSnapshot) -> InspectionReport:
 
 
 def inspect_checkpoint(path: str) -> InspectionReport:
-    """Read, verify (signature + CRC) and deep-validate a checkpoint."""
-    return inspect_snapshot(read_checkpoint(path))
+    """Read, verify (signature + CRC) and deep-validate a checkpoint.
+
+    A v4 delta head is reconstructed through its chain first — the
+    structural walk only makes sense over a complete heap image.
+    """
+    from repro.checkpoint.reader import load_snapshot_chain
+
+    return inspect_snapshot(load_snapshot_chain(path))
 
 
 def describe_snapshot(snap: VMSnapshot) -> dict:
@@ -280,8 +286,19 @@ def describe_snapshot(snap: VMSnapshot) -> dict:
     """
     h = snap.header
     heap_words = sum(len(w) for _, w in snap.heap_chunks)
+    delta = None
+    if snap.delta is not None:
+        delta = {
+            "parent_sha256": snap.delta.parent_sha256.hex(),
+            "chain_depth": snap.delta.chain_depth,
+            "dirty_words": snap.delta.dirty_words,
+            "total_words": snap.delta.total_words,
+            "dirty_ratio": snap.delta.dirty_ratio,
+        }
     return {
         "format_version": h.format_version,
+        "kind": "full" if snap.delta is None else "delta",
+        "delta": delta,
         "has_block_index": snap.chunk_index is not None,
         "integrity_verified": snap.sections is not None,
         "sections": [
@@ -328,7 +345,12 @@ def describe_checkpoint(path: str, deep: bool = False) -> dict:
     desc = describe_snapshot(snap)
     desc["path"] = path
     if deep:
-        report = inspect_snapshot(snap)
+        target = snap
+        if snap.delta is not None:
+            from repro.checkpoint.reader import load_snapshot_chain
+
+            target = load_snapshot_chain(path)
+        report = inspect_snapshot(target)
         desc["problems"] = list(report.problems)
         desc["ok"] = report.ok
         desc["blocks_by_class"] = dict(report.blocks_by_class)

@@ -27,6 +27,7 @@ Steps, mapped onto this implementation:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import BinaryIO, Optional
 
@@ -40,10 +41,15 @@ from repro.checkpoint.convert import ValueConverter
 from repro.checkpoint.format import (
     VMSnapshot,
     annotate_restore_error,
+    merge_delta_chain,
     read_checkpoint,
 )
 from repro.checkpoint.relocate import AddressMapper
-from repro.errors import HeapExhausted, RestartError
+from repro.errors import (
+    CheckpointIntegrityError,
+    HeapExhausted,
+    RestartError,
+)
 from repro.metrics import INTEGRITY
 from repro.memory.blocks import (
     Color,
@@ -75,6 +81,77 @@ class RestartStats:
     @property
     def total_seconds(self) -> float:
         return self.phases.total
+
+
+#: Hard ceiling on delta-chain depth during reconstruction — far above
+#: any depth the writer produces (``chkpt_full_every`` forces periodic
+#: fulls) but low enough to stop a corrupt header from looping forever.
+MAX_DELTA_CHAIN = 64
+
+
+def next_generation_path(path: str) -> str:
+    """Where the parent generation of ``path`` lives on disk.
+
+    Mirrors the rotation in :func:`repro.checkpoint.commit.atomic_commit`:
+    the head's previous generation moves to ``path.1``, whose previous
+    generation moves to ``path.2``, and so on — so the parent of
+    ``path.N`` is ``path.N+1``.  The existence probe disambiguates a
+    head path whose own name ends in a digit suffix.
+    """
+    candidate = f"{path}.1"
+    if os.path.exists(candidate):
+        return candidate
+    stem, dot, suffix = path.rpartition(".")
+    if dot and suffix.isdigit():
+        return f"{stem}.{int(suffix) + 1}"
+    return candidate
+
+
+def load_snapshot_chain(path: str, raw_arrays: bool = False) -> VMSnapshot:
+    """Read ``path``, reconstructing through its delta chain if needed.
+
+    A full (v1-v3) checkpoint is returned as-is.  A v4 delta walks the
+    generation chain (``path.1``, ``path.2``, ...) until a full base is
+    found, validates each parent-SHA binding, and splices the dirty
+    regions newest-last into a merged full snapshot.  Any break in the
+    chain — a missing generation, a parent-hash mismatch, a chain deeper
+    than :data:`MAX_DELTA_CHAIN` — raises a typed
+    :class:`~repro.errors.CheckpointIntegrityError`, which the caller's
+    generation fallback treats like any other damaged head.
+    """
+    snap = read_checkpoint(path, raw_arrays=raw_arrays)
+    if snap.delta is None:
+        return snap
+    chain = [snap]
+    current = path
+    while chain[-1].delta is not None:
+        if len(chain) > MAX_DELTA_CHAIN:
+            raise annotate_restore_error(
+                CheckpointIntegrityError(
+                    f"delta chain deeper than {MAX_DELTA_CHAIN} "
+                    f"generations (corrupt chain header?)",
+                    section="header",
+                ),
+                path,
+            )
+        current = next_generation_path(current)
+        try:
+            chain.append(read_checkpoint(current, raw_arrays=raw_arrays))
+        except OSError as e:
+            raise annotate_restore_error(
+                CheckpointIntegrityError(
+                    f"delta chain broken: parent generation "
+                    f"{current} unreadable: {e}",
+                    section="header",
+                ),
+                path,
+            ) from e
+    chain.reverse()
+    try:
+        return merge_delta_chain(chain, raw_arrays=raw_arrays)
+    except CheckpointIntegrityError as e:
+        INTEGRITY.integrity_failures += 1
+        raise annotate_restore_error(e, path) from e
 
 
 def restart_vm(
@@ -164,9 +241,10 @@ def _restart_vm(
     stats = RestartStats()
     timer = stats.phases
     vectorize = config.vectorize if config is not None else True
-    # Steps 1-4: read and validate.
+    # Steps 1-4: read and validate (reconstructing through a v4 delta
+    # chain when the head is incremental).
     with timer.phase("read_file"):
-        snap = read_checkpoint(path, raw_arrays=vectorize)
+        snap = load_snapshot_chain(path, raw_arrays=vectorize)
     if snap.header.code_digest != code.digest():
         raise RestartError(
             "checkpoint was taken from a different program (digest mismatch)"

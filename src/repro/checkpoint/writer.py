@@ -29,7 +29,7 @@ from __future__ import annotations
 import array
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, TYPE_CHECKING
 
 import numpy as np
@@ -43,6 +43,8 @@ from repro.checkpoint.format import (
     CLASS_STRING,
     AreaRecord,
     CheckpointHeader,
+    DeltaChunkRecord,
+    DeltaInfo,
     RegisterRecord,
     ThreadRecord,
     VMSnapshot,
@@ -51,7 +53,7 @@ from repro.checkpoint.format import (
 )
 from repro.errors import CheckpointError
 from repro.memory.blocks import Color, DOUBLE_TAG, NO_SCAN_TAG, STRING_TAG
-from repro.metrics import PhaseTimer
+from repro.metrics import DELTA, PhaseTimer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.vm import VirtualMachine
@@ -70,6 +72,19 @@ class CheckpointStats:
     #: Phase breakdown of the checkpointer's work (Figure 13).
     phases: PhaseTimer = field(default_factory=PhaseTimer)
     mode: str = "background"
+    #: "full" or "delta" (format v4 incremental checkpoint).
+    kind: str = "full"
+    #: Delta bookkeeping (zero for full checkpoints).
+    dirty_words: int = 0
+    total_words: int = 0
+    chain_depth: int = 0
+    #: True once the write finished (set immediately in blocking mode;
+    #: by :meth:`VirtualMachine.join_background_checkpoint` otherwise).
+    #: ``file_bytes`` is unreliable until then — background callers must
+    #: join before reading it.
+    completed: bool = False
+    #: The writer-thread failure, surfaced as a typed error at join.
+    error: Optional[BaseException] = None
 
     @property
     def writer_seconds(self) -> float:
@@ -81,6 +96,7 @@ def build_snapshot(
     vm: "VirtualMachine",
     timer: Optional[PhaseTimer] = None,
     defer_unbox: bool = False,
+    try_delta: bool = False,
 ) -> VMSnapshot:
     """Capture checkpointable state at the current safe point.
 
@@ -91,6 +107,14 @@ def build_snapshot(
     minimum — heap chunks are captured as plain list copies and the
     numpy conversion happens on the writer thread.  In blocking mode the
     conversion *is* the capture (one pass instead of copy-then-convert).
+
+    With ``try_delta`` (the caller has already verified a usable parent
+    generation exists) the capture inspects the dirty-region tracker
+    *after* the minor collection — promotion dirties regions — and, if
+    the dirty ratio stays under ``chkpt_dirty_threshold``, copies only
+    the dirty runs of each chunk into a format-v4 delta snapshot.
+    Either way the tracker is cleared inside the blocking window, so
+    the next delta measures mutation since *this* capture.
     """
     timer = timer or PhaseTimer()
     # Step 2: empty the young generation.  A *pure* minor collection, as
@@ -99,6 +123,22 @@ def build_snapshot(
     with timer.phase("minor_gc"):
         vm.gc.minor.collect()
     assert vm.mem.minor.is_empty()
+
+    # Delta feasibility: decided after the minor GC (promotion marks
+    # regions) and inside the blocking window (the tracker is live).
+    dirty = None
+    delta_mode = False
+    dirty_word_count = 0
+    if try_delta:
+        dirty = vm.mem.dirty.snapshot()
+        if not dirty.force_full:
+            geometry = [(c.base, c.n_words) for c in vm.mem.heap.chunks]
+            total = sum(n for _, n in geometry)
+            dirty_word_count = dirty.dirty_words(geometry)
+            delta_mode = (
+                total == 0
+                or dirty_word_count / total <= vm.config.chkpt_dirty_threshold
+            )
 
     # Step 3: capture with the scheduler timer off.
     timer_was = vm.sched.timer_enabled
@@ -155,9 +195,66 @@ def build_snapshot(
         vectorize = vm.config.vectorize
         wb = vm.platform.arch.word_bytes
         chunk_positions: Optional[list[np.ndarray]] = None
+        chunk_headers: Optional[list[np.ndarray]] = None
+        heap_chunks: list = []
+        delta_chunks: list[DeltaChunkRecord] = []
         with timer.phase("heap_dump"):
-            if vectorize:
-                heap_chunks = []
+            if delta_mode:
+                # Copy only the dirty runs of each chunk.  Every mapped
+                # chunk gets a record (its geometry is needed to
+                # reconstruct new chunks and drop vanished ones).
+                with timer.kernel("dirty_copy"):
+                    for c in vm.mem.heap.chunks:
+                        runs = dirty.chunk_runs(c.base, c.n_words)
+                        staged = (
+                            c.area.peek_staged() if vectorize else None
+                        )
+                        regions = []
+                        for start, n in runs:
+                            if staged is not None:
+                                regions.append(
+                                    (start, staged[start : start + n].copy())
+                                )
+                            elif vectorize and not defer_unbox:
+                                regions.append((
+                                    start,
+                                    _unbox_words(
+                                        c.area.words[start : start + n], wb
+                                    ),
+                                ))
+                            else:
+                                regions.append(
+                                    (start, c.area.words[start : start + n])
+                                )
+                        delta_chunks.append(
+                            DeltaChunkRecord(c.base, c.n_words, regions)
+                        )
+                if vectorize:
+                    # The block-extent index covers the reconstructed
+                    # heap, so header positions *and values* must be
+                    # captured in the window (the mutator keeps
+                    # rewriting headers once it resumes).
+                    chunk_positions = []
+                    chunk_headers = []
+                    with timer.kernel("block_positions"):
+                        for c in vm.mem.heap.chunks:
+                            pos = vm.mem.heap.block_positions(c)
+                            chunk_positions.append(pos)
+                            staged = c.area.peek_staged()
+                            if staged is not None:
+                                chunk_headers.append(
+                                    staged[pos].astype(np.uint64)
+                                )
+                            else:
+                                ws = c.area.words
+                                chunk_headers.append(
+                                    np.fromiter(
+                                        (ws[i] for i in pos.tolist()),
+                                        dtype=np.uint64,
+                                        count=int(pos.size),
+                                    )
+                                )
+            elif vectorize:
                 chunk_positions = []
                 with timer.kernel("unbox"):
                     for c in vm.mem.heap.chunks:
@@ -181,11 +278,25 @@ def build_snapshot(
                 ]
             heap_words = sum(c.n_words for c in vm.mem.heap.chunks)
 
-        # Step 9: globals + atoms.
+        # Step 9: globals + atoms.  A delta omits the atom table (static
+        # after VM init) and the C-global dump when nothing wrote it.
         with timer.phase("globals_atoms"):
-            atom_words = list(vm.mem.atoms.area.words)
-            cglobal_words = list(vm.mem.cglobals.area.words[: vm.mem.cglobals.used_words])
-            cglobal_roots = list(vm.mem.cglobals.root_indices)
+            if delta_mode:
+                atom_words = []
+                if dirty.globals_dirty:
+                    cglobal_words = list(
+                        vm.mem.cglobals.area.words[: vm.mem.cglobals.used_words]
+                    )
+                    cglobal_roots = list(vm.mem.cglobals.root_indices)
+                else:
+                    cglobal_words = []
+                    cglobal_roots = []
+            else:
+                atom_words = list(vm.mem.atoms.area.words)
+                cglobal_words = list(
+                    vm.mem.cglobals.area.words[: vm.mem.cglobals.used_words]
+                )
+                cglobal_roots = list(vm.mem.cglobals.root_indices)
 
         # Steps 10-11: stacks (used regions, top first).
         with timer.phase("stack"):
@@ -210,8 +321,20 @@ def build_snapshot(
         with timer.phase("channels"):
             channels = vm.channels.snapshot()
 
+        delta_info = None
+        if delta_mode:
+            delta_info = DeltaInfo(
+                parent_sha256=vm.delta_parent_sha,
+                chain_depth=vm.delta_depth + 1,
+                dirty_words=dirty_word_count,
+                total_words=heap_words,
+                has_atoms=False,
+                has_cglobals=dirty.globals_dirty,
+                chunks=delta_chunks,
+            )
+
         header = CheckpointHeader(
-            format_version=vm.config.chkpt_format,
+            format_version=4 if delta_mode else vm.config.chkpt_format,
             word_bytes=vm.platform.arch.word_bytes,
             endianness=vm.platform.arch.endianness,
             platform_name=vm.platform.name,
@@ -233,9 +356,17 @@ def build_snapshot(
             cglobal_roots=cglobal_roots,
             threads=threads,
             channels=channels,
+            delta=delta_info,
         )
         snap._heap_words = heap_words  # type: ignore[attr-defined]
         snap._chunk_positions = chunk_positions  # type: ignore[attr-defined]
+        snap._chunk_headers = chunk_headers  # type: ignore[attr-defined]
+        snap._dirty_regions = (  # type: ignore[attr-defined]
+            len(dirty.region_ids) if delta_mode else 0
+        )
+        # Reset the tracker inside the blocking window: whatever the
+        # mutator writes from here on is mutation since this capture.
+        vm.mem.dirty.clear()
         return snap
     finally:
         vm.sched.timer_enabled = timer_was
@@ -259,17 +390,21 @@ def _unbox_words(words: list[int], word_bytes: int) -> np.ndarray:
     )
 
 
-def _classify_blocks(arr: np.ndarray, positions: np.ndarray) -> np.ndarray:
-    """Per-block CLASS_* codes from the headers at ``positions``."""
-    hds = arr[positions]
+def _classify_header_words(hds: np.ndarray) -> np.ndarray:
+    """Per-block CLASS_* codes from an array of header words."""
     tags = hds & hds.dtype.type(0xFF)
     colors = (hds >> hds.dtype.type(8)) & hds.dtype.type(3)
-    classes = np.full(positions.size, CLASS_SCAN, dtype=np.uint8)
+    classes = np.full(hds.size, CLASS_SCAN, dtype=np.uint8)
     classes[tags >= NO_SCAN_TAG] = CLASS_OPAQUE
     classes[tags == STRING_TAG] = CLASS_STRING
     classes[tags == DOUBLE_TAG] = CLASS_DOUBLE
     classes[colors == Color.BLUE.value] = CLASS_FREE
     return classes
+
+
+def _classify_blocks(arr: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """Per-block CLASS_* codes from the headers at ``positions``."""
+    return _classify_header_words(arr[positions])
 
 
 def _finalize_snapshot(snap: VMSnapshot) -> None:
@@ -278,11 +413,35 @@ def _finalize_snapshot(snap: VMSnapshot) -> None:
     Runs on the writer thread in background mode (the snapshot's copies
     are private by then): unboxes any chunk still held as a list and
     derives the block-extent index classes from the captured positions.
+    A delta snapshot unboxes its dirty regions instead and classifies
+    from the header *values* captured in the blocking window (the delta
+    carries no full chunk arrays to index into).
     """
     positions = getattr(snap, "_chunk_positions", None)
     if positions is None:
         return
     wb = snap.header.word_bytes
+    if snap.delta is not None:
+        headers = getattr(snap, "_chunk_headers", None) or []
+        chunks = []
+        index = []
+        for rec, pos, hds in zip(snap.delta.chunks, positions, headers):
+            regions = [
+                (
+                    start,
+                    words
+                    if isinstance(words, np.ndarray)
+                    else _unbox_words(words, wb),
+                )
+                for start, words in rec.regions
+            ]
+            chunks.append(DeltaChunkRecord(rec.base, rec.n_words, regions))
+            index.append((pos, _classify_header_words(hds)))
+        snap.delta = replace(snap.delta, chunks=chunks)
+        snap.chunk_index = index
+        snap._chunk_positions = None  # type: ignore[attr-defined]
+        snap._chunk_headers = None  # type: ignore[attr-defined]
+        return
     chunks = []
     index = []
     for (base, words), pos in zip(snap.heap_chunks, positions):
@@ -345,8 +504,12 @@ class CheckpointWriter:
 
     def _mode(self) -> str:
         cfg = self.vm.config.chkpt_mode
-        if cfg in ("blocking", "background"):
-            return cfg
+        if cfg == "blocking":
+            return "blocking"
+        # "background" (explicit or auto) degrades to blocking on
+        # platforms without fork — the NT personality has no child
+        # process to hand the write to, so honoring the request would
+        # hand a mutating VM to a concurrent serializer.
         return "background" if self.vm.platform.supports_fork else "blocking"
 
     def checkpoint(self, path: str) -> CheckpointStats:
@@ -360,21 +523,78 @@ class CheckpointWriter:
         mode = self._mode()
         stats = CheckpointStats(path=path, mode=mode)
         timer = stats.phases
-        retain = vm.config.chkpt_retain
-        hooks = vm.config.commit_hooks
+        cfg = vm.config
+        retain = cfg.chkpt_retain
+        hooks = cfg.commit_hooks
         # Wait out any previous in-flight writer (one checkpoint at a time,
-        # like the paper's single checkpoint file).
+        # like the paper's single checkpoint file).  Must happen before
+        # the delta decision: a failed writer resets the parent chain.
         vm.join_background_checkpoint()
 
+        # Delta preconditions that don't depend on the dirty state; the
+        # dirty-ratio check happens inside the capture window.  The base
+        # of a depth-d chain lives at ``path.d`` after rotation, so the
+        # retention window must be at least that deep.
+        next_depth = vm.delta_depth + 1
+        try_delta = (
+            cfg.chkpt_incremental
+            and cfg.chkpt_format >= 3
+            and vm.delta_parent_sha is not None
+            and vm.delta_parent_path == path
+            and retain >= next_depth
+            and (cfg.chkpt_full_every <= 0 or next_depth < cfg.chkpt_full_every)
+        )
+
         t0 = time.perf_counter()
-        snap = build_snapshot(vm, timer, defer_unbox=(mode == "background"))
+        snap = build_snapshot(
+            vm, timer, defer_unbox=(mode == "background"), try_delta=try_delta
+        )
         stats.heap_words = getattr(snap, "_heap_words", 0)
+        info = snap.delta
+        if info is not None:
+            stats.kind = "delta"
+            stats.dirty_words = info.dirty_words
+            stats.total_words = info.total_words
+            stats.chain_depth = info.chain_depth
+        dirty_regions = getattr(snap, "_dirty_regions", 0)
+        wb = vm.platform.arch.word_bytes
+
+        def _commit_success(n_bytes: int) -> None:
+            # The committed file is the parent of the next delta.  In
+            # background mode this runs on the writer thread: safe,
+            # because the next checkpoint joins it before reading.
+            vm.delta_parent_sha = snap.body_sha256
+            vm.delta_parent_path = path
+            vm.delta_depth = info.chain_depth if info is not None else 0
+            if info is not None:
+                DELTA.checkpoints_delta += 1
+                DELTA.dirty_regions += dirty_regions
+                DELTA.delta_bytes_saved += max(
+                    0, stats.heap_words * wb - n_bytes
+                )
+            else:
+                DELTA.checkpoints_full += 1
+
+        def _commit_failure() -> None:
+            # The dirty information was cleared at capture but the
+            # generation it measured against never committed: poison
+            # the tracker so the next checkpoint goes full.
+            vm.mem.dirty.mark_all()
+            vm.delta_parent_sha = None
+            vm.delta_parent_path = None
+            vm.delta_depth = 0
 
         if mode == "blocking":
-            stats.file_bytes = write_snapshot(
-                snap, path, timer, retain=retain, hooks=hooks
-            )
+            try:
+                stats.file_bytes = write_snapshot(
+                    snap, path, timer, retain=retain, hooks=hooks
+                )
+            except Exception:
+                _commit_failure()
+                raise
             stats.blocking_seconds = time.perf_counter() - t0
+            stats.completed = True
+            _commit_success(stats.file_bytes)
         else:
             stats.blocking_seconds = time.perf_counter() - t0
 
@@ -383,13 +603,15 @@ class CheckpointWriter:
                     stats.file_bytes = write_snapshot(
                         snap, path, timer, retain=retain, hooks=hooks
                     )
+                    _commit_success(stats.file_bytes)
                 except Exception as exc:  # pragma: no cover - I/O failure
                     stats.file_bytes = -1
-                    stats.error = exc  # type: ignore[attr-defined]
+                    stats.error = exc
 
             thread = threading.Thread(
                 target=_writer, name="checkpoint-writer", daemon=True
             )
             vm._background_writer = thread
+            vm._background_stats = stats
             thread.start()
         return stats

@@ -60,6 +60,14 @@ def _config_from(args: argparse.Namespace) -> VMConfig:
         cfg.chkpt_format = int(args.format.lstrip("v"))
     if getattr(args, "retain", None) is not None:
         cfg.chkpt_retain = args.retain
+    if getattr(args, "incremental", False):
+        cfg.chkpt_incremental = True
+    if getattr(args, "full_every", None) is not None:
+        cfg.chkpt_full_every = args.full_every
+    if getattr(args, "dirty_threshold", None) is not None:
+        cfg.chkpt_dirty_threshold = args.dirty_threshold
+    if getattr(args, "region_words", None) is not None:
+        cfg.chkpt_region_words = args.region_words
     return cfg
 
 
@@ -96,6 +104,14 @@ def cmd_info(args: argparse.Namespace) -> int:
     snap = read_checkpoint(args.checkpoint_file)
     h = snap.header
     print(f"checkpoint: {args.checkpoint_file}")
+    if snap.delta is not None:
+        d = snap.delta
+        print(f"  kind     : delta (chain depth {d.chain_depth}, "
+              f"{d.dirty_words}/{d.total_words} words dirty = "
+              f"{d.dirty_ratio:.1%})")
+        print(f"  parent   : body sha256 {d.parent_sha256.hex()[:16]}...")
+    else:
+        print("  kind     : full")
     if snap.chunk_index is None:
         index_note = "no block index (restart discovers blocks by walking)"
     else:
@@ -121,7 +137,13 @@ def cmd_info(args: argparse.Namespace) -> int:
     if args.deep:
         from repro.checkpoint.inspect import inspect_snapshot
 
-        print("deep validation:")
+        if snap.delta is not None:
+            from repro.checkpoint.reader import load_snapshot_chain
+
+            snap = load_snapshot_chain(args.checkpoint_file)
+            print("deep validation (chain merged):")
+        else:
+            print("deep validation:")
         report = inspect_snapshot(snap)
         for line in report.render().splitlines():
             print(f"  {line}")
@@ -176,6 +198,7 @@ def cmd_fsck(args: argparse.Namespace) -> int:
     from repro.checkpoint.fsck import (
         ClientSource,
         LocalStoreSource,
+        fsck_chain,
         fsck_checkpoint,
     )
 
@@ -191,8 +214,9 @@ def cmd_fsck(args: argparse.Namespace) -> int:
         host, port = _parse_addr(args.addr)
         client = StoreClient(host, port, retries=args.retries)
         source = ClientSource(client)
+    check = fsck_chain if args.chain else fsck_checkpoint
     try:
-        report = fsck_checkpoint(
+        report = check(
             args.checkpoint_file,
             repair=args.repair,
             source=source,
@@ -207,6 +231,9 @@ def cmd_fsck(args: argparse.Namespace) -> int:
     else:
         status = "OK" if report["ok"] else "DAMAGED"
         print(f"{report['path']}: {status} (action: {report['action']})")
+        for link in report.get("links", []):
+            mark = "ok" if link["ok"] else "DAMAGED"
+            print(f"  {link['path']}: {link['kind']} [{mark}]")
         for p in report["problems"]:
             print(f"  - {p.get('error', p)}")
         if report["sections_repaired"]:
@@ -249,25 +276,35 @@ def cmd_faults_inject(args: argparse.Namespace) -> int:
 
 
 def cmd_faults_fuzz(args: argparse.Namespace) -> int:
-    from repro.faults.fuzz import fuzz_matrix
+    from repro.faults.fuzz import fuzz_delta_chain, fuzz_matrix
 
-    report = fuzz_matrix(
-        seed=args.seed,
-        mutations=args.mutations,
-        platforms=args.platforms.split(",") if args.platforms else None,
-        progress=lambda msg: print(f"[{msg}]", file=sys.stderr),
-    )
+    platforms = args.platforms.split(",") if args.platforms else None
+    progress = lambda msg: print(f"[{msg}]", file=sys.stderr)  # noqa: E731
+    if args.delta:
+        report = fuzz_delta_chain(
+            seed=args.seed, platforms=platforms, progress=progress
+        )
+    else:
+        report = fuzz_matrix(
+            seed=args.seed,
+            mutations=args.mutations,
+            platforms=platforms,
+            progress=progress,
+        )
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         o = report["outcomes"]
-        print(f"corruption matrix: {report['mutations']} mutation(s) over "
+        total = report.get("mutations", report.get("cases", 0))
+        what = "delta-chain case(s)" if args.delta else "mutation(s)"
+        print(f"corruption matrix: {total} {what} over "
               f"{report['pairs']} platform pair(s)")
         print(f"  detected + recovered : {o['detected_and_recovered']}")
         print(f"  clean restores       : {o['clean_restore']}")
         print(f"  invariant violations : {len(report['failures'])}")
         for f in report["failures"]:
-            print(f"  FAIL {f['pair']}: {f['mutation']} -> {f['problem']}")
+            what = f.get("mutation", f.get("scenario", "?"))
+            print(f"  FAIL {f['pair']}: {what} -> {f['problem']}")
     return 0 if report["ok"] else 1
 
 
@@ -422,6 +459,9 @@ def build_parser() -> argparse.ArgumentParser:
     fk.add_argument("checkpoint_file")
     fk.add_argument("--repair", action="store_true",
                     help="re-fetch damaged sections from the store")
+    fk.add_argument("--chain", action="store_true",
+                    help="verify/repair the whole delta chain "
+                         "(path.1, path.2, ... back to the full base)")
     fk.add_argument("--store-root", default=None,
                     help="repair from a local store directory instead of "
                          "a daemon")
@@ -463,6 +503,10 @@ def build_parser() -> argparse.ArgumentParser:
                      "detects or recovers")
     ff.add_argument("--seed", type=int, default=2002)
     ff.add_argument("--mutations", type=int, default=200)
+    ff.add_argument("--delta", action="store_true",
+                    help="run the delta-chain scenarios (corrupt base, "
+                         "corrupt middle delta, swapped parent) instead "
+                         "of the byte-mutation matrix")
     ff.add_argument("--platforms", default=None,
                     help="comma-separated platform names "
                          "(default: one per architecture class)")
@@ -561,6 +605,22 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--retain", type=int, default=None, metavar="N",
                         help="keep N previous checkpoint generations as "
                              "path.1..path.N (CHKPT_RETAIN)")
+        sp.add_argument("--incremental", action="store_true",
+                        help="write format-v4 delta checkpoints of the "
+                             "dirty regions since the previous generation "
+                             "(CHKPT_INCREMENTAL)")
+        sp.add_argument("--full-every", type=int, default=None, metavar="N",
+                        help="force a full checkpoint every N generations "
+                             "(CHKPT_FULL_EVERY; 0 = never)")
+        sp.add_argument("--dirty-threshold", type=float, default=None,
+                        metavar="R",
+                        help="write a full checkpoint when more than this "
+                             "fraction of the heap is dirty "
+                             "(CHKPT_DIRTY_THRESHOLD)")
+        sp.add_argument("--region-words", type=int, default=None,
+                        metavar="W",
+                        help="dirty-tracking region granularity in words "
+                             "(CHKPT_REGION_WORDS)")
         sp.add_argument("--max-instructions", type=int, default=None)
 
     r = sub.add_parser("run", help="run a program on a simulated platform")

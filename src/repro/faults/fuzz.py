@@ -18,6 +18,7 @@ mutation.
 from __future__ import annotations
 
 import io
+import random
 from typing import Callable, Optional
 
 from repro.arch.platforms import PLATFORMS, Platform
@@ -231,3 +232,219 @@ def _fuzz_one(
                 {"pair": label, "mutation": m.describe(),
                  "problem": "fallback restore produced wrong output"}
             )
+
+
+# ---------------------------------------------------------------------------
+# Delta-chain corruption matrix
+# ---------------------------------------------------------------------------
+
+#: Six checkpoints under ``chkpt_incremental`` with ``full_every=3`` and
+#: ``retain=5`` leave this chain on disk, newest first:
+#: head = delta(depth 2), .1 = delta(depth 1), .2 = FULL, .3 = delta(2),
+#: .4 = delta(1), .5 = FULL.  Every scenario below damages a specific
+#: link of the head's chain; a healthy older generation always survives.
+DELTA_FUZZ_PROGRAM = """
+let rec build n acc = if n = 0 then acc else build (n - 1) (n :: acc);;
+let keep = build 120 [];;
+let rec sum l = match l with [] -> 0 | h :: t -> h + sum t;;
+let arr = Array.make 16 0;;
+let () = for i = 0 to 15 do arr.(i) <- i * 3 done;;
+checkpoint ();;
+let () = for i = 0 to 15 do arr.(i) <- arr.(i) + 1 done;;
+print_int arr.(5);;
+print_string ";";;
+checkpoint ();;
+let () = for i = 0 to 15 do arr.(i) <- arr.(i) + 2 done;;
+print_int arr.(7);;
+print_string ";";;
+checkpoint ();;
+let () = for i = 0 to 15 do arr.(i) <- arr.(i) + 3 done;;
+print_int arr.(11);;
+print_string ";";;
+checkpoint ();;
+let () = for i = 0 to 15 do arr.(i) <- arr.(i) + 4 done;;
+print_int arr.(13);;
+print_string ";";;
+checkpoint ();;
+let () = for i = 0 to 15 do arr.(i) <- arr.(i) + 5 done;;
+print_int (sum keep + arr.(2));;
+print_string ";";;
+checkpoint ();;
+print_string "done";;
+print_newline ();;
+"""
+
+#: The delta-chain scenarios; see :func:`fuzz_delta_chain`.
+DELTA_SCENARIOS = ("control", "corrupt-base", "corrupt-middle", "swap-parent")
+
+
+def _flip_bytes(path: str, rng: random.Random, n: int = 3) -> None:
+    with open(path, "rb") as f:
+        data = bytearray(f.read())
+    for _ in range(n):
+        i = rng.randrange(len(data))
+        data[i] ^= rng.randrange(1, 256)
+    with open(path, "wb") as f:
+        f.write(bytes(data))
+
+
+def fuzz_delta_chain(
+    seed: int = 2002,
+    platforms: Optional[list[str]] = None,
+    program: str = DELTA_FUZZ_PROGRAM,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """The delta-chain corruption matrix (``repro faults fuzz --delta``).
+
+    The invariant: damaging any link of a delta chain — the full base,
+    a middle delta, or the head's parent binding (a valid but *wrong*
+    file swapped into the parent slot) — must produce either the exact
+    head output (the damage was a no-op) or a typed error plus a
+    fallback restore whose output is bit-identical to that surviving
+    generation's baseline.  Silently merging a delta onto the wrong
+    base is the failure mode the parent-SHA binding exists to prevent.
+    """
+    import tempfile
+
+    from repro.checkpoint.format import CHECKPOINT_MAGIC_V4
+
+    names = list(platforms or ARCH_REPRESENTATIVES)
+    for n in names:
+        if n not in PLATFORMS:
+            raise ValueError(f"unknown platform {n!r}")
+    code = compile_source(program)
+    report: dict = {
+        "seed": seed,
+        "pairs": len(names) * len(names),
+        "cases": 0,
+        "outcomes": {"clean_restore": 0, "detected_and_recovered": 0},
+        "failures": [],
+        "ok": True,
+    }
+
+    with tempfile.TemporaryDirectory() as td:
+        chains: dict[str, tuple[str, dict[str, bytes]]] = {}
+        for origin in names:
+            path = f"{td}/{origin}.hckp"
+            vm = VirtualMachine(
+                PLATFORMS[origin],
+                code,
+                VMConfig(
+                    chkpt_filename=path,
+                    chkpt_mode="blocking",
+                    chkpt_retain=5,
+                    chkpt_incremental=True,
+                    chkpt_full_every=3,
+                ),
+                stdout=io.BytesIO(),
+            )
+            result = vm.run(max_instructions=20_000_000)
+            assert result.status == "stopped" and vm.checkpoints_taken == 6
+            gens = [path] + [f"{path}.{i}" for i in range(1, 6)]
+            pristine: dict[str, bytes] = {}
+            for g in gens:
+                with open(g, "rb") as f:
+                    pristine[g] = f.read()
+            # The scenarios rely on this exact chain shape.
+            kinds = [
+                pristine[g][:6] == CHECKPOINT_MAGIC_V4 for g in gens
+            ]
+            assert kinds == [True, True, False, True, True, False], (
+                f"{origin}: unexpected chain shape {kinds}"
+            )
+            chains[origin] = (path, pristine)
+
+        for pair_idx, (origin, target) in enumerate(
+            (o, t) for o in names for t in names
+        ):
+            path, pristine = chains[origin]
+
+            def _reset() -> None:
+                for g, data in pristine.items():
+                    with open(g, "wb") as f:
+                        f.write(data)
+
+            _reset()
+            baselines = {
+                g: _run_restarted(
+                    PLATFORMS[target], code, g, fallback=False
+                )[0]
+                for g in pristine
+            }
+            for si, scenario in enumerate(DELTA_SCENARIOS):
+                report["cases"] += 1
+                _reset()
+                rng = random.Random(seed * 1000 + pair_idx * 10 + si)
+                if scenario == "corrupt-base":
+                    _flip_bytes(f"{path}.2", rng)
+                elif scenario == "corrupt-middle":
+                    _flip_bytes(f"{path}.1", rng)
+                elif scenario == "swap-parent":
+                    with open(f"{path}.1", "wb") as f:
+                        f.write(pristine[f"{path}.2"])
+                _fuzz_delta_one(
+                    report, scenario, PLATFORMS[target], code, path,
+                    baselines, label=f"{origin}->{target}",
+                )
+            if progress is not None:
+                progress(
+                    f"{origin}->{target}: {report['cases']} case(s), "
+                    f"{len(report['failures'])} failure(s)"
+                )
+
+    report["ok"] = not report["failures"]
+    return report
+
+
+def _fuzz_delta_one(
+    report: dict,
+    scenario: str,
+    target: Platform,
+    code,
+    path: str,
+    baselines: dict[str, bytes],
+    label: str,
+) -> None:
+    """Run one scenario's restore and check the chain invariant."""
+
+    def fail(problem: str) -> None:
+        report["failures"].append(
+            {"pair": label, "scenario": scenario, "problem": problem}
+        )
+
+    try:
+        out, restored = _run_restarted(target, code, path, fallback=True)
+    except RestartError as e:
+        fail(f"fallback chain exhausted despite healthy generations: {e}")
+        return
+    except Exception as e:  # noqa: BLE001 — the invariant bans these
+        fail(f"uncaught {type(e).__name__}: {e}")
+        return
+    if scenario == "control":
+        if restored != path or out != baselines[path]:
+            fail("control restore was not a clean head restore")
+        else:
+            report["outcomes"]["clean_restore"] += 1
+        return
+    if scenario == "swap-parent":
+        # The swapped-in parent is a valid FULL file with the wrong
+        # identity: the binding check must reject the head, and the
+        # fallback then restores that full directly.
+        if restored == path:
+            fail("parent-SHA binding mismatch went undetected")
+        elif out != baselines[f"{path}.2"]:
+            fail("fallback after binding mismatch gave wrong output")
+        else:
+            report["outcomes"]["detected_and_recovered"] += 1
+        return
+    # Byte-flip scenarios: whatever generation won must reproduce its
+    # own pre-mutation baseline (head included, if the flips no-op'd).
+    if out != baselines.get(restored):
+        fail(
+            f"restore from {restored} did not match its baseline "
+            f"(scenario {scenario})"
+        )
+    elif restored == path:
+        report["outcomes"]["clean_restore"] += 1
+    else:
+        report["outcomes"]["detected_and_recovered"] += 1

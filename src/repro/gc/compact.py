@@ -80,6 +80,11 @@ def compact(gc: "GCController") -> CompactionStats:
         heap._chunk_stride,
         chunk_words=heap.chunk_words,
     )
+    # Keep dirty-region tracking attached: the fresh chunks mark
+    # themselves fully dirty as they are added, and stale regions of
+    # now-unmapped chunks are clipped away at capture time.
+    new_heap.dirty_regions = heap.dirty_regions
+    new_heap.dirty_shift = heap.dirty_shift
     mem.heap = new_heap
     relocation: dict[int, int] = {}
     for old_ptr, tag, size, payload in live:

@@ -244,6 +244,11 @@ class MajorCollector:
                         hm[end] = 0
                     merged += 1 + headers.size(nhd)
                     end += 1 + headers.size(nhd)
+                # Direct header write (no store_header): mark its dirty
+                # region by hand for incremental checkpoints.
+                heap.dirty_regions.add(
+                    (chunk.base + i * mem.arch.word_bytes) >> heap.dirty_shift
+                )
                 words[i] = headers.make(0, Color.WHITE, merged)
                 if merged >= 1:
                     block = chunk.base + (i + 1) * mem.arch.word_bytes
@@ -254,6 +259,9 @@ class MajorCollector:
                 done += merged + 1
                 self._sweep_word = end
             elif color is Color.BLACK:
+                heap.dirty_regions.add(
+                    (chunk.base + i * mem.arch.word_bytes) >> heap.dirty_shift
+                )
                 words[i] = headers.with_color(hd, Color.WHITE)
                 done += size + 1
                 self._sweep_word = i + 1 + size

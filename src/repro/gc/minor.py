@@ -59,6 +59,7 @@ class MinorCollector:
             v = mem.space.load(addr)
             nv = self._oldify(v)
             if nv != v:
+                mem.dirty.mark(addr)
                 mem.space.store(addr, nv)
 
         # 3. Transitively copy everything reachable from the copies.
@@ -91,6 +92,11 @@ class MinorCollector:
         tag = headers.tag(hd)
         size = headers.size(hd)
         new_block = mem.alloc_shr(size, tag)
+        # Promotion copies bypass the write barrier (raw stores below);
+        # mark the whole promoted block — header included — dirty so a
+        # delta checkpoint captures it.  ``_mopup`` writes land inside
+        # this same range.
+        mem.mark_dirty_range(new_block - mem.arch.word_bytes, size + 1)
         for i in range(size):
             # Raw copy; init_field records any young pointers copied into
             # the major heap so _mopup can be interrupted safely.

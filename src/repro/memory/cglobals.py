@@ -37,6 +37,14 @@ class CGlobalArea:
         self._next = 0
         #: Word indices registered as GC roots (they hold values).
         self.root_indices: list[int] = []
+        #: Dirty hook for incremental checkpoints: called on any slot
+        #: allocation or write, so a delta can omit the C-global dump
+        #: when nothing touched it.  Set by the memory manager.
+        self.on_write = None
+
+    def _note_write(self) -> None:
+        if self.on_write is not None:
+            self.on_write()
 
     def alloc_slot(self, register_root: bool = True, init: int = 1) -> int:
         """Allocate one word; returns its address.
@@ -48,6 +56,7 @@ class CGlobalArea:
             raise MemoryError_("C-global area exhausted")
         idx = self._next
         self._next += 1
+        self._note_write()
         self.area.words[idx] = init
         if register_root:
             self.root_indices.append(idx)
@@ -68,4 +77,5 @@ class CGlobalArea:
 
     def store(self, addr: int, value: int) -> None:
         """Write a slot by address."""
+        self._note_write()
         self.area.store(addr, value)

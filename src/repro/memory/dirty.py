@@ -1,0 +1,177 @@
+"""Dirty-region tracking for incremental checkpoints.
+
+The GC write barrier (``MemoryManager.set_field``) already observes
+every mutation of the major heap; this module piggybacks a coarse
+region bitmap on it, the way CheckSync exploits the runtime's barrier
+for cheap runtime-integrated checkpoints.  The heap is divided into
+power-of-two regions (default 1 KiB of words); any write inside a
+region marks the whole region dirty.  A delta checkpoint then saves
+only the dirty regions — the Nth checkpoint costs what changed, not
+what exists.
+
+Every path that writes major-heap words must mark the tracker:
+
+* the mutator write barrier and initializing writes
+  (``MemoryManager.set_field`` / ``init_field``);
+* the heap allocator's header and freelist writes
+  (``Heap.store_header`` / ``Heap.set_field`` / ``add_chunk``);
+* minor-GC promotion, which copies payloads with raw stores
+  (``MinorCollector._oldify``);
+* the major sweep's direct header recoloring.
+
+Non-heap state (stacks, globals, atoms, threads, channels) is always
+saved in full by a delta — it is small — but the tracker still records
+stack growth and C-global writes so a delta can omit the C-global dump
+when nothing touched it, and so ``repro info`` can report why a delta
+was or was not possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default region granularity: 1 KiB of words per dirty region.
+DEFAULT_REGION_WORDS = 1024
+
+
+@dataclass(frozen=True)
+class DirtySnapshot:
+    """An immutable copy of the tracker state at a safe point."""
+
+    region_ids: tuple[int, ...]
+    region_words: int
+    word_bytes: int
+    shift: int
+    force_full: bool
+    globals_dirty: bool
+    stack_growths: int
+
+    def chunk_runs(self, base: int, n_words: int) -> list[tuple[int, int]]:
+        """Dirty ``(start_word, len_words)`` runs inside one heap chunk.
+
+        Adjacent dirty regions coalesce into one run; the last run is
+        clipped to the chunk length.  Regions never straddle chunks —
+        chunk bases are region-aligned (chunk strides are multiples of
+        every permitted region byte size).
+        """
+        shift = self.shift
+        lo = base >> shift
+        hi = (base + n_words * self.word_bytes - 1) >> shift
+        ids = [r for r in self.region_ids if lo <= r <= hi]
+        if not ids:
+            return []
+        runs: list[tuple[int, int]] = []
+        run_start = prev = ids[0]
+        for rid in ids[1:]:
+            if rid == prev + 1:
+                prev = rid
+                continue
+            runs.append((run_start, prev))
+            run_start = prev = rid
+        runs.append((run_start, prev))
+        out = []
+        for first, last in runs:
+            start_word = ((first << shift) - base) // self.word_bytes
+            span = (last - first + 1) * self.region_words
+            span = min(span, n_words - start_word)
+            if span > 0:
+                out.append((start_word, span))
+        return out
+
+    def dirty_words(self, chunks: list[tuple[int, int]]) -> int:
+        """Total dirty words over ``(base, n_words)`` chunk extents."""
+        return sum(
+            span
+            for base, n_words in chunks
+            for _, span in self.chunk_runs(base, n_words)
+        )
+
+
+class DirtyTracker:
+    """Mutable dirty-region state owned by the memory manager.
+
+    The hot-path contract: writers mark regions by adding
+    ``addr >> shift`` to :attr:`regions` directly (callers cache the
+    bound ``regions.add`` and ``shift``), so a barrier pays one shift
+    and one set insert.  ``clear()`` empties the set in place — cached
+    bound methods stay valid.
+    """
+
+    __slots__ = (
+        "region_words",
+        "word_bytes",
+        "shift",
+        "regions",
+        "force_full",
+        "globals_dirty",
+        "stack_growths",
+    )
+
+    def __init__(
+        self, word_bytes: int, region_words: int = DEFAULT_REGION_WORDS
+    ) -> None:
+        if region_words <= 0 or region_words & (region_words - 1):
+            raise ValueError(
+                f"region_words must be a positive power of two, "
+                f"got {region_words}"
+            )
+        self.region_words = region_words
+        self.word_bytes = word_bytes
+        self.shift = (region_words * word_bytes).bit_length() - 1
+        self.regions: set[int] = set()
+        #: True when dirty information is incomplete (e.g. a failed
+        #: background write lost a generation): the next checkpoint
+        #: must be full.
+        self.force_full = False
+        self.globals_dirty = False
+        self.stack_growths = 0
+
+    # -- marking -------------------------------------------------------------
+
+    def mark(self, addr: int) -> None:
+        """Mark the region containing byte address ``addr``."""
+        self.regions.add(addr >> self.shift)
+
+    def mark_range(self, addr: int, n_words: int) -> None:
+        """Mark every region overlapping ``n_words`` words at ``addr``."""
+        if n_words <= 0:
+            return
+        first = addr >> self.shift
+        last = (addr + (n_words - 1) * self.word_bytes) >> self.shift
+        if first == last:
+            self.regions.add(first)
+        else:
+            self.regions.update(range(first, last + 1))
+
+    def mark_all(self) -> None:
+        """Poison the tracker: the next checkpoint must be full."""
+        self.force_full = True
+
+    def note_globals(self) -> None:
+        """A C-global slot was written or allocated."""
+        self.globals_dirty = True
+
+    def note_stack_growth(self) -> None:
+        """A thread stack was reallocated (its area moved)."""
+        self.stack_growths += 1
+
+    # -- checkpoint interface ----------------------------------------------
+
+    def snapshot(self) -> DirtySnapshot:
+        """Freeze the current state (taken inside the blocking window)."""
+        return DirtySnapshot(
+            region_ids=tuple(sorted(self.regions)),
+            region_words=self.region_words,
+            word_bytes=self.word_bytes,
+            shift=self.shift,
+            force_full=self.force_full,
+            globals_dirty=self.globals_dirty,
+            stack_growths=self.stack_growths,
+        )
+
+    def clear(self) -> None:
+        """Reset after a successful capture (same blocking window)."""
+        self.regions.clear()
+        self.force_full = False
+        self.globals_dirty = False
+        self.stack_growths = 0

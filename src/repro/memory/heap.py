@@ -95,8 +95,20 @@ class Heap:
         #: feeds the GC pacing controller.
         self.allocated_words: int = 0
         self._next_chunk_slot = 0
+        #: Dirty-region set shared with the memory manager's
+        #: :class:`~repro.memory.dirty.DirtyTracker` (a standalone heap
+        #: keeps a private set nobody reads).  Header and freelist
+        #: writes mark regions here so incremental checkpoints see
+        #: allocator and GC mutations, not just the mutator's.
+        self.dirty_regions: set[int] = set()
+        self.dirty_shift: int = 13  # matches the default 1 KiB-of-words
         if chunk_words * self._wb > chunk_stride:
             raise ValueError("chunk size exceeds the platform chunk stride")
+
+    def attach_dirty(self, tracker) -> None:
+        """Share a :class:`~repro.memory.dirty.DirtyTracker`'s region set."""
+        self.dirty_regions = tracker.regions
+        self.dirty_shift = tracker.shift
 
     # -- chunk management -----------------------------------------------------
 
@@ -132,6 +144,11 @@ class Heap:
         for page in range(base // PAGE_SIZE, area.end // PAGE_SIZE):
             self.page_table.add(page)
             self._page_chunk[page] = chunk
+        # A fresh chunk is entirely new content for a delta checkpoint.
+        self.dirty_regions.update(
+            range(base >> self.dirty_shift,
+                  ((area.end - 1) >> self.dirty_shift) + 1)
+        )
         # One big free block covering the chunk.
         area.words[0] = self.headers.make(0, Color.BLUE, n_words - 1)
         chunk.header_map = bytearray(n_words)
@@ -145,6 +162,10 @@ class Heap:
     ) -> HeapChunk:
         """Adopt an externally built chunk area (used by restart)."""
         self.space.map(area)
+        self.dirty_regions.update(
+            range(area.base >> self.dirty_shift,
+                  ((area.end - 1) >> self.dirty_shift) + 1)
+        )
         chunk = HeapChunk(area)
         chunk.header_map = header_map
         if self.chunks:
@@ -218,6 +239,7 @@ class Heap:
 
     def store_header(self, block: int, header: int) -> None:
         """Write the header of a block."""
+        self.dirty_regions.add((block - self._wb) >> self.dirty_shift)
         self.space.store(block - self._wb, header)
 
     def field(self, block: int, i: int) -> int:
@@ -225,8 +247,11 @@ class Heap:
         return self.space.load(block + i * self._wb)
 
     def set_field(self, block: int, i: int, value: int) -> None:
-        """``Field(block, i) = value`` (no write barrier at this level)."""
-        self.space.store(block + i * self._wb, value)
+        """``Field(block, i) = value`` (no GC barrier at this level, but
+        the write still dirties its region for delta checkpoints)."""
+        addr = block + i * self._wb
+        self.dirty_regions.add(addr >> self.dirty_shift)
+        self.space.store(addr, value)
 
     # -- freelist -------------------------------------------------------------------
 

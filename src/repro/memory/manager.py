@@ -22,6 +22,7 @@ from repro.memory.blocks import (
     STRING_TAG,
 )
 from repro.memory.cglobals import CGlobalArea
+from repro.memory.dirty import DEFAULT_REGION_WORDS, DirtyTracker
 from repro.memory.floats import FloatCodec
 from repro.memory.heap import Heap
 from repro.memory.layout import AddressSpace
@@ -38,6 +39,7 @@ class MemoryManager:
         platform: Platform,
         minor_words: int | None = None,
         chunk_words: int | None = None,
+        region_words: int | None = None,
     ) -> None:
         arch: Architecture = platform.arch
         self.platform = platform
@@ -65,6 +67,18 @@ class MemoryManager:
         )
         self.atoms = AtomTable(self.space, arch, layout.atom_base)
         self.cglobals = CGlobalArea(self.space, arch, layout.cglobal_base)
+
+        #: Dirty-region tracker for incremental checkpoints.  The heap
+        #: shares the tracker's region set so its header/freelist writes
+        #: mark regions without an extra indirection; the hot-path
+        #: barrier below caches the bound ``add`` the same way.
+        self.dirty = DirtyTracker(
+            arch.word_bytes, region_words or DEFAULT_REGION_WORDS
+        )
+        self._dirty_add = self.dirty.regions.add
+        self._dirty_shift = self.dirty.shift
+        self.heap.attach_dirty(self.dirty)
+        self.cglobals.on_write = self.dirty.note_globals
 
         #: Field addresses in the major heap holding young pointers.
         self.reftable: set[int] = set()
@@ -163,9 +177,11 @@ class MemoryManager:
         """
         addr = block + i * self._wb
         in_major = self.heap.is_in_heap(addr)
-        if in_major and self.major_gc is not None and self.major_gc.is_marking:
-            old = self.space.load(addr)
-            self.major_gc.darken(old)
+        if in_major:
+            self._dirty_add(addr >> self._dirty_shift)
+            if self.major_gc is not None and self.major_gc.is_marking:
+                old = self.space.load(addr)
+                self.major_gc.darken(old)
         self.space.store(addr, value)
         if in_major and self.is_young(value):
             self.reftable.add(addr)
@@ -180,8 +196,16 @@ class MemoryManager:
         """
         addr = block + i * self._wb
         self.space.store(addr, value)
-        if self.is_young(value) and self.heap.is_in_heap(addr):
-            self.reftable.add(addr)
+        if self.heap.is_in_heap(addr):
+            self._dirty_add(addr >> self._dirty_shift)
+            if self.is_young(value):
+                self.reftable.add(addr)
+
+    def mark_dirty_range(self, addr: int, n_words: int) -> None:
+        """Mark major-heap words written outside the barrier (raw stores
+        like minor-GC promotion copies) dirty for incremental
+        checkpoints."""
+        self.dirty.mark_range(addr, n_words)
 
     def block_payload(self, block: int) -> list[int]:
         """All payload words of a block (copy)."""

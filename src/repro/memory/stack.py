@@ -43,6 +43,9 @@ class VMStack:
         self.sp = self.stack_high
         #: Number of resizes performed (exposed for tests/metrics).
         self.realloc_count = 0
+        #: Dirty hook for incremental checkpoints: called whenever the
+        #: stack is reallocated (its area moves).  Set by the VM.
+        self.on_grow = None
 
     # -- geometry -----------------------------------------------------------
 
@@ -155,3 +158,5 @@ class VMStack:
         self.area = area
         self.sp = self.stack_high - len(used) * self._wb
         self.realloc_count += 1
+        if self.on_grow is not None:
+            self.on_grow()

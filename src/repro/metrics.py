@@ -122,12 +122,16 @@ class IntegrityCounters:
     fallback_restores: int = 0
     #: File sections repaired in place from a store replica by fsck.
     sections_repaired: int = 0
+    #: Background checkpoint writes that failed after the application
+    #: had already resumed (the error surfaces at the next join).
+    background_checkpoint_failures: int = 0
 
     def as_dict(self) -> dict:
         return {
             "integrity_failures": self.integrity_failures,
             "fallback_restores": self.fallback_restores,
             "sections_repaired": self.sections_repaired,
+            "background_checkpoint_failures": self.background_checkpoint_failures,
         }
 
     def delta_since(self, snapshot: dict) -> dict:
@@ -140,7 +144,55 @@ class IntegrityCounters:
         self.integrity_failures = 0
         self.fallback_restores = 0
         self.sections_repaired = 0
+        self.background_checkpoint_failures = 0
 
 
 #: The module-level instance everything increments (GIL-atomic int adds).
 INTEGRITY = IntegrityCounters()
+
+
+# ---------------------------------------------------------------------------
+# Incremental-checkpoint accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DeltaCounters:
+    """Process-wide counts for incremental (delta) checkpointing.
+
+    ``repro info --json`` reports these so an operator can see whether
+    the dirty-ratio heuristics actually pay off in their workload.
+    """
+
+    #: Full checkpoints written (including forced fallbacks to full).
+    checkpoints_full: int = 0
+    #: Delta (format v4) checkpoints written.
+    checkpoints_delta: int = 0
+    #: Dirty regions serialized across all delta checkpoints.
+    dirty_regions: int = 0
+    #: Bytes a delta saved versus the full heap dump it replaced
+    #: (heap words * word size minus the delta file size, clamped at 0).
+    delta_bytes_saved: int = 0
+    #: Wall-clock seconds of hashing/compression overlapped with socket
+    #: writes by the pipelined store upload.
+    upload_overlap_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "checkpoints_full": self.checkpoints_full,
+            "checkpoints_delta": self.checkpoints_delta,
+            "dirty_regions": self.dirty_regions,
+            "delta_bytes_saved": self.delta_bytes_saved,
+            "upload_overlap_seconds": self.upload_overlap_seconds,
+        }
+
+    def reset(self) -> None:
+        self.checkpoints_full = 0
+        self.checkpoints_delta = 0
+        self.dirty_regions = 0
+        self.delta_bytes_saved = 0
+        self.upload_overlap_seconds = 0.0
+
+
+#: The module-level instance the writer and store client increment.
+DELTA = DeltaCounters()

@@ -12,15 +12,19 @@ Retried uploads are safe end to end: chunk puts are content-addressed
 (idempotent by construction) and a manifest commit of an unchanged
 payload returns the existing generation instead of minting a new one.
 
-Uploads and downloads stream chunk-at-a-time — ``put_checkpoint_file``
-never holds more than one chunk of the file in memory, and every chunk
-is verified against its content address on the way down.
+Uploads are pipelined: a producer thread reads and SHA-256-hashes
+chunks while the calling thread queries presence and uploads the
+missing ones in small windows, so hashing overlaps socket I/O.  Memory
+stays bounded by the queue depth plus one window of chunks, and every
+chunk is verified against its content address on the way down.
 """
 
 from __future__ import annotations
 
 import hashlib
+import queue
 import socket
+import threading
 import time
 from typing import BinaryIO, Iterable, Iterator, Optional
 
@@ -44,6 +48,14 @@ _ERROR_CLASSES = {
 
 #: How many digests one HAS_MANY query carries at most.
 _HAS_BATCH = 1024
+
+#: How many hashed chunks the upload producer may run ahead of the
+#: uploading thread (bounds pipeline memory to depth * chunk_size).
+_PIPELINE_DEPTH = 8
+
+#: How many chunks the uploader accumulates before one presence query
+#: (amortizes HAS_MANY round trips without unbounded buffering).
+_UPLOAD_WINDOW = 32
 
 
 class StoreClient:
@@ -213,38 +225,114 @@ class StoreClient:
         self,
         vm_id: str,
         chunk_iter: Iterable[bytes],
-        reread: Iterator[bytes],
         meta: Optional[dict],
     ) -> tuple[int, PutStats]:
-        """Two-pass streaming upload: hash everything, send what's missing."""
-        keys: list[str] = []
-        sizes: list[int] = []
+        """Single-pass pipelined upload.
+
+        A producer thread reads and hashes chunks into a bounded queue;
+        this thread drains it in ``_UPLOAD_WINDOW``-sized windows —
+        one HAS_MANY per window, then puts for the absent chunks — so
+        read + hash time overlaps socket time.  ``overlap_seconds`` on
+        the returned stats is ``producer + consumer - wall``: the work
+        the pipeline hid versus running the two stages back to back.
+        """
+        q: queue.Queue = queue.Queue(maxsize=_PIPELINE_DEPTH)
+        abort = threading.Event()  # consumer died; stop producing
         payload_sha = hashlib.sha256()
-        for chunk in chunk_iter:
-            keys.append(chunk_key(chunk))
-            sizes.append(len(chunk))
-            payload_sha.update(chunk)
-        if not keys:  # an empty payload is one empty chunk
-            keys = [chunk_key(b"")]
-            sizes = [0]
-        stats = PutStats(chunks_total=len(keys), bytes_total=sum(sizes))
-        present = self.has_many(keys)
-        wanted = {k for k, have in zip(keys, present) if not have}
-        if chunk_key(b"") in wanted:  # the reread yields no empty chunk
-            self.put_chunk(b"")
-            wanted.discard(chunk_key(b""))
-            stats.chunks_new += 1
-        for chunk in reread:
-            key = chunk_key(chunk)
-            if key in wanted:
+        producer_seconds = [0.0]
+
+        def _enqueue(item) -> bool:
+            """Put with abort polling so a dead consumer can't wedge us."""
+            while not abort.is_set():
+                try:
+                    q.put(item, timeout=0.1)
+                    return True
+                except queue.Full:
+                    continue
+            return False
+
+        def _produce() -> None:
+            it = iter(chunk_iter)
+            try:
+                while True:
+                    t0 = time.perf_counter()
+                    try:
+                        chunk = next(it)
+                    except StopIteration:
+                        producer_seconds[0] += time.perf_counter() - t0
+                        break
+                    key = chunk_key(chunk)
+                    payload_sha.update(chunk)
+                    producer_seconds[0] += time.perf_counter() - t0
+                    if not _enqueue((key, chunk)):
+                        return
+            except BaseException as exc:  # surfaced on the consumer side
+                _enqueue(exc)
+            else:
+                _enqueue(None)
+
+        stats = PutStats()
+        keys: list[str] = []
+        payload_len = 0
+        consumer_seconds = 0.0
+        window: list[tuple[str, bytes]] = []
+
+        def _flush_window() -> float:
+            """Query one window's presence and upload the absent chunks."""
+            t0 = time.perf_counter()
+            present = self.has_many([k for k, _ in window])
+            sent: set[str] = set()
+            for (key, chunk), have in zip(window, present):
+                if have or key in sent:
+                    continue
                 self.put_chunk(chunk)
-                wanted.discard(key)
+                sent.add(key)
                 stats.chunks_new += 1
                 stats.bytes_new += len(chunk)
+            window.clear()
+            return time.perf_counter() - t0
+
+        wall0 = time.perf_counter()
+        producer = threading.Thread(
+            target=_produce, name="store-put-producer", daemon=True
+        )
+        producer.start()
+        try:
+            done = False
+            while not done:
+                item = q.get()
+                if item is None:
+                    done = True
+                elif isinstance(item, BaseException):
+                    raise item
+                else:
+                    key, chunk = item
+                    keys.append(key)
+                    payload_len += len(chunk)
+                    window.append((key, chunk))
+                if window and (done or len(window) >= _UPLOAD_WINDOW):
+                    consumer_seconds += _flush_window()
+        finally:
+            abort.set()
+            producer.join()
+        wall = time.perf_counter() - wall0
+        if not keys:  # an empty payload is one empty chunk
+            keys = [chunk_key(b"")]
+            if not self.has_chunk(keys[0]):
+                self.put_chunk(b"")
+                stats.chunks_new += 1
+        stats.chunks_total = len(keys)
+        stats.bytes_total = payload_len
+        stats.overlap_seconds = max(
+            0.0, producer_seconds[0] + consumer_seconds - wall
+        )
+        from repro.metrics import DELTA
+
+        DELTA.upload_overlap_seconds += stats.overlap_seconds
         generation = self.put_manifest(
             vm_id,
             keys,
-            payload_len=sum(sizes),
+            payload_len=payload_len,
             payload_sha256=payload_sha.hexdigest(),
             meta=meta,
         )
@@ -267,20 +355,15 @@ class StoreClient:
         self, vm_id: str, payload: bytes, meta: Optional[dict] = None
     ) -> tuple[int, PutStats]:
         """Upload one checkpoint payload; returns its generation + stats."""
-        return self._put_stream(
-            vm_id, self._iter_chunks(payload), self._iter_chunks(payload), meta
-        )
+        return self._put_stream(vm_id, self._iter_chunks(payload), meta)
 
     def put_checkpoint_file(
         self, vm_id: str, path: str, meta: Optional[dict] = None
     ) -> tuple[int, PutStats]:
         """Stream a checkpoint file up without loading it whole."""
-        with open(path, "rb") as f1, open(path, "rb") as f2:
+        with open(path, "rb") as f:
             return self._put_stream(
-                vm_id,
-                self._iter_file(f1, self.chunk_size),
-                self._iter_file(f2, self.chunk_size),
-                meta,
+                vm_id, self._iter_file(f, self.chunk_size), meta
             )
 
     def get_checkpoint(

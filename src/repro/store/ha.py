@@ -35,7 +35,7 @@ from repro.checkpoint.reader import restart_vm
 from repro.errors import ReproError, RestartError, StoreNotFoundError
 from repro.faults.injectors import CrashHooks, SimulatedCrashError
 from repro.metrics import INTEGRITY, PhaseTimer
-from repro.store.chunkstore import PutStats
+from repro.store.chunkstore import Manifest, PutStats
 from repro.store.client import StoreClient
 from repro.vm import VMConfig, VirtualMachine
 
@@ -175,7 +175,12 @@ class HASupervisor:
             return self._supervise(report, timer, ckpt_path)
         finally:
             report.integrity = INTEGRITY.delta_since(integrity_before)
-            for leftover in (ckpt_path, ckpt_path + ".tmp", ckpt_path + ".journal"):
+            leftovers = [ckpt_path, ckpt_path + ".tmp", ckpt_path + ".journal"]
+            i = 1
+            while os.path.exists(f"{ckpt_path}.{i}"):
+                leftovers.append(f"{ckpt_path}.{i}")
+                i += 1
+            for leftover in leftovers:
                 if os.path.exists(leftover):
                     os.unlink(leftover)
 
@@ -269,6 +274,7 @@ class HASupervisor:
         # restart prefills the fresh sink instead of replaying writes.
         vm.channels.stdout.flush()
         stdout_so_far = vm.channels.stdout_bytes()
+        parent_sha = vm.delta_parent_sha  # what a delta would bind to
         try:
             vm.config.commit_hooks = (
                 CrashHooks(crash_point) if crash_point else None
@@ -279,11 +285,22 @@ class HASupervisor:
             return False
         finally:
             vm.config.commit_hooks = None
+        stats = vm.last_checkpoint_stats
         meta = {
             "platform": platform.name,
             "instructions": vm.interp.instructions,
             "stdout_b64": base64.b64encode(stdout_so_far).decode(),
+            # Chain identity: a delta restart locates its parents in the
+            # store by matching parent_sha256 against older generations'
+            # body_sha256 (blocking mode, so the sha is committed here).
+            "kind": stats.kind if stats is not None else "full",
+            "body_sha256": (
+                vm.delta_parent_sha.hex() if vm.delta_parent_sha else ""
+            ),
         }
+        if meta["kind"] == "delta":
+            meta["chain_depth"] = stats.chain_depth
+            meta["parent_sha256"] = parent_sha.hex() if parent_sha else ""
         with timer.phase("upload"):
             generation, stats = self.client.put_checkpoint_file(
                 self.vm_id, ckpt_path, meta=meta
@@ -292,6 +309,58 @@ class HASupervisor:
         report.generations.append(generation)
         report.upload_stats.merge(stats)
         return True
+
+    def _find_generation_by_sha(
+        self, body_sha: str, below: int
+    ) -> Optional[int]:
+        """The newest generation under ``below`` whose meta records the
+        given body SHA-256, or None if no upload carries it."""
+        if not body_sha:
+            return None
+        listing = self.client.ls()["vms"].get(self.vm_id, [])
+        for gen in sorted(
+            (g["generation"] for g in listing if g["generation"] < below),
+            reverse=True,
+        ):
+            meta = self.client.get_manifest(self.vm_id, gen).meta
+            if meta.get("body_sha256") == body_sha:
+                return gen
+        return None
+
+    def _fetch_chain(
+        self,
+        timer: PhaseTimer,
+        ckpt_path: str,
+        generation: Optional[int] = None,
+    ) -> Manifest:
+        """Download one head generation and, when it is a delta, the
+        parents it binds to — laid out at ``path.1``, ``path.2``, ... the
+        way local rotation would, so the chain reader finds them."""
+        with timer.phase("restart_download"):
+            manifest = self.client.get_checkpoint_file(
+                self.vm_id, ckpt_path, generation=generation
+            )
+            # Stale numbered generations from a previous restart would
+            # be mistaken for chain parents; clear them first.
+            i = 1
+            while os.path.exists(f"{ckpt_path}.{i}"):
+                os.unlink(f"{ckpt_path}.{i}")
+                i += 1
+            m = manifest
+            depth = 0
+            while m.meta.get("kind") == "delta":
+                parent_gen = self._find_generation_by_sha(
+                    m.meta.get("parent_sha256", ""), below=m.generation
+                )
+                if parent_gen is None:
+                    # Unresolvable parent: leave the chain truncated; the
+                    # restore raises and the generation-walk falls back.
+                    break
+                depth += 1
+                m = self.client.get_checkpoint_file(
+                    self.vm_id, f"{ckpt_path}.{depth}", generation=parent_gen
+                )
+        return manifest
 
     def _restart(
         self,
@@ -309,10 +378,7 @@ class HASupervisor:
         # would before the store download overwrites the file.
         recover_commit(ckpt_path)
         try:
-            with timer.phase("restart_download"):
-                manifest = self.client.get_checkpoint_file(
-                    self.vm_id, ckpt_path
-                )
+            manifest = self._fetch_chain(timer, ckpt_path)
         except StoreNotFoundError:
             # Crashed before the first checkpoint landed: cold start.
             report.cold_restarts += 1
@@ -338,10 +404,9 @@ class HASupervisor:
                     )
                 if not older:
                     raise
-                with timer.phase("restart_download"):
-                    manifest = self.client.get_checkpoint_file(
-                        self.vm_id, ckpt_path, generation=older.pop()
-                    )
+                manifest = self._fetch_chain(
+                    timer, ckpt_path, generation=older.pop()
+                )
         if older is not None:
             report.fallback_restores += 1
             INTEGRITY.fallback_restores += 1

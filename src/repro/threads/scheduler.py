@@ -54,6 +54,9 @@ class Scheduler:
         self.ever_multithreaded = False
         #: Context switches performed (statistics).
         self.switches = 0
+        #: Dirty hook installed on every stack this scheduler creates
+        #: (incremental checkpoints track stack reallocation).
+        self.stack_grow_hook = None
 
     # -- thread creation -----------------------------------------------------
 
@@ -61,7 +64,7 @@ class Scheduler:
         """Allocate a stack area for a new thread."""
         high = self._stack_base + self._next_stack_slot * self._stride
         self._next_stack_slot += 1
-        return VMStack(
+        stack = VMStack(
             self._space,
             self._arch,
             high,
@@ -70,6 +73,8 @@ class Scheduler:
             max_words=self._stride // self._arch.word_bytes,
             kind=AreaKind.THREAD_STACK,
         )
+        stack.on_grow = self.stack_grow_hook
+        return stack
 
     def create_main(self, stack: VMStack) -> VMThread:
         """Register the main thread (tid 0) using the main VM stack."""

@@ -76,6 +76,21 @@ class VMConfig:
     #: checkpoint file).  Restores fall back along this chain when the
     #: newest generation fails verification.
     chkpt_retain: int = 0
+    #: ``CHKPT_INCREMENTAL``: write format-v4 delta checkpoints carrying
+    #: only dirty heap regions when a usable parent generation exists.
+    #: Requires ``chkpt_retain >= 1`` (the parent must survive rotation);
+    #: otherwise every checkpoint silently stays full.
+    chkpt_incremental: bool = False
+    #: ``CHKPT_FULL_EVERY``: force a full checkpoint every N generations,
+    #: bounding delta-chain length (0 = no periodic full).
+    chkpt_full_every: int = 8
+    #: ``CHKPT_DIRTY_THRESHOLD``: write a full checkpoint instead of a
+    #: delta when the dirty heap fraction exceeds this ratio (a delta
+    #: would barely be smaller but still costs a chain entry).
+    chkpt_dirty_threshold: float = 0.5
+    #: ``CHKPT_REGION_WORDS``: dirty-region granularity in words
+    #: (power of two; default 1 KiB of words).
+    chkpt_region_words: int = 1024
     #: Commit hook override (fault injection); ``None`` = real syscalls.
     commit_hooks: Optional[object] = None
 
@@ -100,6 +115,23 @@ class VMConfig:
         raw = environ.get("CHKPT_RETAIN")
         if raw is not None and raw.strip().isdigit():
             cfg.chkpt_retain = int(raw.strip())
+        inc = environ.get("CHKPT_INCREMENTAL")
+        if inc is not None:
+            cfg.chkpt_incremental = inc.strip().lower() not in (
+                "0", "false", "no", "off",
+            )
+        raw = environ.get("CHKPT_FULL_EVERY")
+        if raw is not None and raw.strip().isdigit():
+            cfg.chkpt_full_every = int(raw.strip())
+        raw = environ.get("CHKPT_DIRTY_THRESHOLD")
+        if raw is not None:
+            try:
+                cfg.chkpt_dirty_threshold = float(raw)
+            except ValueError:
+                pass
+        raw = environ.get("CHKPT_REGION_WORDS")
+        if raw is not None and raw.strip().isdigit():
+            cfg.chkpt_region_words = int(raw.strip())
         return cfg
 
 
@@ -136,6 +168,7 @@ class VirtualMachine:
             platform,
             minor_words=self.config.minor_words,
             chunk_words=self.config.chunk_words,
+            region_words=self.config.chkpt_region_words,
         )
         self.gc = GCController(self.mem, self)
         self.pending = PendingSet()
@@ -160,6 +193,7 @@ class VirtualMachine:
             label="main-stack",
             max_words=max_main_words,
         )
+        self.main_stack.on_grow = self.mem.dirty.note_stack_growth
 
         self.sched = Scheduler(
             self.mem.space,
@@ -169,6 +203,7 @@ class VirtualMachine:
             initial_value=self.mem.values.val_unit,
             quantum=self.config.quantum,
         )
+        self.sched.stack_grow_hook = self.mem.dirty.note_stack_growth
         self.sched.create_main(self.main_stack)
         self.mutexes = MutexOps(self.mem, self.sched)
         self.condvars = CondvarOps(self.mem, self.sched, self.mutexes)
@@ -185,6 +220,14 @@ class VirtualMachine:
         self.last_checkpoint_stats = None
         self._policy_last = time.monotonic()
         self._background_writer = None
+        #: Stats of the in-flight (or last joined) background checkpoint.
+        self._background_stats = None
+        #: Delta-chain state: the body SHA-256 / path of the newest
+        #: committed generation this run, and how many deltas deep the
+        #: chain at that path currently is (0 = the head is full).
+        self.delta_parent_sha: Optional[bytes] = None
+        self.delta_parent_path: Optional[str] = None
+        self.delta_depth: int = 0
         #: Set by restart so the first run() continues mid-program.
         self.restarted = False
         #: Cluster binding (rank/size/send/recv) when this VM is a node
@@ -275,10 +318,54 @@ class VirtualMachine:
         self._policy_last = time.monotonic()
 
     def join_background_checkpoint(self) -> None:
-        """Wait for an in-flight background checkpoint writer, if any."""
-        if self._background_writer is not None:
-            self._background_writer.join()
-            self._background_writer = None
+        """Wait for an in-flight background checkpoint writer, if any.
+
+        Finalizes the stats the writer thread was filling (callers must
+        not read ``stats.file_bytes`` before this returns — in
+        background mode :meth:`CheckpointWriter.checkpoint` hands back
+        the stats object while the write is still running) and surfaces
+        a failed write as a typed :class:`CheckpointError` instead of
+        silently dropping it.
+        """
+        if self._background_writer is None:
+            return
+        self._background_writer.join()
+        self._background_writer = None
+        stats = self._background_stats
+        self._background_stats = None
+        if stats is None:
+            return
+        stats.completed = True
+        error = stats.error
+        if error is None:
+            return
+        stats.error = None  # surfaced exactly once
+        from repro.metrics import INTEGRITY
+
+        INTEGRITY.background_checkpoint_failures += 1
+        # The generation this writer was producing is lost; dirty
+        # information accumulated since its capture no longer describes
+        # the distance to a committed parent, so the next checkpoint
+        # must be full.
+        self.mem.dirty.mark_all()
+        self.delta_parent_sha = None
+        self.delta_parent_path = None
+        self.delta_depth = 0
+        if isinstance(error, CheckpointError):
+            raise error
+        raise CheckpointError(
+            f"background checkpoint of {stats.path} failed: {error}"
+        ) from error
+
+    # -- dirty tracking (incremental checkpoints) ---------------------------
+
+    def snapshot_dirty(self):
+        """Freeze the dirty-region tracker state (at a safe point)."""
+        return self.mem.dirty.snapshot()
+
+    def clear_dirty(self) -> None:
+        """Reset dirty tracking (after a successful capture)."""
+        self.mem.dirty.clear()
 
     # -- state summaries (used by checkpoint and tests) -----------------------------------
 

@@ -362,3 +362,74 @@ class TestRestartFallbackCLI:
         assert doc["integrity_verified"] is True
         assert "integrity_counters" in doc
         assert doc["sections"]
+
+
+INCREMENTAL_PROGRAM = """
+let arr = Array.make 16 0;;
+let () = for i = 0 to 15 do arr.(i) <- i * 3 done;;
+checkpoint ();;
+let () = for i = 0 to 15 do arr.(i) <- arr.(i) + 1 done;;
+checkpoint ();;
+let () = for i = 0 to 15 do arr.(i) <- arr.(i) + 2 done;;
+checkpoint ();;
+print_int arr.(9)
+"""
+
+
+class TestIncrementalCLI:
+    @pytest.fixture
+    def chain(self, tmp_path, capsys):
+        prog = tmp_path / "inc.ml"
+        prog.write_text(INCREMENTAL_PROGRAM)
+        ck = str(tmp_path / "inc.hckp")
+        assert main(["run", str(prog), "--checkpoint", ck,
+                     "--mode", "blocking", "--incremental",
+                     "--retain", "4"]) == 0
+        capsys.readouterr()
+        return str(prog), ck
+
+    def test_info_shows_delta_kind_and_parent(self, chain, capsys):
+        _, ck = chain
+        assert main(["info", ck]) == 0
+        out = capsys.readouterr().out
+        assert "delta (chain depth 2" in out
+        assert "parent   : body sha256" in out
+
+    def test_info_deep_validates_merged_chain(self, chain, capsys):
+        _, ck = chain
+        assert main(["info", ck, "--deep"]) == 0
+        out = capsys.readouterr().out
+        assert "chain merged" in out
+        assert "validation : OK" in out
+
+    def test_info_json_carries_delta_block(self, chain, capsys):
+        import json
+
+        _, ck = chain
+        assert main(["info", ck, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "delta"
+        assert doc["delta"]["chain_depth"] == 2
+        assert 0 < doc["delta"]["dirty_ratio"] < 1
+
+    def test_fsck_chain_walks_all_links(self, chain, capsys):
+        _, ck = chain
+        assert main(["fsck", ck, "--chain"]) == 0
+        out = capsys.readouterr().out
+        assert f"{ck}: delta [ok]" in out
+        assert f"{ck}.2: full [ok]" in out
+
+    def test_fsck_chain_flags_damage(self, chain, capsys):
+        _, ck = chain
+        data = bytearray(open(ck + ".2", "rb").read())
+        data[len(data) // 2] ^= 0x55
+        with open(ck + ".2", "wb") as f:
+            f.write(bytes(data))
+        assert main(["fsck", ck, "--chain"]) == 1
+        out = capsys.readouterr().out
+        assert "DAMAGED" in out
+
+    def test_restart_from_delta_head(self, chain, capsys):
+        prog, ck = chain
+        assert main(["restart", prog, ck, "--platform", "ultra64"]) == 0
+        assert "30" in capsys.readouterr().out

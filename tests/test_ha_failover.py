@@ -208,3 +208,74 @@ class TestMidWriteFaults:
         ).run()
         assert report.completed
         assert report.stdout == expected
+
+
+class TestIncrementalHA:
+    """HA supervision over an *incremental* checkpoint config: deltas
+    ride the chain-aware upload/download paths and survive faults."""
+
+    def _config(self):
+        return VMConfig(
+            chkpt_incremental=True,
+            chkpt_retain=5,
+            chkpt_full_every=4,
+        )
+
+    def test_end_to_end_with_delta_chains(self, code, expected, service):
+        server, client = service
+        report = HASupervisor(
+            code, client, "ha-inc",
+            checkpoint_every=15_000,
+            fault_budgets=(30_000, 80_000),
+            max_faults=2,
+            seed=7,
+            config=self._config(),
+        ).run()
+        assert report.completed and report.exit_code == 0
+        assert report.stdout == expected
+        assert report.faults_injected == 2
+        # the store saw both kinds, each tagged with its chain identity
+        kinds = set()
+        for gen in server.store.generations("ha-inc"):
+            meta = server.store.read_manifest("ha-inc", gen).meta
+            kinds.add(meta["kind"])
+            assert meta["body_sha256"], "upload missing chain identity"
+            if meta["kind"] == "delta":
+                assert meta["parent_sha256"]
+                assert meta["chain_depth"] >= 1
+        assert kinds == {"full", "delta"}
+
+    def test_delta_uploads_are_smaller(self, code, service):
+        server, client = service
+        HASupervisor(
+            code, client, "ha-inc-size",
+            checkpoint_every=12_000,
+            max_faults=0,
+            seed=3,
+            config=self._config(),
+        ).run()
+        full_sizes, delta_sizes = [], []
+        for gen in server.store.generations("ha-inc-size"):
+            m = server.store.read_manifest("ha-inc-size", gen)
+            (full_sizes if m.meta["kind"] == "full" else delta_sizes).append(
+                m.payload_len
+            )
+        assert full_sizes and delta_sizes
+        # a delta carries only the dirty regions of a slowly-moving heap
+        assert max(delta_sizes) < min(full_sizes)
+
+    def test_restart_downloads_parent_chain(self, code, expected, service):
+        """A fault landing while the newest generation is a delta forces
+        the restart to reassemble the chain from sha-linked manifests."""
+        _, client = service
+        report = HASupervisor(
+            code, client, "ha-inc-chain",
+            checkpoint_every=10_000,
+            fault_budgets=(35_000, 75_000),
+            max_faults=3,
+            seed=19,
+            config=self._config(),
+        ).run()
+        assert report.completed
+        assert report.stdout == expected
+        assert report.restarts + report.cold_restarts == 3

@@ -410,3 +410,54 @@ class TestClientMidFrameDeath:
                 assert c.ping()
         finally:
             srv.close()
+
+
+class TestPipelinedUpload:
+    """The producer/consumer upload pipeline: chunk reading + hashing
+    overlaps the network round-trips, with identical results to a
+    sequential put."""
+
+    def test_many_chunk_payload_roundtrips(self, client):
+        payload = os.urandom(64 * 1024 * 40 + 17)  # 41 chunks, odd tail
+        gen, stats = client.put_checkpoint("vm", payload)
+        assert stats.chunks_total == 41
+        assert stats.bytes_total == len(payload)
+        assert stats.chunks_new == stats.chunks_total
+        assert stats.overlap_seconds >= 0.0
+        back, manifest = client.get_checkpoint("vm")
+        assert back == payload
+        assert manifest.payload_len == len(payload)
+
+    def test_pipelined_dedup_matches_sequential(self, client):
+        payload = bytearray(os.urandom(64 * 1024 * 12))
+        client.put_checkpoint("vm", bytes(payload))
+        payload[5 * 64 * 1024] ^= 0xFF  # dirty exactly one chunk
+        _, stats = client.put_checkpoint("vm", bytes(payload))
+        assert stats.chunks_new == 1
+        assert stats.bytes_new == 64 * 1024
+
+    def test_producer_error_propagates_and_mints_nothing(self, client):
+        def chunks():
+            yield b"x" * 1000
+            raise ValueError("disk fell off")
+
+        with pytest.raises(ValueError, match="disk fell off"):
+            client._put_stream("vm", chunks(), None)
+        with pytest.raises(StoreNotFoundError):
+            client.get_manifest("vm")
+
+    def test_repeated_chunks_deduped_within_one_put(self, client):
+        chunk = os.urandom(64 * 1024)
+        payload = chunk * 20
+        _, stats = client.put_checkpoint("vm", payload)
+        assert stats.chunks_total == 20
+        assert stats.chunks_new == 1  # same key uploaded once
+        back, _ = client.get_checkpoint("vm")
+        assert back == payload
+
+    def test_overlap_counter_accumulates(self, client):
+        from repro.metrics import DELTA
+
+        before = DELTA.upload_overlap_seconds
+        client.put_checkpoint("vm", os.urandom(64 * 1024 * 8))
+        assert DELTA.upload_overlap_seconds >= before
