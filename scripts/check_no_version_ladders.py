@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Fail if hand-rolled format-version ladders reappear outside the schema.
+
+The whole point of the section-codec registry is that exactly one place
+— ``src/repro/checkpoint/schema/`` — knows what each format version
+means.  Anywhere else, code must branch on profile capabilities
+(``profile.integrity_trailer``, ``profile.delta`` ...) obtained from
+:class:`repro.checkpoint.schema.FormatProfile`, never on the version
+number itself.  This lint keeps it that way: it greps the source tree
+for comparisons between a version-ish name and an integer literal and
+exits non-zero when it finds one outside the schema package.
+
+Run from the repo root::
+
+    python scripts/check_no_version_ladders.py
+
+Exit status 0 = clean, 1 = ladders found (each printed as
+``path:line: offending source``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+ALLOWED = SRC / "repro" / "checkpoint" / "schema"
+
+_CMP = r"(?:==|!=|<=|>=|<|>)"
+_NAME = r"(?:format_version|chkpt_format|version)"
+# name <op> literal, or literal <op> name — either spelling of a ladder.
+LADDER = re.compile(
+    rf"\b{_NAME}\s*{_CMP}\s*\d|\b\d\s*{_CMP}\s*{_NAME}\b"
+)
+
+
+def find_ladders() -> list[tuple[pathlib.Path, int, str]]:
+    hits: list[tuple[pathlib.Path, int, str]] = []
+    for path in sorted(SRC.rglob("*.py")):
+        if ALLOWED in path.parents:
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), 1
+        ):
+            code = line.split("#", 1)[0]
+            if LADDER.search(code):
+                hits.append((path, lineno, line.strip()))
+    return hits
+
+
+def main() -> int:
+    hits = find_ladders()
+    for path, lineno, line in hits:
+        rel = path.relative_to(ROOT)
+        print(f"{rel}:{lineno}: version ladder outside checkpoint/schema: "
+              f"{line}")
+    if hits:
+        print(f"\n{len(hits)} version comparison(s) found. Branch on "
+              f"FormatProfile capabilities instead.", file=sys.stderr)
+        return 1
+    print("no version ladders outside src/repro/checkpoint/schema — OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

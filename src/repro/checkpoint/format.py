@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.arch.architecture import Architecture, Endianness
 from repro.channels.manager import ChannelRecord
+from repro.checkpoint.schema import FormatProfile
 from repro.errors import CheckpointFormatError, CheckpointIntegrityError
 from repro.metrics import INTEGRITY
 
@@ -66,13 +67,6 @@ CHECKPOINT_END = b"HCKPEND!"
 #: Leads the v3 integrity trailer (section table + whole-body SHA-256);
 #: v4 files reuse it unchanged.
 TRAILER_MAGIC = b"HCKPTBL3"
-
-_MAGIC_VERSIONS = {
-    CHECKPOINT_MAGIC_V1: 1,
-    CHECKPOINT_MAGIC_V2: 2,
-    CHECKPOINT_MAGIC_V3: 3,
-    CHECKPOINT_MAGIC_V4: 4,
-}
 
 #: Block classes recorded in the v2 block-extent index.  They partition
 #: blocks by how restart must treat the payload: FREE blocks carry a
@@ -396,49 +390,6 @@ class SectionReader:
 # ---------------------------------------------------------------------------
 
 
-def _encode_chunk_index(w: SectionWriter, index) -> None:
-    """Write the v2 block-extent index (delta-coded header positions).
-
-    Positions are ascending word indices; each is stored as a ``u8``
-    delta from its predecessor (the first from zero).  A delta that does
-    not fit (>= 0xFF) stores the escape marker 0xFF and its real value
-    in a side array of ``<u4``.  Classes are one ``u8`` per block.
-    """
-    for positions, classes in index:
-        pos = np.asarray(positions, dtype=np.uint32)
-        n = int(pos.size)
-        w.u32(n)
-        deltas = np.diff(pos, prepend=np.uint32(0))
-        escaped = deltas >= 0xFF
-        small = deltas.astype(np.uint8)
-        small[escaped] = 0xFF
-        w.bytes_lp(small.tobytes())
-        escapes = deltas[escaped].astype("<u4")
-        w.u32(int(escapes.size))
-        w.raw(escapes.tobytes())
-        w.bytes_lp(np.asarray(classes, dtype=np.uint8).tobytes())
-
-
-def _decode_chunk_index(r: SectionReader, n_chunks: int):
-    index = []
-    for _ in range(n_chunks):
-        n = r.u32()
-        small = np.frombuffer(r.bytes_lp(), dtype=np.uint8)
-        n_esc = r.u32()
-        escapes = np.frombuffer(r._take(4 * n_esc), dtype="<u4")
-        classes = np.frombuffer(r.bytes_lp(), dtype=np.uint8)
-        if small.size != n or classes.size != n:
-            raise CheckpointFormatError("malformed block-extent index")
-        deltas = small.astype(np.uint32)
-        escaped = small == 0xFF
-        if int(escaped.sum()) != n_esc:
-            raise CheckpointFormatError("block-extent escape count mismatch")
-        deltas[escaped] = escapes
-        positions = np.cumsum(deltas, dtype=np.uint64).astype(np.uint32)
-        index.append((positions, classes))
-    return index
-
-
 def _encode_integrity_trailer(view, extents) -> tuple[bytes, bytes]:
     """The v3 integrity trailer for a complete body + the body SHA-256.
 
@@ -473,9 +424,10 @@ def serialize_snapshot(snap: VMSnapshot) -> bytes:
     it, concatenate the trailer.  Both copies are deliberate — they are
     part of the unoptimized baseline ``--no-vectorize`` measures.
     """
-    w = _write_snapshot_body(snap)
+    profile = FormatProfile.for_snapshot(snap)
+    w = profile.write_body(snap)
     body = w.getvalue()
-    if snap.header.format_version >= 3:
+    if profile.integrity_trailer:
         trailer, sha = _encode_integrity_trailer(
             body, w.section_extents(len(body))
         )
@@ -492,8 +444,9 @@ def serialize_snapshot_writer(snap: VMSnapshot) -> "SectionWriter":
     trailer is appended in place, so callers streaming straight to a
     file (``w.buf.getbuffer()``) never copy the multi-megabyte body.
     """
-    w = _write_snapshot_body(snap)
-    if snap.header.format_version >= 3:
+    profile = FormatProfile.for_snapshot(snap)
+    w = profile.write_body(snap)
+    if profile.integrity_trailer:
         body_len = w.buf.tell()
         with w.buf.getbuffer() as view:
             trailer, sha = _encode_integrity_trailer(
@@ -507,165 +460,27 @@ def serialize_snapshot_writer(snap: VMSnapshot) -> "SectionWriter":
     return w
 
 
-def _write_snapshot_body(snap: VMSnapshot) -> "SectionWriter":
-    """Write every section except the end-signature trailer."""
-    arch = snap.arch
-    w = SectionWriter(arch)
-    h = snap.header
-    version = h.format_version
-    w.begin_section("header")
-    if version == 1:
-        w.raw(CHECKPOINT_MAGIC_V1)
-    elif version == 2:
-        w.raw(CHECKPOINT_MAGIC_V2)
-    elif version == 3:
-        w.raw(CHECKPOINT_MAGIC_V3)
-    elif version == 4:
-        w.raw(CHECKPOINT_MAGIC_V4)
-    else:
-        raise CheckpointFormatError(f"cannot write format version {version}")
-    delta = snap.delta
-    if version >= 4 and delta is None:
-        raise CheckpointFormatError(
-            "format v4 is delta-only: snapshot carries no delta info"
-        )
-    if version < 4 and delta is not None:
-        raise CheckpointFormatError(
-            f"delta snapshots require format v4 (asked for v{version})"
-        )
-    # Architecture marker (paper step 5): word size then native "one".
-    w.u8(arch.word_bytes)
-    w.word(1)
-    w.str_lp(h.platform_name)
-    w.str_lp(h.os_name)
-    w.u8(1 if h.multithreaded else 0)
-    w.u32(h.current_tid)
-    w.bytes_lp(h.code_digest)
-    w.u32(h.code_len)
-    if version >= 4:
-        # Parent binding: the delta only applies on top of the exact
-        # generation whose body hashed to this digest.
-        w.raw(delta.parent_sha256)
-        w.u32(delta.chain_depth)
-        w.u64(delta.dirty_words)
-        w.u64(delta.total_words)
-    # Boundaries (paper step 6).
-    w.begin_section("boundaries")
-    w.u32(len(snap.boundaries))
-    for area in snap.boundaries:
-        w.str_lp(area.kind)
-        w.str_lp(area.label)
-        w.word(area.base)
-        w.u64(area.n_words)
-    # VM globals (paper step 9).
-    w.begin_section("globals")
-    w.word(snap.freelist_head)
-    w.word(snap.global_data)
-    w.u64(snap.allocated_words)
-    # Heap (paper step 8).  v4 writes dirty regions per chunk instead
-    # of the full chunk dump.
-    w.begin_section("heap")
-    if version >= 4:
-        n_chunks = len(delta.chunks)
-        w.u32(n_chunks)
-        for rec in delta.chunks:
-            w.word(rec.base)
-            w.u64(rec.n_words)
-            w.u32(len(rec.regions))
-            for start, words in rec.regions:
-                w.u64(start)
-                w.words(words)
-    else:
-        n_chunks = len(snap.heap_chunks)
-        w.u32(n_chunks)
-        for base, words in snap.heap_chunks:
-            w.word(base)
-            w.words(words)
-    # Block-extent index (format v2; optional).  A v4 index covers the
-    # *reconstructed* heap: one entry per chunk record, whole chunks.
-    if version >= 2:
-        w.begin_section("index")
-        if snap.chunk_index is not None and len(snap.chunk_index) != n_chunks:
-            raise CheckpointFormatError(
-                "block-extent index does not cover every heap chunk"
-            )
-        w.u8(1 if snap.chunk_index is not None else 0)
-        if snap.chunk_index is not None:
-            _encode_chunk_index(w, snap.chunk_index)
-    # Atom table (paper step 9).  Static after VM init, so a delta
-    # normally omits it (presence byte 0) and reconstruction walks back.
-    w.begin_section("atoms")
-    if version >= 4:
-        w.u8(1 if delta.has_atoms else 0)
-    if version < 4 or delta.has_atoms:
-        w.words(snap.atom_words)
-    # C globals (omitted from deltas when untouched since the parent).
-    w.begin_section("cglobals")
-    if version >= 4:
-        w.u8(1 if delta.has_cglobals else 0)
-    if version < 4 or delta.has_cglobals:
-        w.words(snap.cglobal_words)
-        w.u32(len(snap.cglobal_roots))
-        for idx in snap.cglobal_roots:
-            w.u32(idx)
-    # Threads (paper steps 7, 10, 11).
-    w.begin_section("threads")
-    w.u32(len(snap.threads))
-    for t in snap.threads:
-        w.u32(t.tid)
-        w.str_lp(t.state)
-        w.str_lp(t.block_kind)
-        w.word(t.blocked_on)
-        w.word(t.pending_mutex)
-        w.word(t.result)
-        w.word(t.regs.pc)
-        w.word(t.regs.sp)
-        w.word(t.regs.accu)
-        w.word(t.regs.env)
-        w.i64(t.regs.extra_args)
-        w.word(t.regs.trapsp)
-        w.word(t.stack_base)
-        w.word(t.stack_high)
-        w.u64(t.capacity_words)
-        w.words(t.stack_words)
-    # Channels (paper step 12).
-    w.begin_section("channels")
-    w.u32(len(snap.channels))
-    for ch in snap.channels:
-        w.u32(ch.cid)
-        w.u8(1 if ch.path is not None else 0)
-        if ch.path is not None:
-            w.str_lp(ch.path)
-        w.str_lp(ch.mode)
-        w.u8(1 if ch.std_name is not None else 0)
-        if ch.std_name is not None:
-            w.str_lp(ch.std_name)
-        w.u64(ch.position)
-        w.bytes_lp(ch.out_buffer)
-        w.u8(1 if ch.closed else 0)
-    # The end signature + CRC (paper step 13) is appended by the caller
-    # — the scalar and vectorized tails differ in copies, not in bytes.
-    return w
-
-
 def detect_format_version(path: str) -> Optional[int]:
     """The format version a file's magic claims, or None if unreadable."""
     try:
         with open(path, "rb") as f:
-            magic = f.read(len(CHECKPOINT_MAGIC))
+            magic = f.read(FormatProfile.magic_len())
     except OSError:
         return None
-    return _MAGIC_VERSIONS.get(magic)
+    profile = FormatProfile.for_magic(magic, None)
+    return profile.version if profile is not None else None
 
 
 def annotate_restore_error(exc: Exception, path: str) -> Exception:
-    """Attach file path + detected format version to a restore error.
+    """Attach file path, format version, and section to a restore error.
 
     Re-raising a failed restore without saying *which* file (a periodic
-    checkpoint setup juggles several) or *what* format it carries makes
-    corruption reports useless; every error leaving this module or the
-    restart path is annotated exactly once (marked via the ``path``
-    attribute).
+    checkpoint setup juggles several), *what* format it carries, or
+    *where* in it the failure lies makes corruption reports useless;
+    every error leaving this module or the restart path is annotated
+    exactly once (marked via the ``path`` attribute).  The structured
+    context also lands on the :class:`~repro.errors.CheckpointError`
+    ``path``/``format_version``/``section`` attributes.
     """
     if getattr(exc, "path", None) is not None:
         return exc
@@ -675,11 +490,14 @@ def annotate_restore_error(exc: Exception, path: str) -> Exception:
         if version is not None
         else "format version undetectable"
     )
-    err = type(exc)(f"{path}: {exc} ({vnote})")
+    section = getattr(exc, "section", None)
+    snote = f", section '{section}'" if section else ""
+    err = type(exc)(f"{path}: {exc} ({vnote}{snote})")
     for attr in ("section", "offset", "length", "expected", "actual"):
         if hasattr(exc, attr):
             setattr(err, attr, getattr(exc, attr))
     err.path = path  # type: ignore[attr-defined]
+    err.format_version = version  # type: ignore[attr-defined]
     return err
 
 
@@ -715,10 +533,10 @@ def _parse_checkpoint(data: bytes, raw_arrays: bool = False) -> VMSnapshot:
     if end[:8] != CHECKPOINT_END:
         _raise_truncation(data)
     (crc,) = struct.unpack("<I", end[8:])
-    version = _MAGIC_VERSIONS.get(data[: len(CHECKPOINT_MAGIC)])
+    profile = FormatProfile.for_magic(data[: FormatProfile.magic_len()], None)
     sections: Optional[list[SectionEntry]] = None
     body_sha: Optional[bytes] = None
-    if version is not None and version >= 3:
+    if profile is not None and profile.integrity_trailer:
         body, sections, body_sha = _verify_v3_payload(payload, crc)
     else:
         if zlib.crc32(payload) & 0xFFFFFFFF != crc:
@@ -882,7 +700,8 @@ def read_section_table(data: bytes) -> Optional[list[SectionEntry]]:
     without requiring the file to verify — tolerates a damaged body but
     returns None when the trailer itself is unusable.
     """
-    if _MAGIC_VERSIONS.get(data[: len(CHECKPOINT_MAGIC)], 0) < 3:
+    profile = FormatProfile.for_magic(data[: FormatProfile.magic_len()], None)
+    if profile is None or not profile.integrity_trailer:
         return None
     if len(data) < 12 or data[-12:-4] != CHECKPOINT_END:
         return None
@@ -925,160 +744,9 @@ def _parse_body(r: SectionReader, raw_arrays: bool = False) -> VMSnapshot:
 
 def _parse_body_sections(r: SectionReader, raw_arrays: bool) -> VMSnapshot:
     r.begin("header")
-    magic = r._take(len(CHECKPOINT_MAGIC))
-    version = _MAGIC_VERSIONS.get(magic)
-    if version is None:
-        raise CheckpointFormatError(
-            "not a checkpoint file (bad magic)", section="header", offset=0
-        )
-    # Architecture marker (paper §4.2 step 2): detect word size and
-    # endianness from the saved constant one.
-    word_bytes = r.u8()
-    if word_bytes not in (4, 8):
-        raise CheckpointFormatError(f"impossible word size {word_bytes}")
-    marker = r._take(word_bytes)
-    if int.from_bytes(marker, "little") == 1:
-        endianness = Endianness.LITTLE
-    elif int.from_bytes(marker, "big") == 1:
-        endianness = Endianness.BIG
-    else:
-        raise CheckpointFormatError("unreadable architecture marker")
-    arch = Architecture(word_bytes * 8, endianness, "saved")
-    r.set_arch(arch)
-    platform_name = r.str_lp()
-    os_name = r.str_lp()
-    multithreaded = bool(r.u8())
-    current_tid = r.u32()
-    code_digest = r.bytes_lp()
-    code_len = r.u32()
-    parent_sha = b""
-    chain_depth = dirty_words = total_words = 0
-    if version >= 4:
-        parent_sha = r._take(32)
-        chain_depth = r.u32()
-        dirty_words = r.u64()
-        total_words = r.u64()
-    header = CheckpointHeader(
-        word_bytes=word_bytes,
-        endianness=endianness,
-        platform_name=platform_name,
-        os_name=os_name,
-        multithreaded=multithreaded,
-        current_tid=current_tid,
-        code_digest=code_digest,
-        code_len=code_len,
-        format_version=version,
-    )
-    boundaries = []
-    r.begin("boundaries")
-    for _ in range(r.u32()):
-        kind = r.str_lp()
-        label = r.str_lp()
-        base = r.word()
-        n_words = r.u64()
-        boundaries.append(AreaRecord(kind, label, base, n_words))
-    r.begin("globals")
-    freelist_head = r.word()
-    global_data = r.word()
-    allocated_words = r.u64()
-    r.begin("heap")
-    heap_chunks = []
-    delta_chunks = []
-    n_chunks = r.u32()
-    if version >= 4:
-        for _ in range(n_chunks):
-            base = r.word()
-            n_words = r.u64()
-            regions = []
-            for _ in range(r.u32()):
-                start = r.u64()
-                regions.append(
-                    (start, r.words_array() if raw_arrays else r.words())
-                )
-            delta_chunks.append(DeltaChunkRecord(base, n_words, regions))
-    else:
-        for _ in range(n_chunks):
-            base = r.word()
-            heap_chunks.append(
-                (base, r.words_array() if raw_arrays else r.words())
-            )
-    chunk_index = None
-    if version >= 2:
-        r.begin("index")
-        if r.u8():
-            chunk_index = _decode_chunk_index(r, n_chunks)
-    r.begin("atoms")
-    has_atoms = True if version < 4 else bool(r.u8())
-    atom_words = r.words() if has_atoms else []
-    r.begin("cglobals")
-    has_cglobals = True if version < 4 else bool(r.u8())
-    if has_cglobals:
-        cglobal_words = r.words()
-        cglobal_roots = [r.u32() for _ in range(r.u32())]
-    else:
-        cglobal_words, cglobal_roots = [], []
-    threads = []
-    r.begin("threads")
-    for _ in range(r.u32()):
-        tid = r.u32()
-        state = r.str_lp()
-        block_kind = r.str_lp()
-        blocked_on = r.word()
-        pending_mutex = r.word()
-        result = r.word()
-        regs = RegisterRecord(
-            pc=r.word(), sp=r.word(), accu=r.word(), env=r.word(),
-            extra_args=r.i64(), trapsp=r.word(),
-        )
-        stack_base = r.word()
-        stack_high = r.word()
-        capacity_words = r.u64()
-        stack_words = r.words_array() if raw_arrays else r.words()
-        threads.append(
-            ThreadRecord(
-                tid, state, block_kind, blocked_on, pending_mutex, result,
-                regs, stack_base, stack_high, capacity_words, stack_words,
-            )
-        )
-    channels = []
-    r.begin("channels")
-    for _ in range(r.u32()):
-        cid = r.u32()
-        path = r.str_lp() if r.u8() else None
-        mode = r.str_lp()
-        std_name = r.str_lp() if r.u8() else None
-        position = r.u64()
-        out_buffer = r.bytes_lp()
-        closed = bool(r.u8())
-        channels.append(
-            ChannelRecord(cid, path, mode, std_name, position, out_buffer, closed)
-        )
-    delta = None
-    if version >= 4:
-        delta = DeltaInfo(
-            parent_sha256=parent_sha,
-            chain_depth=chain_depth,
-            dirty_words=dirty_words,
-            total_words=total_words,
-            has_atoms=has_atoms,
-            has_cglobals=has_cglobals,
-            chunks=delta_chunks,
-        )
-    return VMSnapshot(
-        header=header,
-        boundaries=boundaries,
-        freelist_head=freelist_head,
-        global_data=global_data,
-        allocated_words=allocated_words,
-        heap_chunks=heap_chunks,
-        atom_words=atom_words,
-        cglobal_words=cglobal_words,
-        cglobal_roots=cglobal_roots,
-        threads=threads,
-        channels=channels,
-        chunk_index=chunk_index,
-        delta=delta,
-    )
+    magic = r.data[r.off : r.off + FormatProfile.magic_len()]
+    profile = FormatProfile.for_magic(magic)  # raises the typed bad-magic
+    return profile.parse_body(r, raw_arrays)
 
 
 # ---------------------------------------------------------------------------
@@ -1100,9 +768,10 @@ def merge_delta_chain(chain: list[VMSnapshot], raw_arrays: bool = False) -> VMSn
     carries them.
 
     The merged snapshot presents itself as a plain full checkpoint
-    (``delta`` is ``None``, header version 3) so the existing restore
-    pipeline — pointer fixing, endianness/word-size conversion — runs on
-    it unchanged.
+    (``delta`` is ``None``, header version
+    ``FormatProfile.newest_full()``) so the existing restore pipeline —
+    pointer fixing, endianness/word-size conversion — runs on it
+    unchanged.
     """
     if not chain:
         raise CheckpointFormatError("empty delta chain")
@@ -1171,7 +840,9 @@ def merge_delta_chain(chain: list[VMSnapshot], raw_arrays: bool = False) -> VMSn
             cglobal_words = snap.cglobal_words
             cglobal_roots = snap.cglobal_roots
     return VMSnapshot(
-        header=replace(head.header, format_version=3),
+        header=replace(
+            head.header, format_version=FormatProfile.newest_full().version
+        ),
         boundaries=head.boundaries,
         freelist_head=head.freelist_head,
         global_data=head.global_data,

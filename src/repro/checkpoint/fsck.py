@@ -20,11 +20,8 @@ import zlib
 from typing import Optional, Protocol
 
 from repro.checkpoint.commit import atomic_commit
-from repro.checkpoint.format import (
-    CHECKPOINT_MAGIC_V4,
-    _parse_checkpoint,
-    read_section_table,
-)
+from repro.checkpoint.format import _parse_checkpoint, read_section_table
+from repro.checkpoint.schema import FormatProfile
 from repro.errors import RestartError, StoreError
 from repro.metrics import INTEGRITY
 
@@ -269,7 +266,8 @@ def _chain_link_report(path: str) -> dict:
         return entry
     # The magic alone decides delta-ness, so discovery keeps walking
     # past a link too damaged to parse.
-    if data[:6] == CHECKPOINT_MAGIC_V4:
+    profile = FormatProfile.for_magic(data[: FormatProfile.magic_len()], None)
+    if profile is not None and profile.delta:
         entry["kind"] = "delta"
     entry["problems"] = verify_checkpoint_bytes(data)
     entry["ok"] = not entry["problems"]

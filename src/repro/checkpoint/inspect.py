@@ -18,6 +18,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.checkpoint.format import VMSnapshot, read_checkpoint
+from repro.checkpoint.schema import FormatProfile, all_codecs
 from repro.memory.blocks import (
     CLOSURE_TAG,
     Color,
@@ -295,21 +296,34 @@ def describe_snapshot(snap: VMSnapshot) -> dict:
             "total_words": snap.delta.total_words,
             "dirty_ratio": snap.delta.dirty_ratio,
         }
+    profile = FormatProfile.for_version(h.format_version)
+    codecs = all_codecs()
+    # v1/v2 files carry no section table at all: report null, not an
+    # empty list — "no sections" and "none recorded" are different facts.
+    sections = None
+    section_bytes = None
+    if snap.sections is not None:
+        sections = [
+            {
+                "name": s.name,
+                "offset": s.offset,
+                "length": s.length,
+                "crc32": f"{s.crc32:08x}",
+                "flags": (
+                    codecs[s.name].flags(profile) if s.name in codecs else []
+                ),
+            }
+            for s in snap.sections
+        ]
+        section_bytes = {s.name: s.length for s in snap.sections}
     return {
         "format_version": h.format_version,
         "kind": "full" if snap.delta is None else "delta",
         "delta": delta,
         "has_block_index": snap.chunk_index is not None,
         "integrity_verified": snap.sections is not None,
-        "sections": [
-            {
-                "name": s.name,
-                "offset": s.offset,
-                "length": s.length,
-                "crc32": f"{s.crc32:08x}",
-            }
-            for s in (snap.sections or [])
-        ],
+        "sections": sections,
+        "section_bytes": section_bytes,
         "platform": h.platform_name,
         "os": h.os_name,
         "word_bits": h.word_bytes * 8,

@@ -51,6 +51,7 @@ from repro.checkpoint.format import (
     serialize_snapshot,
     serialize_snapshot_writer,
 )
+from repro.checkpoint.schema import FormatProfile
 from repro.errors import CheckpointError
 from repro.memory.blocks import Color, DOUBLE_TAG, NO_SCAN_TAG, STRING_TAG
 from repro.metrics import DELTA, PhaseTimer
@@ -334,7 +335,11 @@ def build_snapshot(
             )
 
         header = CheckpointHeader(
-            format_version=4 if delta_mode else vm.config.chkpt_format,
+            format_version=(
+                FormatProfile.delta_profile().version
+                if delta_mode
+                else vm.config.chkpt_format
+            ),
             word_bytes=vm.platform.arch.word_bytes,
             endianness=vm.platform.arch.endianness,
             platform_name=vm.platform.name,
@@ -538,7 +543,7 @@ class CheckpointWriter:
         next_depth = vm.delta_depth + 1
         try_delta = (
             cfg.chkpt_incremental
-            and cfg.chkpt_format >= 3
+            and FormatProfile.for_version(cfg.chkpt_format).delta_base_capable
             and vm.delta_parent_sha is not None
             and vm.delta_parent_path == path
             and retain >= next_depth

@@ -11,6 +11,7 @@ Commands::
     python -m repro restart prog.ml app.hckp --platform sp2148
     python -m repro platforms
     python -m repro info app.hckp [--json] [--deep]
+    python -m repro schema dump [--json | --markdown]
     python -m repro fsck app.hckp [--repair --addr host:port --vm-id myapp]
     python -m repro faults plan|inject|fuzz ...
     python -m repro store serve --root /var/ckpt --port 7420
@@ -148,6 +149,20 @@ def cmd_info(args: argparse.Namespace) -> int:
         for line in report.render().splitlines():
             print(f"  {line}")
         return 0 if report.ok else 1
+    return 0
+
+
+def cmd_schema_dump(args: argparse.Namespace) -> int:
+    from repro.checkpoint.schema import FormatProfile
+    from repro.checkpoint.schema.render import render_markdown
+
+    if args.markdown:
+        sys.stdout.write(render_markdown())
+    else:
+        print(json.dumps(
+            [p.describe() for p in FormatProfile.all()],
+            indent=2, sort_keys=True,
+        ))
     return 0
 
 
@@ -427,6 +442,18 @@ def cmd_ha_run(args: argparse.Namespace) -> int:
     return 0 if report.completed else 1
 
 
+def _writable_formats() -> list[str]:
+    """``--format`` choices, from the schema: every full-capable profile.
+
+    Delta profiles are excluded — they are selected by ``--incremental``,
+    not by naming a version.
+    """
+    from repro.checkpoint.schema import FormatProfile
+
+    full = [p.version for p in FormatProfile.all() if not p.delta]
+    return [f"v{v}" for v in full] + [str(v) for v in full]
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -453,6 +480,19 @@ def build_parser() -> argparse.ArgumentParser:
     i.add_argument("--json", action="store_true",
                    help="emit the description as machine-readable JSON")
     i.set_defaults(fn=cmd_info)
+
+    sc = sub.add_parser(
+        "schema", help="the declarative checkpoint section-codec registry")
+    scsub = sc.add_subparsers(dest="schema_command", required=True)
+    sd = scsub.add_parser(
+        "dump", help="dump every format profile: sections, flags, layouts")
+    sd.add_argument("--json", action="store_true",
+                    help="emit the profiles as machine-readable JSON "
+                         "(the default)")
+    sd.add_argument("--markdown", action="store_true",
+                    help="emit the markdown tables embedded in "
+                         "docs/FILE_FORMAT.md")
+    sd.set_defaults(fn=cmd_schema_dump)
 
     fk = sub.add_parser(
         "fsck", help="verify a checkpoint file; repair from a store replica")
@@ -599,7 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--no-vectorize", action="store_true",
                         help="use the scalar reference C/R paths "
                              "(CHKPT_VECTORIZE=0)")
-        sp.add_argument("--format", choices=["v1", "v2", "v3", "1", "2", "3"],
+        sp.add_argument("--format", choices=_writable_formats(),
                         help="checkpoint format version to write "
                              "(CHKPT_FORMAT; default v3)")
         sp.add_argument("--retain", type=int, default=None, metavar="N",

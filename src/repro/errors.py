@@ -48,10 +48,31 @@ class ChannelError(ReproError):
 
 
 class CheckpointError(ReproError):
-    """Checkpoint could not be taken."""
+    """Base of every checkpoint-subsystem failure (take or restore).
+
+    Carries the context every diagnostic needs to be actionable: the
+    checkpoint file ``path``, the ``format_version`` its magic claims,
+    and the body ``section`` the failure was localized to — each None
+    when unknown.  :func:`repro.checkpoint.format.annotate_restore_error`
+    fills ``path``/``format_version`` on any error leaving the restart
+    path, exactly once.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        path: str | None = None,
+        format_version: int | None = None,
+        section: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.format_version = format_version
+        self.section = section
 
 
-class RestartError(ReproError):
+class RestartError(CheckpointError):
     """A checkpoint file could not be restored."""
 
 
@@ -68,9 +89,12 @@ class CheckpointFormatError(RestartError):
         *,
         section: str | None = None,
         offset: int | None = None,
+        path: str | None = None,
+        format_version: int | None = None,
     ) -> None:
-        super().__init__(message)
-        self.section = section
+        super().__init__(
+            message, path=path, format_version=format_version, section=section
+        )
         self.offset = offset
 
 
@@ -92,8 +116,16 @@ class CheckpointIntegrityError(CheckpointFormatError):
         length: int | None = None,
         expected: object = None,
         actual: object = None,
+        path: str | None = None,
+        format_version: int | None = None,
     ) -> None:
-        super().__init__(message, section=section, offset=offset)
+        super().__init__(
+            message,
+            section=section,
+            offset=offset,
+            path=path,
+            format_version=format_version,
+        )
         self.length = length
         self.expected = expected
         self.actual = actual

@@ -306,8 +306,9 @@ def fuzz_delta_chain(
     """
     import tempfile
 
-    from repro.checkpoint.format import CHECKPOINT_MAGIC_V4
+    from repro.checkpoint.schema import FormatProfile
 
+    delta_magic = FormatProfile.delta_profile().magic
     names = list(platforms or ARCH_REPRESENTATIVES)
     for n in names:
         if n not in PLATFORMS:
@@ -347,7 +348,7 @@ def fuzz_delta_chain(
                     pristine[g] = f.read()
             # The scenarios rely on this exact chain shape.
             kinds = [
-                pristine[g][:6] == CHECKPOINT_MAGIC_V4 for g in gens
+                pristine[g][: len(delta_magic)] == delta_magic for g in gens
             ]
             assert kinds == [True, True, False, True, True, False], (
                 f"{origin}: unexpected chain shape {kinds}"

@@ -150,6 +150,25 @@ def apply_mutation(data: bytes, m: Mutation) -> bytes:
     raise ValueError(f"unknown mutation kind {m.kind!r}")
 
 
+def _swap_eligible_sections() -> set[str]:
+    """Section names the schema marks safe to swap *detectably*.
+
+    Derived from :meth:`FormatProfile.mutation_targets` over every
+    registered profile: a swap between two CRC-protected sections must
+    be caught by the integrity trailer, so those are the interesting
+    targets.  Sections the schema does not know (e.g. a future trailer
+    row) are excluded rather than guessed at.
+    """
+    from repro.checkpoint.schema import FormatProfile
+
+    eligible: set[str] = set()
+    for profile in FormatProfile.all():
+        for target in profile.mutation_targets():
+            if target["swap_eligible"]:
+                eligible.add(target["section"])
+    return eligible
+
+
 def plan_mutations(
     size: int,
     seed: int,
@@ -160,13 +179,19 @@ def plan_mutations(
 
     Mixes the three kinds roughly 40/40/20.  When a v3 ``section_table``
     (list of :class:`~repro.checkpoint.format.SectionEntry`) is given,
-    section swaps exchange the heads of two real sections and a share of
-    the truncations land exactly on section boundaries — the offsets the
-    hardening satellite cares most about.
+    section swaps exchange the heads of two real sections — restricted
+    to the sections the checkpoint schema marks ``swap_eligible`` — and
+    a share of the truncations land exactly on section boundaries — the
+    offsets the hardening satellite cares most about.
     """
     rng = random.Random(seed)
     plans: list[Mutation] = []
     sections = [s for s in (section_table or []) if s.length > 0]
+    swappable = (
+        [s for s in sections if s.name in _swap_eligible_sections()]
+        if sections
+        else []
+    )
     for _ in range(count):
         roll = rng.random()
         if roll < 0.4:
@@ -177,11 +202,11 @@ def plan_mutations(
             else:
                 off = rng.randrange(1, size)
             plans.append(Mutation("truncate", off))
-        elif roll < 0.8 or len(sections) < 2:
+        elif roll < 0.8 or len(swappable) < 2:
             off = rng.randrange(size)
             plans.append(Mutation("bitflip", off, bit=rng.randrange(8)))
         else:
-            a, b = rng.sample(sections, 2)
+            a, b = rng.sample(swappable, 2)
             n = min(a.length, b.length, 1 + rng.randrange(64))
             plans.append(
                 Mutation("section-swap", a.offset, length=n, other=b.offset)

@@ -604,9 +604,10 @@ class ChunkStore:
     def _deep_audit(self, problems: list[str]) -> dict:
         import tempfile
 
-        from repro.checkpoint.format import CHECKPOINT_MAGIC_V1
         from repro.checkpoint.inspect import describe_checkpoint
+        from repro.checkpoint.schema import FormatProfile
 
+        magic_prefix = FormatProfile.all()[0].magic[:4]
         described = {}
         for vm_id in self.vm_ids():
             try:
@@ -614,7 +615,7 @@ class ChunkStore:
             except StoreError as e:
                 problems.append(f"vm {vm_id!r}: {e}")
                 continue
-            if payload[:4] != CHECKPOINT_MAGIC_V1[:4]:
+            if payload[:4] != magic_prefix:
                 described[vm_id] = {"skipped": "not a checkpoint payload"}
                 continue
             fd, path = tempfile.mkstemp(suffix=".hckp")

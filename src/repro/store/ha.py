@@ -31,7 +31,9 @@ from typing import Optional
 from repro.arch.platforms import PLATFORMS, Platform, get_platform
 from repro.bytecode.image import CodeImage
 from repro.checkpoint.commit import COMMIT_POINTS, recover_commit
+from repro.checkpoint.format import detect_format_version
 from repro.checkpoint.reader import restart_vm
+from repro.checkpoint.schema import FormatProfile
 from repro.errors import ReproError, RestartError, StoreNotFoundError
 from repro.faults.injectors import CrashHooks, SimulatedCrashError
 from repro.metrics import INTEGRITY, PhaseTimer
@@ -286,6 +288,12 @@ class HASupervisor:
         finally:
             vm.config.commit_hooks = None
         stats = vm.last_checkpoint_stats
+        fmt_version = detect_format_version(ckpt_path)
+        profile = (
+            FormatProfile.for_version(fmt_version)
+            if fmt_version is not None
+            else None
+        )
         meta = {
             "platform": platform.name,
             "instructions": vm.interp.instructions,
@@ -296,6 +304,12 @@ class HASupervisor:
             "kind": stats.kind if stats is not None else "full",
             "body_sha256": (
                 vm.delta_parent_sha.hex() if vm.delta_parent_sha else ""
+            ),
+            # Schema identity: what the uploaded file claims to be, so
+            # fsck and auditors know the layout without fetching it.
+            "format_version": fmt_version,
+            "integrity_trailer": (
+                profile.integrity_trailer if profile is not None else False
             ),
         }
         if meta["kind"] == "delta":

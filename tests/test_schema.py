@@ -1,0 +1,269 @@
+"""The declarative section-codec registry and its proof obligations.
+
+Three layers of evidence that the schema refactor is behavior-preserving:
+
+1. **Registry invariants** — the codec table and the per-version
+   profiles are internally consistent and drive every consumer
+   (flags, layouts, mutation targets, CLI dump, docs).
+2. **Round trips** — ``serialize(parse(bytes)) == bytes`` for every
+   golden fixture: all six platforms (both endiannesses, both word
+   sizes) x v1/v2/v3 fulls, the scalar-writer v3, and the v4 delta
+   chain.  Then full regeneration: re-running the fixture programs with
+   the current writer must reproduce the checked-in SHA-256 manifest
+   bit for bit.
+3. **Restores** — each fixture restarts on a *different* architecture
+   and its output matches the pinned stdout baselines.
+
+Plus the drift guards: the tables in docs/FILE_FORMAT.md must equal
+``repro schema dump --markdown``, and the version-ladder lint must pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import io
+import json
+import os
+
+import pytest
+
+from repro import PLATFORMS, compile_source, get_platform
+from repro.checkpoint.format import read_checkpoint, serialize_snapshot
+from repro.checkpoint.inspect import describe_checkpoint
+from repro.checkpoint.reader import restart_vm
+from repro.checkpoint.schema import FormatProfile, all_codecs
+from repro.checkpoint.schema.render import doc_generated_block, render_markdown
+from repro.errors import CheckpointFormatError
+
+REPO = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
+GOLDEN = os.path.join(REPO, "tests", "fixtures", "golden")
+
+with open(os.path.join(GOLDEN, "MANIFEST.json")) as _f:
+    MANIFEST = json.load(_f)
+
+#: Every fixture restarts on the platform opposite in both endianness
+#: and word size — the hardest conversion each source has.
+OPPOSITE = {
+    "rodrigo": "ultra64",   # 32 LE -> 64 BE
+    "pc8": "ultra64",       # 32 LE -> 64 BE
+    "csd": "sp2148",        # 32 BE -> 64 LE
+    "sp2148": "csd",        # 64 LE -> 32 BE
+    "rs6000": "sp2148",     # 32 BE -> 64 LE
+    "ultra64": "rodrigo",   # 64 BE -> 32 LE
+}
+
+
+def _sha(path: str) -> str:
+    with open(path, "rb") as f:
+        return hashlib.sha256(f.read()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Registry invariants
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_profiles_cover_v1_to_v4(self):
+        assert [p.version for p in FormatProfile.all()] == [1, 2, 3, 4]
+
+    def test_nine_codecs_with_unique_ids(self):
+        codecs = all_codecs()
+        assert sorted(codecs) == sorted(
+            ["header", "boundaries", "globals", "heap", "index",
+             "atoms", "cglobals", "threads", "channels"]
+        )
+        sids = [c.sid for c in codecs.values()]
+        assert len(set(sids)) == len(sids)
+
+    def test_section_order_is_registration_order(self):
+        # Body order is the registry order; the index section only joins
+        # for block-index-capable profiles.
+        v1 = [c.name for c in FormatProfile.for_version(1).codecs]
+        v3 = [c.name for c in FormatProfile.for_version(3).codecs]
+        assert "index" not in v1
+        assert v3.index("index") == v3.index("heap") + 1
+        assert [n for n in v3 if n != "index"] == v1
+
+    def test_capability_monotonicity(self):
+        # Each version adds capabilities; none are ever removed.
+        profs = FormatProfile.all()
+        for attr in ("block_index", "integrity_trailer", "delta_base_capable"):
+            seen = False
+            for p in profs:
+                if p.delta:
+                    continue
+                got = getattr(p, attr)
+                assert not (seen and not got), f"{attr} regressed at v{p.version}"
+                seen = seen or got
+
+    def test_flags_follow_profile_capabilities(self):
+        for p in FormatProfile.all():
+            for c in p.codecs:
+                flags = c.flags(p)
+                assert ("crc_protected" in flags) == (
+                    c.crc_protected and p.integrity_trailer
+                )
+                assert ("delta_capable" in flags) == (c.delta_capable and p.delta)
+
+    def test_for_magic_rejects_garbage(self):
+        with pytest.raises(CheckpointFormatError):
+            FormatProfile.for_magic(b"NOPE\x00\x00")
+        assert FormatProfile.for_magic(b"NOPE\x00\x00", None) is None
+
+    def test_for_version_rejects_unknown(self):
+        with pytest.raises(CheckpointFormatError):
+            FormatProfile.for_version(9)
+
+    def test_mutation_targets_gate_on_trailer(self):
+        # Swaps are only detectable when a per-section CRC exists, so the
+        # fuzzer must only get swap-eligible targets from v3+ profiles.
+        for p in FormatProfile.all():
+            eligible = [t for t in p.mutation_targets() if t["swap_eligible"]]
+            if p.integrity_trailer:
+                assert len(eligible) >= 8
+            else:
+                assert eligible == []
+
+    def test_describe_is_json_serializable(self):
+        doc = [p.describe() for p in FormatProfile.all()]
+        json.loads(json.dumps(doc))
+        assert doc[0]["magic"] == "HCKP\\x01\\x00"
+        assert all(len(d["sections"]) >= 8 for d in doc)
+
+
+# ---------------------------------------------------------------------------
+# Byte round trips over the golden fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("platform", sorted(MANIFEST["platforms"]))
+def test_reserialize_reproduces_golden_bytes(platform):
+    """parse -> serialize is the identity on every fixture file.
+
+    This exercises every codec's decode *and* encode for every profile
+    on both endiannesses and word sizes, including the index-free scalar
+    file and the presence-gated delta sections.
+    """
+    entry = MANIFEST["platforms"][platform]
+    for fname, want_sha in sorted(entry["files"].items()):
+        path = os.path.join(GOLDEN, platform, fname)
+        snap = read_checkpoint(path)
+        blob = serialize_snapshot(snap)
+        got_sha = hashlib.sha256(blob).hexdigest()
+        assert got_sha == want_sha, f"{platform}/{fname}: reserialized bytes differ"
+
+
+def test_writer_regenerates_golden_manifest(tmp_path):
+    """The schema-driven writer reproduces the pre-refactor bytes.
+
+    Re-runs every fixture program (six platforms x three full versions,
+    the scalar path, and the three-generation delta chain) and compares
+    each file's SHA-256 — and the captured stdout — against the
+    checked-in manifest generated from the seed writer.
+    """
+    spec = importlib.util.spec_from_file_location(
+        "make_golden_fixtures",
+        os.path.join(REPO, "scripts", "make_golden_fixtures.py"),
+    )
+    gen = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(gen)
+    fresh = gen.generate(str(tmp_path))
+    assert fresh["platforms"] == MANIFEST["platforms"]
+
+
+# ---------------------------------------------------------------------------
+# Cross-architecture restores against pinned baselines
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("platform", sorted(MANIFEST["platforms"]))
+def test_full_fixture_restores_on_opposite_arch(platform):
+    code = compile_source(MANIFEST["programs"]["full"])
+    target = get_platform(OPPOSITE[platform])
+    out = io.BytesIO()
+    vm, stats = restart_vm(
+        target, code, os.path.join(GOLDEN, platform, "full_v3.hckp"),
+        stdout=out,
+    )
+    result = vm.run(max_instructions=20_000_000)
+    assert result.status == "stopped"
+    assert result.stdout.decode() == MANIFEST["platforms"][platform]["stdout"]["full"]
+    src = PLATFORMS[platform].arch
+    assert stats.converted_endianness == (src.endianness != target.arch.endianness)
+    assert stats.converted_word_size == (src.word_bytes != target.arch.word_bytes)
+
+
+@pytest.mark.parametrize("platform", sorted(MANIFEST["platforms"]))
+def test_delta_chain_restores_on_opposite_arch(platform):
+    code = compile_source(MANIFEST["programs"]["delta"])
+    out = io.BytesIO()
+    vm, _stats = restart_vm(
+        get_platform(OPPOSITE[platform]), code,
+        os.path.join(GOLDEN, platform, "delta.hckp"),
+        stdout=out,
+    )
+    result = vm.run(max_instructions=20_000_000)
+    assert result.status == "stopped"
+    # The mid-run prints live in the checkpointed channel buffer, so the
+    # restore replays the whole pinned stdout, mid-run prints included.
+    assert (
+        result.stdout.decode()
+        == MANIFEST["platforms"][platform]["stdout"]["delta"]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Schema-derived inspection (satellite: null section table below v3)
+# ---------------------------------------------------------------------------
+
+
+def test_info_sections_null_below_v3_and_sized_above():
+    v1 = describe_checkpoint(os.path.join(GOLDEN, "rodrigo", "full_v1.hckp"))
+    assert v1["sections"] is None
+    assert v1["section_bytes"] is None
+    v3 = describe_checkpoint(os.path.join(GOLDEN, "rodrigo", "full_v3.hckp"))
+    assert {s["name"] for s in v3["sections"]} >= {"header", "heap", "threads"}
+    for s in v3["sections"]:
+        assert "crc_protected" in s["flags"]
+        assert v3["section_bytes"][s["name"]] == s["length"]
+    assert sum(v3["section_bytes"].values()) > 0
+
+
+# ---------------------------------------------------------------------------
+# Drift guards: CLI dump, docs, version-ladder lint
+# ---------------------------------------------------------------------------
+
+
+def test_schema_dump_cli(capsys):
+    from repro.cli import main
+
+    assert main(["schema", "dump", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert [p["version"] for p in doc] == [1, 2, 3, 4]
+
+    assert main(["schema", "dump", "--markdown"]) == 0
+    assert capsys.readouterr().out == render_markdown()
+
+
+def test_file_format_doc_matches_registry():
+    with open(os.path.join(REPO, "docs", "FILE_FORMAT.md")) as f:
+        doc = doc_generated_block(f.read())
+    assert doc == render_markdown().strip("\n"), (
+        "docs/FILE_FORMAT.md drifted from the registry; regenerate the "
+        "block with `repro schema dump --markdown`"
+    )
+
+
+def test_no_version_ladders_outside_schema():
+    spec = importlib.util.spec_from_file_location(
+        "check_no_version_ladders",
+        os.path.join(REPO, "scripts", "check_no_version_ladders.py"),
+    )
+    lint = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(lint)
+    hits = lint.find_ladders()
+    assert hits == [], "version ladders outside checkpoint/schema: " + "; ".join(
+        f"{p}:{n}" for p, n, _ in hits
+    )
