@@ -1,0 +1,522 @@
+"""Decode-once instruction streams (the raw-speed tier's front end).
+
+The reference interpreter re-fetches the opcode, re-looks-up the
+handler and re-decodes every operand each time an instruction executes.
+This module does all of that exactly once per :class:`CodeImage`:
+
+* :func:`decode_image` turns the flat unit array into a dense stream of
+  :class:`DecodedInstruction` records — operands extracted, signedness
+  resolved, branch targets converted to absolute unit indices.
+* :func:`plan_fusion` rewrites the stream with *superinstructions*: the
+  hottest opcode pairs/triples (measured with ``repro trace`` over the
+  example workloads, see docs/DISPATCH.md) are grouped so the fast loop
+  dispatches them as one unit.
+* :func:`plan_counted_loops` recognizes tight counted loops over global
+  ``ref`` cells (the ``dispatch_rate`` workload shape) that the fast
+  tier can execute as a batched kernel, many iterations per safe-point
+  check.
+
+Everything here is *architecture- and VM-independent*: it depends only
+on the code units, so one decoded program is shared by every
+``VirtualMachine`` (and every restart) running the same image.  The
+**pc invariant**: all indices in the decoded stream are canonical code
+*unit* indices — ``pc``, branch targets, trap frames, closures and
+checkpointed thread state never see decoded/fused positions, so
+checkpoint files are bit-identical whether fusion is on or off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bytecode.opcodes import BRANCH_OPERANDS, OPERAND_COUNTS, Op
+
+__all__ = [
+    "DecodedInstruction",
+    "DecodedProgram",
+    "FusedGroup",
+    "CountedLoopPlan",
+    "LoopUpdate",
+    "decode_image",
+    "FUSION_PATTERNS",
+    "FUSIBLE_INNER",
+    "FUSIBLE_TAIL",
+]
+
+
+def _signed(u: int) -> int:
+    """A 32-bit unit as a signed operand (two's complement)."""
+    return u - (1 << 32) if u & (1 << 31) else u
+
+
+@dataclass(frozen=True)
+class DecodedInstruction:
+    """One instruction, fully decoded.
+
+    ``raw`` holds the operand units as stored (unsigned); ``targets``
+    holds, for branch-style operands, the *absolute* unit index each
+    offset resolves to (offsets are relative to the operand's own
+    position, OCaml's ``pc += *pc`` convention).
+    """
+
+    op: int
+    raw: tuple[int, ...]
+    index: int          #: unit index of the opcode
+    next: int           #: unit index of the following instruction
+    targets: tuple[int, ...] = ()
+
+    def signed(self, i: int) -> int:
+        return _signed(self.raw[i])
+
+
+@dataclass(frozen=True)
+class FusedGroup:
+    """A planned superinstruction: consecutive instruction starts."""
+
+    start: int                 #: unit index of the first member
+    members: tuple[int, ...]   #: unit indices of every member
+    ops: tuple[int, ...]       #: their opcodes
+    count: int                 #: canonical instructions represented
+
+
+@dataclass(frozen=True)
+class LoopUpdate:
+    """One ``ref := !ref <op> operand`` statement in a counted-loop body.
+
+    ``operand_kind`` is ``"const"`` (operand_value is the literal) or
+    ``"ref"`` (operand_value is the global index of a ref cell read at
+    this point of the iteration).  ``sign`` is +1 for ADDINT, -1 for
+    SUBINT.
+    """
+
+    target: int
+    sign: int
+    operand_kind: str
+    operand_value: int
+
+
+@dataclass(frozen=True)
+class CountedLoopPlan:
+    """A ``while`` loop over global int refs the fast tier can batch.
+
+    Shape (unit indices, all canonical)::
+
+        head:  CHECK_SIGNALS
+               <cond: bound; PUSH; counter deref; CMP>
+               BRANCHIFNOT exit
+               <body: one or more LoopUpdate blocks>
+        back:  BRANCH head
+        exit:  ...
+
+    ``iter_count`` is the canonical instruction count of one full
+    iteration (head through the back-edge BRANCH); ``cond_count`` the
+    count of the final, failing pass (head through BRANCHIFNOT).
+    """
+
+    head: int
+    exit: int
+    iter_count: int
+    cond_count: int
+    counter: int                       #: global index of the loop ref
+    cmp_op: int                        #: Op.LTINT/LEINT/GTINT/GEINT
+    step: int                          #: signed per-iteration increment
+    bound_const: Optional[int]         #: literal bound, or None
+    bound_global: Optional[int]        #: global index of a bound ref
+    updates: tuple[LoopUpdate, ...]    #: body statements, in order
+
+
+class DecodedProgram:
+    """The decoded stream plus fusion and loop plans for one image."""
+
+    __slots__ = ("n_units", "entries", "groups", "loops")
+
+    def __init__(
+        self,
+        n_units: int,
+        entries: list[Optional[DecodedInstruction]],
+        groups: list[FusedGroup],
+        loops: list[CountedLoopPlan],
+    ) -> None:
+        self.n_units = n_units
+        #: Indexed by unit; ``None`` at operand slots and undecodable
+        #: positions (the fast tier falls back to single-step reference
+        #: dispatch there, so misaligned jumps keep reference behavior).
+        self.entries = entries
+        self.groups = groups
+        self.loops = loops
+
+
+# ---------------------------------------------------------------------------
+# Stage 1: linear decode
+# ---------------------------------------------------------------------------
+
+_VALID_OPS = {int(op) for op in Op}
+
+
+def _decode_entries(units: list[int]) -> list[Optional[DecodedInstruction]]:
+    n = len(units)
+    entries: list[Optional[DecodedInstruction]] = [None] * n
+    i = 0
+    while i < n:
+        op = units[i]
+        if op not in _VALID_OPS:
+            # Illegal opcode: leave None; execution raises exactly as
+            # the reference loop does.  Resync at the next unit.
+            i += 1
+            continue
+        argc = OPERAND_COUNTS[Op(op)]
+        if i + argc >= n:
+            # Truncated instruction at the end of the image.
+            i += 1
+            continue
+        raw = tuple(units[i + 1 : i + 1 + argc])
+        branch_slots = BRANCH_OPERANDS.get(Op(op), ())
+        targets = tuple(
+            (i + 1 + slot) + _signed(raw[slot]) for slot in branch_slots
+        )
+        entries[i] = DecodedInstruction(op, raw, i, i + 1 + argc, targets)
+        i += 1 + argc
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# Stage 2: superinstruction fusion
+# ---------------------------------------------------------------------------
+
+#: Opcodes safe anywhere in a fused group: straight-line, never touch
+#: ``pc`` (beyond falling through), never raise a *catchable* VM
+#: exception mid-group, never switch threads.  Allocating opcodes are
+#: fine — a GC inside a group sees coherent registers and stacks.
+FUSIBLE_INNER = frozenset(
+    int(op)
+    for op in (
+        Op.ACC, Op.PUSH, Op.PUSHACC, Op.POP, Op.ASSIGN,
+        Op.ENVACC, Op.PUSHENVACC, Op.OFFSETCLOSURE0,
+        Op.CONSTINT, Op.PUSHCONSTINT, Op.ATOM, Op.PUSHATOM,
+        Op.GETGLOBAL, Op.PUSHGETGLOBAL, Op.SETGLOBAL,
+        Op.GETFIELD, Op.SETFIELD, Op.VECTLENGTH, Op.ISINT,
+        Op.NEGINT, Op.ADDINT, Op.SUBINT, Op.MULINT,
+        Op.ANDINT, Op.ORINT, Op.XORINT,
+        Op.LSLINT, Op.LSRINT, Op.ASRINT,
+        Op.OFFSETINT, Op.BOOLNOT,
+        Op.EQ, Op.NEQ, Op.LTINT, Op.LEINT, Op.GTINT, Op.GEINT,
+        Op.MAKEBLOCK, Op.STRLIT, Op.FLOATLIT,
+    )
+)
+
+#: Opcodes additionally allowed as the *last* member of a group (they
+#: choose the next pc themselves).
+FUSIBLE_TAIL = FUSIBLE_INNER | {
+    int(Op.BRANCH), int(Op.BRANCHIF), int(Op.BRANCHIFNOT),
+}
+
+_CMPS = (Op.EQ, Op.NEQ, Op.LTINT, Op.LEINT, Op.GTINT, Op.GEINT)
+
+#: The fusion table: hot opcode pairs/triples, longest-match-first.
+#: Chosen from the ``repro trace`` hot-pair profile over the example
+#: workloads (see docs/DISPATCH.md for the data and how to extend it).
+FUSION_PATTERNS: list[tuple[int, ...]] = [
+    tuple(int(o) for o in pat)
+    for pat in (
+        # Triples
+        [(Op.CONSTINT, Op.PUSH, Op.GETGLOBAL)]
+        + [(Op.GETFIELD, c, b) for c in _CMPS
+           for b in (Op.BRANCHIFNOT, Op.BRANCHIF)]
+        + [(Op.ACC, Op.OFFSETINT, Op.ASSIGN)]
+        + [(Op.ACC, Op.PUSH, Op.ACC)]
+        + [(Op.CONSTINT, Op.PUSH, Op.ACC)]
+        # Pairs
+        + [(c, b) for c in _CMPS for b in (Op.BRANCHIFNOT, Op.BRANCHIF)]
+        + [(Op.ISINT, Op.BRANCHIF), (Op.ISINT, Op.BRANCHIFNOT)]
+        + [
+            (Op.ACC, Op.PUSH),
+            (Op.CONSTINT, Op.PUSH),
+            (Op.ENVACC, Op.PUSH),
+            (Op.GETGLOBAL, Op.GETFIELD),
+            (Op.GETFIELD, Op.PUSH),
+            (Op.GETFIELD, Op.ADDINT),
+            (Op.PUSH, Op.GETGLOBAL),
+            (Op.PUSH, Op.ACC),
+            (Op.OFFSETINT, Op.ASSIGN),
+        ]
+    )
+]
+
+for _pat in FUSION_PATTERNS:  # sanity: the table respects the sets
+    assert all(o in FUSIBLE_INNER for o in _pat[:-1]), _pat
+    assert _pat[-1] in FUSIBLE_TAIL, _pat
+
+# First-op index, longest pattern first so greedy matching prefers
+# triples over pairs.
+_BY_FIRST: dict[int, list[tuple[int, ...]]] = {}
+for _pat in FUSION_PATTERNS:
+    _BY_FIRST.setdefault(_pat[0], []).append(_pat)
+for _pats in _BY_FIRST.values():
+    _pats.sort(key=len, reverse=True)
+
+
+def plan_fusion(
+    entries: list[Optional[DecodedInstruction]],
+) -> list[FusedGroup]:
+    """Greedy longest-match fusion over consecutive instruction starts.
+
+    A group only *adds* a combined entry at its start index; the member
+    instructions keep their individual entries, so jumps (or restored
+    checkpoints) landing mid-group execute the canonical singles.
+    """
+    groups: list[FusedGroup] = []
+    n = len(entries)
+    i = 0
+    while i < n:
+        e = entries[i]
+        if e is None:
+            i += 1
+            continue
+        candidates = _BY_FIRST.get(e.op)
+        matched = None
+        if candidates:
+            for pat in candidates:
+                members = [e]
+                cur = e
+                ok = True
+                for want in pat[1:]:
+                    nxt = entries[cur.next] if cur.next < n else None
+                    if nxt is None or nxt.op != want:
+                        ok = False
+                        break
+                    members.append(nxt)
+                    cur = nxt
+                if ok:
+                    matched = members
+                    break
+        if matched is not None:
+            groups.append(
+                FusedGroup(
+                    start=i,
+                    members=tuple(m.index for m in matched),
+                    ops=tuple(m.op for m in matched),
+                    count=len(matched),
+                )
+            )
+            i = matched[-1].next
+        else:
+            i = e.next
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Stage 3: counted-loop recognition (batched kernels)
+# ---------------------------------------------------------------------------
+
+_REF_DEREF = (int(Op.GETGLOBAL), int(Op.GETFIELD))
+_REL_CMPS = {int(Op.LTINT), int(Op.LEINT), int(Op.GTINT), int(Op.GEINT)}
+
+
+class _Cursor:
+    """A little matching cursor over the decoded stream."""
+
+    def __init__(self, entries, start: int) -> None:
+        self.entries = entries
+        self.i = start
+
+    def take(self, op: Op) -> Optional[DecodedInstruction]:
+        e = self.entries[self.i] if 0 <= self.i < len(self.entries) else None
+        if e is None or e.op != int(op):
+            return None
+        self.i = e.next
+        return e
+
+    def peek_op(self) -> Optional[int]:
+        e = self.entries[self.i] if 0 <= self.i < len(self.entries) else None
+        return None if e is None else e.op
+
+
+def _match_deref(cur: _Cursor) -> Optional[int]:
+    """Match ``GETGLOBAL g; GETFIELD 0`` -> g."""
+    g = cur.take(Op.GETGLOBAL)
+    if g is None:
+        return None
+    f = cur.take(Op.GETFIELD)
+    if f is None or f.raw[0] != 0:
+        return None
+    return g.raw[0]
+
+
+def _match_update(cur: _Cursor) -> Optional[LoopUpdate]:
+    """Match one ``a := !a (+|-) (k | !b)`` statement.
+
+    Two compiled shapes::
+
+        CONSTINT k; PUSH; GETGLOBAL a; GETFIELD 0; ADDINT|SUBINT;
+            PUSH; GETGLOBAL a; SETFIELD 0
+        GETGLOBAL b; GETFIELD 0; PUSH; GETGLOBAL a; GETFIELD 0;
+            ADDINT|SUBINT; PUSH; GETGLOBAL a; SETFIELD 0
+    """
+    start = cur.i
+    kind = None
+    value = None
+    if (k := cur.take(Op.CONSTINT)) is not None:
+        kind, value = "const", k.signed(0)
+    else:
+        cur.i = start
+        b = _match_deref(cur)
+        if b is None:
+            cur.i = start
+            return None
+        kind, value = "ref", b
+    if cur.take(Op.PUSH) is None:
+        cur.i = start
+        return None
+    a = _match_deref(cur)
+    if a is None:
+        cur.i = start
+        return None
+    if cur.take(Op.ADDINT) is not None:
+        sign = 1
+    elif cur.take(Op.SUBINT) is not None:
+        sign = -1
+    else:
+        cur.i = start
+        return None
+    if cur.take(Op.PUSH) is None:
+        cur.i = start
+        return None
+    g2 = cur.take(Op.GETGLOBAL)
+    sf = cur.take(Op.SETFIELD)
+    if g2 is None or g2.raw[0] != a or sf is None or sf.raw[0] != 0:
+        cur.i = start
+        return None
+    return LoopUpdate(target=a, sign=sign, operand_kind=kind,
+                      operand_value=value)
+
+
+def _match_counted_loop(
+    entries: list[Optional[DecodedInstruction]],
+    back: DecodedInstruction,
+) -> Optional[CountedLoopPlan]:
+    """Try to match the counted-loop template rooted at a back-edge."""
+    head = back.targets[0]
+    if not 0 <= head < len(entries):
+        return None
+    cur = _Cursor(entries, head)
+    n_instr = 0
+
+    def count_since(mark: int) -> int:
+        # canonical instruction count between two cursor marks
+        c, i = 0, mark
+        while i < cur.i:
+            e = entries[i]
+            if e is None:
+                return -1
+            c += 1
+            i = e.next
+        return c
+
+    if cur.take(Op.CHECK_SIGNALS) is None:
+        return None
+    # Condition: <bound>; PUSH; !counter; CMP; BRANCHIFNOT exit
+    bound_const = bound_global = None
+    if (k := cur.take(Op.CONSTINT)) is not None:
+        bound_const = k.signed(0)
+    else:
+        bound_global = _match_deref(cur)
+        if bound_global is None:
+            return None
+    if cur.take(Op.PUSH) is None:
+        return None
+    counter = _match_deref(cur)
+    if counter is None:
+        return None
+    if cur.peek_op() not in _REL_CMPS:
+        return None
+    cmp_instr = entries[cur.i]
+    cur.i = cmp_instr.next
+    branchifnot = cur.take(Op.BRANCHIFNOT)
+    if branchifnot is None:
+        return None
+    exit_index = branchifnot.targets[0]
+    cond_count = count_since(head)
+    if cond_count < 0:
+        return None
+    # Body: one or more updates, then BRANCH back to head.
+    updates: list[LoopUpdate] = []
+    while True:
+        if cur.i == back.index:
+            break
+        u = _match_update(cur)
+        if u is None:
+            return None
+        updates.append(u)
+        if len(updates) > 8:
+            return None
+    if not updates:
+        return None
+    if cur.take(Op.BRANCH) is None or exit_index != back.next:
+        return None
+    iter_count = count_since(head)
+    # Exactly one constant-step update of the counter; accumulators are
+    # write-only (operands may only be constants, the counter, or refs
+    # never written in the body) and each target is written once.
+    targets = [u.target for u in updates]
+    if len(set(targets)) != len(targets):
+        return None
+    counter_updates = [
+        u for u in updates
+        if u.target == counter and u.operand_kind == "const"
+    ]
+    if len(counter_updates) != 1 or any(
+        u.target == counter for u in updates if u not in counter_updates
+    ):
+        return None
+    if bound_global is not None and bound_global in targets:
+        return None
+    written = set(targets)
+    for u in updates:
+        if u.operand_kind == "ref":
+            if u.operand_value in written and u.operand_value != counter:
+                return None
+            if u.operand_value == u.target:
+                return None
+    step = counter_updates[0].sign * counter_updates[0].operand_value
+    return CountedLoopPlan(
+        head=head,
+        exit=exit_index,
+        iter_count=iter_count,
+        cond_count=cond_count,
+        counter=counter,
+        cmp_op=cmp_instr.op,
+        step=step,
+        bound_const=bound_const,
+        bound_global=bound_global,
+        updates=tuple(updates),
+    )
+
+
+def plan_counted_loops(
+    entries: list[Optional[DecodedInstruction]],
+) -> list[CountedLoopPlan]:
+    """Find every batchable counted loop (one plan per loop head)."""
+    plans: dict[int, CountedLoopPlan] = {}
+    for e in entries:
+        if e is None or e.op != int(Op.BRANCH) or not e.targets:
+            continue
+        if e.targets[0] >= e.index:
+            continue  # not a back-edge
+        plan = _match_counted_loop(entries, e)
+        if plan is not None and plan.head not in plans:
+            plans[plan.head] = plan
+    return list(plans.values())
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def decode_image(units: list[int]) -> DecodedProgram:
+    """Decode a unit array into a stream with fusion and loop plans."""
+    entries = _decode_entries(units)
+    groups = plan_fusion(entries)
+    loops = plan_counted_loops(entries)
+    return DecodedProgram(len(units), entries, groups, loops)

@@ -12,6 +12,8 @@ from __future__ import annotations
 import hashlib
 import struct
 
+import numpy as np
+
 from repro.errors import BytecodeError
 
 #: Code addressing granularity in bytes, on every architecture.
@@ -32,17 +34,62 @@ class CodeImage:
         string_literals: list[bytes] | None = None,
         float_literals: list[float] | None = None,
     ) -> None:
-        for u in units:
-            if not -(2**31) <= u < 2**32:
-                raise BytecodeError(f"code unit {u} out of 32-bit range")
         #: Code units, stored unsigned.
-        self.units: list[int] = [u & _UNIT_MASK for u in units]
+        self.units: list[int] = self._validated_units(units)
+        #: Lazily built decoded stream (see :meth:`decoded`); shared by
+        #: every VM and restart on this image, so re-decoding is paid
+        #: exactly once per program load.
+        self._decoded = None
         self.name = name
         #: Size of the global-data block the program expects.
         self.n_globals = n_globals
         #: Literal pools referenced by STRLIT / FLOATLIT.
         self.string_literals: list[bytes] = list(string_literals or [])
         self.float_literals: list[float] = list(float_literals or [])
+
+    @staticmethod
+    def _validated_units(units: list[int]) -> list[int]:
+        """Range-check and mask every unit to unsigned 32-bit.
+
+        Vectorized: one numpy pass instead of a Python loop per unit,
+        which dominates image-load time for large programs.  Falls back
+        to the scalar path for tiny images and for exotic inputs numpy
+        cannot hold (ints beyond 64 bits — always out of range, but the
+        error must name the offender).
+        """
+        n = len(units)
+        if n >= 32:
+            try:
+                arr = np.asarray(units, dtype=np.int64)
+            except (OverflowError, TypeError, ValueError):
+                pass
+            else:
+                bad = (arr < -(1 << 31)) | (arr >= (1 << 32))
+                if bad.any():
+                    offender = int(arr[int(np.argmax(bad))])
+                    raise BytecodeError(
+                        f"code unit {offender} out of 32-bit range"
+                    )
+                return (arr & _UNIT_MASK).tolist()
+        out = []
+        for u in units:
+            if not -(2**31) <= u < 2**32:
+                raise BytecodeError(f"code unit {u} out of 32-bit range")
+            out.append(u & _UNIT_MASK)
+        return out
+
+    def decoded(self):
+        """The decode-once instruction stream for this image (cached).
+
+        Returns a :class:`repro.bytecode.decoded.DecodedProgram` built
+        on first use; repeated ``VirtualMachine`` constructions and
+        restarts on the same image reuse it.
+        """
+        if self._decoded is None:
+            from repro.bytecode.decoded import decode_image
+
+            self._decoded = decode_image(self.units)
+        return self._decoded
 
     def __len__(self) -> int:
         return len(self.units)

@@ -8,6 +8,7 @@ Commands::
     python -m repro compile prog.ml -o prog.byc
     python -m repro disasm prog.byc
     python -m repro run prog.ml  --platform rodrigo --checkpoint app.hckp
+    python -m repro trace prog.ml [--top 15] [--json]
     python -m repro restart prog.ml app.hckp --platform sp2148
     python -m repro platforms
     python -m repro info app.hckp [--json] [--deep]
@@ -57,6 +58,8 @@ def _config_from(args: argparse.Namespace) -> VMConfig:
         cfg.chkpt_mode = args.mode
     if getattr(args, "no_vectorize", False):
         cfg.vectorize = False
+    if getattr(args, "dispatch", None):
+        cfg.dispatch = args.dispatch
     if getattr(args, "format", None):
         cfg.chkpt_format = int(args.format.lstrip("v"))
     if getattr(args, "retain", None) is not None:
@@ -183,6 +186,50 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"[{vm.checkpoints_taken} checkpoint(s) written to "
               f"{vm.config.chkpt_filename}]", file=sys.stderr)
     return _finish(result)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Profile a program: opcode histogram + hot consecutive pairs.
+
+    Runs under :class:`repro.tracing.InstructionTracer` (which forces
+    the reference dispatch tier — the fast tier has no per-instruction
+    hook).  The hot-pair table is the data the superinstruction fusion
+    table in ``src/repro/bytecode/decoded.py`` is chosen from.
+    """
+    from repro.tracing import InstructionTracer
+
+    code = _load_code(args.source)
+    cfg = _config_from(args)
+    # Profiling run: a `checkpoint ()` in the program must not abort it
+    # (trace has no --checkpoint option, so no filename is configured).
+    cfg.chkpt_state = "disable"
+    vm = VirtualMachine(get_platform(args.platform), code, cfg)
+    tracer = InstructionTracer(limit=args.ring)
+    vm.interp.trace_hook = tracer
+    result = vm.run(max_instructions=args.max_instructions)
+    histogram = tracer.opcode_histogram()
+    pairs = tracer.hot_pairs(args.top)
+    if args.json:
+        print(json.dumps({
+            "program": args.source,
+            "platform": args.platform,
+            "status": result.status,
+            "instructions": result.instructions,
+            "opcode_histogram": histogram,
+            "hot_pairs": [
+                {"first": a, "second": b, "count": n} for a, b, n in pairs
+            ],
+        }, indent=2, sort_keys=True))
+        return 0
+    print(f"{args.source}: {result.instructions} instruction(s), "
+          f"status {result.status}")
+    print(f"\nopcode histogram (top {args.top}):")
+    for name, n in list(histogram.items())[:args.top]:
+        print(f"  {name:<16s} {n:>10d}  {100.0 * n / tracer.total:5.1f}%")
+    print(f"\nhot opcode pairs (top {args.top}):")
+    for a, b, n in pairs:
+        print(f"  {a:<16s}+ {b:<16s} {n:>10d}")
+    return 0
 
 
 def cmd_restart(args: argparse.Namespace) -> int:
@@ -639,6 +686,11 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--no-vectorize", action="store_true",
                         help="use the scalar reference C/R paths "
                              "(CHKPT_VECTORIZE=0)")
+        sp.add_argument("--dispatch", choices=["fast", "reference"],
+                        default=None,
+                        help="interpreter dispatch tier (CHKPT_DISPATCH; "
+                             "default fast; reference = the canonical "
+                             "fetch/decode/execute oracle loop)")
         sp.add_argument("--format", choices=_writable_formats(),
                         help="checkpoint format version to write "
                              "(CHKPT_FORMAT; default v3)")
@@ -667,6 +719,20 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("source")
     common(r)
     r.set_defaults(fn=cmd_run)
+
+    t = sub.add_parser(
+        "trace", help="profile a program: opcode histogram + hot pairs")
+    t.add_argument("source")
+    t.add_argument("--platform", default="rodrigo",
+                   choices=sorted(PLATFORMS))
+    t.add_argument("--top", type=int, default=15,
+                   help="how many histogram rows / hot pairs to print")
+    t.add_argument("--ring", type=int, default=10_000,
+                   help="instruction ring-buffer size")
+    t.add_argument("--max-instructions", type=int, default=None)
+    t.add_argument("--json", action="store_true",
+                   help="emit the profile as machine-readable JSON")
+    t.set_defaults(fn=cmd_trace)
 
     rs = sub.add_parser("restart", help="restart a checkpoint")
     rs.add_argument("source")

@@ -53,7 +53,11 @@ class Interpreter:
         #: the benchmark instruction counts).
         self.instructions = 0
         self._countdown = vm.sched.quantum
+        self._units = vm.code.units
         self._handlers = self._build_handlers()
+        #: Lazily built fast-tier code (operand-bound closures); see
+        #: :mod:`repro.interpreter.dispatch`.
+        self._fast = None
         #: Optional per-instruction hook ``fn(interp, pc, op)`` — install
         #: before run(); see :mod:`repro.tracing`.
         self.trace_hook = None
@@ -111,11 +115,29 @@ class Interpreter:
         ``exit`` raises
         :class:`~repro.interpreter.primitives.ExitProgram` to the caller
         (the VM façade turns it into a status).
+
+        Dispatch tier selection (``VMConfig.dispatch``): the fast tier
+        handles the common case — unbudgeted, untraced runs.  Tracing
+        and instruction budgets need a per-instruction test, so those
+        runs take the reference loop, which is also the differential
+        oracle the fast tier is tested against (``"reference"`` forces
+        it unconditionally).
         """
+        if (
+            max_instructions is None
+            and self.trace_hook is None
+            and self.vm.config.dispatch == "fast"
+        ):
+            return self._run_fast()
+        return self._run_reference(max_instructions)
+
+    def _run_reference(self, max_instructions: Optional[int] = None) -> str:
+        """The canonical fetch/decode/execute loop (the oracle tier)."""
         vm = self.vm
         units = vm.code.units
         pending = vm.pending
         handlers = self._handlers
+        n_handlers = len(handlers)
         budget = max_instructions if max_instructions is not None else -1
         try:
             while True:
@@ -134,7 +156,7 @@ class Interpreter:
                 if self.trace_hook is not None:
                     self.trace_hook(self, self.pc, op)
                 self.pc += 1
-                handler = handlers[op] if op < len(handlers) else None
+                handler = handlers[op] if 0 <= op < n_handlers else None
                 if handler is None:
                     raise BytecodeError(f"illegal opcode {op} at {self.pc - 1}")
                 handler()
@@ -142,6 +164,72 @@ class Interpreter:
             return "stopped"
         except YieldNode:
             return "yielded"
+
+    def _run_fast(self) -> str:
+        """The fast tier: dispatch pre-bound closures by code-unit pc.
+
+        The loop keeps the instruction counter and preemption countdown
+        in locals, synchronizing with the canonical fields at every
+        safe-point interaction (pending events, quantum ticks, stateful
+        kernel entries) and on exit, so checkpoints and thread switches
+        observe exactly the state the reference loop would produce at
+        the same boundary.
+        """
+        vm = self.vm
+        pending = vm.pending
+        fast = self._fast
+        if fast is None:
+            from repro.interpreter.dispatch import build_fast_code
+
+            fast = self._fast = build_fast_code(self)
+        code = fast.handlers
+        counts = fast.counts
+        countdown = self._countdown
+        insns = self.instructions
+        pc = self.pc
+        try:
+            while True:
+                if pending.any:
+                    self.instructions = insns
+                    self._countdown = countdown
+                    self.pc = pc
+                    if self._handle_pending():
+                        return "stopped"
+                    pc = self.pc
+                    countdown = self._countdown
+                n = counts[pc]
+                if n == 0:
+                    # Stateful entry (batched loop kernel, escape slot,
+                    # lazy binder): it does its own canonical accounting
+                    # against the live fields, pc included.  Resync the
+                    # locals even if it raises (STOP, illegal opcode) so
+                    # the exit path below doesn't clobber its updates.
+                    self.instructions = insns
+                    self._countdown = countdown
+                    self.pc = pc
+                    try:
+                        code[pc]()
+                    finally:
+                        pc = self.pc
+                        insns = self.instructions
+                        countdown = self._countdown
+                    continue
+                countdown -= n
+                if countdown <= 0:
+                    self._countdown = countdown
+                    self._on_tick()
+                    countdown = self._countdown
+                insns += n
+                pc = code[pc]()
+        except _ProgramStop:
+            return "stopped"
+        except YieldNode:
+            return "yielded"
+        finally:
+            # Generic/stateful closures keep self.pc current on the
+            # paths that exit the loop; the counters live here.
+            self.instructions = insns
+            self._countdown = countdown
 
     def _on_tick(self) -> None:
         """Virtual timer tick: preemption and periodic checkpoint policy."""
@@ -212,7 +300,7 @@ class Interpreter:
     # -- fetch helpers ---------------------------------------------------------------
 
     def _fetch(self) -> int:
-        u = self.vm.code.units[self.pc]
+        u = self._units[self.pc]
         self.pc += 1
         return u
 

@@ -20,18 +20,32 @@ from repro.bytecode.opcodes import Op
 
 
 class InstructionTracer:
-    """Records executed instructions into a bounded ring buffer."""
+    """Records executed instructions into a bounded ring buffer.
+
+    Besides the per-opcode histogram, consecutive same-thread opcode
+    *pairs* are counted — the profile the fast tier's superinstruction
+    fusion table (:data:`repro.bytecode.decoded.FUSION_PATTERNS`) is
+    chosen from.  A thread switch breaks the chain, so pairs never span
+    two threads' instruction streams.
+    """
 
     def __init__(self, limit: int = 10_000) -> None:
         #: (thread id, unit index, opcode) triples, oldest first.
         self.ring: deque[tuple[int, int, int]] = deque(maxlen=limit)
         self.counts: Counter[int] = Counter()
+        #: Dynamic (opcode, following opcode) counts, same thread only.
+        self.pair_counts: Counter[tuple[int, int]] = Counter()
         self.total = 0
+        self._prev: tuple[int, int] | None = None  # (tid, op)
 
     def __call__(self, interp, pc: int, op: int) -> None:
         tid = interp.vm.sched.current.tid if interp.vm.sched.current else -1
         self.ring.append((tid, pc, op))
         self.counts[op] += 1
+        prev = self._prev
+        if prev is not None and prev[0] == tid:
+            self.pair_counts[(prev[1], op)] += 1
+        self._prev = (tid, op)
         self.total += 1
 
     def opcode_histogram(self) -> dict[str, int]:
@@ -40,6 +54,18 @@ class InstructionTracer:
             Op(op).name: n
             for op, n in self.counts.most_common()
         }
+
+    def hot_pairs(self, n: int = 10) -> list[tuple[str, str, int]]:
+        """The ``n`` most frequent consecutive opcode pairs.
+
+        Returns ``(first mnemonic, second mnemonic, count)`` tuples,
+        most frequent first — the raw material for picking new
+        superinstructions (see docs/DISPATCH.md).
+        """
+        return [
+            (Op(a).name, Op(b).name, count)
+            for (a, b), count in self.pair_counts.most_common(n)
+        ]
 
     def format_tail(self, n: int = 25) -> str:
         """The last ``n`` instructions, one per line."""

@@ -67,6 +67,13 @@ class VMConfig:
     #: and restart hot loops.  ``False`` selects the word-at-a-time
     #: scalar reference implementation (kept for differential testing).
     vectorize: bool = True
+    #: ``CHKPT_DISPATCH``: interpreter dispatch tier.  ``"fast"`` (the
+    #: default) runs decode-once closures with superinstruction fusion
+    #: and batched loop kernels; ``"reference"`` keeps the canonical
+    #: fetch/decode/execute loop as the differential oracle (the
+    #: ``vectorize`` / ``--no-vectorize`` precedent, applied to
+    #: execution).  Both tiers produce bit-identical checkpoints.
+    dispatch: str = "fast"
     #: ``CHKPT_FORMAT``: checkpoint file format version to write (1, 2,
     #: or 3).  3 adds the per-section CRC32 + SHA-256 integrity trailer;
     #: 2 is the escape hatch for readers that predate it.
@@ -109,6 +116,9 @@ class VMConfig:
         vec = environ.get("CHKPT_VECTORIZE")
         if vec is not None:
             cfg.vectorize = vec.strip().lower() not in ("0", "false", "no", "off")
+        tier = environ.get("CHKPT_DISPATCH")
+        if tier is not None and tier.strip().lower() in ("fast", "reference"):
+            cfg.dispatch = tier.strip().lower()
         fmt = environ.get("CHKPT_FORMAT")
         if fmt is not None and fmt.strip().lstrip("v") in ("1", "2", "3"):
             cfg.chkpt_format = int(fmt.strip().lstrip("v"))

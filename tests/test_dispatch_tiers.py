@@ -1,0 +1,313 @@
+"""Differential tests: the fast dispatch tier against the reference loop.
+
+The fast tier (decode-once closures, superinstruction fusion, batched
+counted-loop kernels — :mod:`repro.interpreter.dispatch`) is an
+*observational substitute* for the canonical fetch/decode/execute loop.
+These tests pin the substitution down:
+
+* identical stdout, exit status and instruction counts on every example
+  workload, on a 32-bit little-endian and a 64-bit big-endian platform;
+* identical final heap occupancy;
+* bit-identical checkpoint files when a run checkpoints itself;
+* a checkpoint taken *mid fused region* (the reference tier stopped
+  between two members of a planned superinstruction) restores and
+  completes correctly under the fast tier on an opposite-endianness,
+  opposite-word-size platform — fused groups only exist at bind time,
+  never in checkpointed state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    VirtualMachine,
+    VMConfig,
+    compile_source,
+    get_platform,
+    restart_vm,
+)
+from repro.bytecode.image import CodeImage
+from repro.bytecode.opcodes import Op
+from repro.errors import BytecodeError
+from repro.workloads import (
+    insertion_sort_expected,
+    insertion_sort_source,
+    matmul_expected,
+    matmul_source,
+)
+
+#: Opposite endianness AND opposite word size (32LE vs 64BE).
+PLATFORM_PAIR = ["rodrigo", "ultra64"]
+
+LOOP = """
+let r = ref 0;;
+let s = ref 0;;
+while !r < 5000 do (r := !r + 1; s := !s + 2) done;;
+print_int !r; print_string "/"; print_int !s
+"""
+
+#: Race-free by construction: the threads write disjoint cells, so the
+#: result is interleaving-independent.  (The two tiers reach quantum
+#: ticks at slightly different instruction boundaries — batched
+#: dispatches only poll at their edges — so programs whose *output*
+#: depends on preemption timing are outside the equivalence contract.)
+THREADS = """
+let a = ref 0;;
+let b = ref 0;;
+let spin cell n =
+  let i = ref 0 in
+  while !i < 200 do (cell := !cell + n; i := !i + 1) done;;
+let t1 = thread_create (fun () -> spin a 1);;
+let t2 = thread_create (fun () -> spin b 10);;
+thread_join t1; thread_join t2;
+print_int (!a * 10000 + !b)
+"""
+
+EXCEPTIONS = """
+let rec loop i acc =
+  if i = 0 then acc
+  else
+    let v = try (if i mod 3 = 0 then raise 99 else i)
+            with e -> e + 901 in
+    loop (i - 1) (acc + v);;
+print_int (loop 60 0)
+"""
+
+WORKLOADS = {
+    "loop": lambda: LOOP,
+    "matmul": lambda: matmul_source(6, checkpoint=False),
+    "sort": lambda: insertion_sort_source(40, checkpoint=False),
+    "threads": lambda: THREADS,
+    "exceptions": lambda: EXCEPTIONS,
+}
+
+#: Workloads that call ``checkpoint ()`` themselves; the files the two
+#: tiers write must be bit-identical.
+CK_WORKLOADS = {
+    "matmul_ck": lambda: matmul_source(6),
+    "sort_ck": lambda: insertion_sort_source(40),
+    "threads_ck": lambda: THREADS.replace(
+        "print_int", "checkpoint ();\nprint_int"
+    ),
+}
+
+
+def run_tier(src, platform_name, tier, ck_path=None):
+    """Run ``src`` under one dispatch tier; plain ``run()`` so the tier
+    selector actually honors the configuration (budgeted runs always
+    take the reference loop)."""
+    code = compile_source(src)
+    cfg = (
+        dict(chkpt_filename=str(ck_path), chkpt_mode="blocking")
+        if ck_path is not None
+        else dict(chkpt_state="disable")
+    )
+    vm = VirtualMachine(
+        get_platform(platform_name), code, VMConfig(dispatch=tier, **cfg)
+    )
+    result = vm.run()
+    assert result.status == "stopped"
+    return result
+
+
+def heap_words(vm):
+    return vm.mem.minor.used_words + vm.mem.heap.live_words()
+
+
+class TestDifferential:
+    """fast == reference on every observable, on both platform shapes."""
+
+    @pytest.mark.parametrize("platform_name", PLATFORM_PAIR)
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_workload_matches_reference(self, platform_name, name):
+        src = WORKLOADS[name]()
+        ref = run_tier(src, platform_name, "reference")
+        fast = run_tier(src, platform_name, "fast")
+        assert fast.stdout == ref.stdout
+        assert fast.instructions == ref.instructions
+        assert heap_words(fast.vm) == heap_words(ref.vm)
+
+    @pytest.mark.parametrize("platform_name", PLATFORM_PAIR)
+    @pytest.mark.parametrize("name", sorted(CK_WORKLOADS))
+    def test_checkpoint_bytes_identical(self, platform_name, name, tmp_path):
+        src = CK_WORKLOADS[name]()
+        paths = {
+            tier: tmp_path / f"{name}-{tier}.hckp"
+            for tier in ("reference", "fast")
+        }
+        ref = run_tier(src, platform_name, "reference", paths["reference"])
+        fast = run_tier(src, platform_name, "fast", paths["fast"])
+        assert fast.stdout == ref.stdout
+        assert fast.instructions == ref.instructions
+        ref_bytes = paths["reference"].read_bytes()
+        fast_bytes = paths["fast"].read_bytes()
+        assert ref_bytes == fast_bytes
+
+    def test_fusion_and_kernel_variants_match(self):
+        """Each fast-tier layer can be disabled without changing results."""
+        from repro.interpreter.dispatch import build_fast_code
+
+        src = WORKLOADS["loop"]()
+        ref = run_tier(src, "rodrigo", "reference")
+        for fusion, kernels in [(False, True), (True, False), (False, False)]:
+            code = compile_source(src)
+            vm = VirtualMachine(
+                get_platform("rodrigo"), code,
+                VMConfig(dispatch="fast", chkpt_state="disable"),
+            )
+            vm.interp._fast = build_fast_code(
+                vm.interp, fusion=fusion, kernels=kernels
+            )
+            result = vm.run()
+            assert result.status == "stopped"
+            assert result.stdout == ref.stdout, (fusion, kernels)
+            assert result.instructions == ref.instructions, (fusion, kernels)
+
+
+class TestMidFusedRegionCheckpoint:
+    """A checkpoint between two members of a planned superinstruction.
+
+    The fast tier never creates such a state itself (a fused closure is
+    one uninterruptible dispatch covering several canonical
+    instructions), but the reference tier — and any checkpoint written
+    by an older VM — can stop there.  The fast tier must execute from
+    that pc with canonical single-instruction semantics.
+    """
+
+    SRC = """
+    let rec fib n = if n < 2 then n else fib (n - 1) + fib (n - 2);;
+    let a = fib 16;;
+    let r = ref 0;;
+    while !r < 300 do r := !r + 1 done;;
+    print_int a; print_string "+"; print_int !r
+    """
+    EXPECTED = b"987+300"
+
+    def _stop_mid_group(self, vm, code):
+        """Step the reference tier until pc is inside a fused group."""
+        mid = {
+            m
+            for g in code.decoded().groups
+            for m in g.members[1:]
+        }
+        assert mid, "program has no fusible regions; test is vacuous"
+        for _ in range(200_000):
+            result = vm.run(max_instructions=1)
+            if result.status != "budget":
+                pytest.fail("program finished before reaching a fused region")
+            if vm.interp.pc in mid:
+                return vm.interp.pc
+        pytest.fail("never stopped inside a fused region")
+
+    @pytest.mark.parametrize(
+        "origin,target", [("rodrigo", "ultra64"), ("ultra64", "rodrigo")]
+    )
+    def test_restore_mid_group_under_fast_tier(self, origin, target, tmp_path):
+        path = str(tmp_path / "mid.hckp")
+        code = compile_source(self.SRC)
+        vm = VirtualMachine(
+            get_platform(origin), code,
+            VMConfig(dispatch="reference", chkpt_filename=path,
+                     chkpt_mode="blocking"),
+        )
+        stop_pc = self._stop_mid_group(vm, code)
+        vm.perform_checkpoint()
+
+        # Opposite endianness, opposite word size, opposite tier.
+        vm2, _ = restart_vm(
+            get_platform(target), code, path, VMConfig(dispatch="fast")
+        )
+        assert vm2.interp.pc == stop_pc  # really restarting mid-group
+        result = vm2.run()
+        assert result.status == "stopped"
+        assert result.stdout == self.EXPECTED
+
+        # And the reference tier agrees from the same file.
+        vm3, _ = restart_vm(
+            get_platform(target), code, path, VMConfig(dispatch="reference")
+        )
+        assert vm3.run(max_instructions=50_000_000).stdout == self.EXPECTED
+
+
+class TestFastTierSemantics:
+    def test_illegal_opcode_same_error_both_tiers(self):
+        code = CodeImage([9999, int(Op.STOP)], "bad", 0)
+        messages = {}
+        for tier in ("reference", "fast"):
+            vm = VirtualMachine(
+                get_platform("rodrigo"), code,
+                VMConfig(dispatch=tier, chkpt_state="disable"),
+            )
+            with pytest.raises(BytecodeError) as exc:
+                vm.run() if tier == "fast" else vm.run(max_instructions=10)
+            messages[tier] = str(exc.value)
+        assert messages["fast"] == messages["reference"]
+        assert "illegal opcode 9999 at 0" in messages["fast"]
+
+    def test_budgeted_run_uses_reference_tier(self):
+        """An instruction budget must force the per-instruction loop."""
+        code = compile_source(LOOP)
+        vm = VirtualMachine(
+            get_platform("rodrigo"), code,
+            VMConfig(dispatch="fast", chkpt_state="disable"),
+        )
+        result = vm.run(max_instructions=7)
+        assert result.status == "budget"
+        assert result.instructions == 7
+        assert vm.interp._fast is None  # fast code never got built
+
+    def test_trace_hook_forces_reference_tier(self):
+        from repro.tracing import InstructionTracer
+
+        code = compile_source("print_int (1 + 2)")
+        vm = VirtualMachine(
+            get_platform("rodrigo"), code,
+            VMConfig(dispatch="fast", chkpt_state="disable"),
+        )
+        tracer = InstructionTracer()
+        vm.interp.trace_hook = tracer
+        result = vm.run()
+        assert result.status == "stopped"
+        assert tracer.total == result.instructions
+        assert vm.interp._fast is None
+
+    def test_hot_pairs_counts_consecutive_opcodes(self):
+        from repro.tracing import InstructionTracer
+
+        code = compile_source(LOOP)
+        vm = VirtualMachine(
+            get_platform("rodrigo"), code,
+            VMConfig(dispatch="fast", chkpt_state="disable"),
+        )
+        tracer = InstructionTracer(limit=100)
+        vm.interp.trace_hook = tracer
+        result = vm.run()
+        assert result.status == "stopped"
+        # Single-threaded: every dispatch after the first extends a pair.
+        assert sum(tracer.pair_counts.values()) == tracer.total - 1
+        pairs = tracer.hot_pairs(5)
+        assert len(pairs) == 5
+        assert all(
+            isinstance(a, str) and isinstance(b, str) and n >= 1
+            for a, b, n in pairs
+        )
+        assert pairs == sorted(pairs, key=lambda p: -p[2])
+
+    def test_dispatch_env_parsing(self):
+        assert VMConfig().dispatch == "fast"
+        assert VMConfig.from_env({}).dispatch == "fast"
+        assert (
+            VMConfig.from_env({"CHKPT_DISPATCH": "reference"}).dispatch
+            == "reference"
+        )
+        assert (
+            VMConfig.from_env({"CHKPT_DISPATCH": " FAST "}).dispatch == "fast"
+        )
+        # Unrecognized values leave the default alone.
+        assert VMConfig.from_env({"CHKPT_DISPATCH": "turbo"}).dispatch == "fast"
+
+    def test_decoded_stream_cached_per_image(self):
+        code = compile_source(LOOP)
+        assert code.decoded() is code.decoded()
+        assert code.decoded().n_units == len(code.units)
