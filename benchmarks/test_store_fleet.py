@@ -1,0 +1,238 @@
+"""Store fleet throughput: RSTP/2 batched + cached vs v1 per-op uploads.
+
+Eight concurrent supervisors push periodic checkpoint generations —
+512 KiB payloads in 8 KiB chunks, half the chunks mutated between
+generations, the store-traffic shape HA supervision produces.  The same
+workload runs twice:
+
+* **v1**: one threaded ``StoreServer``, plain ``StoreClient`` — one
+  HAS_MANY per window plus one PUT_CHUNK round trip per absent chunk;
+* **fleet**: three ``FleetNode`` shards behind ``FleetClient`` — RSTP/2
+  BATCH frames carry all of a shard's puts in one round trip, and the
+  presence cache answers unchanged chunks with no round trip at all.
+
+Loopback round trips cost microseconds, which would hide exactly the
+thing the protocol revision buys, so every connection runs through a
+``LatencyProxy`` that charges ``RTT_MS`` per response — the shape of a
+real network, where the per-chunk PUT conversation is what hurts.
+
+Acceptance gate (recorded in ``results/BENCH_store_fleet.json``): the
+fleet's upload throughput is at least ``MIN_SPEEDUP``x the v1 single
+node's on the identical workload, with p50/p95/p99 upload latencies
+recorded for both.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.store import ChunkStore, StoreClient, StoreServer
+from repro.store.fleet import FleetClient, FleetNode
+
+N_WORKERS = 8
+GENERATIONS = 6
+CHUNK_SIZE = 8 * 1024
+PAYLOAD_CHUNKS = 64  # 512 KiB per generation
+MUTATE_EVERY = 2  # every other chunk changes per generation
+
+RTT_MS = 15.0  # simulated network round-trip charged per response
+MIN_SPEEDUP = 2.0
+
+
+class LatencyProxy:
+    """A transparent TCP proxy that sleeps ``rtt`` before relaying each
+    server-to-client burst.  For a sequential request/response protocol
+    that charges one round trip per operation, which is precisely the
+    cost structure loopback benchmarking erases."""
+
+    def __init__(self, upstream: tuple[str, int], rtt: float) -> None:
+        self.upstream = upstream
+        self.rtt = rtt
+        self._listen = socket.socket()
+        self._listen.bind(("127.0.0.1", 0))
+        self._listen.listen(32)
+        self.address = self._listen.getsockname()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listen.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._forward, args=(conn,), daemon=True
+            ).start()
+
+    def _forward(self, conn: socket.socket) -> None:
+        up = socket.create_connection(self.upstream)
+
+        def pump(src, dst, lag):
+            try:
+                while True:
+                    data = src.recv(65536)
+                    if not data:
+                        break
+                    if lag:
+                        time.sleep(lag)
+                    dst.sendall(data)
+            except OSError:
+                pass
+            finally:
+                for s in (src, dst):
+                    try:
+                        s.close()
+                    except OSError:
+                        pass
+
+        threading.Thread(
+            target=pump, args=(conn, up, 0.0), daemon=True
+        ).start()
+        pump(up, conn, self.rtt)
+
+    def stop(self) -> None:
+        try:
+            self._listen.close()
+        except OSError:
+            pass
+
+
+def _payload(worker: int, generation: int) -> bytes:
+    """One worker's checkpoint at one generation.
+
+    Chunk ``i`` is stable across generations unless ``i`` falls on the
+    mutation stride — the dedup shape of a periodic heap checkpoint.
+    """
+    parts = []
+    for i in range(PAYLOAD_CHUNKS):
+        gen_mark = generation if i % MUTATE_EVERY == 0 else 0
+        stamp = b"%04d/%04d/%08d" % (worker, i, gen_mark)
+        parts.append(stamp + bytes(CHUNK_SIZE - len(stamp)))
+    return b"".join(parts)
+
+
+def _percentile(sorted_vals: list[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+def _drive(make_client) -> dict:
+    """Run the workload; returns latency percentiles and throughput."""
+    latencies: list[float] = []
+    lock = threading.Lock()
+    errors: list[Exception] = []
+    bytes_total = [0]
+
+    def worker(idx: int) -> None:
+        try:
+            with make_client() as client:
+                for gen in range(GENERATIONS):
+                    payload = _payload(idx, gen)
+                    t0 = time.perf_counter()
+                    client.put_checkpoint(f"bench-vm-{idx}", payload)
+                    dt = time.perf_counter() - t0
+                    with lock:
+                        latencies.append(dt)
+                        bytes_total[0] += len(payload)
+        except Exception as e:  # pragma: no cover - surfaced below
+            errors.append(e)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(N_WORKERS)
+    ]
+    wall0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall0
+    assert not errors, errors
+    latencies.sort()
+    mib = bytes_total[0] / (1024 * 1024)
+    return {
+        "uploads": len(latencies),
+        "payload_mib": round(mib, 2),
+        "wall_seconds": round(wall, 4),
+        "throughput_mib_s": round(mib / wall, 2),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p95_ms": round(_percentile(latencies, 0.95) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+    }
+
+
+def test_fleet_vs_v1_throughput(tmp_path, bench_json, get_report):
+    rtt = RTT_MS / 1e3
+
+    # -- v1 baseline: one threaded daemon, per-op round trips ------------
+    v1_server = StoreServer(ChunkStore(str(tmp_path / "v1")))
+    v1_server.start()
+    v1_proxy = LatencyProxy(v1_server.address, rtt)
+    try:
+        host, port = v1_proxy.address
+        v1 = _drive(
+            lambda: StoreClient(host, port, backoff=0.01,
+                                chunk_size=CHUNK_SIZE)
+        )
+    finally:
+        v1_proxy.stop()
+        v1_server.stop()
+
+    # -- 3-shard fleet: batched RSTP/2 + presence cache ------------------
+    nodes = [
+        FleetNode(ChunkStore(str(tmp_path / f"shard-{i}")), node_id=f"s{i}")
+        for i in range(3)
+    ]
+    proxies = []
+    for node in nodes:
+        node.start()
+        proxies.append(LatencyProxy(node.address, rtt))
+    addrs = [proxy.address for proxy in proxies]
+    try:
+        fleet = _drive(
+            lambda: FleetClient(addrs, backoff=0.01, chunk_size=CHUNK_SIZE)
+        )
+    finally:
+        for proxy in proxies:
+            proxy.stop()
+        for node in nodes:
+            node.stop()
+
+    speedup = fleet["throughput_mib_s"] / max(v1["throughput_mib_s"], 1e-9)
+
+    rep = get_report(
+        "store fleet",
+        f"{N_WORKERS} supervisors x {GENERATIONS} generations, "
+        f"{PAYLOAD_CHUNKS} x {CHUNK_SIZE // 1024} KiB chunks, "
+        f"{RTT_MS:g} ms simulated RTT",
+        ["backend", "MiB/s", "p50 ms", "p95 ms", "p99 ms"],
+    )
+    rep.row("v1 single node", v1["throughput_mib_s"], v1["p50_ms"],
+            v1["p95_ms"], v1["p99_ms"])
+    rep.row("RSTP/2 3-shard fleet", fleet["throughput_mib_s"],
+            fleet["p50_ms"], fleet["p95_ms"], fleet["p99_ms"])
+    rep.note(f"fleet speedup {speedup:.2f}x (gate: >= {MIN_SPEEDUP}x)")
+
+    doc = bench_json("BENCH_store_fleet")
+    doc["workload"] = {
+        "workers": N_WORKERS,
+        "generations": GENERATIONS,
+        "chunk_size": CHUNK_SIZE,
+        "chunks_per_payload": PAYLOAD_CHUNKS,
+        "mutated_per_generation": PAYLOAD_CHUNKS // MUTATE_EVERY,
+        "simulated_rtt_ms": RTT_MS,
+    }
+    doc["v1"] = v1
+    doc["fleet"] = fleet
+    doc["speedup"] = round(speedup, 2)
+    doc["min_speedup"] = MIN_SPEEDUP
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"fleet {fleet['throughput_mib_s']} MiB/s vs "
+        f"v1 {v1['throughput_mib_s']} MiB/s = {speedup:.2f}x "
+        f"(need {MIN_SPEEDUP}x)"
+    )

@@ -17,7 +17,12 @@ Commands::
     python -m repro faults plan|inject|fuzz ...
     python -m repro store serve --root /var/ckpt --port 7420
     python -m repro store put|get|ls|gc|stat|audit --addr host:port ...
+    python -m repro store fleet serve --root /var/fleet --shards 3
+    python -m repro store fleet stat|rebalance|audit --addr a:p,b:p,c:p
     python -m repro ha run prog.ml --addr host:port --vm-id myapp
+
+A comma-separated ``--addr`` list makes every store/ha command route
+across the sharded fleet instead of one daemon.
 
 ``run`` and ``restart`` accept either MiniML source (``.ml``) or a
 compiled image (``.byc``).
@@ -99,10 +104,12 @@ def cmd_platforms(_args: argparse.Namespace) -> int:
 def cmd_info(args: argparse.Namespace) -> int:
     if args.json:
         from repro.checkpoint.inspect import describe_checkpoint
-        from repro.metrics import INTEGRITY
+        from repro.metrics import FLEET, INTEGRITY, STORE
 
         desc = describe_checkpoint(args.checkpoint_file, deep=args.deep)
         desc["integrity_counters"] = INTEGRITY.as_dict()
+        desc["store_counters"] = STORE.as_dict()
+        desc["fleet_counters"] = FLEET.as_dict()
         print(json.dumps(desc, indent=2, sort_keys=True))
         return 0 if desc.get("ok", True) else 1
     snap = read_checkpoint(args.checkpoint_file)
@@ -378,10 +385,27 @@ def _parse_addr(addr: str) -> tuple[str, int]:
 
 
 def _store_client(args: argparse.Namespace):
+    """Build the client ``--addr`` asks for.
+
+    A single ``host:port`` gets the plain :class:`StoreClient`; a
+    comma-separated list gets the sharded :class:`FleetClient` routing
+    across every named node.
+    """
+    if "," in args.addr:
+        return _fleet_client(args)
     from repro.store import StoreClient
 
     host, port = _parse_addr(args.addr)
     return StoreClient(host, port, retries=args.retries)
+
+
+def _fleet_client(args: argparse.Namespace):
+    from repro.store import FleetClient
+
+    addrs = [_parse_addr(a) for a in args.addr.split(",") if a]
+    if not addrs:
+        raise SystemExit(f"repro: bad --addr {args.addr!r} (no addresses)")
+    return FleetClient(addrs, retries=args.retries)
 
 
 def cmd_store_serve(args: argparse.Namespace) -> int:
@@ -449,8 +473,83 @@ def cmd_store_gc(args: argparse.Namespace) -> int:
 
 def cmd_store_stat(args: argparse.Namespace) -> int:
     with _store_client(args) as client:
-        print(json.dumps(client.stat(), indent=2, sort_keys=True))
+        stat = client.stat()
+    if getattr(args, "json", False) or "shards" not in stat:
+        print(json.dumps(stat, indent=2, sort_keys=True))
+        return 0
+    # Fleet without --json: a compact per-shard summary.
+    for addr in sorted(stat["shards"]):
+        shard = stat["shards"][addr]
+        drain = " (draining)" if shard.get("draining") else ""
+        vms = shard.get("vms", [])
+        print(f"{addr} [{shard.get('node_id', '?')}]{drain}: "
+              f"{shard.get('objects', 0)} object(s), "
+              f"{len(vms)} vm(s), epoch {shard.get('epoch', 0)}")
+    ring = stat.get("ring", {})
+    own = ring.get("ownership", {})
+    if own:
+        arcs = ", ".join(f"{n}={own[n]:.2f}" for n in sorted(own))
+        print(f"ring: {ring.get('vnodes')} vnode(s)/node, ownership {arcs}")
+    caches = stat.get("caches") or {}
+    for addr in sorted(caches):
+        c = caches[addr]
+        print(f"cache {addr}: {c['present_entries']}+{c['absent_entries']} "
+              f"entries, hit rate {c['hit_rate']:.2f}")
     return 0
+
+
+def cmd_store_fleet_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.store import ChunkStore
+    from repro.store.fleet import FleetNode
+
+    if args.shards < 1:
+        raise SystemExit("repro: --shards must be >= 1")
+    nodes = []
+    for i in range(args.shards):
+        shard_id = f"shard-{i:02d}"
+        root = os.path.join(args.root, shard_id)
+        port = args.port + i if args.port else 0
+        nodes.append(
+            FleetNode(ChunkStore(root), host=args.host, port=port,
+                      node_id=shard_id)
+        )
+    addrs = [node.start() for node in nodes]
+    joined = ",".join(f"{h}:{p}" for h, p in addrs)
+    print(f"fleet serving {args.shards} shard(s) under {args.root} "
+          f"on {joined}", file=sys.stderr)
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for node in nodes:
+            node.stop()
+    return 0
+
+
+def cmd_store_fleet_stat(args: argparse.Namespace) -> int:
+    with _fleet_client(args) as client:
+        print(json.dumps(client.fleet_stat(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_store_fleet_rebalance(args: argparse.Namespace) -> int:
+    with _fleet_client(args) as client:
+        result = client.rebalance()
+    print(f"rebalance: moved {result['manifests_moved']} manifest(s) and "
+          f"{result['chunks_moved']} chunk(s), removed {result['removed']} "
+          f"chunk(s), freed {result['bytes_freed']} bytes")
+    return 0
+
+
+def cmd_store_fleet_audit(args: argparse.Namespace) -> int:
+    with _fleet_client(args) as client:
+        report = client.audit(deep=args.deep)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report.get("ok") else 1
 
 
 def cmd_store_audit(args: argparse.Namespace) -> int:
@@ -616,7 +715,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     def store_common(sp):
         sp.add_argument("--addr", default="127.0.0.1:7420",
-                        metavar="HOST:PORT", help="store daemon address")
+                        metavar="HOST:PORT[,HOST:PORT...]",
+                        help="store daemon address; a comma-separated list "
+                             "routes across a sharded fleet")
         sp.add_argument("--retries", type=int, default=3,
                         help="transport retries per request")
 
@@ -644,6 +745,10 @@ def build_parser() -> argparse.ArgumentParser:
     sp_gc.set_defaults(fn=cmd_store_gc)
 
     sp_stat = stsub.add_parser("stat", help="daemon statistics as JSON")
+    sp_stat.add_argument("--json", action="store_true",
+                         help="full JSON detail (per-shard counts, ring "
+                              "ownership ranges, cache hit rates for a "
+                              "fleet --addr list)")
     store_common(sp_stat)
     sp_stat.set_defaults(fn=cmd_store_stat)
 
@@ -652,6 +757,36 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also validate reassembled checkpoints")
     store_common(sp_audit)
     sp_audit.set_defaults(fn=cmd_store_audit)
+
+    fl = stsub.add_parser("fleet", help="sharded store fleet")
+    flsub = fl.add_subparsers(dest="fleet_command", required=True)
+
+    fl_serve = flsub.add_parser(
+        "serve", help="run N shard daemons under one root")
+    fl_serve.add_argument("--root", required=True,
+                          help="fleet directory (one shard-XX/ per node)")
+    fl_serve.add_argument("--shards", type=int, default=3,
+                          help="number of shard daemons")
+    fl_serve.add_argument("--host", default="127.0.0.1")
+    fl_serve.add_argument("--port", type=int, default=7430,
+                          help="first shard port; shard i listens on "
+                               "port+i (0 = ephemeral)")
+    fl_serve.set_defaults(fn=cmd_store_fleet_serve)
+
+    fl_stat = flsub.add_parser("stat", help="fleet statistics as JSON")
+    store_common(fl_stat)
+    fl_stat.set_defaults(fn=cmd_store_fleet_stat)
+
+    fl_reb = flsub.add_parser(
+        "rebalance", help="move manifests/chunks to their ring owners")
+    store_common(fl_reb)
+    fl_reb.set_defaults(fn=cmd_store_fleet_rebalance)
+
+    fl_audit = flsub.add_parser("audit", help="verify fleet-wide integrity")
+    fl_audit.add_argument("--deep", action="store_true",
+                          help="also validate reassembled checkpoints")
+    store_common(fl_audit)
+    fl_audit.set_defaults(fn=cmd_store_fleet_audit)
 
     ha = sub.add_parser("ha", help="high-availability supervision")
     hasub = ha.add_subparsers(dest="ha_command", required=True)

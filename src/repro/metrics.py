@@ -196,3 +196,106 @@ class DeltaCounters:
 
 #: The module-level instance the writer and store client increment.
 DELTA = DeltaCounters()
+
+
+# ---------------------------------------------------------------------------
+# Store transport accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StoreCounters:
+    """Process-wide store-client transport accounting.
+
+    ``repro info --json`` reports these; a climbing retry count with a
+    healthy store means the network (or a lockstep-retry bug) is the
+    problem, not the daemon.
+    """
+
+    #: Requests that needed at least one transport-level retry
+    #: (summed across every client in this process).
+    transport_retries: int = 0
+
+    def as_dict(self) -> dict:
+        return {"transport_retries": self.transport_retries}
+
+    def reset(self) -> None:
+        self.transport_retries = 0
+
+
+#: The module-level instance every StoreClient increments.
+STORE = StoreCounters()
+
+
+# ---------------------------------------------------------------------------
+# Fleet accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FleetCounters:
+    """Process-wide counters for the sharded store fleet client.
+
+    The interesting ratios: ``batched_ops / batches_sent`` says how much
+    round-trip amortization RSTP/2 batching is buying, and
+    :attr:`cache_hit_rate` says how often the presence cache let a
+    repeat upload skip the wire entirely.
+    """
+
+    #: BATCH frames sent (each carries many sub-operations).
+    batches_sent: int = 0
+    #: Sub-operations carried inside those BATCH frames.
+    batched_ops: int = 0
+    #: Chunks received via streamed GET_MANY responses.
+    streamed_chunks: int = 0
+    #: Presence-cache lookups answered without a round trip.
+    cache_hits: int = 0
+    #: Presence-cache lookups that had to go to the wire.
+    cache_misses: int = 0
+    #: Whole-cache drops forced by a moved destruction epoch.
+    cache_invalidations: int = 0
+    #: Commits retried after a stale positive cache entry (the chunk
+    #: had been gc'ed under us) forced a re-upload.
+    stale_cache_retries: int = 0
+    #: Chunks copied to their owner shard by rebalance/gc placement.
+    rebalance_moves: int = 0
+    #: Manifests re-homed onto their owner shard by rebalance.
+    manifest_moves: int = 0
+    #: Chunks found on a non-owner shard during reads (pre-rebalance).
+    misplaced_fetches: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        looked = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked if looked else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "batches_sent": self.batches_sent,
+            "batched_ops": self.batched_ops,
+            "streamed_chunks": self.streamed_chunks,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_invalidations": self.cache_invalidations,
+            "cache_hit_rate": self.cache_hit_rate,
+            "stale_cache_retries": self.stale_cache_retries,
+            "rebalance_moves": self.rebalance_moves,
+            "manifest_moves": self.manifest_moves,
+            "misplaced_fetches": self.misplaced_fetches,
+        }
+
+    def reset(self) -> None:
+        self.batches_sent = 0
+        self.batched_ops = 0
+        self.streamed_chunks = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_invalidations = 0
+        self.stale_cache_retries = 0
+        self.rebalance_moves = 0
+        self.manifest_moves = 0
+        self.misplaced_fetches = 0
+
+
+#: The module-level instance the fleet client and cache increment.
+FLEET = FleetCounters()

@@ -18,19 +18,29 @@ provides:
   periodic checkpoints pushed to the store, injects faults, and
   auto-restarts from the latest manifest on a *different* simulated
   platform, repeating until the program completes.
+- :mod:`repro.store.fleet` — the sharded fleet: RSTP/2 batched
+  protocol, selectors-based shard daemons
+  (:class:`~repro.store.fleet.aserver.FleetNode`), consistent-hash
+  placement, and the routing
+  :class:`~repro.store.fleet.client.FleetClient` with client-side
+  chunk-presence caching.
 """
 
 from repro.store.chunkstore import ChunkStore, Manifest, PutStats
 from repro.store.client import StoreClient
+from repro.store.fleet import FleetClient, FleetNode
 from repro.store.ha import HAReport, HASupervisor
-from repro.store.server import StoreServer
+from repro.store.server import StoreOpHandlers, StoreServer
 
 __all__ = [
     "ChunkStore",
     "Manifest",
     "PutStats",
     "StoreClient",
+    "StoreOpHandlers",
     "StoreServer",
+    "FleetClient",
+    "FleetNode",
     "HAReport",
     "HASupervisor",
 ]

@@ -224,6 +224,7 @@ class ChunkStore:
         self.lock_stale_after = lock_stale_after
         self._objects = os.path.join(root, "objects")
         self._manifests = os.path.join(root, "manifests")
+        self._epoch_path = os.path.join(root, "epoch")
         os.makedirs(self._objects, exist_ok=True)
         os.makedirs(self._manifests, exist_ok=True)
 
@@ -240,6 +241,34 @@ class ChunkStore:
             timeout=self.lock_timeout,
             stale_after=self.lock_stale_after,
         )
+
+    # -- store epoch -------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """A counter bumped by every destructive operation.
+
+        Chunk puts are monotone — content addressing means a key, once
+        present, stays valid — so a client may cache presence answers
+        *until* something deletes chunks or manifests.  ``gc``,
+        ``prune``, ``sweep_keep`` and ``delete_manifest`` each bump the
+        epoch; a client that sees the number move must drop its
+        presence cache.
+        """
+        try:
+            with open(self._epoch_path, "r", encoding="utf-8") as f:
+                return int(f.read().strip() or "0")
+        except (FileNotFoundError, ValueError):
+            return 0
+
+    def bump_epoch(self) -> int:
+        """Advance the destruction epoch; returns the new value."""
+        new = self.epoch + 1
+        tmp = self._epoch_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            f.write(f"{new}\n")
+        os.replace(tmp, self._epoch_path)
+        return new
 
     # -- objects -----------------------------------------------------------
 
@@ -398,6 +427,7 @@ class ChunkStore:
         meta: Optional[dict] = None,
         chunk_size: Optional[int] = None,
         generation: Optional[int] = None,
+        verify_chunks: bool = True,
     ) -> Manifest:
         """Record a generation whose chunks are already stored.
 
@@ -405,6 +435,11 @@ class ChunkStore:
         streamed upload).  Without an explicit ``generation``: committing
         the same payload as the latest generation returns that manifest
         unchanged — a retried upload never mints a duplicate generation.
+        ``verify_chunks=False`` skips the existence check: a fleet
+        manifest lands on the vm's owner shard while its chunks live on
+        *their* owner shards, so local presence is not the invariant —
+        the fleet client verifies placement before committing and the
+        fleet ``audit`` re-checks it after.
         """
         with self._lock():
             return self._commit_manifest(
@@ -415,6 +450,7 @@ class ChunkStore:
                 meta=meta,
                 chunk_size=chunk_size,
                 generation=generation,
+                verify_chunks=verify_chunks,
             )
 
     def _commit_manifest(
@@ -426,15 +462,17 @@ class ChunkStore:
         meta: Optional[dict] = None,
         chunk_size: Optional[int] = None,
         generation: Optional[int] = None,
+        verify_chunks: bool = True,
     ) -> Manifest:
         """Lock-free body of :meth:`commit_manifest` (caller holds it)."""
         _check_vm_id(vm_id)
-        for key in chunks:
-            if not self.has_object(key):
-                raise StoreNotFoundError(
-                    f"manifest for vm {vm_id!r} references missing chunk "
-                    f"{key[:16]}..."
-                )
+        if verify_chunks:
+            for key in chunks:
+                if not self.has_object(key):
+                    raise StoreNotFoundError(
+                        f"manifest for vm {vm_id!r} references missing chunk "
+                        f"{key[:16]}..."
+                    )
         if generation is None:
             gens = self.generations(vm_id)
             if gens:
@@ -506,7 +544,23 @@ class ChunkStore:
             dropped = gens[:-keep_last]
             for gen in dropped:
                 os.remove(self._manifest_path(vm_id, gen))
+            if dropped:
+                self.bump_epoch()
         return dropped
+
+    def delete_manifest(self, vm_id: str, generation: int) -> bool:
+        """Remove one generation's manifest (its chunks stay until gc).
+
+        Used by fleet rebalancing after a manifest has been re-homed on
+        its owner shard; returns whether anything was deleted.
+        """
+        with self._lock():
+            try:
+                os.remove(self._manifest_path(vm_id, generation))
+            except FileNotFoundError:
+                return False
+            self.bump_epoch()
+        return True
 
     def referenced_keys(self) -> set[str]:
         keys: set[str] = set()
@@ -534,7 +588,31 @@ class ChunkStore:
                 bytes_freed += os.path.getsize(path)
                 os.remove(path)
                 removed += 1
+            self.bump_epoch()
         return {"removed": removed, "kept": len(live), "bytes_freed": bytes_freed}
+
+    def sweep_keep(self, keep: set[str]) -> dict:
+        """Delete every chunk *not* in ``keep``.
+
+        The fleet-wide gc computes liveness across every shard's
+        manifests (a shard's local manifests say nothing about which of
+        its chunks other shards' manifests reference) and then hands
+        each node exactly the keys it must retain.
+        """
+        with self._lock():
+            removed = 0
+            kept = 0
+            bytes_freed = 0
+            for key in list(self.iter_objects()):
+                if key in keep:
+                    kept += 1
+                    continue
+                path = self._object_path(key)
+                bytes_freed += os.path.getsize(path)
+                os.remove(path)
+                removed += 1
+            self.bump_epoch()
+        return {"removed": removed, "kept": kept, "bytes_freed": bytes_freed}
 
     def dedup_stats(self, vm_id: str) -> PutStats:
         """Cumulative dedup over every stored generation of one VM.
@@ -560,13 +638,16 @@ class ChunkStore:
 
     # -- integrity audit ---------------------------------------------------
 
-    def audit(self, deep: bool = False) -> dict:
+    def audit(self, deep: bool = False, check_refs: bool = True) -> dict:
         """Verify every object and manifest; report problems.
 
         With ``deep``, additionally reassemble the latest generation of
         every VM whose payload carries the checkpoint magic and validate
         it through the same machine-readable description that
-        ``repro info --json`` emits.
+        ``repro info --json`` emits.  ``check_refs=False`` skips the
+        manifest-references-present-chunk check: on a fleet shard the
+        referenced chunks legitimately live on other nodes, and the
+        fleet client's cross-shard audit owns that invariant instead.
         """
         problems: list[str] = []
         objects = 0
@@ -584,6 +665,8 @@ class ChunkStore:
                     m = self.read_manifest(vm_id, gen)
                 except StoreError as e:
                     problems.append(f"vm {vm_id!r} gen {gen}: {e}")
+                    continue
+                if not check_refs:
                     continue
                 for key in m.chunks:
                     if not self.has_object(key):

@@ -2,11 +2,14 @@
 
 One persistent TCP connection to a store daemon, re-established
 transparently when it drops.  Every request is retried on transport
-failure with bounded exponential backoff (``backoff * 2**attempt``,
-capped at ``backoff_max``, at most ``retries`` retries); application
-errors reported by the daemon (``ERR`` frames) are *not* retried — they
-are re-raised as the matching :class:`~repro.errors.StoreError`
-subclass.
+failure with *full-jitter* bounded exponential backoff: attempt ``n``
+sleeps a uniform random duration in ``[0, min(backoff * 2**(n-1),
+backoff_max)]``.  The jitter matters at fleet scale — N supervisors
+whose store node dies all fail in the same instant, and a deterministic
+schedule would march them back in lockstep, re-spiking the recovering
+node at every backoff step.  Application errors reported by the daemon
+(``ERR`` frames) are *not* retried — they are re-raised as the matching
+:class:`~repro.errors.StoreError` subclass.
 
 Retried uploads are safe end to end: chunk puts are content-addressed
 (idempotent by construction) and a manifest commit of an unchanged
@@ -23,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import queue
+import random
 import socket
 import threading
 import time
@@ -71,6 +75,8 @@ class StoreClient:
         backoff: float = 0.05,
         backoff_max: float = 1.0,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        jitter: bool = True,
+        jitter_seed: Optional[int] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -80,6 +86,11 @@ class StoreClient:
         self.backoff = backoff
         self.backoff_max = backoff_max
         self.chunk_size = chunk_size
+        self.jitter = jitter
+        self._rng = random.Random(jitter_seed)
+        #: Frame revision stamped on outgoing requests; the fleet client
+        #: raises this to RSTP/2 after a successful HELLO negotiation.
+        self.wire_rev = P.VERSION
         self._sock: Optional[socket.socket] = None
         #: Transport failures survived via retry (observability + tests).
         self.retries_used = 0
@@ -108,19 +119,28 @@ class StoreClient:
 
     # -- request core ------------------------------------------------------
 
+    def _backoff_delay(self, attempt: int) -> float:
+        """Full-jitter backoff: uniform in [0, bounded exponential cap]."""
+        cap = min(self.backoff * (2 ** (attempt - 1)), self.backoff_max)
+        return self._rng.uniform(0.0, cap) if self.jitter else cap
+
+    def _note_retry(self) -> None:
+        from repro.metrics import STORE
+
+        self.retries_used += 1
+        STORE.transport_retries += 1
+
     def _call(self, op: int, payload: bytes = b"") -> bytes:
         """One request/response exchange, with retry on transport failure."""
         last: Optional[Exception] = None
         for attempt in range(self.retries + 1):
             if attempt:
-                self.retries_used += 1
-                time.sleep(
-                    min(self.backoff * (2 ** (attempt - 1)), self.backoff_max)
-                )
+                self._note_retry()
+                time.sleep(self._backoff_delay(attempt))
             try:
                 if self._sock is None:
                     self._sock = self._connect()
-                P.send_frame(self._sock, op, payload)
+                P.send_frame(self._sock, op, payload, self.wire_rev)
                 frame = P.recv_frame(self._sock)
             except (OSError, StoreProtocolError) as e:
                 self.close()
@@ -183,6 +203,7 @@ class StoreClient:
         meta: Optional[dict] = None,
         chunk_size: Optional[int] = None,
         generation: Optional[int] = None,
+        check_chunks: bool = True,
     ) -> int:
         req = {
             "vm_id": vm_id,
@@ -194,6 +215,10 @@ class StoreClient:
         }
         if generation is not None:
             req["generation"] = generation
+        if not check_chunks:
+            # Fleet commits: the chunks live on their owner shards, not
+            # necessarily on the manifest's shard.
+            req["check_chunks"] = False
         resp = P.decode_json(self._call(P.OP_PUT_MANIFEST, P.encode_json(req)))
         return int(resp["generation"])
 
@@ -214,9 +239,12 @@ class StoreClient:
     def stat(self) -> dict:
         return P.decode_json(self._call(P.OP_STAT))
 
-    def audit(self, deep: bool = False) -> dict:
+    def audit(self, deep: bool = False, check_refs: bool = True) -> dict:
         return P.decode_json(
-            self._call(P.OP_AUDIT, P.encode_json({"deep": deep}))
+            self._call(
+                P.OP_AUDIT,
+                P.encode_json({"deep": deep, "check_refs": check_refs}),
+            )
         )
 
     # -- streaming checkpoint transfer --------------------------------------

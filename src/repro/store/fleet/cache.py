@@ -1,0 +1,110 @@
+"""Client-side chunk-presence cache, one per fleet node.
+
+Content addressing makes presence *monotone*: once a shard has chunk
+``k`` it has it forever — until something destructive (gc, prune,
+sweep, manifest deletion) runs.  So a client may remember both answers:
+
+- **positive** (``k`` is on the shard): a repeat delta upload skips the
+  ``HAS_MANY`` round trip *and* the put for every unchanged chunk;
+- **negative** (``k`` is absent): a fresh upload window skips the
+  presence query and goes straight to the batched puts.
+
+The escape hatch for the non-monotone part is the shard's *destruction
+epoch* (:attr:`~repro.store.chunkstore.ChunkStore.epoch`): every
+destructive op bumps it, and :meth:`PresenceCache.sync_epoch` drops the
+whole cache when the number moves.  A stale positive entry that slips
+through the window between epoch check and commit is caught by the
+commit itself — the fleet client re-verifies and re-uploads, counting
+``FLEET.stale_cache_retries``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.metrics import FLEET
+
+#: Entries (positive + negative combined) before the cache resets
+#: itself.  64-byte hex keys * 256k entries is ~16 MiB of strings —
+#: bounded, and a reset only costs round trips, never correctness.
+DEFAULT_MAX_ENTRIES = 256 * 1024
+
+
+class PresenceCache:
+    """Positive + negative presence answers for one shard."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        self.max_entries = max_entries
+        self._present: set[str] = set()
+        self._absent: set[str] = set()
+        #: Last shard epoch observed; ``None`` until the first sync.
+        self.epoch: Optional[int] = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._present) + len(self._absent)
+
+    def sync_epoch(self, epoch: int) -> bool:
+        """Observe the shard's destruction epoch; drop on movement.
+
+        Returns whether the cache was invalidated.
+        """
+        if self.epoch is None:
+            self.epoch = epoch
+            return False
+        if epoch != self.epoch:
+            self.clear()
+            self.epoch = epoch
+            self.invalidations += 1
+            FLEET.cache_invalidations += 1
+            return True
+        return False
+
+    def lookup(self, key: str) -> Optional[bool]:
+        """``True``/``False`` from cache, ``None`` on a miss."""
+        if key in self._present:
+            self.hits += 1
+            FLEET.cache_hits += 1
+            return True
+        if key in self._absent:
+            self.hits += 1
+            FLEET.cache_hits += 1
+            return False
+        self.misses += 1
+        FLEET.cache_misses += 1
+        return None
+
+    def _bound(self) -> None:
+        if len(self) > self.max_entries:
+            self._present.clear()
+            self._absent.clear()
+
+    def note_present(self, keys: Iterable[str]) -> None:
+        keys = set(keys)
+        self._absent -= keys
+        self._present |= keys
+        self._bound()
+
+    def note_absent(self, keys: Iterable[str]) -> None:
+        keys = set(keys)
+        self._present -= keys
+        self._absent |= keys
+        self._bound()
+
+    def clear(self) -> None:
+        self._present.clear()
+        self._absent.clear()
+
+    def stats(self) -> dict:
+        looked = self.hits + self.misses
+        return {
+            "present_entries": len(self._present),
+            "absent_entries": len(self._absent),
+            "epoch": self.epoch,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / looked if looked else 0.0,
+            "invalidations": self.invalidations,
+        }

@@ -1,0 +1,846 @@
+"""Fleet clients: one negotiated node connection, and the sharded router.
+
+:class:`FleetNodeClient` extends the v1 :class:`StoreClient` with the
+RSTP/2 surface — ``HELLO`` negotiation on connect, ``BATCH`` round
+trips, streamed ``GET_MANY`` downloads, and the fleet housekeeping ops.
+Negotiation is transparent: against a revision-1 daemon every RSTP/2
+method silently degrades to sequential v1 operations, so one client
+works across a mixed-revision fleet.
+
+:class:`FleetClient` is what supervisors actually hold: it routes every
+chunk to its ring owner, keeps a per-shard
+:class:`~repro.store.fleet.cache.PresenceCache`, and exposes the same
+checkpoint surface as ``StoreClient`` (``put_checkpoint_file``,
+``get_checkpoint_file``, ``ls``, ``get_manifest``, ...) so
+``HASupervisor`` plugs in unchanged.
+
+Upload correctness under caching
+--------------------------------
+
+A positive cache entry lets an upload skip both the presence query and
+the put for an unchanged chunk — that is the whole point — but it can
+go stale if a gc sweeps the chunk between cache fill and commit.  The
+defense is an epoch bracket: the client reads every shard's destruction
+epoch before uploading (dropping caches if it moved) and re-reads it
+after the commit.  If any epoch moved *during* the upload, every
+referenced chunk is re-verified against its owner shard and the missing
+ones are re-uploaded from the source stream (the "two-pass" path,
+counted in ``FLEET.stale_cache_retries``).  Chunk puts are
+content-addressed and manifest commits idempotent, so the recovery pass
+is safe to repeat.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.errors import (
+    StoreConnectionError,
+    StoreError,
+    StoreNotFoundError,
+    StoreProtocolError,
+)
+from repro.metrics import FLEET
+from repro.store import protocol as P
+from repro.store.chunkstore import (
+    DEFAULT_CHUNK_SIZE,
+    Manifest,
+    PutStats,
+    chunk_key,
+)
+from repro.store.client import _ERROR_CLASSES, StoreClient
+from repro.store.fleet import wire as W
+from repro.store.fleet.cache import PresenceCache
+from repro.store.fleet.ring import DEFAULT_VNODES, HashRing
+
+#: Per-node pending chunks before one presence-query + batched-put
+#: round trip (bounds buffered upload memory per shard).
+_FLEET_WINDOW = 128
+
+#: Chunk positions fetched per download window (split per owner node,
+#: each node request capped by wire.MAX_GET_MANY).
+_DOWNLOAD_WINDOW = 256
+
+
+def _raise_sub_error(rop: int, rpayload: bytes) -> bytes:
+    """Unwrap one batch sub-result, raising the daemon's typed error."""
+    if rop == P.OP_ERR:
+        err = P.decode_json(rpayload)
+        raise _ERROR_CLASSES.get(err.get("error"), StoreError)(
+            err.get("message", "unknown store error")
+        )
+    if rop != P.OP_OK:
+        raise StoreProtocolError(f"unexpected sub-response opcode 0x{rop:02x}")
+    return rpayload
+
+
+def _batched(seq: list, size: int) -> Iterator[list]:
+    for i in range(0, len(seq), size):
+        yield seq[i : i + size]
+
+
+class FleetNodeClient(StoreClient):
+    """A ``StoreClient`` that negotiates and speaks RSTP/2 when it can."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Protocol revision agreed with the daemon (set on connect).
+        self.negotiated: Optional[int] = None
+        self.remote_node_id: Optional[str] = None
+
+    # -- negotiation -------------------------------------------------------
+
+    def _connect(self):
+        sock = super()._connect()
+        # HELLO travels in revision-1 framing so a v1 daemon can parse
+        # the header; it answers ERR (unknown opcode) and we stay on v1.
+        P.send_frame(sock, P.OP_HELLO, P.encode_json({"max_version": P.RSTP2}))
+        frame = P.recv_frame(sock)
+        op, payload = frame
+        if op == P.OP_OK:
+            info = P.decode_json(payload)
+            agreed = int(info.get("version", P.VERSION))
+            if agreed not in P.SUPPORTED_VERSIONS:
+                agreed = P.VERSION
+            self.negotiated = agreed
+            self.remote_node_id = info.get("node_id")
+        elif op == P.OP_ERR:
+            self.negotiated = P.VERSION
+        else:
+            raise StoreProtocolError(
+                f"unexpected HELLO response opcode 0x{op:02x}"
+            )
+        self.wire_rev = (
+            P.RSTP2 if self.negotiated == P.RSTP2 else P.VERSION
+        )
+        return sock
+
+    def _ensure_session(self) -> None:
+        if self._sock is None:
+            # One cheap round trip forces connect + negotiation through
+            # the normal retry machinery.
+            self.ping()
+
+    @property
+    def speaks_rstp2(self) -> bool:
+        self._ensure_session()
+        return self.negotiated == P.RSTP2
+
+    # -- RSTP/2 surface ----------------------------------------------------
+
+    def batch_call(
+        self, items: list[tuple[int, bytes]]
+    ) -> list[tuple[int, bytes]]:
+        """Run many sub-operations; one round trip per MAX_BATCH_OPS.
+
+        Returns one ``(opcode, payload)`` per item, in order — callers
+        unwrap with :func:`_raise_sub_error`.  Against a revision-1
+        daemon this degrades to one round trip per item.
+        """
+        if not items:
+            return []
+        if self.speaks_rstp2:
+            results: list[tuple[int, bytes]] = []
+            for group in _batched(items, W.MAX_BATCH_OPS):
+                resp = self._call(P.OP_BATCH, W.encode_ops(group))
+                sub = W.decode_ops(resp)
+                if len(sub) != len(group):
+                    raise StoreProtocolError("BATCH answer count mismatch")
+                FLEET.batches_sent += 1
+                FLEET.batched_ops += len(group)
+                results.extend(sub)
+            return results
+        results = []
+        for op, payload in items:
+            try:
+                results.append((P.OP_OK, self._call(op, payload)))
+            except StoreConnectionError:
+                raise
+            except StoreError as e:
+                results.append((P.OP_ERR, W.error_payload(e)))
+        return results
+
+    def put_chunks(self, chunks: list[bytes]) -> int:
+        """Batched content-addressed puts; returns how many were new."""
+        ops = [
+            (P.OP_PUT_CHUNK, P.encode_chunk(bytes.fromhex(chunk_key(c)), c))
+            for c in chunks
+        ]
+        new = 0
+        for rop, rpayload in self.batch_call(ops):
+            if _raise_sub_error(rop, rpayload) == b"\x01":
+                new += 1
+        return new
+
+    def get_many(self, keys: list[str]) -> tuple[dict[str, bytes], list[str]]:
+        """Fetch many chunks; returns ``(found, missing)``.
+
+        RSTP/2: one streamed request per MAX_GET_MANY keys.  Revision 1:
+        sequential GET_CHUNKs.  Every chunk is verified against its
+        content address either way.
+        """
+        todo = list(dict.fromkeys(keys))
+        out: dict[str, bytes] = {}
+        missing: list[str] = []
+        if not todo:
+            return out, missing
+        if not self.speaks_rstp2:
+            for key in todo:
+                try:
+                    out[key] = self.get_chunk(key)
+                except StoreNotFoundError:
+                    missing.append(key)
+            return out, missing
+        for group in _batched(todo, W.MAX_GET_MANY):
+            got, miss = self._get_many_stream(group)
+            out.update(got)
+            missing.extend(miss)
+        return out, missing
+
+    def _get_many_stream(
+        self, keys: list[str]
+    ) -> tuple[dict[str, bytes], list[str]]:
+        """One GET_MANY exchange: CHUNK frames then END, with retry."""
+        payload = b"".join(bytes.fromhex(k) for k in keys)
+        wanted = set(keys)
+        last: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self._note_retry()
+                import time
+
+                time.sleep(self._backoff_delay(attempt))
+            try:
+                if self._sock is None:
+                    self._sock = self._connect()
+                P.send_frame(self._sock, P.OP_GET_MANY, payload, self.wire_rev)
+                got: dict[str, bytes] = {}
+                while True:
+                    op, rpayload = P.recv_frame(self._sock)
+                    if op == P.OP_CHUNK:
+                        key_raw, data = P.decode_chunk(rpayload)
+                        key = key_raw.hex()
+                        if key not in wanted or chunk_key(data) != key:
+                            raise StoreProtocolError(
+                                f"streamed chunk {key[:16]}... fails "
+                                f"verification"
+                            )
+                        got[key] = data
+                        FLEET.streamed_chunks += 1
+                    elif op == P.OP_END:
+                        info = P.decode_json(rpayload)
+                        return got, [
+                            k for k in info.get("missing", []) if k in wanted
+                        ]
+                    elif op == P.OP_ERR:
+                        err = P.decode_json(rpayload)
+                        raise _ERROR_CLASSES.get(
+                            err.get("error"), StoreError
+                        )(err.get("message", "unknown store error"))
+                    else:
+                        raise StoreProtocolError(
+                            f"unexpected stream opcode 0x{op:02x}"
+                        )
+            except (OSError, StoreProtocolError) as e:
+                self.close()
+                last = e
+                continue
+        raise StoreConnectionError(
+            f"store at {self.host}:{self.port} unreachable after "
+            f"{self.retries + 1} attempt(s): {last}"
+        )
+
+    # -- fleet housekeeping ops --------------------------------------------
+
+    def epoch(self) -> int:
+        return int(P.decode_json(self._call(P.OP_EPOCH))["epoch"])
+
+    def del_manifest(self, vm_id: str, generation: int) -> bool:
+        resp = P.decode_json(
+            self._call(
+                P.OP_DEL_MANIFEST,
+                P.encode_json({"vm_id": vm_id, "generation": generation}),
+            )
+        )
+        return bool(resp["deleted"])
+
+    def sweep(self, keep: Iterable[str]) -> dict:
+        payload = b"".join(bytes.fromhex(k) for k in sorted(set(keep)))
+        return P.decode_json(self._call(P.OP_SWEEP, payload))
+
+
+class FleetClient:
+    """Routes checkpoint traffic across a consistent-hash store fleet."""
+
+    def __init__(
+        self,
+        addrs: list[tuple[str, int]] | list[str],
+        connect_timeout: float = 5.0,
+        io_timeout: float = 30.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        backoff_max: float = 1.0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        cache: bool = True,
+        vnodes: int = DEFAULT_VNODES,
+        drain: Iterable[str] | None = None,
+        jitter_seed: Optional[int] = None,
+    ) -> None:
+        if not addrs:
+            raise StoreError("a fleet client needs at least one node address")
+        self.nodes: dict[str, FleetNodeClient] = {}
+        for addr in addrs:
+            if isinstance(addr, str):
+                host, _, port = addr.rpartition(":")
+                addr = (host, int(port))
+            host, port = addr
+            self.nodes[f"{host}:{port}"] = FleetNodeClient(
+                host,
+                port,
+                connect_timeout=connect_timeout,
+                io_timeout=io_timeout,
+                retries=retries,
+                backoff=backoff,
+                backoff_max=backoff_max,
+                chunk_size=chunk_size,
+                jitter_seed=jitter_seed,
+            )
+        #: Nodes being decommissioned: still consulted as sources (and
+        #: drained by ``rebalance``) but own nothing on the ring.
+        self.draining = {
+            d if isinstance(d, str) else f"{d[0]}:{d[1]}"
+            for d in (drain or [])
+        }
+        ring_nodes = [n for n in self.nodes if n not in self.draining]
+        if not ring_nodes:
+            raise StoreError("every fleet node is draining; none can own keys")
+        self.ring = HashRing(ring_nodes, vnodes=vnodes)
+        self.chunk_size = chunk_size
+        self.caches: Optional[dict[str, PresenceCache]] = (
+            {node: PresenceCache() for node in self.nodes} if cache else None
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        for client in self.nodes.values():
+            client.close()
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    @property
+    def retries_used(self) -> int:
+        return sum(c.retries_used for c in self.nodes.values())
+
+    def ping(self) -> bool:
+        return all(c.ping() for c in self.nodes.values())
+
+    # -- placement ---------------------------------------------------------
+
+    def chunk_node(self, key: str) -> str:
+        return self.ring.chunk_node(key)
+
+    def manifest_node(self, vm_id: str) -> str:
+        return self.ring.manifest_node(vm_id)
+
+    def _group_by_owner(self, keys: Iterable[str]) -> dict[str, list[str]]:
+        grouped: dict[str, list[str]] = {}
+        for key in keys:
+            grouped.setdefault(self.ring.chunk_node(key), []).append(key)
+        return grouped
+
+    # -- presence-cache epochs ---------------------------------------------
+
+    def _sync_epochs(self) -> dict[str, int]:
+        """Read every shard's destruction epoch, dropping stale caches."""
+        epochs: dict[str, int] = {}
+        for node, client in self.nodes.items():
+            epoch = client.epoch()
+            epochs[node] = epoch
+            if self.caches is not None:
+                self.caches[node].sync_epoch(epoch)
+        return epochs
+
+    def _drop_caches(self) -> None:
+        if self.caches is None:
+            return
+        for cache in self.caches.values():
+            cache.clear()
+            cache.epoch = None
+
+    # -- upload ------------------------------------------------------------
+
+    def put_checkpoint(
+        self, vm_id: str, payload: bytes, meta: Optional[dict] = None
+    ) -> tuple[int, PutStats]:
+        def make_iter() -> Iterator[bytes]:
+            cs = self.chunk_size
+            for i in range(0, len(payload), cs):
+                yield payload[i : i + cs]
+
+        return self._put_stream(vm_id, make_iter, meta)
+
+    def put_checkpoint_file(
+        self, vm_id: str, path: str, meta: Optional[dict] = None
+    ) -> tuple[int, PutStats]:
+        def make_iter() -> Iterator[bytes]:
+            with open(path, "rb") as f:
+                while True:
+                    chunk = f.read(self.chunk_size)
+                    if not chunk:
+                        return
+                    yield chunk
+
+        return self._put_stream(vm_id, make_iter, meta)
+
+    def _put_stream(
+        self,
+        vm_id: str,
+        make_iter: Callable[[], Iterator[bytes]],
+        meta: Optional[dict],
+    ) -> tuple[int, PutStats]:
+        """Sharded dedup upload with the epoch-bracket staleness guard.
+
+        ``make_iter`` must produce a *fresh* chunk iterator per call —
+        the rare stale-cache recovery pass re-reads the source.
+        """
+        epochs_before = self._sync_epochs() if self.caches is not None else {}
+        stats = PutStats()
+        payload_sha = hashlib.sha256()
+        keys: list[str] = []
+        payload_len = 0
+        seen: set[str] = set()
+        # node -> [(key, chunk, cached_answer)] with cached in (False, None)
+        pending: dict[str, list[tuple[str, bytes, Optional[bool]]]] = {}
+        for chunk in make_iter():
+            key = chunk_key(chunk)
+            payload_sha.update(chunk)
+            keys.append(key)
+            payload_len += len(chunk)
+            stats.chunks_total += 1
+            stats.bytes_total += len(chunk)
+            if key in seen:
+                continue
+            seen.add(key)
+            node = self.ring.chunk_node(key)
+            cached = (
+                self.caches[node].lookup(key)
+                if self.caches is not None
+                else None
+            )
+            if cached is True:
+                continue  # the cache says the owner already has it
+            pending.setdefault(node, []).append((key, chunk, cached))
+            if len(pending[node]) >= _FLEET_WINDOW:
+                self._flush_window(node, pending.pop(node), stats)
+        if not keys:  # an empty payload is one empty chunk
+            key = chunk_key(b"")
+            keys = [key]
+            stats.chunks_total = 1
+            node = self.ring.chunk_node(key)
+            cached = (
+                self.caches[node].lookup(key)
+                if self.caches is not None
+                else None
+            )
+            if cached is not True:
+                pending.setdefault(node, []).append((key, b"", cached))
+        for node, items in sorted(pending.items()):
+            self._flush_window(node, items, stats)
+        generation = self._commit(
+            vm_id, keys, payload_len, payload_sha.hexdigest(), meta
+        )
+        if self.caches is not None:
+            self._verify_after_commit(epochs_before, keys, make_iter)
+        return generation, stats
+
+    def _flush_window(
+        self,
+        node: str,
+        items: list[tuple[str, bytes, Optional[bool]]],
+        stats: PutStats,
+    ) -> None:
+        """One presence round trip + one batched-put round trip."""
+        client = self.nodes[node]
+        unknown = [key for key, _chunk, cached in items if cached is None]
+        # A cached negative answer means: skip the query, go straight to
+        # the put (content-addressed puts are idempotent anyway).
+        present: dict[str, bool] = {
+            key: False for key, _chunk, cached in items if cached is False
+        }
+        if unknown:
+            present.update(zip(unknown, client.has_many(unknown)))
+        to_put = [
+            (key, chunk)
+            for key, chunk, _cached in items
+            if not present.get(key, False)
+        ]
+        if to_put:
+            client.put_chunks([chunk for _key, chunk in to_put])
+            for _key, chunk in to_put:
+                stats.chunks_new += 1
+                stats.bytes_new += len(chunk)
+        if self.caches is not None:
+            self.caches[node].note_present([key for key, _c, _a in items])
+
+    def _commit(
+        self,
+        vm_id: str,
+        keys: list[str],
+        payload_len: int,
+        payload_sha256: str,
+        meta: Optional[dict],
+        generation: Optional[int] = None,
+    ) -> int:
+        owner = self.ring.manifest_node(vm_id)
+        return self.nodes[owner].put_manifest(
+            vm_id,
+            keys,
+            payload_len=payload_len,
+            payload_sha256=payload_sha256,
+            meta=meta,
+            chunk_size=self.chunk_size,
+            generation=generation,
+            check_chunks=False,
+        )
+
+    def _verify_after_commit(
+        self,
+        epochs_before: dict[str, int],
+        keys: list[str],
+        make_iter: Callable[[], Iterator[bytes]],
+    ) -> None:
+        """Close the epoch bracket; re-upload if a gc raced the upload.
+
+        Any destructive op between the opening epoch read and now has
+        moved some shard's epoch, which means a positive cache entry we
+        trusted may have named a chunk that no longer exists.  Re-check
+        every referenced key against its owner and re-send the missing
+        ones from the source stream.
+        """
+        moved = [
+            node
+            for node, client in self.nodes.items()
+            if client.epoch() != epochs_before.get(node)
+        ]
+        if not moved:
+            return
+        FLEET.stale_cache_retries += 1
+        self._drop_caches()
+        missing: set[str] = set()
+        for node, group in self._group_by_owner(set(keys)).items():
+            group = sorted(group)
+            for key, have in zip(group, self.nodes[node].has_many(group)):
+                if not have:
+                    missing.add(key)
+        if missing:
+            resent: set[str] = set()
+            for chunk in make_iter():
+                key = chunk_key(chunk)
+                if key in missing and key not in resent:
+                    self.nodes[self.ring.chunk_node(key)].put_chunk(chunk)
+                    resent.add(key)
+            if resent != missing:
+                raise StoreNotFoundError(
+                    f"{len(missing - resent)} chunk(s) vanished during "
+                    f"upload and are absent from the source stream"
+                )
+        self._sync_epochs()
+
+    # -- download ----------------------------------------------------------
+
+    def get_manifest(
+        self, vm_id: str, generation: Optional[int] = None
+    ) -> Manifest:
+        if generation is None:
+            # Pre-rebalance, a vm's generations may be split across
+            # shards; "latest" must be the fleet-wide maximum.
+            best: Optional[Manifest] = None
+            for _node, client in sorted(self.nodes.items()):
+                try:
+                    m = client.get_manifest(vm_id)
+                except StoreNotFoundError:
+                    continue
+                if best is None or m.generation > best.generation:
+                    best = m
+            if best is None:
+                raise StoreNotFoundError(
+                    f"no checkpoints stored for vm {vm_id!r}"
+                )
+            return best
+        owner = self.ring.manifest_node(vm_id)
+        order = [owner] + [n for n in sorted(self.nodes) if n != owner]
+        last: Optional[StoreNotFoundError] = None
+        for node in order:
+            try:
+                return self.nodes[node].get_manifest(vm_id, generation)
+            except StoreNotFoundError as e:
+                last = e
+        raise last  # type: ignore[misc]
+
+    def _hunt_chunk(self, key: str, exclude: str) -> bytes:
+        """Last-resort read of a chunk that is not on its owner shard."""
+        for node in sorted(self.nodes):
+            if node == exclude:
+                continue
+            try:
+                data = self.nodes[node].get_chunk(key)
+            except StoreNotFoundError:
+                continue
+            FLEET.misplaced_fetches += 1
+            return data
+        raise StoreNotFoundError(f"chunk {key[:16]}... is on no fleet node")
+
+    def _fetch_keys(self, keys: Iterable[str]) -> dict[str, bytes]:
+        out: dict[str, bytes] = {}
+        for node, group in self._group_by_owner(set(keys)).items():
+            got, missing = self.nodes[node].get_many(sorted(group))
+            out.update(got)
+            for key in missing:
+                out[key] = self._hunt_chunk(key, exclude=node)
+        return out
+
+    def get_checkpoint(
+        self, vm_id: str, generation: Optional[int] = None
+    ) -> tuple[bytes, Manifest]:
+        manifest = self.get_manifest(vm_id, generation)
+        parts: list[bytes] = []
+        for window in _batched(list(manifest.chunks), _DOWNLOAD_WINDOW):
+            data = self._fetch_keys(window)
+            parts.extend(data[key] for key in window)
+        payload = b"".join(parts)
+        self._verify_payload(vm_id, manifest, len(payload),
+                             hashlib.sha256(payload).hexdigest())
+        return payload, manifest
+
+    def get_checkpoint_file(
+        self, vm_id: str, path: str, generation: Optional[int] = None
+    ) -> Manifest:
+        manifest = self.get_manifest(vm_id, generation)
+        payload_sha = hashlib.sha256()
+        written = 0
+        with open(path, "wb") as f:
+            for window in _batched(list(manifest.chunks), _DOWNLOAD_WINDOW):
+                data = self._fetch_keys(window)
+                for key in window:
+                    chunk = data[key]
+                    payload_sha.update(chunk)
+                    written += len(chunk)
+                    f.write(chunk)
+        self._verify_payload(vm_id, manifest, written, payload_sha.hexdigest())
+        return manifest
+
+    @staticmethod
+    def _verify_payload(
+        vm_id: str, manifest: Manifest, length: int, sha256: str
+    ) -> None:
+        from repro.errors import StoreIntegrityError
+
+        if length != manifest.payload_len or sha256 != manifest.payload_sha256:
+            raise StoreIntegrityError(
+                f"vm {vm_id!r} gen {manifest.generation}: downloaded payload "
+                f"fails verification"
+            )
+
+    # -- listings and stats ------------------------------------------------
+
+    def ls(self) -> dict:
+        """Merged listing across every shard (generations deduped)."""
+        vms: dict[str, dict[int, dict]] = {}
+        objects = 0
+        for _node, client in sorted(self.nodes.items()):
+            listing = client.ls()
+            objects += int(listing.get("objects", 0))
+            for vm_id, gens in listing.get("vms", {}).items():
+                merged = vms.setdefault(vm_id, {})
+                for g in gens:
+                    merged.setdefault(int(g["generation"]), g)
+        return {
+            "vms": {
+                vm_id: [by_gen[g] for g in sorted(by_gen)]
+                for vm_id, by_gen in sorted(vms.items())
+            },
+            "objects": objects,
+        }
+
+    def stat(self) -> dict:
+        return self.fleet_stat()
+
+    def fleet_stat(self) -> dict:
+        """Per-shard stats, ring ownership, and this process's caches."""
+        shards = {}
+        for node, client in sorted(self.nodes.items()):
+            s = client.stat()
+            s["draining"] = node in self.draining
+            shards[node] = s
+        ownership = self.ring.ownership()
+        return {
+            "shards": shards,
+            "ring": {
+                "vnodes": self.ring.vnodes,
+                "nodes": list(self.ring.nodes),
+                "ownership": ownership,
+                "ranges": self.ring.ranges(),
+            },
+            "caches": (
+                {n: c.stats() for n, c in sorted(self.caches.items())}
+                if self.caches is not None
+                else None
+            ),
+            "fleet_counters": FLEET.as_dict(),
+        }
+
+    # -- housekeeping ------------------------------------------------------
+
+    def _all_manifests(self) -> list[tuple[str, Manifest]]:
+        """(holding node, manifest) for every manifest on every shard."""
+        out: list[tuple[str, Manifest]] = []
+        for node, client in sorted(self.nodes.items()):
+            for vm_id, gens in client.ls().get("vms", {}).items():
+                for g in gens:
+                    out.append(
+                        (node, client.get_manifest(vm_id, int(g["generation"])))
+                    )
+        return out
+
+    def _ensure_placement(self, live: set[str]) -> int:
+        """Copy every live chunk onto its owner shard; returns moves."""
+        moves = 0
+        for node, group in sorted(self._group_by_owner(live).items()):
+            client = self.nodes[node]
+            group = sorted(group)
+            have = client.has_many(group)
+            for key, present in zip(group, have):
+                if present:
+                    continue
+                client.put_chunk(self._hunt_chunk(key, exclude=node))
+                moves += 1
+                FLEET.rebalance_moves += 1
+        return moves
+
+    def gc(self) -> dict:
+        """Fleet-wide mark and sweep.
+
+        A shard's local gc would be wrong here: its manifests say
+        nothing about which of its chunks *other* shards' manifests
+        reference.  Mark globally instead, self-heal placement (every
+        live chunk onto its owner), then hand each shard the exact keep
+        set for the keys it owns — a draining or non-owner shard keeps
+        nothing.  Every sweep bumps shard epochs, so all presence
+        caches drop on their next sync.
+        """
+        live: set[str] = set()
+        for _node, manifest in self._all_manifests():
+            live.update(manifest.chunks)
+        moved = self._ensure_placement(live)
+        owned: dict[str, set[str]] = {node: set() for node in self.nodes}
+        for key in live:
+            owned[self.ring.chunk_node(key)].add(key)
+        removed = 0
+        bytes_freed = 0
+        for node, client in sorted(self.nodes.items()):
+            report = client.sweep(owned[node])
+            removed += int(report["removed"])
+            bytes_freed += int(report["bytes_freed"])
+        self._drop_caches()
+        return {
+            "removed": removed,
+            "kept": len(live),
+            "bytes_freed": bytes_freed,
+            "chunks_moved": moved,
+        }
+
+    def rebalance(self) -> dict:
+        """Re-home manifests and chunks after node join/leave.
+
+        Consistent hashing bounds the movement to roughly the joining
+        (or leaving) node's share of the keyspace.  Manifest moves are
+        commit-then-delete — the copy lands on the owner before the old
+        holder's copy goes away, so a reader never sees a gap — and the
+        closing :meth:`gc` both copies chunks to their owners and
+        sweeps the stale copies.
+        """
+        manifests_moved = 0
+        for node, manifest in self._all_manifests():
+            owner = self.ring.manifest_node(manifest.vm_id)
+            if owner == node:
+                continue
+            self.nodes[owner].put_manifest(
+                manifest.vm_id,
+                list(manifest.chunks),
+                payload_len=manifest.payload_len,
+                payload_sha256=manifest.payload_sha256,
+                meta=manifest.meta,
+                chunk_size=manifest.chunk_size,
+                generation=manifest.generation,
+                check_chunks=False,
+            )
+            self.nodes[node].del_manifest(manifest.vm_id, manifest.generation)
+            manifests_moved += 1
+            FLEET.manifest_moves += 1
+        swept = self.gc()
+        return {
+            "manifests_moved": manifests_moved,
+            "chunks_moved": swept["chunks_moved"],
+            "removed": swept["removed"],
+            "kept": swept["kept"],
+            "bytes_freed": swept["bytes_freed"],
+        }
+
+    def audit(self, deep: bool = False) -> dict:
+        """Cross-shard integrity + placement audit.
+
+        Each shard verifies its own objects and manifests
+        (``check_refs=False`` — references legitimately cross shards);
+        the fleet layer then checks the two placement invariants (every
+        manifest on its vm's owner, every referenced chunk on its
+        owner).  ``deep`` additionally reassembles and digest-verifies
+        the latest generation of every vm through the fleet read path.
+        """
+        problems: list[str] = []
+        shards = {}
+        for node, client in sorted(self.nodes.items()):
+            report = client.audit(check_refs=False)
+            shards[node] = report
+            problems.extend(f"{node}: {p}" for p in report["problems"])
+        manifests = 0
+        vms: set[str] = set()
+        for node, manifest in self._all_manifests():
+            manifests += 1
+            vms.add(manifest.vm_id)
+            owner = self.ring.manifest_node(manifest.vm_id)
+            if owner != node:
+                problems.append(
+                    f"vm {manifest.vm_id!r} gen {manifest.generation}: "
+                    f"manifest on {node}, belongs on {owner}"
+                )
+            for cnode, group in sorted(
+                self._group_by_owner(set(manifest.chunks)).items()
+            ):
+                group = sorted(group)
+                for key, present in zip(
+                    group, self.nodes[cnode].has_many(group)
+                ):
+                    if not present:
+                        problems.append(
+                            f"vm {manifest.vm_id!r} gen "
+                            f"{manifest.generation}: chunk {key[:16]}... "
+                            f"missing on owner {cnode}"
+                        )
+        if deep:
+            for vm_id in sorted(vms):
+                try:
+                    self.get_checkpoint(vm_id)
+                except StoreError as e:
+                    problems.append(f"vm {vm_id!r}: {e}")
+        return {
+            "shards": shards,
+            "manifests": manifests,
+            "problems": problems,
+            "ok": not problems,
+        }

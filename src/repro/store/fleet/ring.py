@@ -1,0 +1,109 @@
+"""Consistent-hash placement of chunk keys and manifests across shards.
+
+The classic ring: each node contributes ``vnodes`` points at
+``sha256(f"{node}#{i}")``; an item lands on the first point clockwise
+from its own hash.  Adding or removing one node therefore moves only
+the arcs adjacent to that node's points — about ``1/n`` of the keyspace
+— instead of reshuffling everything the way ``hash(key) % n`` would.
+
+Placement rules (the whole fleet layout, in two lines):
+
+- chunk ``k``    → ``node_for("c:" + k)``
+- manifests for vm ``v`` (every generation) → ``node_for("m:" + v)``
+
+Manifests are placed by vm id, not content, so one shard owns a vm's
+entire generation chain and a latest-generation lookup is one node.
+The ring is deterministic from the sorted node list alone — every
+client with the same member set computes identical placement with no
+coordination service.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+from repro.errors import StoreError
+
+#: Points per node.  More points smooth ownership (stddev ~ 1/sqrt(v))
+#: at the cost of a longer sorted array; 64 keeps the worst node within
+#: ~2x of fair share, plenty for checkpoint traffic.
+DEFAULT_VNODES = 64
+
+_SPACE = 1 << 64
+
+
+def _hash64(data: bytes) -> int:
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over named nodes."""
+
+    def __init__(self, nodes: list[str], vnodes: int = DEFAULT_VNODES) -> None:
+        if not nodes:
+            raise StoreError("a hash ring needs at least one node")
+        if vnodes < 1:
+            raise StoreError("vnodes must be positive")
+        self.vnodes = vnodes
+        self._nodes = tuple(sorted(set(nodes)))
+        points: list[tuple[int, str]] = []
+        for node in self._nodes:
+            for i in range(vnodes):
+                points.append((_hash64(f"{node}#{i}".encode()), node))
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _ in points]
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return self._nodes
+
+    def node_for(self, item: str) -> str:
+        """The node owning ``item`` (first ring point clockwise)."""
+        h = _hash64(item.encode())
+        idx = bisect_right(self._hashes, h) % len(self._points)
+        return self._points[idx][1]
+
+    def chunk_node(self, key: str) -> str:
+        return self.node_for("c:" + key)
+
+    def manifest_node(self, vm_id: str) -> str:
+        return self.node_for("m:" + vm_id)
+
+    def with_node(self, node: str) -> "HashRing":
+        return HashRing(list(self._nodes) + [node], self.vnodes)
+
+    def without_node(self, node: str) -> "HashRing":
+        return HashRing(
+            [n for n in self._nodes if n != node], self.vnodes
+        )
+
+    def ownership(self) -> dict[str, float]:
+        """Fraction of the hash space each node owns (sums to 1.0)."""
+        owned: dict[str, float] = {n: 0.0 for n in self._nodes}
+        prev = 0
+        for h, node in self._points:
+            owned[node] += (h - prev) / _SPACE
+            prev = h
+        # The wrap-around arc belongs to the first point's node.
+        owned[self._points[0][1]] += (_SPACE - prev) / _SPACE
+        return owned
+
+    def ranges(self) -> list[dict]:
+        """Every owned arc as ``{start, end, node}`` (hex, end exclusive).
+
+        The wrap-around arc is reported as the final entry with ``end``
+        below ``start``.
+        """
+        out = []
+        for i, (h, _node) in enumerate(self._points):
+            nxt_h, nxt_node = self._points[(i + 1) % len(self._points)]
+            out.append(
+                {
+                    "start": f"{h:016x}",
+                    "end": f"{nxt_h:016x}",
+                    "node": nxt_node,
+                }
+            )
+        return out

@@ -1,0 +1,126 @@
+"""RSTP/2 payload codecs and incremental frame decoding.
+
+The frame *layout* is unchanged from revision 1 (see
+:mod:`repro.store.protocol`); RSTP/2 is about what rides inside:
+
+``BATCH``
+    Many sub-operations in one frame, one round trip.  The payload is a
+    u32 count followed by ``count`` sub-frames of ``u8 opcode / u32
+    length / payload``.  The response is an ``OK`` frame whose payload
+    uses the same encoding — one ``OK``/``ERR`` sub-frame per
+    sub-operation, in order.  Sub-operation failures therefore do not
+    fail the batch: callers check each slot.
+
+``GET_MANY``
+    A digest list up; a *stream* down — one ``CHUNK`` frame per present
+    chunk, terminated by an ``END`` frame whose JSON carries the keys
+    that were missing.  The server never buffers more than one chunk.
+
+``HELLO``
+    ``{"max_version": N}`` up; ``OK {"version": v, "node_id": ...,
+    "epoch": e}`` down, where ``v`` is the highest revision both sides
+    speak.  A revision-1 daemon answers ``ERR`` (unknown opcode), which
+    a client treats as "speak revision 1".
+
+The selectors server cannot block in ``recv``; :func:`pop_frame` is the
+incremental decoder over its per-connection byte buffer.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.errors import StoreProtocolError
+from repro.store import protocol as P
+
+#: Most sub-operations one BATCH frame may carry; bounds server-side
+#: work per round trip the same way MAX_FRAME bounds memory.
+MAX_BATCH_OPS = 256
+
+#: Most digests one GET_MANY request may carry (the response streams,
+#: so this bounds only the request frame and the server's key list).
+MAX_GET_MANY = 512
+
+_SUB_HEADER = struct.Struct("<BI")
+_COUNT = struct.Struct("<I")
+
+
+def encode_ops(items: list[tuple[int, bytes]]) -> bytes:
+    """Pack (opcode, payload) pairs into one BATCH payload."""
+    if len(items) > MAX_BATCH_OPS:
+        raise StoreProtocolError(
+            f"batch of {len(items)} exceeds MAX_BATCH_OPS ({MAX_BATCH_OPS})"
+        )
+    out = bytearray(_COUNT.pack(len(items)))
+    for op, payload in items:
+        out += _SUB_HEADER.pack(op, len(payload))
+        out += payload
+    if len(out) > P.MAX_FRAME:
+        raise StoreProtocolError("batch payload exceeds MAX_FRAME")
+    return bytes(out)
+
+
+def decode_ops(payload: bytes) -> list[tuple[int, bytes]]:
+    """Inverse of :func:`encode_ops`; validates counts and lengths."""
+    if len(payload) < _COUNT.size:
+        raise StoreProtocolError("batch payload shorter than its count")
+    (count,) = _COUNT.unpack_from(payload)
+    if count > MAX_BATCH_OPS:
+        raise StoreProtocolError(
+            f"batch of {count} exceeds MAX_BATCH_OPS ({MAX_BATCH_OPS})"
+        )
+    off = _COUNT.size
+    items: list[tuple[int, bytes]] = []
+    for _ in range(count):
+        try:
+            op, length = _SUB_HEADER.unpack_from(payload, off)
+        except struct.error as e:
+            raise StoreProtocolError(f"truncated batch sub-frame: {e}") from e
+        off += _SUB_HEADER.size
+        sub = payload[off : off + length]
+        if len(sub) != length:
+            raise StoreProtocolError("truncated batch sub-frame payload")
+        off += length
+        items.append((op, sub))
+    if off != len(payload):
+        raise StoreProtocolError(
+            f"{len(payload) - off} trailing bytes after batch sub-frames"
+        )
+    return items
+
+
+def pop_frame(buf: bytearray) -> Optional[tuple[int, int, bytes]]:
+    """Pop one complete frame off a connection buffer, if present.
+
+    Returns ``(wire_rev, opcode, payload)`` and consumes the bytes, or
+    ``None`` when the buffer does not yet hold a whole frame.  Raises
+    :class:`~repro.errors.StoreProtocolError` on garbage — the caller
+    drops the connection, exactly like the blocking reader.
+    """
+    if len(buf) < P.HEADER.size:
+        return None
+    magic, wire_rev, op, length = P.HEADER.unpack_from(buf)
+    if magic != P.MAGIC:
+        raise StoreProtocolError(f"bad frame magic {bytes(magic)!r}")
+    if wire_rev not in P.SUPPORTED_VERSIONS:
+        raise StoreProtocolError(f"unsupported protocol version {wire_rev}")
+    if length > P.MAX_FRAME:
+        raise StoreProtocolError(f"frame length {length} exceeds MAX_FRAME")
+    end = P.HEADER.size + length
+    if len(buf) < end:
+        return None
+    payload = bytes(buf[P.HEADER.size : end])
+    del buf[:end]
+    return wire_rev, op, payload
+
+
+def error_payload(exc: Exception) -> bytes:
+    """The ERR-frame JSON for one exception, matching the v1 daemon."""
+    from repro.errors import StoreError
+
+    if isinstance(exc, StoreError):
+        return P.encode_json(
+            {"error": type(exc).__name__, "message": str(exc)}
+        )
+    return P.encode_json({"error": "StoreError", "message": f"internal: {exc}"})

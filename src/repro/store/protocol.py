@@ -15,6 +15,20 @@ operations, listings, stats) are UTF-8 JSON.
 
 Uploads and downloads stream one chunk per frame — neither side ever
 holds more than ``MAX_FRAME`` bytes of a checkpoint in a single message.
+
+RSTP/2
+------
+
+Revision 2 keeps the frame layout byte-for-byte and adds opcodes on
+top: ``HELLO`` (version negotiation), ``BATCH`` (many sub-operations in
+one round trip), ``GET_MANY`` (a streamed multi-chunk response:
+``CHUNK`` frames followed by one ``END``), plus the fleet housekeeping
+ops (``EPOCH``/``DEL_MANIFEST``/``SWEEP``).  Negotiation is one round
+trip: a client sends ``HELLO`` in revision-1 framing; a fleet daemon
+answers ``OK`` with the agreed revision, a revision-1 daemon answers
+``ERR`` (unknown opcode) and the client simply stays on revision 1.
+Frame codecs for the new payloads live in
+:mod:`repro.store.fleet.wire`.
 """
 
 from __future__ import annotations
@@ -28,6 +42,10 @@ from repro.errors import StoreProtocolError
 
 MAGIC = b"RSTP"
 VERSION = 1
+#: Protocol revision 2 ("RSTP/2"): same frame layout, batched and
+#: streamed opcodes on top, negotiated per connection via ``OP_HELLO``.
+RSTP2 = 2
+SUPPORTED_VERSIONS = (VERSION, RSTP2)
 HEADER = struct.Struct("<4sBBI")
 
 #: Upper bound on one frame's payload; protects both sides from a
@@ -47,9 +65,22 @@ OP_STAT = 0x09
 OP_AUDIT = 0x0A
 OP_HAS_MANY = 0x0B
 
+# RSTP/2 request opcodes (a revision-1 daemon answers ERR "unknown
+# opcode" to all of these; clients treat that as a downgrade signal).
+OP_HELLO = 0x10
+OP_BATCH = 0x11
+OP_GET_MANY = 0x12
+OP_EPOCH = 0x13
+OP_DEL_MANIFEST = 0x14
+OP_SWEEP = 0x15
+
 # Response opcodes.
 OP_OK = 0x80
 OP_ERR = 0x81
+# RSTP/2 streamed-response opcodes: a GET_MANY answer is zero or more
+# CHUNK frames terminated by exactly one END frame.
+OP_CHUNK = 0x82
+OP_END = 0x83
 
 OP_NAMES = {
     OP_PING: "PING",
@@ -63,22 +94,34 @@ OP_NAMES = {
     OP_STAT: "STAT",
     OP_AUDIT: "AUDIT",
     OP_HAS_MANY: "HAS_MANY",
+    OP_HELLO: "HELLO",
+    OP_BATCH: "BATCH",
+    OP_GET_MANY: "GET_MANY",
+    OP_EPOCH: "EPOCH",
+    OP_DEL_MANIFEST: "DEL_MANIFEST",
+    OP_SWEEP: "SWEEP",
     OP_OK: "OK",
     OP_ERR: "ERR",
+    OP_CHUNK: "CHUNK",
+    OP_END: "END",
 }
 
 
-def encode_frame(op: int, payload: bytes = b"") -> bytes:
+def encode_frame(op: int, payload: bytes = b"", wire_rev: int = VERSION) -> bytes:
     """One complete frame, ready for ``sendall``."""
     if len(payload) > MAX_FRAME:
         raise StoreProtocolError(
             f"frame payload of {len(payload)} bytes exceeds MAX_FRAME"
         )
-    return HEADER.pack(MAGIC, VERSION, op, len(payload)) + payload
+    if wire_rev not in SUPPORTED_VERSIONS:
+        raise StoreProtocolError(f"unsupported protocol version {wire_rev}")
+    return HEADER.pack(MAGIC, wire_rev, op, len(payload)) + payload
 
 
-def send_frame(sock: socket.socket, op: int, payload: bytes = b"") -> None:
-    sock.sendall(encode_frame(op, payload))
+def send_frame(
+    sock: socket.socket, op: int, payload: bytes = b"", wire_rev: int = VERSION
+) -> None:
+    sock.sendall(encode_frame(op, payload, wire_rev))
 
 
 def _recv_exact(sock: socket.socket, n: int, allow_eof: bool = False) -> Optional[bytes]:
@@ -105,11 +148,11 @@ def recv_frame(
     head = _recv_exact(sock, HEADER.size, allow_eof=allow_eof)
     if head is None:
         return None
-    magic, version, op, length = HEADER.unpack(head)
+    magic, wire_rev, op, length = HEADER.unpack(head)
     if magic != MAGIC:
         raise StoreProtocolError(f"bad frame magic {magic!r}")
-    if version != VERSION:
-        raise StoreProtocolError(f"unsupported protocol version {version}")
+    if wire_rev not in SUPPORTED_VERSIONS:
+        raise StoreProtocolError(f"unsupported protocol version {wire_rev}")
     if length > MAX_FRAME:
         raise StoreProtocolError(f"frame length {length} exceeds MAX_FRAME")
     payload = _recv_exact(sock, length) if length else b""

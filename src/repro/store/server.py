@@ -5,6 +5,11 @@ over the frame protocol in :mod:`repro.store.protocol`, in the spirit of
 "checkpointing as a service": workload VMs push periodic checkpoints
 here, restart supervisors pull the latest manifest from here.
 
+The opcode handlers live in :class:`StoreOpHandlers` so the two daemons
+— this thread-per-connection server and the selectors-based
+:class:`~repro.store.fleet.aserver.FleetNode` — share one
+implementation of every operation against the store.
+
 Replication
 -----------
 
@@ -19,7 +24,11 @@ lands — content addressing makes re-sends idempotent and cheap.
 Liveness is tracked by heartbeats: a background thread pings every
 follower each ``heartbeat_interval`` seconds; ``heartbeat_misses``
 consecutive failures mark it dead (skipped by replication), one
-successful ping revives it.
+successful ping revives it.  Dead followers keep being probed by the
+same loop, and the probe that revives one immediately replays every
+vm/generation it missed while it was out — a follower that was dead
+across quiet vms does not stay stale until those vms happen to commit
+again.
 """
 
 from __future__ import annotations
@@ -27,7 +36,7 @@ from __future__ import annotations
 import socketserver
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import StoreError, StoreProtocolError
 from repro.store import protocol as P
@@ -46,6 +55,10 @@ class FollowerState:
     last_error: str = ""
     manifests_replicated: int = 0
     chunks_replicated: int = 0
+    #: Pings sent to this follower while it was marked dead.
+    reprobes: int = 0
+    #: Dead->alive transitions that triggered a full catch-up replay.
+    catchups: int = 0
 
     @property
     def addr(self) -> str:
@@ -60,7 +73,177 @@ class FollowerState:
             "last_error": self.last_error,
             "manifests_replicated": self.manifests_replicated,
             "chunks_replicated": self.chunks_replicated,
+            "reprobes": self.reprobes,
+            "catchups": self.catchups,
         }
+
+
+class StoreOpHandlers:
+    """Every RSTP operation against one chunk store, transport-free.
+
+    Both daemons delegate here; a handler returns ``(opcode, payload)``
+    for the single response frame.  The fleet housekeeping ops
+    (``EPOCH``/``DEL_MANIFEST``/``SWEEP``) are part of the shared table
+    — a plain single-node daemon answers them too, which keeps
+    presence-cache epochs usable against any server.  The RSTP/2
+    connection-layer ops (``HELLO``/``BATCH``/``GET_MANY``) are *not*
+    here: they are about framing, and only the fleet daemon speaks
+    them.
+    """
+
+    def __init__(self, store: ChunkStore, node_id: str | None = None) -> None:
+        self.store = store
+        self.node_id = node_id
+        self._commit_lock = threading.Lock()
+        self._started = time.monotonic()
+        self.requests_served = 0
+        self._dispatch = {
+            P.OP_PING: self._op_ping,
+            P.OP_HAS_CHUNK: self._op_has_chunk,
+            P.OP_HAS_MANY: self._op_has_many,
+            P.OP_PUT_CHUNK: self._op_put_chunk,
+            P.OP_GET_CHUNK: self._op_get_chunk,
+            P.OP_PUT_MANIFEST: self._op_put_manifest,
+            P.OP_GET_MANIFEST: self._op_get_manifest,
+            P.OP_LS: self._op_ls,
+            P.OP_GC: self._op_gc,
+            P.OP_STAT: self._op_stat,
+            P.OP_AUDIT: self._op_audit,
+            P.OP_EPOCH: self._op_epoch,
+            P.OP_DEL_MANIFEST: self._op_del_manifest,
+            P.OP_SWEEP: self._op_sweep,
+        }
+
+    # -- request dispatch --------------------------------------------------
+
+    def dispatch(self, op: int, payload: bytes) -> tuple[int, bytes]:
+        handler = self._dispatch.get(op)
+        if handler is None:
+            raise StoreProtocolError(f"unknown opcode 0x{op:02x}")
+        self.requests_served += 1
+        return handler(payload)
+
+    def _op_ping(self, _payload: bytes) -> tuple[int, bytes]:
+        return P.OP_OK, b"pong"
+
+    @staticmethod
+    def _digest(payload: bytes) -> str:
+        if len(payload) != 32:
+            raise StoreProtocolError("expected a 32-byte chunk digest")
+        return payload.hex()
+
+    @staticmethod
+    def _digests(payload: bytes, what: str) -> list[str]:
+        if len(payload) % 32:
+            raise StoreProtocolError(f"{what} payload is not whole digests")
+        return [payload[i : i + 32].hex() for i in range(0, len(payload), 32)]
+
+    def _op_has_chunk(self, payload: bytes) -> tuple[int, bytes]:
+        key = self._digest(payload)
+        return P.OP_OK, bytes([1 if self.store.has_object(key) else 0])
+
+    def _op_has_many(self, payload: bytes) -> tuple[int, bytes]:
+        out = bytearray()
+        for key in self._digests(payload, "HAS_MANY"):
+            out.append(1 if self.store.has_object(key) else 0)
+        return P.OP_OK, bytes(out)
+
+    def _op_put_chunk(self, payload: bytes) -> tuple[int, bytes]:
+        key_raw, data = P.decode_chunk(payload)
+        if chunk_key(data) != key_raw.hex():
+            raise StoreProtocolError(
+                "chunk content does not match its declared digest"
+            )
+        _, was_new = self.store.put_object(data)
+        return P.OP_OK, bytes([1 if was_new else 0])
+
+    def _op_get_chunk(self, payload: bytes) -> tuple[int, bytes]:
+        key = self._digest(payload)
+        data = self.store.get_object(key)
+        return P.OP_OK, P.encode_chunk(payload, data)
+
+    def _op_put_manifest(self, payload: bytes) -> tuple[int, bytes]:
+        req = P.decode_json(payload)
+        try:
+            vm_id = req["vm_id"]
+            chunks = list(req["chunks"])
+            payload_len = int(req["payload_len"])
+            payload_sha256 = req["payload_sha256"]
+        except (KeyError, TypeError, ValueError) as e:
+            raise StoreProtocolError(f"malformed PUT_MANIFEST: {e}") from e
+        with self._commit_lock:
+            manifest = self.store.commit_manifest(
+                vm_id,
+                chunks,
+                payload_len=payload_len,
+                payload_sha256=payload_sha256,
+                meta=req.get("meta"),
+                chunk_size=req.get("chunk_size"),
+                generation=req.get("generation"),
+                verify_chunks=bool(req.get("check_chunks", True)),
+            )
+        self._after_commit(manifest)
+        return P.OP_OK, P.encode_json({"generation": manifest.generation})
+
+    def _after_commit(self, manifest: Manifest) -> None:
+        """Hook: the threaded daemon replicates here; the base does not."""
+
+    def _op_get_manifest(self, payload: bytes) -> tuple[int, bytes]:
+        req = P.decode_json(payload)
+        manifest = self.store.read_manifest(
+            req["vm_id"], req.get("generation")
+        )
+        return P.OP_OK, manifest.to_json().encode()
+
+    def _op_ls(self, _payload: bytes) -> tuple[int, bytes]:
+        return P.OP_OK, P.encode_json(self.store.ls())
+
+    def _op_gc(self, _payload: bytes) -> tuple[int, bytes]:
+        return P.OP_OK, P.encode_json(self.store.gc())
+
+    def _op_stat(self, _payload: bytes) -> tuple[int, bytes]:
+        return P.OP_OK, P.encode_json(self.stats())
+
+    def _op_audit(self, payload: bytes) -> tuple[int, bytes]:
+        req = P.decode_json(payload) if payload else {}
+        return P.OP_OK, P.encode_json(
+            self.store.audit(
+                deep=bool(req.get("deep")),
+                check_refs=bool(req.get("check_refs", True)),
+            )
+        )
+
+    def _op_epoch(self, _payload: bytes) -> tuple[int, bytes]:
+        return P.OP_OK, P.encode_json({"epoch": self.store.epoch})
+
+    def _op_del_manifest(self, payload: bytes) -> tuple[int, bytes]:
+        req = P.decode_json(payload)
+        try:
+            vm_id = req["vm_id"]
+            generation = int(req["generation"])
+        except (KeyError, TypeError, ValueError) as e:
+            raise StoreProtocolError(f"malformed DEL_MANIFEST: {e}") from e
+        with self._commit_lock:
+            deleted = self.store.delete_manifest(vm_id, generation)
+        return P.OP_OK, P.encode_json({"deleted": deleted})
+
+    def _op_sweep(self, payload: bytes) -> tuple[int, bytes]:
+        keep = set(self._digests(payload, "SWEEP"))
+        with self._commit_lock:
+            report = self.store.sweep_keep(keep)
+        return P.OP_OK, P.encode_json(report)
+
+    def stats(self) -> dict:
+        out = {
+            "uptime": time.monotonic() - self._started,
+            "requests_served": self.requests_served,
+            "objects": sum(1 for _ in self.store.iter_objects()),
+            "vms": self.store.vm_ids(),
+            "epoch": self.store.epoch,
+        }
+        if self.node_id is not None:
+            out["node_id"] = self.node_id
+        return out
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -100,7 +283,7 @@ class _TCPServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
 
 
-class StoreServer:
+class StoreServer(StoreOpHandlers):
     """The daemon: a chunk store behind a TCP frame protocol."""
 
     def __init__(
@@ -112,32 +295,16 @@ class StoreServer:
         heartbeat_interval: float = 2.0,
         heartbeat_misses: int = 3,
     ) -> None:
-        self.store = store
+        super().__init__(store)
         self.followers = [FollowerState(h, p) for h, p in (replicas or [])]
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_misses = heartbeat_misses
         self._tcp = _TCPServer((host, port), _Handler)
         self._tcp.store_server = self  # type: ignore[attr-defined]
-        self._commit_lock = threading.Lock()
         self._stopping = threading.Event()
         self._serve_thread: threading.Thread | None = None
         self._heartbeat_thread: threading.Thread | None = None
-        self._started = time.monotonic()
-        self.requests_served = 0
         self.replication_failures = 0
-        self._dispatch = {
-            P.OP_PING: self._op_ping,
-            P.OP_HAS_CHUNK: self._op_has_chunk,
-            P.OP_HAS_MANY: self._op_has_many,
-            P.OP_PUT_CHUNK: self._op_put_chunk,
-            P.OP_GET_CHUNK: self._op_get_chunk,
-            P.OP_PUT_MANIFEST: self._op_put_manifest,
-            P.OP_GET_MANIFEST: self._op_get_manifest,
-            P.OP_LS: self._op_ls,
-            P.OP_GC: self._op_gc,
-            P.OP_STAT: self._op_stat,
-            P.OP_AUDIT: self._op_audit,
-        }
 
     @property
     def address(self) -> tuple[str, int]:
@@ -179,104 +346,16 @@ class StoreServer:
             self._serve_thread.join(timeout=5)
             self._serve_thread = None
 
-    # -- request dispatch --------------------------------------------------
+    # -- replication -------------------------------------------------------
 
-    def dispatch(self, op: int, payload: bytes) -> tuple[int, bytes]:
-        handler = self._dispatch.get(op)
-        if handler is None:
-            raise StoreProtocolError(f"unknown opcode 0x{op:02x}")
-        self.requests_served += 1
-        return handler(payload)
-
-    def _op_ping(self, _payload: bytes) -> tuple[int, bytes]:
-        return P.OP_OK, b"pong"
-
-    @staticmethod
-    def _digest(payload: bytes) -> str:
-        if len(payload) != 32:
-            raise StoreProtocolError("expected a 32-byte chunk digest")
-        return payload.hex()
-
-    def _op_has_chunk(self, payload: bytes) -> tuple[int, bytes]:
-        key = self._digest(payload)
-        return P.OP_OK, bytes([1 if self.store.has_object(key) else 0])
-
-    def _op_has_many(self, payload: bytes) -> tuple[int, bytes]:
-        if len(payload) % 32:
-            raise StoreProtocolError("HAS_MANY payload is not whole digests")
-        out = bytearray()
-        for i in range(0, len(payload), 32):
-            key = payload[i : i + 32].hex()
-            out.append(1 if self.store.has_object(key) else 0)
-        return P.OP_OK, bytes(out)
-
-    def _op_put_chunk(self, payload: bytes) -> tuple[int, bytes]:
-        key_raw, data = P.decode_chunk(payload)
-        if chunk_key(data) != key_raw.hex():
-            raise StoreProtocolError(
-                "chunk content does not match its declared digest"
-            )
-        _, was_new = self.store.put_object(data)
-        return P.OP_OK, bytes([1 if was_new else 0])
-
-    def _op_get_chunk(self, payload: bytes) -> tuple[int, bytes]:
-        key = self._digest(payload)
-        data = self.store.get_object(key)
-        return P.OP_OK, P.encode_chunk(payload, data)
-
-    def _op_put_manifest(self, payload: bytes) -> tuple[int, bytes]:
-        req = P.decode_json(payload)
-        try:
-            vm_id = req["vm_id"]
-            chunks = list(req["chunks"])
-            payload_len = int(req["payload_len"])
-            payload_sha256 = req["payload_sha256"]
-        except (KeyError, TypeError, ValueError) as e:
-            raise StoreProtocolError(f"malformed PUT_MANIFEST: {e}") from e
-        with self._commit_lock:
-            manifest = self.store.commit_manifest(
-                vm_id,
-                chunks,
-                payload_len=payload_len,
-                payload_sha256=payload_sha256,
-                meta=req.get("meta"),
-                chunk_size=req.get("chunk_size"),
-                generation=req.get("generation"),
-            )
+    def _after_commit(self, manifest: Manifest) -> None:
         self._replicate(manifest)
-        return P.OP_OK, P.encode_json({"generation": manifest.generation})
-
-    def _op_get_manifest(self, payload: bytes) -> tuple[int, bytes]:
-        req = P.decode_json(payload)
-        manifest = self.store.read_manifest(
-            req["vm_id"], req.get("generation")
-        )
-        return P.OP_OK, manifest.to_json().encode()
-
-    def _op_ls(self, _payload: bytes) -> tuple[int, bytes]:
-        return P.OP_OK, P.encode_json(self.store.ls())
-
-    def _op_gc(self, _payload: bytes) -> tuple[int, bytes]:
-        return P.OP_OK, P.encode_json(self.store.gc())
-
-    def _op_stat(self, _payload: bytes) -> tuple[int, bytes]:
-        return P.OP_OK, P.encode_json(self.stats())
-
-    def _op_audit(self, payload: bytes) -> tuple[int, bytes]:
-        req = P.decode_json(payload) if payload else {}
-        return P.OP_OK, P.encode_json(self.store.audit(deep=bool(req.get("deep"))))
 
     def stats(self) -> dict:
-        return {
-            "uptime": time.monotonic() - self._started,
-            "requests_served": self.requests_served,
-            "objects": sum(1 for _ in self.store.iter_objects()),
-            "vms": self.store.vm_ids(),
-            "followers": [f.describe() for f in self.followers],
-            "replication_failures": self.replication_failures,
-        }
-
-    # -- replication -------------------------------------------------------
+        out = super().stats()
+        out["followers"] = [f.describe() for f in self.followers]
+        out["replication_failures"] = self.replication_failures
+        return out
 
     def _follower_client(self, follower: FollowerState):
         from repro.store.client import StoreClient
@@ -335,6 +414,26 @@ class StoreServer:
         )
         follower.manifests_replicated += 1
 
+    def _catch_up(self, follower: FollowerState) -> None:
+        """Replay everything a just-revived follower missed.
+
+        The commit-path replication only covers the vm being committed;
+        a follower that died and came back while other vms were quiet
+        would stay stale for those vms until they next commit.  Run the
+        same ls-diff/ship loop over *every* vm instead, right when the
+        heartbeat revives the follower.
+        """
+        with self._follower_client(follower) as client:
+            listing = client.ls().get("vms", {})
+            for vm_id in self.store.vm_ids():
+                have = {g["generation"] for g in listing.get(vm_id, [])}
+                for gen in self.store.generations(vm_id):
+                    if gen in have:
+                        continue
+                    self._replicate_one(
+                        client, follower, self.store.read_manifest(vm_id, gen)
+                    )
+
     # -- heartbeats --------------------------------------------------------
 
     def _mark_failure(self, follower: FollowerState, error: Exception) -> None:
@@ -344,11 +443,27 @@ class StoreServer:
             follower.alive = False
 
     def heartbeat_once(self) -> None:
-        """Ping every follower once, updating liveness."""
+        """Ping every follower once, updating liveness.
+
+        A dead follower is re-probed on the same cadence; the ping that
+        revives it triggers a full catch-up so it rejoins replication
+        with no generations missing.
+        """
         for follower in self.followers:
+            was_dead = not follower.alive
+            if was_dead:
+                follower.reprobes += 1
             try:
                 with self._follower_client(follower) as client:
                     client.ping()
+                if was_dead:
+                    follower.catchups += 1
+                    try:
+                        self._catch_up(follower)
+                    except StoreError as e:
+                        self.replication_failures += 1
+                        self._mark_failure(follower, e)
+                        continue
                 follower.alive = True
                 follower.consecutive_failures = 0
                 follower.last_ok = time.time()

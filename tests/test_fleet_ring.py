@@ -1,0 +1,116 @@
+"""Consistent-hash ring: determinism, balance, bounded movement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.fleet.ring import DEFAULT_VNODES, HashRing
+
+NODES = [f"10.0.0.{i}:7430" for i in range(1, 6)]
+KEYS = [f"{i:064x}" for i in range(2000)]
+
+
+class TestRingBasics:
+    def test_deterministic_across_instances(self):
+        a = HashRing(NODES)
+        b = HashRing(list(reversed(NODES)))  # order must not matter
+        assert a.nodes == b.nodes
+        assert all(a.node_for(k) == b.node_for(k) for k in KEYS[:200])
+
+    def test_duplicate_nodes_collapse(self):
+        assert HashRing(NODES + NODES).nodes == tuple(sorted(NODES))
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["solo:1"])
+        assert all(ring.chunk_node(k) == "solo:1" for k in KEYS[:50])
+        assert ring.ownership() == {"solo:1": pytest.approx(1.0)}
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(StoreError, match="at least one node"):
+            HashRing([])
+
+    def test_nonpositive_vnodes_rejected(self):
+        with pytest.raises(StoreError, match="vnodes"):
+            HashRing(NODES, vnodes=0)
+
+    def test_chunk_and_manifest_namespaces_differ(self):
+        ring = HashRing(NODES)
+        # same raw string, different prefix: placements are independent
+        sample = "a" * 64
+        owners = {ring.chunk_node(sample), ring.manifest_node(sample)}
+        # not asserting inequality (they may collide), but both are valid
+        assert owners <= set(NODES)
+
+    def test_manifest_placement_is_per_vm(self):
+        ring = HashRing(NODES)
+        # every generation of a vm shares one owner by construction:
+        # placement keys off the vm id alone
+        assert ring.manifest_node("vm-alpha") == ring.manifest_node("vm-alpha")
+
+
+class TestBalance:
+    def test_ownership_sums_to_one(self):
+        own = HashRing(NODES).ownership()
+        assert sum(own.values()) == pytest.approx(1.0)
+        assert set(own) == set(NODES)
+
+    def test_ownership_reasonably_even(self):
+        own = HashRing(NODES, vnodes=DEFAULT_VNODES).ownership()
+        fair = 1.0 / len(NODES)
+        for node, frac in own.items():
+            assert fair / 3 < frac < fair * 3, (node, frac)
+
+    def test_key_distribution_tracks_ownership(self):
+        ring = HashRing(NODES)
+        counts = {n: 0 for n in NODES}
+        for k in KEYS:
+            counts[ring.chunk_node(k)] += 1
+        own = ring.ownership()
+        for node in NODES:
+            # 2000 samples: expect within a few points of the arc share
+            assert counts[node] / len(KEYS) == pytest.approx(
+                own[node], abs=0.05
+            )
+
+    def test_ranges_cover_the_space(self):
+        ring = HashRing(NODES, vnodes=8)
+        ranges = ring.ranges()
+        assert len(ranges) == len(NODES) * 8
+        # arcs chain: each range starts where the previous ended
+        for prev, cur in zip(ranges, ranges[1:]):
+            assert prev["end"] == cur["start"]
+        # and the final (wrap) arc closes the circle
+        assert ranges[-1]["end"] == ranges[0]["start"]
+
+
+class TestMovement:
+    def test_join_moves_about_one_nth(self):
+        before = HashRing(NODES)
+        after = before.with_node("10.0.0.9:7430")
+        moved = sum(
+            1 for k in KEYS if before.chunk_node(k) != after.chunk_node(k)
+        )
+        share = moved / len(KEYS)
+        # the joiner should take roughly 1/6th; allow generous slack
+        assert 0.05 < share < 0.35, share
+        # and every moved key lands on the new node
+        assert all(
+            after.chunk_node(k) == "10.0.0.9:7430"
+            for k in KEYS
+            if before.chunk_node(k) != after.chunk_node(k)
+        )
+
+    def test_leave_moves_only_the_leavers_keys(self):
+        before = HashRing(NODES)
+        after = before.without_node(NODES[0])
+        for k in KEYS:
+            if before.chunk_node(k) != NODES[0]:
+                assert after.chunk_node(k) == before.chunk_node(k)
+
+    def test_join_then_leave_is_identity(self):
+        ring = HashRing(NODES)
+        roundtrip = ring.with_node("x:1").without_node("x:1")
+        assert all(
+            ring.chunk_node(k) == roundtrip.chunk_node(k) for k in KEYS[:300]
+        )

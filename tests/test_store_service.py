@@ -461,3 +461,158 @@ class TestPipelinedUpload:
         before = DELTA.upload_overlap_seconds
         client.put_checkpoint("vm", os.urandom(64 * 1024 * 8))
         assert DELTA.upload_overlap_seconds >= before
+
+
+class TestJitterBackoff:
+    """Full-jitter retry backoff (PR 7 satellite): delays are uniform in
+    [0, bounded exponential cap], seedable for tests, and the retry
+    counts surface in the metrics registry."""
+
+    def test_delays_within_cap_and_seeded(self):
+        a = StoreClient("h", 1, backoff=0.1, backoff_max=1.0, jitter_seed=42)
+        b = StoreClient("h", 1, backoff=0.1, backoff_max=1.0, jitter_seed=42)
+        delays_a = [a._backoff_delay(n) for n in range(1, 8)]
+        delays_b = [b._backoff_delay(n) for n in range(1, 8)]
+        assert delays_a == delays_b  # same seed, same schedule
+        for attempt, delay in enumerate(delays_a, start=1):
+            cap = min(0.1 * 2 ** (attempt - 1), 1.0)
+            assert 0.0 <= delay <= cap
+
+    def test_distinct_seeds_desynchronize(self):
+        # the point of jitter: two clients retrying the same outage must
+        # not sleep identical schedules (thundering herd)
+        a = StoreClient("h", 1, backoff=0.1, jitter_seed=1)
+        b = StoreClient("h", 1, backoff=0.1, jitter_seed=2)
+        assert [a._backoff_delay(n) for n in range(1, 6)] != \
+               [b._backoff_delay(n) for n in range(1, 6)]
+
+    def test_jitter_disabled_is_deterministic_cap(self):
+        c = StoreClient("h", 1, backoff=0.05, backoff_max=0.4, jitter=False)
+        assert [c._backoff_delay(n) for n in range(1, 6)] == \
+               [0.05, 0.1, 0.2, 0.4, 0.4]
+
+    def test_retries_surface_in_store_counters(self, server, tmp_path):
+        from repro.metrics import STORE
+
+        STORE.reset()
+        proxy = DroppingProxy(server.address, drop_first=2)
+        try:
+            with StoreClient(*proxy.address, retries=3, backoff=0.01,
+                             jitter_seed=7) as c:
+                assert c.ping()
+                assert c.retries_used == 2
+            assert STORE.transport_retries == 2
+            assert STORE.as_dict() == {"transport_retries": 2}
+        finally:
+            proxy.close()
+            STORE.reset()
+
+
+class TestFollowerReprobe:
+    """Dead-follower handling (PR 7 satellite): a follower marked dead
+    keeps being probed on the heartbeat cadence, and the probe that
+    revives it triggers a full catch-up across *every* vm."""
+
+    def _primary(self, tmp_path, follower_addr, misses=1):
+        primary = StoreServer(
+            ChunkStore(str(tmp_path / "primary")),
+            replicas=[follower_addr],
+            heartbeat_interval=30.0,  # driven manually via heartbeat_once
+            heartbeat_misses=misses,
+        )
+        primary.start()
+        return primary
+
+    def test_dead_follower_is_reprobed(self, tmp_path):
+        follower = StoreServer(ChunkStore(str(tmp_path / "f")))
+        follower.start()
+        primary = self._primary(tmp_path, follower.address)
+        try:
+            follower.stop()
+            primary.heartbeat_once()  # miss -> dead (misses=1)
+            state = primary.followers[0]
+            assert not state.alive
+            assert state.reprobes == 0
+            for _ in range(3):
+                primary.heartbeat_once()
+            assert state.reprobes == 3  # still probing while dead
+            assert not state.alive
+        finally:
+            primary.stop()
+
+    def test_revival_triggers_full_catch_up(self, tmp_path):
+        """Commit to vm-a AND vm-b while the follower is dead; revival
+        must replay both — not just the vm that commits next."""
+        follower = StoreServer(ChunkStore(str(tmp_path / "f")))
+        follower.start()
+        port = follower.address[1]
+        primary = self._primary(tmp_path, follower.address)
+        try:
+            follower.stop()
+            primary.heartbeat_once()  # dead
+            a, b = os.urandom(50_000), os.urandom(50_000)
+            with StoreClient(*primary.address) as c:
+                c.put_checkpoint("vm-a", a)
+                c.put_checkpoint("vm-b", b)
+            # an empty store rejoins on the same address (disk was lost)
+            follower2 = StoreServer(
+                ChunkStore(str(tmp_path / "f2")), port=port
+            )
+            follower2.start()
+            try:
+                primary.heartbeat_once()  # revival probe
+                state = primary.followers[0]
+                assert state.alive
+                assert state.reprobes >= 1
+                assert state.catchups == 1
+                assert follower2.store.get_checkpoint("vm-a")[0] == a
+                assert follower2.store.get_checkpoint("vm-b")[0] == b
+                # the counters are visible through stat()
+                with StoreClient(*primary.address) as c:
+                    (f,) = c.stat()["followers"]
+                assert f["catchups"] == 1 and f["reprobes"] >= 1
+            finally:
+                follower2.stop()
+        finally:
+            primary.stop()
+
+    def test_failed_catch_up_remarks_dead(self, tmp_path):
+        """If the catch-up replay itself fails the follower must not be
+        declared alive with holes in its history."""
+        follower = StoreServer(ChunkStore(str(tmp_path / "f")))
+        follower.start()
+        primary = self._primary(tmp_path, follower.address)
+        try:
+            follower.stop()
+            primary.heartbeat_once()
+            with StoreClient(*primary.address) as c:
+                c.put_checkpoint("vm", os.urandom(20_000))
+            # revive, but sabotage the replay
+            follower2 = StoreServer(
+                ChunkStore(str(tmp_path / "f2")), port=follower.address[1]
+            )
+            follower2.start()
+            try:
+                original = primary._catch_up
+                from repro.errors import StoreError
+
+                def failing_catch_up(f):
+                    raise StoreError("replay pipe burst")
+
+                primary._catch_up = failing_catch_up
+                try:
+                    primary.heartbeat_once()
+                finally:
+                    primary._catch_up = original
+                state = primary.followers[0]
+                assert not state.alive
+                assert state.catchups == 1  # attempted
+                assert "replay pipe burst" in state.last_error
+                # the next heartbeat (replay intact) heals it
+                primary.heartbeat_once()
+                assert state.alive
+                assert follower2.store.vm_ids() == ["vm"]
+            finally:
+                follower2.stop()
+        finally:
+            primary.stop()
