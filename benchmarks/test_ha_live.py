@@ -1,0 +1,227 @@
+"""Warm takeover vs cold restore-from-store.
+
+The warm standby's pitch is that failover cost is O(lease claim): the
+resident VM is already spliced and converted, so promotion does no
+restore work at all.  This benchmark prices that claim against the
+alternative the store-backed HA supervisor offers — a cold restore that
+downloads the newest generation (plus its delta parents) from the
+store, splices the chain, and converts to the successor's architecture.
+
+Setup: a 640k-word heap on ``rodrigo`` (32-bit LE), mutated ~5% per
+generation, replicated over the acked channel to a resident standby on
+``ultra64`` (64-bit BE) while every generation is also mirrored to the
+store.  Both takeover paths therefore start from the *same* committed
+frontier and land on the *same* heterogeneous platform.
+
+Acceptance gate (recorded in ``results/BENCH_ha_live.json``): warm
+takeover p50 at least ``MIN_TAKEOVER_SPEEDUP``x faster than cold
+restore p50.
+"""
+
+from __future__ import annotations
+
+import base64
+import statistics
+
+from repro import VMConfig, VirtualMachine, compile_source, get_platform
+from repro.checkpoint.format import detect_format_version
+from repro.replication import (
+    CommitTailer,
+    EpochLease,
+    ReplicationSender,
+    StandbyServer,
+    cold_restore_from_store,
+)
+from repro.store import ChunkStore, StoreClient, StoreServer
+
+HEAP_WORDS = 640 * 1024
+MUTATION_PCT = 5
+PHASES = 6
+ROW_WORDS = 4096
+
+WARM_ROUNDS = 10
+COLD_ROUNDS = 5
+MIN_TAKEOVER_SPEEDUP = 5.0
+
+VM_ID = "bench-ha-live"
+
+#: The build loop is ~15k instructions, each churn phase ~5k; one
+#: capture lands after the build (the full) and one per phase after.
+BUILD_BUDGET = 15_000
+PHASE_BUDGET = 5_000
+
+
+def churn_source(total_words: int, pct: int, phases: int) -> str:
+    """Build a ~``total_words`` heap of live rows, then mutate ``pct``%
+    of the rows per phase (one word per touched row dirties the whole
+    row for the incremental writer)."""
+    rows = max(total_words // ROW_WORDS, 1)
+    stride = max(100 // pct, 1)
+    return f"""
+let rows = {rows};;
+let keep = ref [];;
+let () =
+  for i = 1 to rows do
+    let a = Array.make {ROW_WORDS} i in
+    keep := a :: !keep
+  done;;
+let rec touch l i p =
+  match l with
+  | [] -> 0
+  | h :: t ->
+    ((if (i + p) mod {stride} = 0 then h.(0) <- h.(0) + p);
+     touch t (i + 1) p);;
+let phase = ref 0;;
+let junk = ref 0;;
+while !phase < {phases} do
+  phase := !phase + 1;
+  junk := touch !keep 0 !phase
+done;;
+print_int !phase; print_string " "; print_int rows
+"""
+
+
+def _p50(samples: list[float]) -> float:
+    return statistics.median(samples)
+
+
+def _p95(samples: list[float]) -> float:
+    s = sorted(samples)
+    return s[min(len(s) - 1, round(0.95 * (len(s) - 1)))]
+
+
+def _config(path: str) -> VMConfig:
+    return VMConfig(
+        chkpt_state="enable",
+        chkpt_filename=path,
+        chkpt_mode="blocking",
+        chkpt_interval=None,
+        chkpt_incremental=True,
+        chkpt_retain=24,
+    )
+
+
+def _mirror(client: StoreClient, rec, path: str) -> None:
+    meta = {
+        "platform": "rodrigo",
+        "instructions": rec.instructions,
+        "stdout_b64": base64.b64encode(rec.stdout).decode(),
+        "kind": rec.kind,
+        "body_sha256": rec.body_sha256,
+        "format_version": detect_format_version(path),
+    }
+    if rec.kind == "delta":
+        meta["parent_sha256"] = rec.parent_sha256
+        meta["chain_depth"] = rec.chain_depth
+    client.put_checkpoint(VM_ID, rec.data, meta=meta)
+
+
+def test_warm_takeover_beats_cold_restore(tmp_path, get_report, bench_json):
+    code = compile_source(churn_source(HEAP_WORDS, MUTATION_PCT, PHASES))
+    store = StoreServer(ChunkStore(str(tmp_path / "store")))
+    store.start()
+    client = StoreClient(*store.address, backoff=0.01)
+    lease_client = StoreClient(*store.address, backoff=0.01)
+    standby = StandbyServer(
+        code,
+        "ultra64",
+        node_id="standby",
+        chain_path=str(tmp_path / "standby.hckp"),
+        lease=EpochLease(lease_client, VM_ID, "standby"),
+        config=_config(str(tmp_path / "standby.hckp")),
+    )
+    sender = None
+    try:
+        host, port = standby.start()
+        sender = ReplicationSender.connect(
+            host, port, node_id="primary",
+            ack_timeout=60.0, max_retransmits=1,
+        )
+        sender.hello(code.digest().hex(), 0, "rodrigo")
+
+        primary_path = str(tmp_path / "primary.hckp")
+        vm = VirtualMachine(
+            get_platform("rodrigo"), code, _config(primary_path)
+        )
+        tailer = CommitTailer(vm, primary_path)
+        gens = deltas = 0
+        for budget in [BUILD_BUDGET] + [PHASE_BUDGET] * (PHASES + 2):
+            result = vm.run(max_instructions=budget)
+            if result.status in ("stopped", "exited"):
+                break
+            rec = tailer.capture()
+            _mirror(client, rec, primary_path)
+            sender.ship(rec)
+            gens += 1
+            deltas += rec.kind == "delta"
+        assert gens >= 4 and deltas >= 3, (
+            f"replication frontier too shallow: {gens} gens, "
+            f"{deltas} deltas"
+        )
+        assert standby.applied_seq == gens
+
+        warm = []
+        for _ in range(WARM_ROUNDS):
+            promoted = standby.promote()
+            assert promoted is standby.resident_vm
+            warm.append(standby.takeover_seconds)
+
+        cold = []
+        cold_vm = None
+        for i in range(COLD_ROUNDS):
+            cold_vm, elapsed = cold_restore_from_store(
+                client, VM_ID, code, "ultra64",
+                str(tmp_path / f"cold-{i}.hckp"),
+            )
+            cold.append(elapsed)
+        # Both paths restore the same frontier: finishing the cold VM
+        # must produce the program's exact final output.
+        assert cold_vm.run().status in ("stopped", "exited")
+        rows = HEAP_WORDS // ROW_WORDS
+        assert cold_vm.channels.stdout_bytes() == f"{PHASES} {rows}".encode()
+    finally:
+        if sender is not None:
+            sender.close()
+        standby.stop()
+        client.close()
+        lease_client.close()
+        store.stop()
+
+    speedup = _p50(cold) / _p50(warm)
+    rep = get_report(
+        "HA live",
+        "warm takeover vs cold restore-from-store "
+        f"({HEAP_WORDS // 1024}k words, {MUTATION_PCT}% mutation, "
+        "rodrigo -> ultra64)",
+        ["path", "p50 ms", "p95 ms"],
+    )
+    rep.row("warm takeover", f"{_p50(warm) * 1e3:.2f}",
+            f"{_p95(warm) * 1e3:.2f}")
+    rep.row("cold restore", f"{_p50(cold) * 1e3:.2f}",
+            f"{_p95(cold) * 1e3:.2f}")
+    rep.note(
+        f"speedup {speedup:.1f}x over {gens} generations "
+        f"({deltas} deltas); floor {MIN_TAKEOVER_SPEEDUP:.0f}x"
+    )
+    bench_json("BENCH_ha_live").update({
+        "heap_words": HEAP_WORDS,
+        "mutation_pct": MUTATION_PCT,
+        "generations": gens,
+        "deltas": deltas,
+        "primary_platform": "rodrigo",
+        "standby_platform": "ultra64",
+        "warm_takeover_ms": {
+            "p50": round(_p50(warm) * 1e3, 3),
+            "p95": round(_p95(warm) * 1e3, 3),
+        },
+        "cold_restore_ms": {
+            "p50": round(_p50(cold) * 1e3, 3),
+            "p95": round(_p95(cold) * 1e3, 3),
+        },
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_TAKEOVER_SPEEDUP,
+    })
+    assert speedup >= MIN_TAKEOVER_SPEEDUP, (
+        f"warm takeover only {speedup:.1f}x faster than cold restore "
+        f"(floor {MIN_TAKEOVER_SPEEDUP}x)"
+    )

@@ -77,6 +77,10 @@ class RestartStats:
     #: The file actually restored — differs from the requested path when
     #: a fallback walked the generation chain past a damaged head.
     restored_path: str = ""
+    #: One entry per generation the fallback walk skipped: which link
+    #: failed, why, and (when the typed error knows) which section and
+    #: format version were involved.  Empty on a clean head restore.
+    fallback_failures: list = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -206,6 +210,7 @@ def restart_vm_with_fallback(
     if not chain:
         raise RestartError(f"no checkpoint generations exist at {path}")
     failures: list[str] = []
+    failed_links: list[dict] = []
     first_error: Optional[RestartError] = None
     for candidate in chain:
         try:
@@ -214,11 +219,30 @@ def restart_vm_with_fallback(
             )
         except RestartError as e:
             failures.append(f"{candidate}: {e}")
+            failed_links.append(
+                {
+                    "path": candidate,
+                    "error_type": type(e).__name__,
+                    "error": str(e),
+                    "format_version": getattr(e, "format_version", None),
+                    "section": getattr(e, "section", None),
+                }
+            )
             if first_error is None:
                 first_error = e
             continue
         if failures:
             INTEGRITY.fallback_restores += 1
+            # Leave the diagnosis where an operator can find it after
+            # the fact: a degraded restore that "just worked" is a
+            # checkpoint file (or chain link) silently rotting.
+            INTEGRITY.last_fallback = {
+                "requested": path,
+                "restored": candidate,
+                "generations_skipped": len(failed_links),
+                "failures": list(failed_links),
+            }
+            stats.fallback_failures = failed_links
         return vm, stats
     if len(chain) == 1:
         # Nothing to fall back to: surface the head's own (typed,

@@ -104,12 +104,13 @@ def cmd_platforms(_args: argparse.Namespace) -> int:
 def cmd_info(args: argparse.Namespace) -> int:
     if args.json:
         from repro.checkpoint.inspect import describe_checkpoint
-        from repro.metrics import FLEET, INTEGRITY, STORE
+        from repro.metrics import FLEET, INTEGRITY, REPLICATION, STORE
 
         desc = describe_checkpoint(args.checkpoint_file, deep=args.deep)
         desc["integrity_counters"] = INTEGRITY.as_dict()
         desc["store_counters"] = STORE.as_dict()
         desc["fleet_counters"] = FLEET.as_dict()
+        desc["replication_counters"] = REPLICATION.as_dict()
         print(json.dumps(desc, indent=2, sort_keys=True))
         return 0 if desc.get("ok", True) else 1
     snap = read_checkpoint(args.checkpoint_file)
@@ -588,6 +589,42 @@ def cmd_ha_run(args: argparse.Namespace) -> int:
     return 0 if report.completed else 1
 
 
+def cmd_ha_live(args: argparse.Namespace) -> int:
+    from repro.replication import LiveHA
+
+    code = _load_code(args.source)
+    addr = _parse_addr(args.addr.split(",")[0])
+    ha = LiveHA(
+        code,
+        addr,
+        args.vm_id,
+        primary_platform=args.primary,
+        standby_platform=args.standby,
+        checkpoint_every=args.checkpoint_every,
+        schedule=args.fault,
+        seed=args.seed,
+    )
+    report = ha.run()
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.buffer.write(report.client_stdout)
+        sys.stdout.buffer.flush()
+        takeover = (
+            f", takeover {report.takeover_seconds * 1e3:.1f} ms"
+            if report.takeover_seconds is not None
+            else ""
+        )
+        print(f"[ha live: schedule {report.schedule}, "
+              f"{report.generations_shipped} generation(s) replicated "
+              f"{report.primary_platform} -> {report.standby_platform}, "
+              f"{report.promotions} promotion(s), "
+              f"{report.fenced_demotions} fenced demotion(s)"
+              f"{takeover}]",
+              file=sys.stderr)
+    return 0 if report.completed else 1
+
+
 def _writable_formats() -> list[str]:
     """``--format`` choices, from the schema: every full-capable profile.
 
@@ -810,6 +847,34 @@ def build_parser() -> argparse.ArgumentParser:
                     help="emit the full HA report as JSON")
     store_common(hr)
     hr.set_defaults(fn=cmd_ha_run)
+
+    hl = hasub.add_parser(
+        "live", help="run with warm-standby continuous replication: "
+                     "committed delta generations stream to a resident "
+                     "standby VM on another platform; failover is a lease "
+                     "claim, not a restore")
+    hl.add_argument("source")
+    hl.add_argument("--vm-id", required=True,
+                    help="store id for the epoch lease (split-brain guard)")
+    hl.add_argument("--primary", default="rodrigo",
+                    choices=sorted(PLATFORMS),
+                    help="platform the primary runs on")
+    hl.add_argument("--standby", default=None,
+                    choices=sorted(PLATFORMS),
+                    help="platform the standby keeps its resident VM on "
+                         "(default: a fully-heterogeneous peer)")
+    hl.add_argument("--checkpoint-every", type=int, default=20_000,
+                    help="instructions between replicated generations")
+    hl.add_argument("--fault", default="crash",
+                    choices=["none", "crash", "partition"],
+                    help="seeded fault schedule: none (oracle), crash "
+                         "(primary dies; standby promotes), partition "
+                         "(isolated primary is fenced by the lease)")
+    hl.add_argument("--seed", type=int, default=2002)
+    hl.add_argument("--json", action="store_true",
+                    help="emit the full live-replication report as JSON")
+    store_common(hl)
+    hl.set_defaults(fn=cmd_ha_live)
 
     def common(sp):
         sp.add_argument("--platform", default="rodrigo",

@@ -155,6 +155,33 @@ class StoreNotFoundError(StoreError):
     """A requested chunk, manifest, or VM id does not exist."""
 
 
+class ReplicationError(ReproError):
+    """Base class for warm-standby replication failures."""
+
+
+class ReplicationProtocolError(ReplicationError):
+    """A malformed or unexpected frame on the replication channel."""
+
+
+class StandbyUnreachableError(ReplicationError):
+    """The standby did not acknowledge within the retransmit budget."""
+
+
+class LeaseLostError(ReplicationError):
+    """A node observed a higher primary epoch than its own.
+
+    The only correct reaction is to fence: stop emitting output, stop
+    replicating, and demote — another node holds the lease now.
+    """
+
+    def __init__(self, message: str, *, epoch: int = 0, holder: str = "") -> None:
+        super().__init__(message)
+        #: The higher epoch that fenced this node.
+        self.epoch = epoch
+        #: Who holds it.
+        self.holder = holder
+
+
 class CompileError(ReproError):
     """MiniML source could not be compiled."""
 

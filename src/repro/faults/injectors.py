@@ -1,6 +1,6 @@
 """Seedable corruption and crash injectors.
 
-Two families:
+Three families:
 
 * **Byte mutations** (:class:`Mutation`, :func:`plan_mutations`,
   :func:`apply_mutation`) damage a finished checkpoint file the way a
@@ -11,12 +11,21 @@ Two families:
   :class:`repro.checkpoint.commit.CommitHooks` to kill the atomic
   commit protocol at a chosen step, fail its fsyncs, or tear its
   rename, the way a power cut would.
+* **Transport injectors** (:class:`FlakySocket`) wrap a connected
+  socket and damage the *message* stream the way a congested or
+  partitioned network would: dropped, delayed, duplicated, and
+  reordered sends, plus a switchable blackhole partition.  Both the
+  store protocol and the replication channel write one frame per
+  ``sendall`` call, so frame-level faults fall out of call-level ones.
 """
 
 from __future__ import annotations
 
 import os
 import random
+import socket
+import threading
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -99,6 +108,153 @@ class TornRenameHooks(CommitHooks):
             f.write(data[: int(len(data) * self.keep_fraction)])
         os.unlink(src)
         raise SimulatedCrashError("torn_rename")
+
+
+# ---------------------------------------------------------------------------
+# Transport faults
+# ---------------------------------------------------------------------------
+
+
+class FlakySocket:
+    """A seedable lossy wrapper around a connected socket.
+
+    Every ``sendall`` call — one protocol frame, for both RSTP and the
+    replication channel — is independently subjected to:
+
+    * ``drop`` — silently discarded (the peer never sees it),
+    * ``duplicate`` — sent twice back to back,
+    * ``reorder`` — held back and emitted *after* the next send,
+    * ``delay`` — sleep up to ``delay_max`` seconds before sending.
+
+    Probabilities are evaluated in that order from one seeded RNG, so a
+    given (seed, call sequence) misbehaves identically on every run.
+    :meth:`partition` switches to a blackhole: sends vanish and reads
+    starve (the caller's socket timeout is how a partition is *felt*),
+    with no FIN/RST — exactly what a yanked cable looks like.
+
+    Everything else (``recv``, ``settimeout``, ``close``, ...) passes
+    through, so a ``FlakySocket`` drops in anywhere a socket is used.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        seed: int = 0,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        delay: float = 0.0,
+        delay_max: float = 0.005,
+    ) -> None:
+        for name, p in (("drop", drop), ("duplicate", duplicate),
+                        ("reorder", reorder), ("delay", delay)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1]")
+        self._sock = sock
+        self._rng = random.Random(seed)
+        self.drop = drop
+        self.duplicate = duplicate
+        self.reorder = reorder
+        self.delay = delay
+        self.delay_max = delay_max
+        self._held: Optional[bytes] = None
+        self._partitioned = threading.Event()
+        #: Audit trail: what the wrapper did to each send, in order.
+        self.events: list[str] = []
+
+    # -- fault switchboard -------------------------------------------------
+
+    def partition(self, on: bool = True) -> None:
+        """Blackhole the link (both directions) until switched back."""
+        if on:
+            self._partitioned.set()
+        else:
+            self._partitioned.clear()
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned.is_set()
+
+    # -- the faulty data path ----------------------------------------------
+
+    def sendall(self, data) -> None:
+        data = bytes(data)
+        if self._partitioned.is_set():
+            self.events.append("blackhole")
+            return  # swallowed: the kernel would buffer, the wire loses it
+        roll = self._rng.random()
+        if roll < self.drop:
+            self.events.append("drop")
+            self._flush_held()
+            return
+        if roll < self.drop + self.duplicate:
+            self.events.append("duplicate")
+            self._flush_held()
+            self._sock.sendall(data + data)
+            return
+        if roll < self.drop + self.duplicate + self.reorder:
+            # Hold this frame back; it goes out after the next one.
+            self.events.append("hold")
+            prev, self._held = self._held, data
+            if prev is not None:
+                self._sock.sendall(prev)
+            return
+        if roll < self.drop + self.duplicate + self.reorder + self.delay:
+            self.events.append("delay")
+            time.sleep(self._rng.uniform(0.0, self.delay_max))
+        else:
+            self.events.append("pass")
+        self._sock.sendall(data)
+        self._flush_held()
+
+    def _flush_held(self) -> None:
+        if self._held is not None:
+            held, self._held = self._held, None
+            self.events.append("release-held")
+            self._sock.sendall(held)
+
+    def recv(self, n: int) -> bytes:
+        if self._partitioned.is_set():
+            # Starve the reader the way a dead link would: honor the
+            # socket timeout instead of returning EOF.
+            timeout = self._sock.gettimeout()
+            if timeout is None:
+                while self._partitioned.is_set():
+                    time.sleep(0.01)
+                return self._sock.recv(n)
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                if not self._partitioned.is_set():
+                    return self._sock.recv(n)
+                time.sleep(0.005)
+            raise socket.timeout("partitioned")
+        return self._sock.recv(n)
+
+    # -- passthrough -------------------------------------------------------
+
+    def settimeout(self, value) -> None:
+        self._sock.settimeout(value)
+
+    def gettimeout(self):
+        return self._sock.gettimeout()
+
+    def setsockopt(self, *args) -> None:
+        self._sock.setsockopt(*args)
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def shutdown(self, how: int) -> None:
+        self._sock.shutdown(how)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "FlakySocket":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
 
 # ---------------------------------------------------------------------------

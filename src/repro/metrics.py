@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 class PhaseTimer:
@@ -125,6 +125,11 @@ class IntegrityCounters:
     #: Background checkpoint writes that failed after the application
     #: had already resumed (the error surfaces at the next join).
     background_checkpoint_failures: int = 0
+    #: Diagnosis of the most recent fallback generation walk: which
+    #: requested head failed, every link that was tried with its error
+    #: (and the failing section, when known), and which file finally
+    #: restored.  Empty until a fallback happens.
+    last_fallback: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -132,12 +137,19 @@ class IntegrityCounters:
             "fallback_restores": self.fallback_restores,
             "sections_repaired": self.sections_repaired,
             "background_checkpoint_failures": self.background_checkpoint_failures,
+            "last_fallback": dict(self.last_fallback),
         }
 
     def delta_since(self, snapshot: dict) -> dict:
-        """Counter movement since an :meth:`as_dict` snapshot."""
+        """Counter movement since an :meth:`as_dict` snapshot.
+
+        Only numeric counters move; diagnostic payloads like
+        :attr:`last_fallback` are point-in-time state, not deltas.
+        """
         return {
-            k: v - snapshot.get(k, 0) for k, v in self.as_dict().items()
+            k: v - snapshot.get(k, 0)
+            for k, v in self.as_dict().items()
+            if isinstance(v, (int, float))
         }
 
     def reset(self) -> None:
@@ -145,6 +157,7 @@ class IntegrityCounters:
         self.fallback_restores = 0
         self.sections_repaired = 0
         self.background_checkpoint_failures = 0
+        self.last_fallback = {}
 
 
 #: The module-level instance everything increments (GIL-atomic int adds).
@@ -299,3 +312,86 @@ class FleetCounters:
 
 #: The module-level instance the fleet client and cache increment.
 FLEET = FleetCounters()
+
+
+# ---------------------------------------------------------------------------
+# Warm-standby replication accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplicationCounters:
+    """Process-wide counters for warm-standby continuous replication.
+
+    The gauges (:attr:`lag_generations`, :attr:`lag_bytes`,
+    :attr:`output_held_bytes`) reflect the *current* state of the
+    channel: how far the standby trails the primary and how much stdout
+    the output rule is holding back.  The event counters accumulate;
+    :attr:`promotions` and :attr:`fenced_demotions` are the split-brain
+    audit trail an operator alarms on.
+    """
+
+    #: Committed generations shipped to the standby.
+    generations_sent: int = 0
+    #: Generations the standby spliced into its resident VM.
+    generations_applied: int = 0
+    #: Checkpoint payload bytes shipped (files + carried stdout).
+    bytes_sent: int = 0
+    #: Acknowledgements received by the primary.
+    acks: int = 0
+    #: GEN frames re-sent after an ack timeout.
+    retransmits: int = 0
+    #: Duplicate GEN frames the standby dropped (already applied).
+    duplicates_dropped: int = 0
+    #: Heartbeat windows the standby's failure detector missed.
+    heartbeats_missed: int = 0
+    #: Gauge: generations sent but not yet acknowledged.
+    lag_generations: int = 0
+    #: Gauge: bytes sent but not yet acknowledged.
+    lag_bytes: int = 0
+    #: Gauge: stdout bytes buffered behind the output rule.
+    output_held_bytes: int = 0
+    #: Standby takeovers (epoch lease acquired, resident VM promoted).
+    promotions: int = 0
+    #: Nodes that observed a higher epoch and fenced themselves.
+    fenced_demotions: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "generations_sent": self.generations_sent,
+            "generations_applied": self.generations_applied,
+            "bytes_sent": self.bytes_sent,
+            "acks": self.acks,
+            "retransmits": self.retransmits,
+            "duplicates_dropped": self.duplicates_dropped,
+            "heartbeats_missed": self.heartbeats_missed,
+            "lag_generations": self.lag_generations,
+            "lag_bytes": self.lag_bytes,
+            "output_held_bytes": self.output_held_bytes,
+            "promotions": self.promotions,
+            "fenced_demotions": self.fenced_demotions,
+        }
+
+    def delta_since(self, snapshot: dict) -> dict:
+        """Counter movement since an :meth:`as_dict` snapshot."""
+        return {
+            k: v - snapshot.get(k, 0) for k, v in self.as_dict().items()
+        }
+
+    def reset(self) -> None:
+        self.generations_sent = 0
+        self.generations_applied = 0
+        self.bytes_sent = 0
+        self.acks = 0
+        self.retransmits = 0
+        self.duplicates_dropped = 0
+        self.heartbeats_missed = 0
+        self.lag_generations = 0
+        self.lag_bytes = 0
+        self.output_held_bytes = 0
+        self.promotions = 0
+        self.fenced_demotions = 0
+
+
+#: The module-level instance the replication channel increments.
+REPLICATION = ReplicationCounters()

@@ -1,0 +1,328 @@
+"""The standby daemon: a resident VM kept ≤1 generation behind.
+
+One TCP listener, one primary at a time.  Every GEN frame is verified
+(wire digest, sequence contiguity), durably committed into the
+standby's *local* generation chain through the same atomic-commit
+protocol the primary used, and then spliced into a **resident VM** by
+restoring the chain head — full heterogeneous conversion included, so
+the resident VM already lives on the standby's platform (different
+endianness, different word size) before any failover happens.  Only
+then is the ACK sent: an acked generation is takeover-ready by
+definition, which is what lets the primary release stdout up to it.
+
+Failure detection rides the channel itself: any frame resets the miss
+counter; ``heartbeat_misses`` consecutive quiet windows (or an abrupt
+EOF — a crashed primary's kernel sending FIN/RST) marks the primary
+suspect.  With ``auto_promote``, suspicion triggers promotion: the
+standby acquires epoch+1 through the store lease (the split-brain
+guard — if the store says no, someone else leads and we stay down),
+and the resident VM plus its stdout prefill become the new primary.
+Takeover applies only the un-acked tail — which is empty, because
+apply-before-ack means the resident VM is already *at* the acked
+frontier.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Optional
+
+from repro.arch.platforms import Platform, get_platform
+from repro.checkpoint.commit import atomic_commit
+from repro.checkpoint.reader import restart_vm
+from repro.errors import (
+    LeaseLostError,
+    ReplicationError,
+    ReplicationProtocolError,
+    RestartError,
+)
+from repro.metrics import REPLICATION
+from repro.replication import wire
+from repro.replication.lease import EpochLease
+from repro.vm import VMConfig, VirtualMachine
+
+#: Generations kept in the standby's local chain — comfortably above the
+#: deepest delta chain the writer produces (``chkpt_full_every`` bounds
+#: it), so the head is always restorable from local files alone.
+DEFAULT_RETAIN = 24
+
+
+class StandbyServer:
+    """Receives, verifies, splices, acks; promotes when the lease says so."""
+
+    def __init__(
+        self,
+        code,
+        platform: Platform | str,
+        node_id: str,
+        chain_path: str,
+        lease: Optional[EpochLease] = None,
+        config: Optional[VMConfig] = None,
+        heartbeat_timeout: float = 0.25,
+        heartbeat_misses: int = 3,
+        auto_promote: bool = False,
+        retain: int = DEFAULT_RETAIN,
+    ) -> None:
+        self.code = code
+        self.platform = (
+            get_platform(platform) if isinstance(platform, str) else platform
+        )
+        self.node_id = node_id
+        self.chain_path = chain_path
+        self.lease = lease
+        self.config = config
+        self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_misses = heartbeat_misses
+        self.auto_promote = auto_promote
+        self.retain = retain
+
+        self.applied_seq = 0
+        self.applied_instructions = 0
+        self.last_body_sha = ""
+        self.resident_vm: Optional[VirtualMachine] = None
+        self.prefill = b""
+        self.primary_node: Optional[str] = None
+        self.primary_epoch = 0
+        self.epoch = 0
+        self.takeover_seconds: Optional[float] = None
+        #: Why the failure detector fired ("eof", "timeout"), if it did.
+        self.suspicion_reason = ""
+
+        self.suspect_event = threading.Event()
+        self.promoted_event = threading.Event()
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(1)
+        self._listener.settimeout(0.1)
+        self._thread = threading.Thread(
+            target=self._serve, name=f"standby-{self.node_id}", daemon=True
+        )
+        self._thread.start()
+        return self._listener.getsockname()
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    # -- the serving loop --------------------------------------------------
+
+    def _serve(self) -> None:
+        while not self._stopping.is_set() and not self.promoted_event.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                self._speak(conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def _speak(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn.settimeout(self.heartbeat_timeout)
+        missed = 0
+        greeted = False
+        while not self._stopping.is_set() and not self.promoted_event.is_set():
+            try:
+                frame = wire.recv_frame(conn, allow_eof=True)
+            except (socket.timeout, TimeoutError):
+                if not greeted:
+                    continue  # nobody to suspect yet
+                missed += 1
+                REPLICATION.heartbeats_missed += 1
+                if missed >= self.heartbeat_misses:
+                    self._suspect("timeout")
+                continue
+            except (ReplicationProtocolError, OSError):
+                if greeted:
+                    self._suspect("eof")
+                return
+            if frame is None:  # clean EOF — the primary's host died
+                if greeted:
+                    self._suspect("eof")
+                return
+            missed = 0
+            op, payload = frame
+            try:
+                if op == wire.OP_HELLO:
+                    self._on_hello(conn, payload)
+                    greeted = True
+                elif op == wire.OP_GEN:
+                    self._on_gen(conn, payload)
+                elif op == wire.OP_PING:
+                    wire.send_frame(conn, wire.OP_PONG)
+                else:
+                    self._err(conn, f"unexpected opcode 0x{op:02x}")
+            except (ReplicationProtocolError, ReplicationError) as e:
+                self._err(conn, str(e))
+            except OSError:
+                if greeted:
+                    self._suspect("eof")
+                return
+
+    def _err(self, conn, message: str) -> None:
+        try:
+            wire.send_frame(
+                conn, wire.OP_ERR, wire.encode_json({"error": message})
+            )
+        except OSError:
+            pass
+
+    def _on_hello(self, conn, payload: bytes) -> None:
+        info = wire.decode_json(payload)
+        if info.get("code_digest") != self.code.digest().hex():
+            raise ReplicationError(
+                "primary runs a different program (code digest mismatch)"
+            )
+        self.primary_node = info.get("node")
+        self.primary_epoch = int(info.get("epoch", 0))
+        wire.send_frame(
+            conn,
+            wire.OP_OK,
+            wire.encode_json(
+                {"node": self.node_id, "applied": self.applied_seq}
+            ),
+        )
+
+    def _on_gen(self, conn, payload: bytes) -> None:
+        rec = wire.decode_gen(payload)  # verifies sizes + file digest
+        if rec.seq <= self.applied_seq:
+            REPLICATION.duplicates_dropped += 1
+            self._ack(conn, rec.seq)
+            return
+        if rec.seq != self.applied_seq + 1:
+            # A gap cannot happen under the 1-in-flight discipline; if
+            # it somehow does, the cumulative ack tells the primary
+            # where we really are.
+            self._ack(conn, rec.seq)
+            return
+        if rec.kind == "delta" and rec.parent_sha256 != self.last_body_sha:
+            raise ReplicationError(
+                f"generation {rec.seq} binds to parent "
+                f"{rec.parent_sha256[:16]}..., standby chain head is "
+                f"{self.last_body_sha[:16] or '(none)'}..."
+            )
+        self._splice(rec)
+        self._ack(conn, rec.seq)
+
+    def _ack(self, conn, seq: int) -> None:
+        wire.send_frame(
+            conn, wire.OP_ACK, wire.encode_ack(seq, self.applied_seq)
+        )
+
+    # -- splicing ----------------------------------------------------------
+
+    def _splice(self, rec: wire.GenRecord) -> None:
+        """Commit the generation locally and fold it into the resident VM.
+
+        The local commit uses the same journal/rotate/rename protocol as
+        the primary's checkpoint, so the standby's chain is itself
+        crash-consistent; the restore then re-verifies every chain
+        binding and converts to the standby's architecture.  Apply
+        happens *before* the ack — the output rule depends on it.
+        """
+        atomic_commit(self.chain_path, rec.data, retain=self.retain)
+        try:
+            vm, _stats = restart_vm(
+                self.platform, self.code, self.chain_path, self.config
+            )
+        except RestartError as e:
+            raise ReplicationError(
+                f"generation {rec.seq} failed to splice: {e}"
+            ) from e
+        with self._lock:
+            self.resident_vm = vm
+            self.prefill = rec.stdout
+            self.applied_seq = rec.seq
+            self.applied_instructions = rec.instructions
+            self.last_body_sha = rec.body_sha256
+        REPLICATION.generations_applied += 1
+
+    # -- failure detection and promotion -----------------------------------
+
+    def _suspect(self, reason: str) -> None:
+        if not self.suspect_event.is_set():
+            self.suspicion_reason = reason
+        self.suspect_event.set()
+        if self.auto_promote and not self.promoted_event.is_set():
+            try:
+                self.promote()
+            except (LeaseLostError, ReplicationError):
+                # Someone else leads (or no lease is configured): we
+                # stay a standby and keep listening.
+                pass
+
+    def promote(self) -> VirtualMachine:
+        """Acquire epoch+1 and hand over the resident VM.
+
+        Only the lease can say yes: a standby whose claim loses (another
+        node already took a higher epoch) raises
+        :class:`~repro.errors.LeaseLostError` and must stay down.  The
+        un-acked tail is applied first — under the synchronous apply
+        discipline it is always empty, making takeover O(lease claim).
+        """
+        if self.lease is None:
+            raise ReplicationError("no lease configured; cannot promote")
+        with self._lock:
+            if self.resident_vm is None:
+                raise ReplicationError(
+                    "nothing replicated yet; cold-start instead"
+                )
+        t0 = time.perf_counter()
+        observed = self.lease.read().epoch
+        self.epoch = self.lease.claim(expected=observed)
+        # Confirm we hold the newest epoch (claim raced nobody).
+        self.lease.check(self.epoch)
+        self.takeover_seconds = time.perf_counter() - t0
+        REPLICATION.promotions += 1
+        self.promoted_event.set()
+        with self._lock:
+            vm = self.resident_vm
+            if self.prefill:
+                vm.channels._stdout.write(self.prefill)
+        return vm
+
+    # -- introspection -----------------------------------------------------
+
+    def await_suspect(self, timeout: float) -> bool:
+        return self.suspect_event.wait(timeout)
+
+    def await_promoted(self, timeout: float) -> bool:
+        return self.promoted_event.wait(timeout)
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "node": self.node_id,
+                "platform": self.platform.name,
+                "applied_seq": self.applied_seq,
+                "applied_instructions": self.applied_instructions,
+                "chain_head_sha": self.last_body_sha,
+                "primary": self.primary_node,
+                "suspect": self.suspect_event.is_set(),
+                "suspicion_reason": self.suspicion_reason,
+                "promoted": self.promoted_event.is_set(),
+                "epoch": self.epoch,
+                "takeover_seconds": self.takeover_seconds,
+            }

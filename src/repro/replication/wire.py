@@ -1,0 +1,233 @@
+"""The replication channel wire protocol: acked, length-prefixed frames.
+
+Same framing discipline as the store's RSTP (one ``sendall`` per frame,
+a fixed header carrying magic/version/opcode/length) but a separate
+protocol: the replication channel is a long-lived, ordered, *stateful*
+stream between exactly two nodes, not a request/response service.
+
+::
+
+    +------+---------+--------+------------+---------------+
+    | RPLC | version | opcode | length u32 | payload bytes |
+    +------+---------+--------+------------+---------------+
+      4B       u8       u8    little-endian    <length>
+
+Frames:
+
+* ``HELLO`` / ``OK`` — one negotiation round trip.  The primary
+  announces its node id, code digest, platform, and epoch; the standby
+  answers with its node id and the highest generation it has applied,
+  so a reconnecting primary knows where to resume.
+* ``GEN`` — one committed checkpoint generation: a JSON header
+  (sequence number, kind, chain identity, digests, instruction count)
+  followed by the raw committed file bytes and the cumulative stdout
+  the generation covers.  Idempotent: the standby drops duplicates by
+  sequence number and re-acks, so retransmits are always safe.
+* ``ACK`` — cumulative: acknowledges every generation up to ``seq``.
+  Receipt means *applied*: the standby has spliced the generation into
+  its resident VM, so an acked generation is takeover-ready.
+* ``PING`` / ``PONG`` — heartbeats; either side treats a quiet channel
+  (no frames inside its timeout window) as a suspected peer.
+* ``ERR`` — a JSON diagnosis of why the receiver rejected a frame.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ReplicationProtocolError
+
+MAGIC = b"RPLC"
+VERSION = 1
+HEADER = struct.Struct("<4sBBI")
+
+#: Upper bound on one frame's payload; a generation (delta or full) of
+#: any workload this VM runs fits far below this.
+MAX_FRAME = 256 * 1024 * 1024
+
+OP_HELLO = 0x01
+OP_GEN = 0x02
+OP_ACK = 0x03
+OP_PING = 0x04
+OP_PONG = 0x05
+OP_OK = 0x80
+OP_ERR = 0x81
+
+OP_NAMES = {
+    OP_HELLO: "HELLO",
+    OP_GEN: "GEN",
+    OP_ACK: "ACK",
+    OP_PING: "PING",
+    OP_PONG: "PONG",
+    OP_OK: "OK",
+    OP_ERR: "ERR",
+}
+
+_GEN_HEAD = struct.Struct("<I")  # length of the JSON meta block
+
+
+@dataclass(frozen=True)
+class GenRecord:
+    """One committed checkpoint generation, ready to ship.
+
+    ``data`` is the committed file byte-for-byte; ``stdout`` is the
+    cumulative program output at the safe point the generation was
+    taken (the file itself carries an empty output buffer — the
+    flush-before-checkpoint trick the HA supervisor already uses).
+    """
+
+    seq: int
+    kind: str  # "full" | "delta"
+    body_sha256: str  # what the *next* delta will bind to
+    parent_sha256: str  # "" for a full
+    chain_depth: int
+    format_version: Optional[int]
+    instructions: int
+    stdout: bytes = field(repr=False)
+    data: bytes = field(repr=False)
+
+    @property
+    def data_sha256(self) -> str:
+        return hashlib.sha256(self.data).hexdigest()
+
+
+def encode_frame(op: int, payload: bytes = b"") -> bytes:
+    if len(payload) > MAX_FRAME:
+        raise ReplicationProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds MAX_FRAME"
+        )
+    return HEADER.pack(MAGIC, VERSION, op, len(payload)) + payload
+
+
+def send_frame(sock, op: int, payload: bytes = b"") -> None:
+    sock.sendall(encode_frame(op, payload))
+
+
+def _recv_exact(sock, n: int, allow_eof: bool = False) -> Optional[bytes]:
+    buf = bytearray()
+    while len(buf) < n:
+        try:
+            part = sock.recv(n - len(buf))
+        except ConnectionResetError:
+            part = b""
+        if not part:
+            if allow_eof and not buf:
+                return None
+            raise ReplicationProtocolError(
+                f"connection closed mid-frame ({len(buf)}/{n} bytes)"
+            )
+        buf += part
+    return bytes(buf)
+
+
+def recv_frame(sock, allow_eof: bool = False) -> Optional[tuple[int, bytes]]:
+    """Read one frame; ``None`` on clean EOF (when ``allow_eof``).
+
+    A socket timeout propagates as :class:`socket.timeout` — the
+    failure detectors are built on exactly that signal.
+    """
+    head = _recv_exact(sock, HEADER.size, allow_eof=allow_eof)
+    if head is None:
+        return None
+    magic, version, op, length = HEADER.unpack(head)
+    if magic != MAGIC:
+        raise ReplicationProtocolError(f"bad frame magic {magic!r}")
+    if version != VERSION:
+        raise ReplicationProtocolError(
+            f"unsupported replication protocol version {version}"
+        )
+    if length > MAX_FRAME:
+        raise ReplicationProtocolError(
+            f"frame length {length} exceeds MAX_FRAME"
+        )
+    payload = _recv_exact(sock, length) if length else b""
+    return op, payload
+
+
+def encode_json(obj) -> bytes:
+    return json.dumps(obj, sort_keys=True).encode()
+
+
+def decode_json(payload: bytes):
+    try:
+        return json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as e:
+        raise ReplicationProtocolError(f"malformed JSON payload: {e}") from e
+
+
+def encode_gen(rec: GenRecord) -> bytes:
+    """GEN payload: u32 meta length, JSON meta, file bytes, stdout bytes."""
+    meta = encode_json(
+        {
+            "seq": rec.seq,
+            "kind": rec.kind,
+            "body_sha256": rec.body_sha256,
+            "parent_sha256": rec.parent_sha256,
+            "chain_depth": rec.chain_depth,
+            "format_version": rec.format_version,
+            "instructions": rec.instructions,
+            "data_len": len(rec.data),
+            "data_sha256": rec.data_sha256,
+            "stdout_len": len(rec.stdout),
+        }
+    )
+    return _GEN_HEAD.pack(len(meta)) + meta + rec.data + rec.stdout
+
+
+def decode_gen(payload: bytes) -> GenRecord:
+    """Parse and *verify* a GEN payload (lengths and file digest)."""
+    if len(payload) < _GEN_HEAD.size:
+        raise ReplicationProtocolError("GEN payload shorter than its header")
+    (meta_len,) = _GEN_HEAD.unpack_from(payload)
+    body = payload[_GEN_HEAD.size:]
+    if meta_len > len(body):
+        raise ReplicationProtocolError("GEN meta length overruns payload")
+    meta = decode_json(body[:meta_len])
+    rest = body[meta_len:]
+    try:
+        seq = int(meta["seq"])
+        data_len = int(meta["data_len"])
+        stdout_len = int(meta["stdout_len"])
+        kind = str(meta["kind"])
+    except (KeyError, TypeError, ValueError) as e:
+        raise ReplicationProtocolError(f"GEN meta incomplete: {e}") from e
+    if data_len + stdout_len != len(rest):
+        raise ReplicationProtocolError(
+            f"GEN sizes lie: meta claims {data_len}+{stdout_len}, "
+            f"frame carries {len(rest)}"
+        )
+    data, stdout = rest[:data_len], rest[data_len:]
+    digest = hashlib.sha256(data).hexdigest()
+    if digest != meta.get("data_sha256"):
+        raise ReplicationProtocolError(
+            f"GEN seq {seq}: file digest mismatch (wire corruption?)"
+        )
+    fmt = meta.get("format_version")
+    return GenRecord(
+        seq=seq,
+        kind=kind,
+        body_sha256=str(meta.get("body_sha256", "")),
+        parent_sha256=str(meta.get("parent_sha256", "")),
+        chain_depth=int(meta.get("chain_depth", 0)),
+        format_version=int(fmt) if fmt is not None else None,
+        instructions=int(meta.get("instructions", 0)),
+        stdout=stdout,
+        data=data,
+    )
+
+
+def encode_ack(seq: int, applied: int) -> bytes:
+    return encode_json({"seq": seq, "applied": applied})
+
+
+def decode_ack(payload: bytes) -> tuple[int, int]:
+    doc = decode_json(payload)
+    try:
+        return int(doc["seq"]), int(doc["applied"])
+    except (KeyError, TypeError, ValueError) as e:
+        raise ReplicationProtocolError(f"malformed ACK: {e}") from e

@@ -142,8 +142,25 @@ class FleetNodeClient(StoreClient):
             return []
         if self.speaks_rstp2:
             results: list[tuple[int, bytes]] = []
-            for group in _batched(items, W.MAX_BATCH_OPS):
-                resp = self._call(P.OP_BATCH, W.encode_ops(group))
+            groups = list(_batched(items, W.MAX_BATCH_OPS))
+            for gi, group in enumerate(groups):
+                try:
+                    resp = self._call(P.OP_BATCH, W.encode_ops(group))
+                except StoreConnectionError:
+                    raise
+                except StoreError:
+                    if self.negotiated == P.RSTP2:
+                        raise
+                    # The peer died mid-BATCH and the reconnect landed on
+                    # a revision-1 daemon (a rolled-back or replaced
+                    # node): the retried BATCH opcode drew its typed
+                    # "unknown opcode" error.  Degrade this group and
+                    # every remaining one to sequential v1 calls — the
+                    # sub-ops are idempotent, so replaying the whole
+                    # group is safe even if the dead peer half-applied it.
+                    for g in groups[gi:]:
+                        results.extend(self._sequential_batch(g))
+                    return results
                 sub = W.decode_ops(resp)
                 if len(sub) != len(group):
                     raise StoreProtocolError("BATCH answer count mismatch")
@@ -151,7 +168,13 @@ class FleetNodeClient(StoreClient):
                 FLEET.batched_ops += len(group)
                 results.extend(sub)
             return results
-        results = []
+        return self._sequential_batch(items)
+
+    def _sequential_batch(
+        self, items: list[tuple[int, bytes]]
+    ) -> list[tuple[int, bytes]]:
+        """The v1 degradation: one round trip per sub-operation."""
+        results: list[tuple[int, bytes]] = []
         for op, payload in items:
             try:
                 results.append((P.OP_OK, self._call(op, payload)))

@@ -21,6 +21,7 @@ lost to each fault, and per-restart latencies.
 from __future__ import annotations
 
 import base64
+import contextlib
 import os
 import random
 import tempfile
@@ -40,6 +41,93 @@ from repro.metrics import INTEGRITY, PhaseTimer
 from repro.store.chunkstore import Manifest, PutStats
 from repro.store.client import StoreClient
 from repro.vm import VMConfig, VirtualMachine
+
+
+def restart_candidates(
+    current: Platform, require_hetero: bool = True
+) -> list[str]:
+    """Platforms a takeover may land on — a different machine, and (by
+    default) different endianness *and* word size, so every failover
+    exercises the full heterogeneous conversion path.  Shared by the
+    supervisor's crash-restart loop and the live-replication driver's
+    standby placement."""
+    names = []
+    for name in sorted(PLATFORMS):
+        p = PLATFORMS[name]
+        if p.name == current.name:
+            continue
+        if require_hetero and (
+            p.arch.endianness is current.arch.endianness
+            or p.arch.word_bytes == current.arch.word_bytes
+        ):
+            continue
+        names.append(name)
+    if not names:  # no fully-heterogeneous peer: any other machine
+        names = [n for n in sorted(PLATFORMS) if n != current.name]
+    return names
+
+
+def find_generation_by_sha(
+    client: StoreClient, vm_id: str, body_sha: str, below: int
+) -> Optional[int]:
+    """The newest store generation under ``below`` whose meta records the
+    given body SHA-256, or None if no upload carries it."""
+    if not body_sha:
+        return None
+    listing = client.ls()["vms"].get(vm_id, [])
+    for gen in sorted(
+        (g["generation"] for g in listing if g["generation"] < below),
+        reverse=True,
+    ):
+        meta = client.get_manifest(vm_id, gen).meta
+        if meta.get("body_sha256") == body_sha:
+            return gen
+    return None
+
+
+def fetch_chain(
+    client: StoreClient,
+    vm_id: str,
+    ckpt_path: str,
+    generation: Optional[int] = None,
+    timer: Optional[PhaseTimer] = None,
+) -> Manifest:
+    """Download one head generation and, when it is a delta, the parents
+    it binds to — laid out at ``path.1``, ``path.2``, ... the way local
+    rotation would, so the chain reader finds them.  This is the
+    cold-restore download path that warm standby replication exists to
+    beat."""
+    phase = (
+        timer.phase("restart_download")
+        if timer is not None
+        else contextlib.nullcontext()
+    )
+    with phase:
+        manifest = client.get_checkpoint_file(
+            vm_id, ckpt_path, generation=generation
+        )
+        # Stale numbered generations from a previous restart would be
+        # mistaken for chain parents; clear them first.
+        i = 1
+        while os.path.exists(f"{ckpt_path}.{i}"):
+            os.unlink(f"{ckpt_path}.{i}")
+            i += 1
+        m = manifest
+        depth = 0
+        while m.meta.get("kind") == "delta":
+            parent_gen = find_generation_by_sha(
+                client, vm_id, m.meta.get("parent_sha256", ""),
+                below=m.generation,
+            )
+            if parent_gen is None:
+                # Unresolvable parent: leave the chain truncated; the
+                # restore raises and the generation-walk falls back.
+                break
+            depth += 1
+            m = client.get_checkpoint_file(
+                vm_id, f"{ckpt_path}.{depth}", generation=parent_gen
+            )
+    return manifest
 
 
 @dataclass
@@ -141,23 +229,7 @@ class HASupervisor:
         return cfg
 
     def _restart_candidates(self, current: Platform) -> list[str]:
-        """Platforms a restart may land on — different machine, and (by
-        default) different endianness *and* word size, so every restart
-        exercises the full heterogeneous conversion path."""
-        names = []
-        for name in sorted(PLATFORMS):
-            p = PLATFORMS[name]
-            if p.name == current.name:
-                continue
-            if self.require_hetero and (
-                p.arch.endianness is current.arch.endianness
-                or p.arch.word_bytes == current.arch.word_bytes
-            ):
-                continue
-            names.append(name)
-        if not names:  # no fully-heterogeneous peer: any other machine
-            names = [n for n in sorted(PLATFORMS) if n != current.name]
-        return names
+        return restart_candidates(current, self.require_hetero)
 
     def _next_fault(self, report: HAReport) -> Optional[int]:
         if report.faults_injected >= self.max_faults:
@@ -327,19 +399,7 @@ class HASupervisor:
     def _find_generation_by_sha(
         self, body_sha: str, below: int
     ) -> Optional[int]:
-        """The newest generation under ``below`` whose meta records the
-        given body SHA-256, or None if no upload carries it."""
-        if not body_sha:
-            return None
-        listing = self.client.ls()["vms"].get(self.vm_id, [])
-        for gen in sorted(
-            (g["generation"] for g in listing if g["generation"] < below),
-            reverse=True,
-        ):
-            meta = self.client.get_manifest(self.vm_id, gen).meta
-            if meta.get("body_sha256") == body_sha:
-                return gen
-        return None
+        return find_generation_by_sha(self.client, self.vm_id, body_sha, below)
 
     def _fetch_chain(
         self,
@@ -347,34 +407,10 @@ class HASupervisor:
         ckpt_path: str,
         generation: Optional[int] = None,
     ) -> Manifest:
-        """Download one head generation and, when it is a delta, the
-        parents it binds to — laid out at ``path.1``, ``path.2``, ... the
-        way local rotation would, so the chain reader finds them."""
-        with timer.phase("restart_download"):
-            manifest = self.client.get_checkpoint_file(
-                self.vm_id, ckpt_path, generation=generation
-            )
-            # Stale numbered generations from a previous restart would
-            # be mistaken for chain parents; clear them first.
-            i = 1
-            while os.path.exists(f"{ckpt_path}.{i}"):
-                os.unlink(f"{ckpt_path}.{i}")
-                i += 1
-            m = manifest
-            depth = 0
-            while m.meta.get("kind") == "delta":
-                parent_gen = self._find_generation_by_sha(
-                    m.meta.get("parent_sha256", ""), below=m.generation
-                )
-                if parent_gen is None:
-                    # Unresolvable parent: leave the chain truncated; the
-                    # restore raises and the generation-walk falls back.
-                    break
-                depth += 1
-                m = self.client.get_checkpoint_file(
-                    self.vm_id, f"{ckpt_path}.{depth}", generation=parent_gen
-                )
-        return manifest
+        return fetch_chain(
+            self.client, self.vm_id, ckpt_path,
+            generation=generation, timer=timer,
+        )
 
     def _restart(
         self,

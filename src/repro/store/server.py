@@ -37,6 +37,7 @@ import socketserver
 import threading
 import time
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import StoreError, StoreProtocolError
 from repro.store import protocol as P
@@ -51,6 +52,11 @@ class FollowerState:
     port: int
     alive: bool = True
     consecutive_failures: int = 0
+    #: ``time.monotonic()`` of the last successful ping — monotonic on
+    #: purpose: liveness must not move when NTP steps the wall clock
+    #: (a backwards step would otherwise "age" a healthy follower, a
+    #: forwards step would make a dead one look freshly seen).  0.0
+    #: means never.
     last_ok: float = 0.0
     last_error: str = ""
     manifests_replicated: int = 0
@@ -64,12 +70,23 @@ class FollowerState:
     def addr(self) -> str:
         return f"{self.host}:{self.port}"
 
+    def seen_ago(self) -> Optional[float]:
+        """Seconds since the last successful ping (None if never).
+
+        Computed against the monotonic clock, so a wall-clock step
+        (NTP, manual ``date``) cannot make a live follower look stale
+        or a dead one look fresh.
+        """
+        if self.last_ok == 0.0:
+            return None
+        return max(0.0, time.monotonic() - self.last_ok)
+
     def describe(self) -> dict:
         return {
             "addr": self.addr,
             "alive": self.alive,
             "consecutive_failures": self.consecutive_failures,
-            "last_ok": self.last_ok,
+            "last_ok_age_seconds": self.seen_ago(),
             "last_error": self.last_error,
             "manifests_replicated": self.manifests_replicated,
             "chunks_replicated": self.chunks_replicated,
@@ -466,7 +483,7 @@ class StoreServer(StoreOpHandlers):
                         continue
                 follower.alive = True
                 follower.consecutive_failures = 0
-                follower.last_ok = time.time()
+                follower.last_ok = time.monotonic()
                 follower.last_error = ""
             except StoreError as e:
                 self._mark_failure(follower, e)

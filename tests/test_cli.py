@@ -363,6 +363,39 @@ class TestRestartFallbackCLI:
         assert "integrity_counters" in doc
         assert doc["sections"]
 
+    def test_info_json_surfaces_fallback_reason(self, prog_path, tmp_path,
+                                                capsys):
+        """After a degraded restore, ``info --json`` must say *why* the
+        head generation was skipped — which file won, which failed, and
+        with what error — so the rot is diagnosable after the fact."""
+        import json as json_mod
+
+        from repro.metrics import INTEGRITY
+
+        ck = str(tmp_path / "why.hckp")
+        assert main(["run", prog_path, "--checkpoint", ck,
+                     "--mode", "blocking", "--retain", "1"]) == 0
+        assert main(["run", prog_path, "--checkpoint", ck,
+                     "--mode", "blocking", "--retain", "1"]) == 0
+        capsys.readouterr()
+        data = bytearray(open(ck, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        open(ck, "wb").write(bytes(data))
+        INTEGRITY.reset()
+        assert main(["restart", prog_path, ck]) == 0
+        capsys.readouterr()
+        assert main(["info", ck + ".1", "--json"]) == 0
+        doc = json_mod.loads(capsys.readouterr().out)
+        fb = doc["integrity_counters"]["last_fallback"]
+        assert fb["requested"] == ck
+        assert fb["restored"] == ck + ".1"
+        assert fb["generations_skipped"] == 1
+        (failure,) = fb["failures"]
+        assert failure["path"] == ck
+        assert failure["error_type"] and failure["error"]
+        assert doc["integrity_counters"]["fallback_restores"] >= 1
+        assert "replication_counters" in doc
+
 
 INCREMENTAL_PROGRAM = """
 let arr = Array.make 16 0;;

@@ -200,3 +200,171 @@ class TestRstp2Ops:
         generic = P.decode_json(W.error_payload(ValueError("boom")))
         assert generic["error"] == "StoreError"
         assert "boom" in generic["message"]
+
+
+# ---------------------------------------------------------------------------
+# Mid-conversation downgrade: the peer changes revision under the client
+# ---------------------------------------------------------------------------
+
+import socket
+import threading
+
+
+class _ForwardingPeer:
+    """Base: a listener whose later connections proxy to a v1 daemon."""
+
+    def __init__(self, v1_addr: tuple[str, int]) -> None:
+        self.v1_addr = v1_addr
+        self.connections = 0
+        self._listen = socket.socket()
+        self._listen.bind(("127.0.0.1", 0))
+        self._listen.listen(8)
+        self.address = self._listen.getsockname()
+        self._stop = threading.Event()
+        threading.Thread(target=self._serve, daemon=True).start()
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listen.accept()
+            except OSError:
+                return
+            self.connections += 1
+            handler = (
+                self._first if self.connections == 1 else self._forward
+            )
+            threading.Thread(
+                target=handler, args=(conn,), daemon=True
+            ).start()
+
+    def _first(self, conn: socket.socket) -> None:  # overridden
+        conn.close()
+
+    def _forward(self, conn: socket.socket) -> None:
+        up = socket.create_connection(self.v1_addr)
+
+        def pump(src, dst):
+            try:
+                while True:
+                    data = src.recv(65536)
+                    if not data:
+                        break
+                    dst.sendall(data)
+            except OSError:
+                pass
+            finally:
+                for s in (src, dst):
+                    try:
+                        s.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+
+        threading.Thread(target=pump, args=(up, conn), daemon=True).start()
+        pump(conn, up)
+
+    def close(self) -> None:
+        self._stop.set()
+        self._listen.close()
+
+
+class MidHelloDeathPeer(_ForwardingPeer):
+    """Reads half the HELLO frame header, then drops the connection."""
+
+    def _first(self, conn: socket.socket) -> None:
+        try:
+            conn.recv(8)
+        finally:
+            conn.close()
+
+
+class MidBatchDeathPeer(_ForwardingPeer):
+    """Negotiates RSTP/2, answers PINGs, then dies mid-frame in its
+    first BATCH response — the node was replaced by a rolled-back
+    revision-1 build while the client's session was live."""
+
+    def _first(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                op, _payload = P.recv_frame(conn)
+                if op == P.OP_HELLO:
+                    P.send_frame(
+                        conn,
+                        P.OP_OK,
+                        P.encode_json(
+                            {"version": P.RSTP2, "node_id": "dying"}
+                        ),
+                        P.RSTP2,
+                    )
+                elif op == P.OP_PING:
+                    P.send_frame(conn, P.OP_OK, b"pong", P.RSTP2)
+                elif op == P.OP_BATCH:
+                    torn = P.encode_frame(P.OP_OK, b"x" * 64, P.RSTP2)
+                    conn.sendall(torn[: len(torn) // 2])
+                    return
+                else:
+                    return
+        except (OSError, StoreProtocolError):
+            pass
+        finally:
+            conn.close()
+
+
+class TestMidConversationDowngrade:
+    def test_peer_dies_mid_hello_client_lands_on_v1(self, v1_server):
+        """The very first negotiation is cut mid-HELLO; the retry
+        reaches a revision-1 daemon and the client settles on v1."""
+        peer = MidHelloDeathPeer(v1_server.address)
+        try:
+            with FleetNodeClient(
+                *peer.address, backoff=0.01, retries=4
+            ) as c:
+                assert not c.speaks_rstp2
+                assert c.negotiated == P.VERSION
+                assert c.retries_used >= 1
+                data = b"survived a mid-HELLO death"
+                assert c.put_chunks([data]) == 1
+                found, missing = c.get_many([chunk_key(data), "ee" * 32])
+                assert found == {chunk_key(data): data}
+                assert missing == ["ee" * 32]
+        finally:
+            peer.close()
+        assert peer.connections >= 2  # the kill, then the real session
+
+    def test_peer_dies_mid_batch_client_degrades_to_sequential(
+        self, v1_server
+    ):
+        """An RSTP/2 session loses its peer mid-BATCH; the reconnect
+        lands on a v1 daemon, and the in-flight batch_call completes
+        sequentially with per-op results in order."""
+        present = b"present before the death"
+        with StoreClient(*v1_server.address, backoff=0.01) as seeder:
+            seeder.put_chunk(present)
+        peer = MidBatchDeathPeer(v1_server.address)
+        try:
+            with FleetNodeClient(
+                *peer.address, backoff=0.01, retries=4
+            ) as c:
+                assert c.speaks_rstp2  # negotiated with the dying peer
+                fresh = b"lands through the v1 fallback"
+                results = c.batch_call([
+                    (P.OP_HAS_CHUNK, bytes.fromhex(chunk_key(present))),
+                    (
+                        P.OP_PUT_CHUNK,
+                        P.encode_chunk(
+                            bytes.fromhex(chunk_key(fresh)), fresh
+                        ),
+                    ),
+                    (P.OP_GET_CHUNK, bytes.fromhex("ab" * 32)),
+                ])
+                # The downgrade happened mid-call and stuck.
+                assert c.negotiated == P.VERSION
+                assert not c.speaks_rstp2
+                assert results[0] == (P.OP_OK, b"\x01")
+                assert results[1][0] == P.OP_OK
+                assert results[2][0] == P.OP_ERR
+                err = P.decode_json(results[2][1])
+                assert err["error"] == "StoreNotFoundError"
+                # The put really landed on the v1 daemon.
+                assert c.has_chunk(chunk_key(fresh))
+        finally:
+            peer.close()

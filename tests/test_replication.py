@@ -1,0 +1,508 @@
+"""Replication building blocks: wire codec, output gate, epoch lease,
+commit tailer, flaky transport, and the acked channel end to end."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro import VMConfig, VirtualMachine, compile_source, get_platform
+from repro.errors import (
+    LeaseLostError,
+    ReplicationError,
+    ReplicationProtocolError,
+)
+from repro.faults.injectors import CrashHooks, FlakySocket, SimulatedCrashError
+from repro.metrics import REPLICATION
+from repro.replication import (
+    CommitTailer,
+    EpochLease,
+    GenRecord,
+    OutputGate,
+    ReplicationSender,
+    StandbyServer,
+)
+from repro.replication import wire
+from repro.store import ChunkStore, StoreClient, StoreServer
+
+
+@pytest.fixture
+def store(tmp_path):
+    server = StoreServer(ChunkStore(str(tmp_path / "store")))
+    host, port = server.start()
+    client = StoreClient(host, port, backoff=0.01)
+    yield client
+    client.close()
+    server.stop()
+
+
+def _rec(seq=1, kind="full", data=b"payload", stdout=b"out"):
+    return GenRecord(
+        seq=seq,
+        kind=kind,
+        body_sha256="ab" * 32,
+        parent_sha256="cd" * 32 if kind == "delta" else "",
+        chain_depth=1 if kind == "delta" else 0,
+        format_version=4,
+        instructions=1234,
+        stdout=stdout,
+        data=data,
+    )
+
+
+class TestWireCodec:
+    def test_frame_roundtrip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            wire.send_frame(a, wire.OP_PING, b"x" * 100)
+            assert wire.recv_frame(b) == (wire.OP_PING, b"x" * 100)
+        finally:
+            a.close()
+            b.close()
+
+    def test_bad_magic_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            frame = bytearray(wire.encode_frame(wire.OP_PING))
+            frame[:4] = b"NOPE"
+            a.sendall(frame)
+            with pytest.raises(ReplicationProtocolError, match="magic"):
+                wire.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_unknown_version_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(
+                wire.HEADER.pack(wire.MAGIC, wire.VERSION + 1, wire.OP_PING, 0)
+            )
+            with pytest.raises(ReplicationProtocolError, match="version"):
+                wire.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_mid_frame_is_typed(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(wire.encode_frame(wire.OP_GEN, b"full-payload")[:6])
+            a.close()
+            with pytest.raises(ReplicationProtocolError, match="mid-frame"):
+                wire.recv_frame(b, allow_eof=True)
+        finally:
+            b.close()
+
+    def test_clean_eof_returns_none_when_allowed(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert wire.recv_frame(b, allow_eof=True) is None
+        finally:
+            b.close()
+
+    def test_gen_roundtrip(self):
+        rec = _rec(seq=7, kind="delta", data=b"\x00\x01" * 500)
+        back = wire.decode_gen(wire.encode_gen(rec))
+        assert back == rec
+
+    def test_gen_corrupted_data_rejected(self):
+        payload = bytearray(wire.encode_gen(_rec(data=b"A" * 64)))
+        payload[-40] ^= 0xFF  # flip a bit inside the file bytes
+        with pytest.raises(ReplicationProtocolError, match="digest"):
+            wire.decode_gen(bytes(payload))
+
+    def test_gen_lying_sizes_rejected(self):
+        payload = wire.encode_gen(_rec())
+        with pytest.raises(ReplicationProtocolError, match="sizes lie"):
+            wire.decode_gen(payload + b"trailing")
+
+    def test_ack_roundtrip(self):
+        assert wire.decode_ack(wire.encode_ack(9, 8)) == (9, 8)
+
+
+class TestOutputGate:
+    def test_holds_until_release(self):
+        gate = OutputGate()
+        gate.feed(b"hello world")
+        assert gate.take() == b""  # nothing released yet
+        assert gate.held_bytes == 11
+        gate.release_to(5)
+        assert gate.take() == b"hello"
+        assert gate.take() == b""  # no double delivery
+        gate.release_all()
+        assert gate.take() == b" world"
+        assert gate.held_bytes == 0
+
+    def test_feed_must_be_cumulative(self):
+        gate = OutputGate()
+        gate.feed(b"abcdef")
+        with pytest.raises(ReplicationError, match="backwards"):
+            gate.feed(b"abc")
+        with pytest.raises(ReplicationError, match="backwards"):
+            gate.feed(b"abcdXf")
+
+    def test_release_beyond_produced_rejected(self):
+        gate = OutputGate()
+        gate.feed(b"ab")
+        with pytest.raises(ReplicationError, match="produced"):
+            gate.release_to(3)
+
+    def test_resume_skips_the_delivered_overlap(self):
+        # Old primary delivered 5 bytes; the restored generation covers 8.
+        gate = OutputGate.resume(prefill=b"12345678", delivered=5)
+        assert gate.take() == b"678"  # released minus already-delivered
+        gate.feed(b"12345678XY")
+        gate.release_all()
+        assert gate.take() == b"XY"
+
+    def test_resume_rejects_impossible_delivered_offset(self):
+        with pytest.raises(ReplicationError, match="output rule"):
+            OutputGate.resume(prefill=b"123", delivered=4)
+
+
+class TestEpochLease:
+    def test_epochs_are_sequential_and_audited(self, store):
+        lease = EpochLease(store, "wl", "node-a")
+        assert lease.read().epoch == 0
+        assert lease.claim(expected=0) == 1
+        assert lease.claim(expected=1) == 2
+        state = lease.read()
+        assert (state.epoch, state.holder) == (2, "node-a")
+        assert [(c.epoch, c.holder, c.valid) for c in lease.history()] == [
+            (1, "node-a", True), (2, "node-a", True),
+        ]
+
+    def test_losing_claim_raises_and_names_the_winner(self, store):
+        a = EpochLease(store, "wl", "node-a")
+        b = EpochLease(store, "wl", "node-b")
+        assert a.claim(expected=0) == 1
+        # b observed epoch 0 (stale) and races: the store already moved.
+        with pytest.raises(LeaseLostError) as e:
+            b.claim(expected=0)
+        assert e.value.holder == "node-a"
+        assert e.value.epoch == 1
+        # The losing claim is recorded but invalid: it holds nothing
+        # and must never fence the rightful leader.
+        claims = a.history()
+        assert [c.valid for c in claims] == [True, False]
+        assert a.check(1).holder == "node-a"
+
+    def test_fencing_probe(self, store):
+        a = EpochLease(store, "wl", "node-a")
+        b = EpochLease(store, "wl", "node-b")
+        my = a.claim(expected=0)
+        assert a.check(my).epoch == my  # still the newest: fine
+        b.claim(expected=my)  # the takeover
+        with pytest.raises(LeaseLostError, match="fenced"):
+            a.check(my)
+        # The winner's own probe passes.
+        assert b.check(my + 1).holder == "node-b"
+
+    def test_identical_claims_never_collapse(self, store):
+        """The store dedups identical payloads; lease claims must not be
+        deduped or two promotions could share one epoch."""
+        lease = EpochLease(store, "wl", "node-a")
+        assert lease.claim(expected=0) == 1
+        assert lease.claim(expected=1) == 2
+        assert lease.claim(expected=2) == 3
+
+
+WORKLOAD = """
+let n = ref 0;;
+while !n < 9000 do
+  n := !n + 1;
+  (if !n mod 3000 = 0 then (print_string "tick "; print_int !n))
+done;;
+print_string " end"
+"""
+
+
+@pytest.fixture(scope="module")
+def code():
+    return compile_source(WORKLOAD)
+
+
+def _primary(code, path):
+    cfg = VMConfig(
+        chkpt_state="enable",
+        chkpt_filename=path,
+        chkpt_mode="blocking",
+        chkpt_incremental=True,
+        chkpt_retain=8,
+    )
+    return VirtualMachine(get_platform("rodrigo"), code, cfg)
+
+
+class TestCommitTailer:
+    def test_capture_packages_the_committed_file(self, code, tmp_path):
+        path = str(tmp_path / "p.hckp")
+        vm = _primary(code, path)
+        tailer = CommitTailer(vm, path)
+        vm.run(max_instructions=5_000)
+        rec1 = tailer.capture()
+        assert rec1.seq == 1
+        assert rec1.kind == "full"
+        with open(path, "rb") as f:
+            assert rec1.data == f.read()
+        vm.run(max_instructions=5_000)
+        rec2 = tailer.capture()
+        assert rec2.seq == 2
+        assert rec2.kind == "delta"
+        assert rec2.parent_sha256 == rec1.body_sha256
+        assert rec2.stdout.startswith(rec1.stdout)
+        assert len(rec2.data) < len(rec1.data)  # deltas ship dirty runs
+
+    def test_crash_mid_commit_ships_nothing(self, code, tmp_path):
+        path = str(tmp_path / "p.hckp")
+        vm = _primary(code, path)
+        tailer = CommitTailer(vm, path)
+        vm.run(max_instructions=5_000)
+        with pytest.raises(SimulatedCrashError):
+            tailer.capture(inner_hooks=CrashHooks("journal_written"))
+        assert tailer.seq == 0  # the torn generation never became a record
+        assert vm.config.commit_hooks is None  # hooks restored
+
+
+class TestFlakySocket:
+    def _pair(self, **kwargs):
+        a, b = socket.socketpair()
+        return FlakySocket(a, **kwargs), a, b
+
+    def test_seeded_determinism(self):
+        def run(seed):
+            fs, a, b = self._pair(seed=seed, drop=0.3, duplicate=0.2)
+            for i in range(20):
+                fs.sendall(bytes([i]))
+            a.close()
+            b.close()
+            return list(fs.events)
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_drop_loses_the_frame(self):
+        fs, a, b = self._pair(seed=0, drop=1.0)
+        try:
+            fs.sendall(b"gone")
+            b.settimeout(0.05)
+            with pytest.raises(TimeoutError):
+                b.recv(16)
+            assert fs.events == ["drop"]
+        finally:
+            a.close()
+            b.close()
+
+    def test_duplicate_sends_twice(self):
+        fs, a, b = self._pair(seed=0, duplicate=1.0)
+        try:
+            fs.sendall(b"xy")
+            assert b.recv(16) == b"xyxy"
+        finally:
+            a.close()
+            b.close()
+
+    def test_reorder_swaps_adjacent_frames(self):
+        fs, a, b = self._pair(seed=0, reorder=0.5)
+        try:
+            sent = []
+            while "hold" not in fs.events:
+                fs.sendall(b"A")
+                sent.append(b"A")
+            # One frame is now held back; a guaranteed pass-through send
+            # must overtake it and flush it afterwards.
+            fs.reorder = 0.0
+            fs.sendall(b"B")
+            data = b""
+            b.settimeout(0.5)
+            while len(data) < len(sent) + 1:
+                data += b.recv(64)
+            assert data.endswith(b"BA")  # B overtook the held A
+        finally:
+            a.close()
+            b.close()
+
+    def test_partition_blackholes_and_starves(self):
+        fs, a, b = self._pair(seed=0)
+        try:
+            fs.partition(True)
+            fs.sendall(b"lost")
+            fs.settimeout(0.05)
+            with pytest.raises((socket.timeout, TimeoutError)):
+                fs.recv(16)
+            assert fs.events == ["blackhole"]
+            fs.partition(False)
+            fs.sendall(b"back")
+            assert b.recv(16) == b"back"
+        finally:
+            a.close()
+            b.close()
+
+    def test_probabilities_validated(self):
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(ValueError, match="drop"):
+                FlakySocket(a, drop=1.5)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestChannelEndToEnd:
+    """Sender and standby over a real (sometimes flaky) TCP link."""
+
+    def _standby(self, code, tmp_path, **kwargs):
+        sb = StandbyServer(
+            code,
+            "ultra64",
+            node_id="sb",
+            chain_path=str(tmp_path / "standby.hckp"),
+            heartbeat_timeout=0.2,
+            **kwargs,
+        )
+        host, port = sb.start()
+        return sb, host, port
+
+    def test_ship_applies_and_acks(self, code, tmp_path):
+        sb, host, port = self._standby(code, tmp_path)
+        path = str(tmp_path / "p.hckp")
+        vm = _primary(code, path)
+        tailer = CommitTailer(vm, path)
+        sender = ReplicationSender.connect(host, port, node_id="pr")
+        try:
+            info = sender.hello(code.digest().hex(), 1, "rodrigo")
+            assert info["applied"] == 0
+            for _ in range(3):
+                vm.run(max_instructions=3_000)
+                rec = tailer.capture()
+                assert sender.ship(rec) == rec.seq
+            assert sb.applied_seq == 3
+            assert sb.resident_vm is not None
+            # The resident VM lives on the standby's own platform.
+            assert sb.resident_vm.platform.name == "ultra64"
+            assert sb.prefill == tailer.vm.channels.stdout_bytes()
+        finally:
+            sender.close()
+            sb.stop()
+
+    def test_hello_rejects_wrong_program(self, code, tmp_path):
+        sb, host, port = self._standby(code, tmp_path)
+        other = compile_source("print_string \"imposter\"")
+        sender = ReplicationSender.connect(host, port, node_id="pr")
+        try:
+            with pytest.raises(ReplicationError, match="digest"):
+                sender.hello(other.digest().hex(), 1, "rodrigo")
+        finally:
+            sender.close()
+            sb.stop()
+
+    def test_duplicated_frames_are_dropped_once_applied(self, code, tmp_path):
+        """A flaky channel that duplicates every frame: the standby
+        dedups by sequence number and re-acks, the run converges."""
+        before = REPLICATION.as_dict()
+        sb, host, port = self._standby(code, tmp_path)
+        path = str(tmp_path / "p.hckp")
+        vm = _primary(code, path)
+        tailer = CommitTailer(vm, path)
+        sender = ReplicationSender.connect(
+            host, port, node_id="pr",
+            wrap=lambda s: FlakySocket(s, seed=3, duplicate=1.0),
+        )
+        try:
+            sender.hello(code.digest().hex(), 1, "rodrigo")
+            for _ in range(3):
+                vm.run(max_instructions=3_000)
+                sender.ship(tailer.capture())
+            # Barrier: the PING rides behind the last GEN's duplicate,
+            # so its PONG means the standby has drained (and counted)
+            # every duplicate already on the wire.
+            assert sender.ping()
+            assert sb.applied_seq == 3
+            delta = REPLICATION.delta_since(before)
+            assert delta.get("duplicates_dropped", 0) >= 3
+        finally:
+            sender.close()
+            sb.stop()
+
+    def test_dropped_frames_heal_by_retransmit(self, code, tmp_path):
+        before = REPLICATION.as_dict()
+        sb, host, port = self._standby(code, tmp_path)
+        path = str(tmp_path / "p.hckp")
+        vm = _primary(code, path)
+        tailer = CommitTailer(vm, path)
+        # Seeded drops on the primary->standby direction; the sender's
+        # ack timeout + retransmit budget must absorb them.
+        sender = ReplicationSender.connect(
+            host, port, node_id="pr",
+            wrap=lambda s: FlakySocket(s, seed=2, drop=0.3),
+            ack_timeout=0.3, max_retransmits=6,
+        )
+        try:
+            sender.hello(code.digest().hex(), 1, "rodrigo")
+            for _ in range(4):
+                vm.run(max_instructions=2_000)
+                sender.ship(tailer.capture())
+            assert sb.applied_seq == 4
+            delta = REPLICATION.delta_since(before)
+            assert delta.get("retransmits", 0) >= 1
+        finally:
+            sender.close()
+            sb.stop()
+
+    def test_eof_triggers_suspicion(self, code, tmp_path):
+        sb, host, port = self._standby(code, tmp_path)
+        path = str(tmp_path / "p.hckp")
+        vm = _primary(code, path)
+        tailer = CommitTailer(vm, path)
+        sender = ReplicationSender.connect(host, port, node_id="pr")
+        try:
+            sender.hello(code.digest().hex(), 1, "rodrigo")
+            vm.run(max_instructions=3_000)
+            sender.ship(tailer.capture())
+            sender.close()  # the primary's host dies
+            assert sb.await_suspect(timeout=5.0)
+            assert sb.suspicion_reason == "eof"
+        finally:
+            sb.stop()
+
+    def test_quiet_channel_triggers_timeout_suspicion(self, code, tmp_path):
+        sb, host, port = self._standby(
+            code, tmp_path, heartbeat_misses=2,
+        )
+        sb.heartbeat_timeout = 0.2
+        path = str(tmp_path / "p.hckp")
+        vm = _primary(code, path)
+        tailer = CommitTailer(vm, path)
+        flaky_holder = []
+
+        def wrap(s):
+            fs = FlakySocket(s, seed=0)
+            flaky_holder.append(fs)
+            return fs
+
+        sender = ReplicationSender.connect(
+            host, port, node_id="pr", wrap=wrap,
+            ack_timeout=0.1, max_retransmits=1,
+        )
+        try:
+            sender.hello(code.digest().hex(), 1, "rodrigo")
+            vm.run(max_instructions=3_000)
+            sender.ship(tailer.capture())
+            flaky_holder[0].partition(True)  # the cable is yanked
+            assert sb.await_suspect(timeout=5.0)
+            assert sb.suspicion_reason == "timeout"
+        finally:
+            sender.close()
+            sb.stop()
+
+    def test_promote_without_replication_refuses(self, code, tmp_path, store):
+        sb = StandbyServer(
+            code, "ultra64", node_id="sb",
+            chain_path=str(tmp_path / "s.hckp"),
+            lease=EpochLease(store, "wl", "sb"),
+        )
+        with pytest.raises(ReplicationError, match="cold-start"):
+            sb.promote()
