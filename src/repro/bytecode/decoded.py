@@ -38,6 +38,7 @@ __all__ = [
     "FusedGroup",
     "CountedLoopPlan",
     "LoopUpdate",
+    "StrideLoopPlan",
     "decode_image",
     "FUSION_PATTERNS",
     "FUSIBLE_INNER",
@@ -126,6 +127,47 @@ class CountedLoopPlan:
     updates: tuple[LoopUpdate, ...]    #: body statements, in order
 
 
+@dataclass(frozen=True)
+class StrideLoopPlan:
+    """A ``for`` loop over arrays the fast tier can batch with numpy.
+
+    The compiled ``for`` template keeps the counter in stack slot 0 and
+    the bound in slot 1::
+
+        head:  CHECK_SIGNALS
+               ACC 1; PUSH; ACC 1; LEINT|GEINT
+               BRANCHIFNOT exit
+               <body: straight-line array expression>
+               ACC 0; OFFSETINT step; ASSIGN 0
+        back:  BRANCH head
+
+    The body is captured by symbolic execution as one ``store``
+    expression tree built from these node shapes (plain tuples, so
+    structural equality is free)::
+
+        ("slot", n)          stack slot n at body entry (0 == counter)
+        ("const", k)         CONSTINT literal
+        ("global", g)        GETGLOBAL g
+        ("elem", arr, idx)   GETVECTITEM
+        ("bin", op, a, b)    MULINT / ADDINT / SUBINT
+        ("store", arr, idx, value)   the terminal SETVECTITEM
+
+    The kernel decides at bind time whether the store is a *reduction*
+    (``c.(j) <- c.(j) + term``, the matmul dot product) or a *stride
+    map/fill* (``dst.(i) <- expr``), and at run time whether a batch is
+    provably safe — anything surprising falls back to single-step
+    execution, whose semantics are exact.
+    """
+
+    head: int
+    exit: int
+    iter_count: int      #: canonical instructions per full iteration
+    cond_count: int      #: instructions of the final, failing pass
+    cmp_op: int          #: Op.LEINT (step > 0) or Op.GEINT (step < 0)
+    step: int            #: signed per-iteration counter increment
+    store: tuple         #: the ("store", arr, idx, value) tree
+
+
 class DecodedProgram:
     """The decoded stream plus fusion and loop plans for one image."""
 
@@ -206,9 +248,14 @@ FUSIBLE_INNER = frozenset(
 )
 
 #: Opcodes additionally allowed as the *last* member of a group (they
-#: choose the next pc themselves).
+#: choose the next pc themselves).  APPLY transfers control;
+#: GETVECTITEM/SETVECTITEM may raise a *catchable* bounds exception —
+#: legal only at the tail, where every earlier member has already
+#: committed, so the raise path observes canonical state.  None of the
+#: three may appear as an inner member.
 FUSIBLE_TAIL = FUSIBLE_INNER | {
     int(Op.BRANCH), int(Op.BRANCHIF), int(Op.BRANCHIFNOT),
+    int(Op.APPLY), int(Op.GETVECTITEM), int(Op.SETVECTITEM),
 }
 
 _CMPS = (Op.EQ, Op.NEQ, Op.LTINT, Op.LEINT, Op.GTINT, Op.GEINT)
@@ -223,9 +270,16 @@ FUSION_PATTERNS: list[tuple[int, ...]] = [
         [(Op.CONSTINT, Op.PUSH, Op.GETGLOBAL)]
         + [(Op.GETFIELD, c, b) for c in _CMPS
            for b in (Op.BRANCHIFNOT, Op.BRANCHIF)]
+        + [(Op.ACC, c, b) for c in _CMPS
+           for b in (Op.BRANCHIFNOT, Op.BRANCHIF)]
         + [(Op.ACC, Op.OFFSETINT, Op.ASSIGN)]
         + [(Op.ACC, Op.PUSH, Op.ACC)]
+        + [(Op.ACC, Op.GETFIELD, Op.PUSH)]
+        + [(Op.ACC, Op.ISINT, Op.BRANCHIF)]
+        + [(Op.ACC, Op.ISINT, Op.BRANCHIFNOT)]
         + [(Op.CONSTINT, Op.PUSH, Op.ACC)]
+        + [(Op.PUSH, Op.GETGLOBAL, Op.GETVECTITEM)]
+        + [(Op.PUSH, Op.OFFSETCLOSURE0, Op.APPLY)]
         # Pairs
         + [(c, b) for c in _CMPS for b in (Op.BRANCHIFNOT, Op.BRANCHIF)]
         + [(Op.ISINT, Op.BRANCHIF), (Op.ISINT, Op.BRANCHIFNOT)]
@@ -234,9 +288,14 @@ FUSION_PATTERNS: list[tuple[int, ...]] = [
             (Op.CONSTINT, Op.PUSH),
             (Op.ENVACC, Op.PUSH),
             (Op.GETGLOBAL, Op.GETFIELD),
+            (Op.GETGLOBAL, Op.GETVECTITEM),
+            (Op.GETGLOBAL, Op.APPLY),
             (Op.GETFIELD, Op.PUSH),
             (Op.GETFIELD, Op.ADDINT),
+            (Op.OFFSETCLOSURE0, Op.APPLY),
             (Op.PUSH, Op.GETGLOBAL),
+            (Op.PUSH, Op.OFFSETCLOSURE0),
+            (Op.PUSH, Op.CONSTINT),
             (Op.PUSH, Op.ACC),
             (Op.OFFSETINT, Op.ASSIGN),
         ]
@@ -493,6 +552,143 @@ def _match_counted_loop(
     )
 
 
+# ---------------------------------------------------------------------------
+# Stage 3b: array-stride loop recognition (numpy-batched kernels)
+# ---------------------------------------------------------------------------
+
+_STRIDE_BIN = {int(Op.MULINT), int(Op.ADDINT), int(Op.SUBINT)}
+_STRIDE_BODY_CAP = 64  # instructions; bounds the symbolic execution
+
+
+def _match_stride_loop(
+    entries: list[Optional[DecodedInstruction]],
+    back: DecodedInstruction,
+) -> Optional[StrideLoopPlan]:
+    """Match the stack-counter ``for``-loop template at a back-edge.
+
+    The body is executed *symbolically* over an abstract stack whose
+    slots name the live stack at body entry; it must be straight-line
+    (ACC/PUSH/CONSTINT/GETGLOBAL/GETVECTITEM/MULINT/ADDINT/SUBINT) and
+    end with exactly one SETVECTITEM followed by the canonical counter
+    bump.  Anything else — calls, branches, extra stores — rejects the
+    loop and leaves it to fusion and singles.
+    """
+    head = back.targets[0]
+    if not 0 <= head < len(entries):
+        return None
+    cur = _Cursor(entries, head)
+    if cur.take(Op.CHECK_SIGNALS) is None:
+        return None
+    # Condition: ACC 1 (bound); PUSH; ACC 1 (counter); CMP; BRANCHIFNOT
+    a1 = cur.take(Op.ACC)
+    if a1 is None or a1.raw[0] != 1:
+        return None
+    if cur.take(Op.PUSH) is None:
+        return None
+    a2 = cur.take(Op.ACC)
+    if a2 is None or a2.raw[0] != 1:
+        return None
+    if cur.take(Op.LEINT) is not None:
+        cmp_op = int(Op.LEINT)
+    elif cur.take(Op.GEINT) is not None:
+        cmp_op = int(Op.GEINT)
+    else:
+        return None
+    branchifnot = cur.take(Op.BRANCHIFNOT)
+    if branchifnot is None:
+        return None
+    exit_index = branchifnot.targets[0]
+    cond_count = 6
+    # Body: symbolic execution to one terminal store expression.
+    sym: list = []   # abstract stack, sym[0] on top
+    accu = None
+    store = None
+    steps = 0
+    while cur.i != back.index:
+        e = entries[cur.i] if 0 <= cur.i < len(entries) else None
+        if e is None:
+            return None
+        steps += 1
+        if steps > _STRIDE_BODY_CAP:
+            return None
+        op = e.op
+        if op == int(Op.ACC):
+            n = e.raw[0]
+            accu = sym[n] if n < len(sym) else ("slot", n - len(sym))
+        elif op == int(Op.PUSH):
+            if accu is None:
+                return None
+            sym.insert(0, accu)
+        elif op == int(Op.CONSTINT):
+            accu = ("const", e.signed(0))
+        elif op == int(Op.GETGLOBAL):
+            accu = ("global", e.raw[0])
+        elif op == int(Op.GETVECTITEM):
+            if not sym or accu is None:
+                return None
+            accu = ("elem", accu, sym.pop(0))
+        elif op in _STRIDE_BIN:
+            if not sym or accu is None:
+                return None
+            accu = ("bin", op, accu, sym.pop(0))
+        elif op == int(Op.SETVECTITEM):
+            if len(sym) < 2 or accu is None:
+                return None
+            idx = sym.pop(0)
+            value = sym.pop(0)
+            store = ("store", accu, idx, value)
+            cur.i = e.next
+            break
+        else:
+            return None
+        cur.i = e.next
+    if store is None or sym:
+        return None
+    # Counter bump: ACC 0; OFFSETINT step; ASSIGN 0; BRANCH head.
+    bump_acc = cur.take(Op.ACC)
+    if bump_acc is None or bump_acc.raw[0] != 0:
+        return None
+    off = cur.take(Op.OFFSETINT)
+    if off is None:
+        return None
+    step = off.signed(0)
+    asg = cur.take(Op.ASSIGN)
+    if asg is None or asg.raw[0] != 0:
+        return None
+    if cur.i != back.index or exit_index != back.next:
+        return None
+    if cmp_op == int(Op.LEINT) and step <= 0:
+        return None
+    if cmp_op == int(Op.GEINT) and step >= 0:
+        return None
+    iter_count = cond_count + steps + 4  # bump (3) + back-edge BRANCH
+    return StrideLoopPlan(
+        head=head,
+        exit=exit_index,
+        iter_count=iter_count,
+        cond_count=cond_count,
+        cmp_op=cmp_op,
+        step=step,
+        store=store,
+    )
+
+
+def plan_stride_loops(
+    entries: list[Optional[DecodedInstruction]],
+) -> list[StrideLoopPlan]:
+    """Find every batchable array-stride loop (one plan per head)."""
+    plans: dict[int, StrideLoopPlan] = {}
+    for e in entries:
+        if e is None or e.op != int(Op.BRANCH) or not e.targets:
+            continue
+        if e.targets[0] >= e.index:
+            continue  # not a back-edge
+        plan = _match_stride_loop(entries, e)
+        if plan is not None and plan.head not in plans:
+            plans[plan.head] = plan
+    return list(plans.values())
+
+
 def plan_counted_loops(
     entries: list[Optional[DecodedInstruction]],
 ) -> list[CountedLoopPlan]:
@@ -518,5 +714,10 @@ def decode_image(units: list[int]) -> DecodedProgram:
     """Decode a unit array into a stream with fusion and loop plans."""
     entries = _decode_entries(units)
     groups = plan_fusion(entries)
-    loops = plan_counted_loops(entries)
+    loops: list = plan_counted_loops(entries)
+    taken = {p.head for p in loops}
+    for plan in plan_stride_loops(entries):
+        if plan.head not in taken:
+            loops.append(plan)
+            taken.add(plan.head)
     return DecodedProgram(len(units), entries, groups, loops)

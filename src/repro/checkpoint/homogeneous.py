@@ -192,12 +192,14 @@ class HomogeneousCheckpointer:
                 stack.space = vm.mem.space
                 stack.arch = arch
                 stack._wb = arch.word_bytes
+                stack._wshift = arch.word_bytes.bit_length() - 1
                 stack._base = stack_area.base
                 stack.max_words = vm.platform.layout.thread_stride // arch.word_bytes
                 stack.label = stack_label
-                stack.area = stack_area
+                stack._bind_area(stack_area)
                 stack.sp = sp
                 stack.realloc_count = 0
+                stack.on_grow = None
                 t = VMThread(tid, stack, vm.mem.values.val_unit)
                 vm.sched.adopt(t)
             t.pc = pc

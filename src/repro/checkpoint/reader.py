@@ -28,6 +28,8 @@ Steps, mapped onto this implementation:
 from __future__ import annotations
 
 import os
+import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import BinaryIO, Optional
 
@@ -46,6 +48,7 @@ from repro.checkpoint.format import (
 )
 from repro.checkpoint.relocate import AddressMapper
 from repro.errors import (
+    CheckpointError,
     CheckpointIntegrityError,
     HeapExhausted,
     RestartError,
@@ -81,10 +84,26 @@ class RestartStats:
     #: failed, why, and (when the typed error knows) which section and
     #: format version were involved.  Empty on a clean head restore.
     fallback_failures: list = field(default_factory=list)
+    #: True when heap conversion was deferred to first touch
+    #: (``--lazy-restore``): ``total_seconds`` is then the blocking
+    #: time-to-first-output and the converted share of the heap keeps
+    #: accruing below as chunks fault in or the drainer runs.
+    lazy: bool = False
+    lazy_chunks_total: int = 0
+    lazy_chunks_converted: int = 0
+    #: Wall time spent inside conversion thunks so far (grows after
+    #: restart returns; see :class:`LazyRestoreState`).
+    lazy_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
+        """Blocking restore time (time-to-first-output under lazy)."""
         return self.phases.total
+
+    @property
+    def completion_seconds(self) -> float:
+        """Blocking time plus all lazy conversion work done so far."""
+        return self.phases.total + self.lazy_seconds
 
 
 #: Hard ceiling on delta-chain depth during reconstruction — far above
@@ -265,6 +284,10 @@ def _restart_vm(
     stats = RestartStats()
     timer = stats.phases
     vectorize = config.vectorize if config is not None else True
+    # Lazy first-touch restore rides the staged numpy arrays, so it
+    # requires the vectorized path; the scalar reference stays eager.
+    lazy = bool(config.lazy_restore) if config is not None else False
+    lazy = lazy and vectorize
     # Steps 1-4: read and validate (reconstructing through a v4 delta
     # chain when the head is incremental).
     with timer.phase("read_file"):
@@ -291,7 +314,7 @@ def _restart_vm(
                 if vectorize:
                     positions = _chunk_positions(snap, timer)
                     rebuild_ctx = _rebuild_heap_vec(
-                        vm, snap, converter, positions, timer
+                        vm, snap, converter, positions, timer, defer=lazy
                     )
                     relocation = rebuild_ctx.relocation
                 else:
@@ -312,22 +335,38 @@ def _restart_vm(
         if converter.word_size_differs:
             with timer.phase("pointer_fix"):
                 if vectorize:
-                    _fix_rebuilt_heap_vec(vm, rebuild_ctx, mapper, converter)
+                    if lazy:
+                        _attach_rebuild_thunks(
+                            vm, rebuild_ctx, mapper, converter, stats
+                        )
+                    else:
+                        _fix_rebuilt_heap_vec(
+                            vm, rebuild_ctx, mapper, converter
+                        )
                 else:
                     _fix_rebuilt_heap(vm, snap, relocation, fix, converter)
                     vm.mem.heap.rebuild_freelist()
         else:
-            with timer.phase("pointer_fix"):
-                if vectorize:
-                    _fix_heap_pointers_vec(vm, mapper, positions, timer)
-                else:
-                    _fix_heap_pointers(vm, mapper)
-            if converter.endian_differs:
-                with timer.phase("convert_payloads"):
+            if lazy:
+                # Defer pointer fixing and payload repacking per chunk:
+                # the thunks run the same kernels the eager branch below
+                # runs, restricted to one chunk, on first touch.
+                with timer.phase("pointer_fix"):
+                    _attach_chunk_thunks(
+                        vm, mapper, converter, positions, stats
+                    )
+            else:
+                with timer.phase("pointer_fix"):
                     if vectorize:
-                        _repack_heap_payloads_vec(vm, converter, positions)
+                        _fix_heap_pointers_vec(vm, mapper, positions, timer)
                     else:
-                        _repack_heap_payloads(vm, converter)
+                        _fix_heap_pointers(vm, mapper)
+                if converter.endian_differs:
+                    with timer.phase("convert_payloads"):
+                        if vectorize:
+                            _repack_heap_payloads_vec(vm, converter, positions)
+                        else:
+                            _repack_heap_payloads(vm, converter)
             with timer.phase("freelist"):
                 head = snap.freelist_head
                 vm.mem.heap.freelist_head = (
@@ -594,6 +633,63 @@ def _restore_heap_chunks_vec(
         vm.mem.heap.adopt_chunk(area, header_map=bytearray(hm.tobytes()))
 
 
+def _fix_chunk_pointers_vec(
+    arr: np.ndarray,
+    pos: np.ndarray,
+    mapper: AddressMapper,
+    timer: Optional[PhaseTimer] = None,
+) -> None:
+    """Pointer fixing for one staged chunk (same-word-size restores).
+
+    The single kernel both the eager pass and the lazy first-touch
+    thunks run — sharing it is what makes lazy == eager bit-identical.
+    """
+    p = pos.astype(np.int64)
+    hds = arr[p]
+    sizes = (hds >> np.uint64(10)).astype(np.int64)
+    colors = (hds >> np.uint64(8)) & np.uint64(3)
+    tags = hds & np.uint64(0xFF)
+    blue = colors == Color.BLUE.value
+    recolor = (colors == Color.GRAY.value) | (
+        colors == Color.BLACK.value
+    )
+    if recolor.any():
+        arr[p[recolor]] = hds[recolor] & ~np.uint64(0x300)
+    linked = blue & (sizes >= 1)
+    if linked.any():
+        lp = p[linked] + 1
+        links = arr[lp]
+        nz = links != 0
+        if nz.any():
+            with _maybe_kernel(timer, "map_many"):
+                mapped, ok = mapper.map_many(links[nz])
+            arr[lp[nz]] = np.where(ok, mapped, np.uint64(0))
+    scan = (~blue) & (tags < np.uint64(NO_SCAN_TAG)) & (sizes > 0)
+    if scan.any():
+        idx = _ragged_indices(p[scan] + 1, sizes[scan])
+        vals = arr[idx]
+        even = (vals & np.uint64(1)) == 0
+        if even.any():
+            ptrs = vals[even]
+            with _maybe_kernel(timer, "map_many"):
+                mapped, ok = mapper.map_many(ptrs)
+            arr[idx[even]] = np.where(ok, mapped, ptrs)
+
+
+def _maybe_kernel(timer: Optional[PhaseTimer], name: str):
+    """``timer.kernel(name)`` or a no-op when no timer is in scope.
+
+    Lazy thunks run after the restart's phase timer has been reported,
+    so their kernels are accounted in ``RestartStats.lazy_seconds``
+    instead.
+    """
+    if timer is not None:
+        return timer.kernel(name)
+    import contextlib
+
+    return contextlib.nullcontext()
+
+
 def _fix_heap_pointers_vec(
     vm: VirtualMachine,
     mapper: AddressMapper,
@@ -603,37 +699,27 @@ def _fix_heap_pointers_vec(
     """Vectorized :func:`_fix_heap_pointers`: classify every payload word
     of every scannable block by its LSB and map the pointers in bulk."""
     for chunk, pos in zip(vm.mem.heap.chunks, positions):
-        arr = chunk.area.peek_staged()
-        p = pos.astype(np.int64)
-        hds = arr[p]
-        sizes = (hds >> np.uint64(10)).astype(np.int64)
-        colors = (hds >> np.uint64(8)) & np.uint64(3)
-        tags = hds & np.uint64(0xFF)
-        blue = colors == Color.BLUE.value
-        recolor = (colors == Color.GRAY.value) | (
-            colors == Color.BLACK.value
-        )
-        if recolor.any():
-            arr[p[recolor]] = hds[recolor] & ~np.uint64(0x300)
-        linked = blue & (sizes >= 1)
-        if linked.any():
-            lp = p[linked] + 1
-            links = arr[lp]
-            nz = links != 0
-            if nz.any():
-                with timer.kernel("map_many"):
-                    mapped, ok = mapper.map_many(links[nz])
-                arr[lp[nz]] = np.where(ok, mapped, np.uint64(0))
-        scan = (~blue) & (tags < np.uint64(NO_SCAN_TAG)) & (sizes > 0)
-        if scan.any():
-            idx = _ragged_indices(p[scan] + 1, sizes[scan])
-            vals = arr[idx]
-            even = (vals & np.uint64(1)) == 0
-            if even.any():
-                ptrs = vals[even]
-                with timer.kernel("map_many"):
-                    mapped, ok = mapper.map_many(ptrs)
-                arr[idx[even]] = np.where(ok, mapped, ptrs)
+        _fix_chunk_pointers_vec(chunk.area.peek_staged(), pos, mapper, timer)
+
+
+def _repack_chunk_payloads_vec(
+    arr: np.ndarray, pos: np.ndarray, converter: ValueConverter
+) -> None:
+    """Endianness payload repack for one staged chunk (shared kernel)."""
+    p = pos.astype(np.int64)
+    hds = arr[p]
+    sizes = (hds >> np.uint64(10)).astype(np.int64)
+    colors = (hds >> np.uint64(8)) & np.uint64(3)
+    tags = hds & np.uint64(0xFF)
+    nonblue = colors != Color.BLUE.value
+    strs = nonblue & (tags == np.uint64(STRING_TAG)) & (sizes > 0)
+    if strs.any():
+        idx = _ragged_indices(p[strs] + 1, sizes[strs])
+        arr[idx] = converter.repack_string_array(arr[idx])
+    dbls = nonblue & (tags == np.uint64(DOUBLE_TAG)) & (sizes > 0)
+    if dbls.any():
+        idx = _ragged_indices(p[dbls] + 1, sizes[dbls])
+        arr[idx] = converter.repack_double_array(arr[idx])
 
 
 def _repack_heap_payloads_vec(
@@ -643,21 +729,163 @@ def _repack_heap_payloads_vec(
 ) -> None:
     """Vectorized :func:`_repack_heap_payloads` (endianness-only)."""
     for chunk, pos in zip(vm.mem.heap.chunks, positions):
-        arr = chunk.area.peek_staged()
-        p = pos.astype(np.int64)
-        hds = arr[p]
-        sizes = (hds >> np.uint64(10)).astype(np.int64)
-        colors = (hds >> np.uint64(8)) & np.uint64(3)
-        tags = hds & np.uint64(0xFF)
-        nonblue = colors != Color.BLUE.value
-        strs = nonblue & (tags == np.uint64(STRING_TAG)) & (sizes > 0)
-        if strs.any():
-            idx = _ragged_indices(p[strs] + 1, sizes[strs])
-            arr[idx] = converter.repack_string_array(arr[idx])
-        dbls = nonblue & (tags == np.uint64(DOUBLE_TAG)) & (sizes > 0)
-        if dbls.any():
-            idx = _ragged_indices(p[dbls] + 1, sizes[dbls])
-            arr[idx] = converter.repack_double_array(arr[idx])
+        _repack_chunk_payloads_vec(chunk.area.peek_staged(), pos, converter)
+
+
+# ---------------------------------------------------------------------------
+# Lazy first-touch restore
+# ---------------------------------------------------------------------------
+
+
+class LazyRestoreState:
+    """Tracks deferred heap conversion after a ``--lazy-restore`` restart.
+
+    Installed on ``vm.lazy_restore`` by the attach functions below.
+    Each staged heap chunk carries a first-touch thunk (see
+    :meth:`MemoryArea.ensure_converted`); this object additionally lets
+    the interpreter drain one chunk per scheduler tick in the
+    background (:meth:`drain_one`) and lets the checkpoint writer force
+    full conversion before dumping (:meth:`finish`), so a checkpoint
+    taken mid-lazy-restore commits bit-identically to an eager one.
+
+    The :class:`AddressMapper` is captured for the thunks' lifetime —
+    safe because it is content-independent and time-invariant: heap
+    relocation is a static dict, stacks are high-anchored (growth never
+    moves the high end the mapper compares against), and the code /
+    atoms / C-globals boundaries never move after restart.
+    """
+
+    def __init__(self, stats: RestartStats, mapper: AddressMapper) -> None:
+        self.stats = stats
+        self.mapper = mapper
+        self._pending: deque = deque()
+        stats.lazy = True
+
+    def register(self, area: MemoryArea) -> None:
+        """Track one staged area whose thunk has just been attached."""
+        self._pending.append(area)
+        self.stats.lazy_chunks_total += 1
+
+    def wrap(self, convert, label: str):
+        """Build the thunk: run ``convert``, account time, type errors.
+
+        Conversion failures surface as :class:`CheckpointIntegrityError`
+        even when the thunk fires arbitrarily late — a corrupt chunk
+        must not escape as a random numpy/index crash mid-execution.
+        """
+
+        def thunk(arr) -> None:
+            t0 = time.perf_counter()
+            try:
+                convert(arr)
+            except CheckpointError:
+                raise
+            except Exception as exc:
+                raise CheckpointIntegrityError(
+                    f"lazy conversion of {label} failed: {exc}",
+                    section="heap",
+                ) from exc
+            self._note(time.perf_counter() - t0)
+
+        return thunk
+
+    def _note(self, dt: float) -> None:
+        st = self.stats
+        st.lazy_chunks_converted += 1
+        st.lazy_seconds += dt
+        st.dangling_pointers = self.mapper.dangling_pointers
+
+    @property
+    def pending(self) -> int:
+        """Number of chunks still awaiting conversion."""
+        return sum(1 for a in self._pending if a.pending_conversion)
+
+    def drain_one(self) -> bool:
+        """Convert one not-yet-converted chunk; False when none remain.
+
+        Chunks already faulted in by first touch are skipped, so the
+        background drainer and the demand path never double-convert.
+        """
+        while self._pending:
+            area = self._pending[0]
+            if not area.pending_conversion:
+                self._pending.popleft()
+                continue
+            area.ensure_converted()
+            return True
+        return False
+
+    def finish(self) -> None:
+        """Convert every remaining chunk (checkpoint writer barrier)."""
+        while self.drain_one():
+            pass
+
+
+def _attach_chunk_thunks(
+    vm: VirtualMachine,
+    mapper: AddressMapper,
+    converter: ValueConverter,
+    positions: list[np.ndarray],
+    stats: RestartStats,
+) -> None:
+    """Same-word-size lazy restore: defer pointer fixing (and, across
+    endiannesses, payload repacking) per chunk to first touch.
+
+    Each thunk runs exactly the kernels the eager pass runs, restricted
+    to its own chunk — per-chunk work is independent, so the result is
+    bit-identical to an eager restore regardless of touch order.
+    """
+    state = LazyRestoreState(stats, mapper)
+    endian = converter.endian_differs
+    for chunk, pos in zip(vm.mem.heap.chunks, positions):
+        area = chunk.area
+
+        def convert(arr, pos=pos):
+            _fix_chunk_pointers_vec(arr, pos, mapper)
+            if endian:
+                _repack_chunk_payloads_vec(arr, pos, converter)
+
+        area.defer_conversion(state.wrap(convert, area.label))
+        state.register(area)
+    vm.lazy_restore = state
+
+
+def _attach_rebuild_thunks(
+    vm: VirtualMachine,
+    ctx: "_RebuildContext",
+    mapper: AddressMapper,
+    converter: ValueConverter,
+    stats: RestartStats,
+) -> None:
+    """Cross-word-size lazy restore: defer pass C payload filling and
+    the field fix-up per rebuilt chunk.
+
+    Headers, placement, the freelist and the relocation table were all
+    built eagerly (they are O(#blocks) and other subsystems read them
+    pre-conversion); a thunk only fills and fixes the payload words of
+    the blocks placed in its own chunk.
+    """
+    heap = vm.mem.heap
+    state = LazyRestoreState(stats, mapper)
+    for d in range(len(ctx.dst_bases)):
+        area = heap.chunks[ctx.chunk_offset + d].area
+
+        def convert(arr, d=d):
+            _fill_rebuilt_payloads(
+                ctx.per_chunk,
+                ctx.all_dst,
+                ctx.block_dchunk,
+                ctx.dst_arrs,
+                ctx.dst_bases,
+                ctx.dst_wb,
+                converter,
+                only_chunk=d,
+            )
+            _fix_rebuilt_heap_vec(vm, ctx, mapper, converter, only_chunk=d)
+
+        area.defer_conversion(state.wrap(convert, area.label))
+        state.register(area)
+    vm.lazy_restore = state
 
 
 @dataclass
@@ -668,6 +896,20 @@ class _RebuildContext:
     #: Scannable rebuilt blocks: dst block addresses and payload sizes.
     scan_addrs: np.ndarray
     scan_sizes: np.ndarray
+    #: Geometry of the rebuilt chunks, frozen at rebuild time.  Lazily
+    #: deferred fix-ups can run after ``alloc`` has appended fresh
+    #: chunks to ``heap.chunks``, so the pass must never re-derive
+    #: these from the live heap.
+    dst_bases: np.ndarray = None
+    chunk_offset: int = 0
+    dst_wb: int = 0
+    #: Deferred payload state (``--lazy-restore`` only): the classified
+    #: source blocks and target arrays that pass C would have filled
+    #: eagerly.  ``None`` after an eager rebuild.
+    per_chunk: Optional[list] = None
+    all_dst: Optional[np.ndarray] = None
+    block_dchunk: Optional[np.ndarray] = None
+    dst_arrs: Optional[list] = None
 
 
 def _rebuild_heap_vec(
@@ -676,6 +918,7 @@ def _rebuild_heap_vec(
     converter: ValueConverter,
     positions: list[np.ndarray],
     timer: PhaseTimer,
+    defer: bool = False,
 ) -> _RebuildContext:
     """Vectorized :func:`_rebuild_heap`.
 
@@ -766,69 +1009,37 @@ def _rebuild_heap_vec(
     # White zero-size fragment headers encode as 0: already zeroed.
     del fragments
 
-    def scatter(group_dst, group_nsz, vals):
-        """Scatter per-block ``vals`` runs to the target chunk arrays."""
-        gchunk = (
-            np.searchsorted(dst_bases, group_dst, side="right").astype(
-                np.int64
+    # Scannable blocks keep their word count across the rebuild (only
+    # strings and doubles re-pack), so the fix-up geometry falls straight
+    # out of the placement data, in global block order.
+    scan_mask = all_tags < NO_SCAN_TAG
+    ctx = _RebuildContext(
+        relocation=relocation,
+        scan_addrs=all_dst[scan_mask],
+        scan_sizes=all_nsz[scan_mask],
+        dst_bases=dst_bases,
+        chunk_offset=len(heap.chunks),
+        dst_wb=dst_wb,
+    )
+    if defer:
+        # Lazy restore: leave the payload words zeroed; the per-chunk
+        # first-touch thunks run _fill_rebuilt_payloads restricted to
+        # their own chunk (see _attach_rebuild_thunks).
+        ctx.per_chunk = per_chunk
+        ctx.all_dst = all_dst
+        ctx.block_dchunk = dchunk
+        ctx.dst_arrs = dst_arrs
+    else:
+        with timer.kernel("payloads"):
+            _fill_rebuilt_payloads(
+                per_chunk,
+                all_dst,
+                dchunk,
+                dst_arrs,
+                dst_bases,
+                dst_wb,
+                converter,
             )
-            - 1
-        )
-        val_starts = np.cumsum(group_nsz) - group_nsz
-        for d, dst in enumerate(dst_arrs):
-            m = gchunk == d
-            if not m.any():
-                continue
-            off = ((group_dst[m] - dst_bases[d]) // np.uint64(dst_wb)).astype(
-                np.int64
-            )
-            di = _ragged_indices(off, group_nsz[m])
-            vi = _ragged_indices(val_starts[m], group_nsz[m])
-            dst[di] = vals[vi]
-
-    scan_addr_parts = []
-    scan_size_parts = []
-    with timer.kernel("payloads"):
-        foff = 0
-        for arr, lp, lsz, ltag, nsz, _src_blocks in per_chunk:
-            nblocks = int(lp.size)
-            dsts = all_dst[foff : foff + nblocks]
-            foff += nblocks
-            is_str = ltag == STRING_TAG
-            is_dbl = ltag == DOUBLE_TAG
-            is_opq = (ltag >= NO_SCAN_TAG) & ~is_str & ~is_dbl
-            is_scan = ltag < NO_SCAN_TAG
-            if is_scan.any():
-                vals = arr[_ragged_indices(lp[is_scan] + 1, lsz[is_scan])]
-                scatter(dsts[is_scan], nsz[is_scan], vals)
-                scan_addr_parts.append(dsts[is_scan])
-                scan_size_parts.append(nsz[is_scan])
-            if is_opq.any():
-                vals = converter.convert_raw_array(
-                    arr[_ragged_indices(lp[is_opq] + 1, lsz[is_opq])]
-                )
-                scatter(dsts[is_opq], nsz[is_opq], vals)
-            if is_dbl.any():
-                vals = converter.double_words_from_patterns(
-                    converter.double_pattern_array(
-                        arr[_ragged_indices(lp[is_dbl] + 1, lsz[is_dbl])]
-                    )
-                )
-                scatter(dsts[is_dbl], nsz[is_dbl], vals)
-            if is_str.any():
-                # Strings change word counts irregularly; repack one by
-                # one through the codecs (a small minority of the heap).
-                for k in np.flatnonzero(is_str):
-                    payload = arr[lp[k] + 1 : lp[k] + 1 + lsz[k]].tolist()
-                    new = converter.repack_string(payload)
-                    addr = int(dsts[k])
-                    d = int(
-                        np.searchsorted(dst_bases, np.uint64(addr), "right") - 1
-                    )
-                    off = (addr - int(dst_bases[d])) // dst_wb
-                    dst_arrs[d][off : off + len(new)] = np.asarray(
-                        new, dtype=np.uint64
-                    )
 
     # -- pass D: freelist remnants + adoption ------------------------------
     blues = sorted(addr for addr, _size in freelist)
@@ -855,19 +1066,99 @@ def _rebuild_heap_vec(
     )
     heap.freelist_head = blues[0] if blues else 0
     heap.allocated_words += int((all_nsz + 1).sum())
-    return _RebuildContext(
-        relocation=relocation,
-        scan_addrs=(
-            np.concatenate(scan_addr_parts)
-            if scan_addr_parts
-            else np.empty(0, dtype=np.uint64)
-        ),
-        scan_sizes=(
-            np.concatenate(scan_size_parts)
-            if scan_size_parts
-            else np.empty(0, dtype=np.int64)
-        ),
-    )
+    return ctx
+
+
+def _fill_rebuilt_payloads(
+    per_chunk: list,
+    all_dst: np.ndarray,
+    block_dchunk: np.ndarray,
+    dst_arrs: list,
+    dst_bases: np.ndarray,
+    dst_wb: int,
+    converter: ValueConverter,
+    only_chunk: Optional[int] = None,
+) -> None:
+    """Pass C payload copies: gather each class of source block payload
+    and scatter it (converted) into the rebuilt chunk images.
+
+    ``only_chunk`` restricts the work to blocks placed in one target
+    chunk — the lazy-restore thunks use this, and because every kernel
+    here is per-block (raw copies, elementwise converts, per-block
+    string/double repacks), the restricted runs produce bit-identical
+    words to one eager full pass.
+    """
+
+    def scatter(group_dst, group_nsz, vals):
+        """Scatter per-block ``vals`` runs to the target chunk arrays."""
+        gchunk = (
+            np.searchsorted(dst_bases, group_dst, side="right").astype(
+                np.int64
+            )
+            - 1
+        )
+        val_starts = np.cumsum(group_nsz) - group_nsz
+        for d, dst in enumerate(dst_arrs):
+            m = gchunk == d
+            if not m.any():
+                continue
+            off = ((group_dst[m] - dst_bases[d]) // np.uint64(dst_wb)).astype(
+                np.int64
+            )
+            di = _ragged_indices(off, group_nsz[m])
+            vi = _ragged_indices(val_starts[m], group_nsz[m])
+            dst[di] = vals[vi]
+
+    foff = 0
+    for arr, lp, lsz, ltag, nsz, _src_blocks in per_chunk:
+        nblocks = int(lp.size)
+        dsts = all_dst[foff : foff + nblocks]
+        dch = block_dchunk[foff : foff + nblocks]
+        foff += nblocks
+        if only_chunk is None:
+            sel = np.ones(nblocks, dtype=bool)
+        else:
+            sel = dch == only_chunk
+            if not sel.any():
+                continue
+        is_str = (ltag == STRING_TAG) & sel
+        is_dbl = (ltag == DOUBLE_TAG) & sel
+        is_opq = (
+            (ltag >= NO_SCAN_TAG)
+            & (ltag != STRING_TAG)
+            & (ltag != DOUBLE_TAG)
+            & sel
+        )
+        is_scan = (ltag < NO_SCAN_TAG) & sel
+        if is_scan.any():
+            vals = arr[_ragged_indices(lp[is_scan] + 1, lsz[is_scan])]
+            scatter(dsts[is_scan], nsz[is_scan], vals)
+        if is_opq.any():
+            vals = converter.convert_raw_array(
+                arr[_ragged_indices(lp[is_opq] + 1, lsz[is_opq])]
+            )
+            scatter(dsts[is_opq], nsz[is_opq], vals)
+        if is_dbl.any():
+            vals = converter.double_words_from_patterns(
+                converter.double_pattern_array(
+                    arr[_ragged_indices(lp[is_dbl] + 1, lsz[is_dbl])]
+                )
+            )
+            scatter(dsts[is_dbl], nsz[is_dbl], vals)
+        if is_str.any():
+            # Strings change word counts irregularly; repack one by
+            # one through the codecs (a small minority of the heap).
+            for k in np.flatnonzero(is_str):
+                payload = arr[lp[k] + 1 : lp[k] + 1 + lsz[k]].tolist()
+                new = converter.repack_string(payload)
+                addr = int(dsts[k])
+                d = int(
+                    np.searchsorted(dst_bases, np.uint64(addr), "right") - 1
+                )
+                off = (addr - int(dst_bases[d])) // dst_wb
+                dst_arrs[d][off : off + len(new)] = np.asarray(
+                    new, dtype=np.uint64
+                )
 
 
 def _simulate_first_fit(
@@ -963,14 +1254,21 @@ def _fix_rebuilt_heap_vec(
     ctx: _RebuildContext,
     mapper: AddressMapper,
     converter: ValueConverter,
+    only_chunk: Optional[int] = None,
 ) -> None:
     """Vectorized :func:`_fix_rebuilt_heap`: convert every field of every
     rebuilt scannable block (immediates re-boxed, pointers remapped,
-    dangling words neutralized to unit)."""
+    dangling words neutralized to unit).
+
+    Geometry comes from the rebuild context, never the live heap: a
+    lazily deferred run (``only_chunk`` set, from a first-touch thunk)
+    can fire after ``alloc`` has appended fresh chunks, and eager and
+    lazy runs must index the same chunks to stay bit-identical.
+    """
     heap = vm.mem.heap
     unit = np.uint64(vm.mem.values.val_unit)
-    dst_wb = vm.platform.arch.word_bytes
-    dst_bases = np.asarray([c.base for c in heap.chunks], dtype=np.uint64)
+    dst_wb = ctx.dst_wb
+    dst_bases = ctx.dst_bases
     if ctx.scan_addrs.size == 0:
         return
     gchunk = (
@@ -979,11 +1277,13 @@ def _fix_rebuilt_heap_vec(
         )
         - 1
     )
-    for d, chunk in enumerate(heap.chunks):
+    for d in range(len(dst_bases)):
+        if only_chunk is not None and d != only_chunk:
+            continue
         m = gchunk == d
         if not m.any():
             continue
-        arr = chunk.area.peek_staged()
+        arr = heap.chunks[ctx.chunk_offset + d].area.peek_staged()
         off = (
             (ctx.scan_addrs[m] - dst_bases[d]) // np.uint64(dst_wb)
         ).astype(np.int64)

@@ -118,6 +118,14 @@ def build_snapshot(
     the next delta measures mutation since *this* capture.
     """
     timer = timer or PhaseTimer()
+    # A checkpoint taken mid-lazy-restore must dump *converted* words:
+    # the heap capture below copies staged chunk arrays verbatim, so
+    # force every pending first-touch thunk now, inside the blocking
+    # window.  This is what makes a mid-lazy-restore checkpoint commit
+    # bit-identically to one taken after an eager restore.
+    if vm.lazy_restore is not None:
+        with timer.phase("lazy_finish"):
+            vm.finish_lazy_restore()
     # Step 2: empty the young generation.  A *pure* minor collection, as
     # in the paper — the incremental major slice the mutator owes stays
     # owed and is paid at the next ordinary allocation-triggered GC.

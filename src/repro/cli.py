@@ -63,6 +63,8 @@ def _config_from(args: argparse.Namespace) -> VMConfig:
         cfg.chkpt_mode = args.mode
     if getattr(args, "no_vectorize", False):
         cfg.vectorize = False
+    if getattr(args, "lazy_restore", False):
+        cfg.lazy_restore = True
     if getattr(args, "dispatch", None):
         cfg.dispatch = args.dispatch
     if getattr(args, "format", None):
@@ -257,6 +259,11 @@ def cmd_restart(args: argparse.Namespace) -> int:
     print(f"[restarted on {args.platform}; converted: "
           f"{', '.join(conv) if conv else 'nothing'}; "
           f"{stats.total_seconds * 1e3:.1f} ms]", file=sys.stderr)
+    if stats.lazy:
+        print(f"[lazy restore: {stats.lazy_chunks_converted}/"
+              f"{stats.lazy_chunks_total} chunks converted eagerly; "
+              f"time-to-first-output {stats.total_seconds * 1e3:.1f} ms]",
+              file=sys.stderr)
     if stats.restored_path and stats.restored_path != args.checkpoint_file:
         print(f"[fell back to previous generation {stats.restored_path}]",
               file=sys.stderr)
@@ -886,6 +893,10 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--no-vectorize", action="store_true",
                         help="use the scalar reference C/R paths "
                              "(CHKPT_VECTORIZE=0)")
+        sp.add_argument("--lazy-restore", action="store_true",
+                        help="convert restored heap chunks lazily on "
+                             "first touch instead of during restart "
+                             "(CHKPT_LAZY; needs the vectorized path)")
         sp.add_argument("--dispatch", choices=["fast", "reference"],
                         default=None,
                         help="interpreter dispatch tier (CHKPT_DISPATCH; "

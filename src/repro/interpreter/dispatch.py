@@ -50,9 +50,10 @@ from repro.bytecode.decoded import (
     CountedLoopPlan,
     DecodedInstruction,
     FUSIBLE_INNER,
+    StrideLoopPlan,
 )
 from repro.bytecode.opcodes import Op
-from repro.errors import BytecodeError
+from repro.errors import BytecodeError, MemoryError_
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.interpreter.interpreter import Interpreter
@@ -573,6 +574,66 @@ def _f_floatlit(I, e, nxt):
     return h
 
 
+# Tail-only closures: ops that transfer control (APPLY) or may raise a
+# catchable VM exception (GETVECTITEM/SETVECTITEM).  They are in
+# FUSIBLE_TAIL but not FUSIBLE_INNER — by the time they run, every
+# earlier group member has committed, so the raise path observes
+# canonical state.  On the raise path they position ``pc`` exactly
+# where the reference wrapper would have left it before delegating to
+# ``raise_runtime``, then return whatever pc ``do_raise`` produced.
+
+def _f_apply(I, e, nxt):
+    n1 = e.raw[0] - 1
+    mem = I._mem
+    after = e.next
+
+    def h():
+        closure = I.accu
+        I.extra_args = n1
+        I.pc = after  # reference-identical state if the address is bad
+        target = I.code_index(mem.field(closure, 0))
+        I.env = closure
+        return target
+    return h
+
+
+def _f_getvectitem(I, e, nxt):
+    mem = I._mem
+    v = I._values
+    after = e.next
+
+    def h():
+        index = v.int_val(I.stack.pop())
+        block = I.accu
+        if 0 <= index < mem.size_of(block):
+            I.accu = mem.field(block, index)
+            return after
+        I.pc = after
+        I.raise_runtime("Invalid_argument: index out of bounds")
+        return I.pc
+    return h
+
+
+def _f_setvectitem(I, e, nxt):
+    mem = I._mem
+    v = I._values
+    after = e.next
+
+    def h():
+        s = I.stack
+        index = v.int_val(s.pop())
+        value = s.pop()
+        block = I.accu
+        if 0 <= index < mem.size_of(block):
+            mem.set_field(block, index, value)
+            I.accu = _VAL_FALSE
+            return after
+        I.pc = after
+        I.raise_runtime("Invalid_argument: index out of bounds")
+        return I.pc
+    return h
+
+
 # Branch closures (return whichever successor they choose; group-tail
 # capable).
 
@@ -647,6 +708,9 @@ FACTORIES = {
     int(Op.BRANCH): _f_branch,
     int(Op.BRANCHIF): _f_branchif,
     int(Op.BRANCHIFNOT): _f_branchifnot,
+    int(Op.APPLY): _f_apply,
+    int(Op.GETVECTITEM): _f_getvectitem,
+    int(Op.SETVECTITEM): _f_setvectitem,
 }
 
 
@@ -1004,6 +1068,346 @@ def _make_kernel(I: "Interpreter", plan: CountedLoopPlan):
 
 
 # ---------------------------------------------------------------------------
+# Batched array-stride loop kernels
+# ---------------------------------------------------------------------------
+
+
+def _make_stride_kernel(I: "Interpreter", plan: StrideLoopPlan):
+    """Bind an array-stride loop plan into a numpy-batched kernel.
+
+    The plan's ``store`` tree is evaluated over the whole batch at
+    once: counter-strided reads become a contiguous slice of the
+    backing chunk (one ``numpy`` conversion for ``m`` iterations),
+    row-pointer gathers one address-space load per element, and the
+    arithmetic vectorizes.  Two store shapes are recognized:
+
+    * **reduction** — ``c.(j) <- c.(j) + term`` with a loop-invariant
+      cell (matmul's dot-product inner loop): the cell is read once,
+      the term vector is accumulated with an exact closed form, and one
+      barriered store commits the result;
+    * **stride map/fill** — ``dst.(i) <- expr``: values are computed
+      vectorized and committed through ``set_field`` so GC write
+      barriers and incremental-checkpoint dirty tracking observe every
+      write.
+
+    Safety mirrors the counted-loop kernel: untagged operands, bounds
+    violations, representation overflow, aliasing between read and
+    written blocks, or any memory fault during the (side-effect-free)
+    evaluation phase abort the batch and fall back to single-step
+    execution, whose semantics are exact.  Checkpoint integrity errors
+    from lazily-restored chunks propagate — a fallback replay could
+    not reproduce them.
+    """
+    mem = I._mem
+    v = I._values
+    vm = I.vm
+    space = mem.space
+    arch = mem.arch
+    wb = arch.word_bytes
+    bits = arch.bits
+    mask = arch.word_mask
+    to_signed = arch.to_signed
+    min_int, max_int = v.min_int, v.max_int
+    fallthrough = plan.head + 1
+    iter_count = plan.iter_count
+    cond_count = plan.cond_count
+    step = plan.step
+    _, s_arr, s_idx, s_val = plan.store
+
+    if bits == 64:
+        def vec_words(seq):
+            return np.array(seq, dtype=np.uint64).view(np.int64)
+    else:
+        half = 1 << (bits - 1)
+        full = 1 << bits
+
+        def vec_words(seq):
+            a = np.asarray(seq, dtype=np.int64)
+            return np.where(a >= half, a - full, a)
+
+    def invariant(e) -> bool:
+        if e == ("slot", 0):
+            return False
+        return all(invariant(x) for x in e[1:] if isinstance(x, tuple))
+
+    # Reduction shape: the stored cell is loop-invariant and the value
+    # is that same cell plus/minus a term (ADDINT commutes; SUBINT only
+    # with the cell on the left).
+    red_term = None
+    red_sign = 0
+    if (
+        isinstance(s_val, tuple) and s_val[0] == "bin"
+        and invariant(s_arr) and invariant(s_idx)
+    ):
+        cell = ("elem", s_arr, s_idx)
+        op, lhs, rhs = s_val[1], s_val[2], s_val[3]
+        if op == int(Op.ADDINT) and lhs == cell:
+            red_sign, red_term = 1, rhs
+        elif op == int(Op.ADDINT) and rhs == cell:
+            red_sign, red_term = 1, lhs
+        elif op == int(Op.SUBINT) and lhs == cell:
+            red_sign, red_term = -1, rhs
+
+    def fallback():
+        # Execute just the CHECK_SIGNALS no-op; the singles take over
+        # and control returns here at the next back-edge.
+        I._countdown -= 1
+        if I._countdown <= 0:
+            I._on_tick()
+        I.instructions += 1
+        I.pc = fallthrough
+
+    def kernel():
+        stack = I.stack
+        try:
+            cw = stack.peek(0)
+            bw = stack.peek(1)
+            if not (cw & 1) or not (bw & 1):
+                raise _BatchAbort()
+            c0 = v.int_val(cw)
+            bound = v.int_val(bw)
+            total = _iterations_left(c0, bound, plan.cmp_op, step)
+            if total == 0:
+                # Final, failing pass of the condition.
+                I._countdown -= cond_count
+                if I._countdown <= 0:
+                    I._on_tick()
+                I.instructions += cond_count
+                I.accu = _VAL_FALSE
+                I.pc = plan.exit
+                return
+            m = max(1, I._countdown // iter_count)
+            if total is not None and total < m:
+                m = total
+            if m > _MAX_BATCH:
+                m = _MAX_BATCH
+            if abs(c0) + abs(step) * (m + 1) >= (1 << 62):
+                raise _BatchAbort()
+            ks = c0 + step * np.arange(m, dtype=np.int64)
+            counter_words = (ks << 1) | 1
+            gd = vm.global_data
+            gd_signed = to_signed(gd)
+            read_blocks = set()    # block addresses the batch read
+            scalar_reads = set()   # exact cell addresses of scalar loads
+            forbidden = None       # reduction cell: loads may not touch
+
+            # All values are *signed* machine words: scalars as Python
+            # ints, per-iteration vectors as int64 arrays.  int_val is
+            # then an arithmetic shift, on either representation.
+
+            def load_cell(addr):
+                if addr == forbidden:
+                    raise _BatchAbort()
+                scalar_reads.add(addr)
+                return to_signed(space.load(addr))
+
+            def gather(block, idx_vec):
+                # One fixed block, vector of indices: slice the backing
+                # words once, then fancy-index.
+                if block & 1 or block < 0:
+                    raise _BatchAbort()
+                read_blocks.add(block)
+                size = mem.size_of(block)
+                lo = int(idx_vec.min())
+                hi = int(idx_vec.max())
+                if lo < 0 or hi >= size:
+                    raise _BatchAbort()
+                lo_addr = block + lo * wb
+                if forbidden is not None and (
+                    lo_addr <= forbidden <= block + hi * wb
+                ):
+                    raise _BatchAbort()
+                window = hi - lo + 1
+                if window <= 4 * len(idx_vec) + 64:
+                    area = space.find(block)
+                    base = (lo_addr - area.base) // wb
+                    seg = vec_words(area.words[base: base + window])
+                    return seg[idx_vec - lo]
+                load = space.load
+                return vec_words(
+                    [load(block + int(i) * wb) for i in idx_vec]
+                )
+
+            def gather_rows(blocks_vec, idx):
+                # Vector of row pointers (e.g. a matrix spine slice):
+                # one load per element, headers cached per block.
+                if (blocks_vec & 1).any() or (blocks_vec < 0).any():
+                    raise _BatchAbort()
+                load = space.load
+                size_of = mem.size_of
+                sizes: dict = {}
+                scalar_idx = not isinstance(idx, np.ndarray)
+                out = []
+                for t in range(len(blocks_vec)):
+                    b = int(blocks_vec[t])
+                    ix = idx if scalar_idx else int(idx[t])
+                    sz = sizes.get(b)
+                    if sz is None:
+                        sz = size_of(b)
+                        sizes[b] = sz
+                        read_blocks.add(b)
+                    if not 0 <= ix < sz:
+                        raise _BatchAbort()
+                    addr = b + ix * wb
+                    if addr == forbidden:
+                        raise _BatchAbort()
+                    out.append(load(addr))
+                return vec_words(out)
+
+            def as_index(val):
+                if isinstance(val, np.ndarray):
+                    if not (val & 1).all():
+                        raise _BatchAbort()
+                    return val >> 1
+                if not val & 1:
+                    raise _BatchAbort()
+                return val >> 1
+
+            def binop(op, a, b):
+                av = isinstance(a, np.ndarray)
+                bv = isinstance(b, np.ndarray)
+                if (not (a & 1).all() if av else not a & 1):
+                    raise _BatchAbort()
+                if (not (b & 1).all() if bv else not b & 1):
+                    raise _BatchAbort()
+                ia = a >> 1
+                ib = b >> 1
+                if op == int(Op.MULINT):
+                    # Conservative magnitude bound keeps int64 exact.
+                    ma = int(np.abs(ia).max()) if av else abs(ia)
+                    mb = int(np.abs(ib).max()) if bv else abs(ib)
+                    if ma * mb > max_int:
+                        raise _BatchAbort()
+                    r = ia * ib
+                elif op == int(Op.ADDINT):
+                    r = ia + ib
+                else:
+                    r = ia - ib
+                if isinstance(r, np.ndarray):
+                    if int(r.min()) < min_int or int(r.max()) > max_int:
+                        raise _BatchAbort()
+                elif not min_int <= r <= max_int:
+                    raise _BatchAbort()
+                return (r << 1) | 1
+
+            def ev(e):
+                kind = e[0]
+                if kind == "slot":
+                    n = e[1]
+                    if n == 0:
+                        return counter_words
+                    return to_signed(stack.peek(n))
+                if kind == "const":
+                    k = e[1]
+                    if not min_int <= k <= max_int:
+                        raise _BatchAbort()
+                    return (k << 1) | 1
+                if kind == "global":
+                    read_blocks.add(gd_signed)
+                    return load_cell(gd + e[1] * wb)
+                if kind == "bin":
+                    return binop(e[1], ev(e[2]), ev(e[3]))
+                arr = ev(e[1])
+                idx = as_index(ev(e[2]))
+                if isinstance(arr, np.ndarray):
+                    return gather_rows(arr, idx)
+                if isinstance(idx, np.ndarray):
+                    return gather(arr, idx)
+                if arr & 1 or arr < 0:
+                    raise _BatchAbort()
+                read_blocks.add(arr)
+                if not 0 <= idx < mem.size_of(arr):
+                    raise _BatchAbort()
+                return load_cell(arr + idx * wb)
+
+            if red_term is not None:
+                arr = ev(s_arr)
+                ix = as_index(ev(s_idx))
+                if isinstance(arr, np.ndarray) or isinstance(
+                    ix, np.ndarray
+                ):
+                    raise _BatchAbort()
+                if arr & 1 or arr < 0:
+                    raise _BatchAbort()
+                if not 0 <= ix < mem.size_of(arr):
+                    raise _BatchAbort()
+                cell_addr = arr + ix * wb
+                if cell_addr in scalar_reads:
+                    raise _BatchAbort()
+                cur_w = to_signed(space.load(cell_addr))
+                if not cur_w & 1:
+                    raise _BatchAbort()
+                forbidden = cell_addr
+                term = ev(red_term)
+                if not isinstance(term, np.ndarray):
+                    term = np.full(m, term, dtype=np.int64)
+                if not (term & 1).all():
+                    raise _BatchAbort()
+                tv = term >> 1
+                c_init = cur_w >> 1
+                peak = int(np.abs(tv).max())
+                if abs(c_init) + (peak + 1) * (m + 1) >= (1 << 62):
+                    raise _BatchAbort()
+                # Exact per-iteration trajectory: every intermediate
+                # value the reference loop would store must fit.
+                running = c_init + np.cumsum(red_sign * tv)
+                if (
+                    int(running.min()) < min_int
+                    or int(running.max()) > max_int
+                ):
+                    raise _BatchAbort()
+                mem.set_field(arr, ix, v.val_int(int(running[-1])))
+            else:
+                arr = ev(s_arr)
+                if isinstance(arr, np.ndarray) or arr & 1 or arr < 0:
+                    raise _BatchAbort()
+                value = ev(s_val)
+                ix = as_index(ev(s_idx))
+                size = mem.size_of(arr)
+                # The batch read everything before writing anything; a
+                # written block that was also read would let later
+                # iterations observe stale values.
+                if arr in read_blocks:
+                    raise _BatchAbort()
+                set_field = mem.set_field
+                if isinstance(ix, np.ndarray):
+                    if int(ix.min()) < 0 or int(ix.max()) >= size:
+                        raise _BatchAbort()
+                    if isinstance(value, np.ndarray):
+                        for t in range(m):
+                            set_field(
+                                arr, int(ix[t]), int(value[t]) & mask
+                            )
+                    else:
+                        w = value & mask
+                        for t in range(m):
+                            set_field(arr, int(ix[t]), w)
+                else:
+                    if not 0 <= ix < size:
+                        raise _BatchAbort()
+                    w = (
+                        int(value[-1])
+                        if isinstance(value, np.ndarray)
+                        else value
+                    ) & mask
+                    set_field(arr, ix, w)
+            counter_final = c0 + m * step
+        except (_BatchAbort, IndexError, MemoryError_):
+            return fallback()
+        # Commit the counter and the canonical accounting.
+        stack.poke(0, v.val_int(counter_final))
+        done = m * iter_count
+        I._countdown -= done
+        if I._countdown <= 0:
+            I._on_tick()
+        I.instructions += done
+        I.accu = _VAL_FALSE  # val_unit: the trailing ASSIGN's result
+        I.pc = plan.head
+
+    return kernel
+
+
+# ---------------------------------------------------------------------------
 # Program binding
 # ---------------------------------------------------------------------------
 
@@ -1043,7 +1447,10 @@ def build_fast_code(
     def bind_slot(i):
         plan = kernel_at.get(i)
         if plan is not None:
-            handlers[i] = _make_kernel(I, plan)
+            if isinstance(plan, CountedLoopPlan):
+                handlers[i] = _make_kernel(I, plan)
+            else:
+                handlers[i] = _make_stride_kernel(I, plan)
             return
         e = entries[i]
         if e is None:

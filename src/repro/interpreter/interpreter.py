@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Optional, TYPE_CHECKING
 
 from repro.bytecode.opcodes import Op
-from repro.errors import BytecodeError, VMRuntimeError
+from repro.errors import BytecodeError, MemoryError_, VMRuntimeError
 from repro.interpreter.primitives import (
     ArgsView,
     BlockThread,
@@ -239,6 +239,11 @@ class Interpreter:
             runnable = sum(1 for t in vm.sched.threads.values() if t.is_runnable)
             if runnable > 1:
                 vm.pending.request_reschedule()
+        if vm.lazy_restore is not None:
+            # Background drain: one deferred chunk per quantum, so a
+            # lazy restore completes even if the workload never touches
+            # most of the heap.
+            vm.drain_lazy_restore()
         vm.poll_checkpoint_policy()
 
     def _handle_pending(self) -> bool:
@@ -442,13 +447,21 @@ class Interpreter:
         mem = self._mem
         if self._values.is_int(exception):
             return str(self._values.int_val(exception))
-        try:
-            from repro.memory.blocks import STRING_TAG
+        from repro.memory.blocks import STRING_TAG
 
-            if mem.tag_of(exception) == STRING_TAG:
+        # Probe with find_or_none rather than catching SegmentationFault:
+        # a corrupt exception value must not pay the raise, and the
+        # address-space hit cache stays coherent on the miss.
+        header_addr = exception - self._wb
+        if (
+            exception % self._wb == 0
+            and mem.space.find_or_none(header_addr) is not None
+            and mem.tag_of(exception) == STRING_TAG
+        ):
+            try:
                 return mem.read_string(exception).decode(errors="replace")
-        except Exception:  # pragma: no cover - defensive
-            pass
+            except MemoryError_:  # pragma: no cover - corrupt size field
+                pass
         return f"<block at {exception:#x}>"
 
     def raise_runtime(self, message: str) -> None:

@@ -38,9 +38,19 @@ class MemoryArea:
     the list is materialized lazily on the first ``words`` access, so a
     restart followed immediately by another checkpoint never pays the
     unboxing cost for untouched chunks.
+
+    A staged area may additionally carry a *conversion thunk* (lazy
+    restore): a callable, run at most once, that converts the staged
+    array in place — pointer adjustment, endianness repack — before
+    anything reads it.  First ``words`` access runs the thunk and then
+    materializes; :meth:`ensure_converted` runs it while keeping the
+    area staged (the background drainer and the checkpoint writer use
+    this so untouched chunks stay in numpy form).
     """
 
-    __slots__ = ("kind", "base", "words", "word_bytes", "label", "_staged")
+    __slots__ = (
+        "kind", "base", "words", "word_bytes", "label", "_staged", "_thunk"
+    )
 
     def __init__(
         self,
@@ -61,6 +71,7 @@ class MemoryArea:
         self.word_bytes = arch.word_bytes
         self.label = label or kind.value
         self._staged = None
+        self._thunk = None
 
     @classmethod
     def from_staged(
@@ -70,11 +81,15 @@ class MemoryArea:
         staged,
         arch: Architecture,
         label: str = "",
+        thunk=None,
     ) -> "MemoryArea":
         """Build an area backed by a numpy ``uint64`` array.
 
         The ``words`` list does not exist yet; it is created (via
         ``tolist``) on first access and the staged array is dropped.
+        ``thunk``, if given, is called once with the staged array (to
+        convert it in place) before the first read — see
+        :meth:`ensure_converted`.
         """
         if base % arch.word_bytes:
             raise AlignmentError(
@@ -86,6 +101,7 @@ class MemoryArea:
         area.word_bytes = arch.word_bytes
         area.label = label or kind.value
         area._staged = staged
+        area._thunk = thunk
         # The 'words' slot is intentionally left unset: __getattr__
         # materializes it on demand.
         return area
@@ -94,6 +110,8 @@ class MemoryArea:
         if name == "words":
             staged = self._staged
             if staged is not None:
+                if self._thunk is not None:
+                    self.ensure_converted()
                 self._staged = None
                 ws = staged.tolist()
                 self.words = ws
@@ -103,6 +121,31 @@ class MemoryArea:
     def peek_staged(self):
         """The staged numpy array, or ``None`` once materialized."""
         return self._staged
+
+    @property
+    def pending_conversion(self) -> bool:
+        """True while a lazy-restore thunk has not run yet."""
+        return self._thunk is not None
+
+    def defer_conversion(self, thunk) -> None:
+        """Attach a lazy-restore thunk to an already-staged area."""
+        if self._staged is None:
+            raise ValueError(
+                f"area {self.label} already materialized; cannot defer"
+            )
+        self._thunk = thunk
+
+    def ensure_converted(self) -> None:
+        """Run the pending conversion thunk (if any) without unstaging.
+
+        The thunk is cleared *before* it runs so a re-entrant read from
+        inside the conversion (impossible today, cheap insurance) sees
+        the area as already converted rather than recursing.
+        """
+        thunk = self._thunk
+        if thunk is not None:
+            self._thunk = None
+            thunk(self._staged)
 
     # -- geometry -----------------------------------------------------------
 
@@ -166,12 +209,28 @@ class MemoryArea:
 
 
 class AddressSpace:
-    """The VM's flat virtual address space: a set of disjoint areas."""
+    """The VM's flat virtual address space: a set of disjoint areas.
+
+    ``find``/``load``/``store`` keep a one-entry *hit cache* of the last
+    area located: field loads and stores cluster heavily on one area (a
+    heap chunk, or the running stack), so the common case skips both the
+    binary search and the ``index_of`` re-check of the bounds the cache
+    already proved.  The cache is invalidated on every :meth:`map` /
+    :meth:`unmap`, so callers that probe possibly-unmapped addresses
+    must use :meth:`find_or_none` rather than catching
+    :class:`SegmentationFault` — exceptions on the probe path are
+    slow and the cache stays coherent either way.
+    """
 
     def __init__(self, arch: Architecture) -> None:
         self.arch = arch
         self._bases: list[int] = []
         self._areas: list[MemoryArea] = []
+        # Last-area hit cache: [base, end) and the area itself.  The
+        # empty range keeps the fast path a single comparison pair.
+        self._hit_base = 0
+        self._hit_end = 0
+        self._hit_area: MemoryArea | None = None
 
     # -- mapping ---------------------------------------------------------------
 
@@ -188,6 +247,8 @@ class AddressSpace:
             )
         self._bases.insert(i, area.base)
         self._areas.insert(i, area)
+        self._hit_base = self._hit_end = 0
+        self._hit_area = None
         return area
 
     def unmap(self, area: MemoryArea) -> None:
@@ -197,22 +258,34 @@ class AddressSpace:
             raise SegmentationFault(f"area {area.label} is not mapped")
         del self._bases[i]
         del self._areas[i]
+        self._hit_base = self._hit_end = 0
+        self._hit_area = None
 
     def find(self, addr: int) -> MemoryArea:
         """Locate the area containing a byte address."""
+        if self._hit_base <= addr < self._hit_end:
+            return self._hit_area
         i = bisect.bisect_right(self._bases, addr) - 1
         if i >= 0:
             area = self._areas[i]
             if addr < area.end:
+                self._hit_base = area.base
+                self._hit_end = area.end
+                self._hit_area = area
                 return area
         raise SegmentationFault(f"unmapped address {addr:#x}")
 
     def find_or_none(self, addr: int) -> MemoryArea | None:
         """Like :meth:`find` but returns ``None`` for unmapped addresses."""
+        if self._hit_base <= addr < self._hit_end:
+            return self._hit_area
         i = bisect.bisect_right(self._bases, addr) - 1
         if i >= 0:
             area = self._areas[i]
             if addr < area.end:
+                self._hit_base = area.base
+                self._hit_end = area.end
+                self._hit_area = area
                 return area
         return None
 
@@ -220,10 +293,27 @@ class AddressSpace:
 
     def load(self, addr: int) -> int:
         """Read the word at a byte address anywhere in the space."""
+        if self._hit_base <= addr < self._hit_end:
+            # Area-local fast path: the cache bounds subsume the
+            # index_of range check; only alignment is left to verify.
+            # `area.words` still routes a staged chunk through the
+            # lazy-conversion thunk (MemoryArea.__getattr__).
+            area = self._hit_area
+            off = addr - self._hit_base
+            if off % area.word_bytes:
+                raise AlignmentError(f"misaligned access at {addr:#x}")
+            return area.words[off // area.word_bytes]
         return self.find(addr).load(addr)
 
     def store(self, addr: int, value: int) -> None:
         """Write the word at a byte address anywhere in the space."""
+        if self._hit_base <= addr < self._hit_end:
+            area = self._hit_area
+            off = addr - self._hit_base
+            if off % area.word_bytes:
+                raise AlignmentError(f"misaligned access at {addr:#x}")
+            area.words[off // area.word_bytes] = value
+            return
         self.find(addr).store(addr, value)
 
     def areas(self) -> Iterator[MemoryArea]:

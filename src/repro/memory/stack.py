@@ -34,10 +34,11 @@ class VMStack:
         self.space = space
         self.arch = arch
         self._wb = arch.word_bytes
+        self._wshift = arch.word_bytes.bit_length() - 1
         self._base = base
         self.max_words = max_words
         self.label = label
-        self.area = MemoryArea(kind, base, n_words, arch, label=label)
+        self._bind_area(MemoryArea(kind, base, n_words, arch, label=label))
         space.map(self.area)
         #: Stack pointer: byte address of the current top-of-stack slot.
         self.sp = self.stack_high
@@ -46,6 +47,19 @@ class VMStack:
         #: Dirty hook for incremental checkpoints: called whenever the
         #: stack is reallocated (its area moves).  Set by the VM.
         self.on_grow = None
+
+    def _bind_area(self, area: MemoryArea) -> None:
+        """Install an area and refresh the push/pop fast-path cache.
+
+        Stack areas are always list-backed (never staged), and every
+        mutation goes through the same list object, so caching the list
+        plus the [low, high) geometry lets push/pop/peek/poke index it
+        directly instead of re-locating the area per access.
+        """
+        self.area = area
+        self._words = area.words
+        self._low = area.base
+        self._high = area.end
 
     # -- geometry -----------------------------------------------------------
 
@@ -73,38 +87,45 @@ class VMStack:
 
     def push(self, value: int) -> None:
         """Push one word, growing the stack if necessary."""
-        if self.sp - self._wb < self.stack_low:
+        sp = self.sp - self._wb
+        if sp < self._low:
             self._grow()
-        self.sp -= self._wb
-        self.area.store(self.sp, value)
+            sp = self.sp - self._wb
+        self.sp = sp
+        self._words[(sp - self._low) >> self._wshift] = value
 
     def pop(self) -> int:
         """Pop one word."""
-        if self.sp >= self.stack_high:
+        sp = self.sp
+        if sp >= self._high:
             raise VMRuntimeError("VM stack underflow")
-        v = self.area.load(self.sp)
-        self.sp += self._wb
-        return v
+        self.sp = sp + self._wb
+        return self._words[(sp - self._low) >> self._wshift]
 
     def popn(self, n: int) -> None:
         """Discard ``n`` words."""
-        if self.sp + n * self._wb > self.stack_high:
+        if self.sp + n * self._wb > self._high:
             raise VMRuntimeError("VM stack underflow")
         self.sp += n * self._wb
 
     def peek(self, n: int = 0) -> int:
         """Read the word ``n`` slots below the top (0 = top of stack)."""
         addr = self.sp + n * self._wb
-        if addr >= self.stack_high:
+        if addr >= self._high:
             raise VMRuntimeError(f"stack peek {n} beyond stack bottom")
-        return self.area.load(addr)
+        if addr < self._low:
+            return self.area.load(addr)  # SegmentationFault, as before
+        return self._words[(addr - self._low) >> self._wshift]
 
     def poke(self, n: int, value: int) -> None:
         """Write the word ``n`` slots below the top."""
         addr = self.sp + n * self._wb
-        if addr >= self.stack_high:
+        if addr >= self._high:
             raise VMRuntimeError(f"stack poke {n} beyond stack bottom")
-        self.area.store(addr, value)
+        if addr < self._low:
+            self.area.store(addr, value)  # SegmentationFault, as before
+            return
+        self._words[(addr - self._low) >> self._wshift] = value
 
     def reserve(self, n: int) -> None:
         """Ensure ``n`` more words can be pushed without reallocation."""
@@ -155,7 +176,7 @@ class VMStack:
         for i, w in enumerate(used):
             area.words[new_words - len(used) + i] = w
         self.space.map(area)
-        self.area = area
+        self._bind_area(area)
         self.sp = self.stack_high - len(used) * self._wb
         self.realloc_count += 1
         if self.on_grow is not None:

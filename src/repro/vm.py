@@ -98,6 +98,12 @@ class VMConfig:
     #: ``CHKPT_REGION_WORDS``: dirty-region granularity in words
     #: (power of two; default 1 KiB of words).
     chkpt_region_words: int = 1024
+    #: ``CHKPT_LAZY``: convert restored heap chunks lazily on first
+    #: touch instead of eagerly during restart, cutting blocking
+    #: time-to-first-output; a background drainer finishes the rest
+    #: between interpreter quanta.  Requires ``vectorize`` (the scalar
+    #: reference restore stays eager).
+    lazy_restore: bool = False
     #: Commit hook override (fault injection); ``None`` = real syscalls.
     commit_hooks: Optional[object] = None
 
@@ -142,6 +148,11 @@ class VMConfig:
         raw = environ.get("CHKPT_REGION_WORDS")
         if raw is not None and raw.strip().isdigit():
             cfg.chkpt_region_words = int(raw.strip())
+        lazy = environ.get("CHKPT_LAZY")
+        if lazy is not None:
+            cfg.lazy_restore = lazy.strip().lower() not in (
+                "0", "false", "no", "off",
+            )
         return cfg
 
 
@@ -240,6 +251,10 @@ class VirtualMachine:
         self.delta_depth: int = 0
         #: Set by restart so the first run() continues mid-program.
         self.restarted = False
+        #: Deferred-conversion tracker after a ``--lazy-restore``
+        #: restart (:class:`repro.checkpoint.reader.LazyRestoreState`);
+        #: ``None`` once every chunk has converted (or always, eagerly).
+        self.lazy_restore = None
         #: Cluster binding (rank/size/send/recv) when this VM is a node
         #: of a message-passing cluster; None for standalone VMs.
         self.cluster = None
@@ -310,6 +325,23 @@ class VirtualMachine:
         if now - self._policy_last >= interval:
             self._policy_last = now
             self.pending.request_checkpoint()
+
+    def drain_lazy_restore(self) -> None:
+        """Convert one pending lazily-restored chunk (background drain).
+
+        Called by the interpreter between scheduler quanta so restores
+        complete even when the workload never touches most of the heap.
+        """
+        state = self.lazy_restore
+        if state is not None and not state.drain_one():
+            self.lazy_restore = None
+
+    def finish_lazy_restore(self) -> None:
+        """Convert every pending chunk now (checkpoint writer barrier)."""
+        state = self.lazy_restore
+        if state is not None:
+            state.finish()
+            self.lazy_restore = None
 
     def perform_checkpoint(self) -> None:
         """Take a checkpoint right now (caller must be at a safe point)."""

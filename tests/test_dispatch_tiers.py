@@ -230,6 +230,166 @@ class TestMidFusedRegionCheckpoint:
         assert vm3.run(max_instructions=50_000_000).stdout == self.EXPECTED
 
 
+class TestStrideLoopKernels:
+    """Array-stride ``for`` loops batch through numpy — or fall back.
+
+    The kernel must be an observational no-op: wherever a batch cannot
+    be proven safe (aliasing, bounds faults, representation overflow)
+    it falls back to single-step execution, so every test here is a
+    straight differential against the reference tier.
+    """
+
+    def _diff(self, src, platform_name="rodrigo"):
+        ref = run_tier(src, platform_name, "reference")
+        fast = run_tier(src, platform_name, "fast")
+        assert fast.stdout == ref.stdout
+        assert fast.instructions == ref.instructions
+        return fast
+
+    def test_matmul_inner_loop_is_planned_as_reduction(self):
+        from repro.bytecode.decoded import StrideLoopPlan
+
+        code = compile_source(matmul_source(6, checkpoint=False))
+        stride = [
+            p for p in code.decoded().loops
+            if isinstance(p, StrideLoopPlan)
+        ]
+        assert stride, "matmul must expose at least one stride loop"
+        # The dot-product accumulation: c.(j) <- c.(j) + term.
+        def is_reduction(p):
+            _, arr, idx, val = p.store
+            return (
+                isinstance(val, tuple)
+                and val[0] == "bin"
+                and ("elem", arr, idx) in (val[2], val[3])
+            )
+        assert any(is_reduction(p) for p in stride)
+
+    @pytest.mark.parametrize("platform_name", PLATFORM_PAIR)
+    def test_fill_copy_and_dot_product(self, platform_name):
+        src = """
+        let a = Array.make 64 0;;
+        let b = Array.make 64 0;;
+        let s = Array.make 1 0;;
+        for i = 0 to 63 do a.(i) <- i * 3 done;;
+        for i = 0 to 63 do b.(i) <- a.(i) done;;
+        for i = 0 to 63 do s.(0) <- s.(0) + (a.(i) * b.(i)) done;;
+        print_int s.(0); print_string "/"; print_int b.(63)
+        """
+        result = self._diff(src, platform_name)
+        assert result.stdout == b"768096/189"
+
+    def test_downward_loop(self):
+        src = """
+        let a = Array.make 32 0;;
+        for i = 31 downto 0 do a.(i) <- 31 - i done;;
+        let s = Array.make 1 0;;
+        for i = 0 to 31 do s.(0) <- s.(0) + a.(i) done;;
+        print_int s.(0)
+        """
+        assert self._diff(src).stdout == b"496"
+
+    def test_aliased_read_write_falls_back(self):
+        """``a.(i) <- a.(i-1) + 1`` is order-dependent; the batch must
+        detect the alias and fall back to sequential semantics."""
+        src = """
+        let a = Array.make 16 0;;
+        a.(0) <- 7;;
+        for i = 1 to 15 do a.(i) <- a.(i - 1) + 1 done;;
+        print_int a.(15)
+        """
+        assert self._diff(src).stdout == b"22"
+
+    def test_bounds_fault_mid_loop_falls_back_to_exact_raise(self):
+        """An out-of-bounds store inside a stride loop must raise the
+        catchable exception at the exact iteration the reference tier
+        would, with all earlier writes committed."""
+        src = """
+        let a = Array.make 24 0;;
+        let b = Array.make 8 0;;
+        let r = try
+            (for i = 0 to 23 do b.(i) <- a.(i) + 1 done; 0)
+          with _ -> b.(7);;
+        print_int r
+        """
+        assert self._diff(src).stdout == b"1"
+
+    def test_reduction_overflow_falls_back_to_wrap(self):
+        """On 32-bit, accumulating past max_int must reproduce the
+        reference tier's silent wrap (the batch aborts instead of
+        modeling it)."""
+        src = """
+        let s = Array.make 1 0;;
+        for i = 0 to 99 do s.(0) <- s.(0) + 30000000 done;;
+        print_int s.(0)
+        """
+        self._diff(src, "rodrigo")  # 32-bit: wraps
+        self._diff(src, "ultra64")  # 64-bit: exact
+
+    def test_threaded_stride_loops(self):
+        src = """
+        let a = Array.make 256 0;;
+        let b = Array.make 256 0;;
+        let fill arr k =
+          for i = 0 to 255 do arr.(i) <- i * k done;;
+        let t1 = thread_create (fun () -> fill a 1);;
+        let t2 = thread_create (fun () -> fill b 3);;
+        thread_join t1; thread_join t2;
+        print_int (a.(255) + b.(255))
+        """
+        assert self._diff(src).stdout == b"1020"
+
+    def test_checkpoint_bytes_identical_with_stride_loops(self, tmp_path):
+        src = """
+        let a = Array.make 128 0;;
+        for i = 0 to 127 do a.(i) <- i * i done;;
+        checkpoint ();;
+        let s = Array.make 1 0;;
+        for i = 0 to 127 do s.(0) <- s.(0) + a.(i) done;;
+        print_int s.(0)
+        """
+        paths = {
+            tier: tmp_path / f"stride-{tier}.hckp"
+            for tier in ("reference", "fast")
+        }
+        ref = run_tier(src, "ultra64", "reference", paths["reference"])
+        fast = run_tier(src, "ultra64", "fast", paths["fast"])
+        assert fast.stdout == ref.stdout == b"690880"
+        assert (
+            paths["reference"].read_bytes() == paths["fast"].read_bytes()
+        )
+
+
+class TestTailOnlyFusion:
+    """APPLY/GETVECTITEM/SETVECTITEM fuse only as group tails."""
+
+    def test_tail_ops_never_inner(self):
+        from repro.bytecode.decoded import FUSIBLE_INNER, FUSION_PATTERNS
+
+        tail_only = {int(Op.APPLY), int(Op.GETVECTITEM),
+                     int(Op.SETVECTITEM)}
+        assert not tail_only & FUSIBLE_INNER
+        for pat in FUSION_PATTERNS:
+            assert not tail_only & set(pat[:-1]), pat
+
+    @pytest.mark.parametrize("platform_name", PLATFORM_PAIR)
+    def test_fused_getvectitem_raise_path(self, platform_name):
+        """A bounds fault on a *fused* GETVECTITEM (tail of
+        PUSH;GETGLOBAL;GETVECTITEM) must land in the handler with
+        canonical state."""
+        src = """
+        let a = Array.make 4 5;;
+        let get i = try a.(i) with _ -> -1;;
+        let s = ref 0;;
+        for i = 0 to 7 do s := !s + get i done;;
+        print_int !s
+        """
+        ref = run_tier(src, platform_name, "reference")
+        fast = run_tier(src, platform_name, "fast")
+        assert fast.stdout == ref.stdout == b"16"
+        assert fast.instructions == ref.instructions
+
+
 class TestFastTierSemantics:
     def test_illegal_opcode_same_error_both_tiers(self):
         code = CodeImage([9999, int(Op.STOP)], "bad", 0)
