@@ -1,0 +1,165 @@
+"""Deferred-section restore: time-to-first-output vs eager, with the
+byte ledger.
+
+PR 10 moved the lazy-restore blocking floor down a layer: a lazy
+restart no longer reads + CRCs + parses the whole file up front — it
+opens a deferred :class:`~repro.checkpoint.schema.SnapshotSource`,
+resolves only the framing and the non-heap sections (a few KB), and
+leaves the heap payload (~99.8% of a big checkpoint) on disk behind
+chunk slices until first touch.  This bench gates that claim:
+
+* TTFO at the largest size at least ``MIN_TTFO_SPEEDUP``x faster than
+  eager (target ~5x — the old whole-file floor capped it at ~2.5-3x),
+* completed lazy restore within ``MAX_COMPLETION_RATIO``x of eager,
+* the deferral is real: most of the file's bytes are deferred at
+  restart and the demand path reads only a small fraction.
+
+Interleaved min-of-N, rodrigo -> ultra64 (endianness *and* word size),
+recorded in ``results/BENCH_lazy_sections.json``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.conftest import make_checkpoint
+from repro import VMConfig, get_platform, restart_vm
+
+SIZES_WORDS = [256 * 1024, 640 * 1024]
+
+CHUNK_WORDS = 32 * 1024
+
+ROUNDS = 5
+
+#: CI gate on time-to-first-output at the largest size (target: ~5x).
+MIN_TTFO_SPEEDUP = 4.0
+
+#: Completed (drained + late-verified) lazy restore may cost at most
+#: this much more than eager.
+MAX_COMPLETION_RATIO = 1.3
+
+#: At restart, at least this share of the file's bytes must still be
+#: unread/unverified — the deferral the speedup comes from.
+MIN_DEFERRED_FRACTION = 0.90
+
+
+def _head_touch_source(total_words: int) -> str:
+    rows = max(total_words // 4096, 1)
+    return f"""
+let rows = {rows};;
+let keep = ref [];;
+let () =
+  for i = 1 to rows do
+    let a = Array.make 4096 i in
+    keep := a :: !keep
+  done;;
+checkpoint ();;
+let rec first l = match l with [] -> 0 | h :: _ -> h.(0);;
+print_int (first !keep)
+"""
+
+
+def _restart(code, path: str, lazy: bool):
+    return restart_vm(
+        get_platform("ultra64"), code, path,
+        VMConfig(chunk_words=CHUNK_WORDS, lazy_restore=lazy),
+    )
+
+
+@pytest.mark.parametrize("size", SIZES_WORDS)
+def test_lazy_sections_ttfo(size, tmp_path, benchmark, get_report,
+                            bench_json):
+    rep = get_report(
+        "Deferred sections",
+        "restart byte ledger + TTFO: eager vs deferred-section lazy "
+        "(rodrigo->ultra64)",
+        ["path", "TTFO ms", "completed ms", "bytes read", "bytes deferred"],
+    )
+    path = str(tmp_path / "lazy.hckp")
+    code, _ = make_checkpoint(
+        _head_touch_source(size), path, chunk_words=CHUNK_WORDS
+    )
+    file_bytes = os.path.getsize(path)
+
+    benchmark.pedantic(
+        lambda: _restart(code, path, lazy=True), rounds=1, iterations=1
+    )
+
+    for lazy in (True, False):  # warm both paths once
+        _restart(code, path, lazy)
+
+    best = {}
+    best_completion = {}
+    ledger = None
+    expected = None
+    for _ in range(ROUNDS):
+        for lazy in (True, False):
+            vm, stats = _restart(code, path, lazy)
+            if lazy:
+                # The deferral must be structural, not incidental: the
+                # heap section's bytes are unverified at restart.
+                assert stats.sections_deferred >= 1
+                assert stats.bytes_deferred >= (
+                    file_bytes * MIN_DEFERRED_FRACTION
+                )
+                sources = getattr(vm, "lazy_restore").sources
+                ledger = {
+                    "file_bytes": file_bytes,
+                    "bytes_read_at_restart": sum(
+                        s.stats()["bytes_read"] for s in sources
+                    ),
+                    "bytes_verified_at_restart": stats.bytes_verified,
+                    "bytes_deferred": stats.bytes_deferred,
+                    "sections_deferred": stats.sections_deferred,
+                }
+            out = vm.run()
+            assert out.status == "stopped"
+            if expected is None:
+                expected = out.stdout
+            assert out.stdout == expected
+            if lazy:
+                vm.finish_lazy_restore()
+            prev = best.get(lazy)
+            if prev is None or stats.total_seconds < prev.total_seconds:
+                best[lazy] = stats
+            best_completion[lazy] = min(
+                best_completion.get(lazy, float("inf")),
+                stats.completion_seconds,
+            )
+
+    eager, lazy_stats = best[False], best[True]
+    ttfo_speedup = eager.total_seconds / lazy_stats.total_seconds
+    completion_ratio = best_completion[True] / best_completion[False]
+
+    entry = bench_json("BENCH_lazy_sections").setdefault("sizes", {})
+    entry[str(size)] = dict(
+        ledger,
+        eager_ttfo_ms=round(eager.total_seconds * 1e3, 3),
+        lazy_ttfo_ms=round(lazy_stats.total_seconds * 1e3, 3),
+        eager_completed_ms=round(best_completion[False] * 1e3, 3),
+        lazy_completed_ms=round(best_completion[True] * 1e3, 3),
+        ttfo_speedup=round(ttfo_speedup, 3),
+        completion_ratio=round(completion_ratio, 3),
+    )
+
+    for label, lazy in (("eager", False), ("lazy", True)):
+        stats = best[lazy]
+        rep.row(
+            label,
+            f"{stats.total_seconds * 1e3:.1f}",
+            f"{best_completion[lazy] * 1e3:.1f}",
+            f"{ledger['bytes_read_at_restart']}" if lazy else file_bytes,
+            f"{ledger['bytes_deferred']}" if lazy else 0,
+        )
+
+    if size == SIZES_WORDS[-1]:
+        rep.note(
+            f"TTFO {ttfo_speedup:.2f}x faster lazy (min of {ROUNDS} "
+            f"interleaved rounds); completed {completion_ratio:.2f}x "
+            f"eager; {ledger['bytes_deferred']}/{file_bytes} bytes "
+            f"deferred at restart"
+        )
+        assert ttfo_speedup >= MIN_TTFO_SPEEDUP
+        assert completion_ratio <= MAX_COMPLETION_RATIO

@@ -49,6 +49,7 @@ import numpy as np
 from repro.arch.architecture import Architecture, Endianness
 from repro.channels.manager import ChannelRecord
 from repro.checkpoint.schema import FormatProfile
+from repro.checkpoint.schema.source import ChunkSlice, SnapshotSource
 from repro.errors import CheckpointFormatError, CheckpointIntegrityError
 from repro.metrics import INTEGRITY
 
@@ -329,6 +330,11 @@ class SectionReader:
     def __init__(self, data: bytes, arch: Optional[Architecture] = None) -> None:
         self.data = data
         self.off = 0
+        #: Absolute byte position of ``data[0]`` in the file, so error
+        #: reports from a single-section reader (``SnapshotSource``)
+        #: carry file offsets; 0 for whole-body readers, where reader
+        #: offsets and file offsets already coincide.
+        self.base = 0
         self.arch = arch
         self._dtype = np.dtype(arch.numpy_dtype) if arch else None
         #: The section the parser is currently inside, for error reports.
@@ -345,10 +351,10 @@ class SectionReader:
         if self.off + n > len(self.data):
             raise CheckpointFormatError(
                 f"truncated checkpoint file: section '{self.section}' "
-                f"needs {n} byte(s) at offset {self.off} but only "
-                f"{len(self.data) - self.off} remain",
+                f"needs {n} byte(s) at offset {self.base + self.off} but "
+                f"only {len(self.data) - self.off} remain",
                 section=self.section,
-                offset=self.off,
+                offset=self.base + self.off,
             )
         out = self.data[self.off : self.off + n]
         self.off += n
@@ -512,10 +518,9 @@ def read_checkpoint(path: str, raw_arrays: bool = False) -> VMSnapshot:
     Any :class:`~repro.errors.CheckpointFormatError` raised here carries
     the file path and the format version its magic claims.
     """
-    with open(path, "rb") as f:
-        data = f.read()
     try:
-        return _parse_checkpoint(data, raw_arrays)
+        src = SnapshotSource.open(path, raw_arrays=raw_arrays)
+        return src.resolve_all()
     except CheckpointFormatError as e:
         INTEGRITY.integrity_failures += 1
         raise annotate_restore_error(e, path) from e
@@ -784,8 +789,16 @@ def merge_delta_chain(chain: list[VMSnapshot], raw_arrays: bool = False) -> VMSn
         )
     if len(chain) == 1:
         return base
-    state: dict[int, np.ndarray] = {
-        cbase: np.asarray(words, dtype=np.uint64).copy()
+    # A lazily-opened base contributes ChunkSlice payloads; they stay
+    # unread unless a delta actually splices bytes into (or reshapes)
+    # that chunk, so splicing a chain reads only the parent sections the
+    # dirty set touches.  Eager inputs keep the copy-up-front semantics.
+    state: dict[int, object] = {
+        cbase: (
+            words
+            if isinstance(words, ChunkSlice)
+            else np.asarray(words, dtype=np.uint64).copy()
+        )
         for cbase, words in base.heap_chunks
     }
     for prev, snap in zip(chain, chain[1:]):
@@ -804,7 +817,7 @@ def merge_delta_chain(chain: list[VMSnapshot], raw_arrays: bool = False) -> VMSn
                 expected=info.parent_sha256.hex(),
                 actual=prev.body_sha256.hex() if prev.body_sha256 else None,
             )
-        current: dict[int, np.ndarray] = {}
+        current: dict[int, object] = {}
         for rec in info.chunks:
             arr = state.get(rec.base)
             if arr is None or arr.size != rec.n_words:
@@ -812,6 +825,10 @@ def merge_delta_chain(chain: list[VMSnapshot], raw_arrays: bool = False) -> VMSn
                 # changed): it was freshly mapped, so its regions cover
                 # every meaningful word.
                 arr = np.zeros(rec.n_words, dtype=np.uint64)
+            elif rec.regions and isinstance(arr, ChunkSlice):
+                # First dirty write into a lazy parent chunk: now (and
+                # only now) its payload bytes are worth reading.
+                arr = arr.materialize().copy()
             for start, words in rec.regions:
                 wa = np.asarray(words, dtype=np.uint64)
                 if start + wa.size > arr.size:

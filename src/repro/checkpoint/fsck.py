@@ -16,12 +16,10 @@ counted in :data:`repro.metrics.INTEGRITY`.
 from __future__ import annotations
 
 import hashlib
-import zlib
 from typing import Optional, Protocol
 
 from repro.checkpoint.commit import atomic_commit
-from repro.checkpoint.format import _parse_checkpoint, read_section_table
-from repro.checkpoint.schema import FormatProfile
+from repro.checkpoint.schema import FormatProfile, SnapshotSource
 from repro.errors import RestartError, StoreError
 from repro.metrics import INTEGRITY
 
@@ -79,10 +77,12 @@ def verify_checkpoint_bytes(data: bytes) -> list[dict]:
     with ``section``/``offset`` taken from the parse error.
     """
     problems: list[dict] = []
-    table = read_section_table(data)
-    if table is not None:
-        for s in table:
-            actual = zlib.crc32(data[s.offset : s.end]) & 0xFFFFFFFF
+    src = SnapshotSource.from_bytes(data, tolerant=True)
+    if src.handles is not None:
+        # The section table survived: probe every handle's extent
+        # individually — each failing CRC is one repairable range.
+        for s in src.handles:
+            actual = s.crc_actual()
             if actual != s.crc32:
                 problems.append(
                     {
@@ -100,7 +100,7 @@ def verify_checkpoint_bytes(data: bytes) -> list[dict]:
         if problems:
             return problems
     try:
-        _parse_checkpoint(data)
+        src.resolve_all()
     except RestartError as e:
         problems.append(
             {
@@ -272,7 +272,7 @@ def _chain_link_report(path: str) -> dict:
     entry["problems"] = verify_checkpoint_bytes(data)
     entry["ok"] = not entry["problems"]
     if entry["ok"]:
-        snap = _parse_checkpoint(data)
+        snap = SnapshotSource.from_bytes(data).resolve_all()
         if snap.body_sha256 is not None:
             entry["body_sha256"] = snap.body_sha256.hex()
         if snap.delta is not None:

@@ -17,8 +17,13 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.checkpoint.format import VMSnapshot, read_checkpoint
-from repro.checkpoint.schema import FormatProfile, all_codecs
+from repro.checkpoint.format import (
+    VMSnapshot,
+    annotate_restore_error,
+)
+from repro.checkpoint.schema import FormatProfile, SnapshotSource, all_codecs
+from repro.errors import CheckpointFormatError
+from repro.metrics import INTEGRITY
 from repro.memory.blocks import (
     CLOSURE_TAG,
     Color,
@@ -352,12 +357,39 @@ def describe_snapshot(snap: VMSnapshot) -> dict:
 def describe_checkpoint(path: str, deep: bool = False) -> dict:
     """Read a checkpoint file and describe it as JSON-able data.
 
+    The shallow path opens the file through a deferred
+    :class:`~repro.checkpoint.schema.SnapshotSource`: section geometry
+    comes from the handles, heap payloads are sized (``len``) but never
+    parsed, and ``desc["lazy"]`` records the section-resolution state
+    as a lazy consumer would first see it — sections resolved vs.
+    deferred, bytes verified vs. deferred.  Verification still
+    completes before returning (``finish_verification``), so a corrupt
+    file fails ``repro info`` exactly as it always did.
+
     With ``deep``, the full structural validation runs too and its
     findings land under ``"problems"`` / ``"ok"``.
     """
-    snap = read_checkpoint(path)
-    desc = describe_snapshot(snap)
+    try:
+        src = SnapshotSource.open(path, defer=True)
+    except CheckpointFormatError as e:
+        INTEGRITY.integrity_failures += 1
+        raise annotate_restore_error(e, path) from e
+    try:
+        lazy_report = src.stats()
+        try:
+            if deep:
+                snap = src.resolve_all()
+            else:
+                src.finish_verification()
+                snap = src.snapshot
+        except CheckpointFormatError as e:
+            INTEGRITY.integrity_failures += 1
+            raise annotate_restore_error(e, path) from e
+        desc = describe_snapshot(snap)
+    finally:
+        src.close()
     desc["path"] = path
+    desc["lazy"] = lazy_report
     if deep:
         target = snap
         if snap.delta is not None:

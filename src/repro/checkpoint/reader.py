@@ -47,13 +47,15 @@ from repro.checkpoint.format import (
     read_checkpoint,
 )
 from repro.checkpoint.relocate import AddressMapper
+from repro.checkpoint.schema import SnapshotSource
 from repro.errors import (
     CheckpointError,
+    CheckpointFormatError,
     CheckpointIntegrityError,
     HeapExhausted,
     RestartError,
 )
-from repro.metrics import INTEGRITY
+from repro.metrics import INTEGRITY, RESTART
 from repro.memory.blocks import (
     Color,
     DOUBLE_TAG,
@@ -94,6 +96,14 @@ class RestartStats:
     #: Wall time spent inside conversion thunks so far (grows after
     #: restart returns; see :class:`LazyRestoreState`).
     lazy_seconds: float = 0.0
+    #: Body sections whose read + CRC + parse were still deferred when
+    #: restart returned (``--lazy-restore`` with a v3+ file), and the
+    #: byte split between verified-up-front and deferred data.  The
+    #: deferred bytes are verified by the background drain / the
+    #: ``lazy_finish`` barrier; see :class:`SnapshotSource`.
+    sections_deferred: int = 0
+    bytes_verified: int = 0
+    bytes_deferred: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -130,7 +140,9 @@ def next_generation_path(path: str) -> str:
     return candidate
 
 
-def load_snapshot_chain(path: str, raw_arrays: bool = False) -> VMSnapshot:
+def load_snapshot_chain(
+    path: str, raw_arrays: bool = False, defer: bool = False
+) -> VMSnapshot:
     """Read ``path``, reconstructing through its delta chain if needed.
 
     A full (v1-v3) checkpoint is returned as-is.  A v4 delta walks the
@@ -141,9 +153,30 @@ def load_snapshot_chain(path: str, raw_arrays: bool = False) -> VMSnapshot:
     than :data:`MAX_DELTA_CHAIN` — raises a typed
     :class:`~repro.errors.CheckpointIntegrityError`, which the caller's
     generation fallback treats like any other damaged head.
+
+    With ``defer`` every link opens through a lazily-resolving
+    :class:`~repro.checkpoint.schema.SnapshotSource`: heap payloads stay
+    on disk behind chunk slices, delta splicing reads only the parent
+    chunks the dirty set touches, and the open sources ride along on the
+    returned snapshot's ``_sources`` attribute so the lazy-restore drain
+    can finish their verification later.
     """
-    snap = read_checkpoint(path, raw_arrays=raw_arrays)
+    sources: list[SnapshotSource] = []
+
+    def read_link(p: str) -> VMSnapshot:
+        if not defer:
+            return read_checkpoint(p, raw_arrays=raw_arrays)
+        try:
+            src = SnapshotSource.open(p, raw_arrays=raw_arrays, defer=True)
+        except CheckpointFormatError as e:
+            INTEGRITY.integrity_failures += 1
+            raise annotate_restore_error(e, p) from e
+        sources.append(src)
+        return src.snapshot
+
+    snap = read_link(path)
     if snap.delta is None:
+        snap._sources = sources
         return snap
     chain = [snap]
     current = path
@@ -159,7 +192,7 @@ def load_snapshot_chain(path: str, raw_arrays: bool = False) -> VMSnapshot:
             )
         current = next_generation_path(current)
         try:
-            chain.append(read_checkpoint(current, raw_arrays=raw_arrays))
+            chain.append(read_link(current))
         except OSError as e:
             raise annotate_restore_error(
                 CheckpointIntegrityError(
@@ -171,10 +204,12 @@ def load_snapshot_chain(path: str, raw_arrays: bool = False) -> VMSnapshot:
             ) from e
     chain.reverse()
     try:
-        return merge_delta_chain(chain, raw_arrays=raw_arrays)
+        merged = merge_delta_chain(chain, raw_arrays=raw_arrays)
     except CheckpointIntegrityError as e:
         INTEGRITY.integrity_failures += 1
         raise annotate_restore_error(e, path) from e
+    merged._sources = sources
+    return merged
 
 
 def restart_vm(
@@ -289,9 +324,13 @@ def _restart_vm(
     lazy = bool(config.lazy_restore) if config is not None else False
     lazy = lazy and vectorize
     # Steps 1-4: read and validate (reconstructing through a v4 delta
-    # chain when the head is incremental).
+    # chain when the head is incremental).  Under lazy restore the
+    # links open deferred: roots/threads/registers come from
+    # eagerly-resolved sections while heap payload bytes stay on disk
+    # behind chunk slices until their first-touch thunks fire.
     with timer.phase("read_file"):
-        snap = load_snapshot_chain(path, raw_arrays=vectorize)
+        snap = load_snapshot_chain(path, raw_arrays=vectorize, defer=lazy)
+    sources = getattr(snap, "_sources", []) if lazy else []
     if snap.header.code_digest != code.digest():
         raise RestartError(
             "checkpoint was taken from a different program (digest mismatch)"
@@ -337,7 +376,8 @@ def _restart_vm(
                 if vectorize:
                     if lazy:
                         _attach_rebuild_thunks(
-                            vm, rebuild_ctx, mapper, converter, stats
+                            vm, rebuild_ctx, mapper, converter, stats,
+                            sources,
                         )
                     else:
                         _fix_rebuilt_heap_vec(
@@ -353,7 +393,7 @@ def _restart_vm(
                 # runs, restricted to one chunk, on first touch.
                 with timer.phase("pointer_fix"):
                     _attach_chunk_thunks(
-                        vm, mapper, converter, positions, stats
+                        vm, mapper, converter, positions, stats, sources
                     )
             else:
                 with timer.phase("pointer_fix"):
@@ -391,6 +431,15 @@ def _restart_vm(
     vm.mem.heap.allocated_words = 0
     if snap.header.multithreaded:
         vm.sched.ever_multithreaded = True
+    if lazy:
+        RESTART.lazy_restores += 1
+        for src in sources:
+            rep = src.stats()
+            stats.sections_deferred += rep["unresolved"] or 0
+            stats.bytes_verified += rep["bytes_verified"]
+            stats.bytes_deferred += rep["bytes_deferred"]
+        RESTART.sections_deferred += stats.sections_deferred
+        RESTART.bytes_deferred += stats.bytes_deferred
     return vm, stats
 
 
@@ -585,6 +634,18 @@ def _ragged_indices(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
     return np.cumsum(steps)
 
 
+def _gather_words(ws, idx: np.ndarray) -> np.ndarray:
+    """The words of one saved chunk at ``idx``.
+
+    A deferred :class:`~repro.checkpoint.schema.ChunkSlice` reads only
+    the coalesced byte runs covering ``idx``; in-memory arrays gather
+    directly.  Either way the result is canonical ``uint64``.
+    """
+    if isinstance(ws, np.ndarray):
+        return ws[idx]
+    return ws.gather(idx)
+
+
 def _chunk_positions(snap: VMSnapshot, timer: PhaseTimer) -> list[np.ndarray]:
     """Block-header word positions of every saved chunk.
 
@@ -598,6 +659,10 @@ def _chunk_positions(snap: VMSnapshot, timer: PhaseTimer) -> list[np.ndarray]:
     out = []
     with timer.kernel("discover_blocks"):
         for _, words in snap.heap_chunks:
+            # Index-less files force a full walk; a deferred chunk
+            # slice materializes here (its laziness only pays off when
+            # the index says where the headers are).
+            words = np.asarray(words)
             pos = []
             i = 0
             n = len(words)
@@ -755,10 +820,19 @@ class LazyRestoreState:
     atoms / C-globals boundaries never move after restart.
     """
 
-    def __init__(self, stats: RestartStats, mapper: AddressMapper) -> None:
+    def __init__(
+        self,
+        stats: RestartStats,
+        mapper: AddressMapper,
+        sources: Optional[list] = None,
+    ) -> None:
         self.stats = stats
         self.mapper = mapper
         self._pending: deque = deque()
+        #: Deferred :class:`SnapshotSource` objects whose section
+        #: verification (CRCs, whole-body SHA-256, end CRC) is still
+        #: incomplete; the drain finishes them after the last chunk.
+        self.sources: list = list(sources) if sources else []
         stats.lazy = True
 
     def register(self, area: MemoryArea) -> None:
@@ -801,10 +875,14 @@ class LazyRestoreState:
         return sum(1 for a in self._pending if a.pending_conversion)
 
     def drain_one(self) -> bool:
-        """Convert one not-yet-converted chunk; False when none remain.
+        """Do one unit of deferred work; False when none remains.
 
-        Chunks already faulted in by first touch are skipped, so the
-        background drainer and the demand path never double-convert.
+        Chunks convert first (skipping any already faulted in by first
+        touch, so the background drainer and the demand path never
+        double-convert); once the last chunk is done, each deferred
+        snapshot source finishes its integrity verification — reading
+        whatever sections were never touched, completing the whole-body
+        SHA-256 and the end-of-file CRC.
         """
         while self._pending:
             area = self._pending[0]
@@ -813,10 +891,37 @@ class LazyRestoreState:
                 continue
             area.ensure_converted()
             return True
+        return self._verify_step()
+
+    def _verify_step(self) -> bool:
+        """Finish one source's deferred verification; False if all done.
+
+        A corruption surfacing here — arbitrarily long after restart —
+        raises the same typed, annotated
+        :class:`~repro.errors.CheckpointIntegrityError` an eager restore
+        raises up front.
+        """
+        for src in self.sources:
+            if src.fully_verified:
+                continue
+            t0 = time.perf_counter()
+            try:
+                src.finish_verification()
+            except CheckpointFormatError as e:
+                INTEGRITY.integrity_failures += 1
+                RESTART.late_failures += 1
+                if src.path is not None:
+                    raise annotate_restore_error(e, src.path) from e
+                raise
+            self.stats.lazy_seconds += time.perf_counter() - t0
+            RESTART.late_verifications += 1
+            src._release_backing()
+            return True
         return False
 
     def finish(self) -> None:
-        """Convert every remaining chunk (checkpoint writer barrier)."""
+        """Convert every remaining chunk and finish deferred section
+        verification (checkpoint writer barrier)."""
         while self.drain_one():
             pass
 
@@ -827,6 +932,7 @@ def _attach_chunk_thunks(
     converter: ValueConverter,
     positions: list[np.ndarray],
     stats: RestartStats,
+    sources: Optional[list] = None,
 ) -> None:
     """Same-word-size lazy restore: defer pointer fixing (and, across
     endiannesses, payload repacking) per chunk to first touch.
@@ -835,7 +941,7 @@ def _attach_chunk_thunks(
     to its own chunk — per-chunk work is independent, so the result is
     bit-identical to an eager restore regardless of touch order.
     """
-    state = LazyRestoreState(stats, mapper)
+    state = LazyRestoreState(stats, mapper, sources)
     endian = converter.endian_differs
     for chunk, pos in zip(vm.mem.heap.chunks, positions):
         area = chunk.area
@@ -856,6 +962,7 @@ def _attach_rebuild_thunks(
     mapper: AddressMapper,
     converter: ValueConverter,
     stats: RestartStats,
+    sources: Optional[list] = None,
 ) -> None:
     """Cross-word-size lazy restore: defer pass C payload filling and
     the field fix-up per rebuilt chunk.
@@ -866,7 +973,7 @@ def _attach_rebuild_thunks(
     the blocks placed in its own chunk.
     """
     heap = vm.mem.heap
-    state = LazyRestoreState(stats, mapper)
+    state = LazyRestoreState(stats, mapper, sources)
     for d in range(len(ctx.dst_bases)):
         area = heap.chunks[ctx.chunk_offset + d].area
 
@@ -944,7 +1051,7 @@ def _rebuild_heap_vec(
     with timer.kernel("classify"):
         for (src_base, arr), pos in zip(snap.heap_chunks, positions):
             p = pos.astype(np.int64)
-            hds = arr[p]
+            hds = _gather_words(arr, p)
             sizes = (hds >> np.uint64(10)).astype(np.int64)
             colors = (hds >> np.uint64(8)) & np.uint64(3)
             tags = (hds & np.uint64(0xFF)).astype(np.int64)
@@ -955,7 +1062,7 @@ def _rebuild_heap_vec(
             nsz = lsz.copy()
             is_str = ltag == STRING_TAG
             if is_str.any():
-                last = arr[lp[is_str] + lsz[is_str]]
+                last = _gather_words(arr, lp[is_str] + lsz[is_str])
                 pad = ((last >> str_shift) & np.uint64(0xFF)).astype(np.int64)
                 blen = lsz[is_str] * src_wb - 1 - pad
                 nsz[is_str] = blen // dst_wb + 1
@@ -1121,6 +1228,9 @@ def _fill_rebuilt_payloads(
             sel = dch == only_chunk
             if not sel.any():
                 continue
+        # Materialize a deferred chunk slice only once a block placed in
+        # the requested target chunk actually needs its payload bytes.
+        arr = np.asarray(arr)
         is_str = (ltag == STRING_TAG) & sel
         is_dbl = (ltag == DOUBLE_TAG) & sel
         is_opq = (

@@ -20,13 +20,21 @@ from repro.checkpoint.schema.registry import (
 )
 from repro.checkpoint.schema import sections as _sections  # registers codecs
 from repro.checkpoint.schema.profiles import FormatProfile
+from repro.checkpoint.schema.source import (
+    ChunkSlice,
+    SectionHandle,
+    SnapshotSource,
+)
 
 del _sections
 
 __all__ = [
+    "ChunkSlice",
     "FormatProfile",
     "SectionCodec",
+    "SectionHandle",
     "SnapshotBuilder",
+    "SnapshotSource",
     "all_codecs",
     "get",
     "register",

@@ -121,8 +121,12 @@ def build_snapshot(
     # A checkpoint taken mid-lazy-restore must dump *converted* words:
     # the heap capture below copies staged chunk arrays verbatim, so
     # force every pending first-touch thunk now, inside the blocking
-    # window.  This is what makes a mid-lazy-restore checkpoint commit
-    # bit-identically to one taken after an eager restore.
+    # window.  The same barrier forces any still-deferred section
+    # verification (unread heap payloads, the whole-body SHA-256, the
+    # end-of-file CRC) — a corrupt source fails here, typed, rather
+    # than silently re-serializing unverified bytes.  This is what
+    # makes a mid-lazy-restore checkpoint commit bit-identically to
+    # one taken after an eager restore.
     if vm.lazy_restore is not None:
         with timer.phase("lazy_finish"):
             vm.finish_lazy_restore()

@@ -106,13 +106,20 @@ def cmd_platforms(_args: argparse.Namespace) -> int:
 def cmd_info(args: argparse.Namespace) -> int:
     if args.json:
         from repro.checkpoint.inspect import describe_checkpoint
-        from repro.metrics import FLEET, INTEGRITY, REPLICATION, STORE
+        from repro.metrics import (
+            FLEET,
+            INTEGRITY,
+            REPLICATION,
+            RESTART,
+            STORE,
+        )
 
         desc = describe_checkpoint(args.checkpoint_file, deep=args.deep)
         desc["integrity_counters"] = INTEGRITY.as_dict()
         desc["store_counters"] = STORE.as_dict()
         desc["fleet_counters"] = FLEET.as_dict()
         desc["replication_counters"] = REPLICATION.as_dict()
+        desc["restart_counters"] = RESTART.as_dict()
         print(json.dumps(desc, indent=2, sort_keys=True))
         return 0 if desc.get("ok", True) else 1
     snap = read_checkpoint(args.checkpoint_file)

@@ -112,6 +112,7 @@ class MemoryArea:
             if staged is not None:
                 if self._thunk is not None:
                     self.ensure_converted()
+                    staged = self._staged
                 self._staged = None
                 ws = staged.tolist()
                 self.words = ws
@@ -141,11 +142,20 @@ class MemoryArea:
         The thunk is cleared *before* it runs so a re-entrant read from
         inside the conversion (impossible today, cheap insurance) sees
         the area as already converted rather than recursing.
+
+        Staging may hold an unread chunk slice (deferred-section lazy
+        restore) instead of an array; the payload bytes are read and
+        decoded here, just before the conversion that needs them.
         """
         thunk = self._thunk
         if thunk is not None:
             self._thunk = None
-            thunk(self._staged)
+            staged = self._staged
+            materialize = getattr(staged, "materialize", None)
+            if materialize is not None:
+                staged = materialize()
+                self._staged = staged
+            thunk(staged)
 
     # -- geometry -----------------------------------------------------------
 

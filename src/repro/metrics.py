@@ -165,6 +165,62 @@ INTEGRITY = IntegrityCounters()
 
 
 # ---------------------------------------------------------------------------
+# Restart / lazy-restore accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RestartCounters:
+    """Process-wide counters for deferred (lazy) restarts.
+
+    A lazy restart defers most of the file's bytes — read, CRC, parse —
+    behind section handles; the deferred share is verified later by the
+    first-touch thunks and the background drain.  These counters say how
+    much work restart actually put off, and whether any deferred section
+    turned out to be corrupt after the application had already resumed
+    (:attr:`late_failures` — the alarmable one).
+    """
+
+    #: Restores that deferred heap conversion and section verification.
+    lazy_restores: int = 0
+    #: Body sections still unresolved when a lazy restart returned.
+    sections_deferred: int = 0
+    #: Bytes whose read + CRC verification restart deferred.
+    bytes_deferred: int = 0
+    #: Deferred verifications completed after restart (per source file).
+    late_verifications: int = 0
+    #: Deferred verifications that FAILED after the VM was running —
+    #: surfaced as the typed late CheckpointIntegrityError.
+    late_failures: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "lazy_restores": self.lazy_restores,
+            "sections_deferred": self.sections_deferred,
+            "bytes_deferred": self.bytes_deferred,
+            "late_verifications": self.late_verifications,
+            "late_failures": self.late_failures,
+        }
+
+    def delta_since(self, snapshot: dict) -> dict:
+        """Counter movement since an :meth:`as_dict` snapshot."""
+        return {
+            k: v - snapshot.get(k, 0) for k, v in self.as_dict().items()
+        }
+
+    def reset(self) -> None:
+        self.lazy_restores = 0
+        self.sections_deferred = 0
+        self.bytes_deferred = 0
+        self.late_verifications = 0
+        self.late_failures = 0
+
+
+#: The module-level instance the lazy restart path increments.
+RESTART = RestartCounters()
+
+
+# ---------------------------------------------------------------------------
 # Incremental-checkpoint accounting
 # ---------------------------------------------------------------------------
 

@@ -232,6 +232,12 @@ def test_corrupt_chunk_late_thunk_raises_typed_error(target, tmp_path):
     area = chunk.area
     assert area.pending_conversion
     arr = area.peek_staged()
+    if hasattr(arr, "materialize"):
+        # Deferred-section restore stages an unread chunk slice; pull
+        # the (verified) payload in so we can corrupt the staged words
+        # that the conversion thunk will consume.
+        arr = arr.materialize()
+        area._staged = arr
     if target == "csd":
         # Same word size: the thunk re-reads headers from the staged
         # words.  Word 0 is always a header; give it an impossible size
@@ -246,6 +252,43 @@ def test_corrupt_chunk_late_thunk_raises_typed_error(target, tmp_path):
         vm_l.mem.space.load(chunk.base + vm_l.platform.arch.word_bytes)
     assert exc_info.value.section == "heap"
     assert "lazy conversion" in str(exc_info.value)
+
+
+# ---------------------------------------------------------------------------
+# Deferred sections: the restore defers bytes, the drain verifies late
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_lazy_restart_defers_sections_then_verifies(target, tmp_path):
+    """A lazy restart leaves the heap section unread/unverified; the
+    drain completes the whole-file verification afterwards and the
+    RESTART counters record both halves."""
+    from repro.metrics import RESTART
+
+    code = compile_source(MULTI_CHUNK_PROGRAM)
+    path = str(tmp_path / "c.hckp")
+    origin_out = _checkpoint(code, path, VMConfig(chunk_words=SMALL_CHUNKS))
+
+    before = RESTART.as_dict()
+    vm_l, st_l = restart_vm(
+        get_platform(target), code, path,
+        VMConfig(chunk_words=SMALL_CHUNKS, lazy_restore=True),
+    )
+    assert st_l.sections_deferred >= 1
+    assert st_l.bytes_deferred > 0
+    assert st_l.bytes_verified > 0
+    moved = RESTART.delta_since(before)
+    assert moved["lazy_restores"] == 1
+    assert moved["bytes_deferred"] == st_l.bytes_deferred
+    assert moved["late_verifications"] == 0
+
+    out = vm_l.run(max_instructions=10_000_000)
+    assert out.stdout == origin_out.stdout
+    vm_l.finish_lazy_restore()
+    moved = RESTART.delta_since(before)
+    assert moved["late_verifications"] == 1
+    assert moved["late_failures"] == 0
 
 
 # ---------------------------------------------------------------------------

@@ -267,3 +267,8 @@ def test_no_version_ladders_outside_schema():
     assert hits == [], "version ladders outside checkpoint/schema: " + "; ".join(
         f"{p}:{n}" for p, n, _ in hits
     )
+    body = lint.find_whole_body_reads()
+    assert body == [], (
+        "whole-body parse calls outside checkpoint/schema: "
+        + "; ".join(f"{p}:{n}" for p, n, _ in body)
+    )
